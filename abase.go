@@ -1,0 +1,339 @@
+// Package abase is a from-scratch reproduction of ABase, ByteDance's
+// multi-tenant NoSQL serverless database (Kang et al.,
+// SIGMOD-Companion '25). It assembles the three planes of the paper's
+// architecture into an embeddable cluster:
+//
+//   - Control plane: MetaServer (metadata, routing, traffic control,
+//     replica repair), predictive autoscaler, multi-resource
+//     rescheduler.
+//   - Data plane: DataNodes with partition quotas, dual-layer WFQ,
+//     SA-LRU caches, and a LavaStore-style LSM engine.
+//   - Proxy plane: per-tenant proxy fleets with AU-LRU caches, proxy
+//     quotas, and limited fan-out hash routing.
+//
+// Quickstart:
+//
+//	cluster, _ := abase.NewCluster(abase.ClusterConfig{Nodes: 3})
+//	defer cluster.Close()
+//	tenant, _ := cluster.CreateTenant(abase.TenantSpec{
+//		Name: "myapp", QuotaRU: 10000, Partitions: 4, Proxies: 2,
+//	})
+//	c := tenant.Client()
+//	c.Set([]byte("greeting"), []byte("hello"), 0)
+//	v, _ := c.Get([]byte("greeting"))
+package abase
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"abase/internal/clock"
+	"abase/internal/datanode"
+	"abase/internal/lavastore"
+	"abase/internal/metaserver"
+	"abase/internal/proxy"
+	"abase/internal/wfq"
+)
+
+// Re-exported sentinel errors.
+var (
+	// ErrNotFound is returned when a key does not exist.
+	ErrNotFound = proxy.ErrNotFound
+	// ErrThrottled is returned when quota admission rejects a request.
+	ErrThrottled = proxy.ErrThrottled
+)
+
+// ClusterConfig configures an embedded ABase cluster.
+type ClusterConfig struct {
+	// Nodes is the DataNode count (default 3).
+	Nodes int
+	// Replicas is the replication factor (default 3, ≤ Nodes).
+	Replicas int
+	// Clock defaults to the real clock; tests and simulations may use
+	// a virtual clock.
+	Clock clock.Clock
+	// NodeCacheBytes sizes each DataNode's SA-LRU (default 64 MiB).
+	NodeCacheBytes int64
+	// Cost overrides the simulated service-time model.
+	Cost datanode.CostModel
+	// WFQ tunes each node's dual-layer WFQs.
+	WFQ wfq.Config
+	// DisablePartitionQuota turns off partition-level admission.
+	DisablePartitionQuota bool
+	// FS backs the storage engines (default: in-memory).
+	FS lavastore.FS
+	// NodeRUCapacity is each node's nominal RU/s capacity.
+	NodeRUCapacity float64
+}
+
+// Cluster is an embedded ABase deployment.
+type Cluster struct {
+	cfg   ClusterConfig
+	Meta  *metaserver.Meta
+	nodes []*datanode.Node
+
+	mu      sync.Mutex
+	tenants map[string]*Tenant
+	closed  bool
+}
+
+// NewCluster starts a cluster with cfg.Nodes DataNodes.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Replicas > cfg.Nodes {
+		return nil, fmt.Errorf("abase: replicas (%d) exceed nodes (%d)", cfg.Replicas, cfg.Nodes)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		Meta:    metaserver.New(metaserver.Config{Clock: cfg.Clock, Replicas: cfg.Replicas}),
+		tenants: make(map[string]*Tenant),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := datanode.New(datanode.Config{
+			ID:                   fmt.Sprintf("dn-%03d", i),
+			Clock:                cfg.Clock,
+			FS:                   cfg.FS,
+			CacheBytes:           cfg.NodeCacheBytes,
+			WFQ:                  cfg.WFQ,
+			Cost:                 cfg.Cost,
+			Replicas:             cfg.Replicas,
+			EnablePartitionQuota: !cfg.DisablePartitionQuota,
+			RUCapacity:           cfg.NodeRUCapacity,
+		})
+		c.Meta.RegisterNode(n)
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's DataNodes (observability and tests).
+func (c *Cluster) Nodes() []*datanode.Node {
+	return append([]*datanode.Node(nil), c.nodes...)
+}
+
+// TenantSpec describes a tenant to provision.
+type TenantSpec struct {
+	// Name identifies the tenant.
+	Name string
+	// QuotaRU is the tenant quota in RU/s.
+	QuotaRU float64
+	// StorageGB is the storage quota.
+	StorageGB float64
+	// Partitions is the partition count (default 1).
+	Partitions int
+	// Proxies is N, the tenant's proxy count (default 1).
+	Proxies int
+	// ProxyGroups is n, the limited fan-out group count (default N).
+	ProxyGroups int
+	// DisableProxyCache turns off the AU-LRU.
+	DisableProxyCache bool
+	// DisableProxyQuota turns off proxy-level admission.
+	DisableProxyQuota bool
+	// ProxyCacheTTL is the AU-LRU entry TTL (default 10s).
+	ProxyCacheTTL time.Duration
+	// ProxyCacheBytes sizes each proxy's AU-LRU (default 32 MiB).
+	ProxyCacheBytes int64
+}
+
+// Tenant is a provisioned tenant with its proxy fleet.
+type Tenant struct {
+	Name    string
+	cluster *Cluster
+	meta    *metaserver.Tenant
+	fleet   *proxy.Fleet
+}
+
+// CreateTenant provisions partitions, replicas, and a proxy fleet.
+func (c *Cluster) CreateTenant(spec TenantSpec) (*Tenant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("abase: cluster closed")
+	}
+	if spec.Name == "" {
+		return nil, errors.New("abase: tenant name required")
+	}
+	if spec.Proxies <= 0 {
+		spec.Proxies = 1
+	}
+	if spec.ProxyGroups <= 0 {
+		spec.ProxyGroups = spec.Proxies
+	}
+	mt, err := c.Meta.CreateTenant(metaserver.TenantSpec{
+		Name:       spec.Name,
+		QuotaRU:    spec.QuotaRU,
+		StorageGB:  spec.StorageGB,
+		Partitions: spec.Partitions,
+		Proxies:    spec.Proxies,
+		Groups:     spec.ProxyGroups,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := proxy.NewFleet(proxy.Config{
+		Tenant:      spec.Name,
+		Meta:        c.Meta,
+		Clock:       c.cfg.Clock,
+		CacheBytes:  spec.ProxyCacheBytes,
+		CacheTTL:    spec.ProxyCacheTTL,
+		EnableCache: !spec.DisableProxyCache,
+		EnableQuota: !spec.DisableProxyQuota,
+		ProxyQuota:  mt.Quota.ProxyQuota(),
+	}, spec.Proxies, spec.ProxyGroups, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{Name: spec.Name, cluster: c, meta: mt, fleet: fleet}
+	c.tenants[spec.Name] = t
+	return t, nil
+}
+
+// Tenant returns a provisioned tenant by name.
+func (c *Cluster) Tenant(name string) (*Tenant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("abase: unknown tenant %q", name)
+	}
+	return t, nil
+}
+
+// MonitorTrafficOnce runs one proxy traffic-control cycle over the
+// given window (§4.2). Production deployments call this on a ticker.
+func (c *Cluster) MonitorTrafficOnce(window time.Duration) {
+	c.Meta.MonitorProxyTraffic(window)
+}
+
+// Close shuts down the cluster.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.Meta.Close()
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Fleet exposes the tenant's proxy fleet (experiments and stats).
+func (t *Tenant) Fleet() *proxy.Fleet { return t.fleet }
+
+// Quota returns the tenant's current RU quota.
+func (t *Tenant) Quota() float64 { return t.meta.Quota.RU() }
+
+// SetQuota updates the tenant quota and propagates the new proxy and
+// partition shares (an autoscaler action).
+func (t *Tenant) SetQuota(ru float64) {
+	t.meta.Quota.SetRU(ru)
+	perProxy := t.meta.Quota.ProxyQuota()
+	for _, p := range t.fleet.Proxies() {
+		p.SetQuota(perProxy)
+	}
+	perPartition := t.meta.Quota.PartitionQuota()
+	for _, route := range t.meta.Table.Partitions {
+		for _, host := range append([]string{route.Primary}, route.Followers...) {
+			if n, err := t.cluster.Meta.Node(host); err == nil {
+				n.SetPartitionQuota(route.Partition, perPartition)
+			}
+		}
+	}
+}
+
+// Client returns a client handle bound to the tenant's proxy fleet.
+func (t *Tenant) Client() *Client { return &Client{fleet: t.fleet} }
+
+// Client is the application-facing handle: Redis-shaped operations
+// routed through the proxy plane.
+type Client struct {
+	fleet *proxy.Fleet
+}
+
+// Get reads a key.
+func (c *Client) Get(key []byte) ([]byte, error) { return c.fleet.Get(key) }
+
+// Set writes a key with an optional TTL (0 = no expiry).
+func (c *Client) Set(key, value []byte, ttl time.Duration) error {
+	return c.fleet.Put(key, value, ttl)
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key []byte) error { return c.fleet.Delete(key) }
+
+// HSet sets a hash field, reporting 1 when the field is new.
+func (c *Client) HSet(key []byte, field string, value []byte) (int, error) {
+	return c.fleet.HSet(key, field, value)
+}
+
+// HGet reads a hash field.
+func (c *Client) HGet(key []byte, field string) ([]byte, error) {
+	return c.fleet.HGet(key, field)
+}
+
+// HLen returns a hash's field count.
+func (c *Client) HLen(key []byte) (int, error) { return c.fleet.HLen(key) }
+
+// HGetAll returns a hash's full contents.
+func (c *Client) HGetAll(key []byte) (map[string][]byte, error) {
+	return c.fleet.HGetAll(key)
+}
+
+// HDel deletes hash fields, reporting how many existed.
+func (c *Client) HDel(key []byte, fields ...string) (int, error) {
+	return c.fleet.HDel(key, fields...)
+}
+
+// MGet reads several keys; missing keys yield nil entries.
+func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, err := c.fleet.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MSet writes several key/value pairs.
+func (c *Client) MSet(pairs map[string][]byte) error {
+	for k, v := range pairs {
+		if err := c.fleet.Put([]byte(k), v, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TTL returns key's remaining time-to-live. hasTTL is false when the
+// key exists without an expiry; ErrNotFound when the key is absent.
+func (c *Client) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
+	return c.fleet.TTL(key)
+}
+
+// Expire sets key's TTL, returning ErrNotFound for absent keys.
+func (c *Client) Expire(key []byte, ttl time.Duration) error {
+	return c.fleet.Expire(key, ttl)
+}

@@ -1,0 +1,296 @@
+package abase
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"abase/internal/datanode"
+	"abase/internal/resp"
+)
+
+func fastCost() datanode.CostModel {
+	return datanode.CostModel{CPUTime: time.Nanosecond, IOReadTime: time.Nanosecond, IOWriteTime: time.Nanosecond}
+}
+
+func newCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	if cfg.Cost == (datanode.CostModel{}) {
+		cfg.Cost = fastCost()
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterQuickstart(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	tenant, err := c.CreateTenant(TenantSpec{
+		Name: "app", QuotaRU: 100000, Partitions: 4, Proxies: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tenant.Client()
+	if err := cl.Set([]byte("greeting"), []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Get([]byte("greeting"))
+	if err != nil || string(v) != "hello" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := cl.Delete([]byte("greeting")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get([]byte("greeting")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 2, Replicas: 3}); err == nil {
+		t.Fatal("replicas > nodes accepted")
+	}
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	if _, err := c.CreateTenant(TenantSpec{}); err == nil {
+		t.Fatal("empty tenant name accepted")
+	}
+	if _, err := c.Tenant("ghost"); err == nil {
+		t.Fatal("unknown tenant lookup succeeded")
+	}
+}
+
+func TestMultiTenantIsolationOfData(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	t1, _ := c.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 100000})
+	t2, _ := c.CreateTenant(TenantSpec{Name: "t2", QuotaRU: 100000})
+	t1.Client().Set([]byte("shared-key"), []byte("from-t1"), 0)
+	t2.Client().Set([]byte("shared-key"), []byte("from-t2"), 0)
+	v1, _ := t1.Client().Get([]byte("shared-key"))
+	v2, _ := t2.Client().Get([]byte("shared-key"))
+	if string(v1) != "from-t1" || string(v2) != "from-t2" {
+		t.Fatalf("cross-tenant leak: %q %q", v1, v2)
+	}
+}
+
+func TestHashOpsThroughClient(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	tn, _ := c.CreateTenant(TenantSpec{Name: "h", QuotaRU: 100000})
+	cl := tn.Client()
+	if n, err := cl.HSet([]byte("user:1"), "name", []byte("ada")); err != nil || n != 1 {
+		t.Fatalf("HSet = %d, %v", n, err)
+	}
+	cl.HSet([]byte("user:1"), "lang", []byte("go"))
+	v, err := cl.HGet([]byte("user:1"), "name")
+	if err != nil || string(v) != "ada" {
+		t.Fatalf("HGet = %q, %v", v, err)
+	}
+	if n, _ := cl.HLen([]byte("user:1")); n != 2 {
+		t.Fatalf("HLen = %d", n)
+	}
+	all, _ := cl.HGetAll([]byte("user:1"))
+	if len(all) != 2 {
+		t.Fatalf("HGetAll = %v", all)
+	}
+	if n, _ := cl.HDel([]byte("user:1"), "lang"); n != 1 {
+		t.Fatalf("HDel = %d", n)
+	}
+}
+
+func TestMGetMSet(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	tn, _ := c.CreateTenant(TenantSpec{Name: "m", QuotaRU: 100000})
+	cl := tn.Client()
+	if err := cl.MSet(map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := cl.MGet([]byte("a"), []byte("missing"), []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vs[0]) != "1" || vs[1] != nil || string(vs[2]) != "2" {
+		t.Fatalf("MGet = %q", vs)
+	}
+}
+
+func TestTenantSetQuotaPropagates(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	tn, _ := c.CreateTenant(TenantSpec{Name: "q", QuotaRU: 10, Partitions: 2, Proxies: 2})
+	if tn.Quota() != 10 {
+		t.Fatalf("Quota = %v", tn.Quota())
+	}
+	tn.SetQuota(1_000_000)
+	if tn.Quota() != 1_000_000 {
+		t.Fatalf("Quota after set = %v", tn.Quota())
+	}
+	// Generous quota: writes must flow without throttling.
+	cl := tn.Client()
+	for i := 0; i < 200; i++ {
+		if err := cl.Set([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("x"), 1024), 0); err != nil {
+			t.Fatalf("throttled after quota raise: %v", err)
+		}
+	}
+}
+
+func TestTTLThroughCluster(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	tn, _ := c.CreateTenant(TenantSpec{Name: "ttl", QuotaRU: 100000, DisableProxyCache: true})
+	cl := tn.Client()
+	cl.Set([]byte("k"), []byte("v"), time.Hour)
+	if _, err := cl.Get([]byte("k")); err != nil {
+		t.Fatalf("fresh TTL key missing: %v", err)
+	}
+}
+
+func TestMonitorTrafficOnce(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "mt", QuotaRU: 1000})
+	c.MonitorTrafficOnce(time.Second) // smoke: no panic, no deadlock
+}
+
+func TestServeRESP(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "web", QuotaRU: 100000})
+	addr, srv, err := c.Serve("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := resp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("PING"); v.Text() != "PONG" {
+		t.Fatalf("PING = %v", v)
+	}
+	// Before AUTH, data commands are rejected.
+	if v, _ := cl.DoStrings("GET", "k"); !v.IsError() {
+		t.Fatalf("unauthenticated GET = %+v", v)
+	}
+	if v, _ := cl.DoStrings("AUTH", "web"); v.Text() != "OK" {
+		t.Fatalf("AUTH = %v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "k", "v"); v.Text() != "OK" {
+		t.Fatalf("SET = %v", v)
+	}
+	if v, _ := cl.DoStrings("GET", "k"); v.Text() != "v" {
+		t.Fatalf("GET = %v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "e", "x", "EX", "100"); v.Text() != "OK" {
+		t.Fatalf("SET EX = %v", v)
+	}
+	if v, _ := cl.DoStrings("DEL", "k"); v.Int != 1 {
+		t.Fatalf("DEL = %+v", v)
+	}
+	if v, _ := cl.DoStrings("GET", "k"); !v.Null {
+		t.Fatalf("GET deleted = %+v", v)
+	}
+	if v, _ := cl.DoStrings("HSET", "h", "f1", "v1", "f2", "v2"); v.Int != 2 {
+		t.Fatalf("HSET = %+v", v)
+	}
+	if v, _ := cl.DoStrings("HLEN", "h"); v.Int != 2 {
+		t.Fatalf("HLEN = %+v", v)
+	}
+	if v, _ := cl.DoStrings("HGETALL", "h"); len(v.Array) != 4 {
+		t.Fatalf("HGETALL = %+v", v)
+	}
+	if v, _ := cl.DoStrings("MSET", "a", "1", "b", "2"); v.Text() != "OK" {
+		t.Fatalf("MSET = %v", v)
+	}
+	if v, _ := cl.DoStrings("MGET", "a", "nope", "b"); len(v.Array) != 3 || !v.Array[1].Null {
+		t.Fatalf("MGET = %+v", v)
+	}
+	if v, _ := cl.DoStrings("EXISTS", "a", "nope"); v.Int != 1 {
+		t.Fatalf("EXISTS = %+v", v)
+	}
+	if v, _ := cl.DoStrings("AUTH", "ghost"); !v.IsError() {
+		t.Fatalf("AUTH ghost = %+v", v)
+	}
+	if v, _ := cl.DoStrings("BOGUS"); !v.IsError() {
+		t.Fatalf("BOGUS = %+v", v)
+	}
+}
+
+func TestServeDefaultTenant(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "def", QuotaRU: 100000})
+	addr, srv, err := c.Serve("127.0.0.1:0", "def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+	if v, _ := cl.DoStrings("SET", "x", "1"); v.Text() != "OK" {
+		t.Fatalf("SET with default tenant = %+v", v)
+	}
+}
+
+func TestTTLThroughStack(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	tn, _ := c.CreateTenant(TenantSpec{Name: "ttl2", QuotaRU: 100000, DisableProxyCache: true})
+	cl := tn.Client()
+	cl.Set([]byte("eternal"), []byte("v"), 0)
+	cl.Set([]byte("mortal"), []byte("v"), time.Hour)
+
+	if _, hasTTL, err := cl.TTL([]byte("eternal")); err != nil || hasTTL {
+		t.Fatalf("eternal TTL = hasTTL=%v err=%v", hasTTL, err)
+	}
+	ttl, hasTTL, err := cl.TTL([]byte("mortal"))
+	if err != nil || !hasTTL || ttl <= 0 || ttl > time.Hour {
+		t.Fatalf("mortal TTL = %v %v %v", ttl, hasTTL, err)
+	}
+	if _, _, err := cl.TTL([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost TTL err = %v", err)
+	}
+	if err := cl.Expire([]byte("eternal"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasTTL, _ := cl.TTL([]byte("eternal")); !hasTTL {
+		t.Fatal("Expire did not set TTL")
+	}
+	if err := cl.Expire([]byte("ghost"), time.Minute); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Expire ghost = %v", err)
+	}
+}
+
+func TestServeTTLCommands(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "web2", QuotaRU: 100000, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "web2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	cl.DoStrings("SET", "k", "v", "EX", "100")
+	if v, _ := cl.DoStrings("TTL", "k"); v.Int <= 0 || v.Int > 100 {
+		t.Fatalf("TTL = %+v", v)
+	}
+	cl.DoStrings("SET", "p", "v")
+	if v, _ := cl.DoStrings("TTL", "p"); v.Int != -1 {
+		t.Fatalf("TTL persistent = %+v", v)
+	}
+	if v, _ := cl.DoStrings("TTL", "ghost"); v.Int != -2 {
+		t.Fatalf("TTL absent = %+v", v)
+	}
+	if v, _ := cl.DoStrings("EXPIRE", "p", "60"); v.Int != 1 {
+		t.Fatalf("EXPIRE = %+v", v)
+	}
+	if v, _ := cl.DoStrings("EXPIRE", "ghost", "60"); v.Int != 0 {
+		t.Fatalf("EXPIRE absent = %+v", v)
+	}
+	if v, _ := cl.DoStrings("EXPIRE", "p", "-5"); !v.IsError() {
+		t.Fatalf("EXPIRE negative = %+v", v)
+	}
+}

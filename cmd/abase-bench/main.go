@@ -1,0 +1,104 @@
+// Command abase-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	abase-bench -run all
+//	abase-bench -run table1,fig6,fig9
+//
+// Experiments: table1, fig3 (alias fig4), fig4, fig5, fig6, fig7,
+// fig8a, fig8b, fig9, fig10, table2, util, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abase/internal/experiments"
+	"abase/internal/sim"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (or 'all')")
+	nodes := flag.Int("fig9-nodes", 1000, "pool size for fig9")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	ran := 0
+	runExp := func(ids []string, fn func()) {
+		hit := all
+		for _, id := range ids {
+			if want[id] {
+				hit = true
+			}
+		}
+		if hit {
+			fn()
+			ran++
+		}
+	}
+
+	out := os.Stdout
+	runExp([]string{"table1"}, func() {
+		_, t := experiments.Table1(experiments.Table1Opts{})
+		t.Fprint(out)
+	})
+	runExp([]string{"fig3", "fig4"}, func() {
+		_, t := experiments.Figure34(experiments.Figure34Opts{})
+		t.Fprint(out)
+	})
+	runExp([]string{"fig5"}, func() {
+		_, t := experiments.Figure5(experiments.Figure5Opts{})
+		t.Fprint(out)
+	})
+	runExp([]string{"fig6"}, func() {
+		_, t := experiments.Figure6(experiments.Figure6Opts{})
+		t.Fprint(out)
+	})
+	runExp([]string{"fig7"}, func() {
+		_, t := experiments.Figure7(experiments.Figure7Opts{})
+		t.Fprint(out)
+	})
+	runExp([]string{"fig8a"}, func() {
+		_, t := experiments.Figure8a()
+		t.Fprint(out)
+	})
+	runExp([]string{"fig8b"}, func() {
+		_, t := experiments.Figure8b(sim.OncallConfig{})
+		t.Fprint(out)
+	})
+	runExp([]string{"fig9"}, func() {
+		_, t := experiments.Figure9(experiments.Figure9Opts{Nodes: *nodes})
+		t.Fprint(out)
+	})
+	runExp([]string{"fig10"}, func() {
+		_, _, t := experiments.Figure10(experiments.Figure10Opts{})
+		t.Fprint(out)
+	})
+	runExp([]string{"table2"}, func() {
+		_, t := experiments.Table2(experiments.Table2Opts{})
+		t.Fprint(out)
+	})
+	runExp([]string{"util"}, func() {
+		_, _, t := experiments.UtilizationComparison(0, 0)
+		t.Fprint(out)
+	})
+	runExp([]string{"ablations"}, func() {
+		experiments.AblationSALRU(0).Fprint(out)
+		experiments.AblationActiveUpdate().Fprint(out)
+		experiments.AblationFanout(0).Fprint(out)
+		experiments.AblationVFT().Fprint(out)
+		experiments.AblationForecast().Fprint(out)
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *run)
+		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util ablations all")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,95 @@
+// Command abase-cli is a minimal interactive Redis-protocol client for
+// abase-server.
+//
+// Usage:
+//
+//	abase-cli -addr localhost:6380 -tenant app
+//	abase-cli -addr localhost:6380 -tenant app SET k v
+//
+// With command arguments it runs one command and exits; otherwise it
+// reads commands from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"abase/internal/resp"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:6380", "server address")
+	tenant := flag.String("tenant", "", "tenant to AUTH as")
+	flag.Parse()
+
+	c, err := resp.Dial(*addr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	if *tenant != "" {
+		v, err := c.DoStrings("AUTH", *tenant)
+		if err != nil {
+			log.Fatalf("auth: %v", err)
+		}
+		if v.IsError() {
+			log.Fatalf("auth: %s", v.Text())
+		}
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		runOne(c, args)
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("abase> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			fmt.Print("abase> ")
+			continue
+		}
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		runOne(c, strings.Fields(line))
+		fmt.Print("abase> ")
+	}
+}
+
+func runOne(c *resp.Client, fields []string) {
+	v, err := c.DoStrings(fields[0], fields[1:]...)
+	if err != nil {
+		fmt.Printf("(io error) %v\n", err)
+		return
+	}
+	printValue(v, "")
+}
+
+func printValue(v resp.Value, indent string) {
+	switch {
+	case v.IsError():
+		fmt.Printf("%s(error) %s\n", indent, v.Text())
+	case v.Kind == resp.Integer:
+		fmt.Printf("%s(integer) %d\n", indent, v.Int)
+	case v.Null:
+		fmt.Printf("%s(nil)\n", indent)
+	case v.Kind == resp.Array:
+		if len(v.Array) == 0 {
+			fmt.Printf("%s(empty array)\n", indent)
+			return
+		}
+		for i, el := range v.Array {
+			fmt.Printf("%s%d) ", indent, i+1)
+			printValue(el, "")
+		}
+	default:
+		fmt.Printf("%s%q\n", indent, v.Text())
+	}
+}

@@ -1,0 +1,99 @@
+// Command abase-server runs an ABase cluster serving the Redis
+// protocol over TCP.
+//
+// Usage:
+//
+//	abase-server -addr :6380 -nodes 3 -tenants app:10000:4,web:5000:2
+//
+// Clients select their tenant with AUTH <tenant> (redis-cli -a works),
+// or pass -default-tenant to serve unauthenticated connections.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"abase"
+)
+
+func main() {
+	addr := flag.String("addr", ":6380", "listen address")
+	nodes := flag.Int("nodes", 3, "DataNode count")
+	replicas := flag.Int("replicas", 3, "replication factor")
+	tenants := flag.String("tenants", "default:100000:4",
+		"comma-separated tenants as name:quotaRU:partitions")
+	defaultTenant := flag.String("default-tenant", "",
+		"tenant for unauthenticated connections (empty = require AUTH)")
+	monitorEvery := flag.Duration("traffic-monitor", 2*time.Second,
+		"proxy traffic-control interval")
+	flag.Parse()
+
+	cluster, err := abase.NewCluster(abase.ClusterConfig{
+		Nodes:    *nodes,
+		Replicas: *replicas,
+	})
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	defer cluster.Close()
+
+	for _, spec := range strings.Split(*tenants, ",") {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		if len(parts) < 2 {
+			log.Fatalf("bad tenant spec %q (want name:quotaRU[:partitions])", spec)
+		}
+		quota, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			log.Fatalf("bad quota in %q: %v", spec, err)
+		}
+		partitions := 1
+		if len(parts) >= 3 {
+			if partitions, err = strconv.Atoi(parts[2]); err != nil {
+				log.Fatalf("bad partition count in %q: %v", spec, err)
+			}
+		}
+		if _, err := cluster.CreateTenant(abase.TenantSpec{
+			Name:       parts[0],
+			QuotaRU:    quota,
+			Partitions: partitions,
+			Proxies:    2,
+		}); err != nil {
+			log.Fatalf("create tenant %s: %v", parts[0], err)
+		}
+		log.Printf("tenant %s: quota %.0f RU/s, %d partitions", parts[0], quota, partitions)
+	}
+
+	bound, srv, err := cluster.Serve(*addr, *defaultTenant)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("abase-server listening on %s (%d nodes, rf=%d)\n", bound, *nodes, *replicas)
+
+	stopMonitor := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*monitorEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				cluster.MonitorTrafficOnce(*monitorEvery)
+			case <-stopMonitor:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopMonitor)
+	fmt.Println("shutting down")
+}

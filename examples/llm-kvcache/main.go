@@ -1,0 +1,82 @@
+// LLM-kvcache: ABase as a remote KV-cache store for large language
+// model serving — the highest-throughput workload in Table 1
+// (normalized throughput 10000, storage 5760, TTL 1 day, cache
+// bypassed by design).
+//
+// Each inference request stores the KV-cache blocks of its prompt's
+// token-sequence prefixes; later requests sharing a prefix fetch the
+// blocks instead of recomputing attention. Entries carry a 24h TTL so
+// the store cleans itself.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"abase"
+)
+
+func main() {
+	cluster, err := abase.NewCluster(abase.ClusterConfig{Nodes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	tenant, err := cluster.CreateTenant(abase.TenantSpec{
+		Name:       "llm-serving",
+		QuotaRU:    1e9,
+		Partitions: 8,
+		Proxies:    2,
+		// The LLM workload bypasses the proxy cache (Table 1: cache
+		// ratio 0) — blocks are huge and read flows go straight to the
+		// data plane for bandwidth.
+		DisableProxyCache: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := tenant.Client()
+
+	const (
+		prompts    = 60
+		blockToken = 16 // tokens per kv block
+		blockSize  = 8 << 10
+		ttl        = 24 * time.Hour
+	)
+	rng := rand.New(rand.NewSource(7))
+	block := make([]byte, blockSize)
+
+	// Simulate inference traffic: prompts share system-prompt prefixes.
+	var stored, reused int
+	for p := 0; p < prompts; p++ {
+		prefixFamily := rng.Intn(4) // four common system prompts
+		promptLen := 64 + rng.Intn(192)
+		for tok := 0; tok < promptLen; tok += blockToken {
+			k := []byte(fmt.Sprintf("kv:%d:%06d", prefixFamily, tok))
+			if _, err := c.Get(k); err == nil {
+				reused++
+				continue
+			} else if err != abase.ErrNotFound {
+				log.Fatal(err)
+			}
+			if err := c.Set(k, block, ttl); err != nil {
+				log.Fatal(err)
+			}
+			stored++
+		}
+	}
+	fmt.Printf("served %d prompts: %d kv blocks computed+stored, %d reused from ABase\n",
+		prompts, stored, reused)
+	fmt.Printf("prefix reuse rate: %.0f%% of blocks avoided recomputation\n",
+		100*float64(reused)/float64(stored+reused))
+
+	var disk int64
+	for _, n := range cluster.Nodes() {
+		disk += n.Snapshot().DiskUsed
+	}
+	fmt.Printf("cluster stores %.1f MiB of kv-cache (3-way replicated), expiring in %s\n",
+		float64(disk)/(1<<20), ttl)
+}

@@ -1,0 +1,168 @@
+// Package autoscaler implements ABase's predictive scaling policy
+// (Algorithm 1, §5.1). Quotas are categorized into RU and Storage,
+// each scaling independently. The policy forecasts the next 7 days'
+// maximum usage U_max from a 30-day hourly history; when U_max exceeds
+// 85% of the tenant quota, the quota is raised so that U_max sits at
+// 65%; when U_max falls below 65% (and no scaling happened in the last
+// 7 days), the quota is lowered to the same target. Scaling up may
+// push the partition quota above the upper bound UP, triggering a
+// partition split; scaling down never drops the partition quota below
+// LOWER, preserving burst headroom.
+package autoscaler
+
+import (
+	"time"
+
+	"abase/internal/forecast"
+)
+
+// Thresholds and bounds from Algorithm 1.
+const (
+	// UpperThreshold triggers scale-up when U_max > 0.85·Q_T.
+	UpperThreshold = 0.85
+	// LowerThreshold triggers scale-down when U_max < 0.65·Q_T, and is
+	// also the post-scaling utilization target (Q_T ← U_max/0.65).
+	LowerThreshold = 0.65
+	// ScaleDownCooldown blocks repeated downscales within 7 days.
+	ScaleDownCooldown = 7 * 24 * time.Hour
+)
+
+// Action is the scaling decision kind.
+type Action int
+
+// Scaling actions.
+const (
+	None Action = iota
+	ScaleUp
+	ScaleDown
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ScaleUp:
+		return "ScaleUp"
+	case ScaleDown:
+		return "ScaleDown"
+	}
+	return "None"
+}
+
+// Config bounds the per-partition quota.
+type Config struct {
+	// PartitionUpper is UP: above it, a scale-up triggers a partition
+	// split that halves the partition quota.
+	PartitionUpper float64
+	// PartitionLower is LOWER: the partition quota floor on scale-down,
+	// keeping headroom for occasional bursts.
+	PartitionLower float64
+}
+
+// Decision is one evaluation of Algorithm 1.
+type Decision struct {
+	Action Action
+	// NewTenantQuota is Q_T after the decision (unchanged for None).
+	NewTenantQuota float64
+	// NewPartitionQuota is Q_P after the decision.
+	NewPartitionQuota float64
+	// SplitPartitions reports that Q_P exceeded UP and a split is
+	// required (the caller doubles the partition count).
+	SplitPartitions bool
+	// UMax is the forecast maximum used.
+	UMax float64
+}
+
+// Evaluate runs Algorithm 1 for one tenant and resource dimension.
+//
+//	tenantQuota:   current Q_T
+//	numPartitions: N
+//	uMax:          forecast max usage over the next 7 days
+//	lastScaleDown: time of the most recent scale-down (zero if never)
+//	now:           current time (for the cooldown)
+func Evaluate(cfg Config, tenantQuota float64, numPartitions int, uMax float64, lastScale time.Time, now time.Time) Decision {
+	if numPartitions < 1 {
+		numPartitions = 1
+	}
+	d := Decision{
+		Action:            None,
+		NewTenantQuota:    tenantQuota,
+		NewPartitionQuota: tenantQuota / float64(numPartitions),
+		UMax:              uMax,
+	}
+	switch {
+	case uMax > UpperThreshold*tenantQuota:
+		d.Action = ScaleUp
+		d.NewTenantQuota = uMax / LowerThreshold
+		d.NewPartitionQuota = d.NewTenantQuota / float64(numPartitions)
+		if cfg.PartitionUpper > 0 && d.NewPartitionQuota > cfg.PartitionUpper {
+			d.SplitPartitions = true
+			d.NewPartitionQuota = 0.5 * d.NewPartitionQuota
+		}
+	case uMax < LowerThreshold*tenantQuota && now.Sub(lastScale) >= ScaleDownCooldown:
+		d.Action = ScaleDown
+		d.NewTenantQuota = uMax / LowerThreshold
+		qp := d.NewTenantQuota / float64(numPartitions)
+		if cfg.PartitionLower > 0 && qp < cfg.PartitionLower {
+			qp = cfg.PartitionLower
+			d.NewTenantQuota = qp * float64(numPartitions)
+		}
+		d.NewPartitionQuota = qp
+	}
+	return d
+}
+
+// TenantScaler drives Algorithm 1 for one tenant and one resource
+// dimension from its usage history.
+type TenantScaler struct {
+	Cfg Config
+	// Horizon is the forecast horizon in samples (default 168 = 7 days
+	// hourly).
+	Horizon int
+	// SamplesPerDay for the forecaster (default 24).
+	SamplesPerDay int
+
+	lastScale    time.Time
+	lastDecision Decision
+	scaleUps     int
+	scaleDowns   int
+	splits       int
+}
+
+// Evaluate forecasts usage from history and applies Algorithm 1,
+// recording cooldown state. quotaHist may be nil.
+func (s *TenantScaler) Evaluate(history, quotaHist []float64, tenantQuota float64, numPartitions int, now time.Time) Decision {
+	horizon := s.Horizon
+	if horizon <= 0 {
+		horizon = 168
+	}
+	spd := s.SamplesPerDay
+	if spd <= 0 {
+		spd = 24
+	}
+	res := forecast.Predict(history, horizon, forecast.Options{
+		SamplesPerDay: spd,
+		Quota:         quotaHist,
+	})
+	d := Evaluate(s.Cfg, tenantQuota, numPartitions, res.Max, s.lastScale, now)
+	switch d.Action {
+	case ScaleUp:
+		s.scaleUps++
+		s.lastScale = now
+	case ScaleDown:
+		s.scaleDowns++
+		s.lastScale = now
+	}
+	if d.SplitPartitions {
+		s.splits++
+	}
+	s.lastDecision = d
+	return d
+}
+
+// Counters returns cumulative scale-up/down/split counts.
+func (s *TenantScaler) Counters() (ups, downs, splits int) {
+	return s.scaleUps, s.scaleDowns, s.splits
+}
+
+// LastDecision returns the most recent decision.
+func (s *TenantScaler) LastDecision() Decision { return s.lastDecision }

@@ -1,0 +1,155 @@
+package autoscaler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestScaleUpTriggered(t *testing.T) {
+	// U_max = 90 > 0.85·100 → scale up to 90/0.65 ≈ 138.5.
+	d := Evaluate(Config{}, 100, 4, 90, time.Time{}, t0)
+	if d.Action != ScaleUp {
+		t.Fatalf("action = %v", d.Action)
+	}
+	want := 90 / 0.65
+	if math.Abs(d.NewTenantQuota-want) > 1e-9 {
+		t.Fatalf("quota = %v, want %v", d.NewTenantQuota, want)
+	}
+	if math.Abs(d.NewPartitionQuota-want/4) > 1e-9 {
+		t.Fatalf("partition quota = %v", d.NewPartitionQuota)
+	}
+	if d.SplitPartitions {
+		t.Fatal("unexpected split")
+	}
+}
+
+func TestScaleUpTriggersSplit(t *testing.T) {
+	// New partition quota 34.6 > UP=30 → split halves it.
+	d := Evaluate(Config{PartitionUpper: 30}, 100, 4, 90, time.Time{}, t0)
+	if !d.SplitPartitions {
+		t.Fatal("split not triggered")
+	}
+	if math.Abs(d.NewPartitionQuota-(90/0.65/4/2)) > 1e-9 {
+		t.Fatalf("post-split partition quota = %v", d.NewPartitionQuota)
+	}
+}
+
+func TestScaleDownTriggered(t *testing.T) {
+	// U_max = 30 < 0.65·100, no recent scaling → down to 30/0.65.
+	d := Evaluate(Config{}, 100, 2, 30, time.Time{}, t0)
+	if d.Action != ScaleDown {
+		t.Fatalf("action = %v", d.Action)
+	}
+	want := 30 / 0.65
+	if math.Abs(d.NewTenantQuota-want) > 1e-9 {
+		t.Fatalf("quota = %v", d.NewTenantQuota)
+	}
+}
+
+func TestScaleDownCooldown(t *testing.T) {
+	recent := t0.Add(-3 * 24 * time.Hour) // scaled 3 days ago
+	d := Evaluate(Config{}, 100, 2, 30, recent, t0)
+	if d.Action != None {
+		t.Fatalf("cooldown violated: %v", d.Action)
+	}
+	old := t0.Add(-8 * 24 * time.Hour)
+	d = Evaluate(Config{}, 100, 2, 30, old, t0)
+	if d.Action != ScaleDown {
+		t.Fatalf("stale cooldown blocked scale-down: %v", d.Action)
+	}
+}
+
+func TestScaleDownFloor(t *testing.T) {
+	// 4 partitions, LOWER=10: U_max tiny → partition quota clamps to 10,
+	// tenant quota to 40.
+	d := Evaluate(Config{PartitionLower: 10}, 1000, 4, 1, time.Time{}, t0)
+	if d.Action != ScaleDown {
+		t.Fatalf("action = %v", d.Action)
+	}
+	if d.NewPartitionQuota != 10 || d.NewTenantQuota != 40 {
+		t.Fatalf("quota = %v / partition %v", d.NewTenantQuota, d.NewPartitionQuota)
+	}
+}
+
+func TestSteadyStateNoAction(t *testing.T) {
+	// U_max = 75 is between 0.65·100 and 0.85·100 → no action.
+	d := Evaluate(Config{}, 100, 2, 75, time.Time{}, t0)
+	if d.Action != None {
+		t.Fatalf("action = %v", d.Action)
+	}
+	if d.NewTenantQuota != 100 {
+		t.Fatalf("quota changed: %v", d.NewTenantQuota)
+	}
+}
+
+func TestPropertyPostScaleUtilizationHealthy(t *testing.T) {
+	// After any scaling action (without bounds), the forecast max sits
+	// at exactly LowerThreshold of the new quota.
+	f := func(quotaQ, uQ uint16) bool {
+		q := float64(quotaQ%1000) + 1
+		u := float64(uQ%2000) + 1
+		d := Evaluate(Config{}, q, 1, u, time.Time{}, t0)
+		if d.Action == None {
+			return true
+		}
+		return math.Abs(u/d.NewTenantQuota-LowerThreshold) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNoActionInsideBand(t *testing.T) {
+	f := func(qQ uint16) bool {
+		q := float64(qQ%1000) + 10
+		u := 0.75 * q
+		return Evaluate(Config{}, q, 1, u, time.Time{}, t0).Action == None
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantScalerEndToEnd(t *testing.T) {
+	// Rising usage: 30 days hourly history climbing toward the quota.
+	history := make([]float64, 720)
+	for i := range history {
+		history[i] = 50 + 0.08*float64(i) // ends at ~107, trending up
+	}
+	s := &TenantScaler{}
+	d := s.Evaluate(history, nil, 120, 4, t0)
+	if d.Action != ScaleUp {
+		t.Fatalf("action = %v (UMax=%v)", d.Action, d.UMax)
+	}
+	ups, _, _ := s.Counters()
+	if ups != 1 {
+		t.Fatalf("ups = %d", ups)
+	}
+	if s.LastDecision().Action != ScaleUp {
+		t.Fatal("LastDecision not recorded")
+	}
+	// Immediately after, a declining forecast must respect the cooldown.
+	flat := make([]float64, 720)
+	for i := range flat {
+		flat[i] = 10
+	}
+	d2 := s.Evaluate(flat, nil, d.NewTenantQuota, 4, t0.Add(time.Hour))
+	if d2.Action != None {
+		t.Fatalf("cooldown ignored: %v", d2.Action)
+	}
+	// A week later the downscale may proceed.
+	d3 := s.Evaluate(flat, nil, d.NewTenantQuota, 4, t0.Add(8*24*time.Hour))
+	if d3.Action != ScaleDown {
+		t.Fatalf("action = %v", d3.Action)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if None.String() != "None" || ScaleUp.String() != "ScaleUp" || ScaleDown.String() != "ScaleDown" {
+		t.Fatal("Action strings wrong")
+	}
+}

@@ -1,0 +1,367 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"abase/internal/clock"
+)
+
+// --- SA-LRU ---
+
+func TestSALRUBasics(t *testing.T) {
+	c := NewSALRU(1 << 20)
+	c.Put("a", []byte("1"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	c.Delete("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("deleted key found")
+	}
+}
+
+func TestSALRUUpdateReplaces(t *testing.T) {
+	c := NewSALRU(1 << 20)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("newer-value"))
+	v, _ := c.Get("k")
+	if string(v) != "newer-value" {
+		t.Fatalf("v = %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestSALRUCapacityBound(t *testing.T) {
+	c := NewSALRU(1000)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("key%02d", i), bytes.Repeat([]byte("x"), 50))
+	}
+	if c.Used() > 1000 {
+		t.Fatalf("Used = %d exceeds capacity", c.Used())
+	}
+	if c.Len() == 0 {
+		t.Fatal("everything evicted")
+	}
+}
+
+func TestSALRURejectsOversized(t *testing.T) {
+	c := NewSALRU(100)
+	c.Put("big", bytes.Repeat([]byte("x"), 200))
+	if c.Len() != 0 {
+		t.Fatal("oversized value cached")
+	}
+}
+
+func TestSALRUPrefersEvictingColdLargeItems(t *testing.T) {
+	// Small hot entries + large cold entries under pressure: the large
+	// cold class should be evicted first (paper: SA-LRU retains small
+	// data with lower access costs).
+	c := NewSALRU(20_000)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("small%02d", i), bytes.Repeat([]byte("s"), 20))
+	}
+	// Heat the small entries.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 50; i++ {
+			c.Get(fmt.Sprintf("small%02d", i))
+		}
+	}
+	// Insert large cold values to force eviction.
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("large%02d", i), bytes.Repeat([]byte("L"), 2000))
+	}
+	smallAlive := 0
+	for i := 0; i < 50; i++ {
+		if _, ok := c.Get(fmt.Sprintf("small%02d", i)); ok {
+			smallAlive++
+		}
+	}
+	if smallAlive < 40 {
+		t.Fatalf("only %d/50 small hot entries survived", smallAlive)
+	}
+}
+
+func TestSALRUHitRatio(t *testing.T) {
+	c := NewSALRU(1 << 20)
+	if c.HitRatio() != 0 {
+		t.Fatal("fresh cache should report 0 hit ratio")
+	}
+	c.Put("a", []byte("v"))
+	c.Get("a")
+	c.Get("b")
+	if got := c.HitRatio(); got != 0.5 {
+		t.Fatalf("HitRatio = %v", got)
+	}
+	c.ResetStats()
+	if c.HitRatio() != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestSALRUClassFor(t *testing.T) {
+	cases := []struct {
+		size, class int
+	}{
+		{0, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2}, {1 << 30, saNumClasses - 1},
+	}
+	for _, tc := range cases {
+		if got := classFor(tc.size); got != tc.class {
+			t.Errorf("classFor(%d) = %d, want %d", tc.size, got, tc.class)
+		}
+	}
+}
+
+func TestSALRUConcurrent(t *testing.T) {
+	c := NewSALRU(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*500+i)%100)
+				c.Put(k, []byte(k))
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > 1<<16 {
+		t.Fatalf("capacity violated: %d", c.Used())
+	}
+}
+
+func TestSALRUPropertyNeverExceedsCapacity(t *testing.T) {
+	f := func(keys []uint8, sizes []uint16) bool {
+		c := NewSALRU(4096)
+		n := len(keys)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		for i := 0; i < n; i++ {
+			c.Put(fmt.Sprintf("k%d", keys[i]), make([]byte, sizes[i]%3000))
+		}
+		return c.Used() <= 4096
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSALRUPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSALRU(0)
+}
+
+// --- AU-LRU ---
+
+func newTestAULRU(sim *clock.Sim, refresher Refresher) *AULRU {
+	return NewAULRU(AUConfig{
+		Capacity:      1 << 20,
+		TTL:           time.Minute,
+		RefreshWindow: 10 * time.Second,
+		Clock:         sim,
+		Refresher:     refresher,
+	})
+}
+
+func TestAULRUBasics(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := newTestAULRU(sim, nil)
+	c.Put("a", []byte("1"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	c.Delete("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("deleted key present")
+	}
+}
+
+func TestAULRUExpiry(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := newTestAULRU(sim, nil)
+	c.Put("k", []byte("v"))
+	sim.Advance(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	h, m, _ := c.Stats()
+	if h != 0 || m != 1 {
+		t.Fatalf("stats = %d hits %d misses", h, m)
+	}
+}
+
+func TestAULRUActiveUpdateRenewsHotKeys(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	var refreshed int
+	c := newTestAULRU(sim, func(key string) ([]byte, bool) {
+		refreshed++
+		return []byte("fresh"), true
+	})
+	c.Put("hot", []byte("v0"))
+	c.Get("hot") // marks hot
+	// Move to within the refresh window (TTL 60s, window 10s).
+	sim.Advance(55 * time.Second)
+	if _, ok := c.Get("hot"); !ok {
+		t.Fatal("hot key missing before expiry")
+	}
+	if refreshed != 1 {
+		t.Fatalf("refreshed = %d, want 1", refreshed)
+	}
+	// After the original TTL would have expired, the entry must survive.
+	sim.Advance(30 * time.Second)
+	v, ok := c.Get("hot")
+	if !ok || string(v) != "fresh" {
+		t.Fatalf("renewed value = %q %v", v, ok)
+	}
+	_, _, r := c.Stats()
+	if r != 1 {
+		t.Fatalf("refresh count = %d", r)
+	}
+}
+
+func TestAULRUColdKeysNotRefreshed(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	var refreshed int
+	c := newTestAULRU(sim, func(key string) ([]byte, bool) {
+		refreshed++
+		return []byte("fresh"), true
+	})
+	c.Put("cold", []byte("v"))
+	sim.Advance(55 * time.Second)
+	c.Get("cold") // first access inside window: becomes hot but not refreshed yet
+	if refreshed != 0 {
+		t.Fatalf("cold key refreshed %d times", refreshed)
+	}
+}
+
+func TestAULRURefreshDeletesVanishedKeys(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := newTestAULRU(sim, func(key string) ([]byte, bool) {
+		return nil, false // key no longer exists at origin
+	})
+	c.Put("gone", []byte("v"))
+	c.Get("gone")
+	sim.Advance(55 * time.Second)
+	c.Get("gone") // triggers refresh, which deletes
+	if _, ok := c.Get("gone"); ok {
+		t.Fatal("vanished key still cached")
+	}
+}
+
+func TestAULRUCapacity(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := NewAULRU(AUConfig{Capacity: 500, TTL: time.Minute, Clock: sim})
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte("x"), 40))
+	}
+	if c.Used() > 500 {
+		t.Fatalf("Used = %d", c.Used())
+	}
+}
+
+func TestAULRULRUEvictionOrder(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := NewAULRU(AUConfig{Capacity: 120, TTL: time.Minute, Clock: sim})
+	c.Put("a", bytes.Repeat([]byte("x"), 40)) // 41 bytes
+	c.Put("b", bytes.Repeat([]byte("x"), 40))
+	c.Get("a") // a is now MRU
+	c.Put("c", bytes.Repeat([]byte("x"), 40))
+	// b should have been evicted, a retained.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry retained")
+	}
+}
+
+func TestAULRUHitRatio(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := newTestAULRU(sim, nil)
+	c.Put("a", []byte("v"))
+	c.Get("a")
+	c.Get("zz")
+	if got := c.HitRatio(); got != 0.5 {
+		t.Fatalf("HitRatio = %v", got)
+	}
+	c.ResetStats()
+	h, m, r := c.Stats()
+	if h != 0 || m != 0 || r != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}
+
+func TestAULRUPanics(t *testing.T) {
+	for _, cfg := range []AUConfig{
+		{Capacity: 0, TTL: time.Second},
+		{Capacity: 10, TTL: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			NewAULRU(cfg)
+		}()
+	}
+}
+
+func TestAULRUConcurrent(t *testing.T) {
+	c := NewAULRU(AUConfig{Capacity: 1 << 16, TTL: time.Minute})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%64)
+				c.Put(k, []byte(k))
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > 1<<16 {
+		t.Fatal("capacity violated")
+	}
+}
+
+func BenchmarkSALRUGet(b *testing.B) {
+	c := NewSALRU(1 << 24)
+	for i := 0; i < 10000; i++ {
+		c.Put(fmt.Sprintf("key%05d", i), bytes.Repeat([]byte("v"), 100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(fmt.Sprintf("key%05d", i%10000))
+	}
+}
+
+func BenchmarkAULRUGet(b *testing.B) {
+	c := NewAULRU(AUConfig{Capacity: 1 << 24, TTL: time.Hour})
+	for i := 0; i < 10000; i++ {
+		c.Put(fmt.Sprintf("key%05d", i), bytes.Repeat([]byte("v"), 100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(fmt.Sprintf("key%05d", i%10000))
+	}
+}

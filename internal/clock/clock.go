@@ -1,0 +1,162 @@
+// Package clock provides real and simulated time sources.
+//
+// Every latency-bearing component in ABase takes a Clock so that
+// pool-scale experiments (hours of traffic, thousands of nodes) can run
+// in milliseconds under a simulated clock while the networked server
+// uses wall time.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for components that sleep, schedule, or timestamp.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d. Under a simulated clock, Sleep returns when
+	// virtual time has advanced by d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the time after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sim is a deterministic simulated clock. Time advances only when
+// Advance or Run is called. Sleepers and timers are released in
+// timestamp order. The zero value is not usable; use NewSim.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64
+}
+
+// NewSim returns a simulated clock starting at the given time.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+type waiter struct {
+	at  time.Time
+	seq int64 // tiebreaker for deterministic ordering
+	ch  chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration {
+	return s.Now().Sub(t)
+}
+
+// Sleep implements Clock. It blocks the calling goroutine until the
+// simulated time reaches now+d via Advance or Run on another goroutine.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.seq++
+	heap.Push(&s.waiters, &waiter{at: s.now.Add(d), seq: s.seq, ch: ch})
+	return ch
+}
+
+// Advance moves simulated time forward by d, firing all timers whose
+// deadline falls within the window in order.
+func (s *Sim) Advance(d time.Duration) {
+	s.AdvanceTo(s.Now().Add(d))
+}
+
+// AdvanceTo moves simulated time forward to t, firing timers in order.
+// Moving backwards is a no-op.
+func (s *Sim) AdvanceTo(t time.Time) {
+	for {
+		s.mu.Lock()
+		if len(s.waiters) == 0 || s.waiters[0].at.After(t) {
+			if t.After(s.now) {
+				s.now = t
+			}
+			s.mu.Unlock()
+			return
+		}
+		w := heap.Pop(&s.waiters).(*waiter)
+		if w.at.After(s.now) {
+			s.now = w.at
+		}
+		s.mu.Unlock()
+		w.ch <- w.at
+	}
+}
+
+// Pending reports the number of outstanding timers.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// NextDeadline returns the earliest pending timer deadline and true, or
+// the zero time and false when no timers are pending.
+func (s *Sim) NextDeadline() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return s.waiters[0].at, true
+}

@@ -1,0 +1,163 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	var c Clock = Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+	if c.Since(a) < 0 {
+		t.Fatal("Since returned negative duration")
+	}
+}
+
+func TestRealSleep(t *testing.T) {
+	var c Clock = Real{}
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("slept only %v", elapsed)
+	}
+}
+
+func TestSimNowAdvance(t *testing.T) {
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(start)
+	if !s.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", s.Now(), start)
+	}
+	s.Advance(time.Hour)
+	if got := s.Now(); !got.Equal(start.Add(time.Hour)) {
+		t.Fatalf("after Advance Now = %v", got)
+	}
+}
+
+func TestSimAdvanceToBackwardsNoop(t *testing.T) {
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(start)
+	s.Advance(time.Hour)
+	s.AdvanceTo(start) // backwards: no-op
+	if got := s.Now(); !got.Equal(start.Add(time.Hour)) {
+		t.Fatalf("time went backwards to %v", got)
+	}
+}
+
+func TestSimAfterZeroFiresImmediately(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	select {
+	case <-s.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSimSleepReleasedByAdvance(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(10 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for s.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(9 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("sleeper released too early")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper not released")
+	}
+}
+
+func TestSimTimersFireInOrder(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	delays := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range delays {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			<-s.After(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	for s.Pending() < len(delays) {
+		time.Sleep(time.Millisecond)
+	}
+	// Advance step by step so goroutines record in deadline order.
+	for i := 0; i < 3; i++ {
+		s.Advance(10 * time.Second)
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimNextDeadline(t *testing.T) {
+	s := NewSim(time.Unix(100, 0))
+	if _, ok := s.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a timer on empty clock")
+	}
+	s.After(5 * time.Second)
+	s.After(2 * time.Second)
+	dl, ok := s.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline found no timer")
+	}
+	if want := time.Unix(102, 0); !dl.Equal(want) {
+		t.Fatalf("NextDeadline = %v, want %v", dl, want)
+	}
+}
+
+func TestSimSinceTracksVirtualTime(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	t0 := s.Now()
+	s.Advance(42 * time.Second)
+	if got := s.Since(t0); got != 42*time.Second {
+		t.Fatalf("Since = %v, want 42s", got)
+	}
+}
+
+func TestSimConcurrentAfters(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-s.After(time.Duration(i%10+1) * time.Second)
+		}(i)
+	}
+	for s.Pending() < n {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(10 * time.Second)
+	wg.Wait()
+	if s.Pending() != 0 {
+		t.Fatalf("%d timers still pending", s.Pending())
+	}
+}

@@ -1,0 +1,97 @@
+package datanode
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"abase/internal/clock"
+)
+
+// ErrOverloaded is returned when the DataNode request queue is full:
+// arriving traffic (including traffic that would be rejected by quota)
+// exceeds the queue's drain rate. This is the failure mode Figure 6
+// shows when a tenant's burst is not intercepted at the proxy.
+var ErrOverloaded = errors.New("datanode: request queue overloaded")
+
+// Admission models the DataNode request queue (§4.2): every arriving
+// request enters a bounded FIFO processed by a small number of queue
+// workers. The workers spend AdmitCost per request (parse + route),
+// check the partition quota, and spend RejectCost on each rejection —
+// so a flood of over-quota traffic consumes real node resources and
+// delays co-tenants, unless the proxy intercepts it first.
+type admission struct {
+	mu      sync.RWMutex
+	closed  bool
+	ch      chan func()
+	workers int
+	wg      sync.WaitGroup
+}
+
+const (
+	defaultAdmitWorkers  = 2
+	defaultAdmitQueueCap = 1024
+	defaultAdmitCost     = 2 * time.Microsecond
+)
+
+func newAdmission(workers, queueCap int) *admission {
+	if workers <= 0 {
+		workers = defaultAdmitWorkers
+	}
+	if queueCap <= 0 {
+		queueCap = defaultAdmitQueueCap
+	}
+	a := &admission{ch: make(chan func(), queueCap), workers: workers}
+	for i := 0; i < workers; i++ {
+		a.wg.Add(1)
+		go a.worker()
+	}
+	return a
+}
+
+func (a *admission) worker() {
+	defer a.wg.Done()
+	for fn := range a.ch {
+		fn()
+	}
+}
+
+// submit enqueues a request-processing closure, reporting false when
+// the queue is full or the node is shutting down.
+func (a *admission) submit(fn func()) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		return false
+	}
+	select {
+	case a.ch <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *admission) close() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		close(a.ch)
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+// burn consumes d of simulated service time by occupying the calling
+// worker. Sleeping (rather than spinning) keeps the model faithful on
+// small hosts: a queue worker or I/O thread is unavailable for other
+// requests while it "serves" one, which is what creates queueing —
+// without monopolizing the machine's real cores.
+func burn(clk clock.Clock, d time.Duration) {
+	// Sub-microsecond costs are noise next to sleep syscall overhead;
+	// treat them as free (fast test/benchmark configurations use 1ns).
+	if d < time.Microsecond {
+		return
+	}
+	clk.Sleep(d)
+}

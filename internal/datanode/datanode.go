@@ -1,0 +1,355 @@
+// Package datanode implements ABase's data plane node. Each DataNode
+// hosts partition replicas for many tenants and serves their requests
+// through the cache-aware isolation pipeline (Figure 2):
+//
+//	request queue (partition quota filter)
+//	  → dual-layer WFQ (CPU-WFQ over I/O-WFQ)
+//	    → SA-LRU node cache
+//	      → LavaStore
+package datanode
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abase/internal/cache"
+	"abase/internal/clock"
+	"abase/internal/lavastore"
+	"abase/internal/metrics"
+	"abase/internal/partition"
+	"abase/internal/quota"
+	"abase/internal/ru"
+	"abase/internal/wfq"
+)
+
+// ErrThrottled is returned when a request exceeds the partition quota
+// and is rejected at the request-queue entry point (§4.2).
+var ErrThrottled = errors.New("datanode: partition quota exceeded")
+
+// ErrNotFound is returned for absent keys.
+var ErrNotFound = errors.New("datanode: key not found")
+
+// ErrNoPartition is returned when the node does not host the replica.
+var ErrNoPartition = errors.New("datanode: partition not hosted here")
+
+// CostModel holds the simulated service times that make cache hits and
+// misses consume different resources (Challenge 1). Durations are
+// slept on the node's clock inside the WFQ stages.
+type CostModel struct {
+	// CPUTime is the CPU-stage service time for every request.
+	CPUTime time.Duration
+	// IOReadTime is the I/O-stage service time per disk read.
+	IOReadTime time.Duration
+	// IOWriteTime is the I/O-stage service time per disk write.
+	IOWriteTime time.Duration
+}
+
+// DefaultCostModel mirrors the relative costs of a cache hit (CPU+mem
+// only) versus a miss (adds disk I/O an order of magnitude slower).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CPUTime:     5 * time.Microsecond,
+		IOReadTime:  50 * time.Microsecond,
+		IOWriteTime: 20 * time.Microsecond,
+	}
+}
+
+// Config configures a DataNode.
+type Config struct {
+	// ID names the node.
+	ID string
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// FS backs the LavaStore instances. Defaults to one shared MemFS.
+	FS lavastore.FS
+	// CacheBytes sizes the node's SA-LRU cache. Default 64 MiB.
+	CacheBytes int64
+	// WFQ tunes the four dual-layer WFQs.
+	WFQ wfq.Config
+	// Cost is the simulated service-time model.
+	Cost CostModel
+	// Replicas is the replication factor used for write RU (r·RU).
+	Replicas int
+	// EnablePartitionQuota turns partition-level admission on/off
+	// (Figure 7 ablates this).
+	EnablePartitionQuota bool
+	// RejectCost is the CPU time the node burns rejecting a throttled
+	// request (parsing, queueing, and error response). The Figure 6
+	// experiment shows this overhead starving co-tenants when a burst
+	// is not intercepted at the proxy.
+	RejectCost time.Duration
+	// AdmitWorkers is the request-queue worker count (default 2).
+	AdmitWorkers int
+	// AdmitQueueCap bounds the request queue; arrivals beyond it fail
+	// with ErrOverloaded (default 1024).
+	AdmitQueueCap int
+	// AdmitCost is the per-request queue processing time (default 2µs).
+	AdmitCost time.Duration
+	// RUCapacity is the node's RU/s capacity (rescheduler accounting).
+	RUCapacity float64
+	// DiskCapacity is the node's disk bytes capacity.
+	DiskCapacity int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.FS == nil {
+		c.FS = lavastore.NewMemFS()
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.RUCapacity <= 0 {
+		c.RUCapacity = 100_000
+	}
+	if c.DiskCapacity <= 0 {
+		c.DiskCapacity = 1 << 40
+	}
+	if c.AdmitCost <= 0 {
+		c.AdmitCost = defaultAdmitCost
+	}
+	return c
+}
+
+// Replicator propagates writes to follower replicas on other nodes.
+// Implementations must not block the caller for long; ABase replication
+// is asynchronous (eventual consistency).
+type Replicator interface {
+	Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, delete bool)
+}
+
+// NopReplicator discards replication traffic (single-node tests).
+type NopReplicator struct{}
+
+// Replicate implements Replicator.
+func (NopReplicator) Replicate(partition.ReplicaID, []byte, []byte, time.Duration, bool) {}
+
+// replica is one hosted partition replica.
+type replica struct {
+	id      partition.ReplicaID
+	db      *lavastore.DB
+	limiter *quota.PartitionLimiter
+	quotaRU float64
+	primary bool
+}
+
+// tenantStats aggregates per-tenant observability on this node.
+type tenantStats struct {
+	success   metrics.Counter
+	throttled metrics.Counter
+	errors    metrics.Counter
+	cacheHits metrics.Counter
+	cacheMiss metrics.Counter
+	ruUsed    metrics.Gauge
+	latency   *metrics.Histogram
+}
+
+// Node is a DataNode instance.
+type Node struct {
+	cfg   Config
+	cache *cache.SALRU
+	sched *wfq.Scheduler
+	admit *admission
+
+	mu       sync.RWMutex
+	replicas map[partition.ID]*replica
+	tenants  map[string]*tenantStats
+	est      map[string]*ru.Estimator
+
+	replicator Replicator
+	closed     bool
+
+	quotaOn atomic.Bool // runtime partition-quota toggle (experiments)
+}
+
+// New starts a DataNode.
+func New(cfg Config) *Node {
+	c := cfg.withDefaults()
+	n := &Node{
+		cfg:        c,
+		cache:      cache.NewSALRU(c.CacheBytes),
+		sched:      wfq.NewScheduler(c.WFQ),
+		admit:      newAdmission(c.AdmitWorkers, c.AdmitQueueCap),
+		replicas:   make(map[partition.ID]*replica),
+		tenants:    make(map[string]*tenantStats),
+		est:        make(map[string]*ru.Estimator),
+		replicator: NopReplicator{},
+	}
+	n.quotaOn.Store(c.EnablePartitionQuota)
+	return n
+}
+
+// SetPartitionQuotaEnabled toggles partition-level admission at
+// runtime (the Figure 7 experiment flips it mid-run).
+func (n *Node) SetPartitionQuotaEnabled(on bool) { n.quotaOn.Store(on) }
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// SetReplicator wires the replication fabric (done by the cluster).
+func (n *Node) SetReplicator(r Replicator) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if r == nil {
+		r = NopReplicator{}
+	}
+	n.replicator = r
+}
+
+// AddReplica hosts a partition replica with the given partition quota
+// in RU/s. primary selects whether this node serves client writes for
+// the partition.
+func (n *Node) AddReplica(rid partition.ReplicaID, quotaRU float64, primary bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("datanode: closed")
+	}
+	if _, ok := n.replicas[rid.Partition]; ok {
+		return fmt.Errorf("datanode: replica for %s already hosted", rid.Partition)
+	}
+	dir := fmt.Sprintf("%s/%s-%d", n.cfg.ID, rid.Partition, rid.Replica)
+	db, err := lavastore.Open(lavastore.Options{
+		FS:    n.cfg.FS,
+		Dir:   dir,
+		Clock: n.cfg.Clock,
+	})
+	if err != nil {
+		return err
+	}
+	n.replicas[rid.Partition] = &replica{
+		id:      rid,
+		db:      db,
+		limiter: quota.NewPartitionLimiter(quotaRU, n.cfg.Clock),
+		quotaRU: quotaRU,
+		primary: primary,
+	}
+	return nil
+}
+
+// RemoveReplica stops hosting a partition replica and releases its
+// storage.
+func (n *Node) RemoveReplica(pid partition.ID) error {
+	n.mu.Lock()
+	rep, ok := n.replicas[pid]
+	if ok {
+		delete(n.replicas, pid)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return ErrNoPartition
+	}
+	return rep.db.Close()
+}
+
+// HostsReplica reports whether the node hosts pid.
+func (n *Node) HostsReplica(pid partition.ID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.replicas[pid]
+	return ok
+}
+
+// Replicas returns the hosted partition IDs.
+func (n *Node) Replicas() []partition.ID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]partition.ID, 0, len(n.replicas))
+	for pid := range n.replicas {
+		out = append(out, pid)
+	}
+	return out
+}
+
+// SetPartitionQuota updates a hosted replica's partition quota.
+func (n *Node) SetPartitionQuota(pid partition.ID, quotaRU float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rep, ok := n.replicas[pid]
+	if !ok {
+		return ErrNoPartition
+	}
+	rep.quotaRU = quotaRU
+	rep.limiter.SetQuota(quotaRU)
+	return nil
+}
+
+func (n *Node) getReplica(pid partition.ID) (*replica, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rep, ok := n.replicas[pid]
+	if !ok {
+		return nil, ErrNoPartition
+	}
+	return rep, nil
+}
+
+func (n *Node) tenantState(tenant string) (*tenantStats, *ru.Estimator) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ts, ok := n.tenants[tenant]
+	if !ok {
+		ts = &tenantStats{latency: metrics.NewHistogram()}
+		n.tenants[tenant] = ts
+	}
+	e, ok := n.est[tenant]
+	if !ok {
+		e = ru.NewEstimator(0)
+		n.est[tenant] = e
+	}
+	return ts, e
+}
+
+// quotaShare computes wPartition for the VFT: the replica's partition
+// quota over the sum of partition quotas hosted on this node.
+func (n *Node) quotaShare(rep *replica) float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var sum float64
+	for _, r := range n.replicas {
+		sum += r.quotaRU
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return rep.quotaRU / sum
+}
+
+func cacheKey(pid partition.ID, key []byte) string {
+	return pid.String() + "\x00" + string(key)
+}
+
+// Close drains the WFQ and closes all replica stores.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	reps := make([]*replica, 0, len(n.replicas))
+	for _, r := range n.replicas {
+		reps = append(reps, r)
+	}
+	n.mu.Unlock()
+	n.admit.close()
+	n.sched.Close()
+	var first error
+	for _, r := range reps {
+		if err := r.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,404 @@
+package datanode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"abase/internal/partition"
+)
+
+func fastCost() CostModel {
+	return CostModel{CPUTime: time.Nanosecond, IOReadTime: time.Nanosecond, IOWriteTime: time.Nanosecond}
+}
+
+func newTestNode(t *testing.T, cfg Config) *Node {
+	t.Helper()
+	if cfg.ID == "" {
+		cfg.ID = "node-test"
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = fastCost()
+	}
+	n := New(cfg)
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func pid(tenant string, idx int) partition.ID {
+	return partition.ID{Tenant: tenant, Index: idx}
+}
+
+func rid(tenant string, idx, rep int) partition.ReplicaID {
+	return partition.ReplicaID{Partition: pid(tenant, idx), Replica: rep}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	n := newTestNode(t, Config{})
+	if err := n.AddReplica(rid("t1", 0, 0), 1000, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Put(pid("t1", 0), []byte("k"), []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Get(pid("t1", 0), []byte("k"))
+	if err != nil || string(res.Value) != "v" {
+		t.Fatalf("Get = %q, %v", res.Value, err)
+	}
+	if _, err := n.Delete(pid("t1", 0), []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(pid("t1", 0), []byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestGetUnknownPartition(t *testing.T) {
+	n := newTestNode(t, Config{})
+	if _, err := n.Get(pid("nobody", 0), []byte("k")); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddReplicaTwiceFails(t *testing.T) {
+	n := newTestNode(t, Config{})
+	if err := n.AddReplica(rid("t1", 0, 0), 100, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddReplica(rid("t1", 0, 1), 100, false); err == nil {
+		t.Fatal("duplicate partition accepted")
+	}
+}
+
+func TestCacheHitOnSecondRead(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	n.Put(p, []byte("k"), []byte("v"), 0)
+	// Write-through: first read already hits.
+	r1, _ := n.Get(p, []byte("k"))
+	if !r1.CacheHit {
+		t.Fatal("write-through cache missed")
+	}
+	// Hit costs zero read RU per §4.1.
+	if r1.RU != 0 {
+		t.Fatalf("cache hit charged %v RU", r1.RU)
+	}
+	stats := n.TenantStats("t1")
+	if stats.CacheHits == 0 {
+		t.Fatal("hit not recorded")
+	}
+}
+
+func TestCacheMissChargesRU(t *testing.T) {
+	n := newTestNode(t, Config{CacheBytes: 1 << 10}) // tiny cache
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	// Write values large enough that the tiny cache can't hold them all.
+	for i := 0; i < 50; i++ {
+		n.Put(p, []byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte("x"), 200), 0)
+	}
+	var missRU float64
+	for i := 0; i < 50; i++ {
+		res, err := n.Get(p, []byte(fmt.Sprintf("k%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CacheHit {
+			missRU += res.RU
+		}
+	}
+	if missRU == 0 {
+		t.Fatal("no cache misses observed with tiny cache")
+	}
+}
+
+func TestPartitionQuotaThrottles(t *testing.T) {
+	n := newTestNode(t, Config{EnablePartitionQuota: true})
+	n.AddReplica(rid("t1", 0, 0), 10, true) // 10 RU/s → 30 burst
+	p := pid("t1", 0)
+	throttled := 0
+	for i := 0; i < 200; i++ {
+		_, err := n.Put(p, []byte("k"), bytes.Repeat([]byte("v"), 2048), 0)
+		if errors.Is(err, ErrThrottled) {
+			throttled++
+		}
+	}
+	if throttled == 0 {
+		t.Fatal("partition quota never throttled")
+	}
+	if n.TenantStats("t1").Throttled == 0 {
+		t.Fatal("throttle not counted")
+	}
+}
+
+func TestQuotaDisabledNeverThrottles(t *testing.T) {
+	n := newTestNode(t, Config{EnablePartitionQuota: false})
+	n.AddReplica(rid("t1", 0, 0), 1, true)
+	p := pid("t1", 0)
+	for i := 0; i < 100; i++ {
+		if _, err := n.Put(p, []byte("k"), []byte("v"), 0); err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestWriteRUReplicaMultiplier(t *testing.T) {
+	n := newTestNode(t, Config{Replicas: 3})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	res, err := n.Put(pid("t1", 0), []byte("k"), bytes.Repeat([]byte("v"), 2048), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RU != 3 { // 2048/2048 × 3 replicas
+		t.Fatalf("write RU = %v, want 3", res.RU)
+	}
+}
+
+func TestReplicationFabric(t *testing.T) {
+	primary := newTestNode(t, Config{ID: "n1"})
+	follower := newTestNode(t, Config{ID: "n2"})
+	primary.AddReplica(rid("t1", 0, 0), 1000, true)
+	follower.AddReplica(rid("t1", 0, 1), 1000, false)
+	var wg sync.WaitGroup
+	primary.SetReplicator(replFunc(func(r partition.ReplicaID, key, value []byte, ttl time.Duration, del bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			follower.ApplyReplicated(r.Partition, key, value, ttl, del)
+		}()
+	}))
+	primary.Put(pid("t1", 0), []byte("k"), []byte("v"), 0)
+	wg.Wait()
+	res, err := follower.Get(pid("t1", 0), []byte("k"))
+	if err != nil || string(res.Value) != "v" {
+		t.Fatalf("follower read = %q, %v", res.Value, err)
+	}
+}
+
+type replFunc func(partition.ReplicaID, []byte, []byte, time.Duration, bool)
+
+func (f replFunc) Replicate(r partition.ReplicaID, k, v []byte, ttl time.Duration, del bool) {
+	f(r, k, v, ttl, del)
+}
+
+func TestTTLWrites(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	if _, err := n.Put(p, []byte("k"), []byte("v"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(p, []byte("k")); err != nil {
+		t.Fatalf("fresh TTL key: %v", err)
+	}
+}
+
+func TestHashOps(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	k := []byte("h")
+
+	if added, err := n.HSet(p, k, "f1", []byte("v1")); err != nil || added != 1 {
+		t.Fatalf("HSet new = %d, %v", added, err)
+	}
+	if added, _ := n.HSet(p, k, "f1", []byte("v1b")); added != 0 {
+		t.Fatalf("HSet overwrite = %d", added)
+	}
+	n.HSet(p, k, "f2", []byte("v2"))
+
+	v, err := n.HGet(p, k, "f1")
+	if err != nil || string(v) != "v1b" {
+		t.Fatalf("HGet = %q, %v", v, err)
+	}
+	if _, err := n.HGet(p, k, "absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("HGet absent: %v", err)
+	}
+	if l, _ := n.HLen(p, k); l != 2 {
+		t.Fatalf("HLen = %d", l)
+	}
+	all, _ := n.HGetAll(p, k)
+	if len(all) != 2 || string(all["f2"]) != "v2" {
+		t.Fatalf("HGetAll = %v", all)
+	}
+	if removed, _ := n.HDel(p, k, "f1", "absent"); removed != 1 {
+		t.Fatalf("HDel = %d", removed)
+	}
+	if l, _ := n.HLen(p, k); l != 1 {
+		t.Fatalf("HLen after HDel = %d", l)
+	}
+	// Deleting the last field removes the key.
+	n.HDel(p, k, "f2")
+	if l, _ := n.HLen(p, k); l != 0 {
+		t.Fatalf("HLen after emptying = %d", l)
+	}
+}
+
+func TestHashOnMissingKey(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	if l, err := n.HLen(p, []byte("nope")); err != nil || l != 0 {
+		t.Fatalf("HLen = %d, %v", l, err)
+	}
+	if all, err := n.HGetAll(p, []byte("nope")); err != nil || len(all) != 0 {
+		t.Fatalf("HGetAll = %v, %v", all, err)
+	}
+	if removed, err := n.HDel(p, []byte("nope"), "f"); err != nil || removed != 0 {
+		t.Fatalf("HDel = %d, %v", removed, err)
+	}
+}
+
+func TestTenantStatsAndReset(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	n.Put(p, []byte("k"), []byte("v"), 0)
+	n.Get(p, []byte("k"))
+	st := n.TenantStats("t1")
+	if st.Success != 2 {
+		t.Fatalf("Success = %d", st.Success)
+	}
+	if st.RUUsed <= 0 {
+		t.Fatalf("RUUsed = %v", st.RUUsed)
+	}
+	if st.HitRatio() != 1 {
+		t.Fatalf("HitRatio = %v", st.HitRatio())
+	}
+	n.ResetTenantStats("t1")
+	if n.TenantStats("t1").Success != 0 {
+		t.Fatal("reset failed")
+	}
+	// Unknown tenant snapshot is zero-valued.
+	if n.TenantStats("nobody").Success != 0 {
+		t.Fatal("unknown tenant nonzero")
+	}
+}
+
+func TestNodeSnapshot(t *testing.T) {
+	n := newTestNode(t, Config{ID: "snap"})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	n.Put(pid("t1", 0), []byte("k"), bytes.Repeat([]byte("v"), 1000), 0)
+	s := n.Snapshot()
+	if s.ID != "snap" || s.Replicas != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.CacheUsed == 0 {
+		t.Fatal("cache empty after write-through put")
+	}
+}
+
+func TestMigrateTo(t *testing.T) {
+	src := newTestNode(t, Config{ID: "src"})
+	dst := newTestNode(t, Config{ID: "dst"})
+	src.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	for i := 0; i < 100; i++ {
+		src.Put(p, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)), 0)
+	}
+	if err := dst.AddReplica(rid("t1", 0, 0), 1000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.MigrateTo(p, dst); err != nil {
+		t.Fatal(err)
+	}
+	if src.HostsReplica(p) {
+		t.Fatal("source still hosts replica")
+	}
+	for i := 0; i < 100; i++ {
+		res, err := dst.Get(p, []byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(res.Value) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("dst key %d = %q, %v", i, res.Value, err)
+		}
+	}
+}
+
+func TestSetPartitionQuota(t *testing.T) {
+	n := newTestNode(t, Config{EnablePartitionQuota: true})
+	n.AddReplica(rid("t1", 0, 0), 1, true)
+	if err := n.SetPartitionQuota(pid("t1", 0), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Generous quota: no throttling now.
+	for i := 0; i < 100; i++ {
+		if _, err := n.Put(pid("t1", 0), []byte("k"), []byte("v"), 0); err != nil {
+			t.Fatalf("throttled after quota raise: %v", err)
+		}
+	}
+	if err := n.SetPartitionQuota(pid("zz", 9), 5); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoveReplica(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 100, true)
+	if err := n.RemoveReplica(pid("t1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RemoveReplica(pid("t1", 0)); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if len(n.Replicas()) != 0 {
+		t.Fatal("replica list not empty")
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 100000, true)
+	n.AddReplica(rid("t2", 0, 0), 100000, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := "t1"
+			if g%2 == 1 {
+				tenant = "t2"
+			}
+			p := pid(tenant, 0)
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("k%d", i%20))
+				if i%3 == 0 {
+					n.Put(p, k, []byte("v"), 0)
+				} else {
+					n.Get(p, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s1, s2 := n.TenantStats("t1"), n.TenantStats("t2")
+	if s1.Success+s1.Errors == 0 || s2.Success+s2.Errors == 0 {
+		t.Fatal("tenants did not both make progress")
+	}
+}
+
+func BenchmarkNodeGetCacheHit(b *testing.B) {
+	n := New(Config{ID: "bench", Cost: fastCost()})
+	defer n.Close()
+	n.AddReplica(rid("t1", 0, 0), 1e9, true)
+	p := pid("t1", 0)
+	n.Put(p, []byte("k"), bytes.Repeat([]byte("v"), 100), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Get(p, []byte("k"))
+	}
+}
+
+func BenchmarkNodePut(b *testing.B) {
+	n := New(Config{ID: "bench", Cost: fastCost()})
+	defer n.Close()
+	n.AddReplica(rid("t1", 0, 0), 1e9, true)
+	p := pid("t1", 0)
+	val := bytes.Repeat([]byte("v"), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Put(p, []byte(fmt.Sprintf("k%09d", i)), val, 0)
+	}
+}

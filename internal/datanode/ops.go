@@ -1,0 +1,424 @@
+package datanode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"abase/internal/lavastore"
+	"abase/internal/partition"
+	"abase/internal/ru"
+	"abase/internal/wfq"
+)
+
+// OpResult reports one completed operation.
+type OpResult struct {
+	Value    []byte
+	CacheHit bool
+	RU       float64
+	Latency  time.Duration
+}
+
+// Get reads key from the hosted replica of pid, flowing through the
+// full isolation pipeline.
+func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return OpResult{}, err
+	}
+	ts, est := n.tenantState(pid.Tenant)
+	estimate := est.EstimateReadRU()
+
+	start := n.cfg.Clock.Now()
+	ck := cacheKey(pid, key)
+	type outcome struct {
+		val []byte
+		hit bool
+		err error
+	}
+	var out outcome
+	done := make(chan struct{})
+	finish := func(o outcome) {
+		out = o
+		close(done)
+	}
+	task := &wfq.Task{
+		Tenant:     pid.Tenant,
+		Partition:  pid.String(),
+		Class:      wfq.ClassFor(false, int(est.ExpectedReadSize())),
+		RUCost:     estimate,
+		IOPSCost:   1,
+		QuotaShare: n.quotaShare(rep),
+	}
+	var res outcome
+	task.CPUStage = func() bool {
+		burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
+		if v, ok := n.cache.Get(ck); ok {
+			res = outcome{val: v, hit: true}
+			return false
+		}
+		return true // miss: proceed to the I/O layer
+	}
+	task.IOStage = func() {
+		got, err := rep.db.Get(key)
+		reads := got.IOReads
+		if reads < 1 {
+			reads = 1
+		}
+		burn(n.cfg.Clock, time.Duration(reads)*n.cfg.Cost.IOReadTime)
+		if err != nil {
+			if errors.Is(err, lavastore.ErrNotFound) {
+				res = outcome{err: ErrNotFound}
+			} else {
+				res = outcome{err: err}
+			}
+			return
+		}
+		n.cache.Put(ck, got.Value)
+		res = outcome{val: got.Value}
+	}
+	task.Done = func() { finish(res) }
+
+	// Request-queue stage: quota filtering happens here, so a flood of
+	// over-quota traffic occupies the queue workers (Figure 6).
+	queued := n.admit.submit(func() {
+		burn(n.cfg.Clock, n.cfg.AdmitCost)
+		if n.quotaOn.Load() && !rep.limiter.Allow(estimate) {
+			burn(n.cfg.Clock, n.cfg.RejectCost)
+			ts.throttled.Inc()
+			finish(outcome{err: ErrThrottled})
+			return
+		}
+		if !n.sched.Submit(task) {
+			finish(outcome{err: errors.New("datanode: scheduler closed")})
+		}
+	})
+	if !queued {
+		ts.errors.Inc()
+		return OpResult{}, ErrOverloaded
+	}
+	<-done
+
+	lat := n.cfg.Clock.Since(start)
+	if out.err != nil {
+		if errors.Is(out.err, ErrThrottled) {
+			return OpResult{Latency: lat}, out.err // counted as throttled already
+		}
+		if errors.Is(out.err, ErrNotFound) {
+			// Absent key still cost a lookup; observe size 0, miss.
+			est.ObserveRead(0, false)
+		}
+		ts.errors.Inc()
+		return OpResult{Latency: lat}, out.err
+	}
+	est.ObserveRead(len(out.val), out.hit)
+	charged := ru.ReadRU(len(out.val), boolTo01(out.hit))
+	ts.success.Inc()
+	ts.ruUsed.Add(charged)
+	ts.latency.Observe(lat)
+	if out.hit {
+		ts.cacheHits.Inc()
+	} else {
+		ts.cacheMiss.Inc()
+	}
+	return OpResult{Value: out.val, CacheHit: out.hit, RU: charged, Latency: lat}, nil
+}
+
+func boolTo01(hit bool) float64 {
+	if hit {
+		return 1
+	}
+	return 0
+}
+
+// Put writes key=value with an optional TTL on the primary replica and
+// replicates asynchronously.
+func (n *Node) Put(pid partition.ID, key, value []byte, ttl time.Duration) (OpResult, error) {
+	return n.write(pid, key, value, ttl, false)
+}
+
+// Delete removes key.
+func (n *Node) Delete(pid partition.ID, key []byte) (OpResult, error) {
+	return n.write(pid, key, nil, 0, true)
+}
+
+func (n *Node) write(pid partition.ID, key, value []byte, ttl time.Duration, del bool) (OpResult, error) {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return OpResult{}, err
+	}
+	ts, _ := n.tenantState(pid.Tenant)
+	cost := ru.WriteRU(len(value), n.cfg.Replicas)
+
+	start := n.cfg.Clock.Now()
+	ck := cacheKey(pid, key)
+	var opErr error
+	done := make(chan struct{})
+	finish := func(err error) {
+		opErr = err
+		close(done)
+	}
+	var ioErr error
+	task := &wfq.Task{
+		Tenant:     pid.Tenant,
+		Partition:  pid.String(),
+		Class:      wfq.ClassFor(true, len(value)),
+		RUCost:     cost,
+		IOPSCost:   1,
+		QuotaShare: n.quotaShare(rep),
+		CPUStage: func() bool {
+			burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
+			return true // writes always reach the I/O layer (WAL)
+		},
+		IOStage: func() {
+			burn(n.cfg.Clock, n.cfg.Cost.IOWriteTime)
+			if del {
+				ioErr = rep.db.Delete(key)
+				n.cache.Delete(ck)
+			} else {
+				ioErr = rep.db.Put(key, value, ttl)
+				// Write-through keeps the node cache coherent.
+				n.cache.Put(ck, value)
+			}
+		},
+	}
+	task.Done = func() { finish(ioErr) }
+
+	queued := n.admit.submit(func() {
+		burn(n.cfg.Clock, n.cfg.AdmitCost)
+		if n.quotaOn.Load() && !rep.limiter.Allow(cost) {
+			burn(n.cfg.Clock, n.cfg.RejectCost)
+			ts.throttled.Inc()
+			finish(ErrThrottled)
+			return
+		}
+		if !n.sched.Submit(task) {
+			finish(errors.New("datanode: write rejected (ceiling or closed)"))
+		}
+	})
+	if !queued {
+		ts.errors.Inc()
+		return OpResult{}, ErrOverloaded
+	}
+	<-done
+
+	lat := n.cfg.Clock.Since(start)
+	if opErr != nil {
+		if errors.Is(opErr, ErrThrottled) {
+			return OpResult{Latency: lat}, opErr
+		}
+		ts.errors.Inc()
+		return OpResult{Latency: lat}, opErr
+	}
+	n.replicator.Replicate(rep.id, key, value, ttl, del)
+	ts.success.Inc()
+	ts.ruUsed.Add(cost)
+	ts.latency.Observe(lat)
+	return OpResult{RU: cost, Latency: lat}, nil
+}
+
+// ApplyReplicated applies a replicated write on a follower replica,
+// bypassing quota and WFQ (replication traffic is system traffic).
+func (n *Node) ApplyReplicated(pid partition.ID, key, value []byte, ttl time.Duration, del bool) error {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return err
+	}
+	ck := cacheKey(pid, key)
+	if del {
+		n.cache.Delete(ck)
+		return rep.db.Delete(key)
+	}
+	n.cache.Put(ck, value)
+	return rep.db.Put(key, value, ttl)
+}
+
+// --- Hash (Redis hash) operations ---
+//
+// A hash is stored as a single encoded value under its key:
+// count uvarint, then per field: flen uvarint | field | vlen uvarint | value.
+// Complex-operation RU estimation decomposes HGetAll into HLen + scan
+// (§4.1).
+
+func encodeHash(m map[string][]byte) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	for f, v := range m {
+		buf = binary.AppendUvarint(buf, uint64(len(f)))
+		buf = append(buf, f...)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+func decodeHash(data []byte) (map[string][]byte, error) {
+	m := map[string][]byte{}
+	if len(data) == 0 {
+		return m, nil
+	}
+	count, s := binary.Uvarint(data)
+	if s <= 0 {
+		return nil, fmt.Errorf("datanode: corrupt hash header")
+	}
+	data = data[s:]
+	for i := uint64(0); i < count; i++ {
+		flen, s := binary.Uvarint(data)
+		if s <= 0 || uint64(len(data)) < uint64(s)+flen {
+			return nil, fmt.Errorf("datanode: corrupt hash field")
+		}
+		f := string(data[s : s+int(flen)])
+		data = data[s+int(flen):]
+		vlen, s2 := binary.Uvarint(data)
+		if s2 <= 0 || uint64(len(data)) < uint64(s2)+vlen {
+			return nil, fmt.Errorf("datanode: corrupt hash value")
+		}
+		m[f] = append([]byte(nil), data[s2:s2+int(vlen)]...)
+		data = data[s2+int(vlen):]
+	}
+	return m, nil
+}
+
+// HSet sets field=value in the hash at key, returning 1 if the field is
+// new and 0 if it overwrote.
+func (n *Node) HSet(pid partition.ID, key []byte, field string, value []byte) (int, error) {
+	res, err := n.Get(pid, key)
+	m := map[string][]byte{}
+	switch {
+	case err == nil:
+		if m, err = decodeHash(res.Value); err != nil {
+			return 0, err
+		}
+	case errors.Is(err, ErrNotFound):
+	default:
+		return 0, err
+	}
+	_, existed := m[field]
+	m[field] = value
+	if _, err := n.Put(pid, key, encodeHash(m), 0); err != nil {
+		return 0, err
+	}
+	if existed {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+// HGet returns the value of field in the hash at key.
+func (n *Node) HGet(pid partition.ID, key []byte, field string) ([]byte, error) {
+	res, err := n.Get(pid, key)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeHash(res.Value)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := m[field]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// HLen returns the number of fields in the hash at key. The observed
+// length feeds the complex-operation RU estimator.
+func (n *Node) HLen(pid partition.ID, key []byte) (int, error) {
+	res, err := n.Get(pid, key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	m, err := decodeHash(res.Value)
+	if err != nil {
+		return 0, err
+	}
+	_, est := n.tenantState(pid.Tenant)
+	est.ObserveCollectionLen(len(m))
+	return len(m), nil
+}
+
+// HGetAll returns all fields and values of the hash at key.
+func (n *Node) HGetAll(pid partition.ID, key []byte) (map[string][]byte, error) {
+	res, err := n.Get(pid, key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return map[string][]byte{}, nil
+		}
+		return nil, err
+	}
+	m, err := decodeHash(res.Value)
+	if err != nil {
+		return nil, err
+	}
+	_, est := n.tenantState(pid.Tenant)
+	est.ObserveCollectionLen(len(m))
+	return m, nil
+}
+
+// HDel removes fields from the hash at key, returning how many existed.
+func (n *Node) HDel(pid partition.ID, key []byte, fields ...string) (int, error) {
+	res, err := n.Get(pid, key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	m, err := decodeHash(res.Value)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, f := range fields {
+		if _, ok := m[f]; ok {
+			delete(m, f)
+			removed++
+		}
+	}
+	if removed > 0 {
+		if len(m) == 0 {
+			_, err = n.Delete(pid, key)
+		} else {
+			_, err = n.Put(pid, key, encodeHash(m), 0)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return removed, nil
+}
+
+// TTL returns the remaining time-to-live of key (lavastore.ErrNoTTL
+// mapped to ttl=0, found=true for keys without expiry).
+func (n *Node) TTL(pid partition.ID, key []byte) (time.Duration, bool, error) {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return 0, false, err
+	}
+	ttl, err := rep.db.TTL(key)
+	switch {
+	case err == nil:
+		return ttl, true, nil
+	case errors.Is(err, lavastore.ErrNoTTL):
+		return 0, true, nil
+	case errors.Is(err, lavastore.ErrNotFound):
+		return 0, false, ErrNotFound
+	default:
+		return 0, false, err
+	}
+}
+
+// Expire sets key's TTL, going through the full write pipeline so it
+// is charged and replicated like any write.
+func (n *Node) Expire(pid partition.ID, key []byte, ttl time.Duration) error {
+	res, err := n.Get(pid, key)
+	if err != nil {
+		return err
+	}
+	_, err = n.Put(pid, key, res.Value, ttl)
+	return err
+}

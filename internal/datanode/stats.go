@@ -1,0 +1,167 @@
+package datanode
+
+import (
+	"time"
+
+	"abase/internal/metrics"
+	"abase/internal/partition"
+	"abase/internal/wfq"
+)
+
+// TenantSnapshot is a point-in-time view of one tenant's service on
+// this node.
+type TenantSnapshot struct {
+	Tenant     string
+	Success    int64
+	Throttled  int64
+	Errors     int64
+	CacheHits  int64
+	CacheMiss  int64
+	RUUsed     float64
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+}
+
+// HitRatio returns the tenant's node-cache hit ratio.
+func (s TenantSnapshot) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// TenantStats returns the snapshot for one tenant.
+func (n *Node) TenantStats(tenant string) TenantSnapshot {
+	n.mu.RLock()
+	ts, ok := n.tenants[tenant]
+	n.mu.RUnlock()
+	if !ok {
+		return TenantSnapshot{Tenant: tenant}
+	}
+	return TenantSnapshot{
+		Tenant:     tenant,
+		Success:    ts.success.Value(),
+		Throttled:  ts.throttled.Value(),
+		Errors:     ts.errors.Value(),
+		CacheHits:  ts.cacheHits.Value(),
+		CacheMiss:  ts.cacheMiss.Value(),
+		RUUsed:     ts.ruUsed.Value(),
+		LatencyP50: ts.latency.Quantile(0.5),
+		LatencyP99: ts.latency.Quantile(0.99),
+	}
+}
+
+// ResetTenantStats zeroes one tenant's counters (experiment windows).
+func (n *Node) ResetTenantStats(tenant string) {
+	n.mu.RLock()
+	ts, ok := n.tenants[tenant]
+	n.mu.RUnlock()
+	if !ok {
+		return
+	}
+	ts.success.Reset()
+	ts.throttled.Reset()
+	ts.errors.Reset()
+	ts.cacheHits.Reset()
+	ts.cacheMiss.Reset()
+	ts.ruUsed.Set(0)
+	ts.latency.Reset()
+}
+
+// NodeSnapshot summarizes node-level load for the control plane.
+type NodeSnapshot struct {
+	ID           string
+	Replicas     int
+	DiskUsed     int64
+	DiskCapacity int64
+	RUCapacity   float64
+	CacheUsed    int64
+	CacheHit     float64
+}
+
+// Snapshot returns node-level load and capacity.
+func (n *Node) Snapshot() NodeSnapshot {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var disk int64
+	for _, r := range n.replicas {
+		st := r.db.Stats()
+		disk += st.TableBytes + st.MemtableBytes
+	}
+	return NodeSnapshot{
+		ID:           n.cfg.ID,
+		Replicas:     len(n.replicas),
+		DiskUsed:     disk,
+		DiskCapacity: n.cfg.DiskCapacity,
+		RUCapacity:   n.cfg.RUCapacity,
+		CacheUsed:    n.cache.Used(),
+		CacheHit:     n.cache.HitRatio(),
+	}
+}
+
+// ReplicaDiskUsed returns the bytes used by one hosted replica.
+func (n *Node) ReplicaDiskUsed(pid partition.ID) int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	rep, ok := n.replicas[pid]
+	if !ok {
+		return 0
+	}
+	st := rep.db.Stats()
+	return st.TableBytes + st.MemtableBytes
+}
+
+// ScanReplica iterates a hosted replica's live key/value pairs in key
+// order. fn returning false stops the scan.
+func (n *Node) ScanReplica(pid partition.ID, fn func(key, value []byte) bool) error {
+	n.mu.RLock()
+	rep, ok := n.replicas[pid]
+	n.mu.RUnlock()
+	if !ok {
+		return ErrNoPartition
+	}
+	return rep.db.Scan(fn)
+}
+
+// CopyReplicaTo streams a hosted replica's live data into dst (which
+// must already host the replica via AddReplica). The source keeps
+// serving; this is the replica-repair data path (§3.3).
+func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
+	n.mu.RLock()
+	rep, ok := n.replicas[pid]
+	n.mu.RUnlock()
+	if !ok {
+		return ErrNoPartition
+	}
+	return rep.db.Scan(func(key, value []byte) bool {
+		k := append([]byte(nil), key...)
+		v := append([]byte(nil), value...)
+		return dst.ApplyReplicated(pid, k, v, 0, false) == nil
+	})
+}
+
+// MigrateTo copies a hosted replica's live data into dst (which must
+// already host the replica via AddReplica) and removes it here. This is
+// the data path the rescheduler's Migration() step uses.
+func (n *Node) MigrateTo(pid partition.ID, dst *Node) error {
+	if err := n.CopyReplicaTo(pid, dst); err != nil {
+		return err
+	}
+	return n.RemoveReplica(pid)
+}
+
+// Scheduler exposes the node's WFQ scheduler for observability.
+func (n *Node) Scheduler() *wfq.Scheduler { return n.sched }
+
+// CacheHistogram exposes a tenant's latency histogram for experiment
+// reporting (nil if the tenant is unknown).
+func (n *Node) CacheHistogram(tenant string) *metrics.Histogram {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ts, ok := n.tenants[tenant]
+	if !ok {
+		return nil
+	}
+	return ts.latency
+}

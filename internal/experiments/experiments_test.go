@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"abase/internal/sim"
+)
+
+func TestTableFprint(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "333", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, tbl := Figure6(Figure6Opts{PhaseDur: 900 * time.Millisecond})
+	if len(res) != 3 {
+		t.Fatalf("phases = %d", len(res))
+	}
+	base, burst, proxied := res[0], res[1], res[2]
+	// Baseline healthy.
+	if base.T2.SuccessQPS < base.T1.SuccessQPS*0.5 {
+		t.Fatalf("baseline imbalanced: %+v", base)
+	}
+	// Burst without proxy: T2 collapses.
+	if burst.T2.SuccessQPS > 0.4*base.T2.SuccessQPS {
+		t.Fatalf("T2 did not collapse under burst: %.1f vs base %.1f",
+			burst.T2.SuccessQPS, base.T2.SuccessQPS)
+	}
+	if burst.T1.ErrorQPS == 0 {
+		t.Fatal("burst produced no errors")
+	}
+	// Proxy on: T2 recovers.
+	if proxied.T2.SuccessQPS < 0.8*base.T2.SuccessQPS {
+		t.Fatalf("T2 did not recover with proxy: %.1f vs base %.1f",
+			proxied.T2.SuccessQPS, base.T2.SuccessQPS)
+	}
+	if proxied.T2.ErrorQPS > burst.T2.ErrorQPS {
+		t.Fatal("proxy did not reduce T2 errors")
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatal("table rows wrong")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, _ := Figure7(Figure7Opts{PhaseDur: 900 * time.Millisecond})
+	base, burst, quota := res[0], res[1], res[2]
+	// Burst: T1 latency inflates by at least ~10×; T2 latency held.
+	if burst.T1.P99 < 10*base.T1.P99 {
+		t.Fatalf("T1 latency did not inflate: %v vs base %v", burst.T1.P99, base.T1.P99)
+	}
+	if burst.T2.P99 > 5*base.T2.P99 {
+		t.Fatalf("WFQ failed to protect T2 latency: %v vs base %v", burst.T2.P99, base.T2.P99)
+	}
+	// T2 keeps succeeding through the burst.
+	if burst.T2.SuccessQPS < 0.7*base.T2.SuccessQPS {
+		t.Fatalf("T2 starved: %.1f", burst.T2.SuccessQPS)
+	}
+	// Partition quota: T1 success capped well below the burst, with
+	// rejected error QPS appearing.
+	if quota.T1.SuccessQPS > 0.8*burst.T1.SuccessQPS {
+		t.Fatalf("partition quota did not cap T1: %.1f vs %.1f",
+			quota.T1.SuccessQPS, burst.T1.SuccessQPS)
+	}
+	if quota.T1.ErrorQPS == 0 {
+		t.Fatal("partition quota produced no rejections")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, tbl := Table1(Table1Opts{Ops: 1500})
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Profile.Workload] = r
+	}
+	// Hit-ratio ordering: search ≫ ads.
+	search := byName["Forward sorted data"]
+	ads := byName["For message joiner"]
+	if search.MeasuredHR <= ads.MeasuredHR {
+		t.Fatalf("hit ordering broken: search %.2f vs ads %.2f",
+			search.MeasuredHR, ads.MeasuredHR)
+	}
+	// Read ratios close to spec.
+	if ads.ReadRatio > 0.4 {
+		t.Fatalf("ads read ratio = %.2f, want ≈0.25", ads.ReadRatio)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatal("table rows wrong")
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	scs, _ := Figure5(Figure5Opts{OpsPerWindow: 800})
+	if len(scs) != 5 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	get := func(name string) Fig5Scenario {
+		for _, s := range scs {
+			if strings.HasPrefix(s.Name, name) {
+				return s
+			}
+		}
+		t.Fatalf("scenario %s missing", name)
+		return Fig5Scenario{}
+	}
+	first := func(s Fig5Scenario) Fig5Window { return s.Windows[1] } // skip warmup window 0
+	last := func(s Fig5Scenario) Fig5Window { return s.Windows[len(s.Windows)-1] }
+
+	// (a) hit stays high after QPS rises.
+	a := get("(a)")
+	if last(a).HitRatio < first(a).HitRatio-0.15 {
+		t.Fatalf("(a) hit dropped: %.2f → %.2f", first(a).HitRatio, last(a).HitRatio)
+	}
+	// (b) hit drops markedly.
+	b := get("(b)")
+	if last(b).HitRatio > first(b).HitRatio-0.10 {
+		t.Fatalf("(b) hit did not drop: %.2f → %.2f", first(b).HitRatio, last(b).HitRatio)
+	}
+	// (c) hot keys: hit rises.
+	c := get("(c)")
+	if last(c).HitRatio < first(c).HitRatio {
+		t.Fatalf("(c) hit did not rise: %.2f → %.2f", first(c).HitRatio, last(c).HitRatio)
+	}
+	// (e) mid-run collapse then recovery.
+	e := get("(e)")
+	mid := e.Windows[len(e.Windows)/2]
+	if mid.HitRatio > 0.4 {
+		t.Fatalf("(e) cold scan did not collapse hit: %.2f", mid.HitRatio)
+	}
+	if last(e).HitRatio < 0.4 {
+		t.Fatalf("(e) hit did not recover: %.2f", last(e).HitRatio)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, _ := Table2(Table2Opts{Ops: 8000, ProxyScale: 50})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.HitAfter <= r.HitBefore {
+			t.Fatalf("%s: grouping did not raise hit ratio (%.2f → %.2f)",
+				r.Tenant, r.HitBefore, r.HitAfter)
+		}
+		if r.RUSaving <= 0 {
+			t.Fatalf("%s: no RU saving (%.2f)", r.Tenant, r.RUSaving)
+		}
+	}
+}
+
+func TestFigure8aShape(t *testing.T) {
+	points, _ := Figure8a()
+	if len(points) != 21 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The quota must rise before usage crosses it.
+	throttled := 0
+	for _, p := range points {
+		if p.Usage > p.Quota {
+			throttled++
+		}
+	}
+	if throttled > 0 {
+		t.Fatalf("%d days throttled despite predictive scaling", throttled)
+	}
+	if points[20].Quota <= points[0].Quota {
+		t.Fatal("quota never raised despite growth")
+	}
+}
+
+func TestFigure8bShape(t *testing.T) {
+	weeks, tbl := Figure8b(sim.OncallConfig{Tenants: 40, Weeks: 16, DeployWeek: 8, Seed: 2})
+	if len(weeks) != 16 {
+		t.Fatalf("weeks = %d", len(weeks))
+	}
+	before, after, reduction := sim.OncallReduction(weeks)
+	if before == 0 || reduction < 0.4 {
+		t.Fatalf("oncall reduction %.0f%% (before %.1f after %.1f)", reduction*100, before, after)
+	}
+	if len(tbl.Notes) == 0 {
+		t.Fatal("missing summary note")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, _ := Figure9(Figure9Opts{Nodes: 150, Tenants: 60})
+	if res.RUReduction < 0.5 {
+		t.Fatalf("RU std reduction %.0f%%, want ≥50%%", res.RUReduction*100)
+	}
+	if res.StoVarReduct < 0.5 {
+		t.Fatalf("storage variance reduction %.0f%%", res.StoVarReduct*100)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("no migrations")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	on, off, _ := Figure10(Figure10Opts{Nodes: 40, Tenants: 25, Hours: 48})
+	gapOn := avgGapSamples(on[24:])
+	gapOff := avgGapSamples(off[24:])
+	if gapOn >= gapOff {
+		t.Fatalf("rescheduling did not shrink gap: %.3f vs %.3f", gapOn, gapOff)
+	}
+}
+
+func TestUtilizationShape(t *testing.T) {
+	pre, multi, _ := UtilizationComparison(100, 5)
+	if multi.CPU < 1.5*pre.CPU {
+		t.Fatalf("CPU utilization did not improve enough: %.2f vs %.2f", pre.CPU, multi.CPU)
+	}
+	if multi.Machines >= pre.Machines {
+		t.Fatal("multi-tenant needs as many machines as single-tenant")
+	}
+}
+
+func TestFigure34Shape(t *testing.T) {
+	res, tbl := Figure34(Figure34Opts{Tenants: 150, ServedTenants: 8, OpsPerTenant: 200})
+	if res.HitP50 < 0.7 {
+		t.Fatalf("hit p50 = %.2f, want concentrated near 1", res.HitP50)
+	}
+	if res.KVP99 < 10*res.KVP50 {
+		t.Fatalf("KV tail not heavy: p50=%.0f p99=%.0f", res.KVP50, res.KVP99)
+	}
+	// Latency-to-SLA must stay below 1 (SLA met) for the served sample.
+	if res.LatencyToSLAMax > 1 {
+		t.Fatalf("SLA violated: max ratio %.2f", res.LatencyToSLAMax)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatal("table rows wrong")
+	}
+}
+
+func TestAblationSALRUShape(t *testing.T) {
+	tbl := AblationSALRU(20000)
+	if len(tbl.Rows) != 2 {
+		t.Fatal("rows wrong")
+	}
+}
+
+func TestAblationForecastShape(t *testing.T) {
+	tbl := AblationForecast()
+	if len(tbl.Rows) != 4 {
+		t.Fatal("rows wrong")
+	}
+}
+
+func TestAblationActiveUpdateShape(t *testing.T) {
+	tbl := AblationActiveUpdate()
+	if len(tbl.Rows) != 2 {
+		t.Fatal("rows wrong")
+	}
+}
+
+func TestAblationFanoutShape(t *testing.T) {
+	tbl := AblationFanout(6000)
+	if len(tbl.Rows) != 5 {
+		t.Fatal("rows wrong")
+	}
+}
+
+func TestAblationVFTShape(t *testing.T) {
+	tbl := AblationVFT()
+	if len(tbl.Rows) != 2 {
+		t.Fatal("rows wrong")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abase/internal/sim"
+)
+
+// Fig9Result summarizes the offline rescheduling experiment.
+type Fig9Result struct {
+	Nodes          int
+	Migrations     int
+	RUStdBefore    float64
+	RUStdAfter     float64
+	StoStdBefore   float64
+	StoStdAfter    float64
+	RUReduction    float64
+	StoVarReduct   float64 // variance reduction (paper reports variance for storage)
+	MaxRUUtilAfter float64
+}
+
+// Figure9Opts scales the offline rescheduling experiment.
+type Figure9Opts struct {
+	// Nodes in the pool (paper: 1000).
+	Nodes int
+	// Tenants in the pool.
+	Tenants int
+	Seed    int64
+}
+
+// Figure9 reproduces the offline rescheduling experiment (§6.4,
+// Figure 9): a pool with dispersed per-node RU and storage utilization
+// is rebalanced by Algorithm 2. Paper: −74.5% RU standard deviation,
+// −84.8% storage variance.
+func Figure9(opts Figure9Opts) (Fig9Result, Table) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1000
+	}
+	if opts.Tenants <= 0 {
+		opts.Tenants = opts.Nodes / 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 9
+	}
+	tenants := sim.RandomTenants(opts.Tenants, opts.Seed)
+	pool := sim.BuildPool(tenants, sim.BuildSpec{
+		Nodes:      opts.Nodes,
+		NodeRUCap:  400,
+		NodeStoCap: 500,
+		Placement:  sim.PlacementSkewed,
+		Seed:       opts.Seed,
+	})
+	ruB, stoB := pool.StdDevs()
+	ms := pool.BalanceReplicaCounts()
+	ms = append(ms, pool.RescheduleToConvergence(0.02, 400)...)
+	ruA, stoA := pool.StdDevs()
+	maxU, _ := pool.MaxAvgRUUtil()
+	res := Fig9Result{
+		Nodes:          opts.Nodes,
+		Migrations:     len(ms),
+		RUStdBefore:    ruB,
+		RUStdAfter:     ruA,
+		StoStdBefore:   stoB,
+		StoStdAfter:    stoA,
+		RUReduction:    1 - ruA/ruB,
+		StoVarReduct:   1 - (stoA*stoA)/(stoB*stoB),
+		MaxRUUtilAfter: maxU,
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Figure 9: offline rescheduling of a %d-DataNode pool", opts.Nodes),
+		Header: []string{"metric", "before", "after", "reduction", "paper"},
+		Rows: [][]string{
+			{"RU util std dev", f(res.RUStdBefore), f(res.RUStdAfter), pct(res.RUReduction), "74.5%"},
+			{"storage util variance", f(res.StoStdBefore * res.StoStdBefore),
+				f(res.StoStdAfter * res.StoStdAfter), pct(res.StoVarReduct), "84.8%"},
+		},
+		Notes: []string{fmt.Sprintf("%d migrations to convergence", res.Migrations)},
+	}
+	return res, t
+}
+
+// Figure10Opts scales the online rescheduling experiment.
+type Figure10Opts struct {
+	Nodes   int
+	Tenants int
+	Hours   int
+	Seed    int64
+}
+
+// Figure10 reproduces the online rescheduling experiment (§6.4,
+// Figure 10): with the rescheduler running periodically against
+// drifting tenant load, the maximum per-node RU utilization converges
+// toward the pool average; without it the gap persists.
+func Figure10(opts Figure10Opts) ([]sim.Sample, []sim.Sample, Table) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 100
+	}
+	if opts.Tenants <= 0 {
+		opts.Tenants = 50
+	}
+	if opts.Hours <= 0 {
+		opts.Hours = 96
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 10
+	}
+	tenants := sim.RandomTenants(opts.Tenants, opts.Seed)
+	mk := func() *sim.OnlineSim {
+		pool := sim.BuildPool(tenants, sim.BuildSpec{
+			Nodes:      opts.Nodes,
+			NodeRUCap:  600,
+			NodeStoCap: 2000,
+			Placement:  sim.PlacementSkewed,
+			Seed:       opts.Seed,
+		})
+		return sim.NewOnlineSim(pool, opts.Seed)
+	}
+	withResched := mk().RunOnline(opts.Hours, 1, true, 0.02)
+	without := mk().RunOnline(opts.Hours, 1, false, 0.02)
+
+	t := Table{
+		Title:  "Figure 10: online rescheduling — max vs avg RU utilization over time",
+		Header: []string{"hour", "max (resched)", "avg (resched)", "max (none)", "avg (none)"},
+	}
+	step := opts.Hours / 12
+	if step < 1 {
+		step = 1
+	}
+	for h := 0; h < opts.Hours; h += step {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(h),
+			pct(withResched[h].Max), pct(withResched[h].Avg),
+			pct(without[h].Max), pct(without[h].Avg),
+		})
+	}
+	gapOn := avgGapSamples(withResched[opts.Hours/2:])
+	gapOff := avgGapSamples(without[opts.Hours/2:])
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"steady-state max−avg gap: %.3f with rescheduling vs %.3f without (target: max converges toward avg)",
+		gapOn, gapOff))
+	return withResched, without, t
+}
+
+func avgGapSamples(ss []sim.Sample) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	var g float64
+	for _, s := range ss {
+		g += s.Max - s.Avg
+	}
+	return g / float64(len(ss))
+}
+
+// UtilizationComparison reproduces the §6.4 production utilization
+// numbers: single-tenant ABase-Pre (CPU/Mem/Disk 17%/52%/27%) versus
+// multi-tenant ABase (44%/63%/46%).
+func UtilizationComparison(tenants int, seed int64) (sim.Utilization, sim.Utilization, Table) {
+	if tenants <= 0 {
+		tenants = 150
+	}
+	if seed == 0 {
+		seed = 6
+	}
+	demands := sim.DemandsFromTenants(sim.RandomTenants(tenants, seed))
+	m := sim.MachineSpec{CPU: 1200, Mem: 220, Disk: 4500}
+	pre := sim.PreUtilization(demands, m)
+	multi := sim.MultiUtilization(demands, m)
+	t := Table{
+		Title:  "§6.4: machine utilization, single-tenant ABase-Pre vs multi-tenant ABase",
+		Header: []string{"dimension", "ABase-Pre", "ABase (multi-tenant)", "paper Pre", "paper ABase"},
+		Rows: [][]string{
+			{"CPU", pct(pre.CPU), pct(multi.CPU), "17%", "44%"},
+			{"Memory", pct(pre.Mem), pct(multi.Mem), "52%", "63%"},
+			{"Disk", pct(pre.Disk), pct(multi.Disk), "27%", "46%"},
+			{"machines", fmt.Sprint(pre.Machines), fmt.Sprint(multi.Machines), "-", "-"},
+		},
+		Notes: []string{"shape target: pooling roughly doubles CPU and disk utilization with fewer machines"},
+	}
+	return pre, multi, t
+}

@@ -1,0 +1,170 @@
+package forecast
+
+import (
+	"math"
+)
+
+// Result is the output of the ensemble forecaster.
+type Result struct {
+	// Values are the forecast samples for the horizon.
+	Values []float64
+	// Max is the forecast maximum, U_max in Algorithm 1.
+	Max float64
+	// Period is the detected (snapped) seasonal period, 0 if none.
+	Period int
+	// WeightProphet and WeightHistAvg are the ensemble weights used.
+	WeightProphet float64
+	WeightHistAvg float64
+	// BurstFallback reports that the non-periodic-burst rule replaced
+	// the model forecast with recent history (§5.2 Issue 3).
+	BurstFallback bool
+	// ChangePoint is the history index the fit was truncated at.
+	ChangePoint int
+}
+
+// Options tunes the ensemble forecaster.
+type Options struct {
+	// SamplesPerDay is the sampling rate (24 for the hourly series the
+	// autoscaler uses).
+	SamplesPerDay int
+	// Quota is the parallel quota series for multi-metric denoising
+	// (may be nil).
+	Quota []float64
+	// MinStrength is the PSD strength below which the series is treated
+	// as aperiodic. Default 3.
+	MinStrength float64
+}
+
+// Predict runs the full ABase forecasting pipeline over the history and
+// returns forecasts for the next horizon samples:
+//
+//  1. preprocess: multi-metric denoise, sporadic-peak removal,
+//     change-point truncation;
+//  2. detect periodicity via PSD;
+//  3. fit prophet-lite and historical-average, weight them by inverse
+//     in-sample error (backtest on the trailing 20%);
+//  4. non-periodic-burst fallback: if the blended forecast's max is far
+//     below the recent observed max, adopt the most recent period's
+//     history as the forecast.
+func Predict(history []float64, horizon int, opt Options) Result {
+	if opt.SamplesPerDay <= 0 {
+		opt.SamplesPerDay = 24
+	}
+	if opt.MinStrength <= 0 {
+		opt.MinStrength = 3
+	}
+	if horizon <= 0 || len(history) == 0 {
+		return Result{Values: make([]float64, horizon)}
+	}
+
+	// Preprocessing (Issue 1).
+	vs := DenoiseWithQuota(history, opt.Quota)
+	vs = RemoveSporadicPeaks(vs, opt.SamplesPerDay)
+	cp := DetectChangePoint(vs)
+	fitHist := vs[cp:]
+
+	// Periodicity (Issue 2). Periods shorter than a quarter-day are
+	// spectral noise for the workloads ABase forecasts, not real cycles.
+	period, strength := DetectPeriod(fitHist)
+	if strength < opt.MinStrength || period < opt.SamplesPerDay/4 {
+		period = 0
+	} else {
+		period = SnapPeriod(period)
+	}
+
+	// Fit both models on the (possibly truncated) history.
+	pl := &ProphetLite{Period: period}
+	pl.Fit(fitHist)
+	ha := &HistoricalAverage{Period: period}
+	ha.Fit(fitHist)
+
+	// Backtest on the trailing 20% to derive ensemble weights.
+	tail := len(fitHist) / 5
+	if tail < 4 {
+		tail = min(4, len(fitHist))
+	}
+	var errP, errH float64
+	for t := len(fitHist) - tail; t < len(fitHist); t++ {
+		errP += math.Abs(pl.FittedAt(t) - fitHist[t])
+		errH += math.Abs(ha.FittedAt(t) - fitHist[t])
+	}
+	wP, wH := inverseErrorWeights(errP, errH)
+
+	predP := pl.Predict(horizon)
+	predH := ha.Predict(horizon)
+	out := make([]float64, horizon)
+	for i := range out {
+		v := wP*predP[i] + wH*predH[i]
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+
+	res := Result{
+		Values:        out,
+		Max:           maxOf(out),
+		Period:        period,
+		WeightProphet: wP,
+		WeightHistAvg: wH,
+		ChangePoint:   cp,
+	}
+
+	// Non-periodic-burst fallback (Issue 3): daily peaks at varying
+	// times produce forecasts well below historical peaks; don't let
+	// that trigger a downscale. Compare against the recent window max.
+	recent := recentWindow(vs, period, opt.SamplesPerDay)
+	recentMax := maxOf(recent)
+	if res.Max < 0.8*recentMax {
+		fall := make([]float64, horizon)
+		for i := range fall {
+			fall[i] = recent[i%len(recent)]
+		}
+		res.Values = fall
+		res.Max = recentMax
+		res.BurstFallback = true
+	}
+	return res
+}
+
+// recentWindow returns the last period's samples, and at least the last
+// day's, so daily bursts are always represented.
+func recentWindow(vs []float64, period, samplesPerDay int) []float64 {
+	w := period
+	if w < samplesPerDay {
+		w = samplesPerDay
+	}
+	if w > len(vs) {
+		w = len(vs)
+	}
+	if w == 0 {
+		return []float64{0}
+	}
+	return vs[len(vs)-w:]
+}
+
+func inverseErrorWeights(errA, errB float64) (wA, wB float64) {
+	const eps = 1e-9
+	ia, ib := 1/(errA+eps), 1/(errB+eps)
+	return ia / (ia + ib), ib / (ia + ib)
+}
+
+func maxOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

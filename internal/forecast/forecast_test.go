@@ -1,0 +1,296 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds n hourly samples: base + amp·sin(2πt/period) + trend·t + noise.
+func synth(n, period int, base, amp, trend, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for t := range out {
+		v := base + trend*float64(t)
+		if period > 0 {
+			v += amp * math.Sin(2*math.Pi*float64(t)/float64(period))
+		}
+		v += noise * rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		out[t] = v
+	}
+	return out
+}
+
+func TestDetectPeriodDaily(t *testing.T) {
+	vs := synth(720, 24, 100, 30, 0, 1, 1) // 30 days hourly, daily cycle
+	p, strength := DetectPeriod(vs)
+	if p < 22 || p > 26 {
+		t.Fatalf("period = %d, want ≈24", p)
+	}
+	if strength < 3 {
+		t.Fatalf("strength = %v, want strong", strength)
+	}
+}
+
+func TestDetectPeriodWeekly(t *testing.T) {
+	vs := synth(720, 168, 100, 30, 0, 1, 2)
+	p, _ := DetectPeriod(vs)
+	if SnapPeriod(p) != 168 {
+		t.Fatalf("period = %d (snapped %d), want 168", p, SnapPeriod(p))
+	}
+}
+
+func TestDetectPeriodAperiodic(t *testing.T) {
+	vs := synth(720, 0, 100, 0, 0, 5, 3) // pure noise
+	_, strength := DetectPeriod(vs)
+	if strength > 10 {
+		t.Fatalf("noise got strength %v", strength)
+	}
+}
+
+func TestDetectPeriodShortSeries(t *testing.T) {
+	if p, s := DetectPeriod([]float64{1, 2, 3}); p != 0 || s != 0 {
+		t.Fatal("short series should be aperiodic")
+	}
+}
+
+func TestSnapPeriod(t *testing.T) {
+	cases := map[int]int{23: 24, 25: 24, 84: 84, 80: 84, 160: 168, 50: 50, 0: 0}
+	for in, want := range cases {
+		if got := SnapPeriod(in); got != want {
+			t.Errorf("SnapPeriod(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestDenoiseWithQuota(t *testing.T) {
+	usage := make([]float64, 100)
+	quotaSeries := make([]float64, 100)
+	for i := range usage {
+		usage[i] = 100
+		quotaSeries[i] = 200
+	}
+	// Simultaneous spike at 50 → noise; usage-only spike at 70 → real.
+	usage[50], quotaSeries[50] = 10000, 20000
+	usage[70] = 10000
+	out := DenoiseWithQuota(usage, quotaSeries)
+	if out[50] > 200 {
+		t.Fatalf("simultaneous spike not filtered: %v", out[50])
+	}
+	if out[70] != 10000 {
+		t.Fatalf("genuine burst filtered: %v", out[70])
+	}
+}
+
+func TestDenoiseWithoutQuota(t *testing.T) {
+	usage := []float64{1, 2, 3}
+	out := DenoiseWithQuota(usage, nil)
+	for i := range usage {
+		if out[i] != usage[i] {
+			t.Fatal("nil quota must be a no-op")
+		}
+	}
+}
+
+func TestRemoveSporadicPeaks(t *testing.T) {
+	// 15 days hourly, flat at 100 with one spike on day 12.
+	vs := make([]float64, 15*24)
+	for i := range vs {
+		vs[i] = 100
+	}
+	vs[12*24+5] = 5000
+	out := RemoveSporadicPeaks(vs, 24)
+	if out[12*24+5] > 200 {
+		t.Fatalf("sporadic peak survived: %v", out[12*24+5])
+	}
+}
+
+func TestRecurringPeaksKept(t *testing.T) {
+	// Peaks every day at hour 5 → not sporadic, keep them.
+	vs := make([]float64, 15*24)
+	for i := range vs {
+		vs[i] = 100
+		if i%24 == 5 {
+			vs[i] = 5000
+		}
+	}
+	out := RemoveSporadicPeaks(vs, 24)
+	if out[12*24+5] != 5000 {
+		t.Fatalf("recurring peak flattened: %v", out[12*24+5])
+	}
+}
+
+func TestDetectChangePoint(t *testing.T) {
+	// Mean shifts from 100 to 500 at index 200.
+	vs := make([]float64, 400)
+	for i := range vs {
+		if i < 200 {
+			vs[i] = 100
+		} else {
+			vs[i] = 500
+		}
+	}
+	cp := DetectChangePoint(vs)
+	if cp < 150 || cp > 250 {
+		t.Fatalf("changepoint = %d, want ≈200", cp)
+	}
+}
+
+func TestDetectChangePointStable(t *testing.T) {
+	vs := synth(400, 24, 100, 10, 0, 1, 4)
+	if cp := DetectChangePoint(vs); cp != 0 {
+		t.Fatalf("stable series got changepoint %d", cp)
+	}
+}
+
+func TestProphetLiteFitsTrendAndSeason(t *testing.T) {
+	vs := synth(720, 24, 100, 20, 0.1, 0.5, 5)
+	pl := &ProphetLite{Period: 24}
+	pl.Fit(vs)
+	pred := pl.Predict(168)
+	// The trend continues: prediction at the end of next week should be
+	// near base + trend·(720+168) = 100 + 88.8 ≈ 189 ± seasonal 20.
+	last := pred[len(pred)-1]
+	if last < 140 || last < vs[len(vs)-1]*0.8 {
+		t.Fatalf("trend not extrapolated: last pred = %v", last)
+	}
+	// Seasonality present: prediction should oscillate.
+	minP, maxP := pred[0], pred[0]
+	for _, v := range pred {
+		if v < minP {
+			minP = v
+		}
+		if v > maxP {
+			maxP = v
+		}
+	}
+	if maxP-minP < 15 {
+		t.Fatalf("seasonal amplitude lost: range %v", maxP-minP)
+	}
+}
+
+func TestProphetLiteEmpty(t *testing.T) {
+	pl := &ProphetLite{}
+	pl.Fit(nil)
+	pred := pl.Predict(5)
+	for _, v := range pred {
+		if v != 0 {
+			t.Fatal("empty fit should predict zeros")
+		}
+	}
+}
+
+func TestHistoricalAverage(t *testing.T) {
+	// Two perfect cycles of [10, 20, 30].
+	vs := []float64{10, 20, 30, 10, 20, 30}
+	ha := &HistoricalAverage{Period: 3}
+	ha.Fit(vs)
+	pred := ha.Predict(3)
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if math.Abs(pred[i]-want[i]) > 1e-9 {
+			t.Fatalf("pred = %v", pred)
+		}
+	}
+}
+
+func TestHistoricalAverageAperiodic(t *testing.T) {
+	ha := &HistoricalAverage{Period: 0}
+	ha.Fit([]float64{10, 20, 30})
+	if got := ha.Predict(2)[0]; got != 20 {
+		t.Fatalf("mean prediction = %v", got)
+	}
+}
+
+func TestEnsemblePredictPeriodicWithTrend(t *testing.T) {
+	vs := synth(720, 24, 100, 20, 0.05, 1, 7)
+	res := Predict(vs, 168, Options{SamplesPerDay: 24})
+	if res.Period != 24 {
+		t.Fatalf("period = %d", res.Period)
+	}
+	if len(res.Values) != 168 {
+		t.Fatalf("horizon = %d", len(res.Values))
+	}
+	// Increasing trend → forecast max above history's recent mean.
+	recentMean, _ := meanStd(vs[600:])
+	if res.Max < recentMean {
+		t.Fatalf("Max = %v below recent mean %v", res.Max, recentMean)
+	}
+	if w := res.WeightProphet + res.WeightHistAvg; math.Abs(w-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", w)
+	}
+}
+
+func TestEnsembleBurstFallback(t *testing.T) {
+	// Daily peaks at random hours (non-periodic bursts, Issue 3): the
+	// forecast max must not fall far below recent peaks.
+	rng := rand.New(rand.NewSource(9))
+	vs := make([]float64, 720)
+	for d := 0; d < 30; d++ {
+		for h := 0; h < 24; h++ {
+			vs[d*24+h] = 100
+		}
+		vs[d*24+rng.Intn(24)] = 1000 // one peak per day, varying hour
+	}
+	res := Predict(vs, 168, Options{SamplesPerDay: 24})
+	if res.Max < 800 {
+		t.Fatalf("burst max underforecast: %v (fallback=%v)", res.Max, res.BurstFallback)
+	}
+}
+
+func TestEnsembleEmptyHistory(t *testing.T) {
+	res := Predict(nil, 10, Options{})
+	if len(res.Values) != 10 || res.Max != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEnsembleNonNegative(t *testing.T) {
+	// Sharply decreasing series must not forecast below zero.
+	vs := make([]float64, 200)
+	for i := range vs {
+		vs[i] = math.Max(0, 1000-10*float64(i))
+	}
+	res := Predict(vs, 100, Options{SamplesPerDay: 24})
+	for _, v := range res.Values {
+		if v < 0 {
+			t.Fatalf("negative forecast %v", v)
+		}
+	}
+}
+
+func TestEnsembleForecastAccuracy(t *testing.T) {
+	// Train on 30 days, evaluate on the generator's next 7 days: the
+	// relative error of the max should be modest for clean seasonality.
+	full := synth(888, 24, 200, 50, 0.02, 2, 11)
+	train, test := full[:720], full[720:]
+	res := Predict(train, 168, Options{SamplesPerDay: 24})
+	trueMax := maxOf(test)
+	rel := math.Abs(res.Max-trueMax) / trueMax
+	if rel > 0.25 {
+		t.Fatalf("max forecast error %.0f%% (pred %v, true %v)", rel*100, res.Max, trueMax)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	// Singular system returns zeros instead of NaNs.
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{2, 2}
+	x := solve(a, b)
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("solve returned %v", x)
+		}
+	}
+}
+
+func BenchmarkPredict30Days(b *testing.B) {
+	vs := synth(720, 24, 100, 20, 0.05, 1, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Predict(vs, 168, Options{SamplesPerDay: 24})
+	}
+}

@@ -1,0 +1,179 @@
+package forecast
+
+import (
+	"math"
+	"sort"
+)
+
+// DenoiseWithQuota implements the multi-metric collaboration rule
+// (§5.2 Issue 1): when the Usage and Quota series spike simultaneously
+// at the same sample, the spike is metric noise (e.g. recorded during a
+// partition migration) and is replaced by the local median. Both series
+// must be the same length; quota may be nil to skip the rule.
+func DenoiseWithQuota(usage, quota []float64) []float64 {
+	out := append([]float64(nil), usage...)
+	if quota == nil || len(quota) != len(usage) {
+		return out
+	}
+	uSpikes := spikeIndexes(usage)
+	qSpikes := spikeIndexes(quota)
+	qSet := make(map[int]bool, len(qSpikes))
+	for _, i := range qSpikes {
+		qSet[i] = true
+	}
+	for _, i := range uSpikes {
+		if qSet[i] {
+			out[i] = localMedian(usage, i, 5)
+		}
+	}
+	return out
+}
+
+// spikeIndexes returns indexes whose value exceeds median + 4·MAD.
+func spikeIndexes(vs []float64) []int {
+	if len(vs) < 5 {
+		return nil
+	}
+	med := median(vs)
+	dev := make([]float64, len(vs))
+	for i, v := range vs {
+		dev[i] = math.Abs(v - med)
+	}
+	mad := median(dev)
+	if mad == 0 {
+		mad = 1e-9
+	}
+	var out []int
+	for i, v := range vs {
+		if v > med+4*mad*1.4826 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func localMedian(vs []float64, i, radius int) float64 {
+	lo, hi := i-radius, i+radius+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(vs) {
+		hi = len(vs)
+	}
+	window := make([]float64, 0, hi-lo)
+	for j := lo; j < hi; j++ {
+		if j != i {
+			window = append(window, vs[j])
+		}
+	}
+	return median(window)
+}
+
+// RemoveSporadicPeaks implements the heuristic peak filter (§5.2
+// Issue 1): a spike that appears on only one day within the trailing
+// window (default 10 days) is an accidental event and is flattened to
+// the local median. samplesPerDay is the sampling rate (24 for hourly).
+func RemoveSporadicPeaks(vs []float64, samplesPerDay int) []float64 {
+	out := append([]float64(nil), vs...)
+	if samplesPerDay <= 0 || len(vs) < samplesPerDay*3 {
+		return out
+	}
+	spikes := spikeIndexes(vs)
+	if len(spikes) == 0 {
+		return out
+	}
+	// Group spike indexes by day; a day with spikes is a "spiky day".
+	spikyDays := map[int][]int{}
+	for _, i := range spikes {
+		d := i / samplesPerDay
+		spikyDays[d] = append(spikyDays[d], i)
+	}
+	windowDays := 10
+	totalDays := (len(vs) + samplesPerDay - 1) / samplesPerDay
+	lo := totalDays - windowDays
+	if lo < 0 {
+		lo = 0
+	}
+	spikyInWindow := 0
+	for d := range spikyDays {
+		if d >= lo {
+			spikyInWindow++
+		}
+	}
+	// Only one spiky day in the window → sporadic; flatten its spikes.
+	if spikyInWindow == 1 {
+		for d, idxs := range spikyDays {
+			if d >= lo {
+				for _, i := range idxs {
+					out[i] = localMedian(vs, i, samplesPerDay/2)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DetectChangePoint returns the index of the most recent significant
+// mean shift, found by scanning candidate split points and comparing
+// segment means against pooled variance. It returns 0 when no shift is
+// found (use the whole history). The forecaster truncates history at
+// the change point so trend fitting focuses on recent behaviour (§5.2).
+func DetectChangePoint(vs []float64) int {
+	n := len(vs)
+	if n < 24 {
+		return 0
+	}
+	_, overallStd := meanStd(vs)
+	if overallStd == 0 {
+		return 0
+	}
+	bestIdx, bestScore := 0, 0.0
+	// Leave at least 12 samples on each side.
+	for i := n / 4; i < n-12; i += max(1, n/100) {
+		m1, _ := meanStd(vs[:i])
+		m2, _ := meanStd(vs[i:])
+		score := math.Abs(m2-m1) / overallStd
+		if score > bestScore {
+			bestIdx, bestScore = i, score
+		}
+	}
+	if bestScore < 1.0 {
+		return 0
+	}
+	return bestIdx
+}
+
+func meanStd(vs []float64) (mean, std float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	for _, v := range vs {
+		d := v - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(vs)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package forecast
+
+import (
+	"math"
+)
+
+// ProphetLite fits y(t) = trend(t) + seasonality(t):
+//
+//	trend: piecewise linear with automatic changepoints
+//	       a + b·t + Σ_j δ_j·max(0, t−cp_j)
+//	seasonality: Fourier series of order K at the given period
+//	       Σ_k [α_k·sin(2πkt/P) + β_k·cos(2πkt/P)]
+//
+// fit by ridge-regularized least squares. This is the model family
+// Prophet fits (without MCMC uncertainty intervals).
+type ProphetLite struct {
+	// Period is the seasonal period in samples (0 disables seasonality).
+	Period int
+	// FourierOrder is K (default 3).
+	FourierOrder int
+	// Changepoints is the number of candidate trend changepoints spread
+	// uniformly over the first 80% of the history (default 5).
+	Changepoints int
+	// Ridge is the L2 regularization strength (default 1.0) keeping
+	// changepoint deltas small, mirroring Prophet's sparse prior.
+	Ridge float64
+
+	coef []float64
+	cps  []int
+	n    int
+}
+
+func (p *ProphetLite) defaults() {
+	if p.FourierOrder <= 0 {
+		p.FourierOrder = 3
+	}
+	if p.Changepoints <= 0 {
+		p.Changepoints = 5
+	}
+	if p.Ridge <= 0 {
+		p.Ridge = 1.0
+	}
+}
+
+// features builds the design row for time index t.
+func (p *ProphetLite) features(t float64) []float64 {
+	row := make([]float64, 0, 2+len(p.cps)+2*p.FourierOrder)
+	row = append(row, 1, t)
+	for _, cp := range p.cps {
+		row = append(row, math.Max(0, t-float64(cp)))
+	}
+	if p.Period > 1 {
+		for k := 1; k <= p.FourierOrder; k++ {
+			w := 2 * math.Pi * float64(k) * t / float64(p.Period)
+			row = append(row, math.Sin(w), math.Cos(w))
+		}
+	}
+	return row
+}
+
+// Fit estimates the model on the history.
+func (p *ProphetLite) Fit(values []float64) {
+	p.defaults()
+	p.n = len(values)
+	if p.n == 0 {
+		p.coef = nil
+		return
+	}
+	// Candidate changepoints uniformly over the first 80%.
+	p.cps = p.cps[:0]
+	span := int(0.8 * float64(p.n))
+	if span > 0 && p.Changepoints > 0 {
+		step := span / (p.Changepoints + 1)
+		if step < 1 {
+			step = 1
+		}
+		for i := step; i <= span && len(p.cps) < p.Changepoints; i += step {
+			p.cps = append(p.cps, i)
+		}
+	}
+	dim := len(p.features(0))
+	// Normal equations: (XᵀX + λI)β = Xᵀy.
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	atb := make([]float64, dim)
+	for t, y := range values {
+		row := p.features(float64(t))
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * y
+		}
+	}
+	for i := 0; i < dim; i++ {
+		// Don't regularize intercept or base slope.
+		if i >= 2 {
+			ata[i][i] += p.Ridge
+		} else {
+			ata[i][i] += 1e-9
+		}
+	}
+	p.coef = solve(ata, atb)
+}
+
+// Predict returns forecasts for the next steps samples after the end of
+// the fitted history.
+func (p *ProphetLite) Predict(steps int) []float64 {
+	out := make([]float64, steps)
+	if p.coef == nil {
+		return out
+	}
+	for s := 0; s < steps; s++ {
+		row := p.features(float64(p.n + s))
+		var y float64
+		for i, c := range p.coef {
+			y += c * row[i]
+		}
+		out[s] = y
+	}
+	return out
+}
+
+// FittedAt returns the model's in-sample fit at index t (backtesting).
+func (p *ProphetLite) FittedAt(t int) float64 {
+	if p.coef == nil {
+		return 0
+	}
+	row := p.features(float64(t))
+	var y float64
+	for i, c := range p.coef {
+		y += c * row[i]
+	}
+	return y
+}
+
+// solve performs Gaussian elimination with partial pivoting on a
+// symmetric positive-definite-ish system. Returns the zero vector on a
+// singular system.
+func solve(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	// Augment.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		if math.Abs(m[col][col]) < 1e-12 {
+			return make([]float64, n)
+		}
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x
+}
+
+// HistoricalAverage is the seasonal-naive predictor [39]: the forecast
+// for phase φ of the period is the mean of the history's values at
+// phase φ across all complete cycles. With no detected period it
+// predicts the overall mean.
+type HistoricalAverage struct {
+	Period int
+	phase  []float64
+	mean   float64
+	n      int
+}
+
+// Fit computes per-phase means.
+func (h *HistoricalAverage) Fit(values []float64) {
+	h.n = len(values)
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	if h.n > 0 {
+		h.mean = sum / float64(h.n)
+	}
+	if h.Period <= 1 || h.n < h.Period {
+		h.phase = nil
+		return
+	}
+	h.phase = make([]float64, h.Period)
+	counts := make([]int, h.Period)
+	for t, v := range values {
+		ph := t % h.Period
+		h.phase[ph] += v
+		counts[ph]++
+	}
+	for ph := range h.phase {
+		if counts[ph] > 0 {
+			h.phase[ph] /= float64(counts[ph])
+		} else {
+			h.phase[ph] = h.mean
+		}
+	}
+}
+
+// Predict returns the seasonal-naive forecast for the next steps.
+func (h *HistoricalAverage) Predict(steps int) []float64 {
+	out := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		if h.phase == nil {
+			out[s] = h.mean
+			continue
+		}
+		out[s] = h.phase[(h.n+s)%h.Period]
+	}
+	return out
+}
+
+// FittedAt returns the in-sample fit at index t.
+func (h *HistoricalAverage) FittedAt(t int) float64 {
+	if h.phase == nil {
+		return h.mean
+	}
+	return h.phase[t%h.Period]
+}

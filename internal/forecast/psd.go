@@ -1,0 +1,102 @@
+// Package forecast implements ABase's workload forecasting module
+// (§5.2): power-spectral-density periodicity detection, a
+// prophet-style piecewise-linear-trend + Fourier-seasonality model fit
+// by least squares ("prophet-lite"), the historical-average seasonal
+// predictor, multi-metric denoising, sporadic-peak filtering,
+// change-point detection, and the weighted ensemble that combines them
+// with the non-periodic-burst fallback.
+//
+// The paper uses Facebook Prophet [41]; this package fits the same
+// model family (trend with changepoints + Fourier seasonal terms)
+// with ordinary least squares, which is sufficient for the point
+// forecasts the autoscaler consumes.
+package forecast
+
+import (
+	"math"
+)
+
+// DetectPeriod estimates the dominant period of the series, in samples,
+// using the power spectral density (a direct DFT — histories are at
+// most a few thousand samples). It returns the period and the spectral
+// strength: the ratio of the dominant peak's power to the mean power of
+// all candidate frequencies. Strength below ~2 means no meaningful
+// periodicity. Returns (0, 0) for series shorter than 2 full cycles of
+// any candidate period.
+func DetectPeriod(values []float64) (period int, strength float64) {
+	n := len(values)
+	if n < 8 {
+		return 0, 0
+	}
+	// Remove the mean so the DC component doesn't dominate.
+	var mean float64
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(n)
+
+	// Power at each frequency k = 1..n/6: periods shorter than 6
+	// samples are below any operationally meaningful cycle and pricing
+	// them in would triple the cost of this O(n·k) scan.
+	half := n / 6
+	if half < 2 {
+		half = min(2, n/2)
+	}
+	if half < 2 {
+		return 0, 0
+	}
+	power := make([]float64, half)
+	var total float64
+	for k := 1; k < half; k++ {
+		var re, im float64
+		w := 2 * math.Pi * float64(k) / float64(n)
+		for t, v := range values {
+			x := v - mean
+			re += x * math.Cos(w*float64(t))
+			im -= x * math.Sin(w*float64(t))
+		}
+		power[k] = re*re + im*im
+		total += power[k]
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	meanPower := total / float64(half-1)
+	best, bestPower := 0, 0.0
+	for k := 1; k < half; k++ {
+		if power[k] > bestPower {
+			best, bestPower = k, power[k]
+		}
+	}
+	if best == 0 {
+		return 0, 0
+	}
+	p := int(math.Round(float64(n) / float64(best)))
+	// Require at least 2 full cycles in the history.
+	if p < 2 || p > n/2 {
+		return 0, 0
+	}
+	return p, bestPower / meanPower
+}
+
+// CommonPeriods are the candidate periodicities (in hours) ABase sees
+// in production: daily, weekly, and the uncommon 3.5-day cycle from
+// tenant TTL configurations (§5.2 Issue 2).
+var CommonPeriods = []int{24, 84, 168}
+
+// SnapPeriod maps a detected period to the nearest common operational
+// period when within 15%, reducing drift from spectral leakage. It
+// returns the input unchanged when nothing is close.
+func SnapPeriod(period int) int {
+	if period <= 0 {
+		return period
+	}
+	best, bestDiff := period, math.MaxFloat64
+	for _, c := range CommonPeriods {
+		diff := math.Abs(float64(period-c)) / float64(c)
+		if diff < 0.15 && diff < bestDiff {
+			best, bestDiff = c, diff
+		}
+	}
+	return best
+}

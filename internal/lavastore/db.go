@@ -1,0 +1,586 @@
+package lavastore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"abase/internal/clock"
+	"abase/internal/skiplist"
+)
+
+// Options configures a DB.
+type Options struct {
+	// FS is the filesystem the engine stores files on. Defaults to an
+	// in-memory filesystem when nil.
+	FS FS
+	// Dir is the directory (path prefix) for the engine's files.
+	Dir string
+	// Clock supplies time for TTL expiry. Defaults to the real clock.
+	Clock clock.Clock
+	// MemtableBytes is the flush threshold. Defaults to 4 MiB.
+	MemtableBytes int64
+	// MaxTables is the SSTable count that triggers a full compaction.
+	// Defaults to 8.
+	MaxTables int
+	// SyncWrites makes every Put sync the WAL. Defaults to false
+	// (periodic durability, matching eventual-consistency deployments).
+	SyncWrites bool
+	// DisableAutoCompact turns off compaction scheduling (tests).
+	DisableAutoCompact bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FS == nil {
+		out.FS = NewMemFS()
+	}
+	if out.Clock == nil {
+		out.Clock = clock.Real{}
+	}
+	if out.MemtableBytes <= 0 {
+		out.MemtableBytes = 4 << 20
+	}
+	if out.MaxTables <= 0 {
+		out.MaxTables = 8
+	}
+	if out.Dir == "" {
+		out.Dir = "lavastore"
+	}
+	return out
+}
+
+// Stats reports engine internals for observability and tests.
+type Stats struct {
+	MemtableBytes   int64
+	MemtableKeys    int
+	Tables          int
+	TableBytes      int64
+	Flushes         int64
+	Compactions     int64
+	GetIOReads      int64 // cumulative simulated disk reads served
+	ExpiredDropped  int64 // records dropped by TTL at compaction
+	TombstonesAlive int64
+}
+
+// DB is the storage engine instance backing one partition replica on a
+// DataNode.
+type DB struct {
+	opt Options
+
+	mu        sync.RWMutex
+	mem       *skiplist.List
+	imm       []*skiplist.List // immutable memtables awaiting flush
+	tables    []*Table         // newest first
+	wal       *walWriter
+	walName   string
+	seq       uint64
+	nextFile  int
+	closed    bool
+	flushMu   sync.Mutex // serializes flushes so table order matches freeze order
+	compactMu sync.Mutex // serializes compactions
+
+	flushes        int64
+	compactions    int64
+	getIOReads     int64
+	expiredDropped int64
+}
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("lavastore: closed")
+
+// ErrNotFound is returned by Get when the key is absent or expired.
+var ErrNotFound = errors.New("lavastore: not found")
+
+// Open creates or recovers a DB in opt.Dir.
+func Open(opt Options) (*DB, error) {
+	o := opt.withDefaults()
+	db := &DB{opt: o, mem: skiplist.New(1)}
+	oldWALs, err := db.recover()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.rotateWAL(); err != nil {
+		return nil, err
+	}
+	// Re-log replayed records into the fresh WAL before discarding the
+	// old logs, so a crash immediately after Open loses nothing.
+	if db.mem.Len() > 0 {
+		it := db.mem.NewIterator()
+		for it.Next() {
+			if err := db.wal.Append(it.Key(), it.Value()); err != nil {
+				return nil, err
+			}
+		}
+		if err := db.wal.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range oldWALs {
+		db.opt.FS.Remove(db.filePath(n))
+	}
+	return db, nil
+}
+
+func (db *DB) filePath(name string) string { return db.opt.Dir + "/" + name }
+
+// recover loads existing SSTables and replays any WAL left by a crash.
+// It returns the names of replayed WAL files for the caller to remove
+// once their contents are durable again.
+func (db *DB) recover() ([]string, error) {
+	names, err := db.opt.FS.List(db.opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var tableNames, walNames []string
+	for _, n := range names {
+		switch {
+		case strings.HasSuffix(n, ".sst"):
+			tableNames = append(tableNames, n)
+		case strings.HasSuffix(n, ".wal"):
+			walNames = append(walNames, n)
+		}
+	}
+	// Table numbering encodes age: higher number = newer.
+	sort.Slice(tableNames, func(i, j int) bool {
+		return tableFileNum(tableNames[i]) > tableFileNum(tableNames[j])
+	})
+	for _, n := range tableNames {
+		f, err := db.opt.FS.Open(db.filePath(n))
+		if err != nil {
+			return nil, fmt.Errorf("lavastore: recover open %s: %w", n, err)
+		}
+		t, err := openTable(f, n)
+		if err != nil {
+			return nil, fmt.Errorf("lavastore: recover table %s: %w", n, err)
+		}
+		db.tables = append(db.tables, t)
+		if num := tableFileNum(n); num >= db.nextFile {
+			db.nextFile = num + 1
+		}
+	}
+	// Replay WALs oldest-first so newer records win.
+	sort.Slice(walNames, func(i, j int) bool {
+		return tableFileNum(walNames[i]) < tableFileNum(walNames[j])
+	})
+	for _, n := range walNames {
+		f, err := db.opt.FS.Open(db.filePath(n))
+		if err != nil {
+			return nil, err
+		}
+		err = replayWAL(f, func(key, rec []byte) error {
+			db.mem.Put(append([]byte(nil), key...), append([]byte(nil), rec...))
+			r, derr := decodeRecord(rec)
+			if derr == nil && r.Seq >= db.seq {
+				db.seq = r.Seq
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if num := tableFileNum(n); num >= db.nextFile {
+			db.nextFile = num + 1
+		}
+	}
+	return walNames, nil
+}
+
+func tableFileNum(name string) int {
+	base := strings.TrimSuffix(strings.TrimSuffix(name, ".sst"), ".wal")
+	n, err := strconv.Atoi(base)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func (db *DB) rotateWAL() error {
+	name := fmt.Sprintf("%06d.wal", db.nextFile)
+	db.nextFile++
+	f, err := db.opt.FS.Create(db.filePath(name))
+	if err != nil {
+		return err
+	}
+	if db.wal != nil {
+		db.wal.Close()
+		db.opt.FS.Remove(db.filePath(db.walName))
+	}
+	db.wal = newWALWriter(f)
+	db.walName = name
+	return nil
+}
+
+// Put stores value under key with an optional TTL (0 = no expiry).
+func (db *DB) Put(key, value []byte, ttl time.Duration) error {
+	return db.write(key, record{Kind: kindSet, Value: value}, ttl)
+}
+
+// Delete removes key by writing a tombstone.
+func (db *DB) Delete(key []byte) error {
+	return db.write(key, record{Kind: kindDelete}, 0)
+}
+
+func (db *DB) write(key []byte, r record, ttl time.Duration) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.seq++
+	r.Seq = db.seq
+	if ttl > 0 {
+		r.ExpireAt = db.opt.Clock.Now().Add(ttl).Unix()
+	}
+	rec := encodeRecord(r)
+	if err := db.wal.Append(key, rec); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if db.opt.SyncWrites {
+		if err := db.wal.Sync(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	db.mem.Put(append([]byte(nil), key...), rec)
+	needFlush := db.mem.Bytes() >= db.opt.MemtableBytes
+	db.mu.Unlock()
+	if needFlush {
+		return db.Flush()
+	}
+	return nil
+}
+
+// GetResult carries a Get's value plus the I/O accounting the DataNode
+// uses to charge the I/O-WFQ: IOReads is the number of simulated disk
+// reads (0 means the engine served the key from memory).
+type GetResult struct {
+	Value   []byte
+	IOReads int
+}
+
+// Get returns the value stored under key. Expired and deleted keys
+// return ErrNotFound. The returned value is a copy.
+func (db *DB) Get(key []byte) (GetResult, error) {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return GetResult{}, ErrClosed
+	}
+	mem := db.mem
+	imm := db.imm
+	tables := append([]*Table(nil), db.tables...)
+	db.mu.RUnlock()
+
+	now := db.opt.Clock.Now().Unix()
+	// Memtable first, then immutable memtables newest-first.
+	if rec, ok := mem.Get(key); ok {
+		return db.finishGet(rec, 0, now)
+	}
+	for i := len(imm) - 1; i >= 0; i-- {
+		if rec, ok := imm[i].Get(key); ok {
+			return db.finishGet(rec, 0, now)
+		}
+	}
+	ioReads := 0
+	for _, t := range tables {
+		rec, found, ios, err := t.Get(key)
+		ioReads += ios
+		if err != nil {
+			return GetResult{IOReads: ioReads}, err
+		}
+		if found {
+			db.mu.Lock()
+			db.getIOReads += int64(ioReads)
+			db.mu.Unlock()
+			return db.finishGet(rec, ioReads, now)
+		}
+	}
+	db.mu.Lock()
+	db.getIOReads += int64(ioReads)
+	db.mu.Unlock()
+	return GetResult{IOReads: ioReads}, ErrNotFound
+}
+
+func (db *DB) finishGet(rec []byte, ioReads int, now int64) (GetResult, error) {
+	r, err := decodeRecord(rec)
+	if err != nil {
+		return GetResult{IOReads: ioReads}, err
+	}
+	if r.Kind == kindDelete || r.expired(now) {
+		return GetResult{IOReads: ioReads}, ErrNotFound
+	}
+	return GetResult{Value: append([]byte(nil), r.Value...), IOReads: ioReads}, nil
+}
+
+// Flush freezes the current memtable and writes it out as an SSTable.
+func (db *DB) Flush() error {
+	db.flushMu.Lock()
+	defer db.flushMu.Unlock()
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.mem.Len() == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	frozen := db.mem
+	db.imm = append(db.imm, frozen)
+	db.mem = skiplist.New(1)
+	if err := db.rotateWAL(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	num := db.nextFile
+	db.nextFile++
+	db.mu.Unlock()
+
+	name := fmt.Sprintf("%06d.sst", num)
+	f, err := db.opt.FS.Create(db.filePath(name))
+	if err != nil {
+		return err
+	}
+	w := newTableWriter(f)
+	it := frozen.NewIterator()
+	for it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	rf, err := db.opt.FS.Open(db.filePath(name))
+	if err != nil {
+		return err
+	}
+	t, err := openTable(rf, name)
+	if err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	// Remove frozen from imm and install the table as newest.
+	for i, m := range db.imm {
+		if m == frozen {
+			db.imm = append(db.imm[:i], db.imm[i+1:]...)
+			break
+		}
+	}
+	db.tables = append([]*Table{t}, db.tables...)
+	db.flushes++
+	tooMany := len(db.tables) > db.opt.MaxTables && !db.opt.DisableAutoCompact
+	db.mu.Unlock()
+
+	if tooMany {
+		return db.Compact()
+	}
+	return nil
+}
+
+// Compact merges all SSTables into one, dropping tombstones, shadowed
+// versions, and expired records. It blocks concurrent compactions but
+// not reads.
+func (db *DB) Compact() error {
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	old := append([]*Table(nil), db.tables...)
+	db.mu.RUnlock()
+	if len(old) <= 1 {
+		return nil
+	}
+
+	num := db.allocFileNum()
+	name := fmt.Sprintf("%06d.sst", num)
+	f, err := db.opt.FS.Create(db.filePath(name))
+	if err != nil {
+		return err
+	}
+	w := newTableWriter(f)
+	now := db.opt.Clock.Now().Unix()
+	var dropped int64
+
+	merge := newMergeIterator(old)
+	for merge.Next() {
+		rec := merge.Rec()
+		r, err := decodeRecord(rec)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if r.Kind == kindDelete || r.expired(now) {
+			dropped++
+			continue
+		}
+		if err := w.Add(merge.Key(), rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := merge.Err(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Finish(); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	rf, err := db.opt.FS.Open(db.filePath(name))
+	if err != nil {
+		return err
+	}
+	t, err := openTable(rf, name)
+	if err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	// Replace exactly the tables we merged; tables flushed during the
+	// compaction stay in front (they are newer).
+	oldSet := make(map[*Table]bool, len(old))
+	for _, o := range old {
+		oldSet[o] = true
+	}
+	var next []*Table
+	for _, cur := range db.tables {
+		if !oldSet[cur] {
+			next = append(next, cur)
+		}
+	}
+	next = append(next, t)
+	db.tables = next
+	db.compactions++
+	db.expiredDropped += dropped
+	db.mu.Unlock()
+
+	for _, o := range old {
+		o.Close()
+		db.opt.FS.Remove(db.filePath(o.Name()))
+	}
+	return nil
+}
+
+func (db *DB) allocFileNum() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := db.nextFile
+	db.nextFile++
+	return n
+}
+
+// Stats returns a snapshot of engine statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{
+		MemtableBytes:  db.mem.Bytes(),
+		MemtableKeys:   db.mem.Len(),
+		Tables:         len(db.tables),
+		Flushes:        db.flushes,
+		Compactions:    db.compactions,
+		GetIOReads:     db.getIOReads,
+		ExpiredDropped: db.expiredDropped,
+	}
+	for _, t := range db.tables {
+		s.TableBytes += t.Size()
+	}
+	return s
+}
+
+// Close flushes the memtable and releases all files.
+func (db *DB) Close() error {
+	if err := db.Flush(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.closed = true
+	if db.wal != nil {
+		db.wal.Close()
+	}
+	for _, t := range db.tables {
+		t.Close()
+	}
+	return nil
+}
+
+// mergeIterator merges multiple tables (newest first) into a single
+// ascending key stream, emitting only the newest record per key.
+type mergeIterator struct {
+	iters []*tableIterator // index 0 = newest table
+	valid []bool
+	key   []byte
+	rec   []byte
+	err   error
+}
+
+func newMergeIterator(tables []*Table) *mergeIterator {
+	m := &mergeIterator{
+		iters: make([]*tableIterator, len(tables)),
+		valid: make([]bool, len(tables)),
+	}
+	for i, t := range tables {
+		m.iters[i] = t.iterator()
+		m.valid[i] = m.iters[i].Next()
+	}
+	return m
+}
+
+// Next advances to the next distinct key, preferring the newest table's
+// record when multiple tables contain the key.
+func (m *mergeIterator) Next() bool {
+	// Find the smallest key among valid iterators; ties resolved by
+	// lowest index (newest).
+	best := -1
+	for i, ok := range m.valid {
+		if !ok {
+			continue
+		}
+		if best == -1 || bytes.Compare(m.iters[i].Key(), m.iters[best].Key()) < 0 {
+			best = i
+		}
+	}
+	if best == -1 {
+		for _, it := range m.iters {
+			if it.Err() != nil {
+				m.err = it.Err()
+			}
+		}
+		return false
+	}
+	m.key = append(m.key[:0], m.iters[best].Key()...)
+	m.rec = append(m.rec[:0], m.iters[best].Rec()...)
+	// Advance every iterator positioned at this key.
+	for i, ok := range m.valid {
+		if ok && bytes.Equal(m.iters[i].Key(), m.key) {
+			m.valid[i] = m.iters[i].Next()
+		}
+	}
+	return true
+}
+
+func (m *mergeIterator) Key() []byte { return m.key }
+func (m *mergeIterator) Rec() []byte { return m.rec }
+func (m *mergeIterator) Err() error  { return m.err }

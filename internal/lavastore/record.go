@@ -1,0 +1,72 @@
+package lavastore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// recordKind distinguishes live values from tombstones.
+type recordKind byte
+
+const (
+	kindSet    recordKind = 1
+	kindDelete recordKind = 2
+)
+
+// record is the internal value stored under a user key in the memtable
+// and in SSTables. ExpireAt is a Unix timestamp in seconds; zero means
+// no TTL.
+type record struct {
+	Seq      uint64
+	Kind     recordKind
+	ExpireAt int64
+	Value    []byte
+}
+
+// encodeRecord serializes a record:
+// seq uvarint | kind byte | expireAt uvarint | value.
+func encodeRecord(r record) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+2+len(r.Value))
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, uint64(r.ExpireAt))
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+var errCorruptRecord = errors.New("lavastore: corrupt record")
+
+// decodeRecord parses a serialized record. The returned Value aliases
+// data; callers that retain it must copy.
+func decodeRecord(data []byte) (record, error) {
+	var r record
+	seq, n := binary.Uvarint(data)
+	if n <= 0 {
+		return r, errCorruptRecord
+	}
+	data = data[n:]
+	if len(data) < 1 {
+		return r, errCorruptRecord
+	}
+	kind := recordKind(data[0])
+	if kind != kindSet && kind != kindDelete {
+		return r, fmt.Errorf("%w: kind %d", errCorruptRecord, kind)
+	}
+	data = data[1:]
+	exp, n := binary.Uvarint(data)
+	if n <= 0 {
+		return r, errCorruptRecord
+	}
+	data = data[n:]
+	r.Seq = seq
+	r.Kind = kind
+	r.ExpireAt = int64(exp)
+	r.Value = data
+	return r, nil
+}
+
+// expired reports whether the record's TTL has elapsed at unix time now.
+func (r record) expired(now int64) bool {
+	return r.ExpireAt != 0 && now >= r.ExpireAt
+}

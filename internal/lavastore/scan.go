@@ -1,0 +1,111 @@
+package lavastore
+
+import (
+	"bytes"
+
+	"abase/internal/skiplist"
+)
+
+// Scan invokes fn for every live key/value pair in ascending key order,
+// merging the memtable, immutable memtables, and SSTables. Deleted and
+// expired records are skipped. fn returning false stops the scan.
+// Values passed to fn are only valid during the call; copy to retain.
+//
+// Scan is used for replica migration: the rescheduler copies a
+// partition replica to its destination DataNode by scanning the source.
+func (db *DB) Scan(fn func(key, value []byte) bool) error {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	// Sources ordered newest first so the first occurrence of a key is
+	// its newest record.
+	var sources []scanSource
+	sources = append(sources, &memSource{it: db.mem.NewIterator()})
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		sources = append(sources, &memSource{it: db.imm[i].NewIterator()})
+	}
+	for _, t := range db.tables {
+		sources = append(sources, &tableSource{it: t.iterator()})
+	}
+	db.mu.RUnlock()
+
+	now := db.opt.Clock.Now().Unix()
+	for _, s := range sources {
+		s.advance()
+	}
+	var lastKey []byte
+	first := true
+	for {
+		best := -1
+		for i, s := range sources {
+			if !s.valid() {
+				continue
+			}
+			if best == -1 || bytes.Compare(s.key(), sources[best].key()) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		k := sources[best].key()
+		isDup := !first && bytes.Equal(k, lastKey)
+		if !isDup {
+			first = false
+			lastKey = append(lastKey[:0], k...)
+			r, err := decodeRecord(sources[best].rec())
+			if err != nil {
+				return err
+			}
+			if r.Kind == kindSet && !r.expired(now) {
+				if !fn(k, r.Value) {
+					return nil
+				}
+			}
+		}
+		// Advance every source positioned at this key.
+		for _, s := range sources {
+			if s.valid() && bytes.Equal(s.key(), lastKey) {
+				s.advance()
+			}
+		}
+	}
+}
+
+// Keys returns the number of live keys (full scan; intended for tests
+// and migration verification, not hot paths).
+func (db *DB) Keys() (int, error) {
+	n := 0
+	err := db.Scan(func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// scanSource abstracts memtable and table iterators for the merge.
+type scanSource interface {
+	advance()
+	valid() bool
+	key() []byte
+	rec() []byte
+}
+
+type memSource struct {
+	it *skiplist.Iterator
+	ok bool
+}
+
+func (m *memSource) advance()    { m.ok = m.it.Next() }
+func (m *memSource) valid() bool { return m.ok }
+func (m *memSource) key() []byte { return m.it.Key() }
+func (m *memSource) rec() []byte { return m.it.Value() }
+
+type tableSource struct {
+	it *tableIterator
+	ok bool
+}
+
+func (t *tableSource) advance()    { t.ok = t.it.Next() }
+func (t *tableSource) valid() bool { return t.ok }
+func (t *tableSource) key() []byte { return t.it.Key() }
+func (t *tableSource) rec() []byte { return t.it.Rec() }

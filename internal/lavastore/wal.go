@@ -1,0 +1,87 @@
+package lavastore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// walWriter appends length-prefixed, CRC-protected records to a log
+// file. Format per record:
+//
+//	crc32 (4 bytes LE, over payload) | payloadLen (4 bytes LE) | payload
+//
+// payload: klen uvarint | key | encoded record
+type walWriter struct {
+	f   File
+	buf []byte
+}
+
+func newWALWriter(f File) *walWriter { return &walWriter{f: f} }
+
+// Append writes one key/record pair to the log.
+func (w *walWriter) Append(key []byte, rec []byte) error {
+	payload := w.buf[:0]
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = append(payload, rec...)
+	w.buf = payload
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("lavastore: wal write header: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("lavastore: wal write payload: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *walWriter) Sync() error { return w.f.Sync() }
+
+// Close closes the underlying file.
+func (w *walWriter) Close() error { return w.f.Close() }
+
+// replayWAL reads every valid record from the log, invoking fn for
+// each. A torn final record (short read or CRC mismatch at the tail)
+// ends replay without error, matching crash-recovery semantics.
+func replayWAL(f File, fn func(key []byte, rec []byte) error) error {
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	var off int64
+	var hdr [8]byte
+	for off < size {
+		if _, err := io.ReadFull(io.NewSectionReader(f, off, 8), hdr[:]); err != nil {
+			return nil // torn header at tail
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:4])
+		plen := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+		if off+8+plen > size {
+			return nil // torn payload at tail
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(io.NewSectionReader(f, off+8, plen), payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // corrupt tail record: stop replay
+		}
+		klen, n := binary.Uvarint(payload)
+		if n <= 0 || int64(n)+int64(klen) > plen {
+			return fmt.Errorf("lavastore: wal corrupt key length at offset %d", off)
+		}
+		key := payload[n : n+int(klen)]
+		rec := payload[n+int(klen):]
+		if err := fn(key, rec); err != nil {
+			return err
+		}
+		off += 8 + plen
+	}
+	return nil
+}

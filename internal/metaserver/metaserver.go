@@ -1,0 +1,368 @@
+// Package metaserver implements ABase's control-plane metadata service
+// (§3.2): global tenant/partition metadata, replica placement, routing
+// tables for the proxy plane, the asynchronous proxy traffic-control
+// loop (§4.2), replica repair after node failure (§3.3), and partition
+// splits for the autoscaler (§5.1).
+package metaserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"abase/internal/clock"
+	"abase/internal/datanode"
+	"abase/internal/partition"
+	"abase/internal/quota"
+)
+
+// Errors returned by the meta server.
+var (
+	ErrTenantExists   = errors.New("metaserver: tenant already exists")
+	ErrUnknownTenant  = errors.New("metaserver: unknown tenant")
+	ErrUnknownNode    = errors.New("metaserver: unknown node")
+	ErrNotEnoughNodes = errors.New("metaserver: not enough nodes for replication factor")
+)
+
+// Tenant is the control-plane record for one tenant.
+type Tenant struct {
+	Name    string
+	Quota   *quota.TenantQuota
+	Table   *partition.Table
+	Proxies int // N: tenant proxy count
+	Groups  int // n: proxy groups for limited fan-out hash routing
+}
+
+// RestrictableProxy is the control surface the MetaServer uses to
+// direct proxies back to their standard quota (§4.2).
+type RestrictableProxy interface {
+	ProxyID() string
+	TenantName() string
+	Restrict()
+	Relax()
+	// WindowRU returns the RU admitted by this proxy since the last
+	// call (the monitoring sample).
+	WindowRU() float64
+}
+
+// Meta is the centralized management module.
+type Meta struct {
+	clk      clock.Clock
+	replicas int
+
+	mu      sync.RWMutex
+	nodes   map[string]*datanode.Node
+	tenants map[string]*Tenant
+	proxies map[string][]RestrictableProxy // tenant → proxies
+
+	replWG   sync.WaitGroup
+	replJobs chan replJob
+	closed   bool
+}
+
+type replJob struct {
+	node *datanode.Node
+	pid  partition.ID
+	key  []byte
+	val  []byte
+	ttl  time.Duration
+	del  bool
+}
+
+// Config configures a Meta.
+type Config struct {
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Replicas is the replication factor (default 3).
+	Replicas int
+	// ReplWorkers sizes the async replication worker pool (default 4).
+	ReplWorkers int
+}
+
+// New starts a meta server.
+func New(cfg Config) *Meta {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.ReplWorkers <= 0 {
+		cfg.ReplWorkers = 4
+	}
+	m := &Meta{
+		clk:      cfg.Clock,
+		replicas: cfg.Replicas,
+		nodes:    make(map[string]*datanode.Node),
+		tenants:  make(map[string]*Tenant),
+		proxies:  make(map[string][]RestrictableProxy),
+		replJobs: make(chan replJob, 1024),
+	}
+	for i := 0; i < cfg.ReplWorkers; i++ {
+		m.replWG.Add(1)
+		go m.replWorker()
+	}
+	return m
+}
+
+func (m *Meta) replWorker() {
+	defer m.replWG.Done()
+	for job := range m.replJobs {
+		// Best effort: eventual consistency tolerates transient errors.
+		_ = job.node.ApplyReplicated(job.pid, job.key, job.val, job.ttl, job.del)
+	}
+}
+
+// Close stops the replication workers after draining queued jobs.
+func (m *Meta) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.replJobs)
+	m.replWG.Wait()
+}
+
+// RegisterNode adds a DataNode to the pool and wires its replication.
+func (m *Meta) RegisterNode(n *datanode.Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.ID()] = n
+	n.SetReplicator(&metaReplicator{meta: m, origin: n.ID()})
+}
+
+// Nodes returns the registered node IDs, sorted.
+func (m *Meta) Nodes() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.nodes))
+	for id := range m.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Node returns a registered node.
+func (m *Meta) Node(id string) (*datanode.Node, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	return n, nil
+}
+
+// metaReplicator routes a primary's write to the partition's followers.
+type metaReplicator struct {
+	meta   *Meta
+	origin string
+}
+
+// Replicate implements datanode.Replicator.
+func (r *metaReplicator) Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, del bool) {
+	m := r.meta
+	m.mu.RLock()
+	ten, ok := m.tenants[rid.Partition.Tenant]
+	if !ok || rid.Partition.Index >= len(ten.Table.Partitions) {
+		m.mu.RUnlock()
+		return
+	}
+	route := ten.Table.Partitions[rid.Partition.Index]
+	var targets []*datanode.Node
+	for _, f := range route.Followers {
+		if f == r.origin {
+			continue
+		}
+		if n, ok := m.nodes[f]; ok {
+			targets = append(targets, n)
+		}
+	}
+	closed := m.closed
+	m.mu.RUnlock()
+	if closed {
+		return
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	for _, n := range targets {
+		m.replJobs <- replJob{node: n, pid: rid.Partition, key: k, val: v, ttl: ttl, del: del}
+	}
+}
+
+// TenantSpec describes a tenant to create.
+type TenantSpec struct {
+	Name       string
+	QuotaRU    float64
+	StorageGB  float64
+	Partitions int
+	Proxies    int
+	Groups     int
+}
+
+// CreateTenant allocates partitions and replicas across the pool's
+// least-loaded nodes and installs the routing table.
+func (m *Meta) CreateTenant(spec TenantSpec) (*Tenant, error) {
+	if spec.Partitions <= 0 {
+		spec.Partitions = 1
+	}
+	if spec.Proxies <= 0 {
+		spec.Proxies = 1
+	}
+	if spec.Groups <= 0 || spec.Groups > spec.Proxies {
+		spec.Groups = spec.Proxies
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tenants[spec.Name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTenantExists, spec.Name)
+	}
+	if len(m.nodes) < m.replicas {
+		return nil, fmt.Errorf("%w: have %d nodes, need %d", ErrNotEnoughNodes, len(m.nodes), m.replicas)
+	}
+	q := quota.NewTenantQuota(spec.QuotaRU, spec.StorageGB, spec.Proxies, spec.Partitions)
+	table := &partition.Table{Tenant: spec.Name}
+	perPartition := q.PartitionQuota()
+
+	for idx := 0; idx < spec.Partitions; idx++ {
+		pid := partition.ID{Tenant: spec.Name, Index: idx}
+		hosts := m.pickHostsLocked(m.replicas, nil)
+		if len(hosts) < m.replicas {
+			return nil, ErrNotEnoughNodes
+		}
+		route := partition.Route{Partition: pid, Primary: hosts[0]}
+		for r, host := range hosts {
+			rid := partition.ReplicaID{Partition: pid, Replica: r}
+			if err := m.nodes[host].AddReplica(rid, perPartition, r == 0); err != nil {
+				return nil, err
+			}
+			if r > 0 {
+				route.Followers = append(route.Followers, host)
+			}
+		}
+		table.Partitions = append(table.Partitions, route)
+	}
+	ten := &Tenant{
+		Name:    spec.Name,
+		Quota:   q,
+		Table:   table,
+		Proxies: spec.Proxies,
+		Groups:  spec.Groups,
+	}
+	m.tenants[spec.Name] = ten
+	return ten, nil
+}
+
+// pickHostsLocked returns up to k distinct node IDs with the fewest
+// hosted replicas, excluding any in the exclude set.
+func (m *Meta) pickHostsLocked(k int, exclude map[string]bool) []string {
+	type cand struct {
+		id   string
+		load int
+	}
+	var cands []cand
+	for id, n := range m.nodes {
+		if exclude[id] {
+			continue
+		}
+		cands = append(cands, cand{id, len(n.Replicas())})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].id < cands[j].id
+	})
+	var out []string
+	for i := 0; i < len(cands) && i < k; i++ {
+		out = append(out, cands[i].id)
+	}
+	return out
+}
+
+// Tenant returns a tenant's control-plane record.
+func (m *Meta) Tenant(name string) (*Tenant, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, name)
+	}
+	return t, nil
+}
+
+// Tenants returns all tenant names, sorted.
+func (m *Meta) Tenants() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RouteFor returns the route for a tenant key.
+func (m *Meta) RouteFor(tenant string, key []byte) (partition.Route, error) {
+	t, err := m.Tenant(tenant)
+	if err != nil {
+		return partition.Route{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return t.Table.RouteFor(key), nil
+}
+
+// RegisterProxy records a proxy for traffic-control monitoring.
+func (m *Meta) RegisterProxy(p RestrictableProxy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.proxies[p.TenantName()] = append(m.proxies[p.TenantName()], p)
+}
+
+// MonitorProxyTraffic runs one traffic-control cycle (§4.2): for each
+// tenant, sum the RU its proxies admitted over the window; if the rate
+// exceeds the tenant quota, direct all its proxies to revert to the
+// standard proxy_quota, otherwise restore the 2× autonomy.
+// window is the elapsed time the samples cover.
+func (m *Meta) MonitorProxyTraffic(window time.Duration) {
+	if window <= 0 {
+		window = time.Second
+	}
+	m.mu.RLock()
+	type group struct {
+		tenant  *Tenant
+		proxies []RestrictableProxy
+	}
+	var groups []group
+	for name, ps := range m.proxies {
+		if t, ok := m.tenants[name]; ok {
+			groups = append(groups, group{t, ps})
+		}
+	}
+	m.mu.RUnlock()
+
+	for _, g := range groups {
+		var total float64
+		for _, p := range g.proxies {
+			total += p.WindowRU()
+		}
+		rate := total / window.Seconds()
+		if rate > g.tenant.Quota.RU() {
+			for _, p := range g.proxies {
+				p.Restrict()
+			}
+		} else {
+			for _, p := range g.proxies {
+				p.Relax()
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package metaserver
+
+import (
+	"fmt"
+	"sync"
+
+	"abase/internal/datanode"
+	"abase/internal/partition"
+)
+
+// FailNode removes a DataNode from the pool and reconstructs every
+// replica it hosted, in parallel, across the surviving nodes (§3.3).
+// Each lost replica is rebuilt by copying from a surviving replica of
+// the same partition, exploiting multi-node disk bandwidth.
+func (m *Meta) FailNode(nodeID string) error {
+	m.mu.Lock()
+	failed, ok := m.nodes[nodeID]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeID)
+	}
+	delete(m.nodes, nodeID)
+
+	// Collect every partition whose route references the failed node.
+	type repair struct {
+		tenant *Tenant
+		idx    int
+	}
+	var repairs []repair
+	for _, t := range m.tenants {
+		for i, route := range t.Table.Partitions {
+			if route.Primary == nodeID || contains(route.Followers, nodeID) {
+				repairs = append(repairs, repair{t, i})
+			}
+		}
+	}
+	m.mu.Unlock()
+	_ = failed // the failed node's data is considered lost
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(repairs))
+	for _, r := range repairs {
+		wg.Add(1)
+		go func(r repair) {
+			defer wg.Done()
+			if err := m.repairPartition(r.tenant, r.idx, nodeID); err != nil {
+				errCh <- err
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// repairPartition rebuilds one partition's lost replica on a fresh node.
+func (m *Meta) repairPartition(t *Tenant, idx int, failedID string) error {
+	m.mu.Lock()
+	route := t.Table.Partitions[idx]
+	pid := route.Partition
+
+	// Identify a surviving source replica host.
+	var sourceID string
+	if route.Primary != failedID {
+		sourceID = route.Primary
+	} else {
+		for _, f := range route.Followers {
+			if f != failedID {
+				sourceID = f
+				break
+			}
+		}
+	}
+	if sourceID == "" {
+		m.mu.Unlock()
+		return fmt.Errorf("metaserver: partition %s lost all replicas", pid)
+	}
+	source := m.nodes[sourceID]
+
+	// Pick a new host not already holding this partition.
+	exclude := map[string]bool{}
+	for _, f := range route.Followers {
+		exclude[f] = true
+	}
+	exclude[route.Primary] = true
+	hosts := m.pickHostsLocked(1, exclude)
+	if len(hosts) == 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("metaserver: no spare node to repair %s", pid)
+	}
+	newHost := hosts[0]
+	target := m.nodes[newHost]
+
+	// Update the route: replace the failed node with the new host.
+	if route.Primary == failedID {
+		// Promote the source (a surviving follower) to primary and add
+		// the new host as a follower.
+		newFollowers := []string{newHost}
+		for _, f := range route.Followers {
+			if f != failedID && f != sourceID {
+				newFollowers = append(newFollowers, f)
+			}
+		}
+		route.Primary = sourceID
+		route.Followers = newFollowers
+	} else {
+		var newFollowers []string
+		for _, f := range route.Followers {
+			if f != failedID {
+				newFollowers = append(newFollowers, f)
+			}
+		}
+		route.Followers = append(newFollowers, newHost)
+	}
+	t.Table.Partitions[idx] = route
+	perPartition := t.Quota.PartitionQuota()
+	m.mu.Unlock()
+
+	rid := partition.ReplicaID{Partition: pid, Replica: len(route.Followers)}
+	if err := target.AddReplica(rid, perPartition, false); err != nil {
+		return err
+	}
+	return copyReplica(source, target, pid)
+}
+
+// copyReplica streams a partition's live data from src to dst.
+func copyReplica(src, dst *datanode.Node, pid partition.ID) error {
+	return src.CopyReplicaTo(pid, dst)
+}

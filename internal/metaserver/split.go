@@ -1,0 +1,110 @@
+package metaserver
+
+import (
+	"fmt"
+
+	"abase/internal/datanode"
+	"abase/internal/partition"
+)
+
+// SplitTenantPartitions doubles a tenant's partition count (the
+// autoscaler triggers this when a scaled-up partition quota exceeds the
+// per-partition upper bound, Algorithm 1 line 4-5). New partitions are
+// placed on the least-loaded nodes and the tenant's data is rehashed
+// into the doubled layout.
+func (m *Meta) SplitTenantPartitions(tenant string) error {
+	m.mu.Lock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownTenant, tenant)
+	}
+	oldN := len(t.Table.Partitions)
+	newN := oldN * 2
+	t.Quota.SetPartitions(newN)
+	perPartition := t.Quota.PartitionQuota()
+
+	// Create the new partitions (indexes oldN..newN-1).
+	newRoutes := make([]partition.Route, 0, oldN)
+	for idx := oldN; idx < newN; idx++ {
+		pid := partition.ID{Tenant: tenant, Index: idx}
+		hosts := m.pickHostsLocked(m.replicas, nil)
+		if len(hosts) < m.replicas {
+			m.mu.Unlock()
+			return ErrNotEnoughNodes
+		}
+		route := partition.Route{Partition: pid, Primary: hosts[0]}
+		for r, host := range hosts {
+			rid := partition.ReplicaID{Partition: pid, Replica: r}
+			if err := m.nodes[host].AddReplica(rid, perPartition, r == 0); err != nil {
+				m.mu.Unlock()
+				return err
+			}
+			if r > 0 {
+				route.Followers = append(route.Followers, host)
+			}
+		}
+		newRoutes = append(newRoutes, route)
+	}
+
+	// Lower the existing partitions' quotas to the new per-partition
+	// share and collect their primaries for the rehash pass.
+	type srcPart struct {
+		pid     partition.ID
+		primary string
+	}
+	var sources []srcPart
+	for _, route := range t.Table.Partitions {
+		sources = append(sources, srcPart{route.Partition, route.Primary})
+		for _, host := range append([]string{route.Primary}, route.Followers...) {
+			if n, ok := m.nodes[host]; ok {
+				_ = n.SetPartitionQuota(route.Partition, perPartition)
+			}
+		}
+	}
+	t.Table.Partitions = append(t.Table.Partitions, newRoutes...)
+	table := t.Table
+	nodes := make(map[string]*datanode.Node, len(m.nodes))
+	for id, n := range m.nodes {
+		nodes[id] = n
+	}
+	m.mu.Unlock()
+
+	// Rehash: keys whose new partition differs move to it. With the
+	// doubled count, hash%newN == hash%oldN for roughly half the keys;
+	// the rest migrate.
+	for _, src := range sources {
+		srcNode, ok := nodes[src.primary]
+		if !ok {
+			continue
+		}
+		type kv struct{ k, v []byte }
+		var moved []kv
+		err := srcNode.ScanReplica(src.pid, func(key, value []byte) bool {
+			newIdx := partition.PartitionOf(key, newN)
+			if newIdx != src.pid.Index {
+				moved = append(moved, kv{append([]byte(nil), key...), append([]byte(nil), value...)})
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range moved {
+			newIdx := partition.PartitionOf(e.k, newN)
+			route := table.Partitions[newIdx]
+			dst, ok := nodes[route.Primary]
+			if !ok {
+				continue
+			}
+			newPid := partition.ID{Tenant: tenant, Index: newIdx}
+			if err := dst.ApplyReplicated(newPid, e.k, e.v, 0, false); err != nil {
+				return err
+			}
+			if err := srcNode.ApplyReplicated(src.pid, e.k, nil, 0, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// MovingAverage maintains the average of the last k observations. It is
+// used by the RU estimator for E[S_read] and E[R_hit] over the last k
+// requests (§4.1). Safe for concurrent use.
+type MovingAverage struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewMovingAverage returns a moving average over a window of k samples.
+// k must be positive.
+func NewMovingAverage(k int) *MovingAverage {
+	if k <= 0 {
+		panic("metrics: MovingAverage window must be positive")
+	}
+	return &MovingAverage{buf: make([]float64, k)}
+}
+
+// Observe adds a sample, evicting the oldest when the window is full.
+func (m *MovingAverage) Observe(v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.full {
+		m.sum -= m.buf[m.next]
+	}
+	m.buf[m.next] = v
+	m.sum += v
+	m.next++
+	if m.next == len(m.buf) {
+		m.next = 0
+		m.full = true
+	}
+}
+
+// Value returns the current average, or def when no samples have been
+// observed yet.
+func (m *MovingAverage) Value(def float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.next
+	if m.full {
+		n = len(m.buf)
+	}
+	if n == 0 {
+		return def
+	}
+	return m.sum / float64(n)
+}
+
+// Count returns the number of samples currently in the window.
+func (m *MovingAverage) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.full {
+		return len(m.buf)
+	}
+	return m.next
+}
+
+// RateMeter tracks a running count within the current window for QPS-style
+// measurements under an external clock. The caller advances windows by
+// calling Tick, which returns the count accumulated since the last Tick.
+type RateMeter struct {
+	cur atomic.Int64
+}
+
+// Observe records n events.
+func (r *RateMeter) Observe(n int64) { r.cur.Add(n) }
+
+// Tick returns the events observed since the previous Tick and resets
+// the window.
+func (r *RateMeter) Tick() int64 { return r.cur.Swap(0) }

@@ -1,0 +1,77 @@
+// Package partition defines ABase's data partitioning: each tenant's
+// keyspace is hash-partitioned into contiguous, disjoint partitions,
+// each replicated across DataNodes in different availability zones
+// (§3.1). The types here are shared by the proxy plane (routing), the
+// control plane (placement), and the data plane (hosting).
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ID identifies one partition of a tenant's table.
+type ID struct {
+	Tenant string
+	Index  int
+}
+
+// String renders the partition as tenant/index.
+func (id ID) String() string { return fmt.Sprintf("%s/%d", id.Tenant, id.Index) }
+
+// ReplicaID identifies one replica of a partition.
+type ReplicaID struct {
+	Partition ID
+	Replica   int
+}
+
+// String renders the replica as tenant/index/replica.
+func (r ReplicaID) String() string {
+	return fmt.Sprintf("%s/%d", r.Partition, r.Replica)
+}
+
+// Hash returns the stable hash of a key used for partition placement
+// and proxy-group fan-out.
+func Hash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// PartitionOf maps a key to one of n partitions. n must be positive.
+func PartitionOf(key []byte, n int) int {
+	if n <= 0 {
+		panic("partition: partition count must be positive")
+	}
+	return int(Hash(key) % uint64(n))
+}
+
+// Placement locates one replica on a DataNode.
+type Placement struct {
+	Replica ReplicaID
+	Node    string // DataNode ID
+	Primary bool
+}
+
+// Route is the routing entry for one partition: the primary first,
+// then followers.
+type Route struct {
+	Partition ID
+	Primary   string   // node hosting the primary replica
+	Followers []string // nodes hosting follower replicas
+}
+
+// Table is a tenant's full routing table: one Route per partition,
+// indexed by partition index.
+type Table struct {
+	Tenant     string
+	Partitions []Route
+}
+
+// RouteFor returns the route for the partition owning key.
+func (t *Table) RouteFor(key []byte) Route {
+	return t.Partitions[PartitionOf(key, len(t.Partitions))]
+}
+
+// NumPartitions returns the partition count.
+func (t *Table) NumPartitions() int { return len(t.Partitions) }

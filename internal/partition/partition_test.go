@@ -1,0 +1,85 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDString(t *testing.T) {
+	id := ID{Tenant: "t1", Index: 3}
+	if id.String() != "t1/3" {
+		t.Fatalf("String = %q", id.String())
+	}
+	r := ReplicaID{Partition: id, Replica: 2}
+	if r.String() != "t1/3/2" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestPartitionOfStable(t *testing.T) {
+	key := []byte("some-key")
+	a := PartitionOf(key, 16)
+	b := PartitionOf(key, 16)
+	if a != b {
+		t.Fatal("PartitionOf not deterministic")
+	}
+	if a < 0 || a >= 16 {
+		t.Fatalf("out of range: %d", a)
+	}
+}
+
+func TestPartitionOfPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PartitionOf([]byte("k"), 0)
+}
+
+func TestPartitionOfDistribution(t *testing.T) {
+	const n, keys = 8, 8000
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[PartitionOf([]byte(fmt.Sprintf("key-%d", i)), n)]++
+	}
+	for p, c := range counts {
+		if c < keys/n/2 || c > keys/n*2 {
+			t.Fatalf("partition %d has %d keys (expected ~%d)", p, c, keys/n)
+		}
+	}
+}
+
+func TestPropertyPartitionInRange(t *testing.T) {
+	f := func(key []byte, n uint8) bool {
+		parts := int(n%32) + 1
+		p := PartitionOf(key, parts)
+		return p >= 0 && p < parts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRouteFor(t *testing.T) {
+	tbl := &Table{
+		Tenant: "t1",
+		Partitions: []Route{
+			{Partition: ID{"t1", 0}, Primary: "node-a"},
+			{Partition: ID{"t1", 1}, Primary: "node-b"},
+		},
+	}
+	if tbl.NumPartitions() != 2 {
+		t.Fatal("NumPartitions wrong")
+	}
+	r := tbl.RouteFor([]byte("any-key"))
+	if r.Primary != "node-a" && r.Primary != "node-b" {
+		t.Fatalf("RouteFor = %+v", r)
+	}
+	// Must agree with PartitionOf.
+	want := tbl.Partitions[PartitionOf([]byte("any-key"), 2)]
+	if r.Partition != want.Partition {
+		t.Fatal("RouteFor disagrees with PartitionOf")
+	}
+}

@@ -1,0 +1,153 @@
+package proxy
+
+import (
+	"errors"
+
+	"abase/internal/datanode"
+)
+
+// Hash (Redis hash) operations forwarded to the primary DataNode.
+// Complex-operation RU estimation happens on the node (§4.1); the
+// proxy charges its quota with the pre-execution estimate.
+
+func (p *Proxy) allowComplex() bool {
+	if !p.cfg.EnableQuota {
+		return true
+	}
+	return p.limiter.Allow(p.est.EstimateHGetAllRU())
+}
+
+// HSet sets field=value in the hash at key.
+func (p *Proxy) HSet(key []byte, field string, value []byte) (int, error) {
+	if p.cfg.EnableQuota && !p.limiter.Allow(p.est.EstimateReadRU()+1) {
+		p.rejected.Inc()
+		return 0, ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return 0, err
+	}
+	added, err := node.HSet(pid, key, field, value)
+	if err != nil {
+		p.errors.Inc()
+		return 0, err
+	}
+	if p.cache != nil {
+		p.cache.Delete(string(key)) // hashes are not proxy-cached; drop stale plain entries
+	}
+	p.success.Inc()
+	return added, nil
+}
+
+// HGet returns the value of field in the hash at key.
+func (p *Proxy) HGet(key []byte, field string) ([]byte, error) {
+	if p.cfg.EnableQuota && !p.limiter.Allow(p.est.EstimateReadRU()) {
+		p.rejected.Inc()
+		return nil, ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return nil, err
+	}
+	v, err := node.HGet(pid, key, field)
+	if err != nil {
+		if errors.Is(err, datanode.ErrNotFound) {
+			p.errors.Inc()
+			return nil, ErrNotFound
+		}
+		p.errors.Inc()
+		return nil, err
+	}
+	p.success.Inc()
+	return v, nil
+}
+
+// HLen returns the number of fields in the hash at key.
+func (p *Proxy) HLen(key []byte) (int, error) {
+	if !p.allowComplex() {
+		p.rejected.Inc()
+		return 0, ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return 0, err
+	}
+	n, err := node.HLen(pid, key)
+	if err != nil {
+		p.errors.Inc()
+		return 0, err
+	}
+	p.success.Inc()
+	return n, nil
+}
+
+// HGetAll returns every field and value of the hash at key.
+func (p *Proxy) HGetAll(key []byte) (map[string][]byte, error) {
+	if !p.allowComplex() {
+		p.rejected.Inc()
+		return nil, ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return nil, err
+	}
+	m, err := node.HGetAll(pid, key)
+	if err != nil {
+		p.errors.Inc()
+		return nil, err
+	}
+	p.success.Inc()
+	return m, nil
+}
+
+// HDel removes fields from the hash at key.
+func (p *Proxy) HDel(key []byte, fields ...string) (int, error) {
+	if !p.allowComplex() {
+		p.rejected.Inc()
+		return 0, ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return 0, err
+	}
+	n, err := node.HDel(pid, key, fields...)
+	if err != nil {
+		p.errors.Inc()
+		return 0, err
+	}
+	if p.cache != nil {
+		p.cache.Delete(string(key))
+	}
+	p.success.Inc()
+	return n, nil
+}
+
+// Fleet hash forwarding: route by key, then delegate.
+
+// HSet routes and sets a hash field.
+func (f *Fleet) HSet(key []byte, field string, value []byte) (int, error) {
+	return f.Route(key).HSet(key, field, value)
+}
+
+// HGet routes and reads a hash field.
+func (f *Fleet) HGet(key []byte, field string) ([]byte, error) {
+	return f.Route(key).HGet(key, field)
+}
+
+// HLen routes and returns a hash's field count.
+func (f *Fleet) HLen(key []byte) (int, error) { return f.Route(key).HLen(key) }
+
+// HGetAll routes and returns a hash's full contents.
+func (f *Fleet) HGetAll(key []byte) (map[string][]byte, error) {
+	return f.Route(key).HGetAll(key)
+}
+
+// HDel routes and deletes hash fields.
+func (f *Fleet) HDel(key []byte, fields ...string) (int, error) {
+	return f.Route(key).HDel(key, fields...)
+}

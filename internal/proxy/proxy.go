@@ -1,0 +1,438 @@
+// Package proxy implements ABase's proxy plane (§3.2, §4.2, §4.4):
+// per-tenant proxies that route requests to DataNodes, enforce the
+// proxy-level quota (intercepting burst traffic before it reaches
+// shared DataNodes), and serve hot keys from an active-update LRU
+// cache. Proxies are organized into groups addressed by the limited
+// fan-out hash strategy.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"abase/internal/cache"
+	"abase/internal/clock"
+	"abase/internal/datanode"
+	"abase/internal/metaserver"
+	"abase/internal/metrics"
+	"abase/internal/partition"
+	"abase/internal/quota"
+	"abase/internal/ru"
+)
+
+// ErrThrottled is returned when the proxy-level quota rejects a
+// request, shielding DataNodes from the tenant's burst (§4.2).
+var ErrThrottled = errors.New("proxy: tenant quota exceeded")
+
+// ErrNotFound is returned for absent keys.
+var ErrNotFound = errors.New("proxy: key not found")
+
+// Config configures one proxy instance.
+type Config struct {
+	// Tenant is the owning tenant.
+	Tenant string
+	// ID names this proxy.
+	ID string
+	// Meta is the control plane (routing, traffic control).
+	Meta *metaserver.Meta
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// CacheBytes sizes the AU-LRU (paper: proxy memory < 10 GB;
+	// default 32 MiB). Zero with EnableCache=false disables caching.
+	CacheBytes int64
+	// CacheTTL is the proxy cache entry lifetime. Default 10s.
+	CacheTTL time.Duration
+	// EnableCache turns the proxy AU-LRU on.
+	EnableCache bool
+	// EnableQuota turns proxy-level admission on (Figure 6 ablates it).
+	EnableQuota bool
+	// ProxyQuota is this proxy's standard quota share in RU/s
+	// (tenant quota / proxy count).
+	ProxyQuota float64
+}
+
+// Proxy is one tenant proxy.
+type Proxy struct {
+	cfg     Config
+	cache   *cache.AULRU
+	limiter *quota.ProxyLimiter
+	est     *ru.Estimator
+
+	windowRU metrics.Gauge
+	success  metrics.Counter
+	rejected metrics.Counter
+	errors   metrics.Counter
+	hits     metrics.Counter
+	misses   metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// New creates a proxy and registers it with the MetaServer for traffic
+// control.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Meta == nil {
+		return nil, errors.New("proxy: Meta is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 32 << 20
+	}
+	if cfg.CacheTTL <= 0 {
+		cfg.CacheTTL = 10 * time.Second
+	}
+	p := &Proxy{
+		cfg:     cfg,
+		limiter: quota.NewProxyLimiter(cfg.ProxyQuota, cfg.Clock),
+		est:     ru.NewEstimator(0),
+		latency: metrics.NewHistogram(),
+	}
+	if cfg.EnableCache {
+		p.cache = cache.NewAULRU(cache.AUConfig{
+			Capacity:  cfg.CacheBytes,
+			TTL:       cfg.CacheTTL,
+			Clock:     cfg.Clock,
+			Refresher: p.refreshFromOrigin,
+		})
+	}
+	cfg.Meta.RegisterProxy(p)
+	return p, nil
+}
+
+// refreshFromOrigin is the AU-LRU active-update fetch: it reads the key
+// directly from the primary DataNode, bypassing quota (system traffic).
+func (p *Proxy) refreshFromOrigin(key string) ([]byte, bool) {
+	node, pid, err := p.route([]byte(key))
+	if err != nil {
+		return nil, false
+	}
+	res, err := node.Get(pid, []byte(key))
+	if err != nil {
+		return nil, false
+	}
+	return res.Value, true
+}
+
+func (p *Proxy) route(key []byte) (*datanode.Node, partition.ID, error) {
+	route, err := p.cfg.Meta.RouteFor(p.cfg.Tenant, key)
+	if err != nil {
+		return nil, partition.ID{}, err
+	}
+	node, err := p.cfg.Meta.Node(route.Primary)
+	if err != nil {
+		return nil, partition.ID{}, err
+	}
+	return node, route.Partition, nil
+}
+
+// Get reads key. Proxy cache hits return immediately without consuming
+// any quota (§4.2); misses are admitted by the proxy limiter and routed
+// to the primary DataNode.
+func (p *Proxy) Get(key []byte) ([]byte, error) {
+	start := p.cfg.Clock.Now()
+	if p.cache != nil {
+		if v, ok := p.cache.Get(string(key)); ok {
+			p.hits.Inc()
+			p.success.Inc()
+			p.latency.Observe(p.cfg.Clock.Since(start))
+			return v, nil
+		}
+		p.misses.Inc()
+	}
+	estimate := p.est.EstimateReadRU()
+	if p.cfg.EnableQuota && !p.limiter.Allow(estimate) {
+		p.rejected.Inc()
+		return nil, ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return nil, err
+	}
+	res, err := node.Get(pid, key)
+	if err != nil {
+		if errors.Is(err, datanode.ErrNotFound) {
+			p.est.ObserveRead(0, false)
+			p.errors.Inc()
+			return nil, ErrNotFound
+		}
+		p.errors.Inc()
+		return nil, err
+	}
+	p.est.ObserveRead(len(res.Value), res.CacheHit)
+	p.windowRU.Add(res.RU)
+	if p.cache != nil {
+		p.cache.Put(string(key), res.Value)
+	}
+	p.success.Inc()
+	p.latency.Observe(p.cfg.Clock.Since(start))
+	return res.Value, nil
+}
+
+// Put writes key=value with an optional TTL through the proxy quota.
+func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
+	start := p.cfg.Clock.Now()
+	cost := ru.WriteRU(len(value), 3)
+	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
+		p.rejected.Inc()
+		return ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return err
+	}
+	res, err := node.Put(pid, key, value, ttl)
+	if err != nil {
+		p.errors.Inc()
+		return err
+	}
+	p.windowRU.Add(res.RU)
+	if p.cache != nil {
+		p.cache.Put(string(key), value)
+	}
+	p.success.Inc()
+	p.latency.Observe(p.cfg.Clock.Since(start))
+	return nil
+}
+
+// Delete removes key.
+func (p *Proxy) Delete(key []byte) error {
+	cost := ru.WriteRU(0, 3)
+	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
+		p.rejected.Inc()
+		return ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return err
+	}
+	if _, err := node.Delete(pid, key); err != nil {
+		p.errors.Inc()
+		return err
+	}
+	if p.cache != nil {
+		p.cache.Delete(string(key))
+	}
+	p.success.Inc()
+	return nil
+}
+
+// --- metaserver.RestrictableProxy ---
+
+// ProxyID implements metaserver.RestrictableProxy.
+func (p *Proxy) ProxyID() string { return p.cfg.ID }
+
+// TenantName implements metaserver.RestrictableProxy.
+func (p *Proxy) TenantName() string { return p.cfg.Tenant }
+
+// Restrict implements metaserver.RestrictableProxy.
+func (p *Proxy) Restrict() { p.limiter.Restrict() }
+
+// Relax implements metaserver.RestrictableProxy.
+func (p *Proxy) Relax() { p.limiter.Relax() }
+
+// WindowRU implements metaserver.RestrictableProxy: it returns and
+// resets the RU admitted since the previous call.
+func (p *Proxy) WindowRU() float64 {
+	v := p.windowRU.Value()
+	p.windowRU.Add(-v)
+	return v
+}
+
+// Stats is a snapshot of proxy counters.
+type Stats struct {
+	Success    int64
+	Rejected   int64
+	Errors     int64
+	CacheHits  int64
+	CacheMiss  int64
+	LatencyP99 time.Duration
+}
+
+// HitRatio returns the proxy cache hit ratio.
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Success:    p.success.Value(),
+		Rejected:   p.rejected.Value(),
+		Errors:     p.errors.Value(),
+		CacheHits:  p.hits.Value(),
+		CacheMiss:  p.misses.Value(),
+		LatencyP99: p.latency.Quantile(0.99),
+	}
+}
+
+// ResetStats zeroes the proxy counters (experiment windows).
+func (p *Proxy) ResetStats() {
+	p.success.Reset()
+	p.rejected.Reset()
+	p.errors.Reset()
+	p.hits.Reset()
+	p.misses.Reset()
+	p.latency.Reset()
+	if p.cache != nil {
+		p.cache.ResetStats()
+	}
+}
+
+// SetQuota updates the proxy's standard quota share.
+func (p *Proxy) SetQuota(q float64) { p.limiter.SetQuota(q) }
+
+// Fleet is a tenant's N proxies organized into n groups for the
+// limited fan-out hash strategy (§4.4): each key hashes to one group,
+// and the request goes to a uniformly random proxy within that group.
+// Larger n concentrates each key on fewer proxies (higher per-proxy hit
+// ratio); smaller n spreads a hot key across more proxies (N/n each).
+type Fleet struct {
+	tenant  string
+	groups  [][]*Proxy
+	mu      sync.Mutex
+	rng     *rand.Rand
+	proxies []*Proxy
+}
+
+// NewFleet creates numProxies proxies in numGroups groups. cfg is the
+// template configuration; IDs are derived from the tenant name.
+func NewFleet(cfg Config, numProxies, numGroups int, seed int64) (*Fleet, error) {
+	if numProxies < 1 {
+		numProxies = 1
+	}
+	if numGroups < 1 || numGroups > numProxies {
+		numGroups = numProxies
+	}
+	f := &Fleet{
+		tenant: cfg.Tenant,
+		groups: make([][]*Proxy, numGroups),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < numProxies; i++ {
+		c := cfg
+		c.ID = fmt.Sprintf("%s-proxy-%d", cfg.Tenant, i)
+		p, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		g := i % numGroups
+		f.groups[g] = append(f.groups[g], p)
+		f.proxies = append(f.proxies, p)
+	}
+	return f, nil
+}
+
+// Route returns the proxy that should serve key: hash to a group, then
+// a random member of that group.
+func (f *Fleet) Route(key []byte) *Proxy {
+	g := int(partition.Hash(key) % uint64(len(f.groups)))
+	members := f.groups[g]
+	f.mu.Lock()
+	idx := f.rng.Intn(len(members))
+	f.mu.Unlock()
+	return members[idx]
+}
+
+// Get routes and reads key.
+func (f *Fleet) Get(key []byte) ([]byte, error) { return f.Route(key).Get(key) }
+
+// Put routes and writes key.
+func (f *Fleet) Put(key, value []byte, ttl time.Duration) error {
+	return f.Route(key).Put(key, value, ttl)
+}
+
+// Delete routes and deletes key.
+func (f *Fleet) Delete(key []byte) error { return f.Route(key).Delete(key) }
+
+// Proxies returns all proxies in the fleet.
+func (f *Fleet) Proxies() []*Proxy { return f.proxies }
+
+// NumGroups returns n.
+func (f *Fleet) NumGroups() int { return len(f.groups) }
+
+// AggregateStats sums the stats across the fleet.
+func (f *Fleet) AggregateStats() Stats {
+	var out Stats
+	for _, p := range f.proxies {
+		s := p.Stats()
+		out.Success += s.Success
+		out.Rejected += s.Rejected
+		out.Errors += s.Errors
+		out.CacheHits += s.CacheHits
+		out.CacheMiss += s.CacheMiss
+		if s.LatencyP99 > out.LatencyP99 {
+			out.LatencyP99 = s.LatencyP99
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes every proxy's counters.
+func (f *Fleet) ResetStats() {
+	for _, p := range f.proxies {
+		p.ResetStats()
+	}
+}
+
+// TTL returns key's remaining time-to-live; hasTTL is false for keys
+// stored without an expiry.
+func (p *Proxy) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return 0, false, err
+	}
+	ttl, found, err := node.TTL(pid, key)
+	if err != nil {
+		if errors.Is(err, datanode.ErrNotFound) {
+			return 0, false, ErrNotFound
+		}
+		p.errors.Inc()
+		return 0, false, err
+	}
+	p.success.Inc()
+	return ttl, found && ttl > 0, nil
+}
+
+// Expire sets key's TTL through the proxy quota.
+func (p *Proxy) Expire(key []byte, ttl time.Duration) error {
+	cost := p.est.EstimateReadRU() + 1
+	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
+		p.rejected.Inc()
+		return ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return err
+	}
+	if err := node.Expire(pid, key, ttl); err != nil {
+		if errors.Is(err, datanode.ErrNotFound) {
+			return ErrNotFound
+		}
+		p.errors.Inc()
+		return err
+	}
+	if p.cache != nil {
+		p.cache.Delete(string(key))
+	}
+	p.success.Inc()
+	return nil
+}
+
+// TTL routes and queries a key's TTL.
+func (f *Fleet) TTL(key []byte) (time.Duration, bool, error) { return f.Route(key).TTL(key) }
+
+// Expire routes and sets a key's TTL.
+func (f *Fleet) Expire(key []byte, ttl time.Duration) error { return f.Route(key).Expire(key, ttl) }

@@ -1,0 +1,241 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"abase/internal/datanode"
+	"abase/internal/metaserver"
+)
+
+func newStack(t *testing.T, quotaRU float64, cfgMut func(*Config)) (*metaserver.Meta, *Proxy) {
+	t.Helper()
+	m := metaserver.New(metaserver.Config{Replicas: 3})
+	t.Cleanup(m.Close)
+	for i := 0; i < 3; i++ {
+		n := datanode.New(datanode.Config{
+			ID: fmt.Sprintf("node-%d", i),
+			Cost: datanode.CostModel{
+				CPUTime: time.Nanosecond, IOReadTime: time.Nanosecond, IOWriteTime: time.Nanosecond,
+			},
+		})
+		t.Cleanup(func() { n.Close() })
+		m.RegisterNode(n)
+	}
+	if _, err := m.CreateTenant(metaserver.TenantSpec{
+		Name: "t1", QuotaRU: quotaRU, Partitions: 2, Proxies: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Tenant:      "t1",
+		ID:          "p0",
+		Meta:        m,
+		EnableCache: true,
+		EnableQuota: true,
+		ProxyQuota:  quotaRU,
+		CacheTTL:    time.Minute,
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func TestProxyPutGet(t *testing.T) {
+	_, p := newStack(t, 100000, nil)
+	if err := p.Put([]byte("k"), []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestProxyGetMissing(t *testing.T) {
+	_, p := newStack(t, 100000, nil)
+	if _, err := p.Get([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProxyDelete(t *testing.T) {
+	_, p := newStack(t, 100000, nil)
+	p.Put([]byte("k"), []byte("v"), 0)
+	if err := p.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestProxyCacheHitsSkipQuota(t *testing.T) {
+	// Tiny quota: after it drains, cached reads must still succeed
+	// because proxy cache hits bypass the limiter (§4.2).
+	_, p := newStack(t, 5, nil)
+	if err := p.Put([]byte("hot"), []byte("v"), 0); err != nil {
+		t.Fatal(err) // first write fits in the initial burst
+	}
+	// Warm the proxy cache (Put already cached it, but be explicit).
+	if _, err := p.Get([]byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the quota with writes until throttled.
+	for i := 0; i < 100; i++ {
+		p.Put([]byte(fmt.Sprintf("w%d", i)), []byte("v"), 0)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := p.Get([]byte("hot")); err != nil {
+			t.Fatalf("cached read throttled: %v", err)
+		}
+	}
+	if p.Stats().CacheHits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+func TestProxyThrottlesBeyondQuota(t *testing.T) {
+	_, p := newStack(t, 10, func(c *Config) { c.EnableCache = false })
+	throttled := 0
+	for i := 0; i < 200; i++ {
+		err := p.Put([]byte("k"), make([]byte, 2048), 0)
+		if errors.Is(err, ErrThrottled) {
+			throttled++
+		}
+	}
+	if throttled == 0 {
+		t.Fatal("proxy never throttled")
+	}
+	if p.Stats().Rejected == 0 {
+		t.Fatal("rejections not counted")
+	}
+}
+
+func TestProxyQuotaDisabled(t *testing.T) {
+	_, p := newStack(t, 1, func(c *Config) { c.EnableQuota = false; c.EnableCache = false })
+	for i := 0; i < 50; i++ {
+		if err := p.Put([]byte("k"), []byte("v"), 0); err != nil {
+			t.Fatalf("unexpected throttle: %v", err)
+		}
+	}
+}
+
+func TestProxyRestrictRelaxFromMeta(t *testing.T) {
+	m, p := newStack(t, 100, func(c *Config) { c.EnableCache = false })
+	// Simulate heavy admitted traffic, then run the monitor: the proxy
+	// must be restricted.
+	p.windowRU.Add(100000)
+	m.MonitorProxyTraffic(time.Second)
+	if !p.limiter.Restricted() {
+		t.Fatal("meta did not restrict overloaded proxy")
+	}
+	m.MonitorProxyTraffic(time.Second) // window now ~0 → relax
+	if p.limiter.Restricted() {
+		t.Fatal("meta did not relax proxy")
+	}
+}
+
+func TestWindowRUResets(t *testing.T) {
+	_, p := newStack(t, 100000, nil)
+	p.Put([]byte("k"), make([]byte, 2048), 0)
+	first := p.WindowRU()
+	if first <= 0 {
+		t.Fatalf("WindowRU = %v", first)
+	}
+	if second := p.WindowRU(); second != 0 {
+		t.Fatalf("WindowRU after reset = %v", second)
+	}
+}
+
+func TestProxyStatsReset(t *testing.T) {
+	_, p := newStack(t, 100000, nil)
+	p.Put([]byte("k"), []byte("v"), 0)
+	p.Get([]byte("k"))
+	if p.Stats().Success == 0 {
+		t.Fatal("no successes")
+	}
+	p.ResetStats()
+	s := p.Stats()
+	if s.Success != 0 || s.CacheHits != 0 {
+		t.Fatalf("reset incomplete: %+v", s)
+	}
+}
+
+func TestFleetRoutesConsistently(t *testing.T) {
+	m := metaserver.New(metaserver.Config{Replicas: 3})
+	t.Cleanup(m.Close)
+	for i := 0; i < 3; i++ {
+		n := datanode.New(datanode.Config{ID: fmt.Sprintf("n%d", i),
+			Cost: datanode.CostModel{CPUTime: time.Nanosecond, IOReadTime: time.Nanosecond, IOWriteTime: time.Nanosecond}})
+		t.Cleanup(func() { n.Close() })
+		m.RegisterNode(n)
+	}
+	m.CreateTenant(metaserver.TenantSpec{Name: "t1", QuotaRU: 100000, Partitions: 2})
+	f, err := NewFleet(Config{
+		Tenant: "t1", Meta: m, EnableCache: true, EnableQuota: true,
+		ProxyQuota: 10000, CacheTTL: time.Minute,
+	}, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumGroups() != 4 || len(f.Proxies()) != 8 {
+		t.Fatalf("fleet shape: %d groups %d proxies", f.NumGroups(), len(f.Proxies()))
+	}
+	// The same key always lands in the same group (any member).
+	group := map[*Proxy]bool{}
+	for i := 0; i < 50; i++ {
+		group[f.Route([]byte("stable-key"))] = true
+	}
+	if len(group) > 2 { // group size = 8/4 = 2
+		t.Fatalf("key routed to %d proxies, want ≤2 (one group)", len(group))
+	}
+
+	// End-to-end through the fleet.
+	if err := f.Put([]byte("k"), []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("fleet Get = %q, %v", v, err)
+	}
+	if f.AggregateStats().Success == 0 {
+		t.Fatal("aggregate stats empty")
+	}
+	f.ResetStats()
+	if f.AggregateStats().Success != 0 {
+		t.Fatal("fleet reset incomplete")
+	}
+}
+
+func TestFleetGroupClamp(t *testing.T) {
+	m := metaserver.New(metaserver.Config{Replicas: 3})
+	t.Cleanup(m.Close)
+	for i := 0; i < 3; i++ {
+		n := datanode.New(datanode.Config{ID: fmt.Sprintf("nn%d", i),
+			Cost: datanode.CostModel{CPUTime: time.Nanosecond, IOReadTime: time.Nanosecond, IOWriteTime: time.Nanosecond}})
+		t.Cleanup(func() { n.Close() })
+		m.RegisterNode(n)
+	}
+	m.CreateTenant(metaserver.TenantSpec{Name: "t1", QuotaRU: 1000})
+	f, err := NewFleet(Config{Tenant: "t1", Meta: m, ProxyQuota: 100}, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumGroups() != 2 {
+		t.Fatalf("groups = %d, want clamped to 2", f.NumGroups())
+	}
+}
+
+func TestNewProxyRequiresMeta(t *testing.T) {
+	if _, err := New(Config{Tenant: "t"}); err == nil {
+		t.Fatal("no error without Meta")
+	}
+}

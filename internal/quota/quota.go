@@ -1,0 +1,301 @@
+// Package quota implements ABase's hierarchical request restriction
+// (§4.2): token-bucket rate limiting in RU/s at three levels.
+//
+//   - Tenant quota: the total RU/s a tenant purchased.
+//   - Proxy quota: tenant quota divided across the tenant's proxies.
+//     Each proxy may autonomously burst to 2× its share; when the
+//     MetaServer observes the tenant's aggregate exceeding the tenant
+//     quota it directs proxies back to their standard share.
+//   - Partition quota: tenant quota divided across partitions. A single
+//     partition may consume at most 3× its share, bounding co-tenant
+//     interference on a shared DataNode.
+package quota
+
+import (
+	"sync"
+	"time"
+
+	"abase/internal/clock"
+)
+
+// Bucket is a token-bucket rate limiter denominated in RU. Tokens
+// accrue at Rate per second up to Burst. Safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	clk    clock.Clock
+
+	allowed  int64
+	rejected int64
+}
+
+// NewBucket returns a bucket refilling at rate RU/s with capacity
+// burst. A nil clk uses the real clock. The bucket starts full.
+func NewBucket(rate, burst float64, clk clock.Clock) *Bucket {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if burst < rate {
+		burst = rate
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: clk.Now(), clk: clk}
+}
+
+func (b *Bucket) refillLocked(now time.Time) {
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	b.tokens += elapsed * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Allow consumes cost tokens if available, reporting whether the
+// request is admitted.
+func (b *Bucket) Allow(cost float64) bool {
+	if cost < 0 {
+		cost = 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clk.Now())
+	if b.tokens >= cost {
+		b.tokens -= cost
+		b.allowed++
+		return true
+	}
+	b.rejected++
+	return false
+}
+
+// SetRate updates the refill rate and burst, preserving accrued tokens
+// up to the new burst.
+func (b *Bucket) SetRate(rate, burst float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clk.Now())
+	if burst < rate {
+		burst = rate
+	}
+	b.rate, b.burst = rate, burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+// Rate returns the current refill rate.
+func (b *Bucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// Stats returns cumulative admitted and rejected request counts.
+func (b *Bucket) Stats() (allowed, rejected int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.allowed, b.rejected
+}
+
+// TenantQuota describes a tenant's purchased capacity and its division
+// across proxies and partitions.
+type TenantQuota struct {
+	mu         sync.RWMutex
+	tenantRU   float64 // total RU/s
+	storageGB  float64
+	proxies    int
+	partitions int
+}
+
+// NewTenantQuota returns a tenant quota of ru RU/s and storage GB,
+// divided across the given proxy and partition counts (minimum 1 each).
+func NewTenantQuota(ru, storageGB float64, proxies, partitions int) *TenantQuota {
+	if proxies < 1 {
+		proxies = 1
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	return &TenantQuota{tenantRU: ru, storageGB: storageGB, proxies: proxies, partitions: partitions}
+}
+
+// RU returns the tenant's total RU/s quota.
+func (q *TenantQuota) RU() float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.tenantRU
+}
+
+// StorageGB returns the tenant's storage quota in GB.
+func (q *TenantQuota) StorageGB() float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.storageGB
+}
+
+// SetRU updates the tenant RU quota (autoscaler scaling decision).
+func (q *TenantQuota) SetRU(ru float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tenantRU = ru
+}
+
+// SetStorageGB updates the storage quota.
+func (q *TenantQuota) SetStorageGB(gb float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.storageGB = gb
+}
+
+// SetPartitions updates the partition count (after a split).
+func (q *TenantQuota) SetPartitions(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.partitions = n
+}
+
+// Partitions returns the current partition count.
+func (q *TenantQuota) Partitions() int {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.partitions
+}
+
+// ProxyQuota returns each proxy's standard share: tenant RU / proxies.
+func (q *TenantQuota) ProxyQuota() float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.tenantRU / float64(q.proxies)
+}
+
+// PartitionQuota returns each partition's share: tenant RU / partitions.
+func (q *TenantQuota) PartitionQuota() float64 {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.tenantRU / float64(q.partitions)
+}
+
+// ProxyBurstFactor is the autonomy multiplier each proxy may reach
+// before the MetaServer reins it back (§4.2).
+const ProxyBurstFactor = 2.0
+
+// PartitionBurstFactor caps a single partition at three times its
+// share (§4.2).
+const PartitionBurstFactor = 3.0
+
+// ProxyLimiter is the per-proxy admission controller. It normally
+// admits up to ProxyBurstFactor × proxy_quota autonomously; when the
+// MetaServer detects tenant-wide overage it directs the proxy to revert
+// to the standard quota via Restrict.
+type ProxyLimiter struct {
+	bucket     *Bucket
+	quota      float64
+	mu         sync.Mutex
+	restricted bool
+}
+
+// NewProxyLimiter returns a limiter for one proxy with the given
+// standard proxy_quota in RU/s.
+func NewProxyLimiter(proxyQuota float64, clk clock.Clock) *ProxyLimiter {
+	rate := proxyQuota * ProxyBurstFactor
+	return &ProxyLimiter{
+		bucket: NewBucket(rate, rate, clk),
+		quota:  proxyQuota,
+	}
+}
+
+// Allow admits a request of the given RU cost.
+func (p *ProxyLimiter) Allow(cost float64) bool { return p.bucket.Allow(cost) }
+
+// Restrict reverts the proxy to its standard quota (MetaServer
+// direction after tenant-wide overage).
+func (p *ProxyLimiter) Restrict() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.restricted {
+		p.restricted = true
+		p.bucket.SetRate(p.quota, p.quota)
+	}
+}
+
+// Relax restores the 2× autonomous burst allowance.
+func (p *ProxyLimiter) Relax() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.restricted {
+		p.restricted = false
+		rate := p.quota * ProxyBurstFactor
+		p.bucket.SetRate(rate, rate)
+	}
+}
+
+// Restricted reports whether the proxy is currently reverted to its
+// standard quota.
+func (p *ProxyLimiter) Restricted() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restricted
+}
+
+// SetQuota updates the standard proxy_quota (rescaling or proxy-count
+// changes), preserving the current restriction state.
+func (p *ProxyLimiter) SetQuota(proxyQuota float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.quota = proxyQuota
+	rate := proxyQuota
+	if !p.restricted {
+		rate *= ProxyBurstFactor
+	}
+	p.bucket.SetRate(rate, rate)
+}
+
+// Stats exposes the underlying bucket's counters.
+func (p *ProxyLimiter) Stats() (allowed, rejected int64) { return p.bucket.Stats() }
+
+// PartitionLimiter enforces the 3× partition_quota ceiling at the
+// DataNode request-queue entry point.
+type PartitionLimiter struct {
+	bucket *Bucket
+	mu     sync.Mutex
+	quota  float64
+	clk    clock.Clock
+}
+
+// NewPartitionLimiter returns a limiter admitting up to
+// PartitionBurstFactor × partition_quota RU/s.
+func NewPartitionLimiter(partitionQuota float64, clk clock.Clock) *PartitionLimiter {
+	rate := partitionQuota * PartitionBurstFactor
+	return &PartitionLimiter{bucket: NewBucket(rate, rate, clk), quota: partitionQuota, clk: clk}
+}
+
+// Allow admits a request of the given RU cost.
+func (p *PartitionLimiter) Allow(cost float64) bool { return p.bucket.Allow(cost) }
+
+// SetQuota updates the partition quota (after scaling or splits).
+func (p *PartitionLimiter) SetQuota(partitionQuota float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.quota = partitionQuota
+	rate := partitionQuota * PartitionBurstFactor
+	p.bucket.SetRate(rate, rate)
+}
+
+// Quota returns the standard partition quota.
+func (p *PartitionLimiter) Quota() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quota
+}
+
+// Stats exposes the underlying bucket's counters.
+func (p *PartitionLimiter) Stats() (allowed, rejected int64) { return p.bucket.Stats() }

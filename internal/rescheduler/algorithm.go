@@ -1,0 +1,297 @@
+package rescheduler
+
+import (
+	"math"
+	"sort"
+)
+
+// Migration is one replica move decided by the algorithm.
+type Migration struct {
+	ReplicaID string
+	Tenant    string
+	From      string
+	To        string
+	Resource  Resource
+	Gain      float64
+}
+
+// CanPlace reports whether dst can accept re (§5.3 / Algorithm 2 line
+// 10): dst must not already hold a replica of the same partition, and
+// the move must preserve the tenant's even replica distribution — dst
+// may not end up with two more of the tenant's replicas than the
+// source would keep.
+func CanPlace(re *Replica, dst *Node) bool {
+	if dst == nil || re.node == nil || dst == re.node {
+		return false
+	}
+	if dst.hostsPartition(re.Partition, re) {
+		return false
+	}
+	srcCount, dstCount := 0, 0
+	for _, r := range re.node.replicas {
+		if r.Tenant == re.Tenant {
+			srcCount++
+		}
+	}
+	for _, r := range dst.replicas {
+		if r.Tenant == re.Tenant {
+			dstCount++
+		}
+	}
+	// After the move: src has srcCount−1, dst has dstCount+1. Keep the
+	// distribution from inverting: the destination may not exceed the
+	// source's remaining count by more than one.
+	return dstCount+1 <= (srcCount-1)+1
+}
+
+// ReschedulePass runs one pass of Algorithm 2 over the pool: for each
+// resource dimension, divide nodes into S_L/S_M/S_H with threshold
+// theta, then for every non-migrating high-load node pick the
+// (replica, low-load node) pair with the maximum positive gain and
+// migrate it. It returns the migrations performed (already applied to
+// the pool model). Nodes touched by a migration are marked Migrating
+// and skipped for the rest of the pass; call ClearMigrating when the
+// physical data movement completes.
+func (p *Pool) ReschedulePass(theta float64) []Migration {
+	var out []Migration
+	for _, res := range []Resource{RU, Storage} {
+		low, _, high := p.Division(res, theta)
+		R, S := p.OptimalLoad()
+		for _, src := range high {
+			if src.Migrating {
+				continue
+			}
+			var bestRe *Replica
+			var bestDst *Node
+			bestGain := 0.0
+			// Deterministic replica order.
+			reps := src.Replicas()
+			sort.Slice(reps, func(i, j int) bool { return reps[i].ID < reps[j].ID })
+			for _, re := range reps {
+				for _, dst := range low {
+					if dst.Migrating || !CanPlace(re, dst) {
+						continue
+					}
+					if g := Gain(re, dst, R, S); g > bestGain {
+						bestRe, bestDst, bestGain = re, dst, g
+					}
+				}
+			}
+			if bestGain > 0 {
+				out = append(out, Migration{
+					ReplicaID: bestRe.ID,
+					Tenant:    bestRe.Tenant,
+					From:      src.ID,
+					To:        bestDst.ID,
+					Resource:  res,
+					Gain:      bestGain,
+				})
+				src.remove(bestRe)
+				bestDst.add(bestRe)
+				src.Migrating = true
+				bestDst.Migrating = true
+			}
+		}
+	}
+	return out
+}
+
+// ClearMigrating resets all in-flight markers (the physical migrations
+// completed).
+func (p *Pool) ClearMigrating() {
+	for _, n := range p.nodes {
+		n.Migrating = false
+	}
+}
+
+// RescheduleToConvergence runs passes (clearing migration markers
+// between them) until no pass produces a migration or maxPasses is
+// reached. It returns all migrations in order.
+func (p *Pool) RescheduleToConvergence(theta float64, maxPasses int) []Migration {
+	var all []Migration
+	for i := 0; i < maxPasses; i++ {
+		p.ClearMigrating()
+		ms := p.ReschedulePass(theta)
+		if len(ms) == 0 {
+			break
+		}
+		all = append(all, ms...)
+	}
+	p.ClearMigrating()
+	return all
+}
+
+// BalanceReplicaCounts is phase 1 of intra-pool rescheduling (§5.3):
+// it evens out each tenant's replica count across nodes. It returns
+// the migrations applied.
+func (p *Pool) BalanceReplicaCounts() []Migration {
+	// Count replicas per tenant.
+	tenants := map[string][]*Replica{}
+	for _, n := range p.nodes {
+		for _, r := range n.replicas {
+			tenants[r.Tenant] = append(tenants[r.Tenant], r)
+		}
+	}
+	nodes := p.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	var out []Migration
+	tenantNames := make([]string, 0, len(tenants))
+	for t := range tenants {
+		tenantNames = append(tenantNames, t)
+	}
+	sort.Strings(tenantNames)
+	for _, tenant := range tenantNames {
+		reps := tenants[tenant]
+		ceil := int(math.Ceil(float64(len(reps)) / float64(len(nodes))))
+		for {
+			// Find the most and least loaded node for this tenant.
+			counts := map[*Node]int{}
+			for _, r := range reps {
+				counts[r.node]++
+			}
+			var maxN, minN *Node
+			maxC, minC := -1, math.MaxInt32
+			for _, n := range nodes {
+				c := counts[n]
+				if c > maxC {
+					maxN, maxC = n, c
+				}
+				if c < minC {
+					minN, minC = n, c
+				}
+			}
+			if maxC <= ceil && maxC-minC <= 1 {
+				break
+			}
+			// Move one of the tenant's replicas from maxN to minN.
+			moved := false
+			reps2 := maxN.Replicas()
+			sort.Slice(reps2, func(i, j int) bool { return reps2[i].ID < reps2[j].ID })
+			for _, r := range reps2 {
+				if r.Tenant != tenant || minN.hostsPartition(r.Partition, r) {
+					continue
+				}
+				maxN.remove(r)
+				minN.add(r)
+				out = append(out, Migration{
+					ReplicaID: r.ID, Tenant: tenant,
+					From: maxN.ID, To: minN.ID, Resource: RU,
+				})
+				moved = true
+				break
+			}
+			if !moved {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// StdDevs returns the population standard deviation of RU and storage
+// utilization across the pool's nodes — the metric Figure 9 reports.
+func (p *Pool) StdDevs() (ruStd, stoStd float64) {
+	nodes := p.Nodes()
+	if len(nodes) == 0 {
+		return 0, 0
+	}
+	var ruVals, stoVals []float64
+	for _, n := range nodes {
+		ruVals = append(ruVals, n.RUUtil())
+		stoVals = append(stoVals, n.StoUtil())
+	}
+	return std(ruVals), std(stoVals)
+}
+
+func std(vs []float64) float64 {
+	var mean float64
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	var sum float64
+	for _, v := range vs {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(vs)))
+}
+
+// MaxAvgRUUtil returns the maximum and average RU utilization across
+// nodes — the convergence metric Figure 10 plots.
+func (p *Pool) MaxAvgRUUtil() (maxU, avgU float64) {
+	nodes := p.Nodes()
+	if len(nodes) == 0 {
+		return 0, 0
+	}
+	for _, n := range nodes {
+		u := n.RUUtil()
+		if u > maxU {
+			maxU = u
+		}
+		avgU += u
+	}
+	avgU /= float64(len(nodes))
+	return maxU, avgU
+}
+
+// RebalancePools implements inter-pool rescheduling (§5.3): vacate
+// numNodes low-utilization nodes from the lower-loaded pool (migrating
+// their replicas to the rest of that pool), reassign the vacated nodes
+// to the higher-loaded pool, then rebalance both pools intra-pool.
+// It returns the IDs of the transferred nodes.
+func RebalancePools(poolH, poolL *Pool, numNodes int, theta float64) ([]string, error) {
+	nodes := poolL.Nodes()
+	if numNodes >= len(nodes) {
+		numNodes = len(nodes) - 1
+	}
+	if numNodes <= 0 {
+		return nil, nil
+	}
+	// Lowest-utilization nodes first.
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].RUUtil()+nodes[i].StoUtil() < nodes[j].RUUtil()+nodes[j].StoUtil()
+	})
+	var moved []string
+	for _, victim := range nodes[:numNodes] {
+		// Drain the victim: place each replica on the best remaining node.
+		R, S := poolL.OptimalLoad()
+		for _, re := range victim.Replicas() {
+			var best *Node
+			bestLoss := math.Inf(1)
+			for _, cand := range poolL.Nodes() {
+				if cand == victim || !CanPlace(re, cand) {
+					continue
+				}
+				// Loss of the candidate after hypothetically adding re.
+				victim.remove(re)
+				cand.add(re)
+				l := Loss(cand, R, S)
+				cand.remove(re)
+				victim.add(re)
+				if l < bestLoss {
+					best, bestLoss = cand, l
+				}
+			}
+			if best == nil {
+				continue // stays on victim; node cannot be vacated fully
+			}
+			victim.remove(re)
+			best.add(re)
+		}
+		if victim.NumReplicas() > 0 {
+			continue // couldn't vacate; skip it
+		}
+		n, err := poolL.RemoveNode(victim.ID)
+		if err != nil {
+			return moved, err
+		}
+		poolH.AddNode(n)
+		moved = append(moved, n.ID)
+	}
+	poolH.RescheduleToConvergence(theta, 50)
+	poolL.RescheduleToConvergence(theta, 50)
+	return moved, nil
+}

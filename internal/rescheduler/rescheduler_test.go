@@ -1,0 +1,308 @@
+package rescheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestVec24(t *testing.T) {
+	a := Flat(2)
+	b := Flat(3)
+	if a.Add(b).Max() != 5 || b.Sub(a).Max() != 1 {
+		t.Fatal("vector arithmetic wrong")
+	}
+	var v Vec24
+	v[7] = 9
+	if v.Max() != 9 {
+		t.Fatal("Max wrong")
+	}
+}
+
+func mkReplica(id, tenant string, ru, sto float64) *Replica {
+	return &Replica{ID: id, Tenant: tenant, Partition: id, RU: Flat(ru), Storage: sto}
+}
+
+func TestNodeLoadBookkeeping(t *testing.T) {
+	n := NewNode("n1", 100, 1000)
+	p := NewPool()
+	p.AddNode(n)
+	r := mkReplica("t1/0/0", "t1", 10, 200)
+	p.Place(r, "n1")
+	if n.RULoad() != 10 || n.StoLoad() != 200 {
+		t.Fatalf("load = %v/%v", n.RULoad(), n.StoLoad())
+	}
+	if n.RUUtil() != 0.1 || n.StoUtil() != 0.2 {
+		t.Fatalf("util = %v/%v", n.RUUtil(), n.StoUtil())
+	}
+	if r.Node() != n || n.NumReplicas() != 1 {
+		t.Fatal("placement bookkeeping wrong")
+	}
+}
+
+func TestPlaceMovesBetweenNodes(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 100))
+	p.AddNode(NewNode("b", 100, 100))
+	r := mkReplica("t1/0/0", "t1", 10, 10)
+	p.Place(r, "a")
+	p.Place(r, "b")
+	if p.Node("a").NumReplicas() != 0 || p.Node("b").NumReplicas() != 1 {
+		t.Fatal("move did not clean up source")
+	}
+}
+
+func TestOptimalLoad(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 100))
+	p.AddNode(NewNode("b", 100, 100))
+	p.Place(mkReplica("r1", "t1", 50, 40), "a")
+	R, S := p.OptimalLoad()
+	if R != 0.25 { // 50 load / 200 capacity
+		t.Fatalf("R = %v", R)
+	}
+	if S != 0.2 { // 40 / 200
+		t.Fatalf("S = %v", S)
+	}
+}
+
+func TestDivision(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 4; i++ {
+		p.AddNode(NewNode(fmt.Sprintf("n%d", i), 100, 100))
+	}
+	p.Place(mkReplica("hot", "t1", 80, 10), "n0")
+	p.Place(mkReplica("warm", "t2", 21, 10), "n1")
+	// Optimal R = 101/400 ≈ 0.2525. θ=0.05: low ≤ 0.2025, high > 0.2525.
+	low, med, high := p.Division(RU, 0.05)
+	if len(high) != 1 || high[0].ID != "n0" {
+		t.Fatalf("high = %v", ids(high))
+	}
+	if len(low) != 2 { // n2, n3 at 0
+		t.Fatalf("low = %v", ids(low))
+	}
+	if len(med) != 1 || med[0].ID != "n1" {
+		t.Fatalf("med = %v", ids(med))
+	}
+}
+
+func ids(ns []*Node) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.ID)
+	}
+	return out
+}
+
+func TestGainPositiveForGoodMove(t *testing.T) {
+	p := NewPool()
+	a := NewNode("a", 100, 100)
+	b := NewNode("b", 100, 100)
+	p.AddNode(a)
+	p.AddNode(b)
+	r1 := mkReplica("r1", "t1", 40, 10)
+	r2 := mkReplica("r2", "t2", 40, 10)
+	p.Place(r1, "a")
+	p.Place(r2, "a")
+	R, S := p.OptimalLoad()
+	if g := Gain(r2, b, R, S); g <= 0 {
+		t.Fatalf("gain = %v, want positive", g)
+	}
+	// Gain must not mutate state.
+	if a.NumReplicas() != 2 || b.NumReplicas() != 0 {
+		t.Fatal("Gain mutated the pool")
+	}
+}
+
+func TestCanPlaceRejectsSamePartition(t *testing.T) {
+	p := NewPool()
+	a := NewNode("a", 100, 100)
+	b := NewNode("b", 100, 100)
+	p.AddNode(a)
+	p.AddNode(b)
+	r0 := &Replica{ID: "t1/0/0", Tenant: "t1", Partition: "t1/0", RU: Flat(1), Storage: 1}
+	r1 := &Replica{ID: "t1/0/1", Tenant: "t1", Partition: "t1/0", RU: Flat(1), Storage: 1}
+	p.Place(r0, "a")
+	p.Place(r1, "b")
+	if CanPlace(r0, b) {
+		t.Fatal("CanPlace allowed two replicas of one partition on a node")
+	}
+}
+
+func TestReschedulePassBalances(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 4; i++ {
+		p.AddNode(NewNode(fmt.Sprintf("n%d", i), 100, 1000))
+	}
+	// All load on n0.
+	for j := 0; j < 8; j++ {
+		p.Place(mkReplica(fmt.Sprintf("t%d/0/0", j), fmt.Sprintf("t%d", j), 10, 50), "n0")
+	}
+	before, _ := p.StdDevs()
+	ms := p.RescheduleToConvergence(0.05, 50)
+	after, _ := p.StdDevs()
+	if len(ms) == 0 {
+		t.Fatal("no migrations proposed")
+	}
+	if after >= before {
+		t.Fatalf("std did not improve: %v → %v", before, after)
+	}
+	// Paper: 74.5% RU std reduction on a dispersed pool; here demand a
+	// strong reduction too.
+	if after > 0.5*before {
+		t.Fatalf("weak balancing: %v → %v", before, after)
+	}
+}
+
+func TestReschedulePassMarksMigrating(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 100))
+	p.AddNode(NewNode("b", 100, 100))
+	p.Place(mkReplica("t1/0/0", "t1", 50, 10), "a")
+	p.Place(mkReplica("t2/0/0", "t2", 50, 10), "a")
+	ms := p.ReschedulePass(0.05)
+	if len(ms) != 1 {
+		t.Fatalf("migrations = %d", len(ms))
+	}
+	if !p.Node("a").Migrating || !p.Node("b").Migrating {
+		t.Fatal("nodes not marked migrating")
+	}
+	// Second pass without clearing: both nodes busy → no migrations.
+	if ms2 := p.ReschedulePass(0.05); len(ms2) != 0 {
+		t.Fatalf("migrating nodes were used: %v", ms2)
+	}
+	p.ClearMigrating()
+	if p.Node("a").Migrating {
+		t.Fatal("ClearMigrating failed")
+	}
+}
+
+func TestBalanceReplicaCounts(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 3; i++ {
+		p.AddNode(NewNode(fmt.Sprintf("n%d", i), 1000, 1000))
+	}
+	// Tenant t1 has 6 replicas all on n0.
+	for j := 0; j < 6; j++ {
+		p.Place(&Replica{
+			ID: fmt.Sprintf("t1/%d/0", j), Tenant: "t1",
+			Partition: fmt.Sprintf("t1/%d", j), RU: Flat(1), Storage: 1,
+		}, "n0")
+	}
+	ms := p.BalanceReplicaCounts()
+	if len(ms) == 0 {
+		t.Fatal("no balancing migrations")
+	}
+	for _, n := range p.Nodes() {
+		if c := n.NumReplicas(); c != 2 {
+			t.Fatalf("node %s has %d replicas, want 2", n.ID, c)
+		}
+	}
+}
+
+func TestRescheduleLargePoolReducesStd(t *testing.T) {
+	// Figure 9 shape at reduced scale: 100 nodes, heterogeneous load.
+	rng := rand.New(rand.NewSource(42))
+	p := NewPool()
+	for i := 0; i < 100; i++ {
+		p.AddNode(NewNode(fmt.Sprintf("n%03d", i), 1000, 1000))
+	}
+	// 400 replicas with skewed initial placement (prefer low node IDs).
+	for j := 0; j < 400; j++ {
+		node := fmt.Sprintf("n%03d", rng.Intn(30)) // only first 30 nodes
+		r := &Replica{
+			ID:        fmt.Sprintf("t%d/%d/0", j%40, j),
+			Tenant:    fmt.Sprintf("t%d", j%40),
+			Partition: fmt.Sprintf("t%d/%d", j%40, j),
+			RU:        Flat(rng.Float64() * 20),
+			Storage:   rng.Float64() * 50,
+		}
+		p.Place(r, node)
+	}
+	ruBefore, stoBefore := p.StdDevs()
+	p.RescheduleToConvergence(0.02, 200)
+	ruAfter, stoAfter := p.StdDevs()
+	if ruAfter > 0.35*ruBefore {
+		t.Fatalf("RU std reduction too weak: %v → %v", ruBefore, ruAfter)
+	}
+	if stoAfter > 0.35*stoBefore {
+		t.Fatalf("storage std reduction too weak: %v → %v", stoBefore, stoAfter)
+	}
+}
+
+func TestMaxAvgRUUtil(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 100))
+	p.AddNode(NewNode("b", 100, 100))
+	p.Place(mkReplica("r", "t", 80, 0), "a")
+	maxU, avgU := p.MaxAvgRUUtil()
+	if maxU != 0.8 || avgU != 0.4 {
+		t.Fatalf("max/avg = %v/%v", maxU, avgU)
+	}
+}
+
+func TestRemoveNodeRequiresEmpty(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 100))
+	p.Place(mkReplica("r", "t", 1, 1), "a")
+	if _, err := p.RemoveNode("a"); err == nil {
+		t.Fatal("removed non-empty node")
+	}
+	if _, err := p.RemoveNode("ghost"); err == nil {
+		t.Fatal("removed unknown node")
+	}
+}
+
+func TestRebalancePools(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// poolH overloaded (10 nodes, heavy), poolL underloaded (10 nodes, light).
+	poolH, poolL := NewPool(), NewPool()
+	for i := 0; i < 10; i++ {
+		poolH.AddNode(NewNode(fmt.Sprintf("h%d", i), 100, 1000))
+		poolL.AddNode(NewNode(fmt.Sprintf("l%d", i), 100, 1000))
+	}
+	for j := 0; j < 60; j++ {
+		poolH.Place(&Replica{
+			ID: fmt.Sprintf("ht%d/%d/0", j%10, j), Tenant: fmt.Sprintf("ht%d", j%10),
+			Partition: fmt.Sprintf("ht%d/%d", j%10, j),
+			RU:        Flat(10 + rng.Float64()*5), Storage: 50,
+		}, fmt.Sprintf("h%d", j%10))
+	}
+	for j := 0; j < 10; j++ {
+		poolL.Place(&Replica{
+			ID: fmt.Sprintf("lt%d/%d/0", j, j), Tenant: fmt.Sprintf("lt%d", j),
+			Partition: fmt.Sprintf("lt%d/%d", j, j),
+			RU:        Flat(2), Storage: 10,
+		}, fmt.Sprintf("l%d", j))
+	}
+	hBefore, _ := poolH.MaxAvgRUUtil()
+	moved, err := RebalancePools(poolH, poolL, 3, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) == 0 {
+		t.Fatal("no nodes transferred")
+	}
+	if len(poolH.Nodes()) != 10+len(moved) || len(poolL.Nodes()) != 10-len(moved) {
+		t.Fatalf("node counts wrong: H=%d L=%d moved=%d",
+			len(poolH.Nodes()), len(poolL.Nodes()), len(moved))
+	}
+	hAfter, _ := poolH.MaxAvgRUUtil()
+	if hAfter >= hBefore {
+		t.Fatalf("pool H max util did not improve: %v → %v", hBefore, hAfter)
+	}
+	// No replicas lost.
+	total := 0
+	for _, n := range append(poolH.Nodes(), poolL.Nodes()...) {
+		total += n.NumReplicas()
+	}
+	if total != 70 {
+		t.Fatalf("replicas lost: %d", total)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if RU.String() != "RU" || Storage.String() != "Storage" {
+		t.Fatal("Resource strings wrong")
+	}
+}

@@ -1,0 +1,280 @@
+// Package resp implements the Redis serialization protocol (RESP2),
+// which ABase speaks to ease adoption for users familiar with Redis
+// (§3.1). It provides the wire codec, a server loop, and a client.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Kind identifies a RESP value type.
+type Kind byte
+
+// RESP value kinds.
+const (
+	SimpleString Kind = '+'
+	Error        Kind = '-'
+	Integer      Kind = ':'
+	BulkString   Kind = '$'
+	Array        Kind = '*'
+)
+
+// Value is one RESP value.
+type Value struct {
+	Kind  Kind
+	Str   []byte  // SimpleString, Error, BulkString payload
+	Int   int64   // Integer payload
+	Array []Value // Array elements
+	Null  bool    // null bulk string / null array
+}
+
+// Convenience constructors.
+
+// OK is the +OK simple string reply.
+func OK() Value { return Value{Kind: SimpleString, Str: []byte("OK")} }
+
+// Pong is the +PONG simple string reply.
+func Pong() Value { return Value{Kind: SimpleString, Str: []byte("PONG")} }
+
+// Str returns a simple-string value.
+func Str(s string) Value { return Value{Kind: SimpleString, Str: []byte(s)} }
+
+// Err returns an error value.
+func Err(format string, args ...interface{}) Value {
+	return Value{Kind: Error, Str: []byte(fmt.Sprintf(format, args...))}
+}
+
+// Int64 returns an integer value.
+func Int64(n int64) Value { return Value{Kind: Integer, Int: n} }
+
+// Bulk returns a bulk-string value.
+func Bulk(b []byte) Value { return Value{Kind: BulkString, Str: b} }
+
+// BulkStr returns a bulk-string value from a string.
+func BulkStr(s string) Value { return Value{Kind: BulkString, Str: []byte(s)} }
+
+// Null returns the null bulk string ($-1).
+func Null() Value { return Value{Kind: BulkString, Null: true} }
+
+// Arr returns an array value.
+func Arr(vs ...Value) Value { return Value{Kind: Array, Array: vs} }
+
+// IsError reports whether the value is an error reply.
+func (v Value) IsError() bool { return v.Kind == Error }
+
+// Text returns the value's string payload (Str for string kinds, the
+// decimal for integers).
+func (v Value) Text() string {
+	switch v.Kind {
+	case Integer:
+		return strconv.FormatInt(v.Int, 10)
+	default:
+		return string(v.Str)
+	}
+}
+
+var (
+	// ErrProtocol reports malformed RESP input.
+	ErrProtocol = errors.New("resp: protocol error")
+	crlf        = []byte("\r\n")
+)
+
+// maxBulkLen bounds bulk strings to 512 MiB, matching Redis.
+const maxBulkLen = 512 << 20
+
+// Writer serializes RESP values onto a buffered writer.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write serializes one value (without flushing).
+func (w *Writer) Write(v Value) error {
+	switch v.Kind {
+	case SimpleString, Error:
+		w.w.WriteByte(byte(v.Kind))
+		w.w.Write(v.Str)
+		_, err := w.w.Write(crlf)
+		return err
+	case Integer:
+		w.w.WriteByte(':')
+		w.w.WriteString(strconv.FormatInt(v.Int, 10))
+		_, err := w.w.Write(crlf)
+		return err
+	case BulkString:
+		if v.Null {
+			_, err := w.w.WriteString("$-1\r\n")
+			return err
+		}
+		w.w.WriteByte('$')
+		w.w.WriteString(strconv.Itoa(len(v.Str)))
+		w.w.Write(crlf)
+		w.w.Write(v.Str)
+		_, err := w.w.Write(crlf)
+		return err
+	case Array:
+		if v.Null {
+			_, err := w.w.WriteString("*-1\r\n")
+			return err
+		}
+		w.w.WriteByte('*')
+		w.w.WriteString(strconv.Itoa(len(v.Array)))
+		if _, err := w.w.Write(crlf); err != nil {
+			return err
+		}
+		for _, el := range v.Array {
+			if err := w.Write(el); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrProtocol, v.Kind)
+	}
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader parses RESP values from a buffered reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line missing CRLF", ErrProtocol)
+	}
+	return line[:len(line)-2], nil
+}
+
+// Read parses one RESP value.
+func (r *Reader) Read() (Value, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return Value{}, err
+	}
+	if len(line) == 0 {
+		return Value{}, fmt.Errorf("%w: empty line", ErrProtocol)
+	}
+	kind, rest := Kind(line[0]), line[1:]
+	switch kind {
+	case SimpleString, Error:
+		return Value{Kind: kind, Str: append([]byte(nil), rest...)}, nil
+	case Integer:
+		n, err := strconv.ParseInt(string(rest), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad integer %q", ErrProtocol, rest)
+		}
+		return Value{Kind: Integer, Int: n}, nil
+	case BulkString:
+		n, err := strconv.ParseInt(string(rest), 10, 64)
+		if err != nil || n < -1 || n > maxBulkLen {
+			return Value{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, rest)
+		}
+		if n == -1 {
+			return Null(), nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			return Value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, fmt.Errorf("%w: bulk missing CRLF", ErrProtocol)
+		}
+		return Value{Kind: BulkString, Str: buf[:n]}, nil
+	case Array:
+		n, err := strconv.ParseInt(string(rest), 10, 64)
+		if err != nil || n < -1 {
+			return Value{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, rest)
+		}
+		if n == -1 {
+			return Value{Kind: Array, Null: true}, nil
+		}
+		els := make([]Value, 0, n)
+		for i := int64(0); i < n; i++ {
+			el, err := r.Read()
+			if err != nil {
+				return Value{}, err
+			}
+			els = append(els, el)
+		}
+		return Value{Kind: Array, Array: els}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown type byte %q", ErrProtocol, kind)
+	}
+}
+
+// Command is a parsed client command: a name plus raw byte arguments.
+type Command struct {
+	Name string
+	Args [][]byte
+}
+
+// ReadCommand parses a client command (an array of bulk strings).
+func (r *Reader) ReadCommand() (Command, error) {
+	v, err := r.Read()
+	if err != nil {
+		return Command{}, err
+	}
+	if v.Kind != Array || v.Null || len(v.Array) == 0 {
+		return Command{}, fmt.Errorf("%w: command must be a non-empty array", ErrProtocol)
+	}
+	for _, el := range v.Array {
+		if el.Kind != BulkString || el.Null {
+			return Command{}, fmt.Errorf("%w: command elements must be bulk strings", ErrProtocol)
+		}
+	}
+	cmd := Command{Name: upper(string(v.Array[0].Str))}
+	for _, el := range v.Array[1:] {
+		cmd.Args = append(cmd.Args, el.Str)
+	}
+	return cmd, nil
+}
+
+// WriteCommand serializes a command as an array of bulk strings.
+func (w *Writer) WriteCommand(name string, args ...[]byte) error {
+	els := make([]Value, 0, len(args)+1)
+	els = append(els, BulkStr(name))
+	for _, a := range args {
+		els = append(els, Bulk(a))
+	}
+	if err := w.Write(Arr(els...)); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// upper uppercases ASCII without allocation for already-upper input.
+func upper(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'a' && s[i] <= 'z' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

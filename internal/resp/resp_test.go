@@ -1,0 +1,241 @@
+package resp
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(v); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	w.Flush()
+	got, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripSimpleString(t *testing.T) {
+	got := roundTrip(t, Str("OK"))
+	if got.Kind != SimpleString || string(got.Str) != "OK" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripError(t *testing.T) {
+	got := roundTrip(t, Err("ERR something %d", 42))
+	if !got.IsError() || string(got.Str) != "ERR something 42" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripInteger(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		got := roundTrip(t, Int64(n))
+		if got.Kind != Integer || got.Int != n {
+			t.Fatalf("got %+v for %d", got, n)
+		}
+	}
+}
+
+func TestRoundTripBulk(t *testing.T) {
+	got := roundTrip(t, Bulk([]byte("hello\r\nworld"))) // embedded CRLF must survive
+	if got.Kind != BulkString || string(got.Str) != "hello\r\nworld" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripEmptyBulk(t *testing.T) {
+	got := roundTrip(t, Bulk(nil))
+	if got.Null || len(got.Str) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripNull(t *testing.T) {
+	got := roundTrip(t, Null())
+	if !got.Null {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRoundTripArray(t *testing.T) {
+	v := Arr(Int64(1), BulkStr("two"), Arr(Str("nested")))
+	got := roundTrip(t, v)
+	if got.Kind != Array || len(got.Array) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Array[2].Array[0].Text() != "nested" {
+		t.Fatalf("nested = %+v", got.Array[2])
+	}
+}
+
+func TestRoundTripNullArray(t *testing.T) {
+	got := roundTrip(t, Value{Kind: Array, Null: true})
+	if got.Kind != Array || !got.Null {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPropertyBulkRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Write(Bulk(payload))
+		w.Flush()
+		got, err := NewReader(&buf).Read()
+		return err == nil && bytes.Equal(got.Str, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCommand(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteCommand("set", []byte("key"), []byte("value"))
+	cmd, err := NewReader(&buf).ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Name != "SET" {
+		t.Fatalf("Name = %q (should be uppercased)", cmd.Name)
+	}
+	if len(cmd.Args) != 2 || string(cmd.Args[0]) != "key" {
+		t.Fatalf("Args = %v", cmd.Args)
+	}
+}
+
+func TestReadCommandRejectsNonArray(t *testing.T) {
+	r := NewReader(strings.NewReader("+OK\r\n"))
+	if _, err := r.ReadCommand(); err == nil {
+		t.Fatal("accepted non-array command")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"@bad\r\n", ":\r\nnotanint\r\n", "$abc\r\n", "*x\r\n", "$5\r\nab\r\n"} {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.Read(); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestReadRejectsMissingCRLF(t *testing.T) {
+	r := NewReader(strings.NewReader("+OK\n"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("accepted bare LF")
+	}
+}
+
+func TestTextHelper(t *testing.T) {
+	if Int64(7).Text() != "7" {
+		t.Fatal("Int text")
+	}
+	if BulkStr("x").Text() != "x" {
+		t.Fatal("Bulk text")
+	}
+}
+
+func TestUpper(t *testing.T) {
+	if upper("get") != "GET" || upper("GET") != "GET" || upper("GeT1") != "GET1" {
+		t.Fatal("upper wrong")
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(cmd Command) Value {
+		switch cmd.Name {
+		case "PING":
+			return Pong()
+		case "ECHO":
+			return Bulk(cmd.Args[0])
+		default:
+			return Err("ERR unknown command '%s'", cmd.Name)
+		}
+	}))
+	srv.Logf = func(string, ...interface{}) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	v, err := c.DoStrings("ping")
+	if err != nil || v.Text() != "PONG" {
+		t.Fatalf("PING = %+v, %v", v, err)
+	}
+	v, err = c.DoStrings("echo", "hello")
+	if err != nil || v.Text() != "hello" {
+		t.Fatalf("ECHO = %+v, %v", v, err)
+	}
+	v, err = c.DoStrings("nope")
+	if err != nil || !v.IsError() {
+		t.Fatalf("unknown = %+v, %v", v, err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(cmd Command) Value {
+		return Bulk(cmd.Args[0])
+	}))
+	srv.Logf = func(string, ...interface{}) {}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				msg := []byte{byte(i), byte(j)}
+				v, err := c.Do("ECHO", msg)
+				if err != nil || !bytes.Equal(v.Str, msg) {
+					t.Errorf("echo mismatch: %v %v", v, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(Command) Value { return OK() }))
+	srv.Logf = func(string, ...interface{}) {}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

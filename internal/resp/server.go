@@ -1,0 +1,187 @@
+package resp
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Handler processes one parsed command and returns the reply value.
+// Implementations must be safe for concurrent use.
+type Handler interface {
+	Handle(cmd Command) Value
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(cmd Command) Value
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(cmd Command) Value { return f(cmd) }
+
+// Server serves the RESP protocol over TCP.
+type Server struct {
+	factory func() Handler
+	lis     net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	// Logf logs server errors; defaults to log.Printf. Set to a no-op
+	// in tests to silence expected connection errors.
+	Logf func(format string, args ...interface{})
+}
+
+// NewServer returns a server dispatching every connection to the same
+// (concurrency-safe) handler.
+func NewServer(handler Handler) *Server {
+	return NewSessionServer(func() Handler { return handler })
+}
+
+// NewSessionServer returns a server that creates a fresh handler per
+// connection, allowing per-connection state such as the authenticated
+// tenant.
+func NewSessionServer(factory func() Handler) *Server {
+	return &Server{
+		factory: factory,
+		conns:   make(map[net.Conn]struct{}),
+		Logf:    log.Printf,
+	}
+}
+
+// Listen binds addr ("host:port"; ":0" picks a free port) and starts
+// accepting in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(lis)
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.Logf("resp: accept: %v", err)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := NewReader(conn)
+	w := NewWriter(conn)
+	handler := s.factory()
+	for {
+		cmd, err := r.ReadCommand()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				if errors.Is(err, ErrProtocol) {
+					w.Write(Err("ERR protocol error"))
+					w.Flush()
+				}
+			}
+			return
+		}
+		reply := handler.Handle(cmd)
+		if err := w.Write(reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous RESP client over a single connection.
+// Safe for concurrent use; requests are serialized.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *Reader
+	w    *Writer
+}
+
+// Dial connects to a RESP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: NewReader(conn), w: NewWriter(conn)}, nil
+}
+
+// Do issues a command and returns the server's reply.
+func (c *Client) Do(name string, args ...[]byte) (Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.WriteCommand(name, args...); err != nil {
+		return Value{}, err
+	}
+	return c.r.Read()
+}
+
+// DoStrings is Do with string arguments.
+func (c *Client) DoStrings(name string, args ...string) (Value, error) {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.Do(name, bs...)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

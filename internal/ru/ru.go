@@ -1,0 +1,133 @@
+// Package ru implements ABase's normalized Request Unit accounting
+// (§4.1). RUs quantify a request's consumption of CPU, memory, and
+// disk I/O; they are both the billing unit and the basis of the
+// isolation mechanism.
+//
+//	Write:        RU = r · S_write/U            (r = replica count)
+//	Read:         RU = E[S_read]·(1−E[R_hit])/U, estimated from moving
+//	              averages over the last k requests; charged on the
+//	              actual returned size.
+//	Complex read: decomposed into a length stage plus a scan stage,
+//	              charged per stage (HGetAll = HLen + scan).
+package ru
+
+import (
+	"abase/internal/metrics"
+)
+
+// UnitBytes is U, the byte size of one request unit, empirically set to
+// 2 KB in the paper.
+const UnitBytes = 2048
+
+// DefaultWindow is k, the moving-average window for read-size and
+// cache-hit estimation.
+const DefaultWindow = 1024
+
+// WriteRU returns the RU charge for writing size bytes with the given
+// replica count: one direct write plus r−1 synchronization operations.
+// The minimum charge is one replica's worth.
+func WriteRU(size int, replicas int) float64 {
+	if replicas < 1 {
+		replicas = 1
+	}
+	per := float64(size) / UnitBytes
+	if per < 1.0/UnitBytes {
+		per = 1.0 / UnitBytes // at least one byte's worth
+	}
+	return float64(replicas) * per
+}
+
+// ReadRU returns the RU charge for a read that returned size bytes,
+// discounted by the hit probability already absorbed by caches (hitRatio
+// in [0,1]). The paper charges on actual size with the expected miss
+// factor applied to traffic-control estimates; for billing on actuals,
+// pass hitRatio 0 for a miss and 1 for a hit.
+func ReadRU(size int, hitRatio float64) float64 {
+	if hitRatio < 0 {
+		hitRatio = 0
+	}
+	if hitRatio > 1 {
+		hitRatio = 1
+	}
+	return float64(size) * (1 - hitRatio) / UnitBytes
+}
+
+// Estimator predicts read costs for traffic control before the value
+// size and cache outcome are known, using moving averages over the last
+// k requests (§4.1). Safe for concurrent use.
+type Estimator struct {
+	readSize *metrics.MovingAverage
+	hitRatio *metrics.MovingAverage
+	// per-collection length estimation for complex operations, e.g.
+	// hash field counts for HLen/HGetAll.
+	lenEst *metrics.MovingAverage
+}
+
+// NewEstimator returns an estimator with window k (DefaultWindow if
+// k <= 0).
+func NewEstimator(k int) *Estimator {
+	if k <= 0 {
+		k = DefaultWindow
+	}
+	return &Estimator{
+		readSize: metrics.NewMovingAverage(k),
+		hitRatio: metrics.NewMovingAverage(k),
+		lenEst:   metrics.NewMovingAverage(k),
+	}
+}
+
+// ObserveRead records a completed read's returned size and whether it
+// hit a cache.
+func (e *Estimator) ObserveRead(size int, hit bool) {
+	e.readSize.Observe(float64(size))
+	if hit {
+		e.hitRatio.Observe(1)
+	} else {
+		e.hitRatio.Observe(0)
+	}
+}
+
+// ObserveCollectionLen records an observed collection length (e.g. the
+// number of fields in a hash) for complex-operation estimation.
+func (e *Estimator) ObserveCollectionLen(n int) {
+	e.lenEst.Observe(float64(n))
+}
+
+// ExpectedReadSize returns E[S_read] with a 1-unit default before any
+// observations.
+func (e *Estimator) ExpectedReadSize() float64 {
+	return e.readSize.Value(UnitBytes)
+}
+
+// ExpectedHitRatio returns E[R_hit], defaulting to 0 (pessimistic)
+// before any observations.
+func (e *Estimator) ExpectedHitRatio() float64 {
+	return e.hitRatio.Value(0)
+}
+
+// ExpectedCollectionLen returns the expected collection length,
+// defaulting to 1.
+func (e *Estimator) ExpectedCollectionLen() float64 {
+	return e.lenEst.Value(1)
+}
+
+// EstimateReadRU returns the pre-execution RU estimate for a simple
+// read: E[S_read]·(1−E[R_hit])/U.
+func (e *Estimator) EstimateReadRU() float64 {
+	return e.ExpectedReadSize() * (1 - e.ExpectedHitRatio()) / UnitBytes
+}
+
+// EstimateHLenRU returns the RU estimate for a length query (HLen):
+// a fixed small CPU cost independent of collection size, one unit's
+// worth of work.
+func (e *Estimator) EstimateHLenRU() float64 {
+	return 1.0 / 8 // metadata-only lookup: fraction of a unit
+}
+
+// EstimateHGetAllRU returns the RU estimate for HGetAll decomposed per
+// the paper: an HLen stage followed by a scan of the expected number of
+// fields at the expected per-item size.
+func (e *Estimator) EstimateHGetAllRU() float64 {
+	scan := e.ExpectedCollectionLen() * e.ExpectedReadSize() * (1 - e.ExpectedHitRatio()) / UnitBytes
+	return e.EstimateHLenRU() + scan
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math/rand"
+
+	"abase/internal/autoscaler"
+	"abase/internal/workload"
+)
+
+// OncallConfig configures the Figure 8b oncall simulation: months of
+// synthetic tenant traffic replayed against static (manually scaled)
+// quotas, with the predictive autoscaler deployed partway through.
+type OncallConfig struct {
+	// Tenants is the population size.
+	Tenants int
+	// Weeks is the simulation length.
+	Weeks int
+	// DeployWeek is when the autoscaler goes live.
+	DeployWeek int
+	// Seed seeds the generators.
+	Seed int64
+}
+
+// WeeklyOncalls is one week's oncall count.
+type WeeklyOncalls struct {
+	Week    int
+	Oncalls int
+	// AutoscalerLive reports whether the autoscaler was deployed.
+	AutoscalerLive bool
+}
+
+// oncallTenant is the per-tenant simulation state.
+type oncallTenant struct {
+	series     []float64 // full usage history (hourly)
+	quota      float64
+	scaler     *autoscaler.TenantScaler
+	lastOncall int // hour of last oncall (rate-limit 1/day)
+}
+
+// RunOncallSim replays cfg.Weeks of hourly traffic for a tenant
+// population. Before DeployWeek, quotas are managed reactively: an
+// oncall fires when a tenant is throttled (usage above quota) for two
+// consecutive hours, after which an operator raises the quota (this is
+// exactly the "upscaling oncall" the paper counts); at most one oncall
+// per tenant per day. From DeployWeek on, the predictive autoscaler
+// evaluates each tenant daily from its trailing 30-day history and
+// raises quotas before exhaustion, so oncalls only fire on genuinely
+// unforecastable jumps.
+func RunOncallSim(cfg OncallConfig) []WeeklyOncalls {
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 100
+	}
+	if cfg.Weeks <= 0 {
+		cfg.Weeks = 26
+	}
+	if cfg.DeployWeek <= 0 || cfg.DeployWeek > cfg.Weeks {
+		cfg.DeployWeek = cfg.Weeks / 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hours := cfg.Weeks * 7 * 24
+
+	tenants := make([]*oncallTenant, cfg.Tenants)
+	for i := range tenants {
+		base := 50 + rng.Float64()*200
+		spec := workload.SeriesSpec{
+			Hours:        hours,
+			Base:         base,
+			DailyAmp:     base * (0.1 + 0.4*rng.Float64()),
+			WeeklyAmp:    base * 0.1 * rng.Float64(),
+			TrendPerHour: base * 0.0006 * (0.3 + rng.Float64()), // steady growth
+			Noise:        base * 0.05,
+			BurstProb:    0.001,
+			BurstFactor:  1.5 + rng.Float64(),
+			Seed:         cfg.Seed + int64(i),
+		}
+		series := spec.Gen()
+		tenants[i] = &oncallTenant{
+			series:     series,
+			quota:      series[0] * 2.0, // initial provisioning headroom
+			scaler:     &autoscaler.TenantScaler{},
+			lastOncall: -48,
+		}
+	}
+
+	deployHour := cfg.DeployWeek * 7 * 24
+	weekly := make([]WeeklyOncalls, cfg.Weeks)
+	for w := range weekly {
+		weekly[w] = WeeklyOncalls{Week: w, AutoscalerLive: w >= cfg.DeployWeek}
+	}
+
+	for h := 1; h < hours; h++ {
+		week := h / (7 * 24)
+		for _, t := range tenants {
+			usage := t.series[h]
+			prevUsage := t.series[h-1]
+			throttledNow := usage > t.quota
+			throttledPrev := prevUsage > t.quota
+			if throttledNow && throttledPrev && h-t.lastOncall >= 24 {
+				// Sustained throttling → oncall → operator raises quota.
+				weekly[week].Oncalls++
+				t.lastOncall = h
+				t.quota = usage / autoscaler.LowerThreshold
+			}
+			// Autoscaler evaluates every other day once deployed (the
+			// 7-day forecast horizon makes daily evaluation redundant).
+			if h >= deployHour && h%48 == 0 {
+				lo := h - 720
+				if lo < 0 {
+					lo = 0
+				}
+				d := t.scaler.Evaluate(t.series[lo:h], nil, t.quota, 1, hourTime(h))
+				if d.Action == autoscaler.ScaleUp {
+					t.quota = d.NewTenantQuota
+				}
+			}
+		}
+	}
+	return weekly
+}
+
+// OncallReduction summarizes the result: average weekly oncalls before
+// and after deployment and the relative reduction (paper: ≈65%).
+func OncallReduction(weeks []WeeklyOncalls) (before, after, reduction float64) {
+	var bSum, aSum, bN, aN float64
+	for _, w := range weeks {
+		if w.AutoscalerLive {
+			aSum += float64(w.Oncalls)
+			aN++
+		} else {
+			bSum += float64(w.Oncalls)
+			bN++
+		}
+	}
+	if bN > 0 {
+		before = bSum / bN
+	}
+	if aN > 0 {
+		after = aSum / aN
+	}
+	if before > 0 {
+		reduction = 1 - after/before
+	}
+	return before, after, reduction
+}

@@ -1,0 +1,260 @@
+// Package sim provides the pool-scale simulation substrate for the
+// experiments that need thousands of DataNodes or months of traffic —
+// Figure 9 (offline rescheduling of a 1000-node pool), Figure 10
+// (online rescheduling convergence), Figure 8b (oncall reduction from
+// predictive autoscaling), and the §6.4 single-tenant (ABase-Pre)
+// versus multi-tenant utilization comparison. Request-level behaviour
+// is exercised elsewhere (internal/datanode); here replicas are load
+// vectors on the rescheduler's pool model.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"abase/internal/rescheduler"
+)
+
+// Placement selects the initial replica placement quality.
+type Placement int
+
+// Placement strategies.
+const (
+	// PlacementSkewed packs replicas onto a fraction of the nodes —
+	// the organically grown, imbalanced layout Figure 9a shows.
+	PlacementSkewed Placement = iota
+	// PlacementRandom places replicas uniformly at random.
+	PlacementRandom
+	// PlacementRoundRobin places replicas evenly.
+	PlacementRoundRobin
+)
+
+// TenantLoad describes one tenant's aggregate load for pool simulation.
+type TenantLoad struct {
+	Name string
+	// RUAvg is the tenant's average RU rate; the per-hour shape adds a
+	// diurnal swing around it.
+	RUAvg float64
+	// Storage is the tenant's total storage footprint.
+	Storage float64
+	// Partitions is the partition count; each partition contributes
+	// one replica per ReplicaFactor.
+	Partitions int
+	// PeakHour rotates the tenant's diurnal peak (diversity of §2.1).
+	PeakHour int
+	// DiurnalAmp is the swing amplitude as a fraction of RUAvg.
+	DiurnalAmp float64
+}
+
+// BuildSpec configures BuildPool.
+type BuildSpec struct {
+	Nodes         int
+	NodeRUCap     float64
+	NodeStoCap    float64
+	ReplicaFactor int
+	Placement     Placement
+	Seed          int64
+}
+
+// BuildPool constructs a rescheduler pool hosting the tenants' replicas
+// under the given placement.
+func BuildPool(tenants []TenantLoad, spec BuildSpec) *rescheduler.Pool {
+	if spec.ReplicaFactor <= 0 {
+		spec.ReplicaFactor = 3
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	pool := rescheduler.NewPool()
+	nodeIDs := make([]string, spec.Nodes)
+	for i := 0; i < spec.Nodes; i++ {
+		id := fmt.Sprintf("dn-%04d", i)
+		nodeIDs[i] = id
+		pool.AddNode(rescheduler.NewNode(id, spec.NodeRUCap, spec.NodeStoCap))
+	}
+	place := 0
+	for _, t := range tenants {
+		parts := t.Partitions
+		if parts <= 0 {
+			parts = 1
+		}
+		perPartRU := t.RUAvg / float64(parts)
+		perPartSto := t.Storage / float64(parts) / float64(spec.ReplicaFactor)
+		for p := 0; p < parts; p++ {
+			for r := 0; r < spec.ReplicaFactor; r++ {
+				re := &rescheduler.Replica{
+					ID:        fmt.Sprintf("%s/%d/%d", t.Name, p, r),
+					Tenant:    t.Name,
+					Partition: fmt.Sprintf("%s/%d", t.Name, p),
+					RU:        diurnalVec(perPartRU, t.DiurnalAmp, t.PeakHour),
+					Storage:   perPartSto,
+				}
+				var nodeID string
+				switch spec.Placement {
+				case PlacementSkewed:
+					// Pack into the first third of the pool.
+					span := spec.Nodes / 3
+					if span < 1 {
+						span = 1
+					}
+					nodeID = nodeIDs[rng.Intn(span)]
+				case PlacementRandom:
+					nodeID = nodeIDs[rng.Intn(spec.Nodes)]
+				default:
+					nodeID = nodeIDs[place%spec.Nodes]
+					place++
+				}
+				// Avoid same-partition collision on a node: probe forward.
+				for tries := 0; tries < spec.Nodes; tries++ {
+					n := pool.Node(nodeID)
+					collision := false
+					for _, hosted := range n.Replicas() {
+						if hosted.Partition == re.Partition {
+							collision = true
+							break
+						}
+					}
+					if !collision {
+						break
+					}
+					nodeID = nodeIDs[rng.Intn(spec.Nodes)]
+				}
+				pool.Place(re, nodeID)
+			}
+		}
+	}
+	return pool
+}
+
+// diurnalVec builds an hour-of-day RU vector with a sinusoidal swing
+// peaking at peakHour.
+func diurnalVec(avg, amp float64, peakHour int) rescheduler.Vec24 {
+	var v rescheduler.Vec24
+	for h := 0; h < 24; h++ {
+		phase := 2 * math.Pi * float64(h-peakHour) / 24
+		x := avg * (1 + amp*math.Cos(phase))
+		if x < 0 {
+			x = 0
+		}
+		v[h] = x
+	}
+	return v
+}
+
+// RandomTenants generates n tenants with log-normal RU/storage demand
+// and rotated diurnal peaks, echoing Figure 3's diversity.
+func RandomTenants(n int, seed int64) []TenantLoad {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TenantLoad, n)
+	for i := range out {
+		z := rng.NormFloat64()
+		ru := math.Exp(1.2*z + 0.6*rng.NormFloat64() + 3)
+		sto := math.Exp(1.0*z + 0.8*rng.NormFloat64() + 4)
+		// Partition counts scale with tenant demand, as the
+		// autoscaler's splits enforce in production (Algorithm 1's UP
+		// bound): no single replica carries more than ~25 RU, so the
+		// rescheduler has movable units to balance with.
+		parts := 1 + int(ru/25)
+		if parts > 64 {
+			parts = 64
+		}
+		out[i] = TenantLoad{
+			Name:       fmt.Sprintf("t%03d", i),
+			RUAvg:      ru,
+			Storage:    sto,
+			Partitions: parts,
+			PeakHour:   rng.Intn(24),
+			DiurnalAmp: 0.2 + 0.5*rng.Float64(),
+		}
+	}
+	return out
+}
+
+// OnlineSim drives a pool through drifting tenant load for the
+// Figure 10 online-rescheduling experiment.
+type OnlineSim struct {
+	Pool *rescheduler.Pool
+	rng  *rand.Rand
+	// drift state per tenant: multiplicative random-walk factor.
+	factors map[string]float64
+}
+
+// NewOnlineSim wraps a pool for online simulation.
+func NewOnlineSim(pool *rescheduler.Pool, seed int64) *OnlineSim {
+	return &OnlineSim{
+		Pool:    pool,
+		rng:     rand.New(rand.NewSource(seed)),
+		factors: make(map[string]float64),
+	}
+}
+
+// Drift perturbs every tenant's replica loads by a bounded random walk
+// (load dynamism between rescheduling rounds).
+func (s *OnlineSim) Drift(scale float64) {
+	// Collect replicas grouped by tenant so a tenant's replicas drift
+	// together (its traffic changes as a whole).
+	byTenant := map[string][]*rescheduler.Replica{}
+	for _, n := range s.Pool.Nodes() {
+		for _, r := range n.Replicas() {
+			byTenant[r.Tenant] = append(byTenant[r.Tenant], r)
+		}
+	}
+	for tenant, reps := range byTenant {
+		f, ok := s.factors[tenant]
+		if !ok {
+			f = 1
+		}
+		f *= 1 + scale*(s.rng.Float64()*2-1)
+		if f < 0.2 {
+			f = 0.2
+		}
+		if f > 5 {
+			f = 5
+		}
+		step := f / orOne(s.factors[tenant])
+		s.factors[tenant] = f
+		for _, r := range reps {
+			scaled := r.RU
+			for h := range scaled {
+				scaled[h] *= step
+			}
+			s.Pool.SetReplicaRU(r, scaled)
+		}
+	}
+}
+
+func orOne(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
+// Sample is one observation of the pool's RU utilization spread.
+type Sample struct {
+	Hour int
+	Max  float64
+	Avg  float64
+}
+
+// RunOnline simulates hours of drifting load. Rescheduling runs every
+// rescheduleEvery hours when enabled (the paper runs it every 10
+// minutes; the simulation's coarser step preserves the convergence
+// shape). It returns hourly max/avg RU utilization samples.
+func (s *OnlineSim) RunOnline(hours int, rescheduleEvery float64, enabled bool, theta float64) []Sample {
+	var out []Sample
+	acc := 0.0
+	for h := 0; h < hours; h++ {
+		s.Drift(0.04)
+		if enabled {
+			acc += 1.0
+			for acc >= rescheduleEvery {
+				s.Pool.ClearMigrating()
+				s.Pool.ReschedulePass(theta)
+				acc -= rescheduleEvery
+			}
+		}
+		maxU, avgU := s.Pool.MaxAvgRUUtil()
+		out = append(out, Sample{Hour: h, Max: maxU, Avg: avgU})
+	}
+	return out
+}

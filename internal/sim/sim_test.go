@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+
+	"abase/internal/rescheduler"
+)
+
+func TestBuildPoolPlacesAllReplicas(t *testing.T) {
+	tenants := RandomTenants(20, 1)
+	pool := BuildPool(tenants, BuildSpec{
+		Nodes: 30, NodeRUCap: 10000, NodeStoCap: 100000,
+		ReplicaFactor: 3, Placement: PlacementRandom, Seed: 1,
+	})
+	want := 0
+	for _, tl := range tenants {
+		want += tl.Partitions * 3
+	}
+	got := 0
+	for _, n := range pool.Nodes() {
+		got += n.NumReplicas()
+	}
+	if got != want {
+		t.Fatalf("placed %d replicas, want %d", got, want)
+	}
+}
+
+func TestBuildPoolSkewedIsImbalanced(t *testing.T) {
+	tenants := RandomTenants(40, 2)
+	skewed := BuildPool(tenants, BuildSpec{
+		Nodes: 60, NodeRUCap: 10000, NodeStoCap: 100000,
+		Placement: PlacementSkewed, Seed: 2,
+	})
+	rr := BuildPool(tenants, BuildSpec{
+		Nodes: 60, NodeRUCap: 10000, NodeStoCap: 100000,
+		Placement: PlacementRoundRobin, Seed: 2,
+	})
+	sStd, _ := skewed.StdDevs()
+	rStd, _ := rr.StdDevs()
+	if sStd <= rStd {
+		t.Fatalf("skewed placement not more imbalanced: %v vs %v", sStd, rStd)
+	}
+}
+
+func TestBuildPoolNoPartitionCollisions(t *testing.T) {
+	tenants := RandomTenants(10, 3)
+	pool := BuildPool(tenants, BuildSpec{
+		Nodes: 20, NodeRUCap: 10000, NodeStoCap: 100000, Placement: PlacementRandom, Seed: 3,
+	})
+	for _, n := range pool.Nodes() {
+		seen := map[string]bool{}
+		for _, r := range n.Replicas() {
+			if seen[r.Partition] {
+				t.Fatalf("node %s hosts partition %s twice", n.ID, r.Partition)
+			}
+			seen[r.Partition] = true
+		}
+	}
+}
+
+func TestRescheduleSkewedPoolFig9Shape(t *testing.T) {
+	// Figure 9: offline rescheduling on a skewed pool cuts RU std by
+	// ~74.5% and storage variance by ~84.8%. Check the shape at 200
+	// nodes.
+	tenants := RandomTenants(80, 4)
+	pool := BuildPool(tenants, BuildSpec{
+		Nodes: 200, NodeRUCap: 300, NodeStoCap: 300,
+		Placement: PlacementSkewed, Seed: 4,
+	})
+	ruB, stoB := pool.StdDevs()
+	pool.RescheduleToConvergence(0.02, 300)
+	ruA, stoA := pool.StdDevs()
+	if 1-ruA/ruB < 0.5 {
+		t.Fatalf("RU std reduction only %.1f%%", (1-ruA/ruB)*100)
+	}
+	if 1-stoA/stoB < 0.5 {
+		t.Fatalf("storage std reduction only %.1f%%", (1-stoA/stoB)*100)
+	}
+}
+
+func TestOnlineSimDriftPreservesReplicas(t *testing.T) {
+	tenants := RandomTenants(10, 5)
+	pool := BuildPool(tenants, BuildSpec{
+		Nodes: 20, NodeRUCap: 10000, NodeStoCap: 100000, Placement: PlacementRandom, Seed: 5,
+	})
+	before := countReplicas(pool)
+	s := NewOnlineSim(pool, 5)
+	for i := 0; i < 10; i++ {
+		s.Drift(0.1)
+	}
+	if got := countReplicas(pool); got != before {
+		t.Fatalf("replicas changed: %d → %d", before, got)
+	}
+	// Node sums must stay consistent with replica sums.
+	for _, n := range pool.Nodes() {
+		var sum rescheduler.Vec24
+		for _, r := range n.Replicas() {
+			sum = sum.Add(r.RU)
+		}
+		if diff := sum.Max() - n.RULoad(); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("node %s sums drifted: %v vs %v", n.ID, sum.Max(), n.RULoad())
+		}
+	}
+}
+
+func countReplicas(p *rescheduler.Pool) int {
+	n := 0
+	for _, node := range p.Nodes() {
+		n += node.NumReplicas()
+	}
+	return n
+}
+
+func TestRunOnlineFig10Shape(t *testing.T) {
+	// Figure 10: with rescheduling every 10 minutes, max node QPS
+	// converges toward the average. Compare gap with/without.
+	tenants := RandomTenants(40, 6)
+	mk := func(seed int64) *OnlineSim {
+		pool := BuildPool(tenants, BuildSpec{
+			Nodes: 50, NodeRUCap: 500, NodeStoCap: 1000,
+			Placement: PlacementSkewed, Seed: seed,
+		})
+		return NewOnlineSim(pool, seed)
+	}
+	off := mk(7).RunOnline(48, 1, false, 0.02)
+	on := mk(7).RunOnline(48, 1, true, 0.02)
+	gapOff := avgGap(off[24:])
+	gapOn := avgGap(on[24:])
+	if gapOn >= gapOff {
+		t.Fatalf("rescheduling did not shrink max-avg gap: on=%v off=%v", gapOn, gapOff)
+	}
+	if gapOn > 0.75*gapOff {
+		t.Fatalf("convergence too weak: on=%v off=%v", gapOn, gapOff)
+	}
+}
+
+func avgGap(samples []Sample) float64 {
+	var g float64
+	for _, s := range samples {
+		g += s.Max - s.Avg
+	}
+	return g / float64(len(samples))
+}
+
+func TestOncallSimReduction(t *testing.T) {
+	weeks := RunOncallSim(OncallConfig{Tenants: 60, Weeks: 20, DeployWeek: 10, Seed: 1})
+	if len(weeks) != 20 {
+		t.Fatalf("weeks = %d", len(weeks))
+	}
+	before, after, reduction := OncallReduction(weeks)
+	if before == 0 {
+		t.Fatal("no oncalls before deployment — growth model broken")
+	}
+	// Paper: ≈65% reduction. Demand at least 40% for the shape.
+	if reduction < 0.4 {
+		t.Fatalf("oncall reduction %.0f%% (before %.1f/wk, after %.1f/wk)",
+			reduction*100, before, after)
+	}
+}
+
+func TestUtilizationPreVsMulti(t *testing.T) {
+	tenants := RandomTenants(100, 8)
+	demands := DemandsFromTenants(tenants)
+	m := MachineSpec{CPU: 1000, Mem: 256, Disk: 4096}
+	pre := PreUtilization(demands, m)
+	multi := MultiUtilization(demands, m)
+	if pre.Machines == 0 || multi.Machines == 0 {
+		t.Fatal("no machines allocated")
+	}
+	// §6.4 shape: multi-tenant roughly doubles CPU and disk
+	// utilization and uses fewer machines.
+	if multi.CPU < 1.5*pre.CPU {
+		t.Fatalf("CPU: pre=%.2f multi=%.2f, want ≥1.5×", pre.CPU, multi.CPU)
+	}
+	if multi.Disk < 1.3*pre.Disk {
+		t.Fatalf("Disk: pre=%.2f multi=%.2f", pre.Disk, multi.Disk)
+	}
+	if multi.Mem <= pre.Mem {
+		t.Fatalf("Mem: pre=%.2f multi=%.2f", pre.Mem, multi.Mem)
+	}
+	if multi.Machines >= pre.Machines {
+		t.Fatalf("machines: pre=%d multi=%d", pre.Machines, multi.Machines)
+	}
+	// Utilizations must be sane fractions.
+	for _, u := range []float64{pre.CPU, pre.Mem, pre.Disk, multi.CPU, multi.Mem, multi.Disk} {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization out of range: %v", u)
+		}
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	m := MachineSpec{CPU: 1, Mem: 1, Disk: 1}
+	if u := PreUtilization(nil, m); u.Machines != 0 {
+		t.Fatal("empty pre should be zero")
+	}
+	if u := MultiUtilization(nil, m); u.Machines != 0 {
+		t.Fatal("empty multi should be zero")
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// hourTime converts a simulation hour to a wall-clock time for the
+// autoscaler's cooldown accounting.
+func hourTime(h int) time.Time {
+	return time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(h) * time.Hour)
+}
+
+// MachineSpec is the per-machine capacity for the §6.4 utilization
+// comparison.
+type MachineSpec struct {
+	CPU  float64 // RU/s the machine can serve
+	Mem  float64 // bytes of memory
+	Disk float64 // bytes of disk
+}
+
+// TenantDemand is a tenant's resource demand for the comparison.
+type TenantDemand struct {
+	CPUAvg  float64 // average RU/s
+	CPUPeak float64 // peak RU/s
+	Mem     float64 // working set (cache) bytes
+	Disk    float64 // stored bytes
+}
+
+// Utilization is the average machine utilization per dimension.
+type Utilization struct {
+	CPU  float64
+	Mem  float64
+	Disk float64
+	// Machines is the fleet size the layout required.
+	Machines int
+}
+
+// PreUtilization models the single-tenant ABase-Pre baseline (§6.4):
+// every tenant gets dedicated machines sized for its peak, with the
+// single-tenant robustness cap — utilization must stay below 2/3 so a
+// 3-replica deployment survives one node failure (§3.3) — and a
+// minimum of 3 machines per tenant for replication. Memory is
+// provisioned per machine regardless of use, so small tenants strand
+// most of it.
+func PreUtilization(tenants []TenantDemand, m MachineSpec) Utilization {
+	const utilCap = 2.0 / 3.0
+	var machines float64
+	var cpuUsed, memUsed, diskUsed float64
+	for _, t := range tenants {
+		needCPU := math.Ceil(t.CPUPeak / (m.CPU * utilCap))
+		needDisk := math.Ceil(t.Disk * 3 / (m.Disk * utilCap)) // 3 replicas
+		needMem := math.Ceil(t.Mem / (m.Mem * utilCap))
+		n := math.Max(3, math.Max(needCPU, math.Max(needDisk, needMem)))
+		machines += n
+		cpuUsed += t.CPUAvg
+		memUsed += t.Mem
+		diskUsed += t.Disk * 3
+	}
+	if machines == 0 {
+		return Utilization{}
+	}
+	return Utilization{
+		CPU:      cpuUsed / (machines * m.CPU),
+		Mem:      memUsed / (machines * m.Mem),
+		Disk:     diskUsed / (machines * m.Disk),
+		Machines: int(machines),
+	}
+}
+
+// MultiUtilization models the multi-tenant ABase resource pool: all
+// tenants share one pool sized by the lessons of §7 — at least 20%
+// idle resources, pool at least 10× the largest tenant — with
+// rescheduling keeping nodes balanced, so the pool only needs headroom
+// for the aggregate (not per-tenant) peak. N-node redundancy replaces
+// the per-tenant 2/3 cap (§3.3).
+func MultiUtilization(tenants []TenantDemand, m MachineSpec) Utilization {
+	var cpuAvg, cpuPeakSum, maxTenantCPU float64
+	var memUsed, diskUsed float64
+	for _, t := range tenants {
+		cpuAvg += t.CPUAvg
+		cpuPeakSum += t.CPUPeak
+		if t.CPUPeak > maxTenantCPU {
+			maxTenantCPU = t.CPUPeak
+		}
+		memUsed += t.Mem
+		diskUsed += t.Disk * 3
+	}
+	// Diurnal peaks don't align across tenants: the pool's aggregate
+	// peak is far below the sum of individual peaks. Model it as the
+	// average demand plus a diversity-discounted share of the peaks.
+	aggregatePeak := cpuAvg + 0.3*(cpuPeakSum-cpuAvg)
+
+	// Pool sizing: 20% idle over the aggregate peak, and ≥10× the
+	// largest tenant's quota (blast-radius lesson).
+	needByCPU := aggregatePeak / 0.8 / m.CPU
+	needByDisk := diskUsed / 0.8 / m.Disk
+	needByMem := memUsed / 0.8 / m.Mem
+	needByBlast := 10 * maxTenantCPU / m.CPU
+	machines := math.Ceil(math.Max(math.Max(needByCPU, needByDisk), math.Max(needByMem, needByBlast)))
+	if machines == 0 {
+		return Utilization{}
+	}
+	return Utilization{
+		CPU:      cpuAvg / (machines * m.CPU),
+		Mem:      memUsed / (machines * m.Mem),
+		Disk:     diskUsed / (machines * m.Disk),
+		Machines: int(machines),
+	}
+}
+
+// DemandsFromTenants converts pool tenants into §6.4 demands. Memory
+// working set is modeled as the cache-resident fraction of storage
+// (hot data), bounded below by a per-tenant metadata floor.
+func DemandsFromTenants(tenants []TenantLoad) []TenantDemand {
+	out := make([]TenantDemand, len(tenants))
+	for i, t := range tenants {
+		peak := t.RUAvg * (1 + t.DiurnalAmp)
+		mem := 0.25*t.Storage + 1 // hot working set + floor
+		out[i] = TenantDemand{
+			CPUAvg:  t.RUAvg,
+			CPUPeak: peak,
+			Mem:     mem,
+			Disk:    t.Storage,
+		}
+	}
+	return out
+}

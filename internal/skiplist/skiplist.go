@@ -1,0 +1,145 @@
+// Package skiplist implements a concurrent ordered map keyed by byte
+// strings, used as the LavaStore memtable. Reads proceed without locks
+// using atomic pointer loads; writes take a mutex. This matches the
+// memtable access pattern: many concurrent readers, serialized writers
+// behind the WAL.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+const maxHeight = 16
+
+// node is a skiplist node. next pointers are atomic so readers never lock.
+type node struct {
+	key   []byte
+	value atomic.Value // holds []byte; updated in place on overwrite
+	next  [maxHeight]atomic.Pointer[node]
+	level int
+}
+
+// List is a concurrent skiplist. The zero value is not usable; call New.
+type List struct {
+	head   *node
+	mu     sync.Mutex // serializes writers
+	rng    *rand.Rand
+	length atomic.Int64
+	bytes  atomic.Int64 // approximate memory footprint of keys+values
+}
+
+// New returns an empty list. seed makes tower heights deterministic for
+// tests; production callers can pass any value.
+func New(seed int64) *List {
+	return &List{
+		head: &node{level: maxHeight},
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key, and fills
+// prev with the rightmost node before key at every level.
+func (l *List) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	for lvl := maxHeight - 1; lvl >= 0; lvl-- {
+		for {
+			next := x.next[lvl].Load()
+			if next != nil && bytes.Compare(next.key, key) < 0 {
+				x = next
+				continue
+			}
+			break
+		}
+		if prev != nil {
+			prev[lvl] = x
+		}
+	}
+	return x.next[0].Load()
+}
+
+// Put inserts or overwrites key with value. The value slice is stored
+// as-is; callers must not mutate it afterwards.
+func (l *List) Put(key, value []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var prev [maxHeight]*node
+	n := l.findGreaterOrEqual(key, &prev)
+	if n != nil && bytes.Equal(n.key, key) {
+		old := n.value.Load().([]byte)
+		l.bytes.Add(int64(len(value)) - int64(len(old)))
+		n.value.Store(value)
+		return
+	}
+	h := l.randomHeight()
+	nn := &node{key: key, level: h}
+	nn.value.Store(value)
+	for lvl := 0; lvl < h; lvl++ {
+		nn.next[lvl].Store(prev[lvl].next[lvl].Load())
+	}
+	// Publish bottom-up so readers always see a consistent chain.
+	for lvl := 0; lvl < h; lvl++ {
+		prev[lvl].next[lvl].Store(nn)
+	}
+	l.length.Add(1)
+	l.bytes.Add(int64(len(key) + len(value)))
+}
+
+// Get returns the value stored under key and whether it was found.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	n := l.findGreaterOrEqual(key, nil)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, false
+	}
+	return n.value.Load().([]byte), true
+}
+
+// Len returns the number of keys in the list.
+func (l *List) Len() int { return int(l.length.Load()) }
+
+// Bytes returns the approximate memory footprint of stored keys+values.
+func (l *List) Bytes() int64 { return l.bytes.Load() }
+
+// Iterator walks the list in ascending key order. It observes a live
+// view: entries inserted behind the cursor are not revisited.
+type Iterator struct {
+	list *List
+	cur  *node
+}
+
+// NewIterator returns an iterator positioned before the first entry.
+func (l *List) NewIterator() *Iterator {
+	return &Iterator{list: l, cur: l.head}
+}
+
+// Next advances to the next entry, reporting false at the end.
+func (it *Iterator) Next() bool {
+	it.cur = it.cur.next[0].Load()
+	return it.cur != nil
+}
+
+// Seek positions the iterator at the first key >= target, reporting
+// whether such a key exists. After Seek returns true, Key/Value are
+// valid without calling Next.
+func (it *Iterator) Seek(target []byte) bool {
+	it.cur = it.list.findGreaterOrEqual(target, nil)
+	return it.cur != nil
+}
+
+// Key returns the current entry's key. Valid only after a successful
+// Next or Seek.
+func (it *Iterator) Key() []byte { return it.cur.key }
+
+// Value returns the current entry's value. Valid only after a
+// successful Next or Seek.
+func (it *Iterator) Value() []byte { return it.cur.value.Load().([]byte) }

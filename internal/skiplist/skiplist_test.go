@@ -1,0 +1,237 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New(1)
+	if _, ok := l.Get([]byte("a")); ok {
+		t.Fatal("Get on empty list returned ok")
+	}
+	if l.Len() != 0 || l.Bytes() != 0 {
+		t.Fatal("empty list has nonzero size")
+	}
+	it := l.NewIterator()
+	if it.Next() {
+		t.Fatal("iterator on empty list advanced")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	l := New(1)
+	l.Put([]byte("b"), []byte("2"))
+	l.Put([]byte("a"), []byte("1"))
+	l.Put([]byte("c"), []byte("3"))
+	for _, kv := range []struct{ k, v string }{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		got, ok := l.Get([]byte(kv.k))
+		if !ok || string(got) != kv.v {
+			t.Fatalf("Get(%q) = %q, %v", kv.k, got, ok)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	l := New(1)
+	l.Put([]byte("k"), []byte("old"))
+	l.Put([]byte("k"), []byte("newvalue"))
+	got, ok := l.Get([]byte("k"))
+	if !ok || string(got) != "newvalue" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", l.Len())
+	}
+	want := int64(len("k") + len("newvalue"))
+	if l.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", l.Bytes(), want)
+	}
+}
+
+func TestIterationOrder(t *testing.T) {
+	l := New(42)
+	keys := []string{"delta", "alpha", "charlie", "bravo", "echo"}
+	for _, k := range keys {
+		l.Put([]byte(k), []byte(k))
+	}
+	it := l.NewIterator()
+	var got []string
+	for it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeek(t *testing.T) {
+	l := New(1)
+	for _, k := range []string{"b", "d", "f"} {
+		l.Put([]byte(k), []byte(k))
+	}
+	it := l.NewIterator()
+	if !it.Seek([]byte("c")) || string(it.Key()) != "d" {
+		t.Fatalf("Seek(c) landed on %q", it.Key())
+	}
+	if !it.Seek([]byte("b")) || string(it.Key()) != "b" {
+		t.Fatalf("Seek(b) landed on %q", it.Key())
+	}
+	if it.Seek([]byte("g")) {
+		t.Fatal("Seek past end returned true")
+	}
+}
+
+func TestSeekThenNext(t *testing.T) {
+	l := New(1)
+	for _, k := range []string{"a", "b", "c"} {
+		l.Put([]byte(k), []byte(k))
+	}
+	it := l.NewIterator()
+	it.Seek([]byte("b"))
+	if !it.Next() || string(it.Key()) != "c" {
+		t.Fatalf("Next after Seek = %q", it.Key())
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	l := New(7)
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			k := []byte(fmt.Sprintf("key%06d", i))
+			l.Put(k, k)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < n; i++ {
+				k := []byte(fmt.Sprintf("key%06d", rng.Intn(n)))
+				if v, ok := l.Get(k); ok && !bytes.Equal(v, k) {
+					t.Errorf("Get(%q) = %q", k, v)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	if l.Len() != n {
+		t.Fatalf("Len = %d, want %d", l.Len(), n)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	l := New(7)
+	var wg sync.WaitGroup
+	const perWriter = 500
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+				l.Put(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 4*perWriter {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Verify full ordering afterwards.
+	it := l.NewIterator()
+	var prev []byte
+	for it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("order violation: %q then %q", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+	}
+}
+
+func TestPropertyMatchesMap(t *testing.T) {
+	// Property: after any sequence of puts, Get matches a reference map
+	// and iteration yields sorted unique keys.
+	f := func(ops [][2]string) bool {
+		l := New(99)
+		ref := map[string]string{}
+		for _, op := range ops {
+			k, v := op[0], op[1]
+			if k == "" {
+				continue
+			}
+			l.Put([]byte(k), []byte(v))
+			ref[k] = v
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := l.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		it := l.NewIterator()
+		var prev string
+		first := true
+		for it.Next() {
+			k := string(it.Key())
+			if !first && k <= prev {
+				return false
+			}
+			prev, first = k, false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	l := New(1)
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%09d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Put(keys[i], keys[i])
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New(1)
+	const n = 100000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%09d", i))
+		l.Put(keys[i], keys[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(keys[i%n])
+	}
+}

@@ -1,0 +1,355 @@
+package wfq
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"abase/internal/quota"
+)
+
+// Config tunes one dual-layer WFQ.
+type Config struct {
+	// CPUWorkers is the CPU-WFQ concurrency (Rule 2). Default 4.
+	CPUWorkers int
+	// BasicIOThreads is the I/O-WFQ basic thread count (Rule 4). Default 2.
+	BasicIOThreads int
+	// ExtraIOThreads is the maximum temporary extra threads spawned when
+	// one tenant monopolizes the basic threads (Rule 4). Default 2.
+	ExtraIOThreads int
+	// TenantShareCap is Rule 3: the maximum fraction of CPU concurrency
+	// a single tenant may occupy. Default 0.9.
+	TenantShareCap float64
+	// WriteRUCeiling caps the write RU admitted per second into the CPU
+	// stage (Rule 2, compaction stability). Zero disables the ceiling.
+	WriteRUCeiling float64
+	// WriteCeilingBucket is provided by the caller when WriteRUCeiling
+	// is set; it supplies the clock for ceiling accounting.
+	WriteCeilingBucket *quota.Bucket
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUWorkers <= 0 {
+		c.CPUWorkers = 4
+	}
+	if c.BasicIOThreads <= 0 {
+		c.BasicIOThreads = 2
+	}
+	if c.ExtraIOThreads < 0 {
+		c.ExtraIOThreads = 0
+	}
+	if c.ExtraIOThreads == 0 {
+		c.ExtraIOThreads = 2
+	}
+	if c.TenantShareCap <= 0 || c.TenantShareCap > 1 {
+		c.TenantShareCap = 0.9
+	}
+	return c
+}
+
+// DualLayer is one dual-layer WFQ: a CPU queue feeding an I/O queue.
+type DualLayer struct {
+	cfg Config
+
+	cpuQ *queue
+	ioQ  *queue
+
+	// signals
+	cpuCond *sync.Cond
+	ioCond  *sync.Cond
+	mu      sync.Mutex
+	closed  bool
+
+	// Rule 3 accounting: in-flight CPU tasks per tenant.
+	inflightMu  sync.Mutex
+	cpuInflight map[string]int
+	cpuTotal    int
+
+	// Rule 4 accounting: which tenants the basic IO threads are serving.
+	ioMu        sync.Mutex
+	ioBusy      map[string]int // tenant → busy basic threads
+	ioBusyTotal int
+	extraAlive  int
+
+	wg sync.WaitGroup
+
+	// stats
+	completed   atomic.Int64
+	ioServed    atomic.Int64
+	extraSpawns atomic.Int64
+	rule3Skips  atomic.Int64
+}
+
+// NewDualLayer starts the workers for one dual-layer WFQ.
+func NewDualLayer(cfg Config) *DualLayer {
+	d := &DualLayer{
+		cfg:         cfg.withDefaults(),
+		cpuQ:        newQueue(),
+		ioQ:         newQueue(),
+		cpuInflight: make(map[string]int),
+		ioBusy:      make(map[string]int),
+	}
+	d.cpuCond = sync.NewCond(&d.mu)
+	d.ioCond = sync.NewCond(&d.mu)
+	for i := 0; i < d.cfg.CPUWorkers; i++ {
+		d.wg.Add(1)
+		go d.cpuWorker()
+	}
+	for i := 0; i < d.cfg.BasicIOThreads; i++ {
+		d.wg.Add(1)
+		go d.ioWorker(false, "")
+	}
+	return d
+}
+
+// Submit enqueues a task into the CPU-WFQ. It returns false if the
+// scheduler is closed or a write exceeds the write-RU ceiling (Rule 2),
+// in which case Done is not called.
+func (d *DualLayer) Submit(t *Task) bool {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false
+	}
+	d.mu.Unlock()
+	if t.Class.IsWrite() && d.cfg.WriteCeilingBucket != nil {
+		if !d.cfg.WriteCeilingBucket.Allow(t.RUCost) {
+			return false
+		}
+	}
+	d.cpuQ.push(t, t.RUCost) // Rule 1: CPU layer costs RU
+	d.mu.Lock()
+	d.cpuCond.Signal()
+	d.mu.Unlock()
+	return true
+}
+
+// monopolizingTenant returns the tenant currently holding at least
+// TenantShareCap of the CPU concurrency, if any (Rule 3).
+func (d *DualLayer) monopolizingTenant() string {
+	d.inflightMu.Lock()
+	defer d.inflightMu.Unlock()
+	if d.cpuTotal == 0 {
+		return ""
+	}
+	cap := d.cfg.TenantShareCap
+	for tenant, n := range d.cpuInflight {
+		if float64(n) >= cap*float64(d.cfg.CPUWorkers) && float64(n)/float64(d.cpuTotal) >= cap {
+			return tenant
+		}
+	}
+	return ""
+}
+
+func (d *DualLayer) cpuWorker() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		for d.cpuQ.len() == 0 && !d.closed {
+			d.cpuCond.Wait()
+		}
+		if d.closed && d.cpuQ.len() == 0 {
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+
+		skip := d.monopolizingTenant()
+		if skip != "" && d.cpuQ.hasOtherTenant(skip) {
+			d.rule3Skips.Add(1)
+		} else {
+			skip = ""
+		}
+		t := d.cpuQ.pop(skip)
+		if t == nil {
+			continue
+		}
+
+		d.inflightMu.Lock()
+		d.cpuInflight[t.Tenant]++
+		d.cpuTotal++
+		d.inflightMu.Unlock()
+
+		needIO := false
+		if t.CPUStage != nil {
+			needIO = t.CPUStage()
+		}
+
+		d.inflightMu.Lock()
+		d.cpuInflight[t.Tenant]--
+		if d.cpuInflight[t.Tenant] == 0 {
+			delete(d.cpuInflight, t.Tenant)
+		}
+		d.cpuTotal--
+		d.inflightMu.Unlock()
+
+		if needIO && t.IOStage != nil {
+			d.ioQ.push(t, t.IOPSCost) // Rule 1: IO layer costs IOPS
+			d.mu.Lock()
+			d.ioCond.Signal()
+			d.mu.Unlock()
+			d.maybeSpawnExtra()
+		} else {
+			if t.Done != nil {
+				t.Done()
+			}
+			d.completed.Add(1)
+		}
+	}
+}
+
+// maybeSpawnExtra implements Rule 4: if every basic I/O thread is busy
+// serving a single tenant and another tenant has queued I/O, spawn a
+// temporary extra thread dedicated to the other tenants.
+func (d *DualLayer) maybeSpawnExtra() {
+	d.ioMu.Lock()
+	var mono string
+	if d.ioBusyTotal >= d.cfg.BasicIOThreads && len(d.ioBusy) == 1 {
+		for tenant := range d.ioBusy {
+			mono = tenant
+		}
+	}
+	canSpawn := mono != "" && d.extraAlive < d.cfg.ExtraIOThreads
+	if canSpawn {
+		d.extraAlive++
+	}
+	d.ioMu.Unlock()
+	if !canSpawn {
+		return
+	}
+	if !d.ioQ.hasOtherTenant(mono) {
+		d.ioMu.Lock()
+		d.extraAlive--
+		d.ioMu.Unlock()
+		return
+	}
+	d.extraSpawns.Add(1)
+	d.wg.Add(1)
+	go d.ioWorker(true, mono)
+}
+
+// ioWorker serves the I/O-WFQ. Basic workers (extra=false) run forever;
+// extra workers serve only tenants other than avoid and exit when no
+// such work remains.
+func (d *DualLayer) ioWorker(extra bool, avoid string) {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		for d.ioQ.len() == 0 && !d.closed && !extra {
+			d.ioCond.Wait()
+		}
+		if (d.closed && d.ioQ.len() == 0) || (extra && !d.ioQ.hasOtherTenant(avoid)) {
+			d.mu.Unlock()
+			if extra {
+				d.ioMu.Lock()
+				d.extraAlive--
+				d.ioMu.Unlock()
+			}
+			return
+		}
+		d.mu.Unlock()
+
+		var t *Task
+		if extra {
+			t = d.ioQ.pop(avoid)
+		} else {
+			t = d.ioQ.pop("")
+		}
+		if t == nil {
+			continue
+		}
+
+		if !extra {
+			d.ioMu.Lock()
+			d.ioBusy[t.Tenant]++
+			d.ioBusyTotal++
+			d.ioMu.Unlock()
+		}
+
+		t.IOStage()
+		d.ioServed.Add(1)
+
+		if !extra {
+			d.ioMu.Lock()
+			d.ioBusy[t.Tenant]--
+			if d.ioBusy[t.Tenant] == 0 {
+				delete(d.ioBusy, t.Tenant)
+			}
+			d.ioBusyTotal--
+			d.ioMu.Unlock()
+		}
+
+		if t.Done != nil {
+			t.Done()
+		}
+		d.completed.Add(1)
+	}
+}
+
+// Close stops accepting tasks and waits for queued work to drain.
+func (d *DualLayer) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.cpuCond.Broadcast()
+	d.ioCond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// Stats reports scheduler counters.
+type Stats struct {
+	Completed   int64
+	IOServed    int64
+	ExtraSpawns int64
+	Rule3Skips  int64
+	CPUQueued   int
+	IOQueued    int
+}
+
+// Stats returns a snapshot of counters.
+func (d *DualLayer) Stats() Stats {
+	return Stats{
+		Completed:   d.completed.Load(),
+		IOServed:    d.ioServed.Load(),
+		ExtraSpawns: d.extraSpawns.Load(),
+		Rule3Skips:  d.rule3Skips.Load(),
+		CPUQueued:   d.cpuQ.len(),
+		IOQueued:    d.ioQ.len(),
+	}
+}
+
+// Scheduler bundles the four class-separated dual-layer WFQs of one
+// DataNode (Figure 2).
+type Scheduler struct {
+	queues [numClasses]*DualLayer
+}
+
+// NewScheduler starts all four dual-layer WFQs with the same config.
+func NewScheduler(cfg Config) *Scheduler {
+	s := &Scheduler{}
+	for i := range s.queues {
+		s.queues[i] = NewDualLayer(cfg)
+	}
+	return s
+}
+
+// Submit routes the task to its class's dual-layer WFQ.
+func (s *Scheduler) Submit(t *Task) bool {
+	if t.Class < 0 || t.Class >= numClasses {
+		t.Class = SmallRead
+	}
+	return s.queues[t.Class].Submit(t)
+}
+
+// Queue returns the dual-layer WFQ for a class (test and stats access).
+func (s *Scheduler) Queue(c Class) *DualLayer { return s.queues[c] }
+
+// Close drains and stops all four queues.
+func (s *Scheduler) Close() {
+	for _, q := range s.queues {
+		q.Close()
+	}
+}

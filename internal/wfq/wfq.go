@@ -1,0 +1,215 @@
+// Package wfq implements ABase's dual-layer Weighted Fair Queueing
+// (§4.3). Requests are categorized into four independent dual-layer
+// WFQs by type (read/write) and size (small/large). Within each, the
+// CPU-WFQ schedules requests (checking the DataNode cache); on a miss
+// the I/O-WFQ schedules the disk stage.
+//
+// VFT (virtual finish time) per the paper:
+//
+//	wReqCost(Q_i) = Cost(Q_i) / wPartition(Q_i)
+//	wPartition    = Q_i / ΣQ_p  (the request's partition-quota share)
+//	VFT(Q_i)      = preVFT_tenant + wReqCost(Q_i)
+//
+// VFT accumulates per tenant so a tenant with large quota or cheap
+// requests cannot be prioritized forever.
+//
+// Deployment rules from the paper:
+//
+//	Rule 1: CPU-WFQ costs are RU; I/O-WFQ costs are IOPS.
+//	Rule 2: concurrency limits on reads and writes in the CPU-WFQ, and
+//	        a total-RU ceiling on writes (compaction stability).
+//	Rule 3: one tenant may hold at most 90% of CPU-WFQ concurrency.
+//	Rule 4: when one tenant monopolizes all basic I/O threads, extra
+//	        threads serve the other tenants' requests.
+package wfq
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Class categorizes a request by type and size into one of the four
+// independent dual-layer WFQs.
+type Class int
+
+// Request classes.
+const (
+	SmallRead Class = iota
+	LargeRead
+	SmallWrite
+	LargeWrite
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case SmallRead:
+		return "SmallRead"
+	case LargeRead:
+		return "LargeRead"
+	case SmallWrite:
+		return "SmallWrite"
+	case LargeWrite:
+		return "LargeWrite"
+	}
+	return "Unknown"
+}
+
+// ClassFor picks the WFQ class for a request. sizeBytes is the value
+// size (estimated for reads); the small/large boundary is 4 KiB.
+func ClassFor(write bool, sizeBytes int) Class {
+	large := sizeBytes > 4096
+	switch {
+	case write && large:
+		return LargeWrite
+	case write:
+		return SmallWrite
+	case large:
+		return LargeRead
+	default:
+		return SmallRead
+	}
+}
+
+// IsWrite reports whether the class is a write class.
+func (c Class) IsWrite() bool { return c == SmallWrite || c == LargeWrite }
+
+// Task is one request flowing through a dual-layer WFQ.
+type Task struct {
+	Tenant    string
+	Partition string
+	Class     Class
+	// RUCost is the CPU-layer cost (Rule 1).
+	RUCost float64
+	// IOPSCost is the I/O-layer cost charged if the CPU stage misses
+	// the cache (Rule 1).
+	IOPSCost float64
+	// QuotaShare is wPartition: the request's partition quota divided
+	// by the sum of partition quotas on the DataNode. Must be in (0,1].
+	QuotaShare float64
+	// CPUStage runs under the CPU-WFQ. It returns true when the request
+	// missed the cache and must proceed to the I/O-WFQ.
+	CPUStage func() (needIO bool)
+	// IOStage runs under the I/O-WFQ after a cache miss.
+	IOStage func()
+	// Done is invoked exactly once when the task fully completes.
+	Done func()
+
+	vft float64
+	idx int
+}
+
+// queue is a min-heap of tasks ordered by VFT with per-tenant
+// cumulative virtual time.
+type queue struct {
+	mu       sync.Mutex
+	items    taskHeap
+	preVFT   map[string]float64
+	vtime    float64        // system virtual time: VFT of the last dequeued task
+	byTenant map[string]int // queued count per tenant
+}
+
+func newQueue() *queue {
+	return &queue{preVFT: make(map[string]float64), byTenant: make(map[string]int)}
+}
+
+type taskHeap []*Task
+
+func (h taskHeap) Len() int            { return len(h) }
+func (h taskHeap) Less(i, j int) bool  { return h[i].vft < h[j].vft }
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *taskHeap) Push(x interface{}) { t := x.(*Task); t.idx = len(*h); *h = append(*h, t) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// push computes the task's VFT and enqueues it. cost selects which cost
+// dimension applies at this layer (Rule 1).
+func (q *queue) push(t *Task, cost float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	share := t.QuotaShare
+	if share <= 0 {
+		share = 1e-6
+	}
+	wReqCost := cost / share
+	pre := q.preVFT[t.Tenant]
+	if pre < q.vtime {
+		// A tenant idle long enough re-enters at the current virtual
+		// time instead of catching up from the past (standard WFQ
+		// re-entry), and never ahead of tenants that kept working.
+		pre = q.vtime
+	}
+	t.vft = pre + wReqCost
+	q.preVFT[t.Tenant] = t.vft
+	heap.Push(&q.items, t)
+	q.byTenant[t.Tenant]++
+}
+
+// pop removes and returns the lowest-VFT task, or nil when empty.
+// When skip is non-empty, tasks from that tenant are never returned
+// (Rule 3 / Rule 4 support); nil is returned if only skip's tasks
+// remain.
+func (q *queue) pop(skip string) *Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+	if skip != "" {
+		// Find the lowest-VFT task not from skip.
+		best := -1
+		for i, t := range q.items {
+			if t.Tenant == skip {
+				continue
+			}
+			if best == -1 || t.vft < q.items[best].vft {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		t := q.items[best]
+		heap.Remove(&q.items, best)
+		q.byTenant[t.Tenant]--
+		if t.vft > q.vtime {
+			q.vtime = t.vft
+		}
+		return t
+	}
+	t := heap.Pop(&q.items).(*Task)
+	q.byTenant[t.Tenant]--
+	if t.vft > q.vtime {
+		q.vtime = t.vft
+	}
+	return t
+}
+
+// len returns the queued task count.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// tenantCount returns queued tasks for one tenant.
+func (q *queue) tenantCount(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.byTenant[tenant]
+}
+
+// hasOtherTenant reports whether any queued task belongs to a tenant
+// other than the given one.
+func (q *queue) hasOtherTenant(tenant string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.byTenant[tenant] < len(q.items)
+}

@@ -1,0 +1,352 @@
+package wfq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abase/internal/quota"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		write bool
+		size  int
+		want  Class
+	}{
+		{false, 100, SmallRead},
+		{false, 100_000, LargeRead},
+		{true, 100, SmallWrite},
+		{true, 100_000, LargeWrite},
+		{false, 4096, SmallRead},
+		{false, 4097, LargeRead},
+	}
+	for _, c := range cases {
+		if got := ClassFor(c.write, c.size); got != c.want {
+			t.Errorf("ClassFor(%v,%d) = %v, want %v", c.write, c.size, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := SmallRead; c < numClasses; c++ {
+		if c.String() == "Unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if !SmallWrite.IsWrite() || LargeRead.IsWrite() {
+		t.Error("IsWrite wrong")
+	}
+}
+
+func TestQueueVFTOrdering(t *testing.T) {
+	q := newQueue()
+	// Tenant A has share 0.9, tenant B share 0.1. Equal costs: B's
+	// weighted cost is 9× A's, so As should drain ~9× faster... but
+	// cumulative VFT means after one B task, A gets several turns.
+	mk := func(tenant string, share float64) *Task {
+		return &Task{Tenant: tenant, QuotaShare: share}
+	}
+	for i := 0; i < 9; i++ {
+		q.push(mk("A", 0.9), 1)
+	}
+	q.push(mk("B", 0.1), 1)
+	var order []string
+	for {
+		task := q.pop("")
+		if task == nil {
+			break
+		}
+		order = append(order, task.Tenant)
+	}
+	if len(order) != 10 {
+		t.Fatalf("popped %d", len(order))
+	}
+	// A's VFT increments ~1.11 per task; B's single task lands at 10.
+	// So (modulo float ties at exactly 10) nearly all As precede B.
+	for i := 0; i < 8; i++ {
+		if order[i] != "A" {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestQueueCumulativeVFTPreventsStarvation(t *testing.T) {
+	q := newQueue()
+	// Tenant A floods with cheap requests; tenant B sends fewer costly
+	// ones. B must still get service interleaved, not starved to the end.
+	for i := 0; i < 20; i++ {
+		q.push(&Task{Tenant: "A", QuotaShare: 0.5}, 1)
+	}
+	for i := 0; i < 5; i++ {
+		q.push(&Task{Tenant: "B", QuotaShare: 0.5}, 2)
+	}
+	var firstB, popped int
+	for {
+		task := q.pop("")
+		if task == nil {
+			break
+		}
+		popped++
+		if task.Tenant == "B" && firstB == 0 {
+			firstB = popped
+		}
+	}
+	if firstB == 0 || firstB > 10 {
+		t.Fatalf("first B served at position %d of %d", firstB, popped)
+	}
+}
+
+func TestQueuePopSkip(t *testing.T) {
+	q := newQueue()
+	q.push(&Task{Tenant: "A", QuotaShare: 1}, 1)
+	q.push(&Task{Tenant: "B", QuotaShare: 1}, 5)
+	got := q.pop("A")
+	if got == nil || got.Tenant != "B" {
+		t.Fatalf("pop skipping A = %+v", got)
+	}
+	// Only A remains; skip A yields nil.
+	if q.pop("A") != nil {
+		t.Fatal("pop returned skipped tenant")
+	}
+	if q.pop("") == nil {
+		t.Fatal("A's task lost")
+	}
+}
+
+func TestQueueIdleTenantReentry(t *testing.T) {
+	q := newQueue()
+	// A accumulates VFT.
+	for i := 0; i < 100; i++ {
+		q.push(&Task{Tenant: "A", QuotaShare: 1}, 1)
+		q.pop("")
+	}
+	// B arrives late: must not start at VFT 0 and monopolize, nor be
+	// penalized; it enters near current virtual time.
+	q.push(&Task{Tenant: "B", QuotaShare: 1}, 1)
+	q.push(&Task{Tenant: "A", QuotaShare: 1}, 1)
+	first := q.pop("")
+	second := q.pop("")
+	if first == nil || second == nil {
+		t.Fatal("missing tasks")
+	}
+	tenants := map[string]bool{first.Tenant: true, second.Tenant: true}
+	if !tenants["A"] || !tenants["B"] {
+		t.Fatalf("both tenants should be served: %v then %v", first.Tenant, second.Tenant)
+	}
+}
+
+func TestDualLayerCompletesTasks(t *testing.T) {
+	d := NewDualLayer(Config{})
+	defer d.Close()
+	var done sync.WaitGroup
+	var hits, misses atomic.Int64
+	for i := 0; i < 100; i++ {
+		i := i
+		done.Add(1)
+		ok := d.Submit(&Task{
+			Tenant:     "T1",
+			Class:      SmallRead,
+			RUCost:     1,
+			IOPSCost:   1,
+			QuotaShare: 1,
+			CPUStage: func() bool {
+				if i%2 == 0 {
+					hits.Add(1)
+					return false // cache hit: no IO
+				}
+				return true
+			},
+			IOStage: func() { misses.Add(1) },
+			Done:    func() { done.Done() },
+		})
+		if !ok {
+			t.Fatal("Submit rejected")
+		}
+	}
+	done.Wait()
+	if hits.Load() != 50 || misses.Load() != 50 {
+		t.Fatalf("hits=%d misses=%d", hits.Load(), misses.Load())
+	}
+	st := d.Stats()
+	if st.Completed != 100 || st.IOServed != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDualLayerDoneCalledOncePerTask(t *testing.T) {
+	d := NewDualLayer(Config{})
+	defer d.Close()
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		d.Submit(&Task{
+			Tenant: "T", QuotaShare: 1, RUCost: 1, IOPSCost: 1,
+			CPUStage: func() bool { return true },
+			IOStage:  func() {},
+			Done:     func() { calls.Add(1); wg.Done() },
+		})
+	}
+	wg.Wait()
+	if calls.Load() != 50 {
+		t.Fatalf("Done called %d times", calls.Load())
+	}
+}
+
+func TestWriteRUCeiling(t *testing.T) {
+	// Rule 2: writes beyond the ceiling are rejected at submit.
+	bucket := quota.NewBucket(10, 10, nil)
+	d := NewDualLayer(Config{WriteCeilingBucket: bucket, WriteRUCeiling: 10})
+	defer d.Close()
+	accepted := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		ok := d.Submit(&Task{
+			Tenant: "T", Class: SmallWrite, RUCost: 1, QuotaShare: 1,
+			CPUStage: func() bool { return false },
+			Done:     func() { wg.Done() },
+		})
+		if ok {
+			accepted++
+		} else {
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	if accepted != 10 {
+		t.Fatalf("accepted %d writes, want 10 (ceiling)", accepted)
+	}
+}
+
+func TestReadsNotSubjectToWriteCeiling(t *testing.T) {
+	bucket := quota.NewBucket(1, 1, nil)
+	d := NewDualLayer(Config{WriteCeilingBucket: bucket, WriteRUCeiling: 1})
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		ok := d.Submit(&Task{
+			Tenant: "T", Class: SmallRead, RUCost: 1, QuotaShare: 1,
+			CPUStage: func() bool { return false },
+			Done:     func() { wg.Done() },
+		})
+		if !ok {
+			t.Fatal("read rejected by write ceiling")
+		}
+	}
+	wg.Wait()
+}
+
+func TestRule4ExtraThreads(t *testing.T) {
+	// One tenant monopolizes the single basic IO thread with slow tasks;
+	// another tenant's IO must still complete via extra threads.
+	d := NewDualLayer(Config{CPUWorkers: 4, BasicIOThreads: 1, ExtraIOThreads: 2})
+	defer d.Close()
+	var wg sync.WaitGroup
+	block := make(chan struct{})
+	// Monopolist tasks hold the basic thread.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		d.Submit(&Task{
+			Tenant: "hog", QuotaShare: 0.5, RUCost: 1, IOPSCost: 1,
+			CPUStage: func() bool { return true },
+			IOStage:  func() { <-block },
+			Done:     func() { wg.Done() },
+		})
+	}
+	// Give the hog time to occupy the basic thread.
+	time.Sleep(50 * time.Millisecond)
+	victimDone := make(chan struct{})
+	wg.Add(1)
+	d.Submit(&Task{
+		Tenant: "victim", QuotaShare: 0.5, RUCost: 1, IOPSCost: 1,
+		CPUStage: func() bool { return true },
+		IOStage:  func() {},
+		Done:     func() { close(victimDone); wg.Done() },
+	})
+	select {
+	case <-victimDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim IO starved behind monopolizing tenant")
+	}
+	close(block)
+	wg.Wait()
+	if d.Stats().ExtraSpawns == 0 {
+		t.Fatal("no extra thread spawned")
+	}
+}
+
+func TestSchedulerRoutesByClass(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for _, c := range []Class{SmallRead, LargeRead, SmallWrite, LargeWrite} {
+		wg.Add(1)
+		s.Submit(&Task{
+			Tenant: "T", Class: c, RUCost: 1, QuotaShare: 1,
+			CPUStage: func() bool { return false },
+			Done:     func() { wg.Done() },
+		})
+	}
+	wg.Wait()
+	for _, c := range []Class{SmallRead, LargeRead, SmallWrite, LargeWrite} {
+		if s.Queue(c).Stats().Completed != 1 {
+			t.Fatalf("class %v did not complete its task", c)
+		}
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	d := NewDualLayer(Config{})
+	d.Close()
+	if d.Submit(&Task{Tenant: "T", QuotaShare: 1}) {
+		t.Fatal("Submit accepted after Close")
+	}
+}
+
+func TestFairnessUnderContention(t *testing.T) {
+	// Two tenants with equal shares flooding the same queue should each
+	// complete roughly half of the first N completions.
+	d := NewDualLayer(Config{CPUWorkers: 2})
+	var aDone, bDone atomic.Int64
+	var wg sync.WaitGroup
+	work := func() { time.Sleep(100 * time.Microsecond) }
+	for i := 0; i < 200; i++ {
+		wg.Add(2)
+		d.Submit(&Task{
+			Tenant: "A", QuotaShare: 0.5, RUCost: 1,
+			CPUStage: func() bool { work(); return false },
+			Done:     func() { aDone.Add(1); wg.Done() },
+		})
+		d.Submit(&Task{
+			Tenant: "B", QuotaShare: 0.5, RUCost: 1,
+			CPUStage: func() bool { work(); return false },
+			Done:     func() { bDone.Add(1); wg.Done() },
+		})
+	}
+	wg.Wait()
+	d.Close()
+	a, b := aDone.Load(), bDone.Load()
+	if a != 200 || b != 200 {
+		t.Fatalf("completions a=%d b=%d", a, b)
+	}
+}
+
+func BenchmarkSubmitComplete(b *testing.B) {
+	d := NewDualLayer(Config{CPUWorkers: 4})
+	defer d.Close()
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		d.Submit(&Task{
+			Tenant: "T", QuotaShare: 1, RUCost: 1,
+			CPUStage: func() bool { return false },
+			Done:     func() { wg.Done() },
+		})
+	}
+	wg.Wait()
+}

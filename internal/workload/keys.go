@@ -1,0 +1,212 @@
+// Package workload synthesizes the traffic ABase's evaluation runs on.
+// ByteDance's production traces are proprietary; these generators are
+// parameterized by the published workload characteristics — Table 1's
+// business profiles (throughput:storage ratios, cache hit ratios, read
+// ratios, K-V sizes, TTLs), the Figure 5 Double-11 dynamism scenarios,
+// and the Figure 3/4 tenant population marginals — so the experiments
+// exercise the same behaviours the paper reports.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KeyGen produces keys according to an access distribution.
+type KeyGen interface {
+	// Next returns the next key to access.
+	Next() []byte
+	// Keyspace returns the number of distinct keys.
+	Keyspace() int
+}
+
+// UniformKeys samples keys uniformly from a keyspace.
+type UniformKeys struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniformKeys returns a uniform generator over n keys.
+func NewUniformKeys(n int, seed int64) *UniformKeys {
+	if n < 1 {
+		n = 1
+	}
+	return &UniformKeys{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Next implements KeyGen.
+func (u *UniformKeys) Next() []byte { return keyBytes(u.rng.Intn(u.n)) }
+
+// Keyspace implements KeyGen.
+func (u *UniformKeys) Keyspace() int { return u.n }
+
+// ZipfKeys samples keys with a Zipfian popularity distribution, the
+// canonical skewed access pattern for caches.
+type ZipfKeys struct {
+	rng *rand.Rand
+	z   *rand.Zipf
+	n   int
+}
+
+// NewZipfKeys returns a Zipf generator over n keys with skew s > 1.
+func NewZipfKeys(n int, s float64, seed int64) *ZipfKeys {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfKeys{
+		rng: rng,
+		z:   rand.NewZipf(rng, s, 1, uint64(n-1)),
+		n:   n,
+	}
+}
+
+// Next implements KeyGen.
+func (z *ZipfKeys) Next() []byte { return keyBytes(int(z.z.Uint64())) }
+
+// Keyspace implements KeyGen.
+func (z *ZipfKeys) Keyspace() int { return z.n }
+
+// HotspotKeys sends hotFraction of accesses to hotKeys distinct keys
+// and the rest uniformly across the full keyspace — the hot-key event
+// shape of §2.2 (3).
+type HotspotKeys struct {
+	rng         *rand.Rand
+	n           int
+	hotKeys     int
+	hotFraction float64
+}
+
+// NewHotspotKeys returns a hotspot generator: hotFraction of traffic
+// concentrates on hotKeys keys out of n.
+func NewHotspotKeys(n, hotKeys int, hotFraction float64, seed int64) *HotspotKeys {
+	if n < 1 {
+		n = 1
+	}
+	if hotKeys < 1 {
+		hotKeys = 1
+	}
+	if hotKeys > n {
+		hotKeys = n
+	}
+	if hotFraction < 0 {
+		hotFraction = 0
+	}
+	if hotFraction > 1 {
+		hotFraction = 1
+	}
+	return &HotspotKeys{
+		rng: rand.New(rand.NewSource(seed)),
+		n:   n, hotKeys: hotKeys, hotFraction: hotFraction,
+	}
+}
+
+// Next implements KeyGen.
+func (h *HotspotKeys) Next() []byte {
+	if h.rng.Float64() < h.hotFraction {
+		return keyBytes(h.rng.Intn(h.hotKeys))
+	}
+	return keyBytes(h.rng.Intn(h.n))
+}
+
+// Keyspace implements KeyGen.
+func (h *HotspotKeys) Keyspace() int { return h.n }
+
+// SequentialKeys walks the keyspace in order — the "ad hoc access to
+// large volumes of older, cold data" pattern that collapses cache hit
+// ratios (§2.2 (2)).
+type SequentialKeys struct {
+	n, next int
+}
+
+// NewSequentialKeys returns a sequential scanner over n keys.
+func NewSequentialKeys(n int) *SequentialKeys {
+	if n < 1 {
+		n = 1
+	}
+	return &SequentialKeys{n: n}
+}
+
+// Next implements KeyGen.
+func (s *SequentialKeys) Next() []byte {
+	k := keyBytes(s.next)
+	s.next = (s.next + 1) % s.n
+	return k
+}
+
+// Keyspace implements KeyGen.
+func (s *SequentialKeys) Keyspace() int { return s.n }
+
+func keyBytes(i int) []byte {
+	return []byte(fmt.Sprintf("key-%012d", i))
+}
+
+// ValueGen produces value payloads.
+type ValueGen interface {
+	Next() []byte
+}
+
+// FixedValues produces values of a constant size.
+type FixedValues struct {
+	buf []byte
+}
+
+// NewFixedValues returns a generator of size-byte values.
+func NewFixedValues(size int) *FixedValues {
+	if size < 1 {
+		size = 1
+	}
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return &FixedValues{buf: b}
+}
+
+// Next implements ValueGen. The same backing buffer is returned each
+// call; consumers must not retain it across calls if they mutate it.
+func (f *FixedValues) Next() []byte { return f.buf }
+
+// LogNormalValues produces values with log-normally distributed sizes,
+// matching Figure 4d's heavy-tailed K-V size distribution (median
+// 0.12 KB, p99 308 KB).
+type LogNormalValues struct {
+	rng        *rand.Rand
+	mu, sigma  float64
+	minB, maxB int
+}
+
+// NewLogNormalValues returns sizes exp(N(mu, sigma²)) clamped to
+// [minB, maxB].
+func NewLogNormalValues(mu, sigma float64, minB, maxB int, seed int64) *LogNormalValues {
+	if minB < 1 {
+		minB = 1
+	}
+	if maxB < minB {
+		maxB = minB
+	}
+	return &LogNormalValues{
+		rng: rand.New(rand.NewSource(seed)),
+		mu:  mu, sigma: sigma, minB: minB, maxB: maxB,
+	}
+}
+
+// Next implements ValueGen.
+func (l *LogNormalValues) Next() []byte {
+	size := int(math.Exp(l.mu + l.sigma*l.rng.NormFloat64()))
+	if size < l.minB {
+		size = l.minB
+	}
+	if size > l.maxB {
+		size = l.maxB
+	}
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package workload
+
+import "time"
+
+// Profile is one business workload profile (Table 1).
+type Profile struct {
+	// Business and Workload name the row.
+	Business string
+	Workload string
+	// NormalizedThroughput and NormalizedStorage follow the paper's
+	// empirical standard unit.
+	NormalizedThroughput float64
+	NormalizedStorage    float64
+	// TargetHitRatio is the cache hit ratio the workload exhibits.
+	TargetHitRatio float64
+	// ReadRatio is the fraction of read operations.
+	ReadRatio float64
+	// MeanKVSize is the mean key-value size in bytes.
+	MeanKVSize int
+	// TTL is the common TTL (0 = none).
+	TTL time.Duration
+	// KeySkew selects the access distribution: Zipf skew parameter; a
+	// high skew yields the high hit ratios of the search/e-commerce
+	// rows, near-uniform access the low ratios of the ads row.
+	KeySkew float64
+	// Keyspace is the number of distinct keys exercised.
+	Keyspace int
+}
+
+// Table1Profiles returns the seven business profiles of Table 1.
+// Key skews and keyspaces are derived from each row's cache hit ratio:
+// high hit ratios come from heavily skewed access over modest
+// keyspaces, the ads joiner's 18% from write-once-read-once traffic,
+// and the LLM KV-cache bypasses caching entirely.
+func Table1Profiles() []Profile {
+	return []Profile{
+		{
+			Business: "Social Media (Douyin)", Workload: "Comment",
+			NormalizedThroughput: 250, NormalizedStorage: 125,
+			TargetHitRatio: 0.54, ReadRatio: 1.00, MeanKVSize: 100,
+			KeySkew: 1.2, Keyspace: 200_000,
+		},
+		{
+			Business: "Social Media (Douyin)", Workload: "Direct message",
+			NormalizedThroughput: 25, NormalizedStorage: 678,
+			TargetHitRatio: 0.74, ReadRatio: 1.00, MeanKVSize: 1024,
+			KeySkew: 1.35, Keyspace: 100_000,
+		},
+		{
+			Business: "E-Commerce", Workload: "Metadata tags",
+			NormalizedThroughput: 575, NormalizedStorage: 42,
+			TargetHitRatio: 0.92, ReadRatio: 1.00, MeanKVSize: 1024,
+			KeySkew: 1.7, Keyspace: 50_000,
+		},
+		{
+			Business: "Search", Workload: "Forward sorted data",
+			NormalizedThroughput: 1500, NormalizedStorage: 63,
+			TargetHitRatio: 0.99, ReadRatio: 1.00, MeanKVSize: 1024,
+			KeySkew: 2.5, Keyspace: 20_000,
+		},
+		{
+			Business: "Advertisement", Workload: "For message joiner",
+			NormalizedThroughput: 2750, NormalizedStorage: 938,
+			TargetHitRatio: 0.18, ReadRatio: 0.25, MeanKVSize: 10 * 1024,
+			TTL:     3 * time.Hour,
+			KeySkew: 1.01, Keyspace: 2_000_000,
+		},
+		{
+			Business: "Recommendation", Workload: "For deduplication",
+			NormalizedThroughput: 5325, NormalizedStorage: 625,
+			TargetHitRatio: 0.76, ReadRatio: 0.50, MeanKVSize: 2 * 1024,
+			TTL:     15 * 24 * time.Hour,
+			KeySkew: 1.4, Keyspace: 500_000,
+		},
+		{
+			Business: "Large Language Model", Workload: "Remote K-V Cache",
+			NormalizedThroughput: 10000, NormalizedStorage: 5760,
+			TargetHitRatio: 0.00, ReadRatio: 0.85, MeanKVSize: 5 * 1024 * 1024,
+			TTL:     24 * time.Hour,
+			KeySkew: 1.01, Keyspace: 5_000_000,
+		},
+	}
+}
+
+// Mix drives a read/write operation mix.
+type Mix struct {
+	rng       *randSource
+	readRatio float64
+}
+
+// NewMix returns an operation mixer with the given read fraction.
+func NewMix(readRatio float64, seed int64) *Mix {
+	if readRatio < 0 {
+		readRatio = 0
+	}
+	if readRatio > 1 {
+		readRatio = 1
+	}
+	return &Mix{rng: newRandSource(seed), readRatio: readRatio}
+}
+
+// NextIsRead reports whether the next operation should be a read.
+func (m *Mix) NextIsRead() bool { return m.rng.Float64() < m.readRatio }

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// randSource wraps rand.Rand for the package's generators.
+type randSource struct{ *rand.Rand }
+
+func newRandSource(seed int64) *randSource {
+	return &randSource{rand.New(rand.NewSource(seed))}
+}
+
+// SeriesSpec describes a synthetic hourly usage series for the
+// forecasting and autoscaling experiments.
+type SeriesSpec struct {
+	// Hours is the series length.
+	Hours int
+	// Base is the mean level.
+	Base float64
+	// DailyAmp and WeeklyAmp are seasonal amplitudes.
+	DailyAmp  float64
+	WeeklyAmp float64
+	// CustomPeriod/CustomAmp add an extra seasonal term (e.g. 84 hours
+	// = 3.5 days from TTL configurations, §5.2 Issue 2).
+	CustomPeriod int
+	CustomAmp    float64
+	// TrendPerHour is the linear growth per hour.
+	TrendPerHour float64
+	// Noise is the Gaussian noise standard deviation.
+	Noise float64
+	// BurstProb is the per-hour probability of a multiplicative burst.
+	BurstProb float64
+	// BurstFactor is the burst multiplier.
+	BurstFactor float64
+	// Seed makes the series reproducible.
+	Seed int64
+}
+
+// Gen produces the hourly series.
+func (s SeriesSpec) Gen() []float64 {
+	rng := rand.New(rand.NewSource(s.Seed))
+	out := make([]float64, s.Hours)
+	for t := range out {
+		v := s.Base + s.TrendPerHour*float64(t)
+		v += s.DailyAmp * math.Sin(2*math.Pi*float64(t)/24)
+		v += s.WeeklyAmp * math.Sin(2*math.Pi*float64(t)/168)
+		if s.CustomPeriod > 1 {
+			v += s.CustomAmp * math.Sin(2*math.Pi*float64(t)/float64(s.CustomPeriod))
+		}
+		v += s.Noise * rng.NormFloat64()
+		if s.BurstProb > 0 && rng.Float64() < s.BurstProb {
+			v *= s.BurstFactor
+		}
+		if v < 0 {
+			v = 0
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// Double11Scenario identifies the Figure 5 dynamism scenarios.
+type Double11Scenario int
+
+// Figure 5 scenarios (a)–(e); (f) is the pool-level aggregate of the
+// others.
+const (
+	// ScenarioQPSUpHitStable: traffic rises, accesses stay concentrated
+	// on the same hot keys → hit ratio stays ~100% (Fig. 5a).
+	ScenarioQPSUpHitStable Double11Scenario = iota
+	// ScenarioQPSUpHitDown: traffic rises with a broad key distribution
+	// → cache evictions, hit ratio drops >20% (Fig. 5b).
+	ScenarioQPSUpHitDown
+	// ScenarioQPSUpHitUp: a hot-key event concentrates accesses → hit
+	// ratio rises ~10% with the surge (Fig. 5c).
+	ScenarioQPSUpHitUp
+	// ScenarioQPSStableHitDown: stable traffic but access pattern
+	// disperses to cold data → hit ratio −10% (Fig. 5d).
+	ScenarioQPSStableHitDown
+	// ScenarioShortBurstHitCollapse: a ~3-day traffic peak scanning
+	// cold data → hit ratio collapses from ~100% to ~2% (Fig. 5e).
+	ScenarioShortBurstHitCollapse
+)
+
+// ScenarioPhase describes the workload during one phase of a Double-11
+// scenario.
+type ScenarioPhase struct {
+	// QPSFactor multiplies the base request rate.
+	QPSFactor float64
+	// Keys generates the phase's accesses.
+	Keys KeyGen
+	// DurationFrac is the fraction of the experiment this phase covers.
+	DurationFrac float64
+}
+
+// Double11Phases returns the phase schedule for a scenario over a
+// keyspace of n keys. The schedule's QPS and key-distribution changes
+// reproduce the qualitative shapes of Figure 5.
+func Double11Phases(s Double11Scenario, n int, seed int64) []ScenarioPhase {
+	switch s {
+	case ScenarioQPSUpHitStable:
+		return []ScenarioPhase{
+			{QPSFactor: 1, Keys: NewZipfKeys(n, 2.2, seed), DurationFrac: 0.4},
+			{QPSFactor: 3, Keys: NewZipfKeys(n, 2.2, seed+1), DurationFrac: 0.6},
+		}
+	case ScenarioQPSUpHitDown:
+		return []ScenarioPhase{
+			{QPSFactor: 1, Keys: NewZipfKeys(n, 1.8, seed), DurationFrac: 0.4},
+			{QPSFactor: 3, Keys: NewZipfKeys(n*4, 1.05, seed+1), DurationFrac: 0.6},
+		}
+	case ScenarioQPSUpHitUp:
+		return []ScenarioPhase{
+			{QPSFactor: 1, Keys: NewZipfKeys(n, 1.1, seed), DurationFrac: 0.4},
+			{QPSFactor: 3, Keys: NewHotspotKeys(n, 10, 0.85, seed+1), DurationFrac: 0.6},
+		}
+	case ScenarioQPSStableHitDown:
+		return []ScenarioPhase{
+			{QPSFactor: 1, Keys: NewZipfKeys(n, 1.8, seed), DurationFrac: 0.4},
+			{QPSFactor: 1, Keys: NewZipfKeys(n*4, 1.1, seed+1), DurationFrac: 0.6},
+		}
+	case ScenarioShortBurstHitCollapse:
+		return []ScenarioPhase{
+			{QPSFactor: 1, Keys: NewZipfKeys(n, 2.2, seed), DurationFrac: 0.3},
+			{QPSFactor: 2.5, Keys: NewSequentialKeys(n * 8), DurationFrac: 0.4},
+			{QPSFactor: 1, Keys: NewZipfKeys(n, 2.2, seed+2), DurationFrac: 0.3},
+		}
+	default:
+		return []ScenarioPhase{{QPSFactor: 1, Keys: NewZipfKeys(n, 1.5, seed), DurationFrac: 1}}
+	}
+}
+
+// TenantSpec is one synthetic tenant in the Figure 3/4 population.
+type TenantSpec struct {
+	Name      string
+	RU        float64 // average RU usage (normalized by population median)
+	StorageGB float64 // storage usage (normalized by population median)
+	ReadRatio float64
+	HitRatio  float64
+	KVSize    int // mean key-value size in bytes
+}
+
+// Population generates n tenants whose marginals match Figure 3/4:
+// log-normal RU and storage with positive correlation, read ratio
+// biased higher for high-RU/low-storage tenants (Fig. 3), hit ratios
+// concentrated near 1 with a long tail (Fig. 4b: p50 93.5%), read
+// ratios with p50 ≈ 39% (Fig. 4c), and K-V sizes with median ≈ 0.12 KB
+// and p99 ≈ 308 KB (Fig. 4d).
+func Population(n int, seed int64) []TenantSpec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TenantSpec, n)
+	for i := range out {
+		// Correlated log-normal RU and storage.
+		z := rng.NormFloat64()
+		ru := math.Exp(1.5*z + 0.8*rng.NormFloat64())
+		sto := math.Exp(1.2*z + 1.0*rng.NormFloat64())
+		// Read ratio: higher when RU/storage ratio is high.
+		bias := math.Tanh(0.5 * math.Log((ru+1e-9)/(sto+1e-9)))
+		readRatio := clamp01(0.45 + 0.35*bias + 0.25*rng.NormFloat64())
+		// Hit ratio: Beta-ish concentration near 1.
+		hit := 1 - math.Exp(rng.NormFloat64()*1.4-2.8)
+		// K-V size: median 0.12KB, heavy tail to ~308KB.
+		kv := int(math.Exp(math.Log(120) + 1.9*rng.NormFloat64()))
+		if kv < 16 {
+			kv = 16
+		}
+		if kv > 2<<20 {
+			kv = 2 << 20
+		}
+		out[i] = TenantSpec{
+			Name:      tenantName(i),
+			RU:        ru,
+			StorageGB: sto,
+			ReadRatio: readRatio,
+			HitRatio:  clamp01(hit),
+			KVSize:    kv,
+		}
+	}
+	return out
+}
+
+func tenantName(i int) string {
+	return "tenant-" + string(rune('a'+i%26)) + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

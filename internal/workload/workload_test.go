@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"abase/internal/metrics"
+)
+
+func TestUniformKeysRange(t *testing.T) {
+	g := NewUniformKeys(100, 1)
+	if g.Keyspace() != 100 {
+		t.Fatal("keyspace wrong")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[string(g.Next())] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("uniform generator too narrow: %d distinct", len(seen))
+	}
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	g := NewZipfKeys(10000, 1.5, 1)
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[string(g.Next())]++
+	}
+	// The single most popular key should take a large share.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if float64(maxC)/draws < 0.10 {
+		t.Fatalf("zipf top key share %.3f too low", float64(maxC)/draws)
+	}
+}
+
+func TestHotspotKeysConcentration(t *testing.T) {
+	g := NewHotspotKeys(100000, 5, 0.9, 1)
+	hot := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		k := g.Next()
+		// hot keys are key-000000000000 .. key-000000000004
+		if bytes.HasPrefix(k, []byte("key-00000000000")) {
+			hot++
+		}
+	}
+	if float64(hot)/draws < 0.85 {
+		t.Fatalf("hotspot fraction %.3f, want ≥0.85", float64(hot)/draws)
+	}
+}
+
+func TestSequentialKeysWrap(t *testing.T) {
+	g := NewSequentialKeys(3)
+	first := string(g.Next())
+	g.Next()
+	g.Next()
+	if string(g.Next()) != first {
+		t.Fatal("sequential did not wrap")
+	}
+}
+
+func TestFixedValues(t *testing.T) {
+	v := NewFixedValues(128)
+	if len(v.Next()) != 128 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestLogNormalValuesClamped(t *testing.T) {
+	v := NewLogNormalValues(math.Log(120), 1.9, 16, 1<<20, 1)
+	var sizes []float64
+	for i := 0; i < 2000; i++ {
+		n := len(v.Next())
+		if n < 16 || n > 1<<20 {
+			t.Fatalf("size %d out of bounds", n)
+		}
+		sizes = append(sizes, float64(n))
+	}
+	med := metrics.Percentile(sizes, 50)
+	if med < 40 || med > 400 {
+		t.Fatalf("median size %v, want ≈120", med)
+	}
+	if p99 := metrics.Percentile(sizes, 99); p99 < 5*med {
+		t.Fatalf("tail not heavy: p99=%v med=%v", p99, med)
+	}
+}
+
+func TestTable1ProfilesComplete(t *testing.T) {
+	ps := Table1Profiles()
+	if len(ps) != 7 {
+		t.Fatalf("profiles = %d, want 7", len(ps))
+	}
+	// Spot-check the paper's numbers.
+	var llm, ads *Profile
+	for i := range ps {
+		if ps[i].Workload == "Remote K-V Cache" {
+			llm = &ps[i]
+		}
+		if ps[i].Business == "Advertisement" {
+			ads = &ps[i]
+		}
+	}
+	if llm == nil || llm.NormalizedThroughput != 10000 || llm.TargetHitRatio != 0 {
+		t.Fatalf("LLM profile wrong: %+v", llm)
+	}
+	if ads == nil || ads.ReadRatio != 0.25 || ads.TTL != 3*time.Hour {
+		t.Fatalf("ads profile wrong: %+v", ads)
+	}
+	for _, p := range ps {
+		if p.MeanKVSize <= 0 || p.Keyspace <= 0 || p.KeySkew < 1 {
+			t.Fatalf("profile %s has invalid derived params: %+v", p.Workload, p)
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	m := NewMix(0.75, 1)
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.NextIsRead() {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("read fraction = %v, want ≈0.75", frac)
+	}
+}
+
+func TestSeriesSpecGen(t *testing.T) {
+	s := SeriesSpec{
+		Hours: 720, Base: 100, DailyAmp: 30, TrendPerHour: 0.05,
+		Noise: 1, Seed: 1,
+	}
+	vs := s.Gen()
+	if len(vs) != 720 {
+		t.Fatal("length wrong")
+	}
+	for _, v := range vs {
+		if v < 0 {
+			t.Fatal("negative sample")
+		}
+	}
+	// Trend: later mean above earlier mean.
+	early, late := mean(vs[:100]), mean(vs[620:])
+	if late <= early {
+		t.Fatalf("trend missing: %v → %v", early, late)
+	}
+}
+
+func TestSeriesSpecBursts(t *testing.T) {
+	s := SeriesSpec{Hours: 1000, Base: 100, BurstProb: 0.05, BurstFactor: 10, Seed: 2}
+	vs := s.Gen()
+	bursts := 0
+	for _, v := range vs {
+		if v > 500 {
+			bursts++
+		}
+	}
+	if bursts < 20 || bursts > 100 {
+		t.Fatalf("bursts = %d, want ≈50", bursts)
+	}
+}
+
+func TestSeriesSpecCustomPeriod(t *testing.T) {
+	s := SeriesSpec{Hours: 840, Base: 100, CustomPeriod: 84, CustomAmp: 40, Seed: 3}
+	vs := s.Gen()
+	// Autocorrelation at lag 84 should be strongly positive.
+	if ac := autocorr(vs, 84); ac < 0.5 {
+		t.Fatalf("autocorr at 84 = %v", ac)
+	}
+}
+
+func TestDouble11PhasesShapes(t *testing.T) {
+	for _, sc := range []Double11Scenario{
+		ScenarioQPSUpHitStable, ScenarioQPSUpHitDown, ScenarioQPSUpHitUp,
+		ScenarioQPSStableHitDown, ScenarioShortBurstHitCollapse,
+	} {
+		phases := Double11Phases(sc, 10000, 1)
+		if len(phases) < 2 {
+			t.Fatalf("scenario %d has %d phases", sc, len(phases))
+		}
+		var total float64
+		for _, ph := range phases {
+			total += ph.DurationFrac
+			if ph.Keys == nil || ph.QPSFactor <= 0 {
+				t.Fatalf("scenario %d has invalid phase %+v", sc, ph)
+			}
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("scenario %d durations sum to %v", sc, total)
+		}
+	}
+	// QPS factor rises in the "up" scenarios.
+	up := Double11Phases(ScenarioQPSUpHitDown, 1000, 1)
+	if up[1].QPSFactor <= up[0].QPSFactor {
+		t.Fatal("QPS-up scenario does not raise QPS")
+	}
+	// Stable-QPS scenario holds it flat.
+	flat := Double11Phases(ScenarioQPSStableHitDown, 1000, 1)
+	if flat[1].QPSFactor != flat[0].QPSFactor {
+		t.Fatal("stable scenario changed QPS")
+	}
+}
+
+func TestPopulationMarginals(t *testing.T) {
+	pop := Population(2000, 1)
+	if len(pop) != 2000 {
+		t.Fatal("size wrong")
+	}
+	var hits, reads, kvs []float64
+	for _, ts := range pop {
+		hits = append(hits, ts.HitRatio)
+		reads = append(reads, ts.ReadRatio)
+		kvs = append(kvs, float64(ts.KVSize))
+		if ts.RU <= 0 || ts.StorageGB <= 0 {
+			t.Fatalf("non-positive usage: %+v", ts)
+		}
+	}
+	// Fig 4b: p50 hit ratio ≈ 93.5%.
+	if p50 := metrics.Percentile(hits, 50); p50 < 0.80 || p50 > 0.99 {
+		t.Fatalf("hit p50 = %v, want ≈0.93", p50)
+	}
+	// Fig 4c: p50 read ratio ≈ 0.39 (write-heavy median).
+	if p50 := metrics.Percentile(reads, 50); p50 < 0.25 || p50 > 0.60 {
+		t.Fatalf("read p50 = %v, want ≈0.4", p50)
+	}
+	// Fig 4d: median ≈ 120B, p99 ≫ median.
+	med, p99 := metrics.Percentile(kvs, 50), metrics.Percentile(kvs, 99)
+	if med < 40 || med > 400 {
+		t.Fatalf("kv median = %v", med)
+	}
+	if p99 < 20*med {
+		t.Fatalf("kv p99/median = %v, want heavy tail", p99/med)
+	}
+}
+
+func TestPopulationReadRatioCorrelation(t *testing.T) {
+	// Fig 3: high RU/storage ratio ↔ read-heavy.
+	pop := Population(2000, 2)
+	var hiRU, loRU []float64
+	for _, ts := range pop {
+		if ts.RU/ts.StorageGB > 2 {
+			hiRU = append(hiRU, ts.ReadRatio)
+		} else if ts.RU/ts.StorageGB < 0.5 {
+			loRU = append(loRU, ts.ReadRatio)
+		}
+	}
+	if len(hiRU) < 20 || len(loRU) < 20 {
+		t.Skip("insufficient extreme tenants")
+	}
+	if mean(hiRU) <= mean(loRU) {
+		t.Fatalf("read-ratio correlation missing: hi=%v lo=%v", mean(hiRU), mean(loRU))
+	}
+}
+
+func mean(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+func autocorr(vs []float64, lag int) float64 {
+	m := mean(vs)
+	var num, den float64
+	for i := 0; i < len(vs)-lag; i++ {
+		num += (vs[i] - m) * (vs[i+lag] - m)
+	}
+	for _, v := range vs {
+		den += (v - m) * (v - m)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,331 @@
+package abase
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"abase/internal/resp"
+)
+
+// Serve exposes the cluster over the Redis protocol (RESP2) on addr
+// (":0" picks a free port). Connections select their tenant with
+// AUTH <tenant>; defaultTenant (when non-empty) is used before AUTH.
+// It returns the bound address and the server for shutdown.
+func (c *Cluster) Serve(addr, defaultTenant string) (string, *resp.Server, error) {
+	srv := resp.NewSessionServer(func() resp.Handler {
+		return &session{cluster: c, tenant: defaultTenant}
+	})
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, srv, nil
+}
+
+// session is the per-connection RESP command handler.
+type session struct {
+	cluster *Cluster
+	tenant  string
+}
+
+func (s *session) client() (*Client, resp.Value) {
+	if s.tenant == "" {
+		return nil, resp.Err("NOAUTH tenant not selected; AUTH <tenant>")
+	}
+	t, err := s.cluster.Tenant(s.tenant)
+	if err != nil {
+		return nil, resp.Err("ERR unknown tenant %q", s.tenant)
+	}
+	return t.Client(), resp.Value{}
+}
+
+func wrongArgs(name string) resp.Value {
+	return resp.Err("ERR wrong number of arguments for '%s' command", name)
+}
+
+func opErr(err error) resp.Value {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return resp.Null()
+	case errors.Is(err, ErrThrottled):
+		return resp.Err("THROTTLED request rate exceeds tenant quota")
+	default:
+		return resp.Err("ERR %v", err)
+	}
+}
+
+// Handle implements resp.Handler.
+func (s *session) Handle(cmd resp.Command) resp.Value {
+	switch cmd.Name {
+	case "PING":
+		return resp.Pong()
+
+	case "AUTH":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("auth")
+		}
+		name := string(cmd.Args[0])
+		if _, err := s.cluster.Tenant(name); err != nil {
+			return resp.Err("ERR unknown tenant %q", name)
+		}
+		s.tenant = name
+		return resp.OK()
+
+	case "GET":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("get")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		v, err := c.Get(cmd.Args[0])
+		if err != nil {
+			return opErr(err)
+		}
+		return resp.Bulk(v)
+
+	case "SET":
+		if len(cmd.Args) < 2 {
+			return wrongArgs("set")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		var ttl time.Duration
+		for i := 2; i < len(cmd.Args); i++ {
+			switch string(cmd.Args[i]) {
+			case "EX", "ex":
+				if i+1 >= len(cmd.Args) {
+					return resp.Err("ERR syntax error")
+				}
+				sec, err := strconv.Atoi(string(cmd.Args[i+1]))
+				if err != nil || sec <= 0 {
+					return resp.Err("ERR invalid expire time")
+				}
+				ttl = time.Duration(sec) * time.Second
+				i++
+			case "PX", "px":
+				if i+1 >= len(cmd.Args) {
+					return resp.Err("ERR syntax error")
+				}
+				ms, err := strconv.Atoi(string(cmd.Args[i+1]))
+				if err != nil || ms <= 0 {
+					return resp.Err("ERR invalid expire time")
+				}
+				ttl = time.Duration(ms) * time.Millisecond
+				i++
+			default:
+				return resp.Err("ERR syntax error")
+			}
+		}
+		if err := c.Set(cmd.Args[0], cmd.Args[1], ttl); err != nil {
+			return opErr(err)
+		}
+		return resp.OK()
+
+	case "DEL":
+		if len(cmd.Args) < 1 {
+			return wrongArgs("del")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		deleted := int64(0)
+		for _, k := range cmd.Args {
+			if err := c.Delete(k); err == nil {
+				deleted++
+			} else if !errors.Is(err, ErrNotFound) {
+				return opErr(err)
+			}
+		}
+		return resp.Int64(deleted)
+
+	case "EXISTS":
+		if len(cmd.Args) < 1 {
+			return wrongArgs("exists")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		count := int64(0)
+		for _, k := range cmd.Args {
+			if _, err := c.Get(k); err == nil {
+				count++
+			} else if !errors.Is(err, ErrNotFound) {
+				return opErr(err)
+			}
+		}
+		return resp.Int64(count)
+
+	case "MGET":
+		if len(cmd.Args) < 1 {
+			return wrongArgs("mget")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		vs, err := c.MGet(cmd.Args...)
+		if err != nil {
+			return opErr(err)
+		}
+		out := make([]resp.Value, len(vs))
+		for i, v := range vs {
+			if v == nil {
+				out[i] = resp.Null()
+			} else {
+				out[i] = resp.Bulk(v)
+			}
+		}
+		return resp.Arr(out...)
+
+	case "MSET":
+		if len(cmd.Args) < 2 || len(cmd.Args)%2 != 0 {
+			return wrongArgs("mset")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		for i := 0; i < len(cmd.Args); i += 2 {
+			if err := c.Set(cmd.Args[i], cmd.Args[i+1], 0); err != nil {
+				return opErr(err)
+			}
+		}
+		return resp.OK()
+
+	case "HSET":
+		if len(cmd.Args) < 3 || len(cmd.Args)%2 != 1 {
+			return wrongArgs("hset")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		added := int64(0)
+		for i := 1; i < len(cmd.Args); i += 2 {
+			n, err := c.HSet(cmd.Args[0], string(cmd.Args[i]), cmd.Args[i+1])
+			if err != nil {
+				return opErr(err)
+			}
+			added += int64(n)
+		}
+		return resp.Int64(added)
+
+	case "HGET":
+		if len(cmd.Args) != 2 {
+			return wrongArgs("hget")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		v, err := c.HGet(cmd.Args[0], string(cmd.Args[1]))
+		if err != nil {
+			return opErr(err)
+		}
+		return resp.Bulk(v)
+
+	case "HLEN":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("hlen")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		n, err := c.HLen(cmd.Args[0])
+		if err != nil {
+			return opErr(err)
+		}
+		return resp.Int64(int64(n))
+
+	case "HGETALL":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("hgetall")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		m, err := c.HGetAll(cmd.Args[0])
+		if err != nil {
+			return opErr(err)
+		}
+		out := make([]resp.Value, 0, len(m)*2)
+		for f, v := range m {
+			out = append(out, resp.BulkStr(f), resp.Bulk(v))
+		}
+		return resp.Arr(out...)
+
+	case "HDEL":
+		if len(cmd.Args) < 2 {
+			return wrongArgs("hdel")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		fields := make([]string, len(cmd.Args)-1)
+		for i, f := range cmd.Args[1:] {
+			fields[i] = string(f)
+		}
+		n, err := c.HDel(cmd.Args[0], fields...)
+		if err != nil {
+			return opErr(err)
+		}
+		return resp.Int64(int64(n))
+
+	case "TTL":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("ttl")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		ttl, hasTTL, err := c.TTL(cmd.Args[0])
+		switch {
+		case errors.Is(err, ErrNotFound):
+			return resp.Int64(-2) // Redis: key does not exist
+		case err != nil:
+			return opErr(err)
+		case !hasTTL:
+			return resp.Int64(-1) // Redis: no associated expire
+		default:
+			return resp.Int64(int64(ttl / time.Second))
+		}
+
+	case "EXPIRE":
+		if len(cmd.Args) != 2 {
+			return wrongArgs("expire")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		sec, err := strconv.Atoi(string(cmd.Args[1]))
+		if err != nil || sec <= 0 {
+			return resp.Err("ERR invalid expire time")
+		}
+		switch err := c.Expire(cmd.Args[0], time.Duration(sec)*time.Second); {
+		case errors.Is(err, ErrNotFound):
+			return resp.Int64(0)
+		case err != nil:
+			return opErr(err)
+		default:
+			return resp.Int64(1)
+		}
+
+	case "COMMAND":
+		return resp.Arr() // clients probe this at connect
+
+	default:
+		return resp.Err("ERR unknown command '%s'", cmd.Name)
+	}
+}
