@@ -45,6 +45,57 @@ var (
 	ErrThrottled = proxy.ErrThrottled
 )
 
+// KV is one key/value pair in a batched write.
+type KV = proxy.KV
+
+// BatchError reports per-key failures from a multi-key operation.
+// Errs is parallel to the operation's input; nil entries succeeded.
+// errors.Is matches any of the contained errors (e.g. ErrThrottled).
+type BatchError struct {
+	Errs []error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	failed := 0
+	var first error
+	for _, err := range e.Errs {
+		if err != nil {
+			failed++
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return fmt.Sprintf("abase: %d/%d keys failed (first: %v)", failed, len(e.Errs), first)
+}
+
+// Unwrap exposes the per-key errors to errors.Is/As.
+func (e *BatchError) Unwrap() []error { return e.Errs }
+
+// batchError returns a *BatchError if any entry of errs is non-nil
+// after applying ignore (which may clear per-key errors such as
+// ErrNotFound); otherwise nil.
+func batchError(errs []error, ignore func(error) bool) error {
+	failed := false
+	for _, err := range errs {
+		if err != nil && (ignore == nil || !ignore(err)) {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		return nil
+	}
+	kept := make([]error, len(errs))
+	for i, err := range errs {
+		if err != nil && (ignore == nil || !ignore(err)) {
+			kept[i] = err
+		}
+	}
+	return &BatchError{Errs: kept}
+}
+
 // ClusterConfig configures an embedded ABase cluster.
 type ClusterConfig struct {
 	// Nodes is the DataNode count (default 3).
@@ -66,6 +117,9 @@ type ClusterConfig struct {
 	FS lavastore.FS
 	// NodeRUCapacity is each node's nominal RU/s capacity.
 	NodeRUCapacity float64
+	// AdmitCost is each node's simulated request-queue processing time
+	// per request (default 2µs; tests and benchmarks use 1ns).
+	AdmitCost time.Duration
 }
 
 // Cluster is an embedded ABase deployment.
@@ -109,6 +163,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Replicas:             cfg.Replicas,
 			EnablePartitionQuota: !cfg.DisablePartitionQuota,
 			RUCapacity:           cfg.NodeRUCapacity,
+			AdmitCost:            cfg.AdmitCost,
 		})
 		c.Meta.RegisterNode(n)
 		c.nodes = append(c.nodes, n)
@@ -143,6 +198,9 @@ type TenantSpec struct {
 	ProxyCacheTTL time.Duration
 	// ProxyCacheBytes sizes each proxy's AU-LRU (default 32 MiB).
 	ProxyCacheBytes int64
+	// BatchFanout bounds how many per-partition sub-batches a batched
+	// operation dispatches to DataNodes concurrently (default 4).
+	BatchFanout int
 }
 
 // Tenant is a provisioned tenant with its proxy fleet.
@@ -189,6 +247,7 @@ func (c *Cluster) CreateTenant(spec TenantSpec) (*Tenant, error) {
 		EnableCache: !spec.DisableProxyCache,
 		EnableQuota: !spec.DisableProxyQuota,
 		ProxyQuota:  mt.Quota.ProxyQuota(),
+		BatchFanout: spec.BatchFanout,
 	}, spec.Proxies, spec.ProxyGroups, 1)
 	if err != nil {
 		return nil, err
@@ -275,7 +334,7 @@ func (c *Client) Set(key, value []byte, ttl time.Duration) error {
 	return c.fleet.Put(key, value, ttl)
 }
 
-// Delete removes a key.
+// Delete removes a key, returning ErrNotFound when it does not exist.
 func (c *Client) Delete(key []byte) error { return c.fleet.Delete(key) }
 
 // HSet sets a hash field, reporting 1 when the field is new.
@@ -301,30 +360,62 @@ func (c *Client) HDel(key []byte, fields ...string) (int, error) {
 	return c.fleet.HDel(key, fields...)
 }
 
-// MGet reads several keys; missing keys yield nil entries.
+// MGet reads several keys through the batched proxy path: one quota
+// admission and one DataNode round trip per sub-batch instead of one
+// per key. Missing keys yield nil entries. When individual keys fail
+// (e.g. throttled), the successful values are still returned and the
+// error is a *BatchError carrying the per-key slots — one bad key no
+// longer aborts the whole operation.
 func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
-	out := make([][]byte, len(keys))
-	for i, k := range keys {
-		v, err := c.fleet.Get(k)
-		if err != nil {
-			if errors.Is(err, ErrNotFound) {
-				continue
-			}
-			return nil, err
-		}
-		out[i] = v
-	}
-	return out, nil
+	values, errs := c.fleet.BatchGet(keys)
+	return values, batchError(errs, func(err error) bool {
+		return errors.Is(err, ErrNotFound)
+	})
 }
 
-// MSet writes several key/value pairs.
+// MSet writes several key/value pairs as one batch per proxy
+// sub-batch. On partial failure the error is a *BatchError; pair
+// order within the batch is unspecified (map iteration).
 func (c *Client) MSet(pairs map[string][]byte) error {
+	kvs := make([]KV, 0, len(pairs))
 	for k, v := range pairs {
-		if err := c.fleet.Put([]byte(k), v, 0); err != nil {
-			return err
+		kvs = append(kvs, KV{Key: []byte(k), Value: v})
+	}
+	return c.MSetPairs(kvs)
+}
+
+// MSetPairs writes kvs in order as one batch per proxy sub-batch.
+// Duplicate keys apply left to right (the last write wins). On partial
+// failure the error is a *BatchError parallel to kvs.
+func (c *Client) MSetPairs(kvs []KV) error {
+	errs := c.fleet.BatchPut(kvs)
+	return batchError(errs, nil)
+}
+
+// MDelete removes several keys as one batch per proxy sub-batch,
+// reporting how many existed and were deleted. Absent keys are not an
+// error; other per-key failures surface as a *BatchError alongside the
+// count of keys that were deleted.
+func (c *Client) MDelete(keys ...[]byte) (int, error) {
+	errs := c.fleet.BatchDelete(keys)
+	deleted := 0
+	for _, err := range errs {
+		if err == nil {
+			deleted++
 		}
 	}
-	return nil
+	return deleted, batchError(errs, func(err error) bool {
+		return errors.Is(err, ErrNotFound)
+	})
+}
+
+// MExists reports which keys currently exist without transferring
+// values: proxy cache hits answer immediately and the rest use the
+// DataNodes' value-free metadata check. exists is parallel to keys;
+// per-key failures surface as a *BatchError.
+func (c *Client) MExists(keys ...[]byte) ([]bool, error) {
+	exists, errs := c.fleet.BatchExists(keys)
+	return exists, batchError(errs, nil)
 }
 
 // TTL returns key's remaining time-to-live. hasTTL is false when the

@@ -8,10 +8,13 @@
 package abase_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
+	"abase"
+	"abase/internal/datanode"
 	"abase/internal/experiments"
 	"abase/internal/sim"
 )
@@ -115,6 +118,123 @@ func BenchmarkTable2ProxyCache(b *testing.B) {
 func BenchmarkUtilizationPreVsMulti(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _, t := experiments.UtilizationComparison(120, 7)
+		printOnce(b, i, t)
+	}
+}
+
+// --- Batched vs looped multi-key path ---
+//
+// Each iteration moves benchBatchSize keys, so ns/op is directly
+// comparable between the Batch* and Looped* pairs. The acceptance bar
+// is the batched path at ≥2× the per-key loop for 16-key batches.
+
+const benchBatchSize = 16
+
+func newBatchBenchClient(b *testing.B) *abase.Client {
+	b.Helper()
+	cluster, err := abase.NewCluster(abase.ClusterConfig{
+		Nodes: 3,
+		Cost: datanode.CostModel{
+			CPUTime: time.Nanosecond, IOReadTime: time.Nanosecond, IOWriteTime: time.Nanosecond,
+		},
+		AdmitCost: time.Nanosecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cluster.Close() })
+	tenant, err := cluster.CreateTenant(abase.TenantSpec{
+		Name:    "bench",
+		QuotaRU: 1e9,
+		// Cache off so reads reach the DataNodes on both paths; the
+		// comparison isolates admission + fan-out overhead. One
+		// partition and one proxy measure the batch mechanism itself;
+		// experiments.BatchComparison covers the partitioned fan-out.
+		DisableProxyCache: true,
+		Partitions:        1,
+		Proxies:           1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tenant.Client()
+}
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench-key-%05d", i))
+	}
+	return keys
+}
+
+func BenchmarkBatchGet(b *testing.B) {
+	cl := newBatchBenchClient(b)
+	keys := benchKeys(512)
+	for _, k := range keys {
+		cl.Set(k, []byte("value-0123456789abcdef"), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * benchBatchSize) % (len(keys) - benchBatchSize)
+		if _, err := cl.MGet(keys[off : off+benchBatchSize]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopedGet(b *testing.B) {
+	cl := newBatchBenchClient(b)
+	keys := benchKeys(512)
+	for _, k := range keys {
+		cl.Set(k, []byte("value-0123456789abcdef"), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * benchBatchSize) % (len(keys) - benchBatchSize)
+		for _, k := range keys[off : off+benchBatchSize] {
+			if _, err := cl.Get(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchPut(b *testing.B) {
+	cl := newBatchBenchClient(b)
+	keys := benchKeys(512)
+	value := []byte("value-0123456789abcdef")
+	kvs := make([]abase.KV, benchBatchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * benchBatchSize) % (len(keys) - benchBatchSize)
+		for j := range kvs {
+			kvs[j] = abase.KV{Key: keys[off+j], Value: value}
+		}
+		if err := cl.MSetPairs(kvs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopedPut(b *testing.B) {
+	cl := newBatchBenchClient(b)
+	keys := benchKeys(512)
+	value := []byte("value-0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (i * benchBatchSize) % (len(keys) - benchBatchSize)
+		for _, k := range keys[off : off+benchBatchSize] {
+			if err := cl.Set(k, value, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchComparisonTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.BatchComparison(experiments.BatchOpts{Keys: 256})
 		printOnce(b, i, t)
 	}
 }

@@ -6,7 +6,7 @@
 //	abase-bench -run table1,fig6,fig9
 //
 // Experiments: table1, fig3 (alias fig4), fig4, fig5, fig6, fig7,
-// fig8a, fig8b, fig9, fig10, table2, util, ablations.
+// fig8a, fig8b, fig9, fig10, table2, util, batch, ablations.
 package main
 
 import (
@@ -88,6 +88,10 @@ func main() {
 		_, _, t := experiments.UtilizationComparison(0, 0)
 		t.Fprint(out)
 	})
+	runExp([]string{"batch"}, func() {
+		_, t := experiments.BatchComparison(experiments.BatchOpts{})
+		t.Fprint(out)
+	})
 	runExp([]string{"ablations"}, func() {
 		experiments.AblationSALRU(0).Fprint(out)
 		experiments.AblationActiveUpdate().Fprint(out)
@@ -98,7 +102,7 @@ func main() {
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *run)
-		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util ablations all")
+		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch ablations all")
 		os.Exit(2)
 	}
 }

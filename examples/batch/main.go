@@ -1,0 +1,79 @@
+// Batch: multi-key operations through the batched proxy/data-plane
+// path — one quota admission and one DataNode round trip per node
+// instead of one per key, with per-key error slots so a throttled or
+// missing key never aborts the rest of the batch.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"abase"
+)
+
+func main() {
+	cluster, err := abase.NewCluster(abase.ClusterConfig{Nodes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	tenant, err := cluster.CreateTenant(abase.TenantSpec{
+		Name:       "batchapp",
+		QuotaRU:    10_000,
+		Partitions: 4,
+		Proxies:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := tenant.Client()
+
+	// Write a page of user records as one batch. Pairs apply in order,
+	// grouped by owning proxy and partition under a single quota
+	// admission per sub-batch.
+	kvs := make([]abase.KV, 0, 8)
+	for i := 0; i < 8; i++ {
+		kvs = append(kvs, abase.KV{
+			Key:   []byte(fmt.Sprintf("user:%d", i)),
+			Value: []byte(fmt.Sprintf(`{"id":%d}`, i)),
+		})
+	}
+	if err := c.MSetPairs(kvs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read them back together with a key that does not exist. Missing
+	// keys come back as nil slots, not errors.
+	values, err := c.MGet(
+		[]byte("user:0"), []byte("user:404"), []byte("user:7"),
+	)
+	if err != nil {
+		// Per-key failures (e.g. a throttled sub-batch) arrive as a
+		// *BatchError; the successful slots in values are still valid.
+		var be *abase.BatchError
+		if errors.As(err, &be) {
+			log.Printf("partial failure: %v", be)
+		} else {
+			log.Fatal(err)
+		}
+	}
+	for i, v := range values {
+		fmt.Printf("slot %d: %q\n", i, v)
+	}
+
+	// Existence checks skip value transfer entirely.
+	exists, err := c.MExists([]byte("user:0"), []byte("user:404"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exists: %v\n", exists)
+
+	// Batched deletes report how many keys were removed.
+	deleted, err := c.MDelete(kvs[0].Key, kvs[1].Key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted: %d\n", deleted)
+}

@@ -1,0 +1,3 @@
+module abase
+
+go 1.24.0

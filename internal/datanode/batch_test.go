@@ -1,0 +1,196 @@
+package datanode
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestBatchGetOrderAndPartialMisses(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 100000, true)
+	p := pid("t1", 0)
+	for i := 0; i < 10; i += 2 {
+		n.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)), 0)
+	}
+	keys := make([][]byte, 10)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%d", i))
+	}
+	res, err := n.BatchGet(p, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 10 {
+		t.Fatalf("got %d values", len(res.Values))
+	}
+	for i, bv := range res.Values {
+		if i%2 == 0 {
+			if bv.Err != nil || string(bv.Value) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("slot %d = %q, %v", i, bv.Value, bv.Err)
+			}
+			if !bv.CacheHit {
+				t.Fatalf("slot %d: write-through value should be a cache hit", i)
+			}
+		} else if !errors.Is(bv.Err, ErrNotFound) {
+			t.Fatalf("slot %d: want ErrNotFound, got %v", i, bv.Err)
+		}
+	}
+}
+
+func TestBatchGetSingleQuotaAdmission(t *testing.T) {
+	n := newTestNode(t, Config{EnablePartitionQuota: true})
+	n.AddReplica(rid("t1", 0, 0), 100000, true)
+	p := pid("t1", 0)
+	keys := make([][]byte, 16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%d", i))
+		n.Put(p, keys[i], []byte("v"), 0)
+	}
+	rep, err := n.getReplica(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := rep.limiter.Stats()
+	if _, err := n.BatchGet(p, keys); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := rep.limiter.Stats()
+	if after-before != 1 {
+		t.Fatalf("batch of 16 keys took %d quota admissions, want 1", after-before)
+	}
+}
+
+func TestBatchGetThrottledAsBatch(t *testing.T) {
+	n := newTestNode(t, Config{EnablePartitionQuota: true})
+	n.AddReplica(rid("t1", 0, 0), 0.000001, true)
+	p := pid("t1", 0)
+	keys := [][]byte{[]byte("a"), []byte("b")}
+	if _, err := n.BatchGet(p, keys); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("err = %v, want ErrThrottled", err)
+	}
+}
+
+func TestBatchGetUnknownPartition(t *testing.T) {
+	n := newTestNode(t, Config{})
+	if _, err := n.BatchGet(pid("nobody", 0), [][]byte{[]byte("k")}); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBatchWriteMixedOpsAndContains(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 100000, true)
+	p := pid("t1", 0)
+	n.Put(p, []byte("gone"), []byte("v"), 0)
+
+	ops := []WriteOp{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("gone"), Delete: true},
+		{Key: []byte("b"), Value: []byte("2")},
+	}
+	res, err := n.BatchWrite(p, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bv := range res.Values {
+		if bv.Err != nil {
+			t.Fatalf("op %d: %v", i, bv.Err)
+		}
+	}
+	if res.RU <= 0 {
+		t.Fatalf("RU = %v", res.RU)
+	}
+	got, err := n.Get(p, []byte("a"))
+	if err != nil || string(got.Value) != "1" {
+		t.Fatalf("a = %q, %v", got.Value, err)
+	}
+	if _, err := n.Get(p, []byte("gone")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("gone still present: %v", err)
+	}
+
+	exists, err := n.BatchContains(p, [][]byte{[]byte("a"), []byte("ghost"), []byte("b"), []byte("gone")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if exists[i] != want[i] {
+			t.Fatalf("exists[%d] = %v, want %v", i, exists[i], want[i])
+		}
+	}
+}
+
+func TestBatchWriteDeleteSemantics(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 100000, true)
+	p := pid("t1", 0)
+	n.Put(p, []byte("old"), []byte("v"), 0)
+
+	res, err := n.BatchWrite(p, []WriteOp{
+		{Key: []byte("absent"), Delete: true},     // no-op: ErrNotFound
+		{Key: []byte("old"), Delete: true},        // exists: deleted
+		{Key: []byte("old"), Delete: true},        // gone mid-batch: ErrNotFound
+		{Key: []byte("new"), Value: []byte("1")},  // put of absent key
+		{Key: []byte("new"), Delete: true},        // sees the batch's own put
+		{Key: []byte("back"), Delete: true},       // absent
+		{Key: []byte("back"), Value: []byte("2")}, // revived by put
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := []bool{true, false, true, false, false, true, false}
+	for i, want := range wantErr {
+		if got := errors.Is(res.Values[i].Err, ErrNotFound); got != want {
+			t.Fatalf("op %d err = %v, want NotFound=%v", i, res.Values[i].Err, want)
+		}
+	}
+	if _, err := n.Get(p, []byte("new")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("new should be deleted by its own batch: %v", err)
+	}
+	if got, err := n.Get(p, []byte("back")); err != nil || string(got.Value) != "2" {
+		t.Fatalf("back = %q, %v", got.Value, err)
+	}
+}
+
+func TestDeleteAbsentSingleOp(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 100000, true)
+	if _, err := n.Delete(pid("t1", 0), []byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete absent = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBatchWriteSingleQuotaAdmission(t *testing.T) {
+	n := newTestNode(t, Config{EnablePartitionQuota: true})
+	n.AddReplica(rid("t1", 0, 0), 100000, true)
+	p := pid("t1", 0)
+	ops := make([]WriteOp, 16)
+	for i := range ops {
+		ops[i] = WriteOp{Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v")}
+	}
+	rep, _ := n.getReplica(p)
+	before, _ := rep.limiter.Stats()
+	if _, err := n.BatchWrite(p, ops); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := rep.limiter.Stats()
+	if after-before != 1 {
+		t.Fatalf("batch of 16 writes took %d quota admissions, want 1", after-before)
+	}
+}
+
+func TestBatchEmptyInputs(t *testing.T) {
+	n := newTestNode(t, Config{})
+	n.AddReplica(rid("t1", 0, 0), 1000, true)
+	p := pid("t1", 0)
+	if res, err := n.BatchGet(p, nil); err != nil || len(res.Values) != 0 {
+		t.Fatalf("empty BatchGet = %+v, %v", res, err)
+	}
+	if res, err := n.BatchWrite(p, nil); err != nil || len(res.Values) != 0 {
+		t.Fatalf("empty BatchWrite = %+v, %v", res, err)
+	}
+	if ex, err := n.BatchContains(p, nil); err != nil || len(ex) != 0 {
+		t.Fatalf("empty BatchContains = %v, %v", ex, err)
+	}
+}

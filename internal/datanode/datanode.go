@@ -127,6 +127,9 @@ func (c Config) withDefaults() Config {
 // is asynchronous (eventual consistency).
 type Replicator interface {
 	Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, delete bool)
+	// ReplicateBatch propagates a group-committed sub-batch as one
+	// replication message per follower instead of one per key.
+	ReplicateBatch(rid partition.ReplicaID, ops []WriteOp)
 }
 
 // NopReplicator discards replication traffic (single-node tests).
@@ -134,6 +137,9 @@ type NopReplicator struct{}
 
 // Replicate implements Replicator.
 func (NopReplicator) Replicate(partition.ReplicaID, []byte, []byte, time.Duration, bool) {}
+
+// ReplicateBatch implements Replicator.
+func (NopReplicator) ReplicateBatch(partition.ReplicaID, []WriteOp) {}
 
 // replica is one hosted partition replica.
 type replica struct {
@@ -326,8 +332,14 @@ func (n *Node) quotaShare(rep *replica) float64 {
 	return rep.quotaRU / sum
 }
 
+// cacheKeyPrefix is the partition half of a cache key; batch paths
+// compute it once and concatenate per key.
+func cacheKeyPrefix(pid partition.ID) string {
+	return pid.String() + "\x00"
+}
+
 func cacheKey(pid partition.ID, key []byte) string {
-	return pid.String() + "\x00" + string(key)
+	return cacheKeyPrefix(pid) + string(key)
 }
 
 // Close drains the WFQ and closes all replica stores.

@@ -185,6 +185,12 @@ func (f replFunc) Replicate(r partition.ReplicaID, k, v []byte, ttl time.Duratio
 	f(r, k, v, ttl, del)
 }
 
+func (f replFunc) ReplicateBatch(r partition.ReplicaID, ops []WriteOp) {
+	for _, op := range ops {
+		f(r, op.Key, op.Value, op.TTL, op.Delete)
+	}
+}
+
 func TestTTLWrites(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)

@@ -174,7 +174,16 @@ func (n *Node) write(pid partition.ID, key, value []byte, ttl time.Duration, del
 		IOStage: func() {
 			burn(n.cfg.Clock, n.cfg.Cost.IOWriteTime)
 			if del {
-				ioErr = rep.db.Delete(key)
+				// Deleting an absent key reports ErrNotFound and
+				// writes no tombstone (matching the batched path and
+				// Redis DEL counting). The probe is a real metadata
+				// read; charge it as one.
+				burn(n.cfg.Clock, n.cfg.Cost.IOReadTime)
+				if _, err := rep.db.TTL(key); errors.Is(err, lavastore.ErrNotFound) {
+					ioErr = ErrNotFound
+				} else {
+					ioErr = rep.db.Delete(key)
+				}
 				n.cache.Delete(ck)
 			} else {
 				ioErr = rep.db.Put(key, value, ttl)
@@ -225,13 +234,36 @@ func (n *Node) ApplyReplicated(pid partition.ID, key, value []byte, ttl time.Dur
 	if err != nil {
 		return err
 	}
-	ck := cacheKey(pid, key)
+	// Invalidate rather than populate: follower reads happen only
+	// after failover, so write-through would fill the cache with
+	// values that are never read while still risking staleness.
+	n.cache.Delete(cacheKey(pid, key))
 	if del {
-		n.cache.Delete(ck)
 		return rep.db.Delete(key)
 	}
-	n.cache.Put(ck, value)
 	return rep.db.Put(key, value, ttl)
+}
+
+// ApplyReplicatedBatch applies a replicated sub-batch on a follower
+// replica as one group commit, bypassing quota and WFQ.
+func (n *Node) ApplyReplicatedBatch(pid partition.ID, ops []WriteOp) error {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return err
+	}
+	batch := make([]lavastore.BatchOp, len(ops))
+	for i, op := range ops {
+		batch[i] = lavastore.BatchOp{Key: op.Key, Value: op.Value, TTL: op.TTL, Delete: op.Delete}
+	}
+	if err := rep.db.WriteBatch(batch); err != nil {
+		return err
+	}
+	// Invalidate rather than populate (see ApplyReplicated).
+	prefix := cacheKeyPrefix(pid)
+	for _, op := range ops {
+		n.cache.Delete(prefix + string(op.Key))
+	}
+	return nil
 }
 
 // --- Hash (Redis hash) operations ---

@@ -27,12 +27,21 @@ type record struct {
 // encodeRecord serializes a record:
 // seq uvarint | kind byte | expireAt uvarint | value.
 func encodeRecord(r record) []byte {
-	buf := make([]byte, 0, 2*binary.MaxVarintLen64+2+len(r.Value))
-	buf = binary.AppendUvarint(buf, r.Seq)
-	buf = append(buf, byte(r.Kind))
-	buf = binary.AppendUvarint(buf, uint64(r.ExpireAt))
-	buf = append(buf, r.Value...)
-	return buf
+	return appendRecord(make([]byte, 0, recordBound(r)), r)
+}
+
+// recordBound returns an upper bound on r's encoded size.
+func recordBound(r record) int {
+	return 2*binary.MaxVarintLen64 + 2 + len(r.Value)
+}
+
+// appendRecord encodes r onto dst (group commits encode a whole batch
+// into one arena).
+func appendRecord(dst []byte, r record) []byte {
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = append(dst, byte(r.Kind))
+	dst = binary.AppendUvarint(dst, uint64(r.ExpireAt))
+	return append(dst, r.Value...)
 }
 
 var errCorruptRecord = errors.New("lavastore: corrupt record")

@@ -129,6 +129,21 @@ type memFile struct {
 func (f *memFile) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Grow by doubling: append's growth factor shrinks for large
+	// slices, which turns append-heavy logs (WAL) into repeated
+	// whole-file copies.
+	if need := len(f.data) + len(p); need > cap(f.data) {
+		newCap := 2 * cap(f.data)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 4096 {
+			newCap = 4096
+		}
+		grown := make([]byte, len(f.data), newCap)
+		copy(grown, f.data)
+		f.data = grown
+	}
 	f.data = append(f.data, p...)
 	return len(p), nil
 }

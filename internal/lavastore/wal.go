@@ -15,27 +15,48 @@ import (
 // payload: klen uvarint | key | encoded record
 type walWriter struct {
 	f   File
-	buf []byte
+	buf []byte // payload scratch
+	out []byte // framed-output scratch
 }
 
 func newWALWriter(f File) *walWriter { return &walWriter{f: f} }
 
-// Append writes one key/record pair to the log.
-func (w *walWriter) Append(key []byte, rec []byte) error {
+// frame appends one length-prefixed, CRC-protected record to dst,
+// using w.buf as payload scratch.
+func (w *walWriter) frame(dst, key, rec []byte) []byte {
 	payload := w.buf[:0]
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
 	payload = append(payload, key...)
 	payload = append(payload, rec...)
-	w.buf = payload
+	w.buf = payload // keep the grown scratch for the next record
 
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("lavastore: wal write header: %w", err)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Append writes one key/record pair to the log.
+func (w *walWriter) Append(key []byte, rec []byte) error {
+	w.out = w.frame(w.out[:0], key, rec)
+	if _, err := w.f.Write(w.out); err != nil {
+		return fmt.Errorf("lavastore: wal write: %w", err)
 	}
-	if _, err := w.f.Write(payload); err != nil {
-		return fmt.Errorf("lavastore: wal write payload: %w", err)
+	return nil
+}
+
+// AppendMany writes several key/record pairs with a single device
+// write (group commit). The per-record framing is identical to
+// Append's, so replay is oblivious to batching.
+func (w *walWriter) AppendMany(keys, recs [][]byte) error {
+	out := w.out[:0]
+	for i := range keys {
+		out = w.frame(out, keys[i], recs[i])
+	}
+	w.out = out
+	if _, err := w.f.Write(out); err != nil {
+		return fmt.Errorf("lavastore: wal batch write: %w", err)
 	}
 	return nil
 }

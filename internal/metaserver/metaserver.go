@@ -69,6 +69,9 @@ type replJob struct {
 	val  []byte
 	ttl  time.Duration
 	del  bool
+	// ops, when non-nil, is a group-committed sub-batch replacing the
+	// single key/val fields.
+	ops []datanode.WriteOp
 }
 
 // Config configures a Meta.
@@ -111,7 +114,11 @@ func (m *Meta) replWorker() {
 	defer m.replWG.Done()
 	for job := range m.replJobs {
 		// Best effort: eventual consistency tolerates transient errors.
-		_ = job.node.ApplyReplicated(job.pid, job.key, job.val, job.ttl, job.del)
+		if job.ops != nil {
+			_ = job.node.ApplyReplicatedBatch(job.pid, job.ops)
+		} else {
+			_ = job.node.ApplyReplicated(job.pid, job.key, job.val, job.ttl, job.del)
+		}
 	}
 }
 
@@ -165,17 +172,18 @@ type metaReplicator struct {
 	origin string
 }
 
-// Replicate implements datanode.Replicator.
-func (r *metaReplicator) Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, del bool) {
+// followers resolves the live follower nodes for a partition, skipping
+// the originating node. It reports closed=true when the meta server is
+// shutting down.
+func (r *metaReplicator) followers(pid partition.ID) (targets []*datanode.Node, closed bool) {
 	m := r.meta
 	m.mu.RLock()
-	ten, ok := m.tenants[rid.Partition.Tenant]
-	if !ok || rid.Partition.Index >= len(ten.Table.Partitions) {
-		m.mu.RUnlock()
-		return
+	defer m.mu.RUnlock()
+	ten, ok := m.tenants[pid.Tenant]
+	if !ok || pid.Index >= len(ten.Table.Partitions) {
+		return nil, m.closed
 	}
-	route := ten.Table.Partitions[rid.Partition.Index]
-	var targets []*datanode.Node
+	route := ten.Table.Partitions[pid.Index]
 	for _, f := range route.Followers {
 		if f == r.origin {
 			continue
@@ -184,15 +192,41 @@ func (r *metaReplicator) Replicate(rid partition.ReplicaID, key, value []byte, t
 			targets = append(targets, n)
 		}
 	}
-	closed := m.closed
-	m.mu.RUnlock()
-	if closed {
+	return targets, m.closed
+}
+
+// Replicate implements datanode.Replicator.
+func (r *metaReplicator) Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, del bool) {
+	targets, closed := r.followers(rid.Partition)
+	if closed || len(targets) == 0 {
 		return
 	}
 	k := append([]byte(nil), key...)
 	v := append([]byte(nil), value...)
 	for _, n := range targets {
-		m.replJobs <- replJob{node: n, pid: rid.Partition, key: k, val: v, ttl: ttl, del: del}
+		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, key: k, val: v, ttl: ttl, del: del}
+	}
+}
+
+// ReplicateBatch implements datanode.Replicator: the whole sub-batch
+// travels as one replication message per follower and is applied there
+// as one group commit.
+func (r *metaReplicator) ReplicateBatch(rid partition.ReplicaID, ops []datanode.WriteOp) {
+	targets, closed := r.followers(rid.Partition)
+	if closed || len(targets) == 0 {
+		return
+	}
+	copied := make([]datanode.WriteOp, len(ops))
+	for i, op := range ops {
+		copied[i] = datanode.WriteOp{
+			Key:    append([]byte(nil), op.Key...),
+			Value:  append([]byte(nil), op.Value...),
+			TTL:    op.TTL,
+			Delete: op.Delete,
+		}
+	}
+	for _, n := range targets {
+		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, ops: copied}
 	}
 }
 
@@ -318,6 +352,23 @@ func (m *Meta) RouteFor(tenant string, key []byte) (partition.Route, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return t.Table.RouteFor(key), nil
+}
+
+// RoutesFor resolves the route for every key in one routing-table
+// lookup pass: a single tenant lookup and a single lock acquisition
+// cover the whole batch, instead of one RouteFor round trip per key.
+func (m *Meta) RoutesFor(tenant string, keys [][]byte) ([]partition.Route, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, tenant)
+	}
+	out := make([]partition.Route, len(keys))
+	for i, k := range keys {
+		out[i] = t.Table.RouteFor(k)
+	}
+	return out, nil
 }
 
 // RegisterProxy records a proxy for traffic-control monitoring.

@@ -8,6 +8,7 @@ package partition
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 )
 
 // ID identifies one partition of a tenant's table.
@@ -16,8 +17,10 @@ type ID struct {
 	Index  int
 }
 
-// String renders the partition as tenant/index.
-func (id ID) String() string { return fmt.Sprintf("%s/%d", id.Tenant, id.Index) }
+// String renders the partition as tenant/index. It is on the data
+// plane's per-request path (cache keys, WFQ accounting), so it avoids
+// fmt.
+func (id ID) String() string { return id.Tenant + "/" + strconv.Itoa(id.Index) }
 
 // ReplicaID identifies one replica of a partition.
 type ReplicaID struct {

@@ -52,6 +52,9 @@ type Config struct {
 	// ProxyQuota is this proxy's standard quota share in RU/s
 	// (tenant quota / proxy count).
 	ProxyQuota float64
+	// BatchFanout bounds how many per-partition sub-batches a batched
+	// operation dispatches concurrently (default DefaultBatchFanout).
+	BatchFanout int
 }
 
 // Proxy is one tenant proxy.
@@ -200,7 +203,7 @@ func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 	return nil
 }
 
-// Delete removes key.
+// Delete removes key, returning ErrNotFound for absent keys.
 func (p *Proxy) Delete(key []byte) error {
 	cost := ru.WriteRU(0, 3)
 	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
@@ -213,6 +216,15 @@ func (p *Proxy) Delete(key []byte) error {
 		return err
 	}
 	if _, err := node.Delete(pid, key); err != nil {
+		if errors.Is(err, datanode.ErrNotFound) {
+			// Still invalidate: the proxy cache's TTL is independent
+			// of the engine's, so an engine-expired key may linger
+			// here and must not outlive an explicit delete.
+			if p.cache != nil {
+				p.cache.Delete(string(key))
+			}
+			return ErrNotFound
+		}
 		p.errors.Inc()
 		return err
 	}

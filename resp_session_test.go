@@ -1,0 +1,200 @@
+package abase
+
+import (
+	"strings"
+	"testing"
+
+	"abase/internal/resp"
+)
+
+// TestServeAuthReselect: AUTH switches the session's tenant, and each
+// tenant sees only its own keyspace.
+func TestServeAuthReselect(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "s1", QuotaRU: 100000})
+	c.CreateTenant(TenantSpec{Name: "s2", QuotaRU: 100000})
+	addr, srv, err := c.Serve("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("AUTH", "s1"); v.Text() != "OK" {
+		t.Fatalf("AUTH s1 = %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "k", "from-s1"); v.Text() != "OK" {
+		t.Fatalf("SET = %+v", v)
+	}
+	if v, _ := cl.DoStrings("AUTH", "s2"); v.Text() != "OK" {
+		t.Fatalf("AUTH s2 = %+v", v)
+	}
+	if v, _ := cl.DoStrings("GET", "k"); !v.Null {
+		t.Fatalf("s2 sees s1's key: %+v", v)
+	}
+	// A failed AUTH must not clobber the selected tenant.
+	if v, _ := cl.DoStrings("AUTH", "ghost"); !v.IsError() {
+		t.Fatalf("AUTH ghost = %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "k2", "x"); v.Text() != "OK" {
+		t.Fatalf("session lost tenant after failed AUTH: %+v", v)
+	}
+	if v, _ := cl.DoStrings("AUTH", "s1"); v.Text() != "OK" {
+		t.Fatalf("re-AUTH s1 = %+v", v)
+	}
+	if v, _ := cl.DoStrings("GET", "k"); v.Text() != "from-s1" {
+		t.Fatalf("s1 key after re-AUTH = %+v", v)
+	}
+}
+
+// TestServeSetOptionErrors: conflicting or malformed EX/PX options are
+// syntax errors, as in Redis — not silently last-wins.
+func TestServeSetOptionErrors(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "opts", QuotaRU: 100000})
+	addr, srv, err := c.Serve("127.0.0.1:0", "opts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	bad := [][]string{
+		{"SET", "k", "v", "EX", "10", "PX", "1000"}, // conflicting
+		{"SET", "k", "v", "PX", "1000", "EX", "10"}, // conflicting, reversed
+		{"SET", "k", "v", "EX", "10", "EX", "20"},   // duplicate
+		{"SET", "k", "v", "EX"},                     // missing operand
+		{"SET", "k", "v", "EX", "0"},                // non-positive
+		{"SET", "k", "v", "EX", "-3"},               // negative
+		{"SET", "k", "v", "PX", "abc"},              // non-numeric
+		{"SET", "k", "v", "KEEPTTL"},                // unsupported option
+	}
+	for _, args := range bad {
+		if v, _ := cl.DoStrings(args[0], args[1:]...); !v.IsError() {
+			t.Fatalf("%v accepted: %+v", args, v)
+		}
+	}
+	// Sanity: the well-formed variants still work.
+	if v, _ := cl.DoStrings("SET", "k", "v", "EX", "10"); v.Text() != "OK" {
+		t.Fatalf("SET EX = %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "k", "v", "PX", "900"); v.Text() != "OK" {
+		t.Fatalf("SET PX = %+v", v)
+	}
+}
+
+// TestServeTTLReplies: TTL rounds up sub-second remainders (a key with
+// 900ms left reports 1, not 0) and keeps the -1/-2 sentinels.
+func TestServeTTLReplies(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "ttl3", QuotaRU: 100000, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "ttl3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	cl.DoStrings("SET", "sub", "v", "PX", "900")
+	if v, _ := cl.DoStrings("TTL", "sub"); v.Int != 1 {
+		t.Fatalf("TTL 900ms = %+v, want 1", v)
+	}
+	cl.DoStrings("SET", "persist", "v")
+	if v, _ := cl.DoStrings("TTL", "persist"); v.Int != -1 {
+		t.Fatalf("TTL persistent = %+v", v)
+	}
+	if v, _ := cl.DoStrings("TTL", "ghost"); v.Int != -2 {
+		t.Fatalf("TTL absent = %+v", v)
+	}
+}
+
+// TestServeMGETPartialThrottle: a throttled key yields an error slot
+// inside the MGET array while cached keys are still served — the reply
+// is not aborted.
+func TestServeMGETPartialThrottle(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	tn, err := c.CreateTenant(TenantSpec{Name: "edge", QuotaRU: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, srv, err := c.Serve("127.0.0.1:0", "edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("SET", "hot", "cached"); v.Text() != "OK" {
+		t.Fatalf("SET = %+v", v)
+	}
+	tn.SetQuota(0.000001) // collapse the quota: uncached reads throttle
+
+	v, err := cl.DoStrings("MGET", "hot", "cold", "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Array) != 3 {
+		t.Fatalf("MGET reply = %+v", v)
+	}
+	if v.Array[0].Text() != "cached" || v.Array[2].Text() != "cached" {
+		t.Fatalf("cached slots = %+v", v.Array)
+	}
+	if !v.Array[1].IsError() || !strings.Contains(v.Array[1].Text(), "THROTTLED") {
+		t.Fatalf("throttled slot = %+v", v.Array[1])
+	}
+
+	// Missing keys (without throttling) stay null slots.
+	tn.SetQuota(100000)
+	v, _ = cl.DoStrings("MGET", "hot", "nope")
+	if v.Array[0].Text() != "cached" || !v.Array[1].Null {
+		t.Fatalf("MGET with missing = %+v", v.Array)
+	}
+}
+
+// TestServeExistsBatched: EXISTS counts keys without pulling values and
+// handles repeats like Redis (each occurrence counts).
+func TestServeExistsBatched(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "ex", QuotaRU: 100000})
+	addr, srv, err := c.Serve("127.0.0.1:0", "ex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	cl.DoStrings("MSET", "a", "1", "b", "2")
+	if v, _ := cl.DoStrings("EXISTS", "a", "nope", "b", "a"); v.Int != 3 {
+		t.Fatalf("EXISTS = %+v, want 3", v)
+	}
+}
+
+// TestServeDELBatched: DEL runs as one batch and reports the count.
+func TestServeDELBatched(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "del", QuotaRU: 100000})
+	addr, srv, err := c.Serve("127.0.0.1:0", "del")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	cl.DoStrings("MSET", "a", "1", "b", "2", "c", "3")
+	if v, _ := cl.DoStrings("DEL", "a", "b", "c"); v.Int != 3 {
+		t.Fatalf("DEL = %+v", v)
+	}
+	if v, _ := cl.DoStrings("GET", "a"); !v.Null {
+		t.Fatalf("a survived DEL: %+v", v)
+	}
+	// Redis counts only keys that existed.
+	if v, _ := cl.DoStrings("DEL", "a", "ghost"); v.Int != 0 {
+		t.Fatalf("DEL of absent keys = %+v, want 0", v)
+	}
+}

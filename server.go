@@ -55,6 +55,20 @@ func opErr(err error) resp.Value {
 	}
 }
 
+// firstKeyErr unwraps a *BatchError to its first per-key failure so
+// single-reply commands (MSET, DEL, EXISTS) report a concrete cause.
+func firstKeyErr(err error) error {
+	var be *BatchError
+	if errors.As(err, &be) {
+		for _, e := range be.Errs {
+			if e != nil {
+				return e
+			}
+		}
+	}
+	return err
+}
+
 // Handle implements resp.Handler.
 func (s *session) Handle(cmd resp.Command) resp.Value {
 	switch cmd.Name {
@@ -95,10 +109,12 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 			return errV
 		}
 		var ttl time.Duration
+		ttlSet := false
 		for i := 2; i < len(cmd.Args); i++ {
 			switch string(cmd.Args[i]) {
 			case "EX", "ex":
-				if i+1 >= len(cmd.Args) {
+				// Redis rejects duplicate or conflicting EX/PX options.
+				if ttlSet || i+1 >= len(cmd.Args) {
 					return resp.Err("ERR syntax error")
 				}
 				sec, err := strconv.Atoi(string(cmd.Args[i+1]))
@@ -106,9 +122,10 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 					return resp.Err("ERR invalid expire time")
 				}
 				ttl = time.Duration(sec) * time.Second
+				ttlSet = true
 				i++
 			case "PX", "px":
-				if i+1 >= len(cmd.Args) {
+				if ttlSet || i+1 >= len(cmd.Args) {
 					return resp.Err("ERR syntax error")
 				}
 				ms, err := strconv.Atoi(string(cmd.Args[i+1]))
@@ -116,6 +133,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 					return resp.Err("ERR invalid expire time")
 				}
 				ttl = time.Duration(ms) * time.Millisecond
+				ttlSet = true
 				i++
 			default:
 				return resp.Err("ERR syntax error")
@@ -134,15 +152,11 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		deleted := int64(0)
-		for _, k := range cmd.Args {
-			if err := c.Delete(k); err == nil {
-				deleted++
-			} else if !errors.Is(err, ErrNotFound) {
-				return opErr(err)
-			}
+		deleted, err := c.MDelete(cmd.Args...)
+		if err != nil {
+			return opErr(firstKeyErr(err))
 		}
-		return resp.Int64(deleted)
+		return resp.Int64(int64(deleted))
 
 	case "EXISTS":
 		if len(cmd.Args) < 1 {
@@ -152,12 +166,14 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
+		exists, err := c.MExists(cmd.Args...)
+		if err != nil {
+			return opErr(firstKeyErr(err))
+		}
 		count := int64(0)
-		for _, k := range cmd.Args {
-			if _, err := c.Get(k); err == nil {
+		for _, ok := range exists {
+			if ok {
 				count++
-			} else if !errors.Is(err, ErrNotFound) {
-				return opErr(err)
 			}
 		}
 		return resp.Int64(count)
@@ -171,14 +187,21 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 			return errV
 		}
 		vs, err := c.MGet(cmd.Args...)
-		if err != nil {
+		var be *BatchError
+		if err != nil && !errors.As(err, &be) {
 			return opErr(err)
 		}
+		// Per-key reply slots: missing keys are null, failed keys carry
+		// their own error value — one throttled key no longer aborts the
+		// whole reply.
 		out := make([]resp.Value, len(vs))
 		for i, v := range vs {
-			if v == nil {
+			switch {
+			case be != nil && be.Errs[i] != nil:
+				out[i] = opErr(be.Errs[i])
+			case v == nil:
 				out[i] = resp.Null()
-			} else {
+			default:
 				out[i] = resp.Bulk(v)
 			}
 		}
@@ -192,10 +215,12 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
+		kvs := make([]KV, 0, len(cmd.Args)/2)
 		for i := 0; i < len(cmd.Args); i += 2 {
-			if err := c.Set(cmd.Args[i], cmd.Args[i+1], 0); err != nil {
-				return opErr(err)
-			}
+			kvs = append(kvs, KV{Key: cmd.Args[i], Value: cmd.Args[i+1]})
+		}
+		if err := c.MSetPairs(kvs); err != nil {
+			return opErr(firstKeyErr(err))
 		}
 		return resp.OK()
 
@@ -298,7 +323,8 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		case !hasTTL:
 			return resp.Int64(-1) // Redis: no associated expire
 		default:
-			return resp.Int64(int64(ttl / time.Second))
+			// Round up like Redis: a key with 900ms left reports 1, not 0.
+			return resp.Int64(int64((ttl + time.Second - 1) / time.Second))
 		}
 
 	case "EXPIRE":
