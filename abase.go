@@ -43,6 +43,9 @@ var (
 	ErrNotFound = proxy.ErrNotFound
 	// ErrThrottled is returned when quota admission rejects a request.
 	ErrThrottled = proxy.ErrThrottled
+	// ErrBadCursor is returned when a scan cursor cannot be decoded;
+	// restart the traversal from the empty cursor.
+	ErrBadCursor = proxy.ErrBadCursor
 )
 
 // KV is one key/value pair in a batched write.
@@ -422,6 +425,81 @@ func (c *Client) MExists(keys ...[]byte) ([]bool, error) {
 // key exists without an expiry; ErrNotFound when the key is absent.
 func (c *Client) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
 	return c.fleet.TTL(key)
+}
+
+// scanPageSize is the pre-filter page budget Keys and DBSize use for
+// their internal cursor loops. Larger than SCAN's default because a
+// full traversal amortizes better over fewer quota admissions.
+const scanPageSize = 256
+
+// Scan fetches one page of a distributed cursor traversal: pass "" (or
+// the cursor from the previous page) and receive up to count keys plus
+// the next cursor, "" when the traversal is complete. match is an
+// optional Redis-style glob applied to returned keys (filtering is
+// post-fetch, so a page may return fewer keys than count while the
+// cursor still advances); count <= 0 uses the Redis default of 10.
+//
+// The traversal guarantee matches Redis SCAN: every key that exists
+// for the scan's whole duration is returned at least once, keys
+// written or deleted mid-scan may or may not appear, and a key can
+// appear more than once (e.g. when a partition split rehashes it
+// forward). A page may be short of count when a sub-scan was throttled
+// mid-page; the returned cursor resumes at the unfinished spot.
+func (c *Client) Scan(cursor string, match string, count int) (keys [][]byte, next string, err error) {
+	// Keys only: SCAN returns no values, so fetching them would copy
+	// and transfer payload just to discard it.
+	page, err := c.fleet.Scan(cursor, proxy.ScanOptions{Match: match, Count: count, KeysOnly: true})
+	if err != nil {
+		return nil, cursor, err
+	}
+	return page.Keys, page.Cursor, nil
+}
+
+// Keys returns every key matching the Redis-style glob pattern ("*"
+// for all), deduplicated across cursor pages. It drives a full Scan
+// traversal, so it inherits Scan's guarantee and cost — intended for
+// migrations, audits, and tests, not hot paths.
+func (c *Client) Keys(match string) ([][]byte, error) {
+	seen := make(map[string]struct{})
+	var out [][]byte
+	cursor := ""
+	for {
+		page, err := c.fleet.Scan(cursor, proxy.ScanOptions{Match: match, Count: scanPageSize, KeysOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range page.Keys {
+			if _, dup := seen[string(k)]; !dup {
+				seen[string(k)] = struct{}{}
+				out = append(out, k)
+			}
+		}
+		if page.Cursor == "" {
+			return out, nil
+		}
+		cursor = page.Cursor
+	}
+}
+
+// DBSize reports the number of live keys via a value-free full scan,
+// deduplicated across cursor pages. Like Keys, it agrees with Get:
+// expired-TTL records and tombstones are not counted.
+func (c *Client) DBSize() (int64, error) {
+	seen := make(map[string]struct{})
+	cursor := ""
+	for {
+		page, err := c.fleet.Scan(cursor, proxy.ScanOptions{Count: scanPageSize, KeysOnly: true})
+		if err != nil {
+			return 0, err
+		}
+		for _, k := range page.Keys {
+			seen[string(k)] = struct{}{}
+		}
+		if page.Cursor == "" {
+			return int64(len(seen)), nil
+		}
+		cursor = page.Cursor
+	}
 }
 
 // Expire sets key's TTL, returning ErrNotFound for absent keys.

@@ -239,6 +239,43 @@ func BenchmarkBatchComparisonTable(b *testing.B) {
 	}
 }
 
+// BenchmarkScan measures one full distributed cursor traversal per
+// iteration; ns/op divided by the key count is the per-key scan cost
+// through admission, partition quota, and the large-read WFQ.
+func BenchmarkScan(b *testing.B) {
+	cl := newBatchBenchClient(b)
+	keys := benchKeys(512)
+	for _, k := range keys {
+		cl.Set(k, []byte("value-0123456789abcdef"), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		cursor := ""
+		for {
+			ks, next, err := cl.Scan(cursor, "", 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(ks)
+			if next == "" {
+				break
+			}
+			cursor = next
+		}
+		if total != len(keys) {
+			b.Fatalf("traversal saw %d keys, want %d", total, len(keys))
+		}
+	}
+}
+
+func BenchmarkScanThroughputTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := experiments.ScanThroughput(experiments.ScanOpts{Keys: 1024})
+		printOnce(b, i, t)
+	}
+}
+
 // --- Design-choice ablations ---
 
 func BenchmarkAblationSALRUvsLRU(b *testing.B) {

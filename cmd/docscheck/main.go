@@ -1,0 +1,209 @@
+// Command docscheck is the CI docs gate. It fails (exit 1) when:
+//
+//   - a relative link in a markdown file points at a path that does
+//     not exist, or
+//   - an exported identifier in a non-main, non-test Go file has no
+//     godoc comment (the revive/golint "exported" rule, so the godoc
+//     pass cannot rot).
+//
+// It is dependency-free by design: the repo's CI must not install
+// linters the container does not already have.
+//
+// Usage:
+//
+//	docscheck [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(*root)...)
+	problems = append(problems, checkExportedDocs(*root)...)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// mdLink matches inline markdown links and captures the target. Images
+// and reference-style definitions are out of scope.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies that every relative link target in every
+// *.md file (outside dot-directories) exists on disk. Absolute URLs,
+// mailto links, and pure fragments are skipped; a fragment suffix on a
+// relative target is stripped before the existence check.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken relative link %q", path, m[1]))
+			}
+		}
+		return nil
+	})
+	return problems
+}
+
+// checkExportedDocs walks every Go package under root (skipping
+// dot-directories, testdata, and _test.go files) and reports exported
+// declarations without doc comments. Package main is exempt: commands
+// have no importable API.
+func checkExportedDocs(root string) []string {
+	var problems []string
+	dirs := map[string]bool{}
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if (name != "." && strings.HasPrefix(name, ".")) || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	for dir := range dirs {
+		problems = append(problems, checkPackageDir(dir)...)
+	}
+	return problems
+}
+
+func checkPackageDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no godoc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		if pkg.Name == "main" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					// Methods on unexported receivers are not part of
+					// the importable API.
+					if d.Recv != nil && !exportedRecv(d.Recv) {
+						continue
+					}
+					report(d.Pos(), "function", d.Name.Name)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							// A type needs its own comment unless it is
+							// the decl's only spec and the decl carries one.
+							if s.Name.IsExported() && s.Doc == nil &&
+								!(len(d.Specs) == 1 && d.Doc != nil) {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							// A block comment covers the whole const/var
+							// group (the idiomatic style for enums).
+							if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									report(n.Pos(), "const/var", n.Name)
+									break
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

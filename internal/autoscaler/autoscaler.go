@@ -1,13 +1,3 @@
-// Package autoscaler implements ABase's predictive scaling policy
-// (Algorithm 1, §5.1). Quotas are categorized into RU and Storage,
-// each scaling independently. The policy forecasts the next 7 days'
-// maximum usage U_max from a 30-day hourly history; when U_max exceeds
-// 85% of the tenant quota, the quota is raised so that U_max sits at
-// 65%; when U_max falls below 65% (and no scaling happened in the last
-// 7 days), the quota is lowered to the same target. Scaling up may
-// push the partition quota above the upper bound UP, triggering a
-// partition split; scaling down never drops the partition quota below
-// LOWER, preserving burst headroom.
 package autoscaler
 
 import (

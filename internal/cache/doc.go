@@ -1,0 +1,11 @@
+// Package cache implements ABase's two cache strategies (§4.4):
+//
+//   - SA-LRU (Size-Aware LRU), the DataNode-layer cache. Entries are
+//     grouped into size classes, each with its own LRU queue; eviction
+//     removes from the class with the fewest hits per byte, so large
+//     cold items are evicted before small hot ones.
+//   - AU-LRU (Active-Update LRU), the proxy-layer cache. Entries carry
+//     a TTL; hot entries approaching expiry are refreshed in the
+//     background instead of expiring, preventing request spikes from
+//     expired hot keys.
+package cache

@@ -1,0 +1,7 @@
+// Package clock provides real and simulated time sources.
+//
+// Every latency-bearing component in ABase takes a Clock so that
+// pool-scale experiments (hours of traffic, thousands of nodes) can run
+// in milliseconds under a simulated clock while the networked server
+// uses wall time.
+package clock

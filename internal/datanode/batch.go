@@ -27,6 +27,9 @@ type BatchValue struct {
 	Value    []byte
 	Err      error
 	CacheHit bool
+	// ExpireAt is the record's TTL deadline (Unix seconds, 0 = none) on
+	// reads; caching layers above must not hold TTL-bearing values.
+	ExpireAt int64
 }
 
 // BatchResult reports one partition sub-batch of a node batch. Values
@@ -159,8 +162,13 @@ func (n *Node) MultiGet(groups []GetBatch) []BatchResult {
 					}
 					continue
 				}
-				n.cache.Put(cacheKey(pid, key), got.Value)
+				// TTL-bearing values stay uncached: the SA-LRU has no
+				// per-entry expiry (see Node.Get).
+				if got.ExpireAt == 0 {
+					n.cache.Put(cacheKey(pid, key), got.Value)
+				}
 				vals[k].Value = got.Value
+				vals[k].ExpireAt = got.ExpireAt
 			}
 		}
 		task.Done = wg.Done
@@ -298,11 +306,13 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 					}
 					return
 				}
-				// Write-through keeps the node cache coherent.
+				// Write-through keeps the node cache coherent — except
+				// for TTL-bearing values, which the SA-LRU cannot expire
+				// and so must not hold (see Node.Get).
 				for _, k := range applied {
 					op := ops[k]
 					ck := prefix + string(op.Key)
-					if op.Delete {
+					if op.Delete || op.TTL > 0 {
 						n.cache.Delete(ck)
 					} else {
 						n.cache.Put(ck, op.Value)

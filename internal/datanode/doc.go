@@ -1,0 +1,9 @@
+// Package datanode implements ABase's data plane node. Each DataNode
+// hosts partition replicas for many tenants and serves their requests
+// through the cache-aware isolation pipeline (Figure 2):
+//
+//	request queue (partition quota filter)
+//	  → dual-layer WFQ (CPU-WFQ over I/O-WFQ)
+//	    → SA-LRU node cache
+//	      → LavaStore
+package datanode

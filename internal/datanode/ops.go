@@ -18,6 +18,10 @@ type OpResult struct {
 	CacheHit bool
 	RU       float64
 	Latency  time.Duration
+	// ExpireAt is the record's TTL deadline (Unix seconds, 0 = none) on
+	// reads. Caching layers above must not hold TTL-bearing values past
+	// it; this system's caches decline to hold them at all.
+	ExpireAt int64
 }
 
 // Get reads key from the hosted replica of pid, flowing through the
@@ -35,6 +39,7 @@ func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
 	type outcome struct {
 		val []byte
 		hit bool
+		exp int64
 		err error
 	}
 	var out outcome
@@ -75,8 +80,14 @@ func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
 			}
 			return
 		}
-		n.cache.Put(ck, got.Value)
-		res = outcome{val: got.Value}
+		// The SA-LRU has no per-entry expiry, so caching a TTL-bearing
+		// value would keep serving it after the record expires — point
+		// reads would then disagree with Scan/Keys, which consult the
+		// engine. TTL'd values stay uncached.
+		if got.ExpireAt == 0 {
+			n.cache.Put(ck, got.Value)
+		}
+		res = outcome{val: got.Value, exp: got.ExpireAt}
 	}
 	task.Done = func() { finish(res) }
 
@@ -122,7 +133,7 @@ func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
 	} else {
 		ts.cacheMiss.Inc()
 	}
-	return OpResult{Value: out.val, CacheHit: out.hit, RU: charged, Latency: lat}, nil
+	return OpResult{Value: out.val, CacheHit: out.hit, RU: charged, Latency: lat, ExpireAt: out.exp}, nil
 }
 
 func boolTo01(hit bool) float64 {
@@ -187,8 +198,14 @@ func (n *Node) write(pid partition.ID, key, value []byte, ttl time.Duration, del
 				n.cache.Delete(ck)
 			} else {
 				ioErr = rep.db.Put(key, value, ttl)
-				// Write-through keeps the node cache coherent.
-				n.cache.Put(ck, value)
+				// Write-through keeps the node cache coherent — except
+				// for TTL-bearing values, which the SA-LRU cannot expire
+				// and so must not hold (see Get).
+				if ttl > 0 {
+					n.cache.Delete(ck)
+				} else {
+					n.cache.Put(ck, value)
+				}
 			}
 		},
 	}

@@ -124,9 +124,36 @@ func (n *Node) ScanReplica(pid partition.ID, fn func(key, value []byte) bool) er
 	return rep.db.Scan(fn)
 }
 
+// ScanReplicaWithExpiry is ScanReplica with each record's TTL deadline
+// (Unix seconds, 0 = none) passed alongside — the form migration and
+// split use so rewritten records keep their expiry.
+func (n *Node) ScanReplicaWithExpiry(pid partition.ID, fn func(key, value []byte, expireAt int64) bool) error {
+	n.mu.RLock()
+	rep, ok := n.replicas[pid]
+	n.mu.RUnlock()
+	if !ok {
+		return ErrNoPartition
+	}
+	return rep.db.ScanWithExpiry(fn)
+}
+
+// RemainingTTL converts a record's TTL deadline into the duration to
+// pass when rewriting it on another node: 0 for records without expiry,
+// and a non-positive value (ok=false) for records that lapsed since
+// they were scanned — the caller should drop those instead of writing
+// an already-dead record.
+func (n *Node) RemainingTTL(expireAt int64) (ttl time.Duration, ok bool) {
+	if expireAt == 0 {
+		return 0, true
+	}
+	remaining := time.Unix(expireAt, 0).Sub(n.cfg.Clock.Now())
+	return remaining, remaining > 0
+}
+
 // CopyReplicaTo streams a hosted replica's live data into dst (which
 // must already host the replica via AddReplica). The source keeps
-// serving; this is the replica-repair data path (§3.3).
+// serving; this is the replica-repair data path (§3.3). TTLs survive
+// the copy; records that expire mid-copy are skipped.
 func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
 	n.mu.RLock()
 	rep, ok := n.replicas[pid]
@@ -134,10 +161,14 @@ func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
 	if !ok {
 		return ErrNoPartition
 	}
-	return rep.db.Scan(func(key, value []byte) bool {
+	return rep.db.ScanWithExpiry(func(key, value []byte, expireAt int64) bool {
+		ttl, alive := n.RemainingTTL(expireAt)
+		if !alive {
+			return true
+		}
 		k := append([]byte(nil), key...)
 		v := append([]byte(nil), value...)
-		return dst.ApplyReplicated(pid, k, v, 0, false) == nil
+		return dst.ApplyReplicated(pid, k, v, ttl, false) == nil
 	})
 }
 

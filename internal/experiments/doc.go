@@ -1,0 +1,8 @@
+// Package experiments contains the runners that regenerate every table
+// and figure of the paper's evaluation (§6). Each runner returns a
+// Table of the same rows/series the paper reports; cmd/abase-bench
+// prints them and bench_test.go wraps them in testing.B benchmarks.
+// Absolute numbers differ from the paper (the substrate is a simulator,
+// not ByteDance's fleet); the shapes — who wins, by what factor, where
+// crossovers fall — are the reproduction target.
+package experiments

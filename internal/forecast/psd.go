@@ -1,15 +1,3 @@
-// Package forecast implements ABase's workload forecasting module
-// (§5.2): power-spectral-density periodicity detection, a
-// prophet-style piecewise-linear-trend + Fourier-seasonality model fit
-// by least squares ("prophet-lite"), the historical-average seasonal
-// predictor, multi-metric denoising, sporadic-peak filtering,
-// change-point detection, and the weighted ensemble that combines them
-// with the non-periodic-burst fallback.
-//
-// The paper uses Facebook Prophet [41]; this package fits the same
-// model family (trend with changepoints + Fourier seasonal terms)
-// with ordinary least squares, which is sufficient for the point
-// forecasts the autoscaler consumes.
 package forecast
 
 import (

@@ -1,0 +1,7 @@
+// Package glob implements Redis-style glob pattern matching, the
+// dialect SCAN's MATCH option and KEYS use: `*` matches any byte
+// sequence (including empty), `?` any single byte, `[...]` a character
+// class with ranges (`[a-c]`) and leading-`^` negation, and `\`
+// escapes the next byte. Matching is byte-wise, like Redis, so
+// patterns and subjects are compared without any Unicode folding.
+package glob

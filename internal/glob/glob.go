@@ -1,0 +1,96 @@
+package glob
+
+// Match reports whether s matches pattern. An unterminated character
+// class behaves as if the closing bracket were at the end of the
+// pattern, and a trailing backslash matches a literal backslash —
+// both mirroring Redis's stringmatchlen.
+func Match(pattern, s string) bool {
+	px, sx := 0, 0
+	// Backtracking state for the most recent `*`: on mismatch, retry
+	// from the star with one more byte consumed by it.
+	starP, starS := -1, -1
+	for sx < len(s) {
+		matched := false
+		np := px
+		if px < len(pattern) {
+			switch pattern[px] {
+			case '*':
+				starP, starS = px, sx
+				px++
+				continue
+			case '?':
+				matched, np = true, px+1
+			case '[':
+				matched, np = classMatch(pattern, px, s[sx])
+			case '\\':
+				if px+1 < len(pattern) {
+					matched, np = pattern[px+1] == s[sx], px+2
+				} else {
+					matched, np = s[sx] == '\\', px+1
+				}
+			default:
+				matched, np = pattern[px] == s[sx], px+1
+			}
+		}
+		if matched {
+			px = np
+			sx++
+			continue
+		}
+		if starP >= 0 {
+			starS++
+			sx, px = starS, starP+1
+			continue
+		}
+		return false
+	}
+	// Subject consumed: only trailing stars may remain.
+	for px < len(pattern) && pattern[px] == '*' {
+		px++
+	}
+	return px == len(pattern)
+}
+
+// classMatch evaluates the character class starting at pattern[px]
+// (which is '[') against byte c. It returns whether c is in the class
+// and the pattern index just past the closing ']'.
+func classMatch(pattern string, px int, c byte) (bool, int) {
+	i := px + 1
+	neg := false
+	if i < len(pattern) && pattern[i] == '^' {
+		neg = true
+		i++
+	}
+	found := false
+	for i < len(pattern) && pattern[i] != ']' {
+		switch {
+		case pattern[i] == '\\' && i+1 < len(pattern):
+			i++
+			if pattern[i] == c {
+				found = true
+			}
+			i++
+		case i+2 < len(pattern) && pattern[i+1] == '-' && pattern[i+2] != ']':
+			lo, hi := pattern[i], pattern[i+2]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo <= c && c <= hi {
+				found = true
+			}
+			i += 3
+		default:
+			if pattern[i] == c {
+				found = true
+			}
+			i++
+		}
+	}
+	if i < len(pattern) {
+		i++ // consume ']'
+	}
+	if neg {
+		found = !found
+	}
+	return found, i
+}

@@ -1,0 +1,77 @@
+package glob
+
+import "testing"
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		// Literals.
+		{"", "", true},
+		{"", "a", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"abc", "ab", false},
+
+		// Star.
+		{"*", "", true},
+		{"*", "anything", true},
+		{"a*", "a", true},
+		{"a*", "abc", true},
+		{"a*", "ba", false},
+		{"*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "abbbc", true},
+		{"a*c", "abcd", false},
+		{"a**b", "ab", true},
+		{"a**b", "axyb", true},
+		{"*a*b*", "xaybz", true},
+		// Backtracking: the first * try must not starve the second.
+		{"*ab*ab", "ababab", true},
+		{"*aab", "aaab", true},
+
+		// Question mark.
+		{"?", "a", true},
+		{"?", "", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"??", "ab", true},
+
+		// Character classes.
+		{"[abc]", "b", true},
+		{"[abc]", "d", false},
+		{"[a-c]", "b", true},
+		{"[a-c]", "d", false},
+		{"[c-a]", "b", true}, // reversed range still matches
+		{"[^abc]", "d", true},
+		{"[^abc]", "a", false},
+		{"k[0-9]y", "k5y", true},
+		{"k[0-9]y", "kxy", false},
+		{"[\\]]", "]", true}, // escaped ] inside class
+		{"[a-]", "-", true},  // '-' before ] is a literal
+		{"[a-]", "a", true},
+		{"[]", "a", false},  // empty class matches nothing
+		{"[abc", "b", true}, // unterminated class: as if ] at end
+		{"[^", "x", true},   // unterminated negated class
+
+		// Escapes.
+		{"\\*", "*", true},
+		{"\\*", "a", false},
+		{"\\?", "?", true},
+		{"a\\", "a\\", true}, // trailing backslash is a literal
+
+		// Redis-ish key shapes.
+		{"user:*", "user:1001", true},
+		{"user:*", "session:1001", false},
+		{"*:1001", "user:1001", true},
+		{"user:?00?", "user:1001", true},
+		{"user:[12]*", "user:2-abc", true},
+		{"user:[12]*", "user:3-abc", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.s); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}

@@ -346,6 +346,11 @@ func (db *DB) needFlushLocked() bool {
 type GetResult struct {
 	Value   []byte
 	IOReads int
+	// ExpireAt is the record's TTL deadline as a Unix timestamp in
+	// seconds, or 0 for keys without an expiry. Callers that cache the
+	// value must honor it (or decline to cache TTL-bearing values) so a
+	// cached copy cannot outlive the record.
+	ExpireAt int64
 }
 
 // Get returns the value stored under key. Expired and deleted keys
@@ -399,7 +404,7 @@ func (db *DB) finishGet(rec []byte, ioReads int, now int64) (GetResult, error) {
 	if r.Kind == kindDelete || r.expired(now) {
 		return GetResult{IOReads: ioReads}, ErrNotFound
 	}
-	return GetResult{Value: append([]byte(nil), r.Value...), IOReads: ioReads}, nil
+	return GetResult{Value: append([]byte(nil), r.Value...), IOReads: ioReads, ExpireAt: r.ExpireAt}, nil
 }
 
 // Flush freezes the current memtable and writes it out as an SSTable.

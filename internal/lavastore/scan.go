@@ -13,62 +13,35 @@ import (
 //
 // Scan is used for replica migration: the rescheduler copies a
 // partition replica to its destination DataNode by scanning the source.
+// Client-facing traversal uses the bounded ScanRange instead; callers
+// that must preserve TTLs across a copy use ScanWithExpiry.
 func (db *DB) Scan(fn func(key, value []byte) bool) error {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
-	}
-	// Sources ordered newest first so the first occurrence of a key is
-	// its newest record.
-	var sources []scanSource
-	sources = append(sources, &memSource{it: db.mem.NewIterator()})
-	for i := len(db.imm) - 1; i >= 0; i-- {
-		sources = append(sources, &memSource{it: db.imm[i].NewIterator()})
-	}
-	for _, t := range db.tables {
-		sources = append(sources, &tableSource{it: t.iterator()})
-	}
-	db.mu.RUnlock()
+	return db.ScanWithExpiry(func(key, value []byte, _ int64) bool {
+		return fn(key, value)
+	})
+}
 
-	now := db.opt.Clock.Now().Unix()
-	for _, s := range sources {
-		s.advance()
+// ScanWithExpiry is Scan with each record's TTL deadline (Unix seconds,
+// 0 = no expiry) passed alongside, so migration and repair can rewrite
+// records at their destination without silently making them immortal.
+func (db *DB) ScanWithExpiry(fn func(key, value []byte, expireAt int64) bool) error {
+	ms, err := db.newMergedScanner(nil)
+	if err != nil {
+		return err
 	}
-	var lastKey []byte
-	first := true
+	now := db.opt.Clock.Now().Unix()
 	for {
-		best := -1
-		for i, s := range sources {
-			if !s.valid() {
-				continue
-			}
-			if best == -1 || bytes.Compare(s.key(), sources[best].key()) < 0 {
-				best = i
-			}
+		k, rec, ok := ms.next()
+		if !ok {
+			return ms.checkErr()
 		}
-		if best == -1 {
-			return nil
+		r, err := decodeRecord(rec)
+		if err != nil {
+			return err
 		}
-		k := sources[best].key()
-		isDup := !first && bytes.Equal(k, lastKey)
-		if !isDup {
-			first = false
-			lastKey = append(lastKey[:0], k...)
-			r, err := decodeRecord(sources[best].rec())
-			if err != nil {
-				return err
-			}
-			if r.Kind == kindSet && !r.expired(now) {
-				if !fn(k, r.Value) {
-					return nil
-				}
-			}
-		}
-		// Advance every source positioned at this key.
-		for _, s := range sources {
-			if s.valid() && bytes.Equal(s.key(), lastKey) {
-				s.advance()
+		if r.Kind == kindSet && !r.expired(now) {
+			if !fn(k, r.Value, r.ExpireAt) {
+				return nil
 			}
 		}
 	}
@@ -82,12 +55,226 @@ func (db *DB) Keys() (int, error) {
 	return n, err
 }
 
+// ScanEntry is one live key/value pair returned by ScanRange. Both
+// slices are copies owned by the caller.
+type ScanEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// ScanPage is the result of one bounded ScanRange call.
+type ScanPage struct {
+	// Entries holds the live pairs found, in ascending key order.
+	Entries []ScanEntry
+	// NextKey is the inclusive resume point for the next ScanRange
+	// call, or nil when the requested range is exhausted.
+	NextKey []byte
+	// Bytes is the RU-billable payload: the summed key+value sizes of
+	// the returned entries.
+	Bytes int64
+	// Examined counts merged records visited, including tombstones and
+	// expired records that were skipped — the engine's actual work,
+	// which the DataNode translates into simulated I/O time.
+	Examined int
+}
+
+// DefaultScanLimit is the entry cap used when ScanRange is called with
+// a non-positive limit.
+const DefaultScanLimit = 256
+
+// MaxScanLimit caps one page's limit so the examine-cap arithmetic
+// cannot overflow on absurd requests; traversals are resumable, so a
+// larger page serves no purpose.
+const MaxScanLimit = 1 << 20
+
+// scanExamineFactor bounds how many merged records one ScanRange call
+// may visit, as a multiple of its entry limit. Without it a range of
+// tombstones or expired records would make a single "bounded" call walk
+// the whole keyspace; with it the call returns early with a usable
+// NextKey and the caller pays for the next stretch separately.
+const scanExamineFactor = 32
+
+// ScanRange returns up to limit live key/value pairs with key in
+// [start, end), in ascending order, merging all storage layers and
+// skipping tombstones and TTL-expired records exactly like Get. A nil
+// start begins at the first key; a nil end is unbounded; a
+// non-positive limit means DefaultScanLimit. The page reports the
+// billable bytes it carries and an inclusive NextKey to resume from,
+// so callers can traverse a keyspace in quota-admitted increments.
+func (db *DB) ScanRange(start, end []byte, limit int) (ScanPage, error) {
+	return db.scanRange(start, end, limit, false)
+}
+
+// ScanRangeKeys is ScanRange without value transfer: entries carry nil
+// Values and no value bytes are copied (KEYS/DBSIZE traffic). The
+// engine still reads every record, so Bytes keeps the same billing
+// semantics, value sizes included.
+func (db *DB) ScanRangeKeys(start, end []byte, limit int) (ScanPage, error) {
+	return db.scanRange(start, end, limit, true)
+}
+
+func (db *DB) scanRange(start, end []byte, limit int, keysOnly bool) (ScanPage, error) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	if limit > MaxScanLimit {
+		limit = MaxScanLimit
+	}
+	ms, err := db.newMergedScanner(start)
+	if err != nil {
+		return ScanPage{}, err
+	}
+	now := db.opt.Clock.Now().Unix()
+	maxExamine := limit * scanExamineFactor
+	var page ScanPage
+	for {
+		if len(page.Entries) >= limit || page.Examined >= maxExamine {
+			if err := ms.checkErr(); err != nil {
+				return page, err
+			}
+			if k, ok := ms.peek(); ok && (end == nil || bytes.Compare(k, end) < 0) {
+				page.NextKey = append([]byte(nil), k...)
+			}
+			return page, nil
+		}
+		k, rec, ok := ms.next()
+		if !ok {
+			return page, ms.checkErr()
+		}
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			return page, nil
+		}
+		page.Examined++
+		r, err := decodeRecord(rec)
+		if err != nil {
+			return page, err
+		}
+		if r.Kind != kindSet || r.expired(now) {
+			continue
+		}
+		e := ScanEntry{Key: append([]byte(nil), k...)}
+		if !keysOnly {
+			e.Value = append([]byte(nil), r.Value...)
+		}
+		page.Bytes += int64(len(k) + len(r.Value))
+		page.Entries = append(page.Entries, e)
+	}
+}
+
+// mergedScanner yields the newest record per distinct key in ascending
+// key order across a snapshot of all storage layers.
+type mergedScanner struct {
+	sources []scanSource
+	lastKey []byte
+	failed  error
+}
+
+// checkErr reports the first source failure. A source that hit an I/O
+// or corruption error looks exhausted to the merge; without this check
+// a scan would silently truncate — returning "complete" results that
+// miss every remaining key in the failed source — instead of erroring
+// the way point reads do.
+func (m *mergedScanner) checkErr() error {
+	if m.failed != nil {
+		return m.failed
+	}
+	for _, s := range m.sources {
+		if e := s.err(); e != nil {
+			m.failed = e
+			return e
+		}
+	}
+	return nil
+}
+
+// newMergedScanner snapshots the storage layers and positions every
+// source at the first key >= start (nil start = the first key).
+func (db *DB) newMergedScanner(start []byte) (*mergedScanner, error) {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	// Sources ordered newest first so the first occurrence of a key is
+	// its newest record.
+	var sources []scanSource
+	sources = append(sources, &memSource{it: db.mem.NewIterator()})
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		sources = append(sources, &memSource{it: db.imm[i].NewIterator()})
+	}
+	for _, t := range db.tables {
+		sources = append(sources, &tableSource{it: t.iterator()})
+	}
+	db.mu.RUnlock()
+
+	for _, s := range sources {
+		s.seek(start)
+	}
+	return &mergedScanner{sources: sources}, nil
+}
+
+// best returns the index of the source holding the smallest current
+// key, preferring the newest source on ties, or -1 when all sources
+// are exhausted.
+func (m *mergedScanner) best() int {
+	best := -1
+	for i, s := range m.sources {
+		if !s.valid() {
+			continue
+		}
+		if best == -1 || bytes.Compare(s.key(), m.sources[best].key()) < 0 {
+			best = i
+		}
+	}
+	return best
+}
+
+// peek returns the next distinct key without consuming it. The slice
+// is only valid until the next call to next.
+func (m *mergedScanner) peek() ([]byte, bool) {
+	best := m.best()
+	if best == -1 {
+		return nil, false
+	}
+	return m.sources[best].key(), true
+}
+
+// next returns the next distinct key and its newest raw record. The
+// returned slices are only valid until the following call. After a
+// false return, callers must consult checkErr to distinguish
+// exhaustion from a source failure.
+func (m *mergedScanner) next() (key, rec []byte, ok bool) {
+	if m.checkErr() != nil {
+		return nil, nil, false
+	}
+	best := m.best()
+	if best == -1 {
+		return nil, nil, false
+	}
+	m.lastKey = append(m.lastKey[:0], m.sources[best].key()...)
+	rec = m.sources[best].rec()
+	// Advance every source positioned at this key so older shadowed
+	// records are consumed with it.
+	for _, s := range m.sources {
+		if s.valid() && bytes.Equal(s.key(), m.lastKey) {
+			s.advance()
+		}
+	}
+	return m.lastKey, rec, true
+}
+
 // scanSource abstracts memtable and table iterators for the merge.
 type scanSource interface {
+	// seek positions the source at the first key >= target (nil target
+	// = the first key).
+	seek(target []byte)
 	advance()
 	valid() bool
 	key() []byte
 	rec() []byte
+	// err reports a read or corruption failure; an errored source also
+	// reports valid() == false.
+	err() error
 }
 
 type memSource struct {
@@ -95,17 +282,27 @@ type memSource struct {
 	ok bool
 }
 
+func (m *memSource) seek(target []byte) {
+	if len(target) == 0 {
+		m.ok = m.it.Next()
+	} else {
+		m.ok = m.it.Seek(target)
+	}
+}
 func (m *memSource) advance()    { m.ok = m.it.Next() }
 func (m *memSource) valid() bool { return m.ok }
 func (m *memSource) key() []byte { return m.it.Key() }
 func (m *memSource) rec() []byte { return m.it.Value() }
+func (m *memSource) err() error  { return nil } // in-memory iteration cannot fail
 
 type tableSource struct {
 	it *tableIterator
 	ok bool
 }
 
-func (t *tableSource) advance()    { t.ok = t.it.Next() }
-func (t *tableSource) valid() bool { return t.ok }
-func (t *tableSource) key() []byte { return t.it.Key() }
-func (t *tableSource) rec() []byte { return t.it.Rec() }
+func (t *tableSource) seek(target []byte) { t.ok = t.it.seek(target) }
+func (t *tableSource) advance()           { t.ok = t.it.Next() }
+func (t *tableSource) valid() bool        { return t.ok }
+func (t *tableSource) key() []byte        { return t.it.Key() }
+func (t *tableSource) rec() []byte        { return t.it.Rec() }
+func (t *tableSource) err() error         { return t.it.Err() }

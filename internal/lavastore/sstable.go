@@ -310,6 +310,38 @@ func (it *tableIterator) Next() bool {
 	return true
 }
 
+// seek positions the iterator at the first entry with key >= target,
+// reporting whether one exists. A nil or empty target positions at the
+// first entry. The sparse index narrows the starting offset so only one
+// index block is walked.
+func (it *tableIterator) seek(target []byte) bool {
+	it.off = 0
+	it.err = nil
+	if len(target) > 0 {
+		// Binary search for the last sparse-index entry with key <=
+		// target; entries before its offset are all < target.
+		lo, hi, pos := 0, len(it.t.index)-1, -1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if bytes.Compare(it.t.index[mid].key, target) <= 0 {
+				pos = mid
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		if pos >= 0 {
+			it.off = it.t.index[pos].off
+		}
+	}
+	for it.Next() {
+		if len(target) == 0 || bytes.Compare(it.key, target) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (it *tableIterator) Key() []byte { return it.key }
 func (it *tableIterator) Rec() []byte { return it.rec }
 func (it *tableIterator) Err() error  { return it.err }

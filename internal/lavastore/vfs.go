@@ -1,11 +1,3 @@
-// Package lavastore is a from-scratch reproduction of the behaviourally
-// relevant parts of LavaStore, ByteDance's local storage engine
-// underlying ABase (Wang et al., VLDB'24). The real engine is
-// proprietary; this package implements a log-structured merge engine
-// with the same observable shape: a WAL, a skiplist memtable,
-// bloom-filtered SSTables, background compaction that stalls writes,
-// TTL expiry, and an I/O accounting surface so the data node can charge
-// disk operations to the I/O-WFQ (cache hit = CPU only, miss = disk).
 package lavastore
 
 import (

@@ -1,0 +1,6 @@
+// Package metaserver implements ABase's control-plane metadata service
+// (§3.2): global tenant/partition metadata, replica placement, routing
+// tables for the proxy plane, the asynchronous proxy traffic-control
+// loop (§4.2), replica repair after node failure (§3.3), and partition
+// splits for the autoscaler (§5.1).
+package metaserver

@@ -1,8 +1,3 @@
-// Package metaserver implements ABase's control-plane metadata service
-// (§3.2): global tenant/partition metadata, replica placement, routing
-// tables for the proxy plane, the asynchronous proxy traffic-control
-// loop (§4.2), replica repair after node failure (§3.3), and partition
-// splits for the autoscaler (§5.1).
 package metaserver
 
 import (
@@ -20,10 +15,11 @@ import (
 
 // Errors returned by the meta server.
 var (
-	ErrTenantExists   = errors.New("metaserver: tenant already exists")
-	ErrUnknownTenant  = errors.New("metaserver: unknown tenant")
-	ErrUnknownNode    = errors.New("metaserver: unknown node")
-	ErrNotEnoughNodes = errors.New("metaserver: not enough nodes for replication factor")
+	ErrTenantExists     = errors.New("metaserver: tenant already exists")
+	ErrUnknownTenant    = errors.New("metaserver: unknown tenant")
+	ErrUnknownNode      = errors.New("metaserver: unknown node")
+	ErrUnknownPartition = errors.New("metaserver: unknown partition index")
+	ErrNotEnoughNodes   = errors.New("metaserver: not enough nodes for replication factor")
 )
 
 // Tenant is the control-plane record for one tenant.
@@ -369,6 +365,35 @@ func (m *Meta) RoutesFor(tenant string, keys [][]byte) ([]partition.Route, error
 		out[i] = t.Table.RouteFor(k)
 	}
 	return out, nil
+}
+
+// NumPartitions returns the tenant's current partition count. Scans
+// re-read it between cursor pages so a split mid-traversal extends the
+// partition walk instead of invalidating it.
+func (m *Meta) NumPartitions(tenant string) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTenant, tenant)
+	}
+	return len(t.Table.Partitions), nil
+}
+
+// RouteForIndex returns the routing entry for one partition addressed
+// by index rather than by key — the lookup a partition-ordered scan
+// cursor performs.
+func (m *Meta) RouteForIndex(tenant string, idx int) (partition.Route, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		return partition.Route{}, fmt.Errorf("%w: %s", ErrUnknownTenant, tenant)
+	}
+	if idx < 0 || idx >= len(t.Table.Partitions) {
+		return partition.Route{}, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, tenant, idx)
+	}
+	return t.Table.Partitions[idx], nil
 }
 
 // RegisterProxy records a proxy for traffic-control monitoring.

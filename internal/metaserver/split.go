@@ -72,18 +72,25 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 
 	// Rehash: keys whose new partition differs move to it. With the
 	// doubled count, hash%newN == hash%oldN for roughly half the keys;
-	// the rest migrate.
+	// the rest migrate, keeping their TTLs.
 	for _, src := range sources {
 		srcNode, ok := nodes[src.primary]
 		if !ok {
 			continue
 		}
-		type kv struct{ k, v []byte }
+		type kv struct {
+			k, v     []byte
+			expireAt int64
+		}
 		var moved []kv
-		err := srcNode.ScanReplica(src.pid, func(key, value []byte) bool {
+		err := srcNode.ScanReplicaWithExpiry(src.pid, func(key, value []byte, expireAt int64) bool {
 			newIdx := partition.PartitionOf(key, newN)
 			if newIdx != src.pid.Index {
-				moved = append(moved, kv{append([]byte(nil), key...), append([]byte(nil), value...)})
+				moved = append(moved, kv{
+					k:        append([]byte(nil), key...),
+					v:        append([]byte(nil), value...),
+					expireAt: expireAt,
+				})
 			}
 			return true
 		})
@@ -98,8 +105,13 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 				continue
 			}
 			newPid := partition.ID{Tenant: tenant, Index: newIdx}
-			if err := dst.ApplyReplicated(newPid, e.k, e.v, 0, false); err != nil {
-				return err
+			// Rewriting a TTL'd record must not make it immortal: carry
+			// the remaining TTL, and drop records that lapsed since the
+			// scan (deleting the source copy stays correct either way).
+			if ttl, alive := dst.RemainingTTL(e.expireAt); alive {
+				if err := dst.ApplyReplicated(newPid, e.k, e.v, ttl, false); err != nil {
+					return err
+				}
 			}
 			if err := srcNode.ApplyReplicated(src.pid, e.k, nil, 0, true); err != nil {
 				return err

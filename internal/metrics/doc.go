@@ -1,0 +1,4 @@
+// Package metrics provides the measurement substrate for ABase:
+// latency histograms with percentile queries, counters, and hourly
+// downsampled time series used by the forecaster and rescheduler.
+package metrics

@@ -1,8 +1,3 @@
-// Package partition defines ABase's data partitioning: each tenant's
-// keyspace is hash-partitioned into contiguous, disjoint partitions,
-// each replicated across DataNodes in different availability zones
-// (§3.1). The types here are shared by the proxy plane (routing), the
-// control plane (placement), and the data plane (hosting).
 package partition
 
 import (

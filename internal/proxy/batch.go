@@ -202,7 +202,8 @@ func (p *Proxy) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 				}
 				p.est.ObserveRead(len(bv.Value), bv.CacheHit)
 				values[i] = bv.Value
-				if p.cache != nil {
+				// TTL-bearing values stay out of the AU-LRU (see Get).
+				if p.cache != nil && bv.ExpireAt == 0 {
 					p.cache.Put(string(keys[i]), bv.Value)
 				}
 				p.success.Inc()
@@ -294,7 +295,13 @@ func (p *Proxy) BatchPut(kvs []KV) []error {
 		},
 		cost,
 		func(i int) {
-			if p.cache != nil {
+			if p.cache == nil {
+				return
+			}
+			// TTL'd writes invalidate instead of populate (see Put).
+			if kvs[i].TTL > 0 {
+				p.cache.Delete(string(kvs[i].Key))
+			} else {
 				p.cache.Put(string(kvs[i].Key), kvs[i].Value)
 			}
 		})

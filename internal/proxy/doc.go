@@ -1,0 +1,7 @@
+// Package proxy implements ABase's proxy plane (§3.2, §4.2, §4.4):
+// per-tenant proxies that route requests to DataNodes, enforce the
+// proxy-level quota (intercepting burst traffic before it reaches
+// shared DataNodes), and serve hot keys from an active-update LRU
+// cache. Proxies are organized into groups addressed by the limited
+// fan-out hash strategy.
+package proxy

@@ -1,9 +1,3 @@
-// Package proxy implements ABase's proxy plane (§3.2, §4.2, §4.4):
-// per-tenant proxies that route requests to DataNodes, enforce the
-// proxy-level quota (intercepting burst traffic before it reaches
-// shared DataNodes), and serve hot keys from an active-update LRU
-// cache. Proxies are organized into groups addressed by the limited
-// fan-out hash strategy.
 package proxy
 
 import (
@@ -108,13 +102,16 @@ func New(cfg Config) (*Proxy, error) {
 
 // refreshFromOrigin is the AU-LRU active-update fetch: it reads the key
 // directly from the primary DataNode, bypassing quota (system traffic).
+// A record that acquired a TTL since it was cached reports not-found so
+// the entry drops instead of outliving the record's expiry (the AU-LRU
+// holds only TTL-free values; see Get).
 func (p *Proxy) refreshFromOrigin(key string) ([]byte, bool) {
 	node, pid, err := p.route([]byte(key))
 	if err != nil {
 		return nil, false
 	}
 	res, err := node.Get(pid, []byte(key))
-	if err != nil {
+	if err != nil || res.ExpireAt != 0 {
 		return nil, false
 	}
 	return res.Value, true
@@ -168,7 +165,10 @@ func (p *Proxy) Get(key []byte) ([]byte, error) {
 	}
 	p.est.ObserveRead(len(res.Value), res.CacheHit)
 	p.windowRU.Add(res.RU)
-	if p.cache != nil {
+	// TTL-bearing values stay out of the AU-LRU: its entry TTL is
+	// independent of the record's, so a cached copy could outlive the
+	// record and make GET disagree with SCAN/KEYS/DBSIZE.
+	if p.cache != nil && res.ExpireAt == 0 {
 		p.cache.Put(string(key), res.Value)
 	}
 	p.success.Inc()
@@ -195,8 +195,15 @@ func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 		return err
 	}
 	p.windowRU.Add(res.RU)
+	// Write-through for TTL-free values; TTL'd writes invalidate
+	// instead, so the AU-LRU never holds a copy that could outlive the
+	// record (see Get).
 	if p.cache != nil {
-		p.cache.Put(string(key), value)
+		if ttl > 0 {
+			p.cache.Delete(string(key))
+		} else {
+			p.cache.Put(string(key), value)
+		}
 	}
 	p.success.Inc()
 	p.latency.Observe(p.cfg.Clock.Since(start))

@@ -1,0 +1,234 @@
+package proxy
+
+// This file implements the proxy half of the distributed cursor-based
+// SCAN. A tenant's keyspace is hash-partitioned, so a full traversal
+// visits partitions in index order, draining each one in ascending key
+// order through bounded, quota-admitted DataNode sub-scans. The cursor
+// is an opaque string encoding (partition index, inclusive resume key);
+// it survives routing changes because every page re-resolves the
+// partition's current primary, and it survives partition splits because
+// a doubling split only ever rehashes keys to a strictly higher
+// partition index — completed partitions stay completed, and the
+// current one restarts from its resume key.
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"abase/internal/datanode"
+	"abase/internal/glob"
+)
+
+// ErrBadCursor is returned when a scan cursor cannot be decoded. The
+// caller should restart the traversal from the empty cursor.
+var ErrBadCursor = errors.New("proxy: malformed scan cursor")
+
+// DefaultScanCount is the per-page entry budget when ScanOptions.Count
+// is not positive (matching Redis's SCAN COUNT default).
+const DefaultScanCount = 10
+
+// scanExamineFactor bounds one page's total examined records as a
+// multiple of its count, mirroring lavastore's per-sub-scan cap.
+const scanExamineFactor = 32
+
+// MaxScanCount caps one page's count. Beyond protecting the examine
+// budget arithmetic from overflow on absurd client-supplied COUNTs, a
+// page bigger than this serves no purpose — the traversal is resumable
+// by design.
+const MaxScanCount = 1 << 20
+
+// ScanOptions configures one cursor page.
+type ScanOptions struct {
+	// Match is an optional Redis-style glob applied to returned keys.
+	// Filtering happens after the page is fetched, so a page may carry
+	// fewer (even zero) keys while the cursor still advances.
+	Match string
+	// Count is the page's pre-filter entry budget (default
+	// DefaultScanCount).
+	Count int
+	// KeysOnly omits values from the reply (KEYS/DBSIZE traffic).
+	KeysOnly bool
+}
+
+// ScanPage is one page of a distributed scan.
+type ScanPage struct {
+	// Keys are the matching keys found, in partition-then-key order.
+	Keys [][]byte
+	// Values is parallel to Keys (entries nil under KeysOnly).
+	Values [][]byte
+	// Cursor resumes the traversal; "" means the scan is complete.
+	Cursor string
+}
+
+// scanCursor is the decoded resume position.
+type scanCursor struct {
+	part   int    // partition index currently being scanned
+	resume []byte // inclusive resume key within part; nil = partition start
+}
+
+func encodeCursor(c scanCursor) string {
+	return "p" + strconv.Itoa(c.part) + ":" + hex.EncodeToString(c.resume)
+}
+
+func decodeCursor(s string) (scanCursor, error) {
+	if s == "" {
+		return scanCursor{}, nil
+	}
+	rest, ok := strings.CutPrefix(s, "p")
+	if !ok {
+		return scanCursor{}, fmt.Errorf("%w: %q", ErrBadCursor, s)
+	}
+	idxStr, resumeHex, ok := strings.Cut(rest, ":")
+	if !ok {
+		return scanCursor{}, fmt.Errorf("%w: %q", ErrBadCursor, s)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 {
+		return scanCursor{}, fmt.Errorf("%w: %q", ErrBadCursor, s)
+	}
+	resume, err := hex.DecodeString(resumeHex)
+	if err != nil {
+		return scanCursor{}, fmt.Errorf("%w: %q", ErrBadCursor, s)
+	}
+	if len(resume) == 0 {
+		resume = nil
+	}
+	return scanCursor{part: idx, resume: resume}, nil
+}
+
+// Scan fetches one cursor page. The whole page is admitted through the
+// proxy quota once at the scan estimate; each partition sub-scan is
+// then admitted by its own partition quota on the DataNode. When a
+// sub-scan fails mid-page (throttled, routing change, node error)
+// after some entries were already gathered, Scan returns the partial
+// page with a cursor positioned at the unfinished spot and a nil
+// error — the caller simply continues later. The same failure on an
+// empty page surfaces as the error.
+//
+// A full traversal returns every key that exists for its whole
+// duration at least once; keys written or deleted mid-traversal may or
+// may not appear, and a key can appear more than once if a partition
+// split rehashes it forward — Redis SCAN's guarantee, for the same
+// reasons.
+func (p *Proxy) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
+	start := p.cfg.Clock.Now()
+	cur, err := decodeCursor(cursor)
+	if err != nil {
+		p.errors.Inc()
+		return ScanPage{}, err
+	}
+	count := opts.Count
+	if count <= 0 {
+		count = DefaultScanCount
+	}
+	if count > MaxScanCount {
+		count = MaxScanCount
+	}
+	estimate := p.est.EstimateScanRU(count)
+	if p.cfg.EnableQuota && !p.limiter.Allow(estimate) {
+		p.rejected.Inc()
+		return ScanPage{}, ErrThrottled
+	}
+
+	var page ScanPage
+	fetched := 0
+	// examined mirrors the engine's per-page examine cap at the page
+	// level: a desert of tombstones or expired records yields sub-scans
+	// that return nothing but a resume key, and without a budget this
+	// loop would chain them until it found count live entries —
+	// unbounded work under the single proxy admission above. When the
+	// budget runs out the partial page returns with a usable cursor and
+	// the caller pays for the next stretch separately.
+	examined := 0
+	for fetched < count && examined < count*scanExamineFactor {
+		// Re-read the partition count every iteration: a split mid-scan
+		// appends partitions, which this walk then covers.
+		nparts, err := p.cfg.Meta.NumPartitions(p.cfg.Tenant)
+		if err != nil {
+			return p.finishScan(page, cur, fetched, err, start)
+		}
+		if cur.part >= nparts {
+			// Traversal complete.
+			p.success.Inc()
+			p.latency.Observe(p.cfg.Clock.Since(start))
+			return page, nil
+		}
+		route, err := p.cfg.Meta.RouteForIndex(p.cfg.Tenant, cur.part)
+		if err != nil {
+			return p.finishScan(page, cur, fetched, err, start)
+		}
+		node, err := p.cfg.Meta.Node(route.Primary)
+		if err != nil {
+			return p.finishScan(page, cur, fetched, err, start)
+		}
+		res, err := node.RangeScan(route.Partition, datanode.ScanOptions{
+			Start:    cur.resume,
+			Limit:    count - fetched,
+			KeysOnly: opts.KeysOnly,
+		})
+		if err != nil {
+			return p.finishScan(page, cur, fetched, mapNodeErr(err), start)
+		}
+		p.windowRU.Add(res.RU)
+		// Even an empty sub-scan (exhausted or vacant partition) costs a
+		// DataNode round trip; charge at least one unit of budget so a
+		// heavily-split sparse tenant cannot make one page fan out to
+		// every partition.
+		if res.Examined > 0 {
+			examined += res.Examined
+		} else {
+			examined++
+		}
+		for _, e := range res.Entries {
+			fetched++
+			if opts.Match != "" && !glob.Match(opts.Match, string(e.Key)) {
+				continue
+			}
+			page.Keys = append(page.Keys, e.Key)
+			page.Values = append(page.Values, e.Value)
+		}
+		if res.NextKey != nil {
+			cur.resume = res.NextKey
+		} else {
+			cur.part++
+			cur.resume = nil
+		}
+	}
+	page.Cursor = encodeCursor(cur)
+	p.success.Inc()
+	p.latency.Observe(p.cfg.Clock.Since(start))
+	return page, nil
+}
+
+// finishScan resolves a mid-page failure: partial progress returns the
+// page with a resumable cursor (the error is swallowed — the work is
+// already paid for and the caller continues later); an empty page
+// propagates the error with the cursor unchanged.
+func (p *Proxy) finishScan(page ScanPage, cur scanCursor, fetched int, err error, start time.Time) (ScanPage, error) {
+	p.latency.Observe(p.cfg.Clock.Since(start))
+	if fetched > 0 {
+		page.Cursor = encodeCursor(cur)
+		p.success.Inc()
+		return page, nil
+	}
+	if errors.Is(err, ErrThrottled) {
+		p.rejected.Inc()
+	} else {
+		p.errors.Inc()
+	}
+	return ScanPage{}, err
+}
+
+// Scan routes one cursor page to a random proxy: scans carry no key
+// affinity, so hot-key group routing does not apply and any member can
+// serve the page.
+func (f *Fleet) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
+	f.mu.Lock()
+	p := f.proxies[f.rng.Intn(len(f.proxies))]
+	f.mu.Unlock()
+	return p.Scan(cursor, opts)
+}

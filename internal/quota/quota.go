@@ -1,14 +1,3 @@
-// Package quota implements ABase's hierarchical request restriction
-// (§4.2): token-bucket rate limiting in RU/s at three levels.
-//
-//   - Tenant quota: the total RU/s a tenant purchased.
-//   - Proxy quota: tenant quota divided across the tenant's proxies.
-//     Each proxy may autonomously burst to 2× its share; when the
-//     MetaServer observes the tenant's aggregate exceeding the tenant
-//     quota it directs proxies back to their standard share.
-//   - Partition quota: tenant quota divided across partitions. A single
-//     partition may consume at most 3× its share, bounding co-tenant
-//     interference on a shared DataNode.
 package quota
 
 import (

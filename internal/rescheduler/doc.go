@@ -1,0 +1,13 @@
+// Package rescheduler implements ABase's multi-resource workload
+// rescheduling (§5.3, Algorithm 2). It operates on a load model of a
+// resource pool — replicas with 24-dimension hour-of-day RU load
+// vectors and storage footprints, placed on DataNodes with RU and
+// storage capacities — and produces migrations that balance both
+// dimensions without breaking per-tenant replica distribution.
+//
+// Phase 1 balances each tenant's replica count across nodes (elasticity
+// and failure robustness); phase 2 balances RU and storage utilization.
+// The same machinery extends to inter-pool rebalancing: vacate
+// low-utilization nodes from an underloaded pool and reassign them to
+// an overloaded pool.
+package rescheduler

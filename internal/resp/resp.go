@@ -1,6 +1,3 @@
-// Package resp implements the Redis serialization protocol (RESP2),
-// which ABase speaks to ease adoption for users familiar with Redis
-// (§3.1). It provides the wire codec, a server loop, and a client.
 package resp
 
 import (

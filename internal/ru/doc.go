@@ -1,0 +1,12 @@
+// Package ru implements ABase's normalized Request Unit accounting
+// (§4.1). RUs quantify a request's consumption of CPU, memory, and
+// disk I/O; they are both the billing unit and the basis of the
+// isolation mechanism.
+//
+//	Write:        RU = r · S_write/U            (r = replica count)
+//	Read:         RU = E[S_read]·(1−E[R_hit])/U, estimated from moving
+//	              averages over the last k requests; charged on the
+//	              actual returned size.
+//	Complex read: decomposed into a length stage plus a scan stage,
+//	              charged per stage (HGetAll = HLen + scan).
+package ru

@@ -1,14 +1,3 @@
-// Package ru implements ABase's normalized Request Unit accounting
-// (§4.1). RUs quantify a request's consumption of CPU, memory, and
-// disk I/O; they are both the billing unit and the basis of the
-// isolation mechanism.
-//
-//	Write:        RU = r · S_write/U            (r = replica count)
-//	Read:         RU = E[S_read]·(1−E[R_hit])/U, estimated from moving
-//	              averages over the last k requests; charged on the
-//	              actual returned size.
-//	Complex read: decomposed into a length stage plus a scan stage,
-//	              charged per stage (HGetAll = HLen + scan).
 package ru
 
 import (
@@ -50,6 +39,29 @@ func ReadRU(size int, hitRatio float64) float64 {
 		hitRatio = 1
 	}
 	return float64(size) * (1 - hitRatio) / UnitBytes
+}
+
+// scanExaminedPerRU is how many merged records a scan may examine per
+// RU: visiting a record (including tombstones and expired records that
+// return nothing) is far cheaper than transferring it, but not free.
+const scanExaminedPerRU = 256
+
+// minScanRU is the floor charge for a scan page, mirroring the
+// metadata-lookup floor used for length queries: even an empty page
+// consumed a seek and a merge setup.
+const minScanRU = 1.0 / 8
+
+// ScanRU returns the RU charge for one range-scan page that returned
+// size bytes of keys+values and examined n merged records. Scans
+// bypass the caches, so no hit discount applies; the examined term
+// bills the iteration work a tombstone- or TTL-heavy range costs even
+// when it returns little.
+func ScanRU(size int, examined int) float64 {
+	charge := float64(size)/UnitBytes + float64(examined)/scanExaminedPerRU
+	if charge < minScanRU {
+		charge = minScanRU
+	}
+	return charge
 }
 
 // Estimator predicts read costs for traffic control before the value
@@ -122,6 +134,21 @@ func (e *Estimator) EstimateReadRU() float64 {
 // worth of work.
 func (e *Estimator) EstimateHLenRU() float64 {
 	return 1.0 / 8 // metadata-only lookup: fraction of a unit
+}
+
+// EstimateScanRU returns the pre-execution RU estimate for a range
+// scan bounded at limit entries: limit·E[S_read]/U with the scan
+// floor. Scans bypass the caches, so unlike EstimateReadRU no hit
+// discount applies.
+func (e *Estimator) EstimateScanRU(limit int) float64 {
+	if limit <= 0 {
+		limit = 1
+	}
+	est := float64(limit) * e.ExpectedReadSize() / UnitBytes
+	if est < minScanRU {
+		est = minScanRU
+	}
+	return est
 }
 
 // EstimateHGetAllRU returns the RU estimate for HGetAll decomposed per

@@ -1,11 +1,3 @@
-// Package sim provides the pool-scale simulation substrate for the
-// experiments that need thousands of DataNodes or months of traffic —
-// Figure 9 (offline rescheduling of a 1000-node pool), Figure 10
-// (online rescheduling convergence), Figure 8b (oncall reduction from
-// predictive autoscaling), and the §6.4 single-tenant (ABase-Pre)
-// versus multi-tenant utilization comparison. Request-level behaviour
-// is exercised elsewhere (internal/datanode); here replicas are load
-// vectors on the rescheduler's pool model.
 package sim
 
 import (

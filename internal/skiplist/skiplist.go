@@ -1,8 +1,3 @@
-// Package skiplist implements a concurrent ordered map keyed by byte
-// strings, used as the LavaStore memtable. Reads proceed without locks
-// using atomic pointer loads; writes take a mutex. This matches the
-// memtable access pattern: many concurrent readers, serialized writers
-// behind the WAL.
 package skiplist
 
 import (

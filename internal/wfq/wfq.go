@@ -1,26 +1,3 @@
-// Package wfq implements ABase's dual-layer Weighted Fair Queueing
-// (§4.3). Requests are categorized into four independent dual-layer
-// WFQs by type (read/write) and size (small/large). Within each, the
-// CPU-WFQ schedules requests (checking the DataNode cache); on a miss
-// the I/O-WFQ schedules the disk stage.
-//
-// VFT (virtual finish time) per the paper:
-//
-//	wReqCost(Q_i) = Cost(Q_i) / wPartition(Q_i)
-//	wPartition    = Q_i / ΣQ_p  (the request's partition-quota share)
-//	VFT(Q_i)      = preVFT_tenant + wReqCost(Q_i)
-//
-// VFT accumulates per tenant so a tenant with large quota or cheap
-// requests cannot be prioritized forever.
-//
-// Deployment rules from the paper:
-//
-//	Rule 1: CPU-WFQ costs are RU; I/O-WFQ costs are IOPS.
-//	Rule 2: concurrency limits on reads and writes in the CPU-WFQ, and
-//	        a total-RU ceiling on writes (compaction stability).
-//	Rule 3: one tenant may hold at most 90% of CPU-WFQ concurrency.
-//	Rule 4: when one tenant monopolizes all basic I/O threads, extra
-//	        threads serve the other tenants' requests.
 package wfq
 
 import (

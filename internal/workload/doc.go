@@ -1,0 +1,8 @@
+// Package workload synthesizes the traffic ABase's evaluation runs on.
+// ByteDance's production traces are proprietary; these generators are
+// parameterized by the published workload characteristics — Table 1's
+// business profiles (throughput:storage ratios, cache hit ratios, read
+// ratios, K-V sizes, TTLs), the Figure 5 Double-11 dynamism scenarios,
+// and the Figure 3/4 tenant population marginals — so the experiments
+// exercise the same behaviours the paper reports.
+package workload

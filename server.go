@@ -2,11 +2,47 @@ package abase
 
 import (
 	"errors"
+	"math/big"
 	"strconv"
+	"strings"
 	"time"
 
 	"abase/internal/resp"
 )
+
+// Redis documents the SCAN cursor as an integer, and typed clients
+// parse it numerically, so the wire cursor is the internal opaque
+// cursor bytes (with a sentinel byte preserving leading zeros) encoded
+// as an arbitrary-precision decimal. "0" is both the start and the
+// terminal cursor, as in Redis. Clients that parse cursors into a
+// fixed-width integer may overflow on long resume keys; string
+// passthrough (redis-cli style) always works.
+
+// cursorToWire encodes an internal scan cursor for the RESP reply.
+func cursorToWire(internal string) string {
+	if internal == "" {
+		return "0"
+	}
+	data := append([]byte{1}, internal...)
+	return new(big.Int).SetBytes(data).String()
+}
+
+// cursorFromWire decodes a client-supplied SCAN cursor, reporting
+// whether it is well-formed.
+func cursorFromWire(wire string) (string, bool) {
+	if wire == "0" {
+		return "", true
+	}
+	n, ok := new(big.Int).SetString(wire, 10)
+	if !ok || n.Sign() <= 0 {
+		return "", false
+	}
+	data := n.Bytes()
+	if data[0] != 1 {
+		return "", false
+	}
+	return string(data[1:]), true
+}
 
 // Serve exposes the cluster over the Redis protocol (RESP2) on addr
 // (":0" picks a free port). Connections select their tenant with
@@ -347,6 +383,87 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		default:
 			return resp.Int64(1)
 		}
+
+	case "SCAN":
+		if len(cmd.Args) < 1 {
+			return wrongArgs("scan")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		cursor, ok := cursorFromWire(string(cmd.Args[0]))
+		if !ok {
+			return resp.Err("ERR invalid cursor")
+		}
+		match := ""
+		count := 0
+		for i := 1; i < len(cmd.Args); i++ {
+			switch strings.ToUpper(string(cmd.Args[i])) {
+			case "MATCH":
+				if i+1 >= len(cmd.Args) {
+					return resp.Err("ERR syntax error")
+				}
+				match = string(cmd.Args[i+1])
+				i++
+			case "COUNT":
+				if i+1 >= len(cmd.Args) {
+					return resp.Err("ERR syntax error")
+				}
+				n, err := strconv.Atoi(string(cmd.Args[i+1]))
+				if err != nil || n <= 0 {
+					return resp.Err("ERR value is not an integer or out of range")
+				}
+				count = n
+				i++
+			default:
+				return resp.Err("ERR syntax error")
+			}
+		}
+		keys, next, err := c.Scan(cursor, match, count)
+		if err != nil {
+			if errors.Is(err, ErrBadCursor) {
+				return resp.Err("ERR invalid cursor")
+			}
+			return opErr(err)
+		}
+		out := make([]resp.Value, len(keys))
+		for i, k := range keys {
+			out[i] = resp.Bulk(k)
+		}
+		return resp.Arr(resp.BulkStr(cursorToWire(next)), resp.Arr(out...))
+
+	case "KEYS":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("keys")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		keys, err := c.Keys(string(cmd.Args[0]))
+		if err != nil {
+			return opErr(err)
+		}
+		out := make([]resp.Value, len(keys))
+		for i, k := range keys {
+			out[i] = resp.Bulk(k)
+		}
+		return resp.Arr(out...)
+
+	case "DBSIZE":
+		if len(cmd.Args) != 0 {
+			return wrongArgs("dbsize")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		n, err := c.DBSize()
+		if err != nil {
+			return opErr(err)
+		}
+		return resp.Int64(n)
 
 	case "COMMAND":
 		return resp.Arr() // clients probe this at connect
