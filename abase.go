@@ -123,6 +123,20 @@ type ClusterConfig struct {
 	// AdmitCost is each node's simulated request-queue processing time
 	// per request (default 2µs; tests and benchmarks use 1ns).
 	AdmitCost time.Duration
+	// HeatSplitThreshold enables heat-driven automatic partition
+	// splits: when a tenant's hottest partition sustains more than this
+	// many ops/sec (decayed) for HeatSplitWindows consecutive
+	// MonitorTrafficOnce cycles, its partition count is doubled. Zero
+	// disables automatic splitting.
+	HeatSplitThreshold float64
+	// HeatSplitWindows is the consecutive-cycle requirement (default 3).
+	HeatSplitWindows int
+	// HeatSplitMaxPartitions caps heat-driven automatic doubling
+	// (default 256).
+	HeatSplitMaxPartitions int
+	// HotSampleRate samples the DataNode heavy-hitter sketches: one in
+	// every N key accesses is recorded (default 4; 1 records all).
+	HotSampleRate int
 }
 
 // Cluster is an embedded ABase deployment.
@@ -151,8 +165,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Clock = clock.Real{}
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		Meta:    metaserver.New(metaserver.Config{Clock: cfg.Clock, Replicas: cfg.Replicas}),
+		cfg: cfg,
+		Meta: metaserver.New(metaserver.Config{
+			Clock:                  cfg.Clock,
+			Replicas:               cfg.Replicas,
+			HeatSplitThreshold:     cfg.HeatSplitThreshold,
+			HeatSplitWindows:       cfg.HeatSplitWindows,
+			HeatSplitMaxPartitions: cfg.HeatSplitMaxPartitions,
+		}),
 		tenants: make(map[string]*Tenant),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -167,6 +187,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			EnablePartitionQuota: !cfg.DisablePartitionQuota,
 			RUCapacity:           cfg.NodeRUCapacity,
 			AdmitCost:            cfg.AdmitCost,
+			HotSampleRate:        cfg.HotSampleRate,
 		})
 		c.Meta.RegisterNode(n)
 		c.nodes = append(c.nodes, n)
@@ -204,6 +225,12 @@ type TenantSpec struct {
 	// BatchFanout bounds how many per-partition sub-batches a batched
 	// operation dispatches to DataNodes concurrently (default 4).
 	BatchFanout int
+	// ProxyHotAdmitThreshold gates proxy-cache admission on the hotspot
+	// sketch: a fetched value is cached only once its key has been
+	// accessed this many times in the detection window. 0 uses the
+	// default (2); negative disables the gate and caches every read
+	// (the legacy policy).
+	ProxyHotAdmitThreshold int
 }
 
 // Tenant is a provisioned tenant with its proxy fleet.
@@ -242,15 +269,16 @@ func (c *Cluster) CreateTenant(spec TenantSpec) (*Tenant, error) {
 		return nil, err
 	}
 	fleet, err := proxy.NewFleet(proxy.Config{
-		Tenant:      spec.Name,
-		Meta:        c.Meta,
-		Clock:       c.cfg.Clock,
-		CacheBytes:  spec.ProxyCacheBytes,
-		CacheTTL:    spec.ProxyCacheTTL,
-		EnableCache: !spec.DisableProxyCache,
-		EnableQuota: !spec.DisableProxyQuota,
-		ProxyQuota:  mt.Quota.ProxyQuota(),
-		BatchFanout: spec.BatchFanout,
+		Tenant:            spec.Name,
+		Meta:              c.Meta,
+		Clock:             c.cfg.Clock,
+		CacheBytes:        spec.ProxyCacheBytes,
+		CacheTTL:          spec.ProxyCacheTTL,
+		EnableCache:       !spec.DisableProxyCache,
+		EnableQuota:       !spec.DisableProxyQuota,
+		ProxyQuota:        mt.Quota.ProxyQuota(),
+		BatchFanout:       spec.BatchFanout,
+		HotAdmitThreshold: spec.ProxyHotAdmitThreshold,
 	}, spec.Proxies, spec.ProxyGroups, 1)
 	if err != nil {
 		return nil, err
@@ -271,10 +299,15 @@ func (c *Cluster) Tenant(name string) (*Tenant, error) {
 	return t, nil
 }
 
-// MonitorTrafficOnce runs one proxy traffic-control cycle over the
-// given window (§4.2). Production deployments call this on a ticker.
-func (c *Cluster) MonitorTrafficOnce(window time.Duration) {
+// MonitorTrafficOnce runs one traffic-control cycle over the given
+// window: proxy quota enforcement (§4.2) plus the heat monitor, which
+// doubles a tenant's partitions when sustained per-partition heat
+// exceeds ClusterConfig.HeatSplitThreshold. Production deployments
+// call this on a ticker. It returns the tenants whose partition count
+// was split this cycle (usually none).
+func (c *Cluster) MonitorTrafficOnce(window time.Duration) []string {
 	c.Meta.MonitorProxyTraffic(window)
+	return c.Meta.MonitorPartitionHeat()
 }
 
 // Close shuts down the cluster.
@@ -340,9 +373,19 @@ func (c *Client) Set(key, value []byte, ttl time.Duration) error {
 // Delete removes a key, returning ErrNotFound when it does not exist.
 func (c *Client) Delete(key []byte) error { return c.fleet.Delete(key) }
 
+// FieldValue is one field/value pair of a multi-field hash write.
+type FieldValue = proxy.FieldValue
+
 // HSet sets a hash field, reporting 1 when the field is new.
 func (c *Client) HSet(key []byte, field string, value []byte) (int, error) {
 	return c.fleet.HSet(key, field, value)
+}
+
+// HSetFields sets several hash fields in one proxy admission and one
+// DataNode read-modify-write (the multi-field HSET path), reporting
+// how many fields were new. Duplicate fields apply left to right.
+func (c *Client) HSetFields(key []byte, fields []FieldValue) (int, error) {
+	return c.fleet.HSetMulti(key, fields)
 }
 
 // HGet reads a hash field.
@@ -505,4 +548,24 @@ func (c *Client) DBSize() (int64, error) {
 // Expire sets key's TTL, returning ErrNotFound for absent keys.
 func (c *Client) Expire(key []byte, ttl time.Duration) error {
 	return c.fleet.Expire(key, ttl)
+}
+
+// Persist removes key's TTL, reporting whether an expiry was actually
+// removed (false for keys stored without one); ErrNotFound for absent
+// keys.
+func (c *Client) Persist(key []byte) (bool, error) {
+	return c.fleet.Persist(key)
+}
+
+// HotKey is one tenant-level heavy hitter: a key and its windowed
+// access-count estimate from the data plane's hotspot sketches.
+type HotKey = proxy.HotKey
+
+// HotKeys returns the tenant's k hottest keys (hottest first): every
+// partition primary's heavy-hitter sketch merged with the proxy
+// fleet's own admission sketches, so keys the AU-LRU is absorbing
+// still surface. Counts are decayed window estimates, not lifetime
+// totals; k <= 0 uses 10.
+func (c *Client) HotKeys(k int) ([]HotKey, error) {
+	return c.fleet.HotKeys(k)
 }

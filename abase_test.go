@@ -290,7 +290,139 @@ func TestServeTTLCommands(t *testing.T) {
 	if v, _ := cl.DoStrings("EXPIRE", "ghost", "60"); v.Int != 0 {
 		t.Fatalf("EXPIRE absent = %+v", v)
 	}
-	if v, _ := cl.DoStrings("EXPIRE", "p", "-5"); !v.IsError() {
+	// Redis semantics: a zero/negative expiry deletes the key and
+	// replies 1; a non-integer argument is an error.
+	if v, _ := cl.DoStrings("EXPIRE", "p", "-5"); v.Int != 1 {
 		t.Fatalf("EXPIRE negative = %+v", v)
+	}
+	if v, _ := cl.DoStrings("TTL", "p"); v.Int != -2 {
+		t.Fatalf("TTL after negative EXPIRE = %+v, want -2 (deleted)", v)
+	}
+	if v, _ := cl.DoStrings("EXPIRE", "ghost", "0"); v.Int != 0 {
+		t.Fatalf("EXPIRE 0 on absent key = %+v", v)
+	}
+	if v, _ := cl.DoStrings("EXPIRE", "k", "soon"); !v.IsError() {
+		t.Fatalf("EXPIRE non-integer = %+v", v)
+	}
+}
+
+// TestAutoSplitOnSustainedHeat: sustained skewed load must double the
+// tenant's partitions through MonitorTrafficOnce alone — no manual
+// SplitTenantPartitions — and the data survives the rehash.
+func TestAutoSplitOnSustainedHeat(t *testing.T) {
+	c := newCluster(t, ClusterConfig{
+		Nodes:              3,
+		AdmitCost:          time.Nanosecond,
+		HeatSplitThreshold: 50, // ops/sec, decayed
+		HeatSplitWindows:   2,
+	})
+	tn, err := c.CreateTenant(TenantSpec{
+		Name: "skewed", QuotaRU: 1e9, Partitions: 2,
+		// Cache off so every read registers as data-plane heat.
+		DisableProxyCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tn.Client()
+	hot := []byte("the-hot-key")
+	if err := cl.Set(hot, []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	hammer := func() {
+		for i := 0; i < 3000; i++ {
+			if _, err := cl.Get(hot); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hammer()
+	if split := c.MonitorTrafficOnce(time.Second); len(split) != 0 {
+		t.Fatalf("split on the first hot cycle: %v (want sustained heat)", split)
+	}
+	hammer()
+	split := c.MonitorTrafficOnce(time.Second)
+	if len(split) != 1 || split[0] != "skewed" {
+		t.Fatalf("second cycle split = %v, want [skewed]", split)
+	}
+	if n, _ := c.Meta.NumPartitions("skewed"); n != 4 {
+		t.Fatalf("partitions after auto split = %d, want 4", n)
+	}
+	if v, err := cl.Get(hot); err != nil || string(v) != "v" {
+		t.Fatalf("hot key unreadable after auto split: %q, %v", v, err)
+	}
+}
+
+// TestClientHotKeysAndPersist: the client surface over the new
+// subsystem — HotKeys aggregation and Persist TTL removal.
+func TestClientHotKeysAndPersist(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3, HotSampleRate: 1, AdmitCost: time.Nanosecond})
+	tn, err := c.CreateTenant(TenantSpec{
+		Name: "api", QuotaRU: 1e9, Partitions: 2, DisableProxyCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tn.Client()
+	cl.Set([]byte("feverish"), []byte("v"), 0)
+	for i := 0; i < 150; i++ {
+		if _, err := cl.Get([]byte("feverish")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot, err := cl.HotKeys(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 || string(hot[0].Key) != "feverish" {
+		t.Fatalf("HotKeys = %+v, want feverish first", hot)
+	}
+
+	cl.Set([]byte("m"), []byte("v"), time.Hour)
+	removed, err := cl.Persist([]byte("m"))
+	if err != nil || !removed {
+		t.Fatalf("Persist = %v, %v; want removed", removed, err)
+	}
+	if _, hasTTL, _ := cl.TTL([]byte("m")); hasTTL {
+		t.Fatal("TTL survived Persist")
+	}
+	if removed, err := cl.Persist([]byte("m")); err != nil || removed {
+		t.Fatalf("second Persist = %v, %v; want false", removed, err)
+	}
+	if _, err := cl.Persist([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Persist ghost = %v", err)
+	}
+}
+
+// TestHotKeysSeesCacheAbsorbedKeys: once mitigation caches a hot key,
+// its reads stop reaching the data plane — HOTKEYS must still surface
+// it via the proxy fleet's own admission sketches.
+func TestHotKeysSeesCacheAbsorbedKeys(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3, AdmitCost: time.Nanosecond})
+	tn, err := c.CreateTenant(TenantSpec{
+		Name: "absorb", QuotaRU: 1e9, Partitions: 2, // proxy cache ON
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tn.Client()
+	cl.Set([]byte("absorbed"), []byte("v"), 0)
+	for i := 0; i < 200; i++ { // nearly all of these are AU-LRU hits
+		if _, err := cl.Get([]byte("absorbed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := tn.Fleet().AggregateStats().CacheHits; hits < 150 {
+		t.Fatalf("cache hits = %d, want the workload absorbed", hits)
+	}
+	hot, err := cl.HotKeys(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 || string(hot[0].Key) != "absorbed" {
+		t.Fatalf("HotKeys = %+v, want the cache-absorbed key first", hot)
+	}
+	if hot[0].Count < 100 {
+		t.Fatalf("absorbed count = %v, want the offered load, not the origin trickle", hot[0].Count)
 	}
 }

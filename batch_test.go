@@ -93,8 +93,12 @@ func TestMGetPartialThrottle(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := tn.Client()
-	cl.Set([]byte("hot1"), []byte("a"), 0)
-	cl.Set([]byte("hot2"), []byte("b"), 0)
+	// Two accesses per key cross the hotness-gated admission threshold
+	// (with one proxy per group, a key always lands on the same proxy).
+	for i := 0; i < 2; i++ {
+		cl.Set([]byte("hot1"), []byte("a"), 0)
+		cl.Set([]byte("hot2"), []byte("b"), 0)
+	}
 
 	// Collapse the quota: the proxy limiters clamp their buckets, so
 	// the next uncached read cannot be admitted.

@@ -276,6 +276,36 @@ func BenchmarkScanThroughputTable(b *testing.B) {
 	}
 }
 
+// BenchmarkHotspot runs the hotspot mitigation experiment once per
+// iteration: skewed reads against a scarce proxy cache, hotness-gated
+// admission vs cache-everything. The reported metrics quantify the win
+// under skew — hotkey-speedup is the gated/ungated throughput ratio on
+// the hot-key mix; -v prints the full table.
+func BenchmarkHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, split, t := experiments.HotspotMitigation(experiments.HotspotOpts{Ops: 12000, Keys: 16000})
+		printOnce(b, i, t)
+		if i == 0 {
+			var off, on experiments.HotspotRow
+			for _, r := range rows[2:] { // hot-key mix rows
+				if r.Gated {
+					on = r
+				} else {
+					off = r
+				}
+			}
+			if off.OpsPerSec > 0 {
+				b.ReportMetric(on.OpsPerSec/off.OpsPerSec, "hotkey-speedup")
+			}
+			b.ReportMetric(on.HitRatio*100, "gated-hit%")
+			b.ReportMetric(off.HitRatio*100, "ungated-hit%")
+			if split.Cycles == 0 {
+				b.Fatal("sustained heat never fired the automatic split")
+			}
+		}
+	}
+}
+
 // --- Design-choice ablations ---
 
 func BenchmarkAblationSALRUvsLRU(b *testing.B) {

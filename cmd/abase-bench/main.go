@@ -6,7 +6,8 @@
 //	abase-bench -run table1,fig6,fig9
 //
 // Experiments: table1, fig3 (alias fig4), fig4, fig5, fig6, fig7,
-// fig8a, fig8b, fig9, fig10, table2, util, batch, scan, ablations.
+// fig8a, fig8b, fig9, fig10, table2, util, batch, scan, hotspot,
+// ablations.
 package main
 
 import (
@@ -96,6 +97,10 @@ func main() {
 		_, t := experiments.ScanThroughput(experiments.ScanOpts{})
 		t.Fprint(out)
 	})
+	runExp([]string{"hotspot"}, func() {
+		_, _, t := experiments.HotspotMitigation(experiments.HotspotOpts{})
+		t.Fprint(out)
+	})
 	runExp([]string{"ablations"}, func() {
 		experiments.AblationSALRU(0).Fprint(out)
 		experiments.AblationActiveUpdate().Fprint(out)
@@ -106,7 +111,7 @@ func main() {
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *run)
-		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch scan ablations all")
+		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch scan hotspot ablations all")
 		os.Exit(2)
 	}
 }

@@ -13,6 +13,12 @@ import (
 // and whether the key still exists.
 type Refresher func(key string) ([]byte, bool)
 
+// RefreshGate decides whether a near-expiry entry still deserves an
+// active update. A nil gate refreshes every entry that was accessed at
+// least twice in its TTL window; a hotspot-detector-backed gate
+// reserves origin refresh traffic for the keys that are still hot.
+type RefreshGate func(key string) bool
+
 // AULRU is an active-update LRU: a TTL'd LRU cache that refreshes hot
 // entries shortly before they expire, so hot keys never fall out of
 // cache and stampede the data nodes (§4.4). Safe for concurrent use.
@@ -26,6 +32,7 @@ type AULRU struct {
 	refreshAt time.Duration // remaining-TTL threshold that triggers refresh
 	clk       clock.Clock
 	refresher Refresher
+	gate      RefreshGate
 	// refreshing guards against duplicate concurrent refreshes per key.
 	refreshing map[string]bool
 
@@ -54,6 +61,9 @@ type AUConfig struct {
 	Clock clock.Clock
 	// Refresher fetches fresh values; nil disables active update.
 	Refresher Refresher
+	// RefreshGate restricts active updates to keys it approves; nil
+	// approves every twice-accessed entry.
+	RefreshGate RefreshGate
 }
 
 // NewAULRU returns an active-update LRU.
@@ -78,6 +88,7 @@ func NewAULRU(cfg AUConfig) *AULRU {
 		refreshAt:  cfg.RefreshWindow,
 		clk:        cfg.Clock,
 		refresher:  cfg.Refresher,
+		gate:       cfg.RefreshGate,
 		refreshing: make(map[string]bool),
 	}
 }
@@ -107,7 +118,8 @@ func (c *AULRU) Get(key string) ([]byte, bool) {
 	needRefresh := e.hot &&
 		e.expireAt.Sub(now) <= c.refreshAt &&
 		c.refresher != nil &&
-		!c.refreshing[key]
+		!c.refreshing[key] &&
+		(c.gate == nil || c.gate(key))
 	e.hot = true
 	val := e.value
 	if needRefresh {
@@ -133,6 +145,10 @@ func (c *AULRU) refresh(key string) {
 	}
 	if !ok {
 		c.removeElement(el)
+		return
+	}
+	if int64(len(key)+len(fresh)) > c.capacity {
+		c.removeElement(el) // grew past any possible fit (see Update)
 		return
 	}
 	e := el.Value.(*auEntry)
@@ -163,6 +179,35 @@ func (c *AULRU) Put(key string, value []byte) {
 	for c.used > c.capacity {
 		c.evictOne()
 	}
+}
+
+// Update overwrites key's value with a fresh TTL only if the key is
+// already cached, reporting whether it was. Hotness-gated admission
+// uses it for write-through: an existing entry must stay coherent with
+// the store, but a write alone does not earn a cold key a cache slot.
+func (c *AULRU) Update(key string, value []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	// A value too large to ever fit (Put's guard) must not enter the
+	// evict loop — it would flush the whole cache and then evict
+	// itself. Drop the now-stale entry instead; coherence is kept.
+	if int64(len(key)+len(value)) > c.capacity {
+		c.removeElement(el)
+		return true
+	}
+	e := el.Value.(*auEntry)
+	c.used += int64(len(value)) - int64(len(e.value))
+	e.value = value
+	e.expireAt = c.clk.Now().Add(c.ttl)
+	c.ll.MoveToFront(el)
+	for c.used > c.capacity {
+		c.evictOne()
+	}
+	return true
 }
 
 // Delete removes key if present.

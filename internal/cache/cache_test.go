@@ -365,3 +365,88 @@ func BenchmarkAULRUGet(b *testing.B) {
 		c.Get(fmt.Sprintf("key%05d", i%10000))
 	}
 }
+
+// TestAULRUUpdateOnlyExisting: Update is write-through coherence for
+// entries that already earned a slot — it must never invent one.
+func TestAULRUUpdateOnlyExisting(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := newTestAULRU(sim, nil)
+	if c.Update("ghost", []byte("v")) {
+		t.Fatal("Update created an entry for an uncached key")
+	}
+	if _, ok := c.Get("ghost"); ok {
+		t.Fatal("ghost entry present after rejected Update")
+	}
+	c.Put("k", []byte("v1"))
+	if !c.Update("k", []byte("v2-longer")) {
+		t.Fatal("Update missed an existing entry")
+	}
+	if v, ok := c.Get("k"); !ok || string(v) != "v2-longer" {
+		t.Fatalf("Get after Update = %q %v", v, ok)
+	}
+	// Update renews the TTL: entry written at t=0 (TTL 60s), updated at
+	// t=50s, must still be alive at t=100s.
+	sim.Advance(50 * time.Second)
+	c.Update("k", []byte("v3"))
+	sim.Advance(50 * time.Second)
+	if v, ok := c.Get("k"); !ok || string(v) != "v3" {
+		t.Fatalf("updated entry at t=100s = %q %v, want alive with v3", v, ok)
+	}
+}
+
+// TestAULRURefreshGateReservesActiveUpdate: active updates are origin
+// traffic, so the gate must confine them to keys still flagged hot.
+func TestAULRURefreshGateReservesActiveUpdate(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	refreshed := map[string]int{}
+	stillHot := map[string]bool{"hot": true}
+	c := NewAULRU(AUConfig{
+		Capacity:      1 << 20,
+		TTL:           time.Minute,
+		RefreshWindow: 10 * time.Second,
+		Clock:         sim,
+		Refresher: func(key string) ([]byte, bool) {
+			refreshed[key]++
+			return []byte("fresh"), true
+		},
+		RefreshGate: func(key string) bool { return stillHot[key] },
+	})
+	c.Put("hot", []byte("v"))
+	c.Put("cooled", []byte("v"))
+	c.Get("hot") // twice-accessed: refresh-eligible
+	c.Get("cooled")
+	sim.Advance(55 * time.Second) // inside the refresh window
+	c.Get("hot")
+	c.Get("cooled")
+	if refreshed["hot"] != 1 || refreshed["cooled"] != 0 {
+		t.Fatalf("refreshed = %v, want hot once and cooled never", refreshed)
+	}
+	// Past the original TTL: the gated key was renewed, the cooled one
+	// fell out at expiry instead of consuming origin refresh traffic.
+	sim.Advance(10 * time.Second)
+	if _, ok := c.Get("cooled"); ok {
+		t.Fatal("cooled entry survived expiry")
+	}
+	if v, ok := c.Get("hot"); !ok || string(v) != "fresh" {
+		t.Fatalf("hot entry after renewal = %q %v", v, ok)
+	}
+}
+
+// TestAULRUUpdateOversizedDropsOnlyThatEntry: an update too large to
+// ever fit must not churn the rest of the cache through the evict
+// loop — it drops the (now stale) entry and leaves neighbors alone.
+func TestAULRUUpdateOversizedDropsOnlyThatEntry(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	c := NewAULRU(AUConfig{Capacity: 1 << 10, TTL: time.Minute, Clock: sim})
+	c.Put("other", []byte("safe"))
+	c.Put("k", []byte("small"))
+	if !c.Update("k", make([]byte, 4096)) {
+		t.Fatal("oversized Update on existing key not acknowledged")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("oversized entry retained")
+	}
+	if v, ok := c.Get("other"); !ok || string(v) != "safe" {
+		t.Fatal("oversized Update evicted an unrelated entry")
+	}
+}

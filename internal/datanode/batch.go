@@ -117,6 +117,7 @@ func (n *Node) MultiGet(groups []GetBatch) []BatchResult {
 			out[i].Err = err
 			continue
 		}
+		rep.recordAccessBatch(g.Keys)
 		ts, est := n.tenantState(g.PID.Tenant)
 		vals := make([]BatchValue, len(g.Keys))
 		out[i].Values = vals
@@ -231,6 +232,7 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 			out[i].Err = err
 			continue
 		}
+		rep.recordAccessOps(g.Ops)
 		ts, est := n.tenantState(g.PID.Tenant)
 		vals := make([]BatchValue, len(g.Ops))
 		out[i].Values = vals
@@ -379,6 +381,7 @@ func (n *Node) MultiContains(groups []GetBatch) []BatchResult {
 			out[i].Err = err
 			continue
 		}
+		rep.recordAccessBatch(g.Keys)
 		ts, est := n.tenantState(g.PID.Tenant)
 		vals := make([]BatchValue, len(g.Keys))
 		out[i].Values = vals

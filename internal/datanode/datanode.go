@@ -9,6 +9,7 @@ import (
 
 	"abase/internal/cache"
 	"abase/internal/clock"
+	"abase/internal/hotspot"
 	"abase/internal/lavastore"
 	"abase/internal/metrics"
 	"abase/internal/partition"
@@ -84,6 +85,16 @@ type Config struct {
 	RUCapacity float64
 	// DiskCapacity is the node's disk bytes capacity.
 	DiskCapacity int64
+	// HotTopK is each replica's heavy-hitter summary capacity
+	// (default 16).
+	HotTopK int
+	// HotSampleRate records one in every N key accesses in the
+	// heavy-hitter sketch, keeping the hot path cheap (default 4;
+	// 1 records every access). Partition heat meters always count.
+	HotSampleRate int
+	// HotWindow is the sketch decay half-life and the heat meter time
+	// constant (default 10s).
+	HotWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +121,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdmitCost <= 0 {
 		c.AdmitCost = defaultAdmitCost
+	}
+	if c.HotTopK <= 0 {
+		c.HotTopK = 16
+	}
+	if c.HotSampleRate <= 0 {
+		c.HotSampleRate = 4
+	}
+	if c.HotWindow <= 0 {
+		c.HotWindow = hotspot.DefaultWindow
 	}
 	return c
 }
@@ -140,6 +160,10 @@ type replica struct {
 	limiter *quota.PartitionLimiter
 	quotaRU float64
 	primary bool
+	// hot tracks the replica's heavy-hitter keys (sampled); heat is the
+	// exact decayed access rate that drives splits and rescheduling.
+	hot  *hotspot.Detector
+	heat *hotspot.Meter
 }
 
 // tenantStats aggregates per-tenant observability on this node.
@@ -232,6 +256,13 @@ func (n *Node) AddReplica(rid partition.ReplicaID, quotaRU float64, primary bool
 		limiter: quota.NewPartitionLimiter(quotaRU, n.cfg.Clock),
 		quotaRU: quotaRU,
 		primary: primary,
+		hot: hotspot.NewDetector(hotspot.Config{
+			TopK:       n.cfg.HotTopK,
+			SampleRate: n.cfg.HotSampleRate,
+			Window:     n.cfg.HotWindow,
+			Clock:      n.cfg.Clock,
+		}),
+		heat: hotspot.NewMeter(n.cfg.HotWindow, n.cfg.Clock),
 	}
 	return nil
 }
@@ -322,6 +353,31 @@ func (n *Node) quotaShare(rep *replica) float64 {
 		return 1
 	}
 	return rep.quotaRU / sum
+}
+
+// recordAccess feeds one key access into the replica's heavy-hitter
+// sketch (sampled) and heat meter (exact). Called at request arrival,
+// before admission, so heat reflects offered load.
+func (r *replica) recordAccess(key []byte) {
+	r.heat.Add(1)
+	r.hot.Touch(key)
+}
+
+// recordAccessBatch is recordAccess for a sub-batch: one meter update
+// for the batch, one sampled sketch touch per key.
+func (r *replica) recordAccessBatch(keys [][]byte) {
+	r.heat.Add(float64(len(keys)))
+	for _, k := range keys {
+		r.hot.Touch(k)
+	}
+}
+
+// recordAccessOps is recordAccessBatch for a write sub-batch.
+func (r *replica) recordAccessOps(ops []WriteOp) {
+	r.heat.Add(float64(len(ops)))
+	for _, op := range ops {
+		r.hot.Touch(op.Key)
+	}
 }
 
 // cacheKeyPrefix is the partition half of a cache key; batch paths

@@ -408,3 +408,131 @@ func BenchmarkNodePut(b *testing.B) {
 		n.Put(p, []byte(fmt.Sprintf("k%09d", i)), val, 0)
 	}
 }
+
+// TestHotKeysAndPartitionHeat: every op path feeds the replica's
+// heavy-hitter sketch and heat meter, and HotKeys/PartitionHeat expose
+// them for the HOTKEYS command and the control plane.
+func TestHotKeysAndPartitionHeat(t *testing.T) {
+	n := newTestNode(t, Config{AdmitCost: time.Nanosecond, HotSampleRate: 1})
+	if err := n.AddReplica(rid("t1", 0, 0), 1e9, true); err != nil {
+		t.Fatal(err)
+	}
+	p := pid("t1", 0)
+	if _, err := n.Put(p, []byte("hot"), []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := n.Get(p, []byte("hot")); err != nil {
+			t.Fatal(err)
+		}
+		if i%30 == 0 {
+			n.Get(p, []byte(fmt.Sprintf("cold-%d", i))) // misses still count as offered load
+		}
+	}
+	top, err := n.HotKeys(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 || top[0].Key != "hot" {
+		t.Fatalf("HotKeys = %+v, want hot first", top)
+	}
+	if top[0].Count < 250 {
+		t.Fatalf("hot count = %v, want ≈301 (unsampled sketch)", top[0].Count)
+	}
+	if heat := n.PartitionHeat(p); heat < 25 {
+		t.Fatalf("PartitionHeat = %v ops/s, want the hammered rate", heat)
+	}
+	if heat := n.PartitionHeat(pid("t1", 9)); heat != 0 {
+		t.Fatalf("unknown replica heat = %v, want 0", heat)
+	}
+	all := n.PartitionHeats()
+	if len(all) != 1 || all[p] == 0 {
+		t.Fatalf("PartitionHeats = %v", all)
+	}
+	n.ResetHeat(p)
+	if heat := n.PartitionHeat(p); heat != 0 {
+		t.Fatalf("heat after ResetHeat = %v", heat)
+	}
+	if top, _ := n.HotKeys(p, 0); len(top) != 0 {
+		t.Fatalf("sketch after ResetHeat = %+v", top)
+	}
+	if _, err := n.HotKeys(pid("t1", 9), 3); err == nil {
+		t.Fatal("HotKeys on unknown replica succeeded")
+	}
+}
+
+// TestBatchPathsFeedHeat: the batched read path records every key of a
+// sub-batch in the sketch with one meter update.
+func TestBatchPathsFeedHeat(t *testing.T) {
+	n := newTestNode(t, Config{AdmitCost: time.Nanosecond, HotSampleRate: 1})
+	if err := n.AddReplica(rid("t1", 0, 0), 1e9, true); err != nil {
+		t.Fatal(err)
+	}
+	p := pid("t1", 0)
+	keys := make([][]byte, 8)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bk-%d", i))
+		if _, err := n.Put(p, keys[i], []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		for _, res := range n.MultiGet([]GetBatch{{PID: p, Keys: keys}}) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+	top, err := n.HotKeys(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, hk := range top {
+		seen[hk.Key] = true
+	}
+	for _, k := range keys {
+		if !seen[string(k)] {
+			t.Fatalf("batched key %q missing from sketch (top = %+v)", k, top)
+		}
+	}
+	if heat := n.PartitionHeat(p); heat < 8*40/20 {
+		t.Fatalf("PartitionHeat = %v, want the batched offered load", heat)
+	}
+}
+
+// TestHSetMultiSemantics: one read-modify-write applies all pairs in
+// order; duplicates are last-wins and count once when new.
+func TestHSetMultiSemantics(t *testing.T) {
+	n := newTestNode(t, Config{AdmitCost: time.Nanosecond})
+	if err := n.AddReplica(rid("t1", 0, 0), 1e9, true); err != nil {
+		t.Fatal(err)
+	}
+	p := pid("t1", 0)
+	key := []byte("h")
+	added, err := n.HSetMulti(p, key, []FieldValue{
+		{Field: "f1", Value: []byte("a")},
+		{Field: "f1", Value: []byte("b")}, // duplicate: last wins, counted once
+		{Field: "f2", Value: []byte("c")},
+	})
+	if err != nil || added != 2 {
+		t.Fatalf("HSetMulti = %d, %v; want 2 new fields", added, err)
+	}
+	if v, err := n.HGet(p, key, "f1"); err != nil || string(v) != "b" {
+		t.Fatalf("f1 = %q, %v; want last-wins b", v, err)
+	}
+	// Overwriting existing fields adds nothing; a fresh one counts.
+	added, err = n.HSetMulti(p, key, []FieldValue{
+		{Field: "f2", Value: []byte("c2")},
+		{Field: "f3", Value: []byte("d")},
+	})
+	if err != nil || added != 1 {
+		t.Fatalf("second HSetMulti = %d, %v; want 1", added, err)
+	}
+	if added, err := n.HSetMulti(p, key, nil); err != nil || added != 0 {
+		t.Fatalf("empty HSetMulti = %d, %v", added, err)
+	}
+	if cnt, err := n.HLen(p, key); err != nil || cnt != 3 {
+		t.Fatalf("HLen = %d, %v", cnt, err)
+	}
+}

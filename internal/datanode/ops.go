@@ -31,6 +31,10 @@ func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
 	if err != nil {
 		return OpResult{}, err
 	}
+	// Heat is recorded at arrival (before admission) so the control
+	// plane sees offered load: a partition throttling its burst away is
+	// exactly the one that needs a split.
+	rep.recordAccess(key)
 	ts, est := n.tenantState(pid.Tenant)
 	estimate := est.EstimateReadRU()
 
@@ -159,6 +163,7 @@ func (n *Node) write(pid partition.ID, key, value []byte, ttl time.Duration, del
 	if err != nil {
 		return OpResult{}, err
 	}
+	rep.recordAccess(key)
 	ts, _ := n.tenantState(pid.Tenant)
 	cost := ru.WriteRU(len(value), n.cfg.Replicas)
 
@@ -329,9 +334,27 @@ func decodeHash(data []byte) (map[string][]byte, error) {
 	return m, nil
 }
 
+// FieldValue is one field/value pair of a multi-field hash write.
+type FieldValue struct {
+	Field string
+	Value []byte
+}
+
 // HSet sets field=value in the hash at key, returning 1 if the field is
 // new and 0 if it overwrote.
 func (n *Node) HSet(pid partition.ID, key []byte, field string, value []byte) (int, error) {
+	return n.HSetMulti(pid, key, []FieldValue{{Field: field, Value: value}})
+}
+
+// HSetMulti sets every field/value pair in the hash at key as ONE
+// read-modify-write — one Get and one Put regardless of how many
+// fields the command carries — returning how many fields were new.
+// Duplicate fields apply left to right (the last value wins, counted
+// once if the field was new).
+func (n *Node) HSetMulti(pid partition.ID, key []byte, fvs []FieldValue) (int, error) {
+	if len(fvs) == 0 {
+		return 0, nil
+	}
 	res, err := n.Get(pid, key)
 	m := map[string][]byte{}
 	switch {
@@ -343,15 +366,17 @@ func (n *Node) HSet(pid partition.ID, key []byte, field string, value []byte) (i
 	default:
 		return 0, err
 	}
-	_, existed := m[field]
-	m[field] = value
+	added := 0
+	for _, fv := range fvs {
+		if _, existed := m[fv.Field]; !existed {
+			added++
+		}
+		m[fv.Field] = fv.Value
+	}
 	if _, err := n.Put(pid, key, encodeHash(m), 0); err != nil {
 		return 0, err
 	}
-	if existed {
-		return 0, nil
-	}
-	return 1, nil
+	return added, nil
 }
 
 // HGet returns the value of field in the hash at key.
@@ -470,4 +495,24 @@ func (n *Node) Expire(pid partition.ID, key []byte, ttl time.Duration) error {
 	}
 	_, err = n.Put(pid, key, res.Value, ttl)
 	return err
+}
+
+// Persist removes key's TTL, reporting whether an expiry was actually
+// removed. A key without a TTL is left untouched (no write, no
+// replication); an absent key returns ErrNotFound. Like Expire and
+// HSet this is a read-modify-write of two node ops, so a racing write
+// between them can be overwritten; Get's ExpireAt supplies the expiry
+// check without a separate TTL read.
+func (n *Node) Persist(pid partition.ID, key []byte) (bool, error) {
+	res, err := n.Get(pid, key)
+	if err != nil {
+		return false, err
+	}
+	if res.ExpireAt == 0 {
+		return false, nil // exists but already persistent
+	}
+	if _, err := n.Put(pid, key, res.Value, 0); err != nil {
+		return false, err
+	}
+	return true, nil
 }

@@ -54,6 +54,10 @@ func (n *Node) RangeScan(pid partition.ID, opts ScanOptions) (ScanResult, error)
 	if opts.Limit <= 0 {
 		opts.Limit = lavastore.DefaultScanLimit
 	}
+	// Scans heat the partition (IO-equivalent units per page) but mark
+	// no individual key hot: a range traversal says nothing about
+	// per-key popularity.
+	rep.heat.Add(1 + float64(opts.Limit)/scanEntriesPerIO)
 	ts, est := n.tenantState(pid.Tenant)
 	estimate := est.EstimateScanRU(opts.Limit)
 

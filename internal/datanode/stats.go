@@ -3,6 +3,7 @@ package datanode
 import (
 	"time"
 
+	"abase/internal/hotspot"
 	"abase/internal/metrics"
 	"abase/internal/partition"
 	"abase/internal/wfq"
@@ -67,6 +68,54 @@ func (n *Node) ResetTenantStats(tenant string) {
 	ts.cacheMiss.Reset()
 	ts.ruUsed.Set(0)
 	ts.latency.Reset()
+}
+
+// HotKeys returns up to k heavy hitters of a hosted replica, hottest
+// first, with windowed (decayed) access-count estimates. k <= 0 returns
+// the whole summary. The summary is sampled (Config.HotSampleRate), so
+// counts are estimates; recall on genuinely hot keys is what the
+// detector guarantees.
+func (n *Node) HotKeys(pid partition.ID, k int) ([]hotspot.HotKey, error) {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return nil, err
+	}
+	top := rep.hot.TopK()
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	return top, nil
+}
+
+// PartitionHeat returns a hosted replica's decayed access rate in
+// ops/sec — the per-partition heat signal the MetaServer aggregates
+// for split and rescheduling decisions. Unknown replicas report 0.
+func (n *Node) PartitionHeat(pid partition.ID) float64 {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return 0
+	}
+	return rep.heat.Rate()
+}
+
+// PartitionHeats returns the heat of every hosted replica.
+func (n *Node) PartitionHeats() map[partition.ID]float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[partition.ID]float64, len(n.replicas))
+	for pid, rep := range n.replicas {
+		out[pid] = rep.heat.Rate()
+	}
+	return out
+}
+
+// ResetHeat zeroes a hosted replica's heat meter and heavy-hitter
+// sketch (experiment windows).
+func (n *Node) ResetHeat(pid partition.ID) {
+	if rep, err := n.getReplica(pid); err == nil {
+		rep.heat.Reset()
+		rep.hot.Reset()
+	}
 }
 
 // NodeSnapshot summarizes node-level load for the control plane.

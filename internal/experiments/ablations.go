@@ -91,6 +91,10 @@ func AblationFanout(ops int) Table {
 			EnableQuota: false,
 			CacheBytes:  32 << 10,
 			CacheTTL:    time.Hour,
+			// Legacy cache-everything policy: this ablation isolates
+			// routing fan-out, and its shape targets were calibrated
+			// before hotness-gated admission existed.
+			HotAdmitThreshold: -1,
 		}, proxies, groups, int64(groups))
 		if err != nil {
 			closeAll()

@@ -129,6 +129,10 @@ func Table2(opts Table2Opts) ([]Table2Row, Table) {
 				EnableQuota: false,
 				CacheBytes:  64 << 10, // per-proxy memory is scarce (paper: <10GB)
 				CacheTTL:    time.Hour,
+				// Legacy cache-everything policy: Table 2 reproduces the
+				// paper's grouping benefit at fixed admission behavior;
+				// HotspotMitigation measures the gated policy.
+				HotAdmitThreshold: -1,
 			}, proxies, groups, int64(i))
 			if err != nil {
 				panic(err)

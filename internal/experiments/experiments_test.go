@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -287,5 +288,48 @@ func TestAblationVFTShape(t *testing.T) {
 	tbl := AblationVFT()
 	if len(tbl.Rows) != 2 {
 		t.Fatal("rows wrong")
+	}
+}
+
+// TestExperimentsHotspotMitigation is the CI smoke for the hotspot
+// harness (`go test -run TestExperiments`): with a scarce proxy cache
+// under skew, hotness-gated admission must beat cache-everything on
+// hit ratio and origin RU, detection must find the true hot set, and
+// sustained heat must fire the automatic doubling split.
+func TestExperimentsHotspotMitigation(t *testing.T) {
+	rows, split, tbl := HotspotMitigation(HotspotOpts{Ops: 12000, Keys: 16000})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byKey := map[string]HotspotRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%v", r.Workload, r.Gated)] = r
+		if r.Recall10 < 0.5 {
+			t.Errorf("%s %s: top-10 recall = %.2f, want >= 0.5", r.Workload, r.Policy, r.Recall10)
+		}
+	}
+	for _, w := range []string{rows[0].Workload, rows[2].Workload} {
+		off, on := byKey[w+"/false"], byKey[w+"/true"]
+		if on.HitRatio <= off.HitRatio {
+			t.Errorf("%s: gated hit %.3f <= ungated %.3f", w, on.HitRatio, off.HitRatio)
+		}
+		if on.NodeRU >= off.NodeRU {
+			t.Errorf("%s: gated node RU %.0f >= ungated %.0f", w, on.NodeRU, off.NodeRU)
+		}
+	}
+	// The hot-key mix is the paper's hot-key event: the gap must be
+	// material, not marginal.
+	off, on := byKey[rows[2].Workload+"/false"], byKey[rows[2].Workload+"/true"]
+	if on.HitRatio < off.HitRatio+0.05 {
+		t.Errorf("hot-key mix: gated hit %.3f not materially above ungated %.3f", on.HitRatio, off.HitRatio)
+	}
+	if split.Cycles < 2 {
+		t.Errorf("auto split fired on cycle %d, want >= 2 (sustained, not instant)", split.Cycles)
+	}
+	if split.PartitionsAfter != 2*split.PartitionsBefore {
+		t.Errorf("partitions %d -> %d, want doubled", split.PartitionsBefore, split.PartitionsAfter)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
 	}
 }

@@ -1,0 +1,405 @@
+package hotspot
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abase/internal/clock"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultTopK is the Space-Saving summary capacity.
+	DefaultTopK = 16
+	// DefaultWidth is the count-min width (cells per row).
+	DefaultWidth = 512
+	// DefaultDepth is the count-min depth (rows).
+	DefaultDepth = 3
+	// DefaultWindow is the decay half-life: counts halve once per
+	// elapsed window, so the sketch tracks the recent window rather
+	// than all of history.
+	DefaultWindow = 10 * time.Second
+	// DefaultSampleRate records every access (no sampling).
+	DefaultSampleRate = 1
+)
+
+// Config configures a Detector.
+type Config struct {
+	// TopK is the Space-Saving summary capacity (DefaultTopK if zero).
+	TopK int
+	// Width is the count-min row width (DefaultWidth if zero).
+	Width int
+	// Depth is the count-min row count (DefaultDepth if zero).
+	Depth int
+	// Window is the decay half-life (DefaultWindow if zero).
+	Window time.Duration
+	// SampleRate records one in every SampleRate touches, each with
+	// weight SampleRate so estimates stay unbiased. 1 (the default)
+	// records every touch; higher rates keep the hot path cheaper at
+	// the cost of resolution on cold keys.
+	SampleRate int
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+}
+
+// HotKey is one entry of a top-k summary.
+type HotKey struct {
+	Key   string
+	Count float64
+	// Err bounds the overestimate Count inherited from Space-Saving
+	// evictions: the key's true windowed count is within [Count-Err,
+	// Count]. Zero for keys that entered an unsaturated summary.
+	Err float64
+}
+
+// ssEntry is one Space-Saving counter.
+type ssEntry struct {
+	count float64
+	// err bounds the overestimate inherited from the evicted minimum.
+	err float64
+}
+
+// Detector is a windowed heavy-hitter detector: a decayed count-min
+// sketch estimates any key's recent access count, and a Space-Saving
+// summary tracks the top-k keys by that count. Counts halve every
+// Window, so sustained heat dominates stale bursts. Safe for
+// concurrent use; Touch is a single short critical section (sampled
+// touches that are not recorded never take the lock).
+type Detector struct {
+	topK   int
+	width  int
+	depth  int
+	window time.Duration
+	rate   uint64
+	clk    clock.Clock
+
+	ctr atomic.Uint64 // sampling counter, lock-free
+
+	mu        sync.Mutex
+	rows      [][]float64
+	ss        map[string]*ssEntry
+	lastDecay time.Time
+	total     float64 // decayed total recorded weight
+}
+
+// NewDetector returns a detector with cfg's parameters (zero fields
+// take the package defaults).
+func NewDetector(cfg Config) *Detector {
+	if cfg.TopK <= 0 {
+		cfg.TopK = DefaultTopK
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = DefaultWidth
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultDepth
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	d := &Detector{
+		topK:   cfg.TopK,
+		width:  cfg.Width,
+		depth:  cfg.Depth,
+		window: cfg.Window,
+		rate:   uint64(cfg.SampleRate),
+		clk:    cfg.Clock,
+		rows:   make([][]float64, cfg.Depth),
+		ss:     make(map[string]*ssEntry, cfg.TopK),
+	}
+	for i := range d.rows {
+		d.rows[i] = make([]float64, cfg.Width)
+	}
+	d.lastDecay = cfg.Clock.Now()
+	return d
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined so Touch allocates nothing.
+func fnv1a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// cells derives the per-row cell indexes via Kirsch-Mitzenmacher
+// double hashing: index_i = h1 + i·h2 (mod width).
+func (d *Detector) cell(h1, h2 uint64, row int) int {
+	return int((h1 + uint64(row)*h2) % uint64(d.width))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// decorrelates the sampling decision from the touch sequence number.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Touch records one access to key (subject to sampling) and returns
+// the key's post-touch windowed count estimate, or -1 when sampling
+// skipped the access — skipped touches never take the lock. The
+// sampling decision mixes the sequence counter through SplitMix64, so
+// periodic access patterns (fixed-size batches with a stable key
+// order) cannot alias with the sampling stride and systematically
+// over- or under-count positions.
+func (d *Detector) Touch(key []byte) float64 {
+	if d.rate > 1 && splitmix64(d.ctr.Add(1))%d.rate != 0 {
+		return -1
+	}
+	return d.TouchN(key, float64(d.rate))
+}
+
+// TouchDebiased is Touch returning the collision-corrected
+// (count-mean-min) estimate instead of the raw minimum: the expected
+// collision mass total/width is subtracted from each cell before the
+// min, so the admission threshold keeps meaning "accesses in the
+// window" even when traffic volume saturates the sketch. -1 when
+// sampling skipped the access.
+func (d *Detector) TouchDebiased(key []byte) float64 {
+	if d.rate > 1 && splitmix64(d.ctr.Add(1))%d.rate != 0 {
+		return -1
+	}
+	return d.touchN(key, float64(d.rate), true)
+}
+
+// TouchN records an access with explicit weight w (bypassing the
+// sampler) and returns the key's post-touch estimate.
+func (d *Detector) TouchN(key []byte, w float64) float64 {
+	return d.touchN(key, w, false)
+}
+
+func (d *Detector) touchN(key []byte, w float64, debias bool) float64 {
+	h1 := fnv1a(key)
+	h2 := h1>>29 | h1<<35 // odd-ish second hash; any mix works for K-M
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeDecayLocked()
+	est := math.Inf(1)
+	for i := range d.rows {
+		c := &d.rows[i][d.cell(h1, h2, i)]
+		*c += w
+		if *c < est {
+			est = *c
+		}
+	}
+	d.total += w
+	ret := est
+	if debias {
+		ret = est - d.total/float64(d.width)
+		if ret < 0 {
+			ret = 0
+		}
+	}
+	// Space-Saving update keyed on the same weight.
+	if e, ok := d.ss[string(key)]; ok {
+		e.count += w
+	} else if len(d.ss) < d.topK {
+		d.ss[string(key)] = &ssEntry{count: w}
+	} else {
+		// Evict the minimum counter and inherit its count as error.
+		var minKey string
+		minCount := math.Inf(1)
+		for k, e := range d.ss {
+			if e.count < minCount {
+				minKey, minCount = k, e.count
+			}
+		}
+		if minCount < est { // est already includes this touch
+			delete(d.ss, minKey)
+			d.ss[string(key)] = &ssEntry{count: minCount + w, err: minCount}
+		}
+	}
+	return ret
+}
+
+// Estimate returns the key's windowed access-count estimate (the
+// count-min minimum over rows, decayed to now). It never
+// underestimates a key recorded in the window; collisions can
+// overestimate by at most the window total / width.
+func (d *Detector) Estimate(key []byte) float64 {
+	return d.estimate(key, false)
+}
+
+// EstimateDebiased returns the collision-corrected (count-mean-min)
+// estimate: the expected collision mass total/width is subtracted
+// before the min, clamped at zero. Slightly noisy around zero for cold
+// keys but volume-independent, which is what admission gates need.
+func (d *Detector) EstimateDebiased(key []byte) float64 {
+	return d.estimate(key, true)
+}
+
+func (d *Detector) estimate(key []byte, debias bool) float64 {
+	h1 := fnv1a(key)
+	h2 := h1>>29 | h1<<35
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeDecayLocked()
+	est := math.Inf(1)
+	for i := range d.rows {
+		if c := d.rows[i][d.cell(h1, h2, i)]; c < est {
+			est = c
+		}
+	}
+	if debias {
+		est -= d.total / float64(d.width)
+		if est < 0 {
+			est = 0
+		}
+	}
+	return est
+}
+
+// TopK returns the current heavy hitters, hottest first. Counts are
+// windowed (decayed) estimates; each entry's true count is within its
+// Space-Saving error of the reported value.
+func (d *Detector) TopK() []HotKey {
+	d.mu.Lock()
+	d.maybeDecayLocked()
+	out := make([]HotKey, 0, len(d.ss))
+	for k, e := range d.ss {
+		out = append(out, HotKey{Key: k, Count: e.count, Err: e.err})
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Total returns the decayed total weight recorded in the window.
+func (d *Detector) Total() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maybeDecayLocked()
+	return d.total
+}
+
+// Reset clears all counts (experiment windows).
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.rows {
+		for j := range d.rows[i] {
+			d.rows[i][j] = 0
+		}
+	}
+	d.ss = make(map[string]*ssEntry, d.topK)
+	d.total = 0
+	d.lastDecay = d.clk.Now()
+}
+
+// maybeDecayLocked halves every count once per elapsed window. Decay is
+// lazy — applied on the next touch or query — so idle detectors cost
+// nothing.
+func (d *Detector) maybeDecayLocked() {
+	now := d.clk.Now()
+	elapsed := now.Sub(d.lastDecay)
+	if elapsed < d.window {
+		return
+	}
+	halvings := int(elapsed / d.window)
+	d.lastDecay = d.lastDecay.Add(time.Duration(halvings) * d.window)
+	if halvings > 60 { // factor below 1e-18: everything is zero
+		halvings = 60
+	}
+	factor := math.Pow(0.5, float64(halvings))
+	for i := range d.rows {
+		row := d.rows[i]
+		for j := range row {
+			row[j] *= factor
+		}
+	}
+	d.total *= factor
+	for k, e := range d.ss {
+		e.count *= factor
+		e.err *= factor
+		// Drop entries decayed to noise so new heavy hitters can enter
+		// without paying the eviction error of a stale count.
+		if e.count < 0.5 {
+			delete(d.ss, k)
+		}
+	}
+}
+
+// Meter is an exponentially decayed rate counter: Add accumulates
+// events and Rate reports the recent per-second rate with time
+// constant Tau. It is the per-partition heat signal. Safe for
+// concurrent use.
+type Meter struct {
+	mu    sync.Mutex
+	tau   float64 // seconds
+	clk   clock.Clock
+	value float64
+	last  time.Time
+}
+
+// DefaultTau is the Meter decay time constant.
+const DefaultTau = 10 * time.Second
+
+// NewMeter returns a meter with decay time constant tau (DefaultTau if
+// non-positive) on clk (real clock if nil).
+func NewMeter(tau time.Duration, clk clock.Clock) *Meter {
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Meter{tau: tau.Seconds(), clk: clk, last: clk.Now()}
+}
+
+func (m *Meter) decayLocked(now time.Time) {
+	dt := now.Sub(m.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	m.value *= math.Exp(-dt / m.tau)
+	m.last = now
+}
+
+// Add records n events now.
+func (m *Meter) Add(n float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decayLocked(m.clk.Now())
+	m.value += n
+}
+
+// Rate returns the decayed events-per-second rate: under a steady
+// input of r events/s the meter converges to r.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decayLocked(m.clk.Now())
+	return m.value / m.tau
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.value = 0
+	m.last = m.clk.Now()
+}

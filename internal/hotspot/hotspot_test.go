@@ -1,0 +1,186 @@
+package hotspot
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"abase/internal/clock"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+
+// TestTopKRecallAdversarial drives the detector with hot keys whose
+// repetitions are interleaved with a flood of cold singletons — the
+// adversarial shape for Space-Saving, which must not let the cold
+// stream churn the heavy hitters out of the summary. Recall is checked
+// against exact counts.
+func TestTopKRecallAdversarial(t *testing.T) {
+	const hot = 8
+	d := NewDetector(Config{TopK: hot * 2, Window: time.Hour})
+	exact := map[string]float64{}
+	rng := rand.New(rand.NewSource(7))
+	cold := 0
+	for round := 0; round < 400; round++ {
+		// Each round: every hot key a few times, then a burst of
+		// never-repeating cold keys between them.
+		for h := 0; h < hot; h++ {
+			reps := 2 + h%3
+			for r := 0; r < reps; r++ {
+				k := key(h)
+				d.Touch(k)
+				exact[string(k)]++
+				// Adversarial interleaving: cold keys separate every
+				// hot repetition.
+				for c := 0; c < 1+rng.Intn(3); c++ {
+					cold++
+					ck := []byte(fmt.Sprintf("cold-%09d", cold))
+					d.Touch(ck)
+					exact[string(ck)]++
+				}
+			}
+		}
+	}
+	top := d.TopK()
+	inTop := map[string]bool{}
+	for _, hk := range top {
+		inTop[hk.Key] = true
+	}
+	for h := 0; h < hot; h++ {
+		if !inTop[string(key(h))] {
+			t.Fatalf("hot key %s missing from top-k: %v", key(h), top)
+		}
+	}
+	// Reported counts track exact counts: the estimate never falls
+	// below truth and overshoots by at most the cold-collision mass.
+	for _, hk := range top {
+		want := exact[hk.Key]
+		if want < 100 {
+			continue // a cold key that slipped in; precision not asserted
+		}
+		if hk.Count < want {
+			t.Fatalf("%s: top-k count %.0f underestimates exact %.0f", hk.Key, hk.Count, want)
+		}
+		if hk.Count > want*1.5 {
+			t.Fatalf("%s: top-k count %.0f overshoots exact %.0f", hk.Key, hk.Count, want)
+		}
+	}
+	// Count-min point estimates never underestimate.
+	for h := 0; h < hot; h++ {
+		k := key(h)
+		if est := d.Estimate(k); est < exact[string(k)] {
+			t.Fatalf("estimate %.0f < exact %.0f for %s", est, exact[string(k)], k)
+		}
+	}
+}
+
+// TestEstimateColdKeysStayCold checks that keys touched once keep small
+// estimates (bounded collision noise) while hot keys dominate.
+func TestEstimateColdKeysStayCold(t *testing.T) {
+	d := NewDetector(Config{Width: 1024, Depth: 4, Window: time.Hour})
+	hotKey := []byte("the-hot-key")
+	for i := 0; i < 5000; i++ {
+		d.Touch(hotKey)
+		d.Touch(key(i)) // each cold key exactly once
+	}
+	if est := d.Estimate(hotKey); est < 5000 {
+		t.Fatalf("hot estimate %.0f < 5000", est)
+	}
+	overs := 0
+	for i := 0; i < 1000; i++ {
+		if d.Estimate(key(i)) > 100 {
+			overs++
+		}
+	}
+	// A few CMS collisions with the hot counter are expected; most
+	// cold keys must report near-singleton counts.
+	if overs > 50 {
+		t.Fatalf("%d/1000 cold keys grossly overestimated", overs)
+	}
+}
+
+// TestWindowDecay verifies counts halve per elapsed window so stale
+// bursts stop looking hot.
+func TestWindowDecay(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+	d := NewDetector(Config{Window: time.Second, Clock: clk})
+	k := []byte("burst")
+	for i := 0; i < 1024; i++ {
+		d.Touch(k)
+	}
+	if est := d.Estimate(k); est != 1024 {
+		t.Fatalf("pre-decay estimate %.0f", est)
+	}
+	clk.Advance(2 * time.Second) // two halvings
+	if est := d.Estimate(k); est != 256 {
+		t.Fatalf("post-decay estimate %.0f, want 256", est)
+	}
+	clk.Advance(time.Minute)
+	if est := d.Estimate(k); est > 0.001 {
+		t.Fatalf("stale burst still hot: %.4f", est)
+	}
+	if top := d.TopK(); len(top) != 0 {
+		t.Fatalf("stale burst still in top-k: %v", top)
+	}
+}
+
+// TestSampledTouchUnbiased checks that sampling scales the recorded
+// weight so estimates stay unbiased for keys well above the sample
+// period.
+func TestSampledTouchUnbiased(t *testing.T) {
+	d := NewDetector(Config{SampleRate: 8, Window: time.Hour})
+	k := []byte("sampled-hot")
+	for i := 0; i < 8000; i++ {
+		d.Touch(k)
+	}
+	est := d.Estimate(k)
+	if est < 7000 || est > 9000 {
+		t.Fatalf("sampled estimate %.0f, want ≈8000", est)
+	}
+}
+
+// TestDetectorConcurrent hammers Touch/Estimate/TopK from many
+// goroutines (meaningful under -race).
+func TestDetectorConcurrent(t *testing.T) {
+	d := NewDetector(Config{SampleRate: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				d.Touch(key(i % 50))
+				if i%100 == 0 {
+					d.Estimate(key(g))
+					d.TopK()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Total() <= 0 {
+		t.Fatal("no weight recorded")
+	}
+}
+
+// TestMeterRate verifies the EWMA meter converges to the offered rate
+// and decays when traffic stops.
+func TestMeterRate(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+	m := NewMeter(10*time.Second, clk)
+	// 100 events/s for 60s (several time constants).
+	for i := 0; i < 600; i++ {
+		m.Add(10)
+		clk.Advance(100 * time.Millisecond)
+	}
+	r := m.Rate()
+	if r < 80 || r > 120 {
+		t.Fatalf("steady rate %.1f, want ≈100", r)
+	}
+	clk.Advance(100 * time.Second) // 10 time constants idle
+	if r := m.Rate(); r > 1 {
+		t.Fatalf("idle rate %.2f did not decay", r)
+	}
+}

@@ -1,0 +1,184 @@
+package metaserver
+
+import (
+	"fmt"
+	"sort"
+
+	"abase/internal/datanode"
+	"abase/internal/partition"
+	"abase/internal/rescheduler"
+)
+
+// This file is the control plane's view of data-plane heat: the
+// MetaServer aggregates every partition's decayed access rate from the
+// DataNode heat meters, feeds it into the rescheduler's placement
+// model (heat-aware scoring), and doubles a tenant's partition count
+// when its heat stays above threshold for several monitoring cycles.
+
+// PartitionHeat is one partition's aggregated heat sample.
+type PartitionHeat struct {
+	Index int
+	// Heat is the primary replica's decayed access rate in ops/sec
+	// (followers serve no client traffic, so the primary's meter is
+	// the partition's heat).
+	Heat float64
+}
+
+// PartitionHeats returns the tenant's per-partition heat, indexed by
+// partition. Unreachable primaries report zero heat rather than
+// failing the sample: traffic control must keep running through node
+// churn.
+func (m *Meta) PartitionHeats(tenant string) ([]PartitionHeat, error) {
+	m.mu.RLock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		m.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, tenant)
+	}
+	type probe struct {
+		pid     partition.ID
+		primary *datanode.Node
+	}
+	probes := make([]probe, len(t.Table.Partitions))
+	for i, route := range t.Table.Partitions {
+		probes[i] = probe{pid: route.Partition, primary: m.nodes[route.Primary]}
+	}
+	m.mu.RUnlock()
+
+	out := make([]PartitionHeat, len(probes))
+	for i, p := range probes {
+		out[i] = PartitionHeat{Index: p.pid.Index}
+		if p.primary != nil {
+			out[i].Heat = p.primary.PartitionHeat(p.pid)
+		}
+	}
+	return out, nil
+}
+
+// HottestPartition returns the tenant's maximum per-partition heat.
+func (m *Meta) HottestPartition(tenant string) (PartitionHeat, error) {
+	heats, err := m.PartitionHeats(tenant)
+	if err != nil {
+		return PartitionHeat{}, err
+	}
+	var max PartitionHeat
+	for _, h := range heats {
+		if h.Heat > max.Heat {
+			max = h
+		}
+	}
+	return max, nil
+}
+
+// MonitorPartitionHeat runs one heat-control cycle: for every tenant
+// it samples the hottest partition; a tenant whose hottest partition
+// stays above HeatSplitThreshold for HeatSplitWindows consecutive
+// cycles has its partition count doubled (SplitTenantPartitions), up
+// to HeatSplitMaxPartitions. It returns the tenants split this cycle.
+// A zero threshold disables splitting, leaving this a no-op.
+func (m *Meta) MonitorPartitionHeat() []string {
+	if m.heatCfg.threshold <= 0 {
+		return nil
+	}
+	var split []string
+	for _, tenant := range m.Tenants() {
+		max, err := m.HottestPartition(tenant)
+		if err != nil {
+			continue
+		}
+		m.mu.Lock()
+		t, ok := m.tenants[tenant]
+		if !ok {
+			m.mu.Unlock()
+			continue
+		}
+		if max.Heat <= m.heatCfg.threshold {
+			m.heatStreak[tenant] = 0
+			m.mu.Unlock()
+			continue
+		}
+		m.heatStreak[tenant]++
+		fire := m.heatStreak[tenant] >= m.heatCfg.windows &&
+			len(t.Table.Partitions)*2 <= m.heatCfg.maxPartitions
+		m.mu.Unlock()
+		if fire {
+			// The streak resets only on a successful split: a transient
+			// split failure must retry next cycle, not wait out a whole
+			// new streak under exactly the sustained overload the
+			// monitor exists for.
+			if err := m.SplitTenantPartitions(tenant); err == nil {
+				split = append(split, tenant)
+				m.mu.Lock()
+				m.heatStreak[tenant] = 0
+				m.mu.Unlock()
+			}
+		}
+	}
+	return split
+}
+
+// LoadModel builds a rescheduler pool from the live cluster: every
+// registered DataNode becomes a model node at its RU and disk
+// capacity, and every hosted replica carries its real storage
+// footprint plus — for primaries — the partition's observed heat.
+// ReschedulePass over this pool is therefore heat-aware: a node packed
+// with hot primaries sheds them even when storage and RU accounting
+// look balanced.
+func (m *Meta) LoadModel() *rescheduler.Pool {
+	type repSpec struct {
+		id      string
+		tenant  string
+		pid     partition.ID
+		host    string
+		primary bool
+	}
+	m.mu.RLock()
+	nodeIDs := make([]string, 0, len(m.nodes))
+	for id := range m.nodes {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Strings(nodeIDs)
+	var specs []repSpec
+	for _, t := range m.tenants {
+		for _, route := range t.Table.Partitions {
+			hosts := append([]string{route.Primary}, route.Followers...)
+			for r, host := range hosts {
+				specs = append(specs, repSpec{
+					id:      fmt.Sprintf("%s/%d/%d", t.Name, route.Partition.Index, r),
+					tenant:  t.Name,
+					pid:     route.Partition,
+					host:    host,
+					primary: r == 0,
+				})
+			}
+		}
+	}
+	m.mu.RUnlock()
+
+	pool := rescheduler.NewPool()
+	for _, id := range nodeIDs {
+		n, err := m.Node(id)
+		if err != nil {
+			continue
+		}
+		snap := n.Snapshot()
+		pool.AddNode(rescheduler.NewNode(id, snap.RUCapacity, float64(snap.DiskCapacity)))
+	}
+	for _, s := range specs {
+		n, err := m.Node(s.host)
+		if err != nil || pool.Node(s.host) == nil {
+			continue
+		}
+		re := &rescheduler.Replica{
+			ID:        s.id,
+			Tenant:    s.tenant,
+			Partition: s.pid.String(),
+			Storage:   float64(n.ReplicaDiskUsed(s.pid)),
+		}
+		if s.primary {
+			re.Heat = n.PartitionHeat(s.pid)
+		}
+		_ = pool.Place(re, s.host)
+	}
+	return pool
+}

@@ -52,6 +52,15 @@ type Meta struct {
 	nodes   map[string]*datanode.Node
 	tenants map[string]*Tenant
 	proxies map[string][]RestrictableProxy // tenant → proxies
+	// heatStreak counts consecutive over-threshold monitoring cycles
+	// per tenant (guarded by mu).
+	heatStreak map[string]int
+
+	heatCfg struct {
+		threshold     float64
+		windows       int
+		maxPartitions int
+	}
 
 	replWG   sync.WaitGroup
 	replJobs chan replJob
@@ -78,6 +87,18 @@ type Config struct {
 	Replicas int
 	// ReplWorkers sizes the async replication worker pool (default 4).
 	ReplWorkers int
+	// HeatSplitThreshold is the per-partition heat (ops/sec, decayed)
+	// above which a tenant counts as hot for automatic splitting. Zero
+	// disables heat-driven splits.
+	HeatSplitThreshold float64
+	// HeatSplitWindows is how many consecutive monitoring cycles a
+	// tenant's hottest partition must exceed the threshold before its
+	// partition count is doubled (default 3) — transient spikes are
+	// absorbed by the proxy caches; only sustained heat reshapes the
+	// layout.
+	HeatSplitWindows int
+	// HeatSplitMaxPartitions caps automatic doubling (default 256).
+	HeatSplitMaxPartitions int
 }
 
 // New starts a meta server.
@@ -91,14 +112,24 @@ func New(cfg Config) *Meta {
 	if cfg.ReplWorkers <= 0 {
 		cfg.ReplWorkers = 4
 	}
-	m := &Meta{
-		clk:      cfg.Clock,
-		replicas: cfg.Replicas,
-		nodes:    make(map[string]*datanode.Node),
-		tenants:  make(map[string]*Tenant),
-		proxies:  make(map[string][]RestrictableProxy),
-		replJobs: make(chan replJob, 1024),
+	if cfg.HeatSplitWindows <= 0 {
+		cfg.HeatSplitWindows = 3
 	}
+	if cfg.HeatSplitMaxPartitions <= 0 {
+		cfg.HeatSplitMaxPartitions = 256
+	}
+	m := &Meta{
+		clk:        cfg.Clock,
+		replicas:   cfg.Replicas,
+		nodes:      make(map[string]*datanode.Node),
+		tenants:    make(map[string]*Tenant),
+		proxies:    make(map[string][]RestrictableProxy),
+		heatStreak: make(map[string]int),
+		replJobs:   make(chan replJob, 1024),
+	}
+	m.heatCfg.threshold = cfg.HeatSplitThreshold
+	m.heatCfg.windows = cfg.HeatSplitWindows
+	m.heatCfg.maxPartitions = cfg.HeatSplitMaxPartitions
 	for i := 0; i < cfg.ReplWorkers; i++ {
 		m.replWG.Add(1)
 		go m.replWorker()

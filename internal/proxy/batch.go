@@ -147,8 +147,10 @@ func (p *Proxy) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 	values = make([][]byte, len(keys))
 	errs = make([]error, len(keys))
 	miss := make([]int, 0, len(keys))
+	ests := make([]float64, len(keys))
 	if p.cache != nil {
 		for i, k := range keys {
+			ests[i] = p.touchHot(k)
 			if v, ok := p.cache.Get(string(k)); ok {
 				values[i] = v
 				p.hits.Inc()
@@ -202,9 +204,10 @@ func (p *Proxy) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 				}
 				p.est.ObserveRead(len(bv.Value), bv.CacheHit)
 				values[i] = bv.Value
-				// TTL-bearing values stay out of the AU-LRU (see Get).
-				if p.cache != nil && bv.ExpireAt == 0 {
-					p.cache.Put(string(keys[i]), bv.Value)
+				// TTL-bearing values stay out of the AU-LRU (see Get);
+				// TTL-free fills go through the hotness gate.
+				if bv.ExpireAt == 0 {
+					p.cacheFill(keys[i], bv.Value, ests[i])
 				}
 				p.success.Inc()
 			}
@@ -289,6 +292,12 @@ func (p *Proxy) BatchPut(kvs []KV) []error {
 		keys[i] = kv.Key
 		cost += ru.WriteRU(len(kv.Value), 3)
 	}
+	ests := make([]float64, len(kvs))
+	if p.cache != nil {
+		for i, kv := range kvs {
+			ests[i] = p.touchHot(kv.Key)
+		}
+	}
 	return p.batchWrite(keys,
 		func(i int) datanode.WriteOp {
 			return datanode.WriteOp{Key: kvs[i].Key, Value: kvs[i].Value, TTL: kvs[i].TTL}
@@ -302,7 +311,7 @@ func (p *Proxy) BatchPut(kvs []KV) []error {
 			if kvs[i].TTL > 0 {
 				p.cache.Delete(string(kvs[i].Key))
 			} else {
-				p.cache.Put(string(kvs[i].Key), kvs[i].Value)
+				p.cacheWriteThrough(kvs[i].Key, kvs[i].Value, ests[i])
 			}
 		})
 }
@@ -334,6 +343,7 @@ func (p *Proxy) BatchExists(keys [][]byte) (exists []bool, errs []error) {
 	miss := make([]int, 0, len(keys))
 	if p.cache != nil {
 		for i, k := range keys {
+			p.touchHot(k)
 			if _, ok := p.cache.Get(string(k)); ok {
 				exists[i] = true
 				p.hits.Inc()

@@ -63,8 +63,12 @@ func TestProxyBatchGetCacheHitsSurviveThrottle(t *testing.T) {
 	// Tiny quota: the cached key must still be served while the
 	// uncached key's slot reports ErrThrottled — not the whole batch.
 	_, p := newStack(t, 5, nil)
-	if err := p.Put([]byte("hot"), []byte("v"), 0); err != nil {
-		t.Fatal(err)
+	// Two accesses cross the hotness-gated admission threshold, so the
+	// second write actually caches the value.
+	for i := 0; i < 2; i++ {
+		if err := p.Put([]byte("hot"), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
 	}
 	big := bytes.Repeat([]byte("x"), 2048) // 3 RU per write at r=3
 	for i := 0; i < 20; i++ {

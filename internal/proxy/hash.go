@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"abase/internal/datanode"
+	"abase/internal/ru"
 )
 
 // Hash (Redis hash) operations forwarded to the primary DataNode.
@@ -17,9 +18,29 @@ func (p *Proxy) allowComplex() bool {
 	return p.limiter.Allow(p.est.EstimateHGetAllRU())
 }
 
+// FieldValue is one field/value pair of a multi-field hash write.
+type FieldValue = datanode.FieldValue
+
 // HSet sets field=value in the hash at key.
 func (p *Proxy) HSet(key []byte, field string, value []byte) (int, error) {
-	if p.cfg.EnableQuota && !p.limiter.Allow(p.est.EstimateReadRU()+1) {
+	return p.HSetMulti(key, []FieldValue{{Field: field, Value: value}})
+}
+
+// HSetMulti sets every field/value pair in one admission and ONE
+// DataNode round trip — the whole command is a single read-modify-write
+// on the node instead of one per pair. It returns how many fields were
+// new.
+func (p *Proxy) HSetMulti(key []byte, fvs []FieldValue) (int, error) {
+	if len(fvs) == 0 {
+		return 0, nil
+	}
+	// One read of the hash plus one write per command; charge the write
+	// at the summed payload size.
+	var payload int
+	for _, fv := range fvs {
+		payload += len(fv.Field) + len(fv.Value)
+	}
+	if p.cfg.EnableQuota && !p.limiter.Allow(p.est.EstimateReadRU()+ru.WriteRU(payload, 3)) {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
@@ -28,7 +49,7 @@ func (p *Proxy) HSet(key []byte, field string, value []byte) (int, error) {
 		p.errors.Inc()
 		return 0, err
 	}
-	added, err := node.HSet(pid, key, field, value)
+	added, err := node.HSetMulti(pid, key, fvs)
 	if err != nil {
 		p.errors.Inc()
 		return 0, err
@@ -132,6 +153,11 @@ func (p *Proxy) HDel(key []byte, fields ...string) (int, error) {
 // HSet routes and sets a hash field.
 func (f *Fleet) HSet(key []byte, field string, value []byte) (int, error) {
 	return f.Route(key).HSet(key, field, value)
+}
+
+// HSetMulti routes and sets several hash fields as one admission.
+func (f *Fleet) HSetMulti(key []byte, fvs []FieldValue) (int, error) {
+	return f.Route(key).HSetMulti(key, fvs)
 }
 
 // HGet routes and reads a hash field.

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"abase/internal/cache"
 	"abase/internal/clock"
 	"abase/internal/datanode"
+	"abase/internal/hotspot"
 	"abase/internal/metaserver"
 	"abase/internal/metrics"
 	"abase/internal/partition"
@@ -49,7 +51,31 @@ type Config struct {
 	// BatchFanout bounds how many per-partition sub-batches a batched
 	// operation dispatches concurrently (default DefaultBatchFanout).
 	BatchFanout int
+	// HotAdmitThreshold gates AU-LRU admission on the proxy's
+	// heavy-hitter sketch: a fetched value is inserted only once its
+	// key's windowed access estimate reaches the threshold, so cold
+	// singleton reads cannot churn hot entries out of scarce proxy
+	// memory. 0 uses DefaultHotAdmitThreshold; negative disables the
+	// gate (the legacy cache-everything policy).
+	HotAdmitThreshold int
+	// HotWindow is the sketch decay half-life (default:
+	// hotspot.DefaultWindow, matching the data-plane sketches so
+	// HOTKEYS can merge proxy and node counts on a common scale).
+	HotWindow time.Duration
+	// HotTopK is the sketch's heavy-hitter summary size (default 32).
+	HotTopK int
+	// HotWidth is the sketch's count-min row width (default 4096
+	// cells, ~96 KiB of sketch per proxy). The gate uses debiased
+	// (count-mean-min) estimates, so the threshold stays meaningful at
+	// any traffic volume; width only controls the residual noise
+	// around zero for cold keys.
+	HotWidth int
 }
+
+// DefaultHotAdmitThreshold admits a key into the AU-LRU on its second
+// sketched access within the detection window: one access is noise,
+// two is a candidate hot key.
+const DefaultHotAdmitThreshold = 2
 
 // Proxy is one tenant proxy.
 type Proxy struct {
@@ -57,6 +83,10 @@ type Proxy struct {
 	cache   *cache.AULRU
 	limiter *quota.ProxyLimiter
 	est     *ru.Estimator
+	// hot is the admission sketch; nil when gating is disabled (then
+	// every fetched value is cached, the pre-hotspot policy).
+	hot          *hotspot.Detector
+	hotThreshold float64
 
 	windowRU metrics.Gauge
 	success  metrics.Counter
@@ -89,15 +119,102 @@ func New(cfg Config) (*Proxy, error) {
 		latency: metrics.NewHistogram(),
 	}
 	if cfg.EnableCache {
+		if cfg.HotAdmitThreshold >= 0 {
+			threshold := cfg.HotAdmitThreshold
+			if threshold == 0 {
+				threshold = DefaultHotAdmitThreshold
+			}
+			window := cfg.HotWindow
+			if window <= 0 {
+				window = hotspot.DefaultWindow
+			}
+			topK := cfg.HotTopK
+			if topK <= 0 {
+				topK = 32
+			}
+			width := cfg.HotWidth
+			if width <= 0 {
+				width = 4096
+			}
+			p.hot = hotspot.NewDetector(hotspot.Config{
+				TopK:   topK,
+				Width:  width,
+				Window: window,
+				Clock:  cfg.Clock,
+			})
+			// Half-count tolerance: debiased estimates sit slightly
+			// below the integer access count (the subtracted collision
+			// mean includes the key's own contribution), so an exact
+			// >= threshold would reject a key on its threshold-th
+			// access.
+			p.hotThreshold = float64(threshold) - 0.5
+		}
 		p.cache = cache.NewAULRU(cache.AUConfig{
 			Capacity:  cfg.CacheBytes,
 			TTL:       cfg.CacheTTL,
 			Clock:     cfg.Clock,
 			Refresher: p.refreshFromOrigin,
+			// Active updates are reserved for keys the sketch still
+			// flags hot: refresh traffic is origin load, and a key that
+			// cooled off should fall out at expiry instead.
+			RefreshGate: p.refreshGate(),
 		})
 	}
 	cfg.Meta.RegisterProxy(p)
 	return p, nil
+}
+
+// refreshGate returns the AU-LRU refresh gate, nil when hotness gating
+// is disabled.
+func (p *Proxy) refreshGate() cache.RefreshGate {
+	if p.hot == nil {
+		return nil
+	}
+	return func(key string) bool {
+		return p.hot.EstimateDebiased([]byte(key)) >= p.hotThreshold
+	}
+}
+
+// touchHot records one access in the admission sketch and returns the
+// key's post-touch debiased estimate (0 when gating is disabled; the
+// proxy sketch is unsampled, so recording never skips). The estimate
+// is threaded to hotAdmit so the admission decision does not re-lock
+// the sketch.
+func (p *Proxy) touchHot(key []byte) float64 {
+	if p.hot == nil {
+		return 0
+	}
+	return p.hot.TouchDebiased(key)
+}
+
+// hotAdmit reports whether a key whose touchHot estimate was est has
+// earned an AU-LRU slot: always when gating is disabled, otherwise
+// once the estimate reaches the admission threshold.
+func (p *Proxy) hotAdmit(est float64) bool {
+	return p.hot == nil || est >= p.hotThreshold
+}
+
+// cacheFill inserts a fetched TTL-free value under the hotness gate.
+func (p *Proxy) cacheFill(key, value []byte, est float64) {
+	if p.cache != nil && p.hotAdmit(est) {
+		p.cache.Put(string(key), value)
+	}
+}
+
+// cacheWriteThrough applies the write-through policy for a TTL-free
+// write: an already-cached entry is always updated in place
+// (coherence), but a write alone earns a cold key a slot only when the
+// sketch flags it hot.
+func (p *Proxy) cacheWriteThrough(key, value []byte, est float64) {
+	if p.cache == nil {
+		return
+	}
+	if p.cache.Update(string(key), value) {
+		return
+	}
+	if p.hotAdmit(est) {
+		p.cache.Put(string(key), value)
+	}
 }
 
 // refreshFromOrigin is the AU-LRU active-update fetch: it reads the key
@@ -134,7 +251,9 @@ func (p *Proxy) route(key []byte) (*datanode.Node, partition.ID, error) {
 // to the primary DataNode.
 func (p *Proxy) Get(key []byte) ([]byte, error) {
 	start := p.cfg.Clock.Now()
+	var est float64
 	if p.cache != nil {
+		est = p.touchHot(key)
 		if v, ok := p.cache.Get(string(key)); ok {
 			p.hits.Inc()
 			p.success.Inc()
@@ -167,9 +286,10 @@ func (p *Proxy) Get(key []byte) ([]byte, error) {
 	p.windowRU.Add(res.RU)
 	// TTL-bearing values stay out of the AU-LRU: its entry TTL is
 	// independent of the record's, so a cached copy could outlive the
-	// record and make GET disagree with SCAN/KEYS/DBSIZE.
-	if p.cache != nil && res.ExpireAt == 0 {
-		p.cache.Put(string(key), res.Value)
+	// record and make GET disagree with SCAN/KEYS/DBSIZE. TTL-free
+	// values are admitted through the hotness gate.
+	if res.ExpireAt == 0 {
+		p.cacheFill(key, res.Value, est)
 	}
 	p.success.Inc()
 	p.latency.Observe(p.cfg.Clock.Since(start))
@@ -179,6 +299,10 @@ func (p *Proxy) Get(key []byte) ([]byte, error) {
 // Put writes key=value with an optional TTL through the proxy quota.
 func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 	start := p.cfg.Clock.Now()
+	var est float64
+	if p.cache != nil {
+		est = p.touchHot(key) // writes count toward hotness too
+	}
 	cost := ru.WriteRU(len(value), 3)
 	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
 		p.rejected.Inc()
@@ -195,14 +319,14 @@ func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 		return err
 	}
 	p.windowRU.Add(res.RU)
-	// Write-through for TTL-free values; TTL'd writes invalidate
-	// instead, so the AU-LRU never holds a copy that could outlive the
-	// record (see Get).
+	// Write-through for TTL-free values (hotness-gated for cold keys);
+	// TTL'd writes invalidate instead, so the AU-LRU never holds a copy
+	// that could outlive the record (see Get).
 	if p.cache != nil {
 		if ttl > 0 {
 			p.cache.Delete(string(key))
 		} else {
-			p.cache.Put(string(key), value)
+			p.cacheWriteThrough(key, value, est)
 		}
 	}
 	p.success.Inc()
@@ -426,7 +550,10 @@ func (p *Proxy) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
 
 // Expire sets key's TTL through the proxy quota.
 func (p *Proxy) Expire(key []byte, ttl time.Duration) error {
-	cost := p.est.EstimateReadRU() + 1
+	// The node rewrites the record to apply the TTL: charge a read
+	// plus a replicated write at the expected value size, like any
+	// other read-modify-write (see HSetMulti).
+	cost := p.est.EstimateReadRU() + ru.WriteRU(int(p.est.ExpectedReadSize()), 3)
 	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
 		p.rejected.Inc()
 		return ErrThrottled
@@ -450,8 +577,151 @@ func (p *Proxy) Expire(key []byte, ttl time.Duration) error {
 	return nil
 }
 
+// Persist removes key's TTL through the proxy quota, reporting whether
+// an expiry was removed (false for keys stored without one).
+func (p *Proxy) Persist(key []byte) (bool, error) {
+	// Removing a TTL rewrites and re-replicates the value: admission
+	// must charge the write, not just the read (see Expire).
+	cost := p.est.EstimateReadRU() + ru.WriteRU(int(p.est.ExpectedReadSize()), 3)
+	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
+		p.rejected.Inc()
+		return false, ErrThrottled
+	}
+	node, pid, err := p.route(key)
+	if err != nil {
+		p.errors.Inc()
+		return false, err
+	}
+	removed, err := node.Persist(pid, key)
+	if err != nil {
+		if errors.Is(err, datanode.ErrNotFound) {
+			return false, ErrNotFound
+		}
+		p.errors.Inc()
+		return false, err
+	}
+	p.success.Inc()
+	return removed, nil
+}
+
+// HotKey is one tenant-level heavy hitter: a key and its windowed
+// access-count estimate aggregated from the data plane.
+type HotKey struct {
+	Key   []byte
+	Count float64
+}
+
+// HotKeys aggregates the tenant's heavy hitters across every partition
+// primary: each DataNode's per-replica sketch contributes its top-k,
+// and the merged list is returned hottest first, trimmed to k (k <= 0
+// uses 10). This is the admin/observability path behind the HOTKEYS
+// command; it bypasses quota like other control traffic.
+func (p *Proxy) HotKeys(k int) ([]HotKey, error) {
+	if k <= 0 {
+		k = 10
+	}
+	parts, err := p.cfg.Meta.NumPartitions(p.cfg.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	var merged []hotspot.HotKey
+	for idx := 0; idx < parts; idx++ {
+		route, err := p.cfg.Meta.RouteForIndex(p.cfg.Tenant, idx)
+		if err != nil {
+			continue // racing split/repair; partial data is fine here
+		}
+		node, err := p.cfg.Meta.Node(route.Primary)
+		if err != nil {
+			continue
+		}
+		top, err := node.HotKeys(route.Partition, k)
+		if err != nil {
+			continue
+		}
+		merged = append(merged, top...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Key < merged[j].Key
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	out := make([]HotKey, len(merged))
+	for i, hk := range merged {
+		out[i] = HotKey{Key: []byte(hk.Key), Count: hk.Count}
+	}
+	return out, nil
+}
+
 // TTL routes and queries a key's TTL.
 func (f *Fleet) TTL(key []byte) (time.Duration, bool, error) { return f.Route(key).TTL(key) }
 
 // Expire routes and sets a key's TTL.
 func (f *Fleet) Expire(key []byte, ttl time.Duration) error { return f.Route(key).Expire(key, ttl) }
+
+// Persist routes and removes a key's TTL.
+func (f *Fleet) Persist(key []byte) (bool, error) { return f.Route(key).Persist(key) }
+
+// LocalHotKeys returns this proxy's own admission-sketch top-k. Unlike
+// the data-plane sketches it sees every access — including the cache
+// hits that, by design, never reach a DataNode once mitigation works.
+// Nil when hotness gating is disabled.
+func (p *Proxy) LocalHotKeys(k int) []hotspot.HotKey {
+	if p.hot == nil {
+		return nil
+	}
+	top := p.hot.TopK()
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// HotKeys returns the tenant's heavy hitters, hottest first: the
+// data-plane per-partition sketches merged with every proxy's own
+// admission sketch. The proxy sketches matter because a well-mitigated
+// hot key is served from the AU-LRU and stops reaching the data plane
+// entirely — offered load, not just origin load, is what the admin
+// wants to see. Where both planes report a key, the larger (offered)
+// estimate wins; both decay with the same default window, so the
+// counts compare on a common scale (deployments overriding HotWindow
+// asymmetrically skew the merge toward the longer window).
+func (f *Fleet) HotKeys(k int) ([]HotKey, error) {
+	if k <= 0 {
+		k = 10
+	}
+	nodeTop, err := f.proxies[0].HotKeys(k)
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[string]float64, k*2)
+	for _, hk := range nodeTop {
+		if c := hk.Count; c > best[string(hk.Key)] {
+			best[string(hk.Key)] = c
+		}
+	}
+	for _, p := range f.proxies {
+		for _, hk := range p.LocalHotKeys(k) {
+			if hk.Count > best[hk.Key] {
+				best[hk.Key] = hk.Count
+			}
+		}
+	}
+	merged := make([]HotKey, 0, len(best))
+	for key, count := range best {
+		merged = append(merged, HotKey{Key: []byte(key), Count: count})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return string(merged[i].Key) < string(merged[j].Key)
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}

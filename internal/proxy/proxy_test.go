@@ -3,6 +3,7 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -84,7 +85,9 @@ func TestProxyCacheHitsSkipQuota(t *testing.T) {
 	if err := p.Put([]byte("hot"), []byte("v"), 0); err != nil {
 		t.Fatal(err) // first write fits in the initial burst
 	}
-	// Warm the proxy cache (Put already cached it, but be explicit).
+	// Warm the proxy cache: the Put was the key's first access and the
+	// hotness gate admits on the second, so this Get fetches from the
+	// node and caches the value.
 	if _, err := p.Get([]byte("hot")); err != nil {
 		t.Fatal(err)
 	}
@@ -237,5 +240,151 @@ func TestFleetGroupClamp(t *testing.T) {
 func TestNewProxyRequiresMeta(t *testing.T) {
 	if _, err := New(Config{Tenant: "t"}); err == nil {
 		t.Fatal("no error without Meta")
+	}
+}
+
+// TestHotGateAdmitsOnSecondAccess: with the hotness gate at its
+// default threshold a key's first access must NOT earn an AU-LRU slot,
+// and its second must.
+func TestHotGateAdmitsOnSecondAccess(t *testing.T) {
+	_, p := newStack(t, 1e9, nil)
+	key := []byte("maybe-hot")
+	if err := p.Put(key, []byte("v1"), 0); err != nil { // first access
+		t.Fatal(err)
+	}
+	if _, ok := p.cache.Get(string(key)); ok {
+		t.Fatal("cold key cached on first access")
+	}
+	if _, err := p.Get(key); err != nil { // second access crosses the gate
+		t.Fatal(err)
+	}
+	if v, ok := p.cache.Get(string(key)); !ok || string(v) != "v1" {
+		t.Fatalf("hot key not cached after second access: %q %v", v, ok)
+	}
+}
+
+// TestHotGateDisabledCachesEverything: a negative threshold restores
+// the legacy cache-everything policy.
+func TestHotGateDisabledCachesEverything(t *testing.T) {
+	_, p := newStack(t, 1e9, func(c *Config) { c.HotAdmitThreshold = -1 })
+	key := []byte("one-shot")
+	if err := p.Put(key, []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.cache.Get(string(key)); !ok {
+		t.Fatal("ungated proxy did not cache a first-access write")
+	}
+}
+
+// TestHotAdmissionRacingInvalidation: concurrent writes, deletes, and
+// reads against a sketch-hot key must leave the AU-LRU coherent with
+// the store — an invalidation must never be resurrected by a stale
+// gated admission, and the final write must win.
+func TestHotAdmissionRacingInvalidation(t *testing.T) {
+	_, p := newStack(t, 1e9, nil)
+	key := []byte("contested")
+	if err := p.Put(key, []byte("v0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(key); err != nil { // cross the gate: now cached
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch (w + i) % 3 {
+				case 0:
+					p.Put(key, []byte(fmt.Sprintf("v-%d-%d", w, i)), 0)
+				case 1:
+					p.Get(key)
+				case 2:
+					p.Delete(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Sequential convergence: the last write must be what both the
+	// store and any surviving cache entry serve.
+	if err := p.Put(key, []byte("final"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := p.Get(key); err != nil || string(v) != "final" {
+		t.Fatalf("Get after race = %q, %v", v, err)
+	}
+	if v, ok := p.cache.Get(string(key)); ok && string(v) != "final" {
+		t.Fatalf("cache incoherent after race: %q", v)
+	}
+}
+
+// TestProxyHotKeysAggregation: the HOTKEYS path merges per-partition
+// data-plane sketches; a dominant key must surface first. Cache off so
+// every access reaches the DataNodes' sketches.
+func TestProxyHotKeysAggregation(t *testing.T) {
+	_, p := newStack(t, 1e9, func(c *Config) { c.EnableCache = false })
+	hot := []byte("hot-key")
+	if err := p.Put(hot, []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if _, err := p.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 0 { // sprinkle colder traffic across the keyspace
+			for j := 0; j < 10; j++ {
+				p.Get([]byte(fmt.Sprintf("cold-%d", j))) // ErrNotFound still counts as an access
+			}
+		}
+	}
+	top, err := p.HotKeys(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 || string(top[0].Key) != "hot-key" {
+		t.Fatalf("HotKeys top = %+v, want hot-key first", top)
+	}
+	if top[0].Count < 100 {
+		t.Fatalf("hot-key count = %v, want a sampled estimate well above cold keys", top[0].Count)
+	}
+}
+
+// TestHSetMultiOneRoundTrip: a multi-field HSET must cost one DataNode
+// read-modify-write (2 node ops) regardless of how many pairs the
+// command carries — not one round trip per pair.
+func TestHSetMultiOneRoundTrip(t *testing.T) {
+	m, p := newStack(t, 1e9, func(c *Config) { c.EnableCache = false })
+	key := []byte("h")
+	// Seed the hash so the measured HSetMulti's internal read is a
+	// counted success rather than a first-write not-found.
+	if _, err := p.HSet(key, "seed", []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	opsBefore := int64(0)
+	for _, nid := range m.Nodes() {
+		n, _ := m.Node(nid)
+		opsBefore += n.TenantStats("t1").Success
+	}
+	fvs := make([]FieldValue, 6)
+	for i := range fvs {
+		fvs[i] = FieldValue{Field: fmt.Sprintf("f%d", i), Value: []byte("v")}
+	}
+	added, err := p.HSetMulti(key, fvs)
+	if err != nil || added != 6 {
+		t.Fatalf("HSetMulti = %d, %v", added, err)
+	}
+	opsAfter := int64(0)
+	for _, nid := range m.Nodes() {
+		n, _ := m.Node(nid)
+		opsAfter += n.TenantStats("t1").Success
+	}
+	if got := opsAfter - opsBefore; got != 2 {
+		t.Fatalf("node ops for 6-field HSET = %d, want 2 (one Get + one Put)", got)
+	}
+	all, err := p.HGetAll(key)
+	if err != nil || len(all) != 7 { // 6 + seed
+		t.Fatalf("HGetAll = %d fields, %v", len(all), err)
 	}
 }

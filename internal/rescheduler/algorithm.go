@@ -54,9 +54,10 @@ func CanPlace(re *Replica, dst *Node) bool {
 // physical data movement completes.
 func (p *Pool) ReschedulePass(theta float64) []Migration {
 	var out []Migration
-	for _, res := range []Resource{RU, Storage} {
+	for _, res := range []Resource{RU, Storage, Heat} {
 		low, _, high := p.Division(res, theta)
 		R, S := p.OptimalLoad()
+		H := p.OptimalHeat()
 		for _, src := range high {
 			if src.Migrating {
 				continue
@@ -72,7 +73,7 @@ func (p *Pool) ReschedulePass(theta float64) []Migration {
 					if dst.Migrating || !CanPlace(re, dst) {
 						continue
 					}
-					if g := Gain(re, dst, R, S); g > bestGain {
+					if g := Gain(re, dst, R, S, H); g > bestGain {
 						bestRe, bestDst, bestGain = re, dst, g
 					}
 				}
@@ -258,6 +259,7 @@ func RebalancePools(poolH, poolL *Pool, numNodes int, theta float64) ([]string, 
 	for _, victim := range nodes[:numNodes] {
 		// Drain the victim: place each replica on the best remaining node.
 		R, S := poolL.OptimalLoad()
+		H := poolL.OptimalHeat()
 		for _, re := range victim.Replicas() {
 			var best *Node
 			bestLoss := math.Inf(1)
@@ -268,7 +270,7 @@ func RebalancePools(poolH, poolL *Pool, numNodes int, theta float64) ([]string, 
 				// Loss of the candidate after hypothetically adding re.
 				victim.remove(re)
 				cand.add(re)
-				l := Loss(cand, R, S)
+				l := Loss(cand, R, S, H)
 				cand.remove(re)
 				victim.add(re)
 				if l < bestLoss {

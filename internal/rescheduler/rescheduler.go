@@ -58,6 +58,11 @@ type Replica struct {
 	RU Vec24
 	// Storage is the replica's storage footprint.
 	Storage float64
+	// Heat is the replica's observed access rate (ops/sec, decayed) as
+	// aggregated by the MetaServer from the data plane's per-partition
+	// heat meters. Zero for followers and for pools built without heat
+	// telemetry, in which case scoring reduces to RU + storage.
+	Heat float64
 
 	node *Node
 }
@@ -78,6 +83,7 @@ type Node struct {
 	replicas map[string]*Replica
 	ruLoad   Vec24
 	stoLoad  float64
+	heatLoad float64
 }
 
 // NewNode returns an empty node with the given capacities.
@@ -108,6 +114,19 @@ func (n *Node) StoUtil() float64 {
 	return n.stoLoad / n.StoCap
 }
 
+// HeatLoad returns the summed replica heat (ops/sec).
+func (n *Node) HeatLoad() float64 { return n.heatLoad }
+
+// HeatUtil returns heat load normalized by the node's RU capacity —
+// heat (ops/sec) and RU/s capacity share a scale, so the ratio plays
+// the same role utilization does for the other dimensions.
+func (n *Node) HeatUtil() float64 {
+	if n.RUCap == 0 {
+		return 0
+	}
+	return n.heatLoad / n.RUCap
+}
+
 // Replicas returns the hosted replicas (unordered).
 func (n *Node) Replicas() []*Replica {
 	out := make([]*Replica, 0, len(n.replicas))
@@ -124,6 +143,7 @@ func (n *Node) add(r *Replica) {
 	n.replicas[r.ID] = r
 	n.ruLoad = n.ruLoad.Add(r.RU)
 	n.stoLoad += r.Storage
+	n.heatLoad += r.Heat
 	r.node = n
 }
 
@@ -131,6 +151,7 @@ func (n *Node) remove(r *Replica) {
 	delete(n.replicas, r.ID)
 	n.ruLoad = n.ruLoad.Sub(r.RU)
 	n.stoLoad -= r.Storage
+	n.heatLoad -= r.Heat
 	r.node = nil
 }
 
@@ -212,6 +233,15 @@ func (p *Pool) SetReplicaStorage(r *Replica, sto float64) {
 	r.Storage = sto
 }
 
+// SetReplicaHeat updates a replica's heat in place, keeping its node's
+// heat sum consistent (online telemetry refresh between passes).
+func (p *Pool) SetReplicaHeat(r *Replica, heat float64) {
+	if r.node != nil {
+		r.node.heatLoad += heat - r.Heat
+	}
+	r.Heat = heat
+}
+
 // OptimalLoad returns ⟨R,S⟩: pool RU load over pool RU capacity, and
 // pool storage load over pool storage capacity.
 func (p *Pool) OptimalLoad() (R, S float64) {
@@ -232,26 +262,43 @@ func (p *Pool) OptimalLoad() (R, S float64) {
 	return R, S
 }
 
+// OptimalHeat returns the pool's balanced heat utilization: total heat
+// over total RU capacity (the per-node target for HeatUtil).
+func (p *Pool) OptimalHeat() float64 {
+	var heat, ruCap float64
+	for _, n := range p.nodes {
+		heat += n.heatLoad
+		ruCap += n.RUCap
+	}
+	if ruCap <= 0 {
+		return 0
+	}
+	return heat / ruCap
+}
+
 // Loss is the L2-norm deviation of a node's utilization from the
-// optimal load ⟨R,S⟩ (§5.3 Migration Gain).
-func Loss(n *Node, R, S float64) float64 {
+// optimal load ⟨R,S,H⟩ (§5.3 Migration Gain, extended with the heat
+// dimension). Pools without heat telemetry have H and every HeatUtil
+// at zero, reducing Loss to the paper's two-dimensional form.
+func Loss(n *Node, R, S, H float64) float64 {
 	dr := n.RUUtil() - R
 	ds := n.StoUtil() - S
-	return math.Sqrt(dr*dr + ds*ds)
+	dh := n.HeatUtil() - H
+	return math.Sqrt(dr*dr + ds*ds + dh*dh)
 }
 
 // Gain quantifies migrating replica re to dst: the reduction of the
 // max loss across the source and destination nodes (§5.3).
-func Gain(re *Replica, dst *Node, R, S float64) float64 {
+func Gain(re *Replica, dst *Node, R, S, H float64) float64 {
 	src := re.node
 	if src == nil || src == dst {
 		return 0
 	}
-	before := math.Max(Loss(src, R, S), Loss(dst, R, S))
+	before := math.Max(Loss(src, R, S, H), Loss(dst, R, S, H))
 	// Simulate the move.
 	src.remove(re)
 	dst.add(re)
-	after := math.Max(Loss(src, R, S), Loss(dst, R, S))
+	after := math.Max(Loss(src, R, S, H), Loss(dst, R, S, H))
 	// Revert.
 	dst.remove(re)
 	src.add(re)
@@ -265,21 +312,39 @@ type Resource int
 const (
 	RU Resource = iota
 	Storage
+	// Heat balances observed partition access rates, so a node packed
+	// with hot partitions sheds them even when its RU accounting and
+	// storage look even.
+	Heat
 )
+
+// MinHeatForRebalance is the per-node average heat (ops/sec) below
+// which the Heat dimension considers the pool balanced: migrations are
+// physical data moves and must not be triggered by a handful of reads
+// on an otherwise idle cluster.
+const MinHeatForRebalance = 1.0
 
 // String names the resource.
 func (r Resource) String() string {
-	if r == Storage {
+	switch r {
+	case Storage:
 		return "Storage"
+	case Heat:
+		return "Heat"
+	default:
+		return "RU"
 	}
-	return "RU"
 }
 
 func (n *Node) util(res Resource) float64 {
-	if res == Storage {
+	switch res {
+	case Storage:
 		return n.StoUtil()
+	case Heat:
+		return n.HeatUtil()
+	default:
+		return n.RUUtil()
 	}
-	return n.RUUtil()
 }
 
 // Division splits the pool's nodes into low/medium/high load groups
@@ -287,8 +352,21 @@ func (n *Node) util(res Resource) float64 {
 func (p *Pool) Division(res Resource, theta float64) (low, medium, high []*Node) {
 	R, S := p.OptimalLoad()
 	target := R
-	if res == Storage {
+	switch res {
+	case Storage:
 		target = S
+	case Heat:
+		// Dead-band: physical replica moves must not chase noise-level
+		// heat. A pool averaging under MinHeatForRebalance ops/s per
+		// node is balanced by definition for this dimension.
+		var total float64
+		for _, n := range p.nodes {
+			total += n.heatLoad
+		}
+		if total < MinHeatForRebalance*float64(len(p.nodes)) {
+			return nil, p.Nodes(), nil
+		}
+		target = p.OptimalHeat()
 	}
 	for _, n := range p.Nodes() {
 		u := n.util(res)

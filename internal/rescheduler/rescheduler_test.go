@@ -105,7 +105,7 @@ func TestGainPositiveForGoodMove(t *testing.T) {
 	p.Place(r1, "a")
 	p.Place(r2, "a")
 	R, S := p.OptimalLoad()
-	if g := Gain(r2, b, R, S); g <= 0 {
+	if g := Gain(r2, b, R, S, p.OptimalHeat()); g <= 0 {
 		t.Fatalf("gain = %v, want positive", g)
 	}
 	// Gain must not mutate state.
@@ -304,5 +304,75 @@ func TestRebalancePools(t *testing.T) {
 func TestResourceString(t *testing.T) {
 	if RU.String() != "RU" || Storage.String() != "Storage" {
 		t.Fatal("Resource strings wrong")
+	}
+}
+
+// TestHeatAwarePlacementShedsHotNode: a node packed with hot primaries
+// must shed one even when RU accounting and storage look balanced —
+// the heat dimension alone has to drive the move.
+func TestHeatAwarePlacementShedsHotNode(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 1000))
+	p.AddNode(NewNode("b", 100, 1000))
+	for i := 0; i < 4; i++ {
+		re := &Replica{ID: fmt.Sprintf("r%d", i), Tenant: "t", Partition: fmt.Sprint(i), Heat: 50}
+		if err := p.Place(re, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	migs := p.ReschedulePass(0.2)
+	if len(migs) != 1 {
+		t.Fatalf("migrations = %d, want 1 (2-node pool, one pass)", len(migs))
+	}
+	if migs[0].From != "a" || migs[0].To != "b" || migs[0].Resource != Heat {
+		t.Fatalf("migration = %+v, want a→b on Heat", migs[0])
+	}
+	// Convergence balances the heat load entirely (2 of 4 move).
+	migs = p.RescheduleToConvergence(0.2, 10)
+	a, b := p.Node("a"), p.Node("b")
+	if a.HeatLoad() != 100 || b.HeatLoad() != 100 {
+		t.Fatalf("heat after convergence: a=%v b=%v, want 100/100", a.HeatLoad(), b.HeatLoad())
+	}
+}
+
+// TestHeatZeroKeepsLegacyBehavior: pools without heat telemetry must
+// not reshuffle — Loss reduces to the paper's two-dimensional form.
+func TestHeatZeroKeepsLegacyBehavior(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 1000))
+	p.AddNode(NewNode("b", 100, 1000))
+	for i := 0; i < 4; i++ {
+		re := &Replica{ID: fmt.Sprintf("r%d", i), Tenant: "t", Partition: fmt.Sprint(i), RU: Flat(10)}
+		if err := p.Place(re, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	withHeat := p.ReschedulePass(0.2)
+	if len(withHeat) == 0 {
+		t.Fatal("RU imbalance alone should still migrate")
+	}
+	if withHeat[0].Resource == Heat {
+		t.Fatalf("resource = Heat on a heat-free pool: %+v", withHeat[0])
+	}
+	if h := p.OptimalHeat(); h != 0 {
+		t.Fatalf("OptimalHeat = %v on heat-free pool", h)
+	}
+}
+
+// TestSetReplicaHeatKeepsNodeSumsConsistent: online telemetry refresh
+// must adjust the hosting node's aggregate in place.
+func TestSetReplicaHeatKeepsNodeSumsConsistent(t *testing.T) {
+	p := NewPool()
+	p.AddNode(NewNode("a", 100, 1000))
+	re := &Replica{ID: "r0", Tenant: "t", Partition: "0", Heat: 30}
+	if err := p.Place(re, "a"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetReplicaHeat(re, 80)
+	if got := p.Node("a").HeatLoad(); got != 80 {
+		t.Fatalf("HeatLoad = %v, want 80", got)
+	}
+	if got := p.Node("a").HeatUtil(); got != 0.8 {
+		t.Fatalf("HeatUtil = %v, want 0.8", got)
 	}
 }

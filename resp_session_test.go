@@ -3,6 +3,7 @@ package abase
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"abase/internal/resp"
 )
@@ -128,8 +129,12 @@ func TestServeMGETPartialThrottle(t *testing.T) {
 	cl, _ := resp.Dial(addr)
 	defer cl.Close()
 
-	if v, _ := cl.DoStrings("SET", "hot", "cached"); v.Text() != "OK" {
-		t.Fatalf("SET = %+v", v)
+	// Two accesses cross the proxy's hotness-gated admission threshold,
+	// so the second SET actually caches the value.
+	for i := 0; i < 2; i++ {
+		if v, _ := cl.DoStrings("SET", "hot", "cached"); v.Text() != "OK" {
+			t.Fatalf("SET = %+v", v)
+		}
 	}
 	tn.SetQuota(0.000001) // collapse the quota: uncached reads throttle
 
@@ -196,5 +201,129 @@ func TestServeDELBatched(t *testing.T) {
 	// Redis counts only keys that existed.
 	if v, _ := cl.DoStrings("DEL", "a", "ghost"); v.Int != 0 {
 		t.Fatalf("DEL of absent keys = %+v, want 0", v)
+	}
+}
+
+// TestServePersistPTTL: PERSIST removes an expiry (1) or reports none
+// (0/-flavored), PTTL mirrors TTL in milliseconds with Redis's -1/-2
+// sentinels.
+func TestServePersistPTTL(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "ttl2", QuotaRU: 100000, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "ttl2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	cl.DoStrings("SET", "k", "v", "EX", "100")
+	if v, _ := cl.DoStrings("PTTL", "k"); v.Int <= 0 || v.Int > 100_000 {
+		t.Fatalf("PTTL = %+v, want 0 < ms <= 100000", v)
+	}
+	if v, _ := cl.DoStrings("PERSIST", "k"); v.Int != 1 {
+		t.Fatalf("PERSIST = %+v, want 1", v)
+	}
+	if v, _ := cl.DoStrings("PTTL", "k"); v.Int != -1 {
+		t.Fatalf("PTTL after PERSIST = %+v, want -1", v)
+	}
+	if v, _ := cl.DoStrings("PERSIST", "k"); v.Int != 0 {
+		t.Fatalf("second PERSIST = %+v, want 0 (no TTL to remove)", v)
+	}
+	if v, _ := cl.DoStrings("PERSIST", "ghost"); v.Int != 0 {
+		t.Fatalf("PERSIST absent = %+v, want 0", v)
+	}
+	if v, _ := cl.DoStrings("PTTL", "ghost"); v.Int != -2 {
+		t.Fatalf("PTTL absent = %+v, want -2", v)
+	}
+	if v, _ := cl.DoStrings("PERSIST"); !v.IsError() {
+		t.Fatalf("PERSIST arity = %+v", v)
+	}
+	if v, _ := cl.DoStrings("PTTL", "a", "b"); !v.IsError() {
+		t.Fatalf("PTTL arity = %+v", v)
+	}
+	// A persisted key must now survive what the TTL would have allowed:
+	// GET still serves it (no expiry left to race).
+	if v, _ := cl.DoStrings("GET", "k"); v.Text() != "v" {
+		t.Fatalf("GET after PERSIST = %+v", v)
+	}
+}
+
+// TestServeHSETMultiField: one HSET command with several pairs applies
+// them atomically as one fleet admission; the reply counts NEW fields
+// only, with left-to-right duplicate handling.
+func TestServeHSETMultiField(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "hash2", QuotaRU: 100000})
+	addr, srv, err := c.Serve("127.0.0.1:0", "hash2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("HSET", "h", "f1", "a", "f1", "b", "f2", "c"); v.Int != 2 {
+		t.Fatalf("HSET dup-field = %+v, want 2 new fields", v)
+	}
+	if v, _ := cl.DoStrings("HGET", "h", "f1"); v.Text() != "b" {
+		t.Fatalf("HGET f1 = %+v, want last-wins b", v)
+	}
+	if v, _ := cl.DoStrings("HSET", "h", "f2", "c2", "f3", "d"); v.Int != 1 {
+		t.Fatalf("HSET overwrite+new = %+v, want 1", v)
+	}
+	if v, _ := cl.DoStrings("HLEN", "h"); v.Int != 3 {
+		t.Fatalf("HLEN = %+v", v)
+	}
+	if v, _ := cl.DoStrings("HSET", "h", "f4"); !v.IsError() {
+		t.Fatalf("HSET odd arity = %+v, want error", v)
+	}
+}
+
+// TestServeHotkeysCommand: the HOTKEYS admin command surfaces the data
+// plane's heavy hitters as key/estimate pairs, hottest first.
+func TestServeHotkeysCommand(t *testing.T) {
+	// Sample every access and disable the proxy cache so the hammered
+	// key's traffic reaches the DataNode sketches deterministically.
+	c := newCluster(t, ClusterConfig{Nodes: 3, HotSampleRate: 1, AdmitCost: time.Nanosecond})
+	c.CreateTenant(TenantSpec{Name: "hotk", QuotaRU: 1e9, Partitions: 2, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "hotk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	cl.DoStrings("SET", "blazing", "v")
+	cl.DoStrings("SET", "warm", "v")
+	for i := 0; i < 120; i++ {
+		cl.DoStrings("GET", "blazing")
+		if i%10 == 0 {
+			cl.DoStrings("GET", "warm")
+		}
+	}
+	v, err := cl.DoStrings("HOTKEYS", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Array) != 4 { // two key/count pairs
+		t.Fatalf("HOTKEYS = %+v, want 2 pairs", v)
+	}
+	if v.Array[0].Text() != "blazing" {
+		t.Fatalf("hottest = %+v, want blazing", v.Array[0])
+	}
+	if v.Array[1].Int < 50 {
+		t.Fatalf("blazing estimate = %+v, want ≈121", v.Array[1])
+	}
+	if v.Array[2].Text() != "warm" {
+		t.Fatalf("second = %+v, want warm", v.Array[2])
+	}
+	if e, _ := cl.DoStrings("HOTKEYS", "zero"); !e.IsError() {
+		t.Fatalf("HOTKEYS non-integer = %+v", e)
+	}
+	if e, _ := cl.DoStrings("HOTKEYS", "1", "2"); !e.IsError() {
+		t.Fatalf("HOTKEYS arity = %+v", e)
 	}
 }

@@ -268,15 +268,17 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		added := int64(0)
+		// One command is one admission: all field/value pairs travel as
+		// a single multi-field write instead of one round trip per pair.
+		fvs := make([]FieldValue, 0, len(cmd.Args)/2)
 		for i := 1; i < len(cmd.Args); i += 2 {
-			n, err := c.HSet(cmd.Args[0], string(cmd.Args[i]), cmd.Args[i+1])
-			if err != nil {
-				return opErr(err)
-			}
-			added += int64(n)
+			fvs = append(fvs, FieldValue{Field: string(cmd.Args[i]), Value: cmd.Args[i+1]})
 		}
-		return resp.Int64(added)
+		added, err := c.HSetFields(cmd.Args[0], fvs)
+		if err != nil {
+			return opErr(err)
+		}
+		return resp.Int64(int64(added))
 
 	case "HGET":
 		if len(cmd.Args) != 2 {
@@ -372,8 +374,20 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 			return errV
 		}
 		sec, err := strconv.Atoi(string(cmd.Args[1]))
-		if err != nil || sec <= 0 {
-			return resp.Err("ERR invalid expire time")
+		if err != nil {
+			return resp.Err("ERR value is not an integer or out of range")
+		}
+		if sec <= 0 {
+			// Redis semantics: a zero or negative expiry deletes the key
+			// immediately and replies 1 (0 when it did not exist).
+			switch err := c.Delete(cmd.Args[0]); {
+			case errors.Is(err, ErrNotFound):
+				return resp.Int64(0)
+			case err != nil:
+				return opErr(err)
+			default:
+				return resp.Int64(1)
+			}
 		}
 		switch err := c.Expire(cmd.Args[0], time.Duration(sec)*time.Second); {
 		case errors.Is(err, ErrNotFound):
@@ -382,6 +396,46 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 			return opErr(err)
 		default:
 			return resp.Int64(1)
+		}
+
+	case "PERSIST":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("persist")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		removed, err := c.Persist(cmd.Args[0])
+		switch {
+		case errors.Is(err, ErrNotFound):
+			return resp.Int64(0)
+		case err != nil:
+			return opErr(err)
+		case removed:
+			return resp.Int64(1)
+		default:
+			return resp.Int64(0) // key exists but had no TTL
+		}
+
+	case "PTTL":
+		if len(cmd.Args) != 1 {
+			return wrongArgs("pttl")
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		ttl, hasTTL, err := c.TTL(cmd.Args[0])
+		switch {
+		case errors.Is(err, ErrNotFound):
+			return resp.Int64(-2) // Redis: key does not exist
+		case err != nil:
+			return opErr(err)
+		case !hasTTL:
+			return resp.Int64(-1) // Redis: no associated expire
+		default:
+			return resp.Int64(ttl.Milliseconds())
 		}
 
 	case "SCAN":
@@ -464,6 +518,36 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 			return opErr(err)
 		}
 		return resp.Int64(n)
+
+	case "HOTKEYS":
+		// Admin command: HOTKEYS [count] returns the tenant's current
+		// heavy hitters as a flat key/estimated-count pair list,
+		// hottest first. Counts are decayed window estimates from the
+		// data plane's hotspot sketches.
+		if len(cmd.Args) > 1 {
+			return wrongArgs("hotkeys")
+		}
+		count := 10
+		if len(cmd.Args) == 1 {
+			n, err := strconv.Atoi(string(cmd.Args[0]))
+			if err != nil || n <= 0 {
+				return resp.Err("ERR value is not an integer or out of range")
+			}
+			count = n
+		}
+		c, errV := s.client()
+		if c == nil {
+			return errV
+		}
+		hot, err := c.HotKeys(count)
+		if err != nil {
+			return opErr(err)
+		}
+		out := make([]resp.Value, 0, len(hot)*2)
+		for _, hk := range hot {
+			out = append(out, resp.Bulk(hk.Key), resp.Int64(int64(hk.Count+0.5)))
+		}
+		return resp.Arr(out...)
 
 	case "COMMAND":
 		return resp.Arr() // clients probe this at connect
