@@ -46,6 +46,21 @@ var (
 	// ErrBadCursor is returned when a scan cursor cannot be decoded;
 	// restart the traversal from the empty cursor.
 	ErrBadCursor = proxy.ErrBadCursor
+	// ErrUnavailable is returned while a request's DataNode is down and
+	// no failover has completed yet; callers should back off and retry.
+	ErrUnavailable = datanode.ErrNodeDown
+)
+
+// ReadPreference selects which replica serves a client's reads.
+type ReadPreference = proxy.ReadPreference
+
+// Read preferences.
+const (
+	// ReadPrimary serves reads from partition primaries (the default).
+	ReadPrimary = proxy.ReadPrimary
+	// ReadFollower lets staleness-bounded follower replicas serve
+	// reads, which keeps keys readable while their primary is down.
+	ReadFollower = proxy.ReadFollower
 )
 
 // KV is one key/value pair in a batched write.
@@ -137,6 +152,11 @@ type ClusterConfig struct {
 	// HotSampleRate samples the DataNode heavy-hitter sketches: one in
 	// every N key accesses is recorded (default 4; 1 records all).
 	HotSampleRate int
+	// DownAfterProbes is how many consecutive failed health probes mark
+	// a DataNode down and trigger primary failover (default 2). Probes
+	// run on every MonitorTrafficOnce cycle and on proxy suspect
+	// reports.
+	DownAfterProbes int
 }
 
 // Cluster is an embedded ABase deployment.
@@ -172,6 +192,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			HeatSplitThreshold:     cfg.HeatSplitThreshold,
 			HeatSplitWindows:       cfg.HeatSplitWindows,
 			HeatSplitMaxPartitions: cfg.HeatSplitMaxPartitions,
+			DownAfterProbes:        cfg.DownAfterProbes,
 		}),
 		tenants: make(map[string]*Tenant),
 	}
@@ -231,6 +252,11 @@ type TenantSpec struct {
 	// default (2); negative disables the gate and caches every read
 	// (the legacy policy).
 	ProxyHotAdmitThreshold int
+	// MaxFollowerLag bounds follower-read staleness in replication
+	// positions (applied writes the follower may trail its primary by;
+	// default 1024). Only consulted by clients that opt into
+	// ReadFollower.
+	MaxFollowerLag uint64
 }
 
 // Tenant is a provisioned tenant with its proxy fleet.
@@ -279,6 +305,7 @@ func (c *Cluster) CreateTenant(spec TenantSpec) (*Tenant, error) {
 		ProxyQuota:        mt.Quota.ProxyQuota(),
 		BatchFanout:       spec.BatchFanout,
 		HotAdmitThreshold: spec.ProxyHotAdmitThreshold,
+		MaxFollowerLag:    spec.MaxFollowerLag,
 	}, spec.Proxies, spec.ProxyGroups, 1)
 	if err != nil {
 		return nil, err
@@ -300,12 +327,14 @@ func (c *Cluster) Tenant(name string) (*Tenant, error) {
 }
 
 // MonitorTrafficOnce runs one traffic-control cycle over the given
-// window: proxy quota enforcement (§4.2) plus the heat monitor, which
-// doubles a tenant's partitions when sustained per-partition heat
-// exceeds ClusterConfig.HeatSplitThreshold. Production deployments
-// call this on a ticker. It returns the tenants whose partition count
-// was split this cycle (usually none).
+// window: node health probes (which fail over dead primaries), proxy
+// quota enforcement (§4.2), and the heat monitor, which doubles a
+// tenant's partitions when sustained per-partition heat exceeds
+// ClusterConfig.HeatSplitThreshold. Production deployments call this
+// on a ticker. It returns the tenants whose partition count was split
+// this cycle (usually none).
 func (c *Cluster) MonitorTrafficOnce(window time.Duration) []string {
+	c.Meta.MonitorNodeHealth()
 	c.Meta.MonitorProxyTraffic(window)
 	return c.Meta.MonitorPartitionHeat()
 }
@@ -360,10 +389,21 @@ func (t *Tenant) Client() *Client { return &Client{fleet: t.fleet} }
 // routed through the proxy plane.
 type Client struct {
 	fleet *proxy.Fleet
+	pref  ReadPreference
 }
 
+// SetReadPreference selects which replica serves this client's reads:
+// ReadFollower opts a read-mostly client into staleness-bounded
+// follower reads (and keeps its reads served while a primary is down);
+// ReadPrimary (the default) restores primary reads. RESP sessions
+// toggle this with READONLY/READWRITE.
+func (c *Client) SetReadPreference(pref ReadPreference) { c.pref = pref }
+
+// ReadPreference reports the client's current read preference.
+func (c *Client) ReadPreference() ReadPreference { return c.pref }
+
 // Get reads a key.
-func (c *Client) Get(key []byte) ([]byte, error) { return c.fleet.Get(key) }
+func (c *Client) Get(key []byte) ([]byte, error) { return c.fleet.GetPref(key, c.pref) }
 
 // Set writes a key with an optional TTL (0 = no expiry).
 func (c *Client) Set(key, value []byte, ttl time.Duration) error {

@@ -6,7 +6,7 @@
 //	abase-bench -run table1,fig6,fig9
 //
 // Experiments: table1, fig3 (alias fig4), fig4, fig5, fig6, fig7,
-// fig8a, fig8b, fig9, fig10, table2, util, batch, scan, hotspot,
+// fig8a, fig8b, fig9, fig10, table2, util, batch, scan, hotspot, failover,
 // ablations.
 package main
 
@@ -101,6 +101,10 @@ func main() {
 		_, _, t := experiments.HotspotMitigation(experiments.HotspotOpts{})
 		t.Fprint(out)
 	})
+	runExp([]string{"failover"}, func() {
+		_, t := experiments.FailoverAvailability(experiments.FailoverOpts{})
+		t.Fprint(out)
+	})
 	runExp([]string{"ablations"}, func() {
 		experiments.AblationSALRU(0).Fprint(out)
 		experiments.AblationActiveUpdate().Fprint(out)
@@ -111,7 +115,7 @@ func main() {
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *run)
-		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch scan hotspot ablations all")
+		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch scan hotspot failover ablations all")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,264 @@
+package abase
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"abase/internal/faultinject"
+	"abase/internal/resp"
+)
+
+// TestClusterFailoverEndToEnd drives the whole stack: kill a primary
+// under the fault injector, let the monitor fail it over, and check
+// that the client's writes resume, nothing acknowledged is lost, and
+// follower reads serve during the outage.
+func TestClusterFailoverEndToEnd(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 4})
+	ten, err := c.CreateTenant(TenantSpec{Name: "ft", QuotaRU: 1e9, Partitions: 4, DisableProxyCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ten.Client()
+	model := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k, v := fmt.Sprintf("k-%03d", i), fmt.Sprintf("v-%03d", i)
+		if err := cl.Set([]byte(k), []byte(v), 0); err != nil {
+			t.Fatal(err)
+		}
+		model[k] = v
+	}
+	c.Meta.FlushReplication()
+
+	// Kill the primary of k-000's partition via the injector.
+	route, err := c.Meta.RouteFor("ft", []byte("k-000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := c.Meta.Node(route.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(c.cfg.Clock)
+	inj.Kill(victim)
+
+	// During the outage, primary reads on the affected key fail but a
+	// follower-preference client keeps reading.
+	if _, err := cl.Get([]byte("k-000")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("primary read during outage: %v, want ErrUnavailable", err)
+	}
+	fcl := ten.Client()
+	fcl.SetReadPreference(ReadFollower)
+	if v, err := fcl.Get([]byte("k-000")); err != nil || string(v) != "v-000" {
+		t.Fatalf("follower read during outage = %q, %v", v, err)
+	}
+
+	// Two monitor cycles cross the probe threshold and promote.
+	c.MonitorTrafficOnce(time.Second)
+	c.MonitorTrafficOnce(time.Second)
+
+	// Writes resume (the proxy's bounded retry hides the new route).
+	if err := cl.Set([]byte("k-000"), []byte("v-post"), 0); err != nil {
+		t.Fatalf("write after monitor-driven failover: %v", err)
+	}
+	model["k-000"] = "v-post"
+
+	// Nothing acknowledged is lost, via primary reads.
+	for k, want := range model {
+		got, err := cl.Get([]byte(k))
+		if err != nil || string(got) != want {
+			t.Fatalf("key %s = %q, %v (want %q)", k, got, err, want)
+		}
+	}
+
+	// The revived node is fenced and rejoins as a follower.
+	inj.Revive(victim)
+	c.MonitorTrafficOnce(time.Second)
+	if err := cl.Set([]byte("k-000"), []byte("v-final"), 0); err != nil {
+		t.Fatalf("write after revival: %v", err)
+	}
+	if v, err := cl.Get([]byte("k-000")); err != nil || string(v) != "v-final" {
+		t.Fatalf("read after revival = %q, %v", v, err)
+	}
+}
+
+// TestClusterFailoverUnderConcurrentTraffic is the cluster-level race
+// test: MGET/MSET/SCAN traffic runs while a primary dies and is failed
+// over, with `-race` watching the whole stack. Acked writes survive.
+func TestClusterFailoverUnderConcurrentTraffic(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 5})
+	ten, err := c.CreateTenant(TenantSpec{Name: "race", QuotaRU: 1e9, Partitions: 4, DisableProxyCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ten.Client()
+	var keys [][]byte
+	for i := 0; i < 128; i++ {
+		k := []byte(fmt.Sprintf("rk-%03d", i))
+		keys = append(keys, k)
+		if err := cl.Set(k, []byte("base"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Meta.FlushReplication()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // batched readers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cl.MGet(keys...)
+		}
+	}()
+	go func() { // scanners
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cursor := ""
+			for i := 0; i < 1000; i++ {
+				_, next, err := cl.Scan(cursor, "", 32)
+				if err != nil || next == "" {
+					break
+				}
+				cursor = next
+			}
+		}
+	}()
+	acked := make(chan string, 4096)
+	go func() { // writer
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := keys[i%len(keys)]
+			v := fmt.Sprintf("w-%06d", i)
+			if err := cl.Set(k, []byte(v), 0); err == nil {
+				select {
+				case acked <- string(k) + "=" + v:
+				default:
+				}
+			}
+			i++
+		}
+	}()
+
+	// Chaos in the middle of the traffic.
+	route, _ := c.Meta.RouteFor("race", keys[0])
+	victim, _ := c.Meta.Node(route.Primary)
+	victim.SetDown(true)
+	c.MonitorTrafficOnce(time.Second)
+	c.MonitorTrafficOnce(time.Second)
+	time.Sleep(20 * time.Millisecond)
+	victim.SetDown(false)
+	c.MonitorTrafficOnce(time.Second)
+
+	close(stop)
+	wg.Wait()
+	close(acked)
+
+	// Sample of acked writes: the LAST ack per key must not read as
+	// lost (an older value is fine — later unacked writes may have
+	// raced — but error/absence is not).
+	last := map[string]string{}
+	for kv := range acked {
+		for eq := 0; eq < len(kv); eq++ {
+			if kv[eq] == '=' {
+				last[kv[:eq]] = kv[eq+1:]
+				break
+			}
+		}
+	}
+	for k := range last {
+		if _, err := cl.Get([]byte(k)); err != nil {
+			t.Fatalf("acked key %s unreadable after chaos: %v", k, err)
+		}
+	}
+	// Full scan terminates and covers the keyspace.
+	seen := map[string]bool{}
+	cursor := ""
+	for i := 0; ; i++ {
+		if i > 10_000 {
+			t.Fatal("cursor did not terminate")
+		}
+		ks, next, err := cl.Scan(cursor, "", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks {
+			seen[string(k)] = true
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	for _, k := range keys {
+		if !seen[string(k)] {
+			t.Fatalf("scan missed key %s after failover", k)
+		}
+	}
+}
+
+// TestServeReadOnlyReadWrite: the RESP session toggles follower reads
+// with READONLY/READWRITE, and a READONLY session keeps answering GETs
+// while the key's primary is down.
+func TestServeReadOnlyReadWrite(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	if _, err := c.CreateTenant(TenantSpec{Name: "ro", QuotaRU: 1e9, DisableProxyCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	addr, srv, err := c.Serve("127.0.0.1:0", "ro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("SET", "k", "v"); v.Text() != "OK" {
+		t.Fatalf("SET = %+v", v)
+	}
+	c.Meta.FlushReplication()
+	if v, _ := cl.DoStrings("READONLY", "extra"); !v.IsError() {
+		t.Fatalf("READONLY with args = %+v", v)
+	}
+	if v, _ := cl.DoStrings("READONLY"); v.Text() != "OK" {
+		t.Fatalf("READONLY = %+v", v)
+	}
+
+	route, _ := c.Meta.RouteFor("ro", []byte("k"))
+	victim, _ := c.Meta.Node(route.Primary)
+	victim.SetDown(true)
+
+	// Follower-preference session reads through the outage.
+	if v, _ := cl.DoStrings("GET", "k"); v.Text() != "v" {
+		t.Fatalf("READONLY GET during outage = %+v", v)
+	}
+	// Back to primary reads: the same GET now reports unavailability.
+	if v, _ := cl.DoStrings("READWRITE"); v.Text() != "OK" {
+		t.Fatalf("READWRITE = %+v", v)
+	}
+	if v, _ := cl.DoStrings("GET", "k"); !v.IsError() {
+		t.Fatalf("READWRITE GET during outage = %+v, want UNAVAILABLE error", v)
+	}
+	victim.SetDown(false)
+	if v, _ := cl.DoStrings("GET", "k"); v.Text() != "v" {
+		t.Fatalf("GET after revival = %+v", v)
+	}
+}

@@ -51,9 +51,12 @@ type GetBatch struct {
 }
 
 // PutBatch is the slice of a node batch that writes one partition.
+// Epoch, when non-zero, is the route epoch the caller believes is
+// current; the sub-batch is fenced with ErrStaleEpoch on mismatch.
 type PutBatch struct {
-	PID partition.ID
-	Ops []WriteOp
+	PID   partition.ID
+	Ops   []WriteOp
+	Epoch uint64
 }
 
 // groupRun is the per-partition execution state of one node batch.
@@ -232,6 +235,11 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 			out[i].Err = err
 			continue
 		}
+		// Fence the whole sub-batch before any accounting (see write).
+		if err := rep.checkWrite(g.Epoch); err != nil {
+			out[i].Err = err
+			continue
+		}
 		rep.recordAccessOps(g.Ops)
 		ts, est := n.tenantState(g.PID.Tenant)
 		vals := make([]BatchValue, len(g.Ops))
@@ -353,7 +361,8 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 			r.ts.success.Inc()
 		}
 		if len(ok) > 0 {
-			n.replicator.ReplicateBatch(r.rep.id, ok)
+			pos := r.rep.replPos.Add(uint64(len(ok)))
+			n.replicator.ReplicateBatch(r.rep.id, ok, pos)
 		}
 		r.ts.ruUsed.Add(o.RU)
 		r.ts.latency.Observe(lat)

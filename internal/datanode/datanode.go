@@ -28,6 +28,24 @@ var ErrNotFound = errors.New("datanode: key not found")
 // ErrNoPartition is returned when the node does not host the replica.
 var ErrNoPartition = errors.New("datanode: partition not hosted here")
 
+// ErrNodeDown is returned by every operation while the node is marked
+// down (crash or network partition, injected by the fault harness or
+// declared by the control plane). Proxies treat it as a routing signal:
+// report the node, refresh routes, retry once.
+var ErrNodeDown = errors.New("datanode: node down")
+
+// ErrNotPrimary is returned when a write reaches a replica that is not
+// the partition's primary — either a follower, or a primary that has
+// been demoted (fenced) by a failover. The proxy refreshes its route
+// cache and retries against the new primary.
+var ErrNotPrimary = errors.New("datanode: not the primary replica")
+
+// ErrStaleEpoch is returned when a write carries a route epoch that
+// does not match the replica's configured epoch: one of the two (the
+// proxy's route cache or this replica) missed a primary change. The
+// proxy refreshes its routes and retries.
+var ErrStaleEpoch = errors.New("datanode: stale route epoch")
+
 // CostModel holds the simulated service times that make cache hits and
 // misses consume different resources (Challenge 1). Durations are
 // slept on the node's clock inside the WFQ stages.
@@ -136,22 +154,26 @@ func (c Config) withDefaults() Config {
 
 // Replicator propagates writes to follower replicas on other nodes.
 // Implementations must not block the caller for long; ABase replication
-// is asynchronous (eventual consistency).
+// is asynchronous (eventual consistency). pos is the primary's
+// replication position after this write (after the batch's last op for
+// ReplicateBatch): followers adopt it monotonically, which keeps
+// positions comparable across replicas — a rebuilt follower does not
+// restart from zero and a long-dead one cannot look fresher than it is.
 type Replicator interface {
-	Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, delete bool)
+	Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, delete bool, pos uint64)
 	// ReplicateBatch propagates a group-committed sub-batch as one
 	// replication message per follower instead of one per key.
-	ReplicateBatch(rid partition.ReplicaID, ops []WriteOp)
+	ReplicateBatch(rid partition.ReplicaID, ops []WriteOp, pos uint64)
 }
 
 // NopReplicator discards replication traffic (single-node tests).
 type NopReplicator struct{}
 
 // Replicate implements Replicator.
-func (NopReplicator) Replicate(partition.ReplicaID, []byte, []byte, time.Duration, bool) {}
+func (NopReplicator) Replicate(partition.ReplicaID, []byte, []byte, time.Duration, bool, uint64) {}
 
 // ReplicateBatch implements Replicator.
-func (NopReplicator) ReplicateBatch(partition.ReplicaID, []WriteOp) {}
+func (NopReplicator) ReplicateBatch(partition.ReplicaID, []WriteOp, uint64) {}
 
 // replica is one hosted partition replica.
 type replica struct {
@@ -159,11 +181,49 @@ type replica struct {
 	db      *lavastore.DB
 	limiter *quota.PartitionLimiter
 	quotaRU float64
-	primary bool
+	// primary and epoch change at runtime (failover promotion and
+	// fencing) while reads and writes are in flight, so they are
+	// atomics rather than mu-guarded fields.
+	primaryF atomic.Bool
+	epoch    atomic.Uint64
+	// replPos counts the write operations applied to this replica's
+	// store (local writes on the primary, replicated applies on
+	// followers). The difference between a primary's and a follower's
+	// position bounds the follower's staleness, which gates both
+	// follower reads and failover promotion.
+	replPos atomic.Uint64
 	// hot tracks the replica's heavy-hitter keys (sampled); heat is the
 	// exact decayed access rate that drives splits and rescheduling.
 	hot  *hotspot.Detector
 	heat *hotspot.Meter
+}
+
+// isPrimary reports whether this replica currently serves writes.
+func (r *replica) isPrimary() bool { return r.primaryF.Load() }
+
+// advancePos raises the replica's replication position to pos (never
+// lowers it) — the follower half of position propagation.
+func (r *replica) advancePos(pos uint64) {
+	for {
+		cur := r.replPos.Load()
+		if pos <= cur || r.replPos.CompareAndSwap(cur, pos) {
+			return
+		}
+	}
+}
+
+// checkWrite fences the write path: only the current primary accepts
+// writes, and a caller-supplied route epoch (non-zero) must match the
+// replica's configured epoch exactly — a mismatch in either direction
+// means someone missed a primary change.
+func (r *replica) checkWrite(epoch uint64) error {
+	if !r.isPrimary() {
+		return fmt.Errorf("%w: %s", ErrNotPrimary, r.id.Partition)
+	}
+	if epoch != 0 && epoch != r.epoch.Load() {
+		return fmt.Errorf("%w: request %d, replica %d", ErrStaleEpoch, epoch, r.epoch.Load())
+	}
+	return nil
 }
 
 // tenantStats aggregates per-tenant observability on this node.
@@ -193,6 +253,7 @@ type Node struct {
 	closed     bool
 
 	quotaOn atomic.Bool // runtime partition-quota toggle (experiments)
+	down    atomic.Bool // fault-injected or control-plane-declared outage
 }
 
 // New starts a DataNode.
@@ -250,12 +311,11 @@ func (n *Node) AddReplica(rid partition.ReplicaID, quotaRU float64, primary bool
 	if err != nil {
 		return err
 	}
-	n.replicas[rid.Partition] = &replica{
+	rep := &replica{
 		id:      rid,
 		db:      db,
 		limiter: quota.NewPartitionLimiter(quotaRU, n.cfg.Clock),
 		quotaRU: quotaRU,
-		primary: primary,
 		hot: hotspot.NewDetector(hotspot.Config{
 			TopK:       n.cfg.HotTopK,
 			SampleRate: n.cfg.HotSampleRate,
@@ -264,7 +324,75 @@ func (n *Node) AddReplica(rid partition.ReplicaID, quotaRU float64, primary bool
 		}),
 		heat: hotspot.NewMeter(n.cfg.HotWindow, n.cfg.Clock),
 	}
+	rep.primaryF.Store(primary)
+	rep.epoch.Store(1)
+	n.replicas[rid.Partition] = rep
 	return nil
+}
+
+// SetDown marks the node down (true) or back up (false). While down,
+// every operation — client traffic and replication applies alike —
+// fails fast with ErrNodeDown; the stored data survives, matching a
+// network partition or a crashed process whose disks persist. The
+// fault-injection harness and the control plane drive this.
+func (n *Node) SetDown(down bool) { n.down.Store(down) }
+
+// Alive reports whether the node is serving (the control plane's
+// health probe).
+func (n *Node) Alive() bool { return !n.down.Load() }
+
+// SetReplicaRole reconfigures a hosted replica's role under a new
+// route epoch: the control plane promotes a follower with
+// primary=true (after the replication backlog has drained) and fences
+// a demoted primary with primary=false. The epoch must not move
+// backwards; a lower epoch than the replica already holds is a stale
+// control message and is rejected.
+func (n *Node) SetReplicaRole(pid partition.ID, primary bool, epoch uint64) error {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return err
+	}
+	if cur := rep.epoch.Load(); epoch < cur {
+		return fmt.Errorf("%w: role change at epoch %d, replica at %d", ErrStaleEpoch, epoch, cur)
+	}
+	rep.epoch.Store(epoch)
+	rep.primaryF.Store(primary)
+	return nil
+}
+
+// ReplicaRole reports a hosted replica's current role and epoch.
+func (n *Node) ReplicaRole(pid partition.ID) (primary bool, epoch uint64, err error) {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return false, 0, err
+	}
+	return rep.isPrimary(), rep.epoch.Load(), nil
+}
+
+// ReplicationPosition returns how many write operations have been
+// applied to the hosted replica's store. Comparing a follower's
+// position with its primary's bounds the follower's staleness: the
+// promotion path requires the candidate with the highest position, and
+// follower reads fall back to the primary when the lag exceeds the
+// proxy's bound. Replicas the node does not host report 0.
+func (n *Node) ReplicationPosition(pid partition.ID) uint64 {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return 0
+	}
+	return rep.replPos.Load()
+}
+
+// AdoptReplicationPosition raises a hosted replica's replication
+// position to pos (never lowering it). Repair calls it after a
+// replica copy so the rebuilt follower inherits its source's
+// position instead of restarting from its live-key count — otherwise
+// a freshly rebuilt (fully caught-up) follower would look staler than
+// a long-dead one at promotion time.
+func (n *Node) AdoptReplicationPosition(pid partition.ID, pos uint64) {
+	if rep, err := n.getReplica(pid); err == nil {
+		rep.advancePos(pos)
+	}
 }
 
 // RemoveReplica stops hosting a partition replica and releases its
@@ -315,6 +443,12 @@ func (n *Node) SetPartitionQuota(pid partition.ID, quotaRU float64) error {
 }
 
 func (n *Node) getReplica(pid partition.ID) (*replica, error) {
+	// The down check sits on the shared replica-resolution path so that
+	// every operation — point, batch, scan, and replication applies —
+	// fails fast during an outage without touching the engine.
+	if n.down.Load() {
+		return nil, ErrNodeDown
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	rep, ok := n.replicas[pid]

@@ -181,11 +181,11 @@ func TestReplicationFabric(t *testing.T) {
 
 type replFunc func(partition.ReplicaID, []byte, []byte, time.Duration, bool)
 
-func (f replFunc) Replicate(r partition.ReplicaID, k, v []byte, ttl time.Duration, del bool) {
+func (f replFunc) Replicate(r partition.ReplicaID, k, v []byte, ttl time.Duration, del bool, _ uint64) {
 	f(r, k, v, ttl, del)
 }
 
-func (f replFunc) ReplicateBatch(r partition.ReplicaID, ops []WriteOp) {
+func (f replFunc) ReplicateBatch(r partition.ReplicaID, ops []WriteOp, _ uint64) {
 	for _, op := range ops {
 		f(r, op.Key, op.Value, op.TTL, op.Delete)
 	}

@@ -148,19 +148,38 @@ func boolTo01(hit bool) float64 {
 }
 
 // Put writes key=value with an optional TTL on the primary replica and
-// replicates asynchronously.
+// replicates asynchronously. The zero epoch skips the stale-route
+// check (trusted internal callers); proxies use PutAt with the epoch
+// from their route cache.
 func (n *Node) Put(pid partition.ID, key, value []byte, ttl time.Duration) (OpResult, error) {
-	return n.write(pid, key, value, ttl, false)
+	return n.write(pid, 0, key, value, ttl, false)
+}
+
+// PutAt is Put with the caller's route epoch: the write is fenced with
+// ErrStaleEpoch when the epoch does not match the replica's, and with
+// ErrNotPrimary when this replica no longer serves writes.
+func (n *Node) PutAt(pid partition.ID, epoch uint64, key, value []byte, ttl time.Duration) (OpResult, error) {
+	return n.write(pid, epoch, key, value, ttl, false)
 }
 
 // Delete removes key.
 func (n *Node) Delete(pid partition.ID, key []byte) (OpResult, error) {
-	return n.write(pid, key, nil, 0, true)
+	return n.write(pid, 0, key, nil, 0, true)
 }
 
-func (n *Node) write(pid partition.ID, key, value []byte, ttl time.Duration, del bool) (OpResult, error) {
+// DeleteAt is Delete with the caller's route epoch (see PutAt).
+func (n *Node) DeleteAt(pid partition.ID, epoch uint64, key []byte) (OpResult, error) {
+	return n.write(pid, epoch, key, nil, 0, true)
+}
+
+func (n *Node) write(pid partition.ID, epoch uint64, key, value []byte, ttl time.Duration, del bool) (OpResult, error) {
 	rep, err := n.getReplica(pid)
 	if err != nil {
+		return OpResult{}, err
+	}
+	// Fence before any accounting: a demoted primary must reject the
+	// write outright so the proxy re-routes to the new primary.
+	if err := rep.checkWrite(epoch); err != nil {
 		return OpResult{}, err
 	}
 	rep.recordAccess(key)
@@ -242,7 +261,8 @@ func (n *Node) write(pid partition.ID, key, value []byte, ttl time.Duration, del
 		ts.errors.Inc()
 		return OpResult{Latency: lat}, opErr
 	}
-	n.replicator.Replicate(rep.id, key, value, ttl, del)
+	pos := rep.replPos.Add(1)
+	n.replicator.Replicate(rep.id, key, value, ttl, del, pos)
 	ts.success.Inc()
 	ts.ruUsed.Add(cost)
 	ts.latency.Observe(lat)
@@ -251,19 +271,64 @@ func (n *Node) write(pid partition.ID, key, value []byte, ttl time.Duration, del
 
 // ApplyReplicated applies a replicated write on a follower replica,
 // bypassing quota and WFQ (replication traffic is system traffic).
+// Direct callers (preload, split rehash, replica copy) use this form;
+// the replication fabric uses ApplyReplicatedAt so the follower's
+// position tracks the primary's instead of a local count.
 func (n *Node) ApplyReplicated(pid partition.ID, key, value []byte, ttl time.Duration, del bool) error {
 	rep, err := n.getReplica(pid)
 	if err != nil {
 		return err
 	}
-	// Invalidate rather than populate: follower reads happen only
-	// after failover, so write-through would fill the cache with
-	// values that are never read while still risking staleness.
+	// Invalidate rather than populate: follower reads are rare next to
+	// primary traffic, so write-through would fill the cache with
+	// values that are seldom read while still risking staleness.
 	n.cache.Delete(cacheKey(pid, key))
+	var werr error
 	if del {
-		return rep.db.Delete(key)
+		werr = rep.db.Delete(key)
+	} else {
+		werr = rep.db.Put(key, value, ttl)
 	}
-	return rep.db.Put(key, value, ttl)
+	if werr == nil {
+		rep.replPos.Add(1)
+	}
+	return werr
+}
+
+// ApplyReplicatedAt is ApplyReplicated for the replication fabric: pos
+// is the primary's position after this write, which the follower
+// adopts monotonically (positions stay comparable across replicas).
+func (n *Node) ApplyReplicatedAt(pid partition.ID, pos uint64, key, value []byte, ttl time.Duration, del bool) error {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return err
+	}
+	n.cache.Delete(cacheKey(pid, key))
+	var werr error
+	if del {
+		werr = rep.db.Delete(key)
+	} else {
+		werr = rep.db.Put(key, value, ttl)
+	}
+	if werr == nil {
+		rep.advancePos(pos)
+	}
+	return werr
+}
+
+// ApplyReplicatedBatchAt is ApplyReplicatedBatch for the replication
+// fabric (see ApplyReplicatedAt); pos is the primary's position after
+// the batch's last op.
+func (n *Node) ApplyReplicatedBatchAt(pid partition.ID, pos uint64, ops []WriteOp) error {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return err
+	}
+	if err := n.applyBatchLocked(rep, pid, ops); err != nil {
+		return err
+	}
+	rep.advancePos(pos)
+	return nil
 }
 
 // ApplyReplicatedBatch applies a replicated sub-batch on a follower
@@ -273,6 +338,17 @@ func (n *Node) ApplyReplicatedBatch(pid partition.ID, ops []WriteOp) error {
 	if err != nil {
 		return err
 	}
+	if err := n.applyBatchLocked(rep, pid, ops); err != nil {
+		return err
+	}
+	rep.replPos.Add(uint64(len(ops)))
+	return nil
+}
+
+// applyBatchLocked group-commits a replicated sub-batch to rep's store
+// and invalidates the touched cache entries (invalidate rather than
+// populate: see ApplyReplicated).
+func (n *Node) applyBatchLocked(rep *replica, pid partition.ID, ops []WriteOp) error {
 	batch := make([]lavastore.BatchOp, len(ops))
 	for i, op := range ops {
 		batch[i] = lavastore.BatchOp{Key: op.Key, Value: op.Value, TTL: op.TTL, Delete: op.Delete}
@@ -280,7 +356,6 @@ func (n *Node) ApplyReplicatedBatch(pid partition.ID, ops []WriteOp) error {
 	if err := rep.db.WriteBatch(batch); err != nil {
 		return err
 	}
-	// Invalidate rather than populate (see ApplyReplicated).
 	prefix := cacheKeyPrefix(pid)
 	for _, op := range ops {
 		n.cache.Delete(prefix + string(op.Key))

@@ -210,7 +210,7 @@ func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
 	if !ok {
 		return ErrNoPartition
 	}
-	return rep.db.ScanWithExpiry(func(key, value []byte, expireAt int64) bool {
+	err := rep.db.ScanWithExpiry(func(key, value []byte, expireAt int64) bool {
 		ttl, alive := n.RemainingTTL(expireAt)
 		if !alive {
 			return true
@@ -219,6 +219,15 @@ func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
 		v := append([]byte(nil), value...)
 		return dst.ApplyReplicated(pid, k, v, ttl, false) == nil
 	})
+	if err != nil {
+		return err
+	}
+	// The copy holds everything the source holds, so the destination
+	// inherits the source's replication position — counting only the
+	// copied live keys would make a fully rebuilt follower look staler
+	// than a long-dead one at promotion time.
+	dst.AdoptReplicationPosition(pid, rep.replPos.Load())
+	return nil
 }
 
 // MigrateTo copies a hosted replica's live data into dst (which must

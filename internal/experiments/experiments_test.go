@@ -333,3 +333,36 @@ func TestExperimentsHotspotMitigation(t *testing.T) {
 		t.Fatalf("table rows = %d", len(tbl.Rows))
 	}
 }
+
+// TestExperimentsFailoverAvailability is the CI smoke for the failover
+// harness: after a primary is killed mid-workload, writes must resume
+// within the monitor window, ZERO acknowledged writes may be lost, the
+// affected partitions must all have promoted primaries, and follower
+// reads must keep serving during the outage.
+func TestExperimentsFailoverAvailability(t *testing.T) {
+	res, tbl := FailoverAvailability(FailoverOpts{Keys: 1000, Ops: 4000})
+	if res.AffectedPartitions == 0 {
+		t.Fatal("victim led no partitions; experiment setup broken")
+	}
+	if res.PromotedPartitions != res.AffectedPartitions {
+		t.Errorf("promoted %d of %d affected partitions", res.PromotedPartitions, res.AffectedPartitions)
+	}
+	if res.LostAckedWrites != 0 {
+		t.Errorf("lost %d acknowledged writes, want 0", res.LostAckedWrites)
+	}
+	// "Within the monitor window": detection needs at most two suspect
+	// probes plus one promotion; on a loaded CI machine that must still
+	// land well under a human-scale bound.
+	if res.UnavailableWindow <= 0 || res.UnavailableWindow > 5*time.Second {
+		t.Errorf("unavailability window = %v", res.UnavailableWindow)
+	}
+	if res.FollowerReadsServed == 0 {
+		t.Error("no follower reads served during the outage")
+	}
+	if res.FollowerReadsFailed > 0 {
+		t.Errorf("%d follower reads failed during the outage", res.FollowerReadsFailed)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,17 @@
+// Package faultinject is the deterministic fault-injection harness
+// behind the failure-handling tests and the failover experiment. It
+// supplies two layers of faults:
+//
+//   - Node faults: an Injector kills, partitions, and revives
+//     DataNodes (anything implementing Target), optionally on a
+//     clock-driven schedule so virtual-clock tests stay deterministic.
+//   - Storage faults: FS wraps a lavastore.FS and journals every
+//     mutation, so tests can force erroring or torn (partial) writes
+//     and reconstruct the exact on-disk state "as of" any write
+//     boundary — the crash model the WAL/SSTable recovery torture
+//     tests replay.
+//
+// Nothing here runs in production paths; the packages under test take
+// ordinary clock.Clock and lavastore.FS values, and this package
+// provides hostile implementations of them.
+package faultinject

@@ -1,0 +1,238 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+
+	"abase/internal/lavastore"
+)
+
+// ErrInjected is the error injected writes fail with when the test
+// does not supply its own.
+var ErrInjected = errors.New("faultinject: injected write failure")
+
+type opKind byte
+
+const (
+	opCreate opKind = iota
+	opWrite
+	opRemove
+	opRename
+)
+
+// journalOp is one recorded filesystem mutation. For writes, data is
+// the bytes that actually reached the backing store (a torn write
+// records only its surviving prefix).
+type journalOp struct {
+	kind  opKind
+	name  string
+	name2 string // rename target
+	data  []byte
+}
+
+// FS wraps a lavastore.FS, journaling every mutation and optionally
+// corrupting writes. The journal makes crashes replayable: SnapshotAt
+// reconstructs the exact filesystem contents as of any mutation
+// boundary, and SnapshotTornAt cuts inside a write — the two crash
+// models the recovery torture tests iterate over.
+type FS struct {
+	inner lavastore.FS
+
+	mu       sync.Mutex
+	journal  []journalOp
+	writeErr error
+	tornLeft int // -1 = off; otherwise bytes the next write keeps
+}
+
+// NewFS wraps inner (nil uses a fresh MemFS).
+func NewFS(inner lavastore.FS) *FS {
+	if inner == nil {
+		inner = lavastore.NewMemFS()
+	}
+	return &FS{inner: inner, tornLeft: -1}
+}
+
+// SetWriteError makes every subsequent write fail with err before
+// reaching the backing store (nil restores normal writes).
+func (f *FS) SetWriteError(err error) {
+	f.mu.Lock()
+	f.writeErr = err
+	f.mu.Unlock()
+}
+
+// TearNextWrite makes the next write persist only its first n bytes
+// and then fail with ErrInjected — a torn record. One-shot.
+func (f *FS) TearNextWrite(n int) {
+	f.mu.Lock()
+	f.tornLeft = n
+	f.mu.Unlock()
+}
+
+// Ops returns the number of journaled mutations so far: the crash
+// boundaries SnapshotAt accepts.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.journal)
+}
+
+// SnapshotAt reconstructs the filesystem as of the first n journaled
+// mutations — the on-disk state a crash at that boundary would leave.
+func (f *FS) SnapshotAt(n int) *lavastore.MemFS {
+	return f.snapshot(n, -1)
+}
+
+// SnapshotTornAt reconstructs the filesystem as of n mutations plus
+// the first tornBytes bytes of mutation n (when it is a write) — a
+// crash that tears a record mid-write.
+func (f *FS) SnapshotTornAt(n, tornBytes int) *lavastore.MemFS {
+	return f.snapshot(n, tornBytes)
+}
+
+func (f *FS) snapshot(n, tornBytes int) *lavastore.MemFS {
+	f.mu.Lock()
+	ops := append([]journalOp(nil), f.journal...)
+	f.mu.Unlock()
+	if n > len(ops) {
+		n = len(ops)
+	}
+	out := lavastore.NewMemFS()
+	files := map[string]lavastore.File{}
+	apply := func(op journalOp, data []byte) {
+		switch op.kind {
+		case opCreate:
+			nf, _ := out.Create(op.name)
+			files[op.name] = nf
+		case opWrite:
+			w, ok := files[op.name]
+			if !ok {
+				w, _ = out.Create(op.name)
+				files[op.name] = w
+			}
+			w.Write(data)
+		case opRemove:
+			out.Remove(op.name)
+			delete(files, op.name)
+		case opRename:
+			out.Rename(op.name, op.name2)
+			if h, ok := files[op.name]; ok {
+				files[op.name2] = h
+				delete(files, op.name)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		apply(ops[i], ops[i].data)
+	}
+	if tornBytes >= 0 && n < len(ops) && ops[n].kind == opWrite {
+		cut := ops[n].data
+		if tornBytes < len(cut) {
+			cut = cut[:tornBytes]
+		}
+		apply(ops[n], cut)
+	}
+	return out
+}
+
+func (f *FS) record(op journalOp) {
+	if op.data != nil {
+		op.data = append([]byte(nil), op.data...)
+	}
+	f.mu.Lock()
+	f.journal = append(f.journal, op)
+	f.mu.Unlock()
+}
+
+// Create implements lavastore.FS.
+func (f *FS) Create(name string) (lavastore.File, error) {
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.record(journalOp{kind: opCreate, name: name})
+	return &file{fs: f, name: name, inner: inner}, nil
+}
+
+// Open implements lavastore.FS. Reads are never fault-injected; the
+// crash model is about what made it to disk.
+func (f *FS) Open(name string) (lavastore.File, error) {
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, name: name, inner: inner}, nil
+}
+
+// Remove implements lavastore.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.record(journalOp{kind: opRemove, name: name})
+	return nil
+}
+
+// Rename implements lavastore.FS.
+func (f *FS) Rename(oldname, newname string) error {
+	if err := f.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	f.record(journalOp{kind: opRename, name: oldname, name2: newname})
+	return nil
+}
+
+// List implements lavastore.FS.
+func (f *FS) List(dir string) ([]string, error) { return f.inner.List(dir) }
+
+// file wraps one inner file, applying the FS's write faults.
+type file struct {
+	fs    *FS
+	name  string
+	inner lavastore.File
+}
+
+// Write applies the configured fault, journals whatever survives, and
+// forwards it to the backing store.
+func (w *file) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	werr := w.fs.writeErr
+	torn := w.fs.tornLeft
+	if torn >= 0 {
+		w.fs.tornLeft = -1 // one-shot
+	}
+	w.fs.mu.Unlock()
+
+	if werr != nil {
+		return 0, werr
+	}
+	if torn >= 0 {
+		keep := p
+		if torn < len(keep) {
+			keep = keep[:torn]
+		}
+		if len(keep) > 0 {
+			if _, err := w.inner.Write(keep); err != nil {
+				return 0, err
+			}
+			w.fs.record(journalOp{kind: opWrite, name: w.name, data: keep})
+		}
+		return len(keep), ErrInjected
+	}
+	n, err := w.inner.Write(p)
+	if n > 0 {
+		w.fs.record(journalOp{kind: opWrite, name: w.name, data: p[:n]})
+	}
+	return n, err
+}
+
+// ReadAt implements lavastore.File.
+func (w *file) ReadAt(p []byte, off int64) (int, error) { return w.inner.ReadAt(p, off) }
+
+// Close implements lavastore.File.
+func (w *file) Close() error { return w.inner.Close() }
+
+// Sync implements lavastore.File.
+func (w *file) Sync() error { return w.inner.Sync() }
+
+// Size implements lavastore.File.
+func (w *file) Size() (int64, error) { return w.inner.Size() }

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"abase/internal/clock"
+)
+
+// Target is the node surface the injector drives. *datanode.Node
+// implements it.
+type Target interface {
+	ID() string
+	SetDown(bool)
+	Alive() bool
+}
+
+// Injector kills, partitions, and revives nodes, immediately or on a
+// clock-driven schedule. With a virtual clock the schedule is fully
+// deterministic: faults fire exactly when the test advances the clock
+// past their deadline and calls Tick.
+type Injector struct {
+	clk   clock.Clock
+	start time.Time
+
+	mu     sync.Mutex
+	events []event
+}
+
+type event struct {
+	at time.Duration
+	fn func()
+}
+
+// New returns an injector whose schedule is measured from now on clk
+// (nil uses the real clock).
+func New(clk clock.Clock) *Injector {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Injector{clk: clk, start: clk.Now()}
+}
+
+// Kill takes the node down immediately: every operation — client
+// traffic, replication applies, health probes — fails with
+// ErrNodeDown until Revive. Stored data survives, like a crashed
+// process whose disks persist.
+func (in *Injector) Kill(t Target) { t.SetDown(true) }
+
+// Partition is Kill under another name: in this single-process model
+// an unreachable node and a dead node look identical from outside,
+// while the node itself keeps its in-memory state (including a stale
+// belief that it is primary) — which is exactly the state the
+// epoch-fencing path must handle when the partition heals.
+func (in *Injector) Partition(t Target) { t.SetDown(true) }
+
+// Revive brings the node back. It returns with whatever roles it held
+// when it went down; the control plane demotes stale primaries when
+// it notices the node answering probes again.
+func (in *Injector) Revive(t Target) { t.SetDown(false) }
+
+// At schedules fn to run when the injector's clock passes d (measured
+// from New). Fire the schedule with Tick.
+func (in *Injector) At(d time.Duration, fn func()) {
+	in.mu.Lock()
+	in.events = append(in.events, event{at: d, fn: fn})
+	in.mu.Unlock()
+}
+
+// KillAt schedules a Kill at d.
+func (in *Injector) KillAt(d time.Duration, t Target) { in.At(d, func() { in.Kill(t) }) }
+
+// ReviveAt schedules a Revive at d.
+func (in *Injector) ReviveAt(d time.Duration, t Target) { in.At(d, func() { in.Revive(t) }) }
+
+// Tick fires every scheduled fault whose deadline has passed, in
+// deadline order, and reports how many fired. Virtual-clock tests call
+// it after each clock advance; real-clock drivers call it from their
+// monitor loop.
+func (in *Injector) Tick() int {
+	elapsed := in.clk.Now().Sub(in.start)
+	in.mu.Lock()
+	var due, rest []event
+	for _, e := range in.events {
+		if e.at <= elapsed {
+			due = append(due, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	in.events = rest
+	in.mu.Unlock()
+	sort.SliceStable(due, func(i, j int) bool { return due[i].at < due[j].at })
+	for _, e := range due {
+		e.fn()
+	}
+	return len(due)
+}
+
+// Pending reports how many scheduled faults have not fired yet.
+func (in *Injector) Pending() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.events)
+}

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"abase/internal/clock"
+)
+
+type fakeNode struct {
+	id   string
+	down bool
+}
+
+func (f *fakeNode) ID() string     { return f.id }
+func (f *fakeNode) SetDown(d bool) { f.down = d }
+func (f *fakeNode) Alive() bool    { return !f.down }
+
+func TestInjectorSchedule(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+	in := New(clk)
+	n1 := &fakeNode{id: "n1"}
+	n2 := &fakeNode{id: "n2"}
+	in.KillAt(100*time.Millisecond, n1)
+	in.KillAt(200*time.Millisecond, n2)
+	in.ReviveAt(300*time.Millisecond, n1)
+
+	if fired := in.Tick(); fired != 0 {
+		t.Fatalf("fired %d events at t=0", fired)
+	}
+	clk.Advance(150 * time.Millisecond)
+	if fired := in.Tick(); fired != 1 || n1.Alive() || !n2.Alive() {
+		t.Fatalf("t=150ms: fired=%d n1.alive=%v n2.alive=%v", fired, n1.Alive(), n2.Alive())
+	}
+	clk.Advance(200 * time.Millisecond) // t=350ms: kill n2 and revive n1, in order
+	if fired := in.Tick(); fired != 2 {
+		t.Fatalf("t=350ms: fired %d events, want 2", fired)
+	}
+	if !n1.Alive() || n2.Alive() {
+		t.Fatalf("t=350ms: n1.alive=%v (want true) n2.alive=%v (want false)", n1.Alive(), n2.Alive())
+	}
+	if in.Pending() != 0 {
+		t.Fatalf("pending=%d after all fired", in.Pending())
+	}
+}
+
+func TestFSSnapshotBoundaries(t *testing.T) {
+	fs := NewFS(nil)
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("one"))
+	f.Write([]byte("two"))
+	fs.Remove("d/a")
+
+	if got := fs.Ops(); got != 4 {
+		t.Fatalf("ops=%d, want 4 (create+2 writes+remove)", got)
+	}
+	// After create only: empty file exists.
+	snap := fs.SnapshotAt(1)
+	if names, _ := snap.List("d"); len(names) != 1 {
+		t.Fatalf("snapshot@1: files=%v", names)
+	}
+	// After first write: 3 bytes.
+	sf, err := fs.SnapshotAt(2).Open("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := sf.Size(); size != 3 {
+		t.Fatalf("snapshot@2 size=%d, want 3", size)
+	}
+	// Torn second write: 3 + 1 bytes.
+	sf, err = fs.SnapshotTornAt(2, 1).Open("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := sf.Size(); size != 4 {
+		t.Fatalf("torn snapshot size=%d, want 4", size)
+	}
+	// Final state: removed.
+	if names, _ := fs.SnapshotAt(4).List("d"); len(names) != 0 {
+		t.Fatalf("snapshot@4: files=%v, want none", names)
+	}
+}
+
+func TestFSWriteError(t *testing.T) {
+	fs := NewFS(nil)
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetWriteError(ErrInjected)
+	if _, err := f.Write([]byte("nope")); err == nil {
+		t.Fatal("write should fail while SetWriteError is armed")
+	}
+	fs.SetWriteError(nil)
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after clearing: %v", err)
+	}
+	// The failed write must not have been journaled.
+	sf, _ := fs.SnapshotAt(fs.Ops()).Open("x")
+	if size, _ := sf.Size(); size != 2 {
+		t.Fatalf("size=%d, want 2", size)
+	}
+}

@@ -1,0 +1,51 @@
+package glob
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGlobMatch checks the matcher against arbitrary pattern/subject
+// pairs: it must terminate without panicking, "*" must match any
+// subject, and a fully escaped subject must match itself exactly.
+func FuzzGlobMatch(f *testing.F) {
+	seeds := [][2]string{
+		{"*", "anything"},
+		{"h?llo", "hello"},
+		{"[a-c]*", "banana"},
+		{"[^a]x", "bx"},
+		{"[", "x"},
+		{"a[b-", "ab"},
+		{"\\", "\\"},
+		{"a\\", "a\\"},
+		{"[]", "x"},
+		{"[z-a]", "m"},
+		{"**?[\\", ""},
+		{"key-*", "key-000000000042"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, pattern, s string) {
+		Match(pattern, s) // arbitrary pattern: only no-panic is claimed
+
+		if !Match("*", s) {
+			t.Fatalf("%q: * must match every subject", s)
+		}
+		// Escaping every byte turns the subject into a literal pattern
+		// for itself...
+		var esc strings.Builder
+		for i := 0; i < len(s); i++ {
+			esc.WriteByte('\\')
+			esc.WriteByte(s[i])
+		}
+		if !Match(esc.String(), s) {
+			t.Fatalf("escaped pattern %q must match %q", esc.String(), s)
+		}
+		// ...and must not match the subject with a byte appended
+		// (except that nothing was claimed about the empty pattern).
+		if len(s) > 0 && Match(esc.String(), s+"x") {
+			t.Fatalf("escaped pattern %q matched longer subject", esc.String())
+		}
+	})
+}

@@ -106,7 +106,7 @@ func Open(opt Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := db.rotateWAL(); err != nil {
+	if _, err := db.rotateWAL(); err != nil {
 		return nil, err
 	}
 	// Re-log replayed records into the fresh WAL before discarding the
@@ -152,18 +152,26 @@ func (db *DB) recover() ([]string, error) {
 		return tableFileNum(tableNames[i]) > tableFileNum(tableNames[j])
 	})
 	for _, n := range tableNames {
+		if num := tableFileNum(n); num >= db.nextFile {
+			db.nextFile = num + 1
+		}
 		f, err := db.opt.FS.Open(db.filePath(n))
 		if err != nil {
 			return nil, fmt.Errorf("lavastore: recover open %s: %w", n, err)
 		}
 		t, err := openTable(f, n)
 		if err != nil {
-			return nil, fmt.Errorf("lavastore: recover table %s: %w", n, err)
+			// A table that does not parse is a flush or compaction the
+			// crash interrupted: its contents are still covered by the
+			// WAL (flush keeps the old log until the table is durable)
+			// or by the source tables (compaction removes them only
+			// after the merged table is installed). Drop the partial
+			// file and recover from those instead of failing Open.
+			f.Close()
+			db.opt.FS.Remove(db.filePath(n))
+			continue
 		}
 		db.tables = append(db.tables, t)
-		if num := tableFileNum(n); num >= db.nextFile {
-			db.nextFile = num + 1
-		}
 	}
 	// Replay WALs oldest-first so newer records win.
 	sort.Slice(walNames, func(i, j int) bool {
@@ -202,21 +210,26 @@ func tableFileNum(name string) int {
 	return n
 }
 
-func (db *DB) rotateWAL() error {
+// rotateWAL switches appends to a fresh log file and returns the name
+// of the previous one ("" on the first rotation). The caller decides
+// when the old log dies: Flush removes it only after the frozen
+// memtable's SSTable is durable — removing it earlier would open a
+// crash window in which acknowledged writes exist nowhere on disk.
+func (db *DB) rotateWAL() (old string, err error) {
 	name := fmt.Sprintf("%06d.wal", db.nextFile)
 	db.nextFile++
 	db.walBytes = 0
 	f, err := db.opt.FS.Create(db.filePath(name))
 	if err != nil {
-		return err
+		return "", err
 	}
 	if db.wal != nil {
 		db.wal.Close()
-		db.opt.FS.Remove(db.filePath(db.walName))
+		old = db.walName
 	}
 	db.wal = newWALWriter(f)
 	db.walName = name
-	return nil
+	return old, nil
 }
 
 // Put stores value under key with an optional TTL (0 = no expiry).
@@ -409,23 +422,42 @@ func (db *DB) finishGet(rec []byte, ioReads int, now int64) (GetResult, error) {
 
 // Flush freezes the current memtable and writes it out as an SSTable.
 func (db *DB) Flush() error {
+	tooMany, err := db.flushLocked()
+	if err != nil {
+		return err
+	}
+	// Compact outside flushMu: it briefly re-acquires the lock to
+	// fence its input snapshot against in-flight flushes.
+	if tooMany {
+		return db.Compact()
+	}
+	return nil
+}
+
+// flushLocked is Flush's body under flushMu; it reports whether the
+// table count crossed the compaction threshold.
+func (db *DB) flushLocked() (tooMany bool, err error) {
 	db.flushMu.Lock()
 	defer db.flushMu.Unlock()
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
-		return ErrClosed
+		return false, ErrClosed
 	}
 	if db.mem.Len() == 0 {
 		db.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	frozen := db.mem
 	db.imm = append(db.imm, frozen)
 	db.mem = skiplist.New(1)
-	if err := db.rotateWAL(); err != nil {
+	// The old WAL holds frozen's records; it must outlive this flush
+	// (removed below only once the SSTable is installed), or a crash
+	// mid-flush would lose every acknowledged write in frozen.
+	oldWAL, err := db.rotateWAL()
+	if err != nil {
 		db.mu.Unlock()
-		return err
+		return false, err
 	}
 	num := db.nextFile
 	db.nextFile++
@@ -434,28 +466,28 @@ func (db *DB) Flush() error {
 	name := fmt.Sprintf("%06d.sst", num)
 	f, err := db.opt.FS.Create(db.filePath(name))
 	if err != nil {
-		return err
+		return false, err
 	}
 	w := newTableWriter(f)
 	it := frozen.NewIterator()
 	for it.Next() {
 		if err := w.Add(it.Key(), it.Value()); err != nil {
 			f.Close()
-			return err
+			return false, err
 		}
 	}
 	if err := w.Finish(); err != nil {
 		f.Close()
-		return err
+		return false, err
 	}
 	f.Close()
 	rf, err := db.opt.FS.Open(db.filePath(name))
 	if err != nil {
-		return err
+		return false, err
 	}
 	t, err := openTable(rf, name)
 	if err != nil {
-		return err
+		return false, err
 	}
 
 	db.mu.Lock()
@@ -468,13 +500,15 @@ func (db *DB) Flush() error {
 	}
 	db.tables = append([]*Table{t}, db.tables...)
 	db.flushes++
-	tooMany := len(db.tables) > db.opt.MaxTables && !db.opt.DisableAutoCompact
+	tooMany = len(db.tables) > db.opt.MaxTables && !db.opt.DisableAutoCompact
 	db.mu.Unlock()
 
-	if tooMany {
-		return db.Compact()
+	// frozen's records are durable in the installed table; its WAL can
+	// finally go.
+	if oldWAL != "" {
+		db.opt.FS.Remove(db.filePath(oldWAL))
 	}
-	return nil
+	return tooMany, nil
 }
 
 // Compact merges all SSTables into one, dropping tombstones, shadowed
@@ -484,18 +518,29 @@ func (db *DB) Compact() error {
 	db.compactMu.Lock()
 	defer db.compactMu.Unlock()
 
+	// Snapshot the inputs and allocate the output's file number under
+	// flushMu: with no flush in flight, every table not in the input
+	// set is guaranteed a HIGHER number than the output. That keeps
+	// file numbers aligned with content age — the invariant recovery's
+	// newest-first sort depends on (a concurrent flush that froze
+	// before this snapshot but installed after it would otherwise take
+	// a lower number than the output while holding newer records).
+	db.flushMu.Lock()
 	db.mu.RLock()
 	if db.closed {
 		db.mu.RUnlock()
+		db.flushMu.Unlock()
 		return ErrClosed
 	}
 	old := append([]*Table(nil), db.tables...)
 	db.mu.RUnlock()
 	if len(old) <= 1 {
+		db.flushMu.Unlock()
 		return nil
 	}
-
 	num := db.allocFileNum()
+	db.flushMu.Unlock()
+
 	name := fmt.Sprintf("%06d.sst", num)
 	f, err := db.opt.FS.Create(db.filePath(name))
 	if err != nil {
@@ -559,9 +604,18 @@ func (db *DB) Compact() error {
 	db.expiredDropped += dropped
 	db.mu.Unlock()
 
-	for _, o := range old {
-		o.Close()
-		db.opt.FS.Remove(db.filePath(o.Name()))
+	// Remove the inputs OLDEST-first (old is newest-first). This
+	// ordering is what makes dropping tombstones crash-safe without a
+	// manifest: a deleted key's tombstone always lives in a strictly
+	// newer table than any live version it shadows, so if a crash
+	// mid-removal leaves a table holding the live version, the
+	// tombstone's table necessarily still exists too and recovery
+	// keeps the key dead. Newest-first removal would open the inverse
+	// window and resurrect deleted keys (the crash-torture test
+	// catches exactly that).
+	for i := len(old) - 1; i >= 0; i-- {
+		old[i].Close()
+		db.opt.FS.Remove(db.filePath(old[i].Name()))
 	}
 	return nil
 }

@@ -68,8 +68,13 @@ func (w *walWriter) Sync() error { return w.f.Sync() }
 func (w *walWriter) Close() error { return w.f.Close() }
 
 // replayWAL reads every valid record from the log, invoking fn for
-// each. A torn final record (short read or CRC mismatch at the tail)
-// ends replay without error, matching crash-recovery semantics.
+// each. A torn final record — short header, short payload, CRC
+// mismatch, or a payload whose key framing does not parse — ends
+// replay without error: the valid prefix is kept and the tail is
+// logically truncated, matching crash-recovery semantics. (Open
+// rewrites the surviving records into a fresh log and deletes this
+// one, so the truncation becomes physical.) Only fn's own error
+// propagates.
 func replayWAL(f File, fn func(key []byte, rec []byte) error) error {
 	size, err := f.Size()
 	if err != nil {
@@ -95,7 +100,11 @@ func replayWAL(f File, fn func(key []byte, rec []byte) error) error {
 		}
 		klen, n := binary.Uvarint(payload)
 		if n <= 0 || int64(n)+int64(klen) > plen {
-			return fmt.Errorf("lavastore: wal corrupt key length at offset %d", off)
+			// A CRC-valid frame with unparsable key framing can only be
+			// a torn/garbage tail (e.g. a partial multi-record group
+			// commit whose cut landed frame-aligned): truncate here too
+			// instead of failing recovery.
+			return nil
 		}
 		key := payload[n : n+int(klen)]
 		rec := payload[n+int(klen):]

@@ -1,0 +1,371 @@
+package metaserver
+
+// This file is the control plane's failure-handling path: node health
+// tracking (probe-based heartbeats), primary failover with
+// monotonically increasing route epochs, and catch-up gating so a
+// stale follower is never promoted ahead of a fresher one. The
+// sequence on a dead primary is:
+//
+//  1. detect  — MonitorNodeHealth (or a proxy's ReportNodeSuspect)
+//     sees DownAfterProbes consecutive failed probes;
+//  2. drain   — FlushReplication applies every write the dead primary
+//     acknowledged and handed to the replication fabric, so no
+//     acknowledged write is stranded in the queue;
+//  3. promote — for each partition the node led, the live follower
+//     with the highest replication position becomes primary under
+//     route epoch+1;
+//  4. fence   — the old primary is demoted (best-effort now, and again
+//     on revival), so a write it still receives fails with a typed
+//     stale-epoch/not-primary error the proxy understands;
+//  5. redirect — registered proxies' route caches are invalidated and
+//     their bounded retry re-resolves against the new table.
+
+import (
+	"fmt"
+	"sort"
+
+	"abase/internal/datanode"
+	"abase/internal/partition"
+)
+
+// nodeHealth is the control plane's view of one DataNode's liveness.
+type nodeHealth struct {
+	failedProbes int
+	down         bool
+}
+
+// RoutingView is a consistent snapshot of one tenant's routing table
+// for proxy-side caching. Version increases on every table change
+// (split, failover, repair), so a proxy can tell a fresh fetch from
+// the cache it just invalidated.
+type RoutingView struct {
+	Version    uint64
+	Partitions []partition.Route
+}
+
+// routeInvalidator is implemented by registered proxies that cache the
+// routing table; the MetaServer pushes invalidations on table changes.
+type routeInvalidator interface{ InvalidateRoutes() }
+
+// RoutingView returns the tenant's current routing table and version.
+func (m *Meta) RoutingView(tenant string) (RoutingView, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		return RoutingView{}, fmt.Errorf("%w: %s", ErrUnknownTenant, tenant)
+	}
+	return RoutingView{
+		Version:    t.version,
+		Partitions: append([]partition.Route(nil), t.Table.Partitions...),
+	}, nil
+}
+
+// notifyRouteChange bumps the named tenants' table versions and pushes
+// a cache invalidation to their registered proxies. Must be called
+// without m.mu held.
+func (m *Meta) notifyRouteChange(tenants ...string) {
+	var targets []RestrictableProxy
+	m.mu.Lock()
+	for _, name := range tenants {
+		if t, ok := m.tenants[name]; ok {
+			t.version++
+		}
+		targets = append(targets, m.proxies[name]...)
+	}
+	m.mu.Unlock()
+	for _, p := range targets {
+		if inv, ok := p.(routeInvalidator); ok {
+			inv.InvalidateRoutes()
+		}
+	}
+}
+
+// --- replication queue draining (catch-up gating) ---
+
+func (m *Meta) addPending(n int) {
+	m.pendMu.Lock()
+	m.pendEnq += uint64(n)
+	m.pendMu.Unlock()
+}
+
+func (m *Meta) donePending() {
+	m.pendMu.Lock()
+	m.pendDone++
+	m.pendCond.Broadcast()
+	m.pendMu.Unlock()
+}
+
+// FlushReplication blocks until every replication job enqueued BEFORE
+// the call has been applied (or failed against a down follower). The
+// wait is a drain marker, not a quiescence wait: jobs enqueued by
+// writes that keep flowing to healthy partitions do not extend it, so
+// failover promotion cannot stall behind unrelated traffic. Promotion
+// drains first so a follower's replication position reflects
+// everything the old primary acknowledged.
+func (m *Meta) FlushReplication() {
+	m.pendMu.Lock()
+	target := m.pendEnq
+	for m.pendDone < target {
+		m.pendCond.Wait()
+	}
+	m.pendMu.Unlock()
+}
+
+// --- health tracking ---
+
+// NodeDown reports whether the control plane currently considers the
+// node down.
+func (m *Meta) NodeDown(id string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.health[id]
+	return ok && h.down
+}
+
+// probeOnce probes one node and updates its health record, reporting
+// whether the node crossed the down threshold on this probe (the
+// caller then runs failover) or recovered from a down state (the
+// caller then runs revival). Must be called without m.mu held.
+func (m *Meta) probeOnce(id string) (wentDown, cameBack bool) {
+	m.mu.Lock()
+	n, ok := m.nodes[id]
+	if !ok {
+		m.mu.Unlock()
+		return false, false
+	}
+	h := m.health[id]
+	if h == nil {
+		h = &nodeHealth{}
+		m.health[id] = h
+	}
+	m.mu.Unlock()
+
+	alive := n.Alive() // outside the lock: a real probe is a network call
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if alive {
+		h.failedProbes = 0
+		if h.down {
+			h.down = false
+			return false, true
+		}
+		return false, false
+	}
+	h.failedProbes++
+	if !h.down && h.failedProbes >= m.downAfterProbes {
+		h.down = true
+		return true, false
+	}
+	return false, false
+}
+
+// ReportNodeSuspect is the proxy's failure hint: a request to the node
+// just failed with a down-node error. The MetaServer probes the node
+// immediately — a confirmed-dead node accumulates failed probes as
+// fast as traffic reports it, so failover does not wait for the next
+// monitoring cycle. Reports against healthy nodes are absorbed by the
+// probe (which resets the counter).
+func (m *Meta) ReportNodeSuspect(id string) {
+	wentDown, cameBack := m.probeOnce(id)
+	if wentDown {
+		m.failoverNode(id)
+	}
+	if cameBack {
+		m.reviveNode(id)
+	}
+}
+
+// MonitorNodeHealth runs one health cycle: every registered node is
+// probed, nodes that reach DownAfterProbes consecutive failures are
+// failed over (followers promoted under a bumped epoch), and
+// previously-down nodes that answer again are revived (their stale
+// primaries fenced to followers). It returns the IDs of nodes failed
+// over this cycle. Cluster.MonitorTrafficOnce drives it alongside the
+// quota and heat monitors.
+func (m *Meta) MonitorNodeHealth() []string {
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Strings(ids)
+
+	var failed []string
+	for _, id := range ids {
+		wentDown, cameBack := m.probeOnce(id)
+		if wentDown {
+			m.failoverNode(id)
+			failed = append(failed, id)
+		}
+		if cameBack {
+			m.reviveNode(id)
+		}
+	}
+	return failed
+}
+
+// MarkNodeDown declares a node down immediately (operator action or a
+// partition detector outside the probe loop) and fails over every
+// partition it led. The node process itself is not touched: under a
+// network partition it may still believe it is primary, which is
+// exactly what epoch fencing exists for.
+func (m *Meta) MarkNodeDown(id string) error {
+	m.mu.Lock()
+	if _, ok := m.nodes[id]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	h := m.health[id]
+	if h == nil {
+		h = &nodeHealth{}
+		m.health[id] = h
+	}
+	already := h.down
+	h.down = true
+	h.failedProbes = m.downAfterProbes
+	m.mu.Unlock()
+	if !already {
+		m.failoverNode(id)
+	}
+	return nil
+}
+
+// reviveNode clears a node's down state and fences any replica it
+// still believes it leads but whose route has moved on: the replica is
+// demoted to follower under the current route epoch. Revival does not
+// change routing — a repair/rebalance pass decides whether the node
+// earns primaries back.
+func (m *Meta) reviveNode(id string) {
+	m.mu.Lock()
+	n, ok := m.nodes[id]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	if h := m.health[id]; h != nil {
+		h.down = false
+		h.failedProbes = 0
+	}
+	type demotion struct {
+		pid   partition.ID
+		epoch uint64
+	}
+	var demote []demotion
+	for _, t := range m.tenants {
+		for _, route := range t.Table.Partitions {
+			if route.Primary != id && n.HostsReplica(route.Partition) {
+				demote = append(demote, demotion{route.Partition, route.Epoch})
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, d := range demote {
+		_ = n.SetReplicaRole(d.pid, false, d.epoch)
+	}
+}
+
+// failoverNode promotes a replacement primary for every partition the
+// down node led. Promotion is catch-up gated: the replication queue is
+// drained first, then the live follower with the highest replication
+// position wins (ties break on node ID for determinism). Partitions
+// with no live follower stay routed at the dead node — unavailable
+// until repair — rather than promoting nothing. Must be called without
+// m.mu held.
+func (m *Meta) failoverNode(nodeID string) {
+	// Catch-up gate: everything the dead primary acknowledged and
+	// handed to the replication fabric reaches the surviving followers
+	// before any of them is measured or promoted.
+	m.FlushReplication()
+
+	type promotion struct {
+		tenant   string
+		idx      int
+		route    partition.Route // the new route
+		newLead  *datanode.Node
+		oldLead  *datanode.Node // may be nil (unregistered)
+		oldEpoch uint64
+	}
+	var promos []promotion
+
+	m.mu.Lock()
+	for name, t := range m.tenants {
+		for i, route := range t.Table.Partitions {
+			if route.Primary != nodeID {
+				continue
+			}
+			best := ""
+			var bestPos uint64
+			for _, f := range route.Followers {
+				fn, ok := m.nodes[f]
+				if !ok || !fn.Alive() {
+					continue
+				}
+				if h := m.health[f]; h != nil && h.down {
+					continue
+				}
+				pos := fn.ReplicationPosition(route.Partition)
+				if best == "" || pos > bestPos || (pos == bestPos && f < best) {
+					best, bestPos = f, pos
+				}
+			}
+			if best == "" {
+				continue // blacked out; repair must rebuild replicas
+			}
+			// The old primary stays listed as a follower: if it
+			// revives it resumes receiving deltas (its staleness is
+			// visible through its replication-position lag), and the
+			// repair path decides whether to rebuild it properly.
+			newFollowers := []string{nodeID}
+			for _, f := range route.Followers {
+				if f != best {
+					newFollowers = append(newFollowers, f)
+				}
+			}
+			newRoute := partition.Route{
+				Partition: route.Partition,
+				Primary:   best,
+				Followers: newFollowers,
+				Epoch:     route.Epoch + 1,
+			}
+			promos = append(promos, promotion{
+				tenant:   name,
+				idx:      i,
+				route:    newRoute,
+				newLead:  m.nodes[best],
+				oldLead:  m.nodes[nodeID],
+				oldEpoch: route.Epoch,
+			})
+		}
+	}
+	// Install the new routes while still holding the lock, so a
+	// concurrent RoutingView never sees a half-promoted table.
+	changed := map[string]bool{}
+	for _, p := range promos {
+		m.tenants[p.tenant].Table.Partitions[p.idx] = p.route
+		changed[p.tenant] = true
+	}
+	m.mu.Unlock()
+
+	for _, p := range promos {
+		// Promote the caught-up follower under the bumped epoch; it
+		// replays nothing further because the queue drain above already
+		// applied its backlog.
+		_ = p.newLead.SetReplicaRole(p.route.Partition, true, p.route.Epoch)
+		// Fence the old primary best-effort: unreachable nodes are
+		// fenced again on revival (reviveNode).
+		if p.oldLead != nil {
+			_ = p.oldLead.SetReplicaRole(p.route.Partition, false, p.route.Epoch)
+		}
+	}
+	if len(changed) > 0 {
+		tenants := make([]string, 0, len(changed))
+		for t := range changed {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		m.notifyRouteChange(tenants...)
+	}
+}

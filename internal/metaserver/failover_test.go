@@ -1,0 +1,389 @@
+package metaserver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"abase/internal/datanode"
+	"abase/internal/partition"
+)
+
+// nodeByID resolves one of the test cluster's nodes.
+func nodeByID(t *testing.T, m *Meta, id string) *datanode.Node {
+	t.Helper()
+	n, err := m.Node(id)
+	if err != nil {
+		t.Fatalf("node %s: %v", id, err)
+	}
+	return n
+}
+
+// TestFailoverPromotesFollower kills a primary and checks the whole
+// detect → drain → promote → fence sequence: the route moves to a live
+// follower, the epoch bumps, replicated data survives, and the new
+// primary accepts writes while the old one (revived) is fenced.
+func TestFailoverPromotesFollower(t *testing.T) {
+	m, _ := newCluster(t, 4)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 1, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := ten.Table.Partitions[0]
+	pid := route.Partition
+	oldPrimary := nodeByID(t, m, route.Primary)
+
+	// Write through the primary so replication fans out to followers.
+	for i := 0; i < 10; i++ {
+		key := []byte{byte('a' + i)}
+		if _, err := oldPrimary.Put(pid, key, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	oldPrimary.SetDown(true)
+	// Two probes cross the default DownAfterProbes threshold.
+	m.MonitorNodeHealth()
+	failed := m.MonitorNodeHealth()
+	if len(failed) != 1 || failed[0] != route.Primary {
+		t.Fatalf("failed-over nodes = %v, want [%s]", failed, route.Primary)
+	}
+
+	view, err := m.RoutingView("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRoute := view.Partitions[0]
+	if newRoute.Primary == route.Primary {
+		t.Fatal("route still points at the dead primary")
+	}
+	if newRoute.Epoch != route.Epoch+1 {
+		t.Fatalf("epoch = %d, want %d", newRoute.Epoch, route.Epoch+1)
+	}
+	newPrimary := nodeByID(t, m, newRoute.Primary)
+	if primary, epoch, _ := newPrimary.ReplicaRole(pid); !primary || epoch != newRoute.Epoch {
+		t.Fatalf("promoted replica role=(%v,%d), want (true,%d)", primary, epoch, newRoute.Epoch)
+	}
+
+	// The drained replication backlog means all acknowledged writes
+	// are readable at the new primary.
+	for i := 0; i < 10; i++ {
+		if _, err := newPrimary.Get(pid, []byte{byte('a' + i)}); err != nil {
+			t.Fatalf("acknowledged key %c lost after failover: %v", 'a'+i, err)
+		}
+	}
+	// Writes work at the new primary under the new epoch...
+	if _, err := newPrimary.PutAt(pid, newRoute.Epoch, []byte("post"), []byte("x"), 0); err != nil {
+		t.Fatalf("write at new primary: %v", err)
+	}
+	// ...and the revived old primary is fenced.
+	oldPrimary.SetDown(false)
+	m.MonitorNodeHealth() // notices the revival and demotes stale roles
+	if _, err := oldPrimary.Put(pid, []byte("stale"), []byte("x"), 0); !errors.Is(err, datanode.ErrNotPrimary) {
+		t.Fatalf("revived old primary accepted a write: err=%v", err)
+	}
+}
+
+// TestFailoverCatchUpGating makes one follower strictly fresher than
+// the other and checks that promotion picks it, never the staler one.
+func TestFailoverCatchUpGating(t *testing.T) {
+	m, _ := newCluster(t, 3)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 1, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := ten.Table.Partitions[0]
+	pid := route.Partition
+	primary := nodeByID(t, m, route.Primary)
+	fresh := nodeByID(t, m, route.Followers[0])
+	stale := nodeByID(t, m, route.Followers[1])
+
+	// Both followers replicate normally for a while...
+	for i := 0; i < 5; i++ {
+		if _, err := primary.Put(pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushReplication()
+	// ...then the stale one goes dark and misses a batch of writes.
+	stale.SetDown(true)
+	for i := 5; i < 25; i++ {
+		if _, err := primary.Put(pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushReplication()
+	stale.SetDown(false)
+	if fp, sp := fresh.ReplicationPosition(pid), stale.ReplicationPosition(pid); fp <= sp {
+		t.Fatalf("setup failed: fresh pos %d <= stale pos %d", fp, sp)
+	}
+
+	if err := m.MarkNodeDown(route.Primary); err != nil {
+		t.Fatal(err)
+	}
+	view, _ := m.RoutingView("t1")
+	if got := view.Partitions[0].Primary; got != fresh.ID() {
+		t.Fatalf("promoted %s, want the fresher follower %s", got, fresh.ID())
+	}
+}
+
+// TestFailoverSuspectReportAcceleratesDetection checks the proxy hint
+// path: suspect reports alone (no monitor cycle) cross the probe
+// threshold and fail the node over.
+func TestFailoverSuspectReportAcceleratesDetection(t *testing.T) {
+	m, _ := newCluster(t, 4)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 2, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ten.Table.Partitions[0].Primary
+	nodeByID(t, m, victim).SetDown(true)
+	m.ReportNodeSuspect(victim)
+	m.ReportNodeSuspect(victim) // second failed probe crosses the default threshold
+	if !m.NodeDown(victim) {
+		t.Fatal("suspect reports did not mark the node down")
+	}
+	view, _ := m.RoutingView("t1")
+	for _, r := range view.Partitions {
+		if r.Primary == victim {
+			t.Fatalf("partition %s still led by the reported-down node", r.Partition)
+		}
+	}
+}
+
+// TestFailoverNoLiveFollower checks the blacked-out case: with every
+// follower down too, the route must NOT move (nothing fresher exists)
+// and the partition waits for repair.
+func TestFailoverNoLiveFollower(t *testing.T) {
+	m, nodes := newCluster(t, 3)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 1, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := ten.Table.Partitions[0]
+	for _, n := range nodes {
+		n.SetDown(true)
+	}
+	m.MonitorNodeHealth()
+	m.MonitorNodeHealth()
+	view, _ := m.RoutingView("t1")
+	if got := view.Partitions[0].Primary; got != route.Primary {
+		t.Fatalf("blacked-out partition moved to %s", got)
+	}
+}
+
+// TestRoutingViewVersionBumps checks that every table-shape change —
+// failover and split — bumps the version a proxy cache keys on, and
+// that registered proxies receive the push invalidation.
+func TestRoutingViewVersionBumps(t *testing.T) {
+	m, _ := newCluster(t, 4)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 1, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := &invalidatingProxy{fakeProxy: fakeProxy{tenant: "t1"}}
+	m.RegisterProxy(inv)
+
+	v1, _ := m.RoutingView("t1")
+	if v1.Version != 1 {
+		t.Fatalf("initial version = %d", v1.Version)
+	}
+	if err := m.MarkNodeDown(ten.Table.Partitions[0].Primary); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := m.RoutingView("t1")
+	if v2.Version <= v1.Version {
+		t.Fatalf("failover did not bump version: %d -> %d", v1.Version, v2.Version)
+	}
+	if inv.invalidations == 0 {
+		t.Fatal("failover did not push a proxy cache invalidation")
+	}
+	before := inv.invalidations
+	if err := m.SplitTenantPartitions("t1"); err != nil {
+		t.Fatal(err)
+	}
+	v3, _ := m.RoutingView("t1")
+	if v3.Version <= v2.Version {
+		t.Fatalf("split did not bump version: %d -> %d", v2.Version, v3.Version)
+	}
+	if inv.invalidations <= before {
+		t.Fatal("split did not push a proxy cache invalidation")
+	}
+}
+
+// invalidatingProxy is a fakeProxy that also counts route-cache
+// invalidation pushes.
+type invalidatingProxy struct {
+	fakeProxy
+	invalidations int
+}
+
+func (p *invalidatingProxy) InvalidateRoutes() { p.invalidations++ }
+
+// TestRepairAfterFailoverRestoresReplication runs the full lifecycle:
+// failover (fast promotion) followed by FailNode repair (rebuild), and
+// checks the partition ends with three live replicas and a working
+// write path.
+func TestRepairAfterFailoverRestoresReplication(t *testing.T) {
+	m, _ := newCluster(t, 5)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 1, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := ten.Table.Partitions[0]
+	pid := route.Partition
+	old := nodeByID(t, m, route.Primary)
+	if _, err := old.Put(pid, []byte("k"), []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	old.SetDown(true)
+	if err := m.MarkNodeDown(route.Primary); err != nil {
+		t.Fatal(err)
+	}
+	// Full repair: remove the dead node and rebuild its replicas.
+	if err := m.FailNode(route.Primary); err != nil {
+		t.Fatal(err)
+	}
+	view, _ := m.RoutingView("t1")
+	r := view.Partitions[0]
+	hosts := append([]string{r.Primary}, r.Followers...)
+	if len(hosts) != 3 {
+		t.Fatalf("hosts after repair = %v", hosts)
+	}
+	np := nodeByID(t, m, r.Primary)
+	if primary, epoch, _ := np.ReplicaRole(pid); !primary || epoch != r.Epoch {
+		t.Fatalf("post-repair role=(%v,%d), route epoch %d", primary, epoch, r.Epoch)
+	}
+	if _, err := np.PutAt(pid, r.Epoch, []byte("k2"), []byte("v2"), 0); err != nil {
+		t.Fatalf("write after repair: %v", err)
+	}
+	if _, err := np.Get(pid, []byte("k")); err != nil {
+		t.Fatalf("pre-failure key lost through failover+repair: %v", err)
+	}
+}
+
+// TestSplitReplicatesMovedKeysToFollowers guards the failover
+// invariant across splits: rehashed keys must land on the destination
+// partition's FOLLOWERS too (and disappear from the source's), so a
+// failover right after a split neither loses moved keys nor
+// resurrects them at the source.
+func TestSplitReplicatesMovedKeysToFollowers(t *testing.T) {
+	m, _ := newCluster(t, 5)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 2, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed through primaries so replication also covers followers.
+	var keys [][]byte
+	for i := 0; i < 64; i++ {
+		k := []byte(fmt.Sprintf("sk-%03d", i))
+		keys = append(keys, k)
+		route := ten.Table.RouteFor(k)
+		n := nodeByID(t, m, route.Primary)
+		if _, err := n.Put(route.Partition, k, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushReplication()
+	if err := m.SplitTenantPartitions("t1"); err != nil {
+		t.Fatal(err)
+	}
+	view, _ := m.RoutingView("t1")
+	nparts := len(view.Partitions)
+
+	// Kill every NEW partition's primary and fail over: the promoted
+	// followers must hold the rehashed keys.
+	for idx := 2; idx < nparts; idx++ {
+		victim := view.Partitions[idx].Primary
+		nodeByID(t, m, victim).SetDown(true)
+		if err := m.MarkNodeDown(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := m.RoutingView("t1")
+	for _, k := range keys {
+		idx := partition.PartitionOf(k, nparts)
+		route := after.Partitions[idx]
+		n := nodeByID(t, m, route.Primary)
+		if !n.Alive() {
+			t.Fatalf("partition %d has no live promoted primary", idx)
+		}
+		if _, err := n.Get(route.Partition, k); err != nil {
+			t.Fatalf("key %s unreadable at partition %d primary %s after split+failover: %v",
+				k, idx, route.Primary, err)
+		}
+	}
+	// Source-side: the moved keys' tombstones must have reached the
+	// source followers, or a source failover would resurrect them in
+	// scans. Check every live replica of the source partitions agrees.
+	for idx := 0; idx < 2; idx++ {
+		route := after.Partitions[idx]
+		for _, host := range append([]string{route.Primary}, route.Followers...) {
+			n, err := m.Node(host)
+			if err != nil || !n.Alive() {
+				continue
+			}
+			for _, k := range keys {
+				if partition.PartitionOf(k, nparts) == idx {
+					continue // still owned here
+				}
+				if partition.PartitionOf(k, 2) != idx {
+					continue // never lived here
+				}
+				if _, err := n.Get(route.Partition, k); err == nil {
+					t.Fatalf("moved key %s still live on source replica %s", k, host)
+				}
+			}
+		}
+	}
+}
+
+// TestRepairedFollowerPositionComparable guards position
+// comparability: a follower rebuilt by replica copy inherits its
+// source's replication position, so it beats a long-dead stale
+// follower at promotion time instead of losing to its higher op count.
+func TestRepairedFollowerPositionComparable(t *testing.T) {
+	m, _ := newCluster(t, 4)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 1, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := ten.Table.Partitions[0]
+	pid := route.Partition
+	primary := nodeByID(t, m, route.Primary)
+	stale := nodeByID(t, m, route.Followers[0])
+
+	// The stale follower applies the first stretch of writes, then
+	// goes dark and misses the rest.
+	for i := 0; i < 30; i++ {
+		if _, err := primary.Put(pid, []byte(fmt.Sprintf("k%03d", i)), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushReplication()
+	stale.SetDown(true)
+	for i := 30; i < 50; i++ {
+		if _, err := primary.Put(pid, []byte(fmt.Sprintf("k%03d", i)), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushReplication()
+
+	// Rebuild a fresh replica on the spare node by copy: it must
+	// inherit the primary's position even though it applied only ~50
+	// live keys, far fewer than the primary's op count would suggest.
+	spare := nodeByID(t, m, "node-3")
+	if err := spare.AddReplica(partition.ReplicaID{Partition: pid, Replica: 3}, 1e9, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.CopyReplicaTo(pid, spare); err != nil {
+		t.Fatal(err)
+	}
+	stale.SetDown(false)
+	if sp, st := spare.ReplicationPosition(pid), stale.ReplicationPosition(pid); sp <= st {
+		t.Fatalf("rebuilt follower pos %d <= stale follower pos %d — promotion would pick the stale one", sp, st)
+	}
+	if sp, pp := spare.ReplicationPosition(pid), primary.ReplicationPosition(pid); sp != pp {
+		t.Fatalf("rebuilt follower pos %d != source pos %d", sp, pp)
+	}
+}

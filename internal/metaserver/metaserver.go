@@ -29,6 +29,10 @@ type Tenant struct {
 	Table   *partition.Table
 	Proxies int // N: tenant proxy count
 	Groups  int // n: proxy groups for limited fan-out hash routing
+	// version counts routing-table changes (splits, failovers,
+	// repairs); proxies cache the table stamped with it (guarded by
+	// Meta.mu).
+	version uint64
 }
 
 // RestrictableProxy is the control surface the MetaServer uses to
@@ -55,6 +59,10 @@ type Meta struct {
 	// heatStreak counts consecutive over-threshold monitoring cycles
 	// per tenant (guarded by mu).
 	heatStreak map[string]int
+	// health tracks per-node probe state for failure detection
+	// (guarded by mu).
+	health          map[string]*nodeHealth
+	downAfterProbes int
 
 	heatCfg struct {
 		threshold     float64
@@ -65,6 +73,14 @@ type Meta struct {
 	replWG   sync.WaitGroup
 	replJobs chan replJob
 	closed   bool
+
+	// pendEnq/pendDone count replication jobs enqueued and applied;
+	// FlushReplication (the failover catch-up gate) waits for the
+	// done counter to reach the enqueue count captured at call time.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pendEnq  uint64
+	pendDone uint64
 }
 
 type replJob struct {
@@ -77,6 +93,9 @@ type replJob struct {
 	// ops, when non-nil, is a group-committed sub-batch replacing the
 	// single key/val fields.
 	ops []datanode.WriteOp
+	// pos is the primary's replication position after this write (after
+	// the last op for batches); followers adopt it monotonically.
+	pos uint64
 }
 
 // Config configures a Meta.
@@ -99,6 +118,11 @@ type Config struct {
 	HeatSplitWindows int
 	// HeatSplitMaxPartitions caps automatic doubling (default 256).
 	HeatSplitMaxPartitions int
+	// DownAfterProbes is how many consecutive failed health probes mark
+	// a node down and trigger failover (default 2). Proxy suspect
+	// reports drive extra probes, so a dead node under traffic is
+	// detected faster than the monitoring cadence alone.
+	DownAfterProbes int
 }
 
 // New starts a meta server.
@@ -118,15 +142,21 @@ func New(cfg Config) *Meta {
 	if cfg.HeatSplitMaxPartitions <= 0 {
 		cfg.HeatSplitMaxPartitions = 256
 	}
-	m := &Meta{
-		clk:        cfg.Clock,
-		replicas:   cfg.Replicas,
-		nodes:      make(map[string]*datanode.Node),
-		tenants:    make(map[string]*Tenant),
-		proxies:    make(map[string][]RestrictableProxy),
-		heatStreak: make(map[string]int),
-		replJobs:   make(chan replJob, 1024),
+	if cfg.DownAfterProbes <= 0 {
+		cfg.DownAfterProbes = 2
 	}
+	m := &Meta{
+		clk:             cfg.Clock,
+		replicas:        cfg.Replicas,
+		nodes:           make(map[string]*datanode.Node),
+		tenants:         make(map[string]*Tenant),
+		proxies:         make(map[string][]RestrictableProxy),
+		heatStreak:      make(map[string]int),
+		health:          make(map[string]*nodeHealth),
+		downAfterProbes: cfg.DownAfterProbes,
+		replJobs:        make(chan replJob, 1024),
+	}
+	m.pendCond = sync.NewCond(&m.pendMu)
 	m.heatCfg.threshold = cfg.HeatSplitThreshold
 	m.heatCfg.windows = cfg.HeatSplitWindows
 	m.heatCfg.maxPartitions = cfg.HeatSplitMaxPartitions
@@ -140,12 +170,14 @@ func New(cfg Config) *Meta {
 func (m *Meta) replWorker() {
 	defer m.replWG.Done()
 	for job := range m.replJobs {
-		// Best effort: eventual consistency tolerates transient errors.
+		// Best effort: eventual consistency tolerates transient errors
+		// (a down follower drops its deltas; repair rebuilds it).
 		if job.ops != nil {
-			_ = job.node.ApplyReplicatedBatch(job.pid, job.ops)
+			_ = job.node.ApplyReplicatedBatchAt(job.pid, job.pos, job.ops)
 		} else {
-			_ = job.node.ApplyReplicated(job.pid, job.key, job.val, job.ttl, job.del)
+			_ = job.node.ApplyReplicatedAt(job.pid, job.pos, job.key, job.val, job.ttl, job.del)
 		}
+		m.donePending()
 	}
 }
 
@@ -223,22 +255,23 @@ func (r *metaReplicator) followers(pid partition.ID) (targets []*datanode.Node, 
 }
 
 // Replicate implements datanode.Replicator.
-func (r *metaReplicator) Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, del bool) {
+func (r *metaReplicator) Replicate(rid partition.ReplicaID, key, value []byte, ttl time.Duration, del bool, pos uint64) {
 	targets, closed := r.followers(rid.Partition)
 	if closed || len(targets) == 0 {
 		return
 	}
 	k := append([]byte(nil), key...)
 	v := append([]byte(nil), value...)
+	r.meta.addPending(len(targets))
 	for _, n := range targets {
-		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, key: k, val: v, ttl: ttl, del: del}
+		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, key: k, val: v, ttl: ttl, del: del, pos: pos}
 	}
 }
 
 // ReplicateBatch implements datanode.Replicator: the whole sub-batch
 // travels as one replication message per follower and is applied there
 // as one group commit.
-func (r *metaReplicator) ReplicateBatch(rid partition.ReplicaID, ops []datanode.WriteOp) {
+func (r *metaReplicator) ReplicateBatch(rid partition.ReplicaID, ops []datanode.WriteOp, pos uint64) {
 	targets, closed := r.followers(rid.Partition)
 	if closed || len(targets) == 0 {
 		return
@@ -252,8 +285,9 @@ func (r *metaReplicator) ReplicateBatch(rid partition.ReplicaID, ops []datanode.
 			Delete: op.Delete,
 		}
 	}
+	r.meta.addPending(len(targets))
 	for _, n := range targets {
-		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, ops: copied}
+		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, ops: copied, pos: pos}
 	}
 }
 
@@ -297,7 +331,7 @@ func (m *Meta) CreateTenant(spec TenantSpec) (*Tenant, error) {
 		if len(hosts) < m.replicas {
 			return nil, ErrNotEnoughNodes
 		}
-		route := partition.Route{Partition: pid, Primary: hosts[0]}
+		route := partition.Route{Partition: pid, Primary: hosts[0], Epoch: 1}
 		for r, host := range hosts {
 			rid := partition.ReplicaID{Partition: pid, Replica: r}
 			if err := m.nodes[host].AddReplica(rid, perPartition, r == 0); err != nil {
@@ -315,13 +349,17 @@ func (m *Meta) CreateTenant(spec TenantSpec) (*Tenant, error) {
 		Table:   table,
 		Proxies: spec.Proxies,
 		Groups:  spec.Groups,
+		version: 1,
 	}
 	m.tenants[spec.Name] = ten
 	return ten, nil
 }
 
 // pickHostsLocked returns up to k distinct node IDs with the fewest
-// hosted replicas, excluding any in the exclude set.
+// hosted replicas, excluding any in the exclude set and any node the
+// health tracker currently considers down — placing a fresh replica
+// (or a split's new primary) on a dead node would black it out on
+// arrival.
 func (m *Meta) pickHostsLocked(k int, exclude map[string]bool) []string {
 	type cand struct {
 		id   string
@@ -330,6 +368,9 @@ func (m *Meta) pickHostsLocked(k int, exclude map[string]bool) []string {
 	var cands []cand
 	for id, n := range m.nodes {
 		if exclude[id] {
+			continue
+		}
+		if h := m.health[id]; h != nil && h.down {
 			continue
 		}
 		cands = append(cands, cand{id, len(n.Replicas())})

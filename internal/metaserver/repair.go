@@ -103,7 +103,11 @@ func (m *Meta) repairPartition(t *Tenant, idx int, failedID string) error {
 	newHost := hosts[0]
 	target := m.nodes[newHost]
 
-	// Update the route: replace the failed node with the new host.
+	// Update the route: replace the failed node with the new host. A
+	// primary replacement is a promotion, so the route epoch bumps and
+	// the promoted replica learns its new role — without this, the
+	// data plane's write fence would reject traffic at the new primary.
+	promoted := false
 	if route.Primary == failedID {
 		// Promote the source (a surviving follower) to primary and add
 		// the new host as a follower.
@@ -115,6 +119,8 @@ func (m *Meta) repairPartition(t *Tenant, idx int, failedID string) error {
 		}
 		route.Primary = sourceID
 		route.Followers = newFollowers
+		route.Epoch++
+		promoted = true
 	} else {
 		var newFollowers []string
 		for _, f := range route.Followers {
@@ -126,7 +132,15 @@ func (m *Meta) repairPartition(t *Tenant, idx int, failedID string) error {
 	}
 	t.Table.Partitions[idx] = route
 	perPartition := t.Quota.PartitionQuota()
+	tenant := t.Name
 	m.mu.Unlock()
+
+	if promoted {
+		if err := source.SetReplicaRole(pid, true, route.Epoch); err != nil {
+			return err
+		}
+	}
+	m.notifyRouteChange(tenant)
 
 	rid := partition.ReplicaID{Partition: pid, Replica: len(route.Followers)}
 	if err := target.AddReplica(rid, perPartition, false); err != nil {

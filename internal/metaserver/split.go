@@ -2,6 +2,7 @@ package metaserver
 
 import (
 	"fmt"
+	"time"
 
 	"abase/internal/datanode"
 	"abase/internal/partition"
@@ -33,7 +34,7 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 			m.mu.Unlock()
 			return ErrNotEnoughNodes
 		}
-		route := partition.Route{Partition: pid, Primary: hosts[0]}
+		route := partition.Route{Partition: pid, Primary: hosts[0], Epoch: 1}
 		for r, host := range hosts {
 			rid := partition.ReplicaID{Partition: pid, Replica: r}
 			if err := m.nodes[host].AddReplica(rid, perPartition, r == 0); err != nil {
@@ -63,12 +64,41 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 		}
 	}
 	t.Table.Partitions = append(t.Table.Partitions, newRoutes...)
-	table := t.Table
+	// Snapshot the routes while still locked: the rehash below runs
+	// unlocked and a concurrent failover may rewrite live table
+	// entries under m.mu.
+	routes := append([]partition.Route(nil), t.Table.Partitions...)
 	nodes := make(map[string]*datanode.Node, len(m.nodes))
 	for id, n := range m.nodes {
 		nodes[id] = n
 	}
 	m.mu.Unlock()
+	// The table changed shape: cached proxy routing tables must refetch
+	// before their next page/batch so the rehashed keys stay reachable.
+	m.notifyRouteChange(tenant)
+
+	// applyAll writes (or tombstones) a rehashed record on EVERY
+	// replica of a partition, not just its primary: followers must
+	// hold the moved keys too, or the first failover after a split
+	// would promote a follower missing them — and source followers
+	// must drop their copies, or that same failover would resurrect
+	// keys the split migrated away. The primary's apply is
+	// authoritative (errors propagate); follower applies are
+	// best-effort like fabric replication (a down follower catches up
+	// via repair).
+	applyAll := func(route partition.Route, pid partition.ID, k, v []byte, ttl time.Duration, del bool) error {
+		if primary, ok := nodes[route.Primary]; ok {
+			if err := primary.ApplyReplicated(pid, k, v, ttl, del); err != nil {
+				return err
+			}
+		}
+		for _, f := range route.Followers {
+			if fn, ok := nodes[f]; ok {
+				_ = fn.ApplyReplicated(pid, k, v, ttl, del)
+			}
+		}
+		return nil
+	}
 
 	// Rehash: keys whose new partition differs move to it. With the
 	// doubled count, hash%newN == hash%oldN for roughly half the keys;
@@ -97,9 +127,10 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 		if err != nil {
 			return err
 		}
+		srcRoute := routes[src.pid.Index]
 		for _, e := range moved {
 			newIdx := partition.PartitionOf(e.k, newN)
-			route := table.Partitions[newIdx]
+			route := routes[newIdx]
 			dst, ok := nodes[route.Primary]
 			if !ok {
 				continue
@@ -109,11 +140,11 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 			// the remaining TTL, and drop records that lapsed since the
 			// scan (deleting the source copy stays correct either way).
 			if ttl, alive := dst.RemainingTTL(e.expireAt); alive {
-				if err := dst.ApplyReplicated(newPid, e.k, e.v, ttl, false); err != nil {
+				if err := applyAll(route, newPid, e.k, e.v, ttl, false); err != nil {
 					return err
 				}
 			}
-			if err := srcNode.ApplyReplicated(src.pid, e.k, nil, 0, true); err != nil {
+			if err := applyAll(srcRoute, src.pid, e.k, nil, 0, true); err != nil {
 				return err
 			}
 		}

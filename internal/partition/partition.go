@@ -52,11 +52,15 @@ type Placement struct {
 }
 
 // Route is the routing entry for one partition: the primary first,
-// then followers.
+// then followers. Epoch increases monotonically every time the
+// partition's primary changes (failover promotion); replicas remember
+// the epoch they were configured under, so a write routed with a stale
+// epoch — or to a demoted primary — is fenced instead of applied.
 type Route struct {
 	Partition ID
 	Primary   string   // node hosting the primary replica
 	Followers []string // nodes hosting follower replicas
+	Epoch     uint64   // primary-change generation (starts at 1)
 }
 
 // Table is a tenant's full routing table: one Route per partition,

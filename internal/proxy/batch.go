@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"abase/internal/datanode"
+	"abase/internal/metaserver"
 	"abase/internal/partition"
 	"abase/internal/ru"
 )
@@ -34,21 +35,21 @@ const DefaultBatchFanout = 4
 // nodeBatch is the slice of a batch owned by one DataNode, split into
 // its per-partition sub-batches.
 type nodeBatch struct {
-	node *datanode.Node
-	gets []datanode.GetBatch // per-partition key groups
-	idxs [][]int             // original batch positions, parallel to gets
+	node   *datanode.Node
+	gets   []datanode.GetBatch // per-partition key groups
+	idxs   [][]int             // original batch positions, parallel to gets
+	epochs []uint64            // route epoch per sub-batch, parallel to gets
 }
 
 // groupByNode splits the selected batch positions by owning DataNode
-// and partition using a single routing-table pass. Routing failures
-// are recorded in errs and excluded from the result.
+// and partition using a single pass over the cached routing table.
+// Routing failures are recorded in errs and excluded from the result.
 func (p *Proxy) groupByNode(keys [][]byte, idxs []int, errs []error) []*nodeBatch {
-	sel := make([][]byte, len(idxs))
-	for j, i := range idxs {
-		sel[j] = keys[i]
-	}
-	routes, err := p.cfg.Meta.RoutesFor(p.cfg.Tenant, sel)
-	if err != nil {
+	view, err := p.routingView()
+	if err != nil || len(view.Partitions) == 0 {
+		if err == nil {
+			err = metaserver.ErrUnknownPartition
+		}
 		for _, i := range idxs {
 			errs[i] = err
 			p.errors.Inc()
@@ -58,8 +59,8 @@ func (p *Proxy) groupByNode(keys [][]byte, idxs []int, errs []error) []*nodeBatc
 	byNode := make(map[string]*nodeBatch)
 	slot := make(map[partition.ID]int) // partition → index into nb.gets
 	var order []*nodeBatch
-	for j, i := range idxs {
-		route := routes[j]
+	for _, i := range idxs {
+		route := view.Partitions[partition.PartitionOf(keys[i], len(view.Partitions))]
 		nb, ok := byNode[route.Primary]
 		if !ok {
 			node, err := p.cfg.Meta.Node(route.Primary)
@@ -78,11 +79,38 @@ func (p *Proxy) groupByNode(keys [][]byte, idxs []int, errs []error) []*nodeBatc
 			slot[route.Partition] = g
 			nb.gets = append(nb.gets, datanode.GetBatch{PID: route.Partition})
 			nb.idxs = append(nb.idxs, nil)
+			nb.epochs = append(nb.epochs, route.Epoch)
 		}
 		nb.gets[g].Keys = append(nb.gets[g].Keys, keys[i])
 		nb.idxs[g] = append(nb.idxs[g], i)
 	}
 	return order
+}
+
+// noteBatchNodeErr reports a down node seen by a batch dispatch (once
+// per node batch) and invalidates the route cache so the retry pass
+// resolves fresh routes.
+func (p *Proxy) noteBatchNodeErr(nb *nodeBatch, err error, reported *bool) {
+	if *reported || !retryableRouteErr(err) {
+		return
+	}
+	*reported = true
+	p.noteRouteFailure(nb.node.ID(), err)
+}
+
+// retryPass collects the batch positions whose error is
+// routing-shaped, clearing their slots for one more dispatch. The
+// caller loops at most twice, giving every keyed path the same single
+// bounded retry as withRoute.
+func retryPass(idxs []int, errs []error) []int {
+	var retry []int
+	for _, i := range idxs {
+		if retryableRouteErr(errs[i]) {
+			errs[i] = nil
+			retry = append(retry, i)
+		}
+	}
+	return retry
 }
 
 // fanout bounds the node-level dispatch concurrency. Tiny batches run
@@ -178,41 +206,52 @@ func (p *Proxy) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 		p.latency.Observe(p.cfg.Clock.Since(start))
 		return values, errs
 	}
-	batches := p.groupByNode(keys, miss, errs)
-	runBounded(len(batches), p.fanout(len(miss)), func(bi int) {
-		nb := batches[bi]
-		results := nb.node.MultiGet(nb.gets)
-		for g, res := range results {
-			if res.Err != nil {
-				mapped := mapNodeErr(res.Err)
-				for _, i := range nb.idxs[g] {
-					errs[i] = mapped
-					p.errors.Inc()
-				}
-				continue
-			}
-			p.windowRU.Add(res.RU)
-			for j, i := range nb.idxs[g] {
-				bv := res.Values[j]
-				if bv.Err != nil {
-					errs[i] = mapNodeErr(bv.Err)
-					if errors.Is(bv.Err, datanode.ErrNotFound) {
-						p.est.ObserveRead(0, false)
+	// Bounded retry: a pass whose failures are routing-shaped (node
+	// down, stale epoch, moved partition) re-resolves routes and
+	// re-dispatches exactly once, like withRoute on the point path.
+	pending := miss
+	for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
+		batches := p.groupByNode(keys, pending, errs)
+		runBounded(len(batches), p.fanout(len(pending)), func(bi int) {
+			nb := batches[bi]
+			reported := false
+			results := nb.node.MultiGet(nb.gets)
+			for g, res := range results {
+				if res.Err != nil {
+					p.noteBatchNodeErr(nb, res.Err, &reported)
+					mapped := mapNodeErr(res.Err)
+					for _, i := range nb.idxs[g] {
+						errs[i] = mapped
+						p.errors.Inc()
 					}
-					p.errors.Inc()
 					continue
 				}
-				p.est.ObserveRead(len(bv.Value), bv.CacheHit)
-				values[i] = bv.Value
-				// TTL-bearing values stay out of the AU-LRU (see Get);
-				// TTL-free fills go through the hotness gate.
-				if bv.ExpireAt == 0 {
-					p.cacheFill(keys[i], bv.Value, ests[i])
+				p.windowRU.Add(res.RU)
+				for j, i := range nb.idxs[g] {
+					bv := res.Values[j]
+					if bv.Err != nil {
+						errs[i] = mapNodeErr(bv.Err)
+						if errors.Is(bv.Err, datanode.ErrNotFound) {
+							p.est.ObserveRead(0, false)
+						}
+						p.errors.Inc()
+						continue
+					}
+					p.est.ObserveRead(len(bv.Value), bv.CacheHit)
+					values[i] = bv.Value
+					// TTL-bearing values stay out of the AU-LRU (see Get);
+					// TTL-free fills go through the hotness gate.
+					if bv.ExpireAt == 0 {
+						p.cacheFill(keys[i], bv.Value, ests[i])
+					}
+					p.success.Inc()
 				}
-				p.success.Inc()
 			}
+		})
+		if attempt == 0 {
+			pending = retryPass(pending, errs)
 		}
-	})
+	}
 	p.latency.Observe(p.cfg.Clock.Since(start))
 	return values, errs
 }
@@ -238,46 +277,57 @@ func (p *Proxy) batchWrite(keys [][]byte, op func(i int) datanode.WriteOp, cost 
 	for i := range keys {
 		idxs[i] = i
 	}
-	batches := p.groupByNode(keys, idxs, errs)
-	runBounded(len(batches), p.fanout(len(keys)), func(bi int) {
-		nb := batches[bi]
-		puts := make([]datanode.PutBatch, len(nb.gets))
-		for g := range nb.gets {
-			ops := make([]datanode.WriteOp, len(nb.idxs[g]))
-			for j, i := range nb.idxs[g] {
-				ops[j] = op(i)
-			}
-			puts[g] = datanode.PutBatch{PID: nb.gets[g].PID, Ops: ops}
-		}
-		results := nb.node.MultiWrite(puts)
-		for g, res := range results {
-			if res.Err != nil {
-				mapped := mapNodeErr(res.Err)
-				for _, i := range nb.idxs[g] {
-					errs[i] = mapped
-					p.errors.Inc()
+	// Bounded retry shared with BatchGet: routing-shaped failures
+	// (including write fences from a demoted primary) re-resolve and
+	// re-dispatch once.
+	pending := idxs
+	for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
+		batches := p.groupByNode(keys, pending, errs)
+		runBounded(len(batches), p.fanout(len(pending)), func(bi int) {
+			nb := batches[bi]
+			reported := false
+			puts := make([]datanode.PutBatch, len(nb.gets))
+			for g := range nb.gets {
+				ops := make([]datanode.WriteOp, len(nb.idxs[g]))
+				for j, i := range nb.idxs[g] {
+					ops[j] = op(i)
 				}
-				continue
+				puts[g] = datanode.PutBatch{PID: nb.gets[g].PID, Ops: ops, Epoch: nb.epochs[g]}
 			}
-			p.windowRU.Add(res.RU)
-			for j, i := range nb.idxs[g] {
-				if bvErr := res.Values[j].Err; bvErr != nil {
-					errs[i] = mapNodeErr(bvErr)
-					// A delete of an absent key still invalidates the
-					// proxy cache: its TTL is independent of the
-					// engine's, so an engine-expired entry may linger
-					// here. (Put ops never report ErrNotFound.)
-					if errors.Is(bvErr, datanode.ErrNotFound) {
-						onOK(i)
+			results := nb.node.MultiWrite(puts)
+			for g, res := range results {
+				if res.Err != nil {
+					p.noteBatchNodeErr(nb, res.Err, &reported)
+					mapped := mapNodeErr(res.Err)
+					for _, i := range nb.idxs[g] {
+						errs[i] = mapped
+						p.errors.Inc()
 					}
-					p.errors.Inc()
 					continue
 				}
-				onOK(i)
-				p.success.Inc()
+				p.windowRU.Add(res.RU)
+				for j, i := range nb.idxs[g] {
+					if bvErr := res.Values[j].Err; bvErr != nil {
+						errs[i] = mapNodeErr(bvErr)
+						// A delete of an absent key still invalidates the
+						// proxy cache: its TTL is independent of the
+						// engine's, so an engine-expired entry may linger
+						// here. (Put ops never report ErrNotFound.)
+						if errors.Is(bvErr, datanode.ErrNotFound) {
+							onOK(i)
+						}
+						p.errors.Inc()
+						continue
+					}
+					onOK(i)
+					p.success.Inc()
+				}
 			}
+		})
+		if attempt == 0 {
+			pending = retryPass(pending, errs)
 		}
-	})
+	}
 	p.latency.Observe(p.cfg.Clock.Since(start))
 	return errs
 }
@@ -371,37 +421,45 @@ func (p *Proxy) BatchExists(keys [][]byte) (exists []bool, errs []error) {
 		p.latency.Observe(p.cfg.Clock.Since(start))
 		return exists, errs
 	}
-	batches := p.groupByNode(keys, miss, errs)
-	runBounded(len(batches), p.fanout(len(miss)), func(bi int) {
-		nb := batches[bi]
-		results := nb.node.MultiContains(nb.gets)
-		for g, res := range results {
-			if res.Err != nil {
-				mapped := mapNodeErr(res.Err)
-				for _, i := range nb.idxs[g] {
-					errs[i] = mapped
-					p.errors.Inc()
+	pending := miss
+	for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
+		batches := p.groupByNode(keys, pending, errs)
+		runBounded(len(batches), p.fanout(len(pending)), func(bi int) {
+			nb := batches[bi]
+			reported := false
+			results := nb.node.MultiContains(nb.gets)
+			for g, res := range results {
+				if res.Err != nil {
+					p.noteBatchNodeErr(nb, res.Err, &reported)
+					mapped := mapNodeErr(res.Err)
+					for _, i := range nb.idxs[g] {
+						errs[i] = mapped
+						p.errors.Inc()
+					}
+					continue
 				}
-				continue
-			}
-			// Existence checks consume DataNode RU too; feed traffic
-			// control like any other admitted work.
-			p.windowRU.Add(res.RU)
-			for j, i := range nb.idxs[g] {
-				switch bvErr := res.Values[j].Err; {
-				case bvErr == nil:
-					exists[i] = true
-					p.success.Inc()
-				case errors.Is(bvErr, datanode.ErrNotFound):
-					// Absent is a successful answer, not a failure.
-					p.success.Inc()
-				default:
-					errs[i] = mapNodeErr(bvErr)
-					p.errors.Inc()
+				// Existence checks consume DataNode RU too; feed traffic
+				// control like any other admitted work.
+				p.windowRU.Add(res.RU)
+				for j, i := range nb.idxs[g] {
+					switch bvErr := res.Values[j].Err; {
+					case bvErr == nil:
+						exists[i] = true
+						p.success.Inc()
+					case errors.Is(bvErr, datanode.ErrNotFound):
+						// Absent is a successful answer, not a failure.
+						p.success.Inc()
+					default:
+						errs[i] = mapNodeErr(bvErr)
+						p.errors.Inc()
+					}
 				}
 			}
+		})
+		if attempt == 0 {
+			pending = retryPass(pending, errs)
 		}
-	})
+	}
 	p.latency.Observe(p.cfg.Clock.Since(start))
 	return exists, errs
 }

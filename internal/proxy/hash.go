@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"abase/internal/datanode"
+	"abase/internal/partition"
 	"abase/internal/ru"
 )
 
@@ -44,12 +45,12 @@ func (p *Proxy) HSetMulti(key []byte, fvs []FieldValue) (int, error) {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return 0, err
-	}
-	added, err := node.HSetMulti(pid, key, fvs)
+	var added int
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		added, err = node.HSetMulti(route.Partition, key, fvs)
+		return err
+	})
 	if err != nil {
 		p.errors.Inc()
 		return 0, err
@@ -67,12 +68,12 @@ func (p *Proxy) HGet(key []byte, field string) ([]byte, error) {
 		p.rejected.Inc()
 		return nil, ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return nil, err
-	}
-	v, err := node.HGet(pid, key, field)
+	var v []byte
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		v, err = node.HGet(route.Partition, key, field)
+		return err
+	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			p.errors.Inc()
@@ -91,12 +92,12 @@ func (p *Proxy) HLen(key []byte) (int, error) {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return 0, err
-	}
-	n, err := node.HLen(pid, key)
+	var n int
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		n, err = node.HLen(route.Partition, key)
+		return err
+	})
 	if err != nil {
 		p.errors.Inc()
 		return 0, err
@@ -111,12 +112,12 @@ func (p *Proxy) HGetAll(key []byte) (map[string][]byte, error) {
 		p.rejected.Inc()
 		return nil, ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return nil, err
-	}
-	m, err := node.HGetAll(pid, key)
+	var m map[string][]byte
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		m, err = node.HGetAll(route.Partition, key)
+		return err
+	})
 	if err != nil {
 		p.errors.Inc()
 		return nil, err
@@ -131,12 +132,12 @@ func (p *Proxy) HDel(key []byte, fields ...string) (int, error) {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return 0, err
-	}
-	n, err := node.HDel(pid, key, fields...)
+	var n int
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		n, err = node.HDel(route.Partition, key, fields...)
+		return err
+	})
 	if err != nil {
 		p.errors.Inc()
 		return 0, err

@@ -70,7 +70,34 @@ type Config struct {
 	// any traffic volume; width only controls the residual noise
 	// around zero for cold keys.
 	HotWidth int
+	// MaxFollowerLag bounds follower-read staleness in replication
+	// positions: a follower whose applied-write count trails its
+	// primary's by more than this serves no reads and the request
+	// falls through to the primary (default DefaultMaxFollowerLag).
+	// When the primary is unreachable the bound is waived — during a
+	// failover window a bounded-stale answer beats no answer, which is
+	// the point of follower reads.
+	MaxFollowerLag uint64
 }
+
+// DefaultMaxFollowerLag is the follower-read staleness bound when
+// Config.MaxFollowerLag is zero.
+const DefaultMaxFollowerLag = 1024
+
+// ReadPreference selects which replica serves a read.
+type ReadPreference int
+
+const (
+	// ReadPrimary routes reads to the partition's primary replica
+	// (read-your-writes for a single client; the default).
+	ReadPrimary ReadPreference = iota
+	// ReadFollower routes reads to a follower replica when one is
+	// live and within the proxy's staleness bound (MaxFollowerLag),
+	// falling back to the primary otherwise. Read-mostly tenants opt
+	// in per connection (RESP READONLY) to keep serving through a
+	// primary outage and to spread read load.
+	ReadFollower
+)
 
 // DefaultHotAdmitThreshold admits a key into the AU-LRU on its second
 // sketched access within the detection window: one access is noise,
@@ -87,6 +114,8 @@ type Proxy struct {
 	// every fetched value is cached, the pre-hotspot policy).
 	hot          *hotspot.Detector
 	hotThreshold float64
+	// routes is the epoch-stamped routing-table cache (routecache.go).
+	routes routeTable
 
 	windowRU metrics.Gauge
 	success  metrics.Counter
@@ -235,7 +264,7 @@ func (p *Proxy) refreshFromOrigin(key string) ([]byte, bool) {
 }
 
 func (p *Proxy) route(key []byte) (*datanode.Node, partition.ID, error) {
-	route, err := p.cfg.Meta.RouteFor(p.cfg.Tenant, key)
+	route, err := p.routeForKey(key)
 	if err != nil {
 		return nil, partition.ID{}, err
 	}
@@ -246,10 +275,58 @@ func (p *Proxy) route(key []byte) (*datanode.Node, partition.ID, error) {
 	return node, route.Partition, nil
 }
 
+// maxFollowerLag resolves the configured staleness bound.
+func (p *Proxy) maxFollowerLag() uint64 {
+	if p.cfg.MaxFollowerLag > 0 {
+		return p.cfg.MaxFollowerLag
+	}
+	return DefaultMaxFollowerLag
+}
+
+// followerRead serves key from a live, sufficiently caught-up follower
+// of route. served=false means no follower qualified and the caller
+// should read the primary. When the primary is unreachable the
+// staleness bound is waived: during a failover window a bounded-stale
+// answer is exactly what follower reads are for.
+func (p *Proxy) followerRead(route partition.Route, key []byte) (res datanode.OpResult, err error, served bool) {
+	var primaryPos uint64
+	primaryAlive := false
+	if pn, nerr := p.cfg.Meta.Node(route.Primary); nerr == nil && pn.Alive() {
+		primaryAlive = true
+		primaryPos = pn.ReplicationPosition(route.Partition)
+	}
+	maxLag := p.maxFollowerLag()
+	for _, f := range route.Followers {
+		fn, nerr := p.cfg.Meta.Node(f)
+		if nerr != nil || !fn.Alive() {
+			continue
+		}
+		if primaryAlive {
+			if fpos := fn.ReplicationPosition(route.Partition); fpos+maxLag < primaryPos {
+				continue // too stale; next candidate
+			}
+		}
+		res, err = fn.Get(route.Partition, key)
+		if retryableRouteErr(err) {
+			continue // raced a failure; next candidate
+		}
+		// A follower's answer stands, including not-found: within the
+		// lag bound that is legitimate bounded staleness.
+		return res, err, true
+	}
+	return datanode.OpResult{}, nil, false
+}
+
 // Get reads key. Proxy cache hits return immediately without consuming
 // any quota (§4.2); misses are admitted by the proxy limiter and routed
 // to the primary DataNode.
-func (p *Proxy) Get(key []byte) ([]byte, error) {
+func (p *Proxy) Get(key []byte) ([]byte, error) { return p.GetPref(key, ReadPrimary) }
+
+// GetPref is Get with an explicit read preference: ReadFollower lets a
+// live, staleness-bounded follower serve the read (and keeps the key
+// readable while its primary is down), falling back to the primary
+// when no follower qualifies.
+func (p *Proxy) GetPref(key []byte, pref ReadPreference) ([]byte, error) {
 	start := p.cfg.Clock.Now()
 	var est float64
 	if p.cache != nil {
@@ -267,12 +344,34 @@ func (p *Proxy) Get(key []byte) ([]byte, error) {
 		p.rejected.Inc()
 		return nil, ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return nil, err
-	}
-	res, err := node.Get(pid, key)
+	var value []byte
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		fromFollower := false
+		var res datanode.OpResult
+		var err error
+		if pref == ReadFollower {
+			res, err, fromFollower = p.followerRead(route, key)
+		}
+		if !fromFollower {
+			res, err = node.Get(route.Partition, key)
+		}
+		if err != nil {
+			return err
+		}
+		p.est.ObserveRead(len(res.Value), res.CacheHit)
+		p.windowRU.Add(res.RU)
+		// TTL-bearing values stay out of the AU-LRU: its entry TTL is
+		// independent of the record's, so a cached copy could outlive
+		// the record and make GET disagree with SCAN/KEYS/DBSIZE.
+		// TTL-free values are admitted through the hotness gate —
+		// except follower-read values, whose bounded staleness must
+		// not leak into the cache other clients share.
+		if res.ExpireAt == 0 && !fromFollower {
+			p.cacheFill(key, res.Value, est)
+		}
+		value = res.Value
+		return nil
+	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			p.est.ObserveRead(0, false)
@@ -282,18 +381,9 @@ func (p *Proxy) Get(key []byte) ([]byte, error) {
 		p.errors.Inc()
 		return nil, err
 	}
-	p.est.ObserveRead(len(res.Value), res.CacheHit)
-	p.windowRU.Add(res.RU)
-	// TTL-bearing values stay out of the AU-LRU: its entry TTL is
-	// independent of the record's, so a cached copy could outlive the
-	// record and make GET disagree with SCAN/KEYS/DBSIZE. TTL-free
-	// values are admitted through the hotness gate.
-	if res.ExpireAt == 0 {
-		p.cacheFill(key, res.Value, est)
-	}
 	p.success.Inc()
 	p.latency.Observe(p.cfg.Clock.Since(start))
-	return res.Value, nil
+	return value, nil
 }
 
 // Put writes key=value with an optional TTL through the proxy quota.
@@ -308,17 +398,18 @@ func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 		p.rejected.Inc()
 		return ErrThrottled
 	}
-	node, pid, err := p.route(key)
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		res, err := node.PutAt(route.Partition, route.Epoch, key, value, ttl)
+		if err != nil {
+			return err
+		}
+		p.windowRU.Add(res.RU)
+		return nil
+	})
 	if err != nil {
 		p.errors.Inc()
 		return err
 	}
-	res, err := node.Put(pid, key, value, ttl)
-	if err != nil {
-		p.errors.Inc()
-		return err
-	}
-	p.windowRU.Add(res.RU)
 	// Write-through for TTL-free values (hotness-gated for cold keys);
 	// TTL'd writes invalidate instead, so the AU-LRU never holds a copy
 	// that could outlive the record (see Get).
@@ -341,12 +432,11 @@ func (p *Proxy) Delete(key []byte) error {
 		p.rejected.Inc()
 		return ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		_, err := node.DeleteAt(route.Partition, route.Epoch, key)
 		return err
-	}
-	if _, err := node.Delete(pid, key); err != nil {
+	})
+	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			// Still invalidate: the proxy cache's TTL is independent
 			// of the engine's, so an engine-expired key may linger
@@ -490,6 +580,12 @@ func (f *Fleet) Route(key []byte) *Proxy {
 // Get routes and reads key.
 func (f *Fleet) Get(key []byte) ([]byte, error) { return f.Route(key).Get(key) }
 
+// GetPref routes and reads key with an explicit read preference
+// (ReadFollower enables staleness-bounded follower reads).
+func (f *Fleet) GetPref(key []byte, pref ReadPreference) ([]byte, error) {
+	return f.Route(key).GetPref(key, pref)
+}
+
 // Put routes and writes key.
 func (f *Fleet) Put(key, value []byte, ttl time.Duration) error {
 	return f.Route(key).Put(key, value, ttl)
@@ -531,12 +627,12 @@ func (f *Fleet) ResetStats() {
 // TTL returns key's remaining time-to-live; hasTTL is false for keys
 // stored without an expiry.
 func (p *Proxy) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return 0, false, err
-	}
-	ttl, found, err := node.TTL(pid, key)
+	var found bool
+	err = p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		ttl, found, err = node.TTL(route.Partition, key)
+		return err
+	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			return 0, false, ErrNotFound
@@ -558,12 +654,10 @@ func (p *Proxy) Expire(key []byte, ttl time.Duration) error {
 		p.rejected.Inc()
 		return ErrThrottled
 	}
-	node, pid, err := p.route(key)
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		return node.Expire(route.Partition, key, ttl)
+	})
 	if err != nil {
-		p.errors.Inc()
-		return err
-	}
-	if err := node.Expire(pid, key, ttl); err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			return ErrNotFound
 		}
@@ -587,12 +681,12 @@ func (p *Proxy) Persist(key []byte) (bool, error) {
 		p.rejected.Inc()
 		return false, ErrThrottled
 	}
-	node, pid, err := p.route(key)
-	if err != nil {
-		p.errors.Inc()
-		return false, err
-	}
-	removed, err := node.Persist(pid, key)
+	var removed bool
+	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		removed, err = node.Persist(route.Partition, key)
+		return err
+	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			return false, ErrNotFound

@@ -144,25 +144,32 @@ func (p *Proxy) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
 	// budget runs out the partial page returns with a usable cursor and
 	// the caller pays for the next stretch separately.
 	examined := 0
+	// retried implements the scan half of the shared bounded retry: one
+	// route refresh per page when a sub-scan fails with a routing-shaped
+	// error (dead primary, moved partition).
+	retried := false
 	for fetched < count && examined < count*scanExamineFactor {
-		// Re-read the partition count every iteration: a split mid-scan
-		// appends partitions, which this walk then covers.
-		nparts, err := p.cfg.Meta.NumPartitions(p.cfg.Tenant)
+		// Re-read the cached table every iteration: a split mid-scan
+		// appends partitions (and invalidates the cache), which this
+		// walk then covers.
+		view, err := p.routingView()
 		if err != nil {
 			return p.finishScan(page, cur, fetched, err, start)
 		}
-		if cur.part >= nparts {
+		if cur.part >= len(view.Partitions) {
 			// Traversal complete.
 			p.success.Inc()
 			p.latency.Observe(p.cfg.Clock.Since(start))
 			return page, nil
 		}
-		route, err := p.cfg.Meta.RouteForIndex(p.cfg.Tenant, cur.part)
-		if err != nil {
-			return p.finishScan(page, cur, fetched, err, start)
-		}
+		route := view.Partitions[cur.part]
 		node, err := p.cfg.Meta.Node(route.Primary)
 		if err != nil {
+			if !retried && retryableRouteErr(err) {
+				retried = true
+				p.InvalidateRoutes()
+				continue
+			}
 			return p.finishScan(page, cur, fetched, err, start)
 		}
 		res, err := node.RangeScan(route.Partition, datanode.ScanOptions{
@@ -171,6 +178,11 @@ func (p *Proxy) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
 			KeysOnly: opts.KeysOnly,
 		})
 		if err != nil {
+			if !retried && retryableRouteErr(err) {
+				retried = true
+				p.noteRouteFailure(route.Primary, err)
+				continue
+			}
 			return p.finishScan(page, cur, fetched, mapNodeErr(err), start)
 		}
 		p.windowRU.Add(res.RU)

@@ -83,6 +83,14 @@ var (
 // maxBulkLen bounds bulk strings to 512 MiB, matching Redis.
 const maxBulkLen = 512 << 20
 
+// maxArrayLen bounds array element counts (Redis's multibulk limit):
+// a crafted `*<huge>` header must not pre-allocate gigabytes.
+const maxArrayLen = 1 << 20
+
+// maxNestingDepth bounds array nesting. Parsing recurses per level, so
+// without a cap a stream of `*1\r\n` prefixes overflows the stack.
+const maxNestingDepth = 32
+
 // Writer serializes RESP values onto a buffered writer.
 type Writer struct {
 	w *bufio.Writer
@@ -158,8 +166,39 @@ func (r *Reader) readLine() ([]byte, error) {
 	return line[:len(line)-2], nil
 }
 
+// readBulk reads n payload bytes plus the trailing CRLF. The buffer
+// grows in bounded chunks as data actually arrives, so a crafted
+// length prefix on a short stream fails with EOF instead of
+// pre-allocating up to maxBulkLen.
+func (r *Reader) readBulk(n int64) ([]byte, error) {
+	const chunk = 64 << 10
+	total := n + 2
+	initial := total
+	if initial > chunk {
+		initial = chunk
+	}
+	buf := make([]byte, 0, initial)
+	for int64(len(buf)) < total {
+		step := total - int64(len(buf))
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r.r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
 // Read parses one RESP value.
-func (r *Reader) Read() (Value, error) {
+func (r *Reader) Read() (Value, error) { return r.read(0) }
+
+func (r *Reader) read(depth int) (Value, error) {
+	if depth > maxNestingDepth {
+		return Value{}, fmt.Errorf("%w: nesting too deep", ErrProtocol)
+	}
 	line, err := r.readLine()
 	if err != nil {
 		return Value{}, err
@@ -185,8 +224,8 @@ func (r *Reader) Read() (Value, error) {
 		if n == -1 {
 			return Null(), nil
 		}
-		buf := make([]byte, n+2)
-		if _, err := io.ReadFull(r.r, buf); err != nil {
+		buf, err := r.readBulk(n)
+		if err != nil {
 			return Value{}, err
 		}
 		if buf[n] != '\r' || buf[n+1] != '\n' {
@@ -195,15 +234,16 @@ func (r *Reader) Read() (Value, error) {
 		return Value{Kind: BulkString, Str: buf[:n]}, nil
 	case Array:
 		n, err := strconv.ParseInt(string(rest), 10, 64)
-		if err != nil || n < -1 {
+		if err != nil || n < -1 || n > maxArrayLen {
 			return Value{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, rest)
 		}
 		if n == -1 {
 			return Value{Kind: Array, Null: true}, nil
 		}
-		els := make([]Value, 0, n)
+		// Capacity grows with parsed elements, not the untrusted header.
+		els := make([]Value, 0, min64(n, 64))
 		for i := int64(0); i < n; i++ {
-			el, err := r.Read()
+			el, err := r.read(depth + 1)
 			if err != nil {
 				return Value{}, err
 			}
@@ -253,6 +293,13 @@ func (w *Writer) WriteCommand(name string, args ...[]byte) error {
 		return err
 	}
 	return w.Flush()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // upper uppercases ASCII without allocation for already-upper input.

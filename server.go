@@ -61,8 +61,9 @@ func (c *Cluster) Serve(addr, defaultTenant string) (string, *resp.Server, error
 
 // session is the per-connection RESP command handler.
 type session struct {
-	cluster *Cluster
-	tenant  string
+	cluster  *Cluster
+	tenant   string
+	readPref ReadPreference
 }
 
 func (s *session) client() (*Client, resp.Value) {
@@ -73,7 +74,9 @@ func (s *session) client() (*Client, resp.Value) {
 	if err != nil {
 		return nil, resp.Err("ERR unknown tenant %q", s.tenant)
 	}
-	return t.Client(), resp.Value{}
+	c := t.Client()
+	c.SetReadPreference(s.readPref)
+	return c, resp.Value{}
 }
 
 func wrongArgs(name string) resp.Value {
@@ -86,6 +89,8 @@ func opErr(err error) resp.Value {
 		return resp.Null()
 	case errors.Is(err, ErrThrottled):
 		return resp.Err("THROTTLED request rate exceeds tenant quota")
+	case errors.Is(err, ErrUnavailable):
+		return resp.Err("UNAVAILABLE primary down, failover in progress; retry")
 	default:
 		return resp.Err("ERR %v", err)
 	}
@@ -548,6 +553,25 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 			out = append(out, resp.Bulk(hk.Key), resp.Int64(int64(hk.Count+0.5)))
 		}
 		return resp.Arr(out...)
+
+	case "READONLY":
+		// Redis Cluster semantics: the connection opts into serving
+		// reads from replicas. Here that enables staleness-bounded
+		// follower reads — the connection keeps reading through a
+		// primary outage.
+		if len(cmd.Args) != 0 {
+			return wrongArgs("readonly")
+		}
+		s.readPref = ReadFollower
+		return resp.OK()
+
+	case "READWRITE":
+		// Back to primary reads (read-your-writes).
+		if len(cmd.Args) != 0 {
+			return wrongArgs("readwrite")
+		}
+		s.readPref = ReadPrimary
+		return resp.OK()
 
 	case "COMMAND":
 		return resp.Arr() // clients probe this at connect
