@@ -19,11 +19,17 @@
 //		Name: "myapp", QuotaRU: 10000, Partitions: 4, Proxies: 2,
 //	})
 //	c := tenant.Client()
-//	c.Set([]byte("greeting"), []byte("hello"), 0)
-//	v, _ := c.Get([]byte("greeting"))
+//	ctx := context.Background()
+//	c.Set(ctx, []byte("greeting"), []byte("hello"))
+//	v, _ := c.Get(ctx, []byte("greeting"))
+//
+// Every operation takes a context.Context: a deadline or cancellation
+// propagates through the proxy quota, the DataNode admission queue,
+// and the WFQ waits, so abandoned requests are shed instead of served.
 package abase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,6 +55,22 @@ var (
 	// ErrUnavailable is returned while a request's DataNode is down and
 	// no failover has completed yet; callers should back off and retry.
 	ErrUnavailable = datanode.ErrNodeDown
+	// ErrDeadlineExceeded is returned when a request's context deadline
+	// expired before the request completed — possibly mid-queue, in
+	// which case the queued work was aborted without executing.
+	ErrDeadlineExceeded = context.DeadlineExceeded
+	// ErrCanceled is returned when a request's context was canceled.
+	ErrCanceled = context.Canceled
+	// ErrShed is returned when deadline-aware admission refused a
+	// request up front: its remaining deadline budget was smaller than
+	// the DataNode's estimated queue wait, so serving it would have
+	// burned resources on an answer the caller could not use. It
+	// matches errors.Is(err, ErrDeadlineExceeded).
+	ErrShed = datanode.ErrDeadlineShed
+	// ErrConditionNotMet is returned by Set when an NX/XX condition
+	// left the key unchanged (use SetWith to observe this without an
+	// error).
+	ErrConditionNotMet = errors.New("abase: conditional write not applied")
 )
 
 // ReadPreference selects which replica serves a client's reads.
@@ -157,6 +179,11 @@ type ClusterConfig struct {
 	// run on every MonitorTrafficOnce cycle and on proxy suspect
 	// reports.
 	DownAfterProbes int
+	// DisableDeadlineShed turns off deadline-aware admission shedding
+	// on every DataNode: requests whose context deadline cannot be met
+	// by the estimated queue wait are then queued anyway (the
+	// DeadlineShedding experiment ablates this).
+	DisableDeadlineShed bool
 }
 
 // Cluster is an embedded ABase deployment.
@@ -209,6 +236,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			RUCapacity:           cfg.NodeRUCapacity,
 			AdmitCost:            cfg.AdmitCost,
 			HotSampleRate:        cfg.HotSampleRate,
+			DisableDeadlineShed:  cfg.DisableDeadlineShed,
 		})
 		c.Meta.RegisterNode(n)
 		c.nodes = append(c.nodes, n)
@@ -365,15 +393,25 @@ func (t *Tenant) Fleet() *proxy.Fleet { return t.fleet }
 func (t *Tenant) Quota() float64 { return t.meta.Quota.RU() }
 
 // SetQuota updates the tenant quota and propagates the new proxy and
-// partition shares (an autoscaler action).
+// partition shares (an autoscaler action). The partition walk reads a
+// locked routing snapshot from the MetaServer rather than the live
+// table, so it cannot race with heat-driven splits or failover route
+// rewrites mutating the table concurrently.
 func (t *Tenant) SetQuota(ru float64) {
+	// Snapshot first: if the tenant somehow has no routing view, no
+	// quota moves anywhere — never a half-applied state where proxies
+	// run at the new quota while partitions keep the old one.
+	view, err := t.cluster.Meta.RoutingView(t.Name)
+	if err != nil {
+		return
+	}
 	t.meta.Quota.SetRU(ru)
 	perProxy := t.meta.Quota.ProxyQuota()
 	for _, p := range t.fleet.Proxies() {
 		p.SetQuota(perProxy)
 	}
 	perPartition := t.meta.Quota.PartitionQuota()
-	for _, route := range t.meta.Table.Partitions {
+	for _, route := range view.Partitions {
 		for _, host := range append([]string{route.Primary}, route.Followers...) {
 			if n, err := t.cluster.Meta.Node(host); err == nil {
 				n.SetPartitionQuota(route.Partition, perPartition)
@@ -402,48 +440,143 @@ func (c *Client) SetReadPreference(pref ReadPreference) { c.pref = pref }
 // ReadPreference reports the client's current read preference.
 func (c *Client) ReadPreference() ReadPreference { return c.pref }
 
-// Get reads a key.
-func (c *Client) Get(key []byte) ([]byte, error) { return c.fleet.GetPref(key, c.pref) }
+// GetOption is a typed per-read option.
+type GetOption func(*getOptions)
 
-// Set writes a key with an optional TTL (0 = no expiry).
-func (c *Client) Set(key, value []byte, ttl time.Duration) error {
-	return c.fleet.Put(key, value, ttl)
+type getOptions struct {
+	pref ReadPreference
+}
+
+// ReadFrom overrides the client's read preference for one Get: a
+// latency-tolerant read can opt into a follower (or force the primary)
+// without flipping the whole client's preference.
+func ReadFrom(pref ReadPreference) GetOption {
+	return func(o *getOptions) { o.pref = pref }
+}
+
+// SetOption is a typed per-write option for Set/SetWith.
+type SetOption func(*proxy.PutOptions)
+
+// WithTTL expires the key after ttl (Redis SET EX/PX).
+func WithTTL(ttl time.Duration) SetOption {
+	return func(o *proxy.PutOptions) { o.TTL = ttl }
+}
+
+// IfNotExists writes only when the key does not already exist (Redis
+// SET NX). Mutually exclusive with IfExists.
+func IfNotExists() SetOption {
+	return func(o *proxy.PutOptions) { o.Cond = proxy.CondNX }
+}
+
+// IfExists writes only when the key already exists (Redis SET XX).
+// Mutually exclusive with IfNotExists.
+func IfExists() SetOption {
+	return func(o *proxy.PutOptions) { o.Cond = proxy.CondXX }
+}
+
+// KeepTTL preserves the existing record's remaining TTL instead of
+// clearing it (Redis SET KEEPTTL). Ignored when WithTTL is also given.
+func KeepTTL() SetOption {
+	return func(o *proxy.PutOptions) { o.KeepTTL = true }
+}
+
+// ReturnOld makes SetWith report the key's previous value (Redis
+// SET ... GET).
+func ReturnOld() SetOption {
+	return func(o *proxy.PutOptions) { o.ReturnOld = true }
+}
+
+// SetResult reports a conditional write: whether it was applied, and
+// the key's previous value when ReturnOld was requested.
+type SetResult = proxy.SetResult
+
+// Get reads a key. The context bounds the whole request: a canceled or
+// deadline-expired ctx aborts the request wherever it is queued —
+// proxy quota, DataNode admission queue, or WFQ — without executing.
+func (c *Client) Get(ctx context.Context, key []byte, opts ...GetOption) ([]byte, error) {
+	o := getOptions{pref: c.pref}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return c.fleet.GetPref(ctx, key, o.pref)
+}
+
+// setOptions folds opts into the proxy-level typed options.
+func setOptions(opts []SetOption) proxy.PutOptions {
+	var o proxy.PutOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// plainSet reports whether o is an unconditional fire-and-forget write
+// that can skip the read-modify-write probe.
+func plainSet(o proxy.PutOptions) bool {
+	return o.Cond == proxy.CondNone && !o.KeepTTL && !o.ReturnOld
+}
+
+// Set writes a key. Options select a TTL (WithTTL), conditional
+// semantics (IfNotExists/IfExists — an unmet condition returns
+// ErrConditionNotMet), TTL preservation (KeepTTL), or old-value
+// retrieval (use SetWith for the value itself).
+func (c *Client) Set(ctx context.Context, key, value []byte, opts ...SetOption) error {
+	o := setOptions(opts)
+	if plainSet(o) {
+		// No condition, no probe: the plain write path.
+		return c.fleet.Put(ctx, key, value, o.TTL)
+	}
+	res, err := c.fleet.PutWith(ctx, key, value, o)
+	if err != nil {
+		return err
+	}
+	if !res.Written {
+		return ErrConditionNotMet
+	}
+	return nil
+}
+
+// SetWith is Set returning the full conditional-write outcome: whether
+// the write applied, and (under ReturnOld) the previous value. An
+// unmet NX/XX condition is reported via Written=false, not an error.
+func (c *Client) SetWith(ctx context.Context, key, value []byte, opts ...SetOption) (SetResult, error) {
+	return c.fleet.PutWith(ctx, key, value, setOptions(opts))
 }
 
 // Delete removes a key, returning ErrNotFound when it does not exist.
-func (c *Client) Delete(key []byte) error { return c.fleet.Delete(key) }
+func (c *Client) Delete(ctx context.Context, key []byte) error { return c.fleet.Delete(ctx, key) }
 
 // FieldValue is one field/value pair of a multi-field hash write.
 type FieldValue = proxy.FieldValue
 
 // HSet sets a hash field, reporting 1 when the field is new.
-func (c *Client) HSet(key []byte, field string, value []byte) (int, error) {
-	return c.fleet.HSet(key, field, value)
+func (c *Client) HSet(ctx context.Context, key []byte, field string, value []byte) (int, error) {
+	return c.fleet.HSet(ctx, key, field, value)
 }
 
 // HSetFields sets several hash fields in one proxy admission and one
 // DataNode read-modify-write (the multi-field HSET path), reporting
 // how many fields were new. Duplicate fields apply left to right.
-func (c *Client) HSetFields(key []byte, fields []FieldValue) (int, error) {
-	return c.fleet.HSetMulti(key, fields)
+func (c *Client) HSetFields(ctx context.Context, key []byte, fields []FieldValue) (int, error) {
+	return c.fleet.HSetMulti(ctx, key, fields)
 }
 
 // HGet reads a hash field.
-func (c *Client) HGet(key []byte, field string) ([]byte, error) {
-	return c.fleet.HGet(key, field)
+func (c *Client) HGet(ctx context.Context, key []byte, field string) ([]byte, error) {
+	return c.fleet.HGet(ctx, key, field)
 }
 
 // HLen returns a hash's field count.
-func (c *Client) HLen(key []byte) (int, error) { return c.fleet.HLen(key) }
+func (c *Client) HLen(ctx context.Context, key []byte) (int, error) { return c.fleet.HLen(ctx, key) }
 
 // HGetAll returns a hash's full contents.
-func (c *Client) HGetAll(key []byte) (map[string][]byte, error) {
-	return c.fleet.HGetAll(key)
+func (c *Client) HGetAll(ctx context.Context, key []byte) (map[string][]byte, error) {
+	return c.fleet.HGetAll(ctx, key)
 }
 
 // HDel deletes hash fields, reporting how many existed.
-func (c *Client) HDel(key []byte, fields ...string) (int, error) {
-	return c.fleet.HDel(key, fields...)
+func (c *Client) HDel(ctx context.Context, key []byte, fields ...string) (int, error) {
+	return c.fleet.HDel(ctx, key, fields...)
 }
 
 // MGet reads several keys through the batched proxy path: one quota
@@ -452,8 +585,8 @@ func (c *Client) HDel(key []byte, fields ...string) (int, error) {
 // (e.g. throttled), the successful values are still returned and the
 // error is a *BatchError carrying the per-key slots — one bad key no
 // longer aborts the whole operation.
-func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
-	values, errs := c.fleet.BatchGet(keys)
+func (c *Client) MGet(ctx context.Context, keys ...[]byte) ([][]byte, error) {
+	values, errs := c.fleet.BatchGet(ctx, keys)
 	return values, batchError(errs, func(err error) bool {
 		return errors.Is(err, ErrNotFound)
 	})
@@ -462,19 +595,19 @@ func (c *Client) MGet(keys ...[]byte) ([][]byte, error) {
 // MSet writes several key/value pairs as one batch per proxy
 // sub-batch. On partial failure the error is a *BatchError; pair
 // order within the batch is unspecified (map iteration).
-func (c *Client) MSet(pairs map[string][]byte) error {
+func (c *Client) MSet(ctx context.Context, pairs map[string][]byte) error {
 	kvs := make([]KV, 0, len(pairs))
 	for k, v := range pairs {
 		kvs = append(kvs, KV{Key: []byte(k), Value: v})
 	}
-	return c.MSetPairs(kvs)
+	return c.MSetPairs(ctx, kvs)
 }
 
 // MSetPairs writes kvs in order as one batch per proxy sub-batch.
 // Duplicate keys apply left to right (the last write wins). On partial
 // failure the error is a *BatchError parallel to kvs.
-func (c *Client) MSetPairs(kvs []KV) error {
-	errs := c.fleet.BatchPut(kvs)
+func (c *Client) MSetPairs(ctx context.Context, kvs []KV) error {
+	errs := c.fleet.BatchPut(ctx, kvs)
 	return batchError(errs, nil)
 }
 
@@ -482,8 +615,8 @@ func (c *Client) MSetPairs(kvs []KV) error {
 // reporting how many existed and were deleted. Absent keys are not an
 // error; other per-key failures surface as a *BatchError alongside the
 // count of keys that were deleted.
-func (c *Client) MDelete(keys ...[]byte) (int, error) {
-	errs := c.fleet.BatchDelete(keys)
+func (c *Client) MDelete(ctx context.Context, keys ...[]byte) (int, error) {
+	errs := c.fleet.BatchDelete(ctx, keys)
 	deleted := 0
 	for _, err := range errs {
 		if err == nil {
@@ -499,21 +632,52 @@ func (c *Client) MDelete(keys ...[]byte) (int, error) {
 // values: proxy cache hits answer immediately and the rest use the
 // DataNodes' value-free metadata check. exists is parallel to keys;
 // per-key failures surface as a *BatchError.
-func (c *Client) MExists(keys ...[]byte) ([]bool, error) {
-	exists, errs := c.fleet.BatchExists(keys)
+func (c *Client) MExists(ctx context.Context, keys ...[]byte) ([]bool, error) {
+	exists, errs := c.fleet.BatchExists(ctx, keys)
 	return exists, batchError(errs, nil)
 }
 
 // TTL returns key's remaining time-to-live. hasTTL is false when the
 // key exists without an expiry; ErrNotFound when the key is absent.
-func (c *Client) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
-	return c.fleet.TTL(key)
+func (c *Client) TTL(ctx context.Context, key []byte) (ttl time.Duration, hasTTL bool, err error) {
+	return c.fleet.TTL(ctx, key)
 }
 
 // scanPageSize is the pre-filter page budget Keys and DBSize use for
 // their internal cursor loops. Larger than SCAN's default because a
 // full traversal amortizes better over fewer quota admissions.
 const scanPageSize = 256
+
+// scanPacer spaces out the cursor pages of a full traversal while the
+// tenant quota is throttling sub-scans: partial pages return instantly
+// with a resumable cursor, and without pacing Keys/DBSize would spin
+// on the quota, burning CPU to fetch nothing. Waits double from 1ms up
+// to 128ms and honor the caller's context.
+type scanPacer struct {
+	wait time.Duration
+}
+
+func newScanPacer() *scanPacer { return &scanPacer{wait: time.Millisecond} }
+
+// reset restores the initial pace after a page that made full progress.
+func (p *scanPacer) reset() { p.wait = time.Millisecond }
+
+// backoff sleeps the current wait (doubling it for next time), or
+// returns ctx's error as soon as the context ends. Context deadlines
+// are wall-clock, so this uses the real timer.
+func (p *scanPacer) backoff(ctx context.Context) error {
+	t := time.NewTimer(p.wait)
+	defer t.Stop()
+	if p.wait < 128*time.Millisecond {
+		p.wait *= 2
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
 
 // Scan fetches one page of a distributed cursor traversal: pass "" (or
 // the cursor from the previous page) and receive up to count keys plus
@@ -528,11 +692,16 @@ const scanPageSize = 256
 // appear more than once (e.g. when a partition split rehashes it
 // forward). A page may be short of count when a sub-scan was throttled
 // mid-page; the returned cursor resumes at the unfinished spot.
-func (c *Client) Scan(cursor string, match string, count int) (keys [][]byte, next string, err error) {
+func (c *Client) Scan(ctx context.Context, cursor string, match string, count int) (keys [][]byte, next string, err error) {
 	// Keys only: SCAN returns no values, so fetching them would copy
 	// and transfer payload just to discard it.
-	page, err := c.fleet.Scan(cursor, proxy.ScanOptions{Match: match, Count: count, KeysOnly: true})
+	page, err := c.fleet.Scan(ctx, cursor, proxy.ScanOptions{Match: match, Count: count, KeysOnly: true})
 	if err != nil {
+		// A deadline that expired mid-page still returns the gathered
+		// keys and a cursor at the unfinished spot (see proxy.Scan).
+		if page.Cursor != "" {
+			return page.Keys, page.Cursor, err
+		}
 		return nil, cursor, err
 	}
 	return page.Keys, page.Cursor, nil
@@ -542,13 +711,23 @@ func (c *Client) Scan(cursor string, match string, count int) (keys [][]byte, ne
 // for all), deduplicated across cursor pages. It drives a full Scan
 // traversal, so it inherits Scan's guarantee and cost — intended for
 // migrations, audits, and tests, not hot paths.
-func (c *Client) Keys(match string) ([][]byte, error) {
+func (c *Client) Keys(ctx context.Context, match string) ([][]byte, error) {
 	seen := make(map[string]struct{})
 	var out [][]byte
 	cursor := ""
+	pace := newScanPacer()
 	for {
-		page, err := c.fleet.Scan(cursor, proxy.ScanOptions{Match: match, Count: scanPageSize, KeysOnly: true})
+		page, err := c.fleet.Scan(ctx, cursor, proxy.ScanOptions{Match: match, Count: scanPageSize, KeysOnly: true})
 		if err != nil {
+			// A persistently throttled traversal backs off and retries
+			// the same cursor instead of busy-spinning against the
+			// quota, bounded by the caller's deadline.
+			if errors.Is(err, ErrThrottled) {
+				if werr := pace.backoff(ctx); werr != nil {
+					return nil, werr
+				}
+				continue
+			}
 			return nil, err
 		}
 		for _, k := range page.Keys {
@@ -561,18 +740,34 @@ func (c *Client) Keys(match string) ([][]byte, error) {
 			return out, nil
 		}
 		cursor = page.Cursor
+		if page.Throttled {
+			// Partial page: the cursor advanced, but hammering the next
+			// page immediately would hit the same empty bucket.
+			if werr := pace.backoff(ctx); werr != nil {
+				return nil, werr
+			}
+		} else {
+			pace.reset()
+		}
 	}
 }
 
 // DBSize reports the number of live keys via a value-free full scan,
 // deduplicated across cursor pages. Like Keys, it agrees with Get:
 // expired-TTL records and tombstones are not counted.
-func (c *Client) DBSize() (int64, error) {
+func (c *Client) DBSize(ctx context.Context) (int64, error) {
 	seen := make(map[string]struct{})
 	cursor := ""
+	pace := newScanPacer()
 	for {
-		page, err := c.fleet.Scan(cursor, proxy.ScanOptions{Count: scanPageSize, KeysOnly: true})
+		page, err := c.fleet.Scan(ctx, cursor, proxy.ScanOptions{Count: scanPageSize, KeysOnly: true})
 		if err != nil {
+			if errors.Is(err, ErrThrottled) {
+				if werr := pace.backoff(ctx); werr != nil {
+					return 0, werr
+				}
+				continue
+			}
 			return 0, err
 		}
 		for _, k := range page.Keys {
@@ -582,19 +777,26 @@ func (c *Client) DBSize() (int64, error) {
 			return int64(len(seen)), nil
 		}
 		cursor = page.Cursor
+		if page.Throttled {
+			if werr := pace.backoff(ctx); werr != nil {
+				return 0, werr
+			}
+		} else {
+			pace.reset()
+		}
 	}
 }
 
 // Expire sets key's TTL, returning ErrNotFound for absent keys.
-func (c *Client) Expire(key []byte, ttl time.Duration) error {
-	return c.fleet.Expire(key, ttl)
+func (c *Client) Expire(ctx context.Context, key []byte, ttl time.Duration) error {
+	return c.fleet.Expire(ctx, key, ttl)
 }
 
 // Persist removes key's TTL, reporting whether an expiry was actually
 // removed (false for keys stored without one); ErrNotFound for absent
 // keys.
-func (c *Client) Persist(key []byte) (bool, error) {
-	return c.fleet.Persist(key)
+func (c *Client) Persist(ctx context.Context, key []byte) (bool, error) {
+	return c.fleet.Persist(ctx, key)
 }
 
 // HotKey is one tenant-level heavy hitter: a key and its windowed
@@ -606,6 +808,6 @@ type HotKey = proxy.HotKey
 // fleet's own admission sketches, so keys the AU-LRU is absorbing
 // still surface. Counts are decayed window estimates, not lifetime
 // totals; k <= 0 uses 10.
-func (c *Client) HotKeys(k int) ([]HotKey, error) {
-	return c.fleet.HotKeys(k)
+func (c *Client) HotKeys(ctx context.Context, k int) ([]HotKey, error) {
+	return c.fleet.HotKeys(ctx, k)
 }

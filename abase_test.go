@@ -37,17 +37,17 @@ func TestClusterQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := tenant.Client()
-	if err := cl.Set([]byte("greeting"), []byte("hello"), 0); err != nil {
+	if err := cl.Set(bg, []byte("greeting"), []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := cl.Get([]byte("greeting"))
+	v, err := cl.Get(bg, []byte("greeting"))
 	if err != nil || string(v) != "hello" {
 		t.Fatalf("Get = %q, %v", v, err)
 	}
-	if err := cl.Delete([]byte("greeting")); err != nil {
+	if err := cl.Delete(bg, []byte("greeting")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Get([]byte("greeting")); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.Get(bg, []byte("greeting")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("after delete: %v", err)
 	}
 }
@@ -69,10 +69,10 @@ func TestMultiTenantIsolationOfData(t *testing.T) {
 	c := newCluster(t, ClusterConfig{Nodes: 3})
 	t1, _ := c.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 100000})
 	t2, _ := c.CreateTenant(TenantSpec{Name: "t2", QuotaRU: 100000})
-	t1.Client().Set([]byte("shared-key"), []byte("from-t1"), 0)
-	t2.Client().Set([]byte("shared-key"), []byte("from-t2"), 0)
-	v1, _ := t1.Client().Get([]byte("shared-key"))
-	v2, _ := t2.Client().Get([]byte("shared-key"))
+	t1.Client().Set(bg, []byte("shared-key"), []byte("from-t1"))
+	t2.Client().Set(bg, []byte("shared-key"), []byte("from-t2"))
+	v1, _ := t1.Client().Get(bg, []byte("shared-key"))
+	v2, _ := t2.Client().Get(bg, []byte("shared-key"))
 	if string(v1) != "from-t1" || string(v2) != "from-t2" {
 		t.Fatalf("cross-tenant leak: %q %q", v1, v2)
 	}
@@ -82,22 +82,22 @@ func TestHashOpsThroughClient(t *testing.T) {
 	c := newCluster(t, ClusterConfig{Nodes: 3})
 	tn, _ := c.CreateTenant(TenantSpec{Name: "h", QuotaRU: 100000})
 	cl := tn.Client()
-	if n, err := cl.HSet([]byte("user:1"), "name", []byte("ada")); err != nil || n != 1 {
+	if n, err := cl.HSet(bg, []byte("user:1"), "name", []byte("ada")); err != nil || n != 1 {
 		t.Fatalf("HSet = %d, %v", n, err)
 	}
-	cl.HSet([]byte("user:1"), "lang", []byte("go"))
-	v, err := cl.HGet([]byte("user:1"), "name")
+	cl.HSet(bg, []byte("user:1"), "lang", []byte("go"))
+	v, err := cl.HGet(bg, []byte("user:1"), "name")
 	if err != nil || string(v) != "ada" {
 		t.Fatalf("HGet = %q, %v", v, err)
 	}
-	if n, _ := cl.HLen([]byte("user:1")); n != 2 {
+	if n, _ := cl.HLen(bg, []byte("user:1")); n != 2 {
 		t.Fatalf("HLen = %d", n)
 	}
-	all, _ := cl.HGetAll([]byte("user:1"))
+	all, _ := cl.HGetAll(bg, []byte("user:1"))
 	if len(all) != 2 {
 		t.Fatalf("HGetAll = %v", all)
 	}
-	if n, _ := cl.HDel([]byte("user:1"), "lang"); n != 1 {
+	if n, _ := cl.HDel(bg, []byte("user:1"), "lang"); n != 1 {
 		t.Fatalf("HDel = %d", n)
 	}
 }
@@ -106,10 +106,10 @@ func TestMGetMSet(t *testing.T) {
 	c := newCluster(t, ClusterConfig{Nodes: 3})
 	tn, _ := c.CreateTenant(TenantSpec{Name: "m", QuotaRU: 100000})
 	cl := tn.Client()
-	if err := cl.MSet(map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+	if err := cl.MSet(bg, map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
 		t.Fatal(err)
 	}
-	vs, err := cl.MGet([]byte("a"), []byte("missing"), []byte("b"))
+	vs, err := cl.MGet(bg, []byte("a"), []byte("missing"), []byte("b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestTenantSetQuotaPropagates(t *testing.T) {
 	// Generous quota: writes must flow without throttling.
 	cl := tn.Client()
 	for i := 0; i < 200; i++ {
-		if err := cl.Set([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("x"), 1024), 0); err != nil {
+		if err := cl.Set(bg, []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte("x"), 1024)); err != nil {
 			t.Fatalf("throttled after quota raise: %v", err)
 		}
 	}
@@ -141,8 +141,8 @@ func TestTTLThroughCluster(t *testing.T) {
 	c := newCluster(t, ClusterConfig{Nodes: 3})
 	tn, _ := c.CreateTenant(TenantSpec{Name: "ttl", QuotaRU: 100000, DisableProxyCache: true})
 	cl := tn.Client()
-	cl.Set([]byte("k"), []byte("v"), time.Hour)
-	if _, err := cl.Get([]byte("k")); err != nil {
+	cl.Set(bg, []byte("k"), []byte("v"), WithTTL(time.Hour))
+	if _, err := cl.Get(bg, []byte("k")); err != nil {
 		t.Fatalf("fresh TTL key missing: %v", err)
 	}
 }
@@ -238,26 +238,26 @@ func TestTTLThroughStack(t *testing.T) {
 	c := newCluster(t, ClusterConfig{Nodes: 3})
 	tn, _ := c.CreateTenant(TenantSpec{Name: "ttl2", QuotaRU: 100000, DisableProxyCache: true})
 	cl := tn.Client()
-	cl.Set([]byte("eternal"), []byte("v"), 0)
-	cl.Set([]byte("mortal"), []byte("v"), time.Hour)
+	cl.Set(bg, []byte("eternal"), []byte("v"))
+	cl.Set(bg, []byte("mortal"), []byte("v"), WithTTL(time.Hour))
 
-	if _, hasTTL, err := cl.TTL([]byte("eternal")); err != nil || hasTTL {
+	if _, hasTTL, err := cl.TTL(bg, []byte("eternal")); err != nil || hasTTL {
 		t.Fatalf("eternal TTL = hasTTL=%v err=%v", hasTTL, err)
 	}
-	ttl, hasTTL, err := cl.TTL([]byte("mortal"))
+	ttl, hasTTL, err := cl.TTL(bg, []byte("mortal"))
 	if err != nil || !hasTTL || ttl <= 0 || ttl > time.Hour {
 		t.Fatalf("mortal TTL = %v %v %v", ttl, hasTTL, err)
 	}
-	if _, _, err := cl.TTL([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+	if _, _, err := cl.TTL(bg, []byte("ghost")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("ghost TTL err = %v", err)
 	}
-	if err := cl.Expire([]byte("eternal"), time.Minute); err != nil {
+	if err := cl.Expire(bg, []byte("eternal"), time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if _, hasTTL, _ := cl.TTL([]byte("eternal")); !hasTTL {
+	if _, hasTTL, _ := cl.TTL(bg, []byte("eternal")); !hasTTL {
 		t.Fatal("Expire did not set TTL")
 	}
-	if err := cl.Expire([]byte("ghost"), time.Minute); !errors.Is(err, ErrNotFound) {
+	if err := cl.Expire(bg, []byte("ghost"), time.Minute); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Expire ghost = %v", err)
 	}
 }
@@ -326,12 +326,12 @@ func TestAutoSplitOnSustainedHeat(t *testing.T) {
 	}
 	cl := tn.Client()
 	hot := []byte("the-hot-key")
-	if err := cl.Set(hot, []byte("v"), 0); err != nil {
+	if err := cl.Set(bg, hot, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	hammer := func() {
 		for i := 0; i < 3000; i++ {
-			if _, err := cl.Get(hot); err != nil {
+			if _, err := cl.Get(bg, hot); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -348,7 +348,7 @@ func TestAutoSplitOnSustainedHeat(t *testing.T) {
 	if n, _ := c.Meta.NumPartitions("skewed"); n != 4 {
 		t.Fatalf("partitions after auto split = %d, want 4", n)
 	}
-	if v, err := cl.Get(hot); err != nil || string(v) != "v" {
+	if v, err := cl.Get(bg, hot); err != nil || string(v) != "v" {
 		t.Fatalf("hot key unreadable after auto split: %q, %v", v, err)
 	}
 }
@@ -364,13 +364,13 @@ func TestClientHotKeysAndPersist(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := tn.Client()
-	cl.Set([]byte("feverish"), []byte("v"), 0)
+	cl.Set(bg, []byte("feverish"), []byte("v"))
 	for i := 0; i < 150; i++ {
-		if _, err := cl.Get([]byte("feverish")); err != nil {
+		if _, err := cl.Get(bg, []byte("feverish")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	hot, err := cl.HotKeys(3)
+	hot, err := cl.HotKeys(bg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,18 +378,18 @@ func TestClientHotKeysAndPersist(t *testing.T) {
 		t.Fatalf("HotKeys = %+v, want feverish first", hot)
 	}
 
-	cl.Set([]byte("m"), []byte("v"), time.Hour)
-	removed, err := cl.Persist([]byte("m"))
+	cl.Set(bg, []byte("m"), []byte("v"), WithTTL(time.Hour))
+	removed, err := cl.Persist(bg, []byte("m"))
 	if err != nil || !removed {
 		t.Fatalf("Persist = %v, %v; want removed", removed, err)
 	}
-	if _, hasTTL, _ := cl.TTL([]byte("m")); hasTTL {
+	if _, hasTTL, _ := cl.TTL(bg, []byte("m")); hasTTL {
 		t.Fatal("TTL survived Persist")
 	}
-	if removed, err := cl.Persist([]byte("m")); err != nil || removed {
+	if removed, err := cl.Persist(bg, []byte("m")); err != nil || removed {
 		t.Fatalf("second Persist = %v, %v; want false", removed, err)
 	}
-	if _, err := cl.Persist([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.Persist(bg, []byte("ghost")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Persist ghost = %v", err)
 	}
 }
@@ -406,16 +406,16 @@ func TestHotKeysSeesCacheAbsorbedKeys(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := tn.Client()
-	cl.Set([]byte("absorbed"), []byte("v"), 0)
+	cl.Set(bg, []byte("absorbed"), []byte("v"))
 	for i := 0; i < 200; i++ { // nearly all of these are AU-LRU hits
-		if _, err := cl.Get([]byte("absorbed")); err != nil {
+		if _, err := cl.Get(bg, []byte("absorbed")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if hits := tn.Fleet().AggregateStats().CacheHits; hits < 150 {
 		t.Fatalf("cache hits = %d, want the workload absorbed", hits)
 	}
-	hot, err := cl.HotKeys(3)
+	hot, err := cl.HotKeys(bg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

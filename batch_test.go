@@ -23,7 +23,7 @@ func TestClientBatchOps(t *testing.T) {
 	for i := range kvs {
 		kvs[i] = KV{Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte(fmt.Sprintf("v%d", i))}
 	}
-	if err := cl.MSetPairs(kvs); err != nil {
+	if err := cl.MSetPairs(bg, kvs); err != nil {
 		t.Fatal(err)
 	}
 
@@ -35,7 +35,7 @@ func TestClientBatchOps(t *testing.T) {
 			keys = append(keys, []byte(fmt.Sprintf("missing%d", i)))
 		}
 	}
-	values, err := cl.MGet(keys...)
+	values, err := cl.MGet(bg, keys...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestClientBatchOps(t *testing.T) {
 		}
 	}
 
-	exists, err := cl.MExists([]byte("k0"), []byte("nope"), []byte("k29"))
+	exists, err := cl.MExists(bg, []byte("k0"), []byte("nope"), []byte("k29"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +64,14 @@ func TestClientBatchOps(t *testing.T) {
 		t.Fatalf("MExists = %v", exists)
 	}
 
-	if n, err := cl.MDelete([]byte("k0"), []byte("k1")); err != nil || n != 2 {
+	if n, err := cl.MDelete(bg, []byte("k0"), []byte("k1")); err != nil || n != 2 {
 		t.Fatalf("MDelete = %d, %v", n, err)
 	}
 	// Absent keys are not counted and are not an error.
-	if n, err := cl.MDelete([]byte("k0"), []byte("never")); err != nil || n != 0 {
+	if n, err := cl.MDelete(bg, []byte("k0"), []byte("never")); err != nil || n != 0 {
 		t.Fatalf("MDelete of absent keys = %d, %v", n, err)
 	}
-	values, err = cl.MGet([]byte("k0"), []byte("k2"))
+	values, err = cl.MGet(bg, []byte("k0"), []byte("k2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,15 +96,15 @@ func TestMGetPartialThrottle(t *testing.T) {
 	// Two accesses per key cross the hotness-gated admission threshold
 	// (with one proxy per group, a key always lands on the same proxy).
 	for i := 0; i < 2; i++ {
-		cl.Set([]byte("hot1"), []byte("a"), 0)
-		cl.Set([]byte("hot2"), []byte("b"), 0)
+		cl.Set(bg, []byte("hot1"), []byte("a"))
+		cl.Set(bg, []byte("hot2"), []byte("b"))
 	}
 
 	// Collapse the quota: the proxy limiters clamp their buckets, so
 	// the next uncached read cannot be admitted.
 	tn.SetQuota(0.000001)
 
-	values, err := cl.MGet([]byte("hot1"), []byte("cold"), []byte("hot2"))
+	values, err := cl.MGet(bg, []byte("hot1"), []byte("cold"), []byte("hot2"))
 	if string(values[0]) != "a" || string(values[2]) != "b" {
 		t.Fatalf("cached slots = %q", values)
 	}
@@ -128,7 +128,7 @@ func TestMGetPartialThrottle(t *testing.T) {
 func TestMGetNoErrorWhenOnlyMissing(t *testing.T) {
 	c := newCluster(t, ClusterConfig{Nodes: 3})
 	tn, _ := c.CreateTenant(TenantSpec{Name: "miss", QuotaRU: 100000})
-	values, err := tn.Client().MGet([]byte("a"), []byte("b"))
+	values, err := tn.Client().MGet(bg, []byte("a"), []byte("b"))
 	if err != nil {
 		t.Fatalf("MGet of missing keys errored: %v", err)
 	}
@@ -143,13 +143,13 @@ func TestMSetPairsDuplicateKeysLastWins(t *testing.T) {
 	c := newCluster(t, ClusterConfig{Nodes: 3})
 	tn, _ := c.CreateTenant(TenantSpec{Name: "dup", QuotaRU: 100000})
 	cl := tn.Client()
-	if err := cl.MSetPairs([]KV{
+	if err := cl.MSetPairs(bg, []KV{
 		{Key: []byte("k"), Value: []byte("first")},
 		{Key: []byte("k"), Value: []byte("second")},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	v, err := cl.Get([]byte("k"))
+	v, err := cl.Get(bg, []byte("k"))
 	if err != nil || string(v) != "second" {
 		t.Fatalf("Get = %q, %v", v, err)
 	}

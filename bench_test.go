@@ -8,6 +8,7 @@
 package abase_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -18,6 +19,9 @@ import (
 	"abase/internal/experiments"
 	"abase/internal/sim"
 )
+
+// bg is the background context for benchmark workloads.
+var bg = context.Background()
 
 // benchTable runs an experiment once per benchmark iteration and
 // prints its table on the first iteration when -v is set.
@@ -172,12 +176,12 @@ func BenchmarkBatchGet(b *testing.B) {
 	cl := newBatchBenchClient(b)
 	keys := benchKeys(512)
 	for _, k := range keys {
-		cl.Set(k, []byte("value-0123456789abcdef"), 0)
+		cl.Set(bg, k, []byte("value-0123456789abcdef"))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		off := (i * benchBatchSize) % (len(keys) - benchBatchSize)
-		if _, err := cl.MGet(keys[off : off+benchBatchSize]...); err != nil {
+		if _, err := cl.MGet(bg, keys[off:off+benchBatchSize]...); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -187,13 +191,13 @@ func BenchmarkLoopedGet(b *testing.B) {
 	cl := newBatchBenchClient(b)
 	keys := benchKeys(512)
 	for _, k := range keys {
-		cl.Set(k, []byte("value-0123456789abcdef"), 0)
+		cl.Set(bg, k, []byte("value-0123456789abcdef"))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		off := (i * benchBatchSize) % (len(keys) - benchBatchSize)
 		for _, k := range keys[off : off+benchBatchSize] {
-			if _, err := cl.Get(k); err != nil {
+			if _, err := cl.Get(bg, k); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -211,7 +215,7 @@ func BenchmarkBatchPut(b *testing.B) {
 		for j := range kvs {
 			kvs[j] = abase.KV{Key: keys[off+j], Value: value}
 		}
-		if err := cl.MSetPairs(kvs); err != nil {
+		if err := cl.MSetPairs(bg, kvs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -225,7 +229,7 @@ func BenchmarkLoopedPut(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		off := (i * benchBatchSize) % (len(keys) - benchBatchSize)
 		for _, k := range keys[off : off+benchBatchSize] {
-			if err := cl.Set(k, value, 0); err != nil {
+			if err := cl.Set(bg, k, value); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -246,14 +250,14 @@ func BenchmarkScan(b *testing.B) {
 	cl := newBatchBenchClient(b)
 	keys := benchKeys(512)
 	for _, k := range keys {
-		cl.Set(k, []byte("value-0123456789abcdef"), 0)
+		cl.Set(bg, k, []byte("value-0123456789abcdef"))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		total := 0
 		cursor := ""
 		for {
-			ks, next, err := cl.Scan(cursor, "", 64)
+			ks, next, err := cl.Scan(bg, cursor, "", 64)
 			if err != nil {
 				b.Fatal(err)
 			}

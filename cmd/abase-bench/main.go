@@ -7,7 +7,7 @@
 //
 // Experiments: table1, fig3 (alias fig4), fig4, fig5, fig6, fig7,
 // fig8a, fig8b, fig9, fig10, table2, util, batch, scan, hotspot, failover,
-// ablations.
+// shedding, ablations.
 package main
 
 import (
@@ -105,6 +105,10 @@ func main() {
 		_, t := experiments.FailoverAvailability(experiments.FailoverOpts{})
 		t.Fprint(out)
 	})
+	runExp([]string{"shedding"}, func() {
+		_, t := experiments.DeadlineShedding(experiments.SheddingOpts{})
+		t.Fprint(out)
+	})
 	runExp([]string{"ablations"}, func() {
 		experiments.AblationSALRU(0).Fprint(out)
 		experiments.AblationActiveUpdate().Fprint(out)
@@ -115,7 +119,7 @@ func main() {
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *run)
-		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch scan hotspot failover ablations all")
+		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch scan hotspot failover shedding ablations all")
 		os.Exit(2)
 	}
 }

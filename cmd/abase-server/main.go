@@ -33,6 +33,8 @@ func main() {
 		"tenant for unauthenticated connections (empty = require AUTH)")
 	monitorEvery := flag.Duration("traffic-monitor", 2*time.Second,
 		"proxy traffic-control interval")
+	cmdTimeout := flag.Duration("cmd-timeout", 0,
+		"per-command deadline (0 = none); expired commands are aborted wherever they are queued")
 	flag.Parse()
 
 	cluster, err := abase.NewCluster(abase.ClusterConfig{
@@ -70,7 +72,8 @@ func main() {
 		log.Printf("tenant %s: quota %.0f RU/s, %d partitions", parts[0], quota, partitions)
 	}
 
-	bound, srv, err := cluster.Serve(*addr, *defaultTenant)
+	bound, srv, err := cluster.Serve(*addr, *defaultTenant,
+		abase.WithCommandTimeout(*cmdTimeout))
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}

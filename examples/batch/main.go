@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -29,6 +30,7 @@ func main() {
 		log.Fatal(err)
 	}
 	c := tenant.Client()
+	ctx := context.Background()
 
 	// Write a page of user records as one batch. Pairs apply in order,
 	// grouped by owning proxy and partition under a single quota
@@ -40,13 +42,13 @@ func main() {
 			Value: []byte(fmt.Sprintf(`{"id":%d}`, i)),
 		})
 	}
-	if err := c.MSetPairs(kvs); err != nil {
+	if err := c.MSetPairs(ctx, kvs); err != nil {
 		log.Fatal(err)
 	}
 
 	// Read them back together with a key that does not exist. Missing
 	// keys come back as nil slots, not errors.
-	values, err := c.MGet(
+	values, err := c.MGet(ctx,
 		[]byte("user:0"), []byte("user:404"), []byte("user:7"),
 	)
 	if err != nil {
@@ -64,14 +66,14 @@ func main() {
 	}
 
 	// Existence checks skip value transfer entirely.
-	exists, err := c.MExists([]byte("user:0"), []byte("user:404"))
+	exists, err := c.MExists(ctx, []byte("user:0"), []byte("user:404"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("exists: %v\n", exists)
 
 	// Batched deletes report how many keys were removed.
-	deleted, err := c.MDelete(kvs[0].Key, kvs[1].Key)
+	deleted, err := c.MDelete(ctx, kvs[0].Key, kvs[1].Key)
 	if err != nil {
 		log.Fatal(err)
 	}

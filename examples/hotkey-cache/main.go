@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,13 +37,14 @@ func run(groups int) (hitRatio, nodeRU float64) {
 		log.Fatal(err)
 	}
 	c := tenant.Client()
+	ctx := context.Background()
 
 	// Product metadata: 20k items of 1KB, keyed in the generator's
 	// "key-%012d" space.
 	const items = 20_000
 	val := make([]byte, 1024)
 	for i := 0; i < items; i++ {
-		if err := c.Set(key(i), val, 0); err != nil {
+		if err := c.Set(ctx, key(i), val); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -50,7 +52,7 @@ func run(groups int) (hitRatio, nodeRU float64) {
 	// A promotion begins: heavily skewed reads.
 	gen := workload.NewZipfKeys(items, 1.4, 42)
 	for op := 0; op < 40_000; op++ {
-		if _, err := c.Get(gen.Next()); err != nil {
+		if _, err := c.Get(ctx, gen.Next()); err != nil {
 			log.Fatal(err)
 		}
 	}

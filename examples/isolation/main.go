@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -36,12 +37,13 @@ func main() {
 	}
 
 	nc, qc := noisy.Client(), quiet.Client()
+	ctx := context.Background()
 	val := make([]byte, 2048) // 1 RU per write per replica
 
 	// The noisy tenant floods writes beyond its quota.
 	var ok, throttled int
 	for i := 0; i < 2000; i++ {
-		err := nc.Set([]byte(fmt.Sprintf("n%06d", i)), val, 0)
+		err := nc.Set(ctx, []byte(fmt.Sprintf("n%06d", i)), val)
 		switch {
 		case err == nil:
 			ok++
@@ -56,7 +58,7 @@ func main() {
 	// The quiet tenant is unaffected: every request succeeds.
 	var quietOK int
 	for i := 0; i < 500; i++ {
-		if err := qc.Set([]byte(fmt.Sprintf("q%06d", i)), val, 0); err != nil {
+		if err := qc.Set(ctx, []byte(fmt.Sprintf("q%06d", i)), val); err != nil {
 			log.Fatalf("quiet tenant impacted by neighbor: %v", err)
 		}
 		quietOK++

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,6 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 	c := tenant.Client()
+	ctx := context.Background()
 
 	const (
 		prompts    = 60
@@ -56,13 +58,13 @@ func main() {
 		promptLen := 64 + rng.Intn(192)
 		for tok := 0; tok < promptLen; tok += blockToken {
 			k := []byte(fmt.Sprintf("kv:%d:%06d", prefixFamily, tok))
-			if _, err := c.Get(k); err == nil {
+			if _, err := c.Get(ctx, k); err == nil {
 				reused++
 				continue
 			} else if err != abase.ErrNotFound {
 				log.Fatal(err)
 			}
-			if err := c.Set(k, block, ttl); err != nil {
+			if err := c.Set(ctx, k, block, abase.WithTTL(ttl)); err != nil {
 				log.Fatal(err)
 			}
 			stored++

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,22 +29,23 @@ func main() {
 		log.Fatal(err)
 	}
 	c := tenant.Client()
+	ctx := context.Background()
 
 	// Strings.
-	if err := c.Set([]byte("greeting"), []byte("hello, abase"), 0); err != nil {
+	if err := c.Set(ctx, []byte("greeting"), []byte("hello, abase")); err != nil {
 		log.Fatal(err)
 	}
-	v, err := c.Get([]byte("greeting"))
+	v, err := c.Get(ctx, []byte("greeting"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("greeting = %s\n", v)
 
 	// Hashes.
-	c.HSet([]byte("user:1"), "name", []byte("ada"))
-	c.HSet([]byte("user:1"), "lang", []byte("go"))
-	n, _ := c.HLen([]byte("user:1"))
-	all, _ := c.HGetAll([]byte("user:1"))
+	c.HSet(ctx, []byte("user:1"), "name", []byte("ada"))
+	c.HSet(ctx, []byte("user:1"), "lang", []byte("go"))
+	n, _ := c.HLen(ctx, []byte("user:1"))
+	all, _ := c.HGetAll(ctx, []byte("user:1"))
 	fmt.Printf("user:1 has %d fields: ", n)
 	for f, v := range all {
 		fmt.Printf("%s=%s ", f, v)
@@ -51,13 +53,13 @@ func main() {
 	fmt.Println()
 
 	// Batch operations.
-	c.MSet(map[string][]byte{"a": []byte("1"), "b": []byte("2")})
-	vs, _ := c.MGet([]byte("a"), []byte("missing"), []byte("b"))
+	c.MSet(ctx, map[string][]byte{"a": []byte("1"), "b": []byte("2")})
+	vs, _ := c.MGet(ctx, []byte("a"), []byte("missing"), []byte("b"))
 	fmt.Printf("mget: a=%s missing=%v b=%s\n", vs[0], vs[1], vs[2])
 
 	// Delete.
-	c.Delete([]byte("greeting"))
-	if _, err := c.Get([]byte("greeting")); err == abase.ErrNotFound {
+	c.Delete(ctx, []byte("greeting"))
+	if _, err := c.Get(ctx, []byte("greeting")); err == abase.ErrNotFound {
 		fmt.Println("greeting deleted")
 	}
 }

@@ -25,7 +25,7 @@ func TestClusterFailoverEndToEnd(t *testing.T) {
 	model := map[string]string{}
 	for i := 0; i < 200; i++ {
 		k, v := fmt.Sprintf("k-%03d", i), fmt.Sprintf("v-%03d", i)
-		if err := cl.Set([]byte(k), []byte(v), 0); err != nil {
+		if err := cl.Set(bg, []byte(k), []byte(v)); err != nil {
 			t.Fatal(err)
 		}
 		model[k] = v
@@ -46,12 +46,12 @@ func TestClusterFailoverEndToEnd(t *testing.T) {
 
 	// During the outage, primary reads on the affected key fail but a
 	// follower-preference client keeps reading.
-	if _, err := cl.Get([]byte("k-000")); !errors.Is(err, ErrUnavailable) {
+	if _, err := cl.Get(bg, []byte("k-000")); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("primary read during outage: %v, want ErrUnavailable", err)
 	}
 	fcl := ten.Client()
 	fcl.SetReadPreference(ReadFollower)
-	if v, err := fcl.Get([]byte("k-000")); err != nil || string(v) != "v-000" {
+	if v, err := fcl.Get(bg, []byte("k-000")); err != nil || string(v) != "v-000" {
 		t.Fatalf("follower read during outage = %q, %v", v, err)
 	}
 
@@ -60,14 +60,14 @@ func TestClusterFailoverEndToEnd(t *testing.T) {
 	c.MonitorTrafficOnce(time.Second)
 
 	// Writes resume (the proxy's bounded retry hides the new route).
-	if err := cl.Set([]byte("k-000"), []byte("v-post"), 0); err != nil {
+	if err := cl.Set(bg, []byte("k-000"), []byte("v-post")); err != nil {
 		t.Fatalf("write after monitor-driven failover: %v", err)
 	}
 	model["k-000"] = "v-post"
 
 	// Nothing acknowledged is lost, via primary reads.
 	for k, want := range model {
-		got, err := cl.Get([]byte(k))
+		got, err := cl.Get(bg, []byte(k))
 		if err != nil || string(got) != want {
 			t.Fatalf("key %s = %q, %v (want %q)", k, got, err, want)
 		}
@@ -76,10 +76,10 @@ func TestClusterFailoverEndToEnd(t *testing.T) {
 	// The revived node is fenced and rejoins as a follower.
 	inj.Revive(victim)
 	c.MonitorTrafficOnce(time.Second)
-	if err := cl.Set([]byte("k-000"), []byte("v-final"), 0); err != nil {
+	if err := cl.Set(bg, []byte("k-000"), []byte("v-final")); err != nil {
 		t.Fatalf("write after revival: %v", err)
 	}
-	if v, err := cl.Get([]byte("k-000")); err != nil || string(v) != "v-final" {
+	if v, err := cl.Get(bg, []byte("k-000")); err != nil || string(v) != "v-final" {
 		t.Fatalf("read after revival = %q, %v", v, err)
 	}
 }
@@ -98,7 +98,7 @@ func TestClusterFailoverUnderConcurrentTraffic(t *testing.T) {
 	for i := 0; i < 128; i++ {
 		k := []byte(fmt.Sprintf("rk-%03d", i))
 		keys = append(keys, k)
-		if err := cl.Set(k, []byte("base"), 0); err != nil {
+		if err := cl.Set(bg, k, []byte("base")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -115,7 +115,7 @@ func TestClusterFailoverUnderConcurrentTraffic(t *testing.T) {
 				return
 			default:
 			}
-			cl.MGet(keys...)
+			cl.MGet(bg, keys...)
 		}
 	}()
 	go func() { // scanners
@@ -128,7 +128,7 @@ func TestClusterFailoverUnderConcurrentTraffic(t *testing.T) {
 			}
 			cursor := ""
 			for i := 0; i < 1000; i++ {
-				_, next, err := cl.Scan(cursor, "", 32)
+				_, next, err := cl.Scan(bg, cursor, "", 32)
 				if err != nil || next == "" {
 					break
 				}
@@ -148,7 +148,7 @@ func TestClusterFailoverUnderConcurrentTraffic(t *testing.T) {
 			}
 			k := keys[i%len(keys)]
 			v := fmt.Sprintf("w-%06d", i)
-			if err := cl.Set(k, []byte(v), 0); err == nil {
+			if err := cl.Set(bg, k, []byte(v)); err == nil {
 				select {
 				case acked <- string(k) + "=" + v:
 				default:
@@ -185,7 +185,7 @@ func TestClusterFailoverUnderConcurrentTraffic(t *testing.T) {
 		}
 	}
 	for k := range last {
-		if _, err := cl.Get([]byte(k)); err != nil {
+		if _, err := cl.Get(bg, []byte(k)); err != nil {
 			t.Fatalf("acked key %s unreadable after chaos: %v", k, err)
 		}
 	}
@@ -196,7 +196,7 @@ func TestClusterFailoverUnderConcurrentTraffic(t *testing.T) {
 		if i > 10_000 {
 			t.Fatal("cursor did not terminate")
 		}
-		ks, next, err := cl.Scan(cursor, "", 64)
+		ks, next, err := cl.Scan(bg, cursor, "", 64)
 		if err != nil {
 			t.Fatal(err)
 		}

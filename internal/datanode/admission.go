@@ -72,6 +72,10 @@ func (a *admission) submit(fn func()) bool {
 	}
 }
 
+// depth returns the queued request count — one input to the
+// deadline-shedding wait estimate.
+func (a *admission) depth() int { return len(a.ch) }
+
 func (a *admission) close() {
 	a.mu.Lock()
 	if !a.closed {

@@ -1,6 +1,7 @@
 package datanode
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -76,8 +77,17 @@ type groupRun struct {
 // submits one WFQ task per admitted sub-batch. Each task's Done (wired
 // by the caller) must release wg exactly once; runs whose quota
 // rejects or whose submission fails are released here.
-func (n *Node) runMulti(runs []*groupRun, out []BatchResult, wg *sync.WaitGroup) {
+func (n *Node) runMulti(ctx context.Context, runs []*groupRun, out []BatchResult, wg *sync.WaitGroup) {
 	queued := n.admit.submit(func() {
+		// A batch canceled while queued aborts before the worker spends
+		// admit cost or quota on any of its sub-batches.
+		if err := ctx.Err(); err != nil {
+			for _, r := range runs {
+				out[r.idx].Err = err
+				wg.Done()
+			}
+			return
+		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
 		for _, r := range runs {
 			if n.quotaOn.Load() && !r.rep.limiter.Allow(r.cost) {
@@ -106,7 +116,7 @@ func (n *Node) runMulti(runs []*groupRun, out []BatchResult, wg *sync.WaitGroup)
 // hosted here is served under a single request-queue admission, one
 // WFQ task and one quota charge per sub-batch, and one SA-LRU/engine
 // pass over its keys. The result slice is parallel to groups.
-func (n *Node) MultiGet(groups []GetBatch) []BatchResult {
+func (n *Node) MultiGet(ctx context.Context, groups []GetBatch) []BatchResult {
 	out := make([]BatchResult, len(groups))
 	start := n.cfg.Clock.Now()
 	var runs []*groupRun
@@ -120,8 +130,16 @@ func (n *Node) MultiGet(groups []GetBatch) []BatchResult {
 			out[i].Err = err
 			continue
 		}
-		rep.recordAccessBatch(g.Keys)
 		ts, est := n.tenantState(g.PID.Tenant)
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		rep.recordAccessBatch(g.Keys) // offered load heats even if shed
+		if err := n.admitCtx(ctx, ts); err != nil {
+			out[i].Err = err
+			continue
+		}
 		vals := make([]BatchValue, len(g.Keys))
 		out[i].Values = vals
 		r := &groupRun{idx: i, rep: rep, ts: ts, est: est,
@@ -134,6 +152,7 @@ func (n *Node) MultiGet(groups []GetBatch) []BatchResult {
 			RUCost:     r.cost,
 			IOPSCost:   float64(len(keys)),
 			QuotaShare: n.quotaShare(rep),
+			Ctx:        ctx,
 		}
 		task.CPUStage = func() bool {
 			burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
@@ -175,16 +194,21 @@ func (n *Node) MultiGet(groups []GetBatch) []BatchResult {
 				vals[k].ExpireAt = got.ExpireAt
 			}
 		}
+		task.Abort = func(err error) {
+			out[r.idx].Err = err
+			wg.Done()
+		}
 		task.Done = wg.Done
 		r.task = task
 		runs = append(runs, r)
 	}
 	if len(runs) > 0 {
 		wg.Add(len(runs))
-		n.runMulti(runs, out, &wg)
+		n.runMulti(ctx, runs, out, &wg)
 		wg.Wait()
 	}
 	lat := n.cfg.Clock.Since(start)
+	n.observeServiceTime(lat)
 	for _, r := range runs {
 		o := &out[r.idx]
 		o.Latency = lat
@@ -221,7 +245,7 @@ func (n *Node) MultiGet(groups []GetBatch) []BatchResult {
 // charge per partition sub-batch, and per-op error slots. Successful
 // ops replicate individually (replication stays per-key and
 // asynchronous). The result slice is parallel to groups.
-func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
+func (n *Node) MultiWrite(ctx context.Context, groups []PutBatch) []BatchResult {
 	out := make([]BatchResult, len(groups))
 	start := n.cfg.Clock.Now()
 	var runs []*groupRun
@@ -240,8 +264,16 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 			out[i].Err = err
 			continue
 		}
-		rep.recordAccessOps(g.Ops)
 		ts, est := n.tenantState(g.PID.Tenant)
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		rep.recordAccessOps(g.Ops) // offered load heats even if shed
+		if err := n.admitCtx(ctx, ts); err != nil {
+			out[i].Err = err
+			continue
+		}
 		vals := make([]BatchValue, len(g.Ops))
 		out[i].Values = vals
 		var cost float64
@@ -263,6 +295,7 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 			RUCost:     cost,
 			IOPSCost:   float64(len(ops)),
 			QuotaShare: n.quotaShare(rep),
+			Ctx:        ctx,
 			CPUStage: func() bool {
 				burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
 				return true // writes always reach the I/O layer (WAL)
@@ -330,16 +363,21 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 				}
 			},
 		}
+		task.Abort = func(err error) {
+			out[r.idx].Err = err
+			wg.Done()
+		}
 		task.Done = wg.Done
 		r.task = task
 		runs = append(runs, r)
 	}
 	if len(runs) > 0 {
 		wg.Add(len(runs))
-		n.runMulti(runs, out, &wg)
+		n.runMulti(ctx, runs, out, &wg)
 		wg.Wait()
 	}
 	lat := n.cfg.Clock.Since(start)
+	n.observeServiceTime(lat)
 	for _, r := range runs {
 		o := &out[r.idx]
 		o.Latency = lat
@@ -376,7 +414,7 @@ func (n *Node) MultiWrite(groups []PutBatch) []BatchResult {
 // TTL uses). Each sub-batch is admitted at a metadata-sized RU cost
 // rather than a full read estimate per key. In the result, a slot's
 // Err is nil when the key exists and ErrNotFound when it does not.
-func (n *Node) MultiContains(groups []GetBatch) []BatchResult {
+func (n *Node) MultiContains(ctx context.Context, groups []GetBatch) []BatchResult {
 	out := make([]BatchResult, len(groups))
 	start := n.cfg.Clock.Now()
 	var runs []*groupRun
@@ -390,8 +428,16 @@ func (n *Node) MultiContains(groups []GetBatch) []BatchResult {
 			out[i].Err = err
 			continue
 		}
-		rep.recordAccessBatch(g.Keys)
 		ts, est := n.tenantState(g.PID.Tenant)
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		rep.recordAccessBatch(g.Keys) // offered load heats even if shed
+		if err := n.admitCtx(ctx, ts); err != nil {
+			out[i].Err = err
+			continue
+		}
 		vals := make([]BatchValue, len(g.Keys))
 		out[i].Values = vals
 		r := &groupRun{idx: i, rep: rep, ts: ts, est: est,
@@ -405,6 +451,7 @@ func (n *Node) MultiContains(groups []GetBatch) []BatchResult {
 			RUCost:     r.cost,
 			IOPSCost:   float64(len(keys)),
 			QuotaShare: n.quotaShare(rep),
+			Ctx:        ctx,
 		}
 		task.CPUStage = func() bool {
 			burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
@@ -435,16 +482,21 @@ func (n *Node) MultiContains(groups []GetBatch) []BatchResult {
 				}
 			}
 		}
+		task.Abort = func(err error) {
+			out[r.idx].Err = err
+			wg.Done()
+		}
 		task.Done = wg.Done
 		r.task = task
 		runs = append(runs, r)
 	}
 	if len(runs) > 0 {
 		wg.Add(len(runs))
-		n.runMulti(runs, out, &wg)
+		n.runMulti(ctx, runs, out, &wg)
 		wg.Wait()
 	}
 	lat := n.cfg.Clock.Since(start)
+	n.observeServiceTime(lat)
 	for _, r := range runs {
 		o := &out[r.idx]
 		o.Latency = lat
@@ -467,31 +519,31 @@ func (n *Node) MultiContains(groups []GetBatch) []BatchResult {
 
 // BatchGet reads a sub-batch of keys that all live in pid — the
 // single-partition form of MultiGet.
-func (n *Node) BatchGet(pid partition.ID, keys [][]byte) (BatchResult, error) {
+func (n *Node) BatchGet(ctx context.Context, pid partition.ID, keys [][]byte) (BatchResult, error) {
 	if len(keys) == 0 {
 		return BatchResult{}, nil
 	}
-	res := n.MultiGet([]GetBatch{{PID: pid, Keys: keys}})[0]
+	res := n.MultiGet(ctx, []GetBatch{{PID: pid, Keys: keys}})[0]
 	return res, res.Err
 }
 
 // BatchWrite applies a sub-batch of writes that all live in pid — the
 // single-partition form of MultiWrite.
-func (n *Node) BatchWrite(pid partition.ID, ops []WriteOp) (BatchResult, error) {
+func (n *Node) BatchWrite(ctx context.Context, pid partition.ID, ops []WriteOp) (BatchResult, error) {
 	if len(ops) == 0 {
 		return BatchResult{}, nil
 	}
-	res := n.MultiWrite([]PutBatch{{PID: pid, Ops: ops}})[0]
+	res := n.MultiWrite(ctx, []PutBatch{{PID: pid, Ops: ops}})[0]
 	return res, res.Err
 }
 
 // BatchContains reports, for each key in pid, whether it currently
 // exists — the single-partition form of MultiContains.
-func (n *Node) BatchContains(pid partition.ID, keys [][]byte) ([]bool, error) {
+func (n *Node) BatchContains(ctx context.Context, pid partition.ID, keys [][]byte) ([]bool, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	res := n.MultiContains([]GetBatch{{PID: pid, Keys: keys}})[0]
+	res := n.MultiContains(ctx, []GetBatch{{PID: pid, Keys: keys}})[0]
 	if res.Err != nil {
 		return nil, res.Err
 	}

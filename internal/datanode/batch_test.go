@@ -11,13 +11,13 @@ func TestBatchGetOrderAndPartialMisses(t *testing.T) {
 	n.AddReplica(rid("t1", 0, 0), 100000, true)
 	p := pid("t1", 0)
 	for i := 0; i < 10; i += 2 {
-		n.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)), 0)
+		n.Put(bg, p, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)), 0)
 	}
 	keys := make([][]byte, 10)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("k%d", i))
 	}
-	res, err := n.BatchGet(p, keys)
+	res, err := n.BatchGet(bg, p, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,14 +45,14 @@ func TestBatchGetSingleQuotaAdmission(t *testing.T) {
 	keys := make([][]byte, 16)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("k%d", i))
-		n.Put(p, keys[i], []byte("v"), 0)
+		n.Put(bg, p, keys[i], []byte("v"), 0)
 	}
 	rep, err := n.getReplica(p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before, _ := rep.limiter.Stats()
-	if _, err := n.BatchGet(p, keys); err != nil {
+	if _, err := n.BatchGet(bg, p, keys); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := rep.limiter.Stats()
@@ -66,14 +66,14 @@ func TestBatchGetThrottledAsBatch(t *testing.T) {
 	n.AddReplica(rid("t1", 0, 0), 0.000001, true)
 	p := pid("t1", 0)
 	keys := [][]byte{[]byte("a"), []byte("b")}
-	if _, err := n.BatchGet(p, keys); !errors.Is(err, ErrThrottled) {
+	if _, err := n.BatchGet(bg, p, keys); !errors.Is(err, ErrThrottled) {
 		t.Fatalf("err = %v, want ErrThrottled", err)
 	}
 }
 
 func TestBatchGetUnknownPartition(t *testing.T) {
 	n := newTestNode(t, Config{})
-	if _, err := n.BatchGet(pid("nobody", 0), [][]byte{[]byte("k")}); !errors.Is(err, ErrNoPartition) {
+	if _, err := n.BatchGet(bg, pid("nobody", 0), [][]byte{[]byte("k")}); !errors.Is(err, ErrNoPartition) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -82,14 +82,14 @@ func TestBatchWriteMixedOpsAndContains(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 100000, true)
 	p := pid("t1", 0)
-	n.Put(p, []byte("gone"), []byte("v"), 0)
+	n.Put(bg, p, []byte("gone"), []byte("v"), 0)
 
 	ops := []WriteOp{
 		{Key: []byte("a"), Value: []byte("1")},
 		{Key: []byte("gone"), Delete: true},
 		{Key: []byte("b"), Value: []byte("2")},
 	}
-	res, err := n.BatchWrite(p, ops)
+	res, err := n.BatchWrite(bg, p, ops)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,15 +101,15 @@ func TestBatchWriteMixedOpsAndContains(t *testing.T) {
 	if res.RU <= 0 {
 		t.Fatalf("RU = %v", res.RU)
 	}
-	got, err := n.Get(p, []byte("a"))
+	got, err := n.Get(bg, p, []byte("a"))
 	if err != nil || string(got.Value) != "1" {
 		t.Fatalf("a = %q, %v", got.Value, err)
 	}
-	if _, err := n.Get(p, []byte("gone")); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(bg, p, []byte("gone")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("gone still present: %v", err)
 	}
 
-	exists, err := n.BatchContains(p, [][]byte{[]byte("a"), []byte("ghost"), []byte("b"), []byte("gone")})
+	exists, err := n.BatchContains(bg, p, [][]byte{[]byte("a"), []byte("ghost"), []byte("b"), []byte("gone")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,9 +125,9 @@ func TestBatchWriteDeleteSemantics(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 100000, true)
 	p := pid("t1", 0)
-	n.Put(p, []byte("old"), []byte("v"), 0)
+	n.Put(bg, p, []byte("old"), []byte("v"), 0)
 
-	res, err := n.BatchWrite(p, []WriteOp{
+	res, err := n.BatchWrite(bg, p, []WriteOp{
 		{Key: []byte("absent"), Delete: true},     // no-op: ErrNotFound
 		{Key: []byte("old"), Delete: true},        // exists: deleted
 		{Key: []byte("old"), Delete: true},        // gone mid-batch: ErrNotFound
@@ -145,10 +145,10 @@ func TestBatchWriteDeleteSemantics(t *testing.T) {
 			t.Fatalf("op %d err = %v, want NotFound=%v", i, res.Values[i].Err, want)
 		}
 	}
-	if _, err := n.Get(p, []byte("new")); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(bg, p, []byte("new")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("new should be deleted by its own batch: %v", err)
 	}
-	if got, err := n.Get(p, []byte("back")); err != nil || string(got.Value) != "2" {
+	if got, err := n.Get(bg, p, []byte("back")); err != nil || string(got.Value) != "2" {
 		t.Fatalf("back = %q, %v", got.Value, err)
 	}
 }
@@ -156,7 +156,7 @@ func TestBatchWriteDeleteSemantics(t *testing.T) {
 func TestDeleteAbsentSingleOp(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 100000, true)
-	if _, err := n.Delete(pid("t1", 0), []byte("ghost")); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Delete(bg, pid("t1", 0), []byte("ghost")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Delete absent = %v, want ErrNotFound", err)
 	}
 }
@@ -171,7 +171,7 @@ func TestBatchWriteSingleQuotaAdmission(t *testing.T) {
 	}
 	rep, _ := n.getReplica(p)
 	before, _ := rep.limiter.Stats()
-	if _, err := n.BatchWrite(p, ops); err != nil {
+	if _, err := n.BatchWrite(bg, p, ops); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := rep.limiter.Stats()
@@ -184,13 +184,13 @@ func TestBatchEmptyInputs(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)
 	p := pid("t1", 0)
-	if res, err := n.BatchGet(p, nil); err != nil || len(res.Values) != 0 {
+	if res, err := n.BatchGet(bg, p, nil); err != nil || len(res.Values) != 0 {
 		t.Fatalf("empty BatchGet = %+v, %v", res, err)
 	}
-	if res, err := n.BatchWrite(p, nil); err != nil || len(res.Values) != 0 {
+	if res, err := n.BatchWrite(bg, p, nil); err != nil || len(res.Values) != 0 {
 		t.Fatalf("empty BatchWrite = %+v, %v", res, err)
 	}
-	if ex, err := n.BatchContains(p, nil); err != nil || len(ex) != 0 {
+	if ex, err := n.BatchContains(bg, p, nil); err != nil || len(ex) != 0 {
 		t.Fatalf("empty BatchContains = %v, %v", ex, err)
 	}
 }

@@ -1,0 +1,245 @@
+package datanode
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"abase/internal/partition"
+	"abase/internal/wfq"
+)
+
+// wfqOneWorker serializes the WFQ so one slow request reliably makes
+// the next one wait in a queue.
+func wfqOneWorker() wfq.Config {
+	return wfq.Config{CPUWorkers: 1, BasicIOThreads: 1, ExtraIOThreads: -1}
+}
+
+// slowNode builds a single-replica node whose request queue drains one
+// request per admitCost through a single worker, so a second request
+// reliably waits in the admission queue behind the first.
+func slowNode(t *testing.T, cost CostModel, admitCost time.Duration) (*Node, partition.ID) {
+	t.Helper()
+	n := New(Config{
+		ID:           "ctx-node",
+		Cost:         cost,
+		AdmitWorkers: 1,
+		AdmitCost:    admitCost,
+		WFQ:          wfqOneWorker(),
+		Replicas:     1,
+	})
+	t.Cleanup(func() { n.Close() })
+	pid := partition.ID{Tenant: "t", Index: 0}
+	if err := n.AddReplica(partition.ReplicaID{Partition: pid}, 1e9, true); err != nil {
+		t.Fatal(err)
+	}
+	return n, pid
+}
+
+// TestPreCanceledNeverReachesEngine: a context that is already done is
+// refused before admission — the storage engine is never touched and
+// no RU is charged.
+func TestPreCanceledNeverReachesEngine(t *testing.T) {
+	n, pid := slowNode(t, CostModel{time.Nanosecond, time.Nanosecond, time.Nanosecond}, time.Nanosecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := n.Put(ctx, pid, []byte("k"), []byte("v"), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put err = %v, want context.Canceled", err)
+	}
+	if _, err := n.Get(ctx, pid, []byte("k")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get err = %v, want context.Canceled", err)
+	}
+	if _, err := n.RangeScan(ctx, pid, ScanOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RangeScan err = %v, want context.Canceled", err)
+	}
+	res := n.MultiWrite(ctx, []PutBatch{{PID: pid, Ops: []WriteOp{{Key: []byte("k"), Value: []byte("v")}}}})
+	if !errors.Is(res[0].Err, context.Canceled) {
+		t.Fatalf("MultiWrite err = %v, want context.Canceled", res[0].Err)
+	}
+
+	// Nothing was admitted, executed, or charged.
+	st := n.TenantStats("t")
+	if st.RUUsed != 0 || st.Success != 0 || st.Errors != 0 || st.Throttled != 0 {
+		t.Fatalf("pre-canceled requests left stats behind: %+v", st)
+	}
+	if _, err := n.Get(context.Background(), pid, []byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("canceled Put reached the engine: Get err = %v", err)
+	}
+}
+
+// TestCanceledInAdmissionQueueAborts: a request canceled while it
+// waits in the admission queue resolves with the context error without
+// burning admit cost or touching the engine.
+func TestCanceledInAdmissionQueueAborts(t *testing.T) {
+	// One admit worker spending 30ms per request: the second request
+	// sits in the queue while we cancel it.
+	n, pid := slowNode(t, CostModel{time.Nanosecond, time.Nanosecond, time.Nanosecond}, 30*time.Millisecond)
+
+	first := make(chan struct{})
+	go func() {
+		n.Put(context.Background(), pid, []byte("occupy"), []byte("v"), 0)
+		close(first)
+	}()
+	// Give the first request time to reach the admit worker.
+	time.Sleep(5 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := n.Put(ctx, pid, []byte("victim"), []byte("v"), 0)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let it enqueue behind the first
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Put err = %v, want context.Canceled", err)
+	}
+	// It must resolve when the worker dequeues it (~30ms), not after
+	// burning its own 30ms admit cost too.
+	if lat := time.Since(start); lat > 55*time.Millisecond {
+		t.Fatalf("canceled request held for %v: admit cost was burned for it", lat)
+	}
+	<-first
+	if _, err := n.Get(context.Background(), pid, []byte("victim")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("canceled queued Put executed: Get err = %v", err)
+	}
+}
+
+// TestCanceledMidWFQWaitAborts: a request canceled while queued in the
+// WFQ (past admission) aborts at the dequeue point without executing
+// its stages.
+func TestCanceledMidWFQWaitAborts(t *testing.T) {
+	// Single CPU worker, 40ms CPU stage: the second request waits in
+	// the CPU-WFQ while the first burns.
+	n, pid := slowNode(t, CostModel{CPUTime: 40 * time.Millisecond, IOReadTime: time.Nanosecond, IOWriteTime: time.Nanosecond}, time.Nanosecond)
+
+	go n.Put(context.Background(), pid, []byte("occupy"), []byte("v"), 0)
+	time.Sleep(5 * time.Millisecond) // first request occupies the CPU worker
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.Put(ctx, pid, []byte("victim"), []byte("v"), 0)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let it pass admission into the WFQ
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("WFQ-queued Put err = %v, want context.Canceled", err)
+	}
+	if _, err := n.Get(context.Background(), pid, []byte("victim")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("canceled WFQ-queued Put executed: Get err = %v", err)
+	}
+}
+
+// TestDeadlineShedding: when the node's estimated wait exceeds a
+// request's remaining budget, the request is refused instantly with
+// ErrDeadlineShed (matching context.DeadlineExceeded) and counted.
+func TestDeadlineShedding(t *testing.T) {
+	n, pid := slowNode(t, CostModel{CPUTime: 5 * time.Millisecond, IOReadTime: time.Nanosecond, IOWriteTime: 5 * time.Millisecond}, time.Nanosecond)
+
+	// Warm the service-time estimate with real requests (~10ms each).
+	for i := 0; i < 5; i++ {
+		if _, err := n.Put(context.Background(), pid, []byte{byte(i)}, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := n.EstimatedWait(); w < 2*time.Millisecond {
+		t.Fatalf("estimated wait %v did not warm up", w)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Get(ctx, pid, []byte{0})
+	if !errors.Is(err, ErrDeadlineShed) {
+		t.Fatalf("err = %v, want ErrDeadlineShed", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("ErrDeadlineShed must match context.DeadlineExceeded")
+	}
+	if lat := time.Since(start); lat > 2*time.Millisecond {
+		t.Fatalf("shed took %v, want fail-fast", lat)
+	}
+	if st := n.TenantStats("t"); st.Shed != 1 {
+		t.Fatalf("tenant shed = %d, want 1", st.Shed)
+	}
+	if sn := n.Snapshot(); sn.Shed != 1 {
+		t.Fatalf("node shed = %d, want 1", sn.Shed)
+	}
+
+	// Disabled: the same doomed request is admitted (and, with its 1ms
+	// budget against a ~10ms pipeline, dies at a dequeue point).
+	n.SetDeadlineShedEnabled(false)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	if _, err := n.Get(ctx2, pid, []byte{0}); errors.Is(err, ErrDeadlineShed) {
+		t.Fatalf("shed while disabled: %v", err)
+	}
+	if st := n.TenantStats("t"); st.Shed != 1 {
+		t.Fatalf("shed count moved while disabled: %d", st.Shed)
+	}
+}
+
+// TestPutWithConditionalSemantics covers the NX/XX/KEEPTTL/GET matrix
+// at the data plane: one read-modify-write through the write pipeline.
+func TestPutWithConditionalSemantics(t *testing.T) {
+	n, pid := slowNode(t, CostModel{time.Nanosecond, time.Nanosecond, time.Nanosecond}, time.Nanosecond)
+	bg := context.Background()
+	key := []byte("cond")
+
+	// NX on an absent key writes.
+	res, err := n.PutWith(bg, pid, 0, key, []byte("v1"), PutOptions{Cond: CondNX, ReturnOld: true})
+	if err != nil || !res.Written || res.OldExists || res.Old != nil {
+		t.Fatalf("NX absent: res=%+v err=%v", res, err)
+	}
+	// NX on an existing key refuses, reporting the old value under GET.
+	res, err = n.PutWith(bg, pid, 0, key, []byte("v2"), PutOptions{Cond: CondNX, ReturnOld: true})
+	if err != nil || res.Written || !res.OldExists || string(res.Old) != "v1" {
+		t.Fatalf("NX existing: res=%+v err=%v", res, err)
+	}
+	if got, _ := n.Get(bg, pid, key); string(got.Value) != "v1" {
+		t.Fatalf("NX overwrote: %q", got.Value)
+	}
+	// XX on an existing key writes.
+	res, err = n.PutWith(bg, pid, 0, key, []byte("v3"), PutOptions{Cond: CondXX})
+	if err != nil || !res.Written {
+		t.Fatalf("XX existing: res=%+v err=%v", res, err)
+	}
+	// XX on an absent key refuses.
+	res, err = n.PutWith(bg, pid, 0, []byte("ghost"), []byte("v"), PutOptions{Cond: CondXX})
+	if err != nil || res.Written || res.OldExists {
+		t.Fatalf("XX absent: res=%+v err=%v", res, err)
+	}
+	if _, err := n.Get(bg, pid, []byte("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("XX absent wrote anyway: %v", err)
+	}
+
+	// KEEPTTL preserves the remaining expiry across an overwrite.
+	if _, err := n.Put(bg, pid, key, []byte("v4"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	res, err = n.PutWith(bg, pid, 0, key, []byte("v5"), PutOptions{KeepTTL: true})
+	if err != nil || !res.Written || !res.Expiring {
+		t.Fatalf("KEEPTTL: res=%+v err=%v", res, err)
+	}
+	ttl, has, err := n.TTL(bg, pid, key)
+	if err != nil || !has || ttl <= 50*time.Minute || ttl > time.Hour {
+		t.Fatalf("KEEPTTL remaining = %v (has=%v err=%v), want ~1h", ttl, has, err)
+	}
+	// A plain conditional write without KEEPTTL clears the expiry.
+	if _, err := n.PutWith(bg, pid, 0, key, []byte("v6"), PutOptions{Cond: CondXX}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.TTL(bg, pid, key); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Get(bg, pid, key)
+	if err != nil || got.ExpireAt != 0 {
+		t.Fatalf("plain PutWith kept expiry: %+v err=%v", got, err)
+	}
+}

@@ -1,8 +1,10 @@
 package datanode
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +47,14 @@ var ErrNotPrimary = errors.New("datanode: not the primary replica")
 // proxy's route cache or this replica) missed a primary change. The
 // proxy refreshes its routes and retries.
 var ErrStaleEpoch = errors.New("datanode: stale route epoch")
+
+// ErrDeadlineShed is returned when deadline-aware admission sheds a
+// request before enqueueing it: the caller's remaining deadline budget
+// was smaller than the node's estimated queue wait, so serving it
+// would have spent queue slots, admit cost, and RU on a response the
+// caller could no longer use. It matches
+// errors.Is(err, context.DeadlineExceeded).
+var ErrDeadlineShed = fmt.Errorf("datanode: request shed, deadline tighter than estimated queue wait: %w", context.DeadlineExceeded)
 
 // CostModel holds the simulated service times that make cache hits and
 // misses consume different resources (Challenge 1). Durations are
@@ -113,6 +123,11 @@ type Config struct {
 	// HotWindow is the sketch decay half-life and the heat meter time
 	// constant (default 10s).
 	HotWindow time.Duration
+	// DisableDeadlineShed turns off deadline-aware admission shedding:
+	// requests whose context deadline cannot be met by the node's
+	// estimated queue wait are then queued anyway (the pre-redesign
+	// behavior; the DeadlineShedding experiment ablates this).
+	DisableDeadlineShed bool
 }
 
 func (c Config) withDefaults() Config {
@@ -230,6 +245,7 @@ func (r *replica) checkWrite(epoch uint64) error {
 type tenantStats struct {
 	success   metrics.Counter
 	throttled metrics.Counter
+	shed      metrics.Counter
 	errors    metrics.Counter
 	cacheHits metrics.Counter
 	cacheMiss metrics.Counter
@@ -254,6 +270,14 @@ type Node struct {
 
 	quotaOn atomic.Bool // runtime partition-quota toggle (experiments)
 	down    atomic.Bool // fault-injected or control-plane-declared outage
+	shedOn  atomic.Bool // runtime deadline-shedding toggle (experiments)
+	// svcEWMA is the decayed mean of recent request latencies in
+	// nanoseconds (float64 bits): the wait a newly arriving request
+	// should expect, which deadline-aware admission compares against
+	// the request's remaining budget.
+	svcEWMA atomic.Uint64
+	// shedTotal counts requests shed by deadline-aware admission.
+	shedTotal metrics.Counter
 }
 
 // New starts a DataNode.
@@ -270,7 +294,77 @@ func New(cfg Config) *Node {
 		replicator: NopReplicator{},
 	}
 	n.quotaOn.Store(c.EnablePartitionQuota)
+	n.shedOn.Store(!c.DisableDeadlineShed)
 	return n
+}
+
+// SetDeadlineShedEnabled toggles deadline-aware admission shedding at
+// runtime (the DeadlineShedding experiment ablates it mid-run).
+func (n *Node) SetDeadlineShedEnabled(on bool) { n.shedOn.Store(on) }
+
+// observeServiceTime folds one completed request's latency into the
+// node's decayed service-time estimate. Every admitted request —
+// point, batch, or scan — contributes, so under overload the estimate
+// tracks the real queue wait a new arrival will see.
+func (n *Node) observeServiceTime(lat time.Duration) {
+	const alpha = 0.1
+	for {
+		old := n.svcEWMA.Load()
+		cur := math.Float64frombits(old)
+		next := cur*(1-alpha) + float64(lat)*alpha
+		if n.svcEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// EstimatedWait predicts how long a request arriving now will take to
+// complete: the decayed mean of recent request latencies, floored by
+// the admission backlog drained at AdmitCost per entry. Deadline-aware
+// admission sheds requests whose remaining budget is below it.
+func (n *Node) EstimatedWait() time.Duration {
+	floor := time.Duration(n.admit.depth()+1) * n.cfg.AdmitCost
+	if ewma := time.Duration(math.Float64frombits(n.svcEWMA.Load())); ewma > floor {
+		return ewma
+	}
+	return floor
+}
+
+// admitCtx is the deadline-aware front door shared by every
+// client-facing operation: a context that is already done fails fast
+// before the request consumes a queue slot, admit cost, or RU; and,
+// when shedding is enabled, a request whose remaining deadline budget
+// is smaller than the node's estimated wait is shed the same way —
+// doomed work is refused while the caller can still react. Context
+// deadlines are wall-clock times, so the comparison uses real time
+// even when the node itself runs on a simulated clock.
+func (n *Node) admitCtx(ctx context.Context, ts *tenantStats) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !n.shedOn.Load() {
+		return nil
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	floor := time.Duration(n.admit.depth()+1) * n.cfg.AdmitCost
+	if time.Until(dl) < n.EstimatedWait() {
+		ts.shed.Inc()
+		n.shedTotal.Inc()
+		// Sheds must also feed the estimator, folding in the current
+		// backlog floor: completions alone can never lower the EWMA
+		// while everything is being shed, so without this a burst of
+		// slow requests could leave an idle node refusing every
+		// deadline-carrying request forever. Decaying toward the floor
+		// re-admits a probe within a few dozen sheds; if the node is
+		// still slow, the probe's completion pushes the estimate right
+		// back up.
+		n.observeServiceTime(floor)
+		return ErrDeadlineShed
+	}
+	return nil
 }
 
 // SetPartitionQuotaEnabled toggles partition-level admission at

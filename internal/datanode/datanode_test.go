@@ -41,24 +41,24 @@ func TestPutGetDelete(t *testing.T) {
 	if err := n.AddReplica(rid("t1", 0, 0), 1000, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Put(pid("t1", 0), []byte("k"), []byte("v"), 0); err != nil {
+	if _, err := n.Put(bg, pid("t1", 0), []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
-	res, err := n.Get(pid("t1", 0), []byte("k"))
+	res, err := n.Get(bg, pid("t1", 0), []byte("k"))
 	if err != nil || string(res.Value) != "v" {
 		t.Fatalf("Get = %q, %v", res.Value, err)
 	}
-	if _, err := n.Delete(pid("t1", 0), []byte("k")); err != nil {
+	if _, err := n.Delete(bg, pid("t1", 0), []byte("k")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(pid("t1", 0), []byte("k")); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(bg, pid("t1", 0), []byte("k")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("after delete: %v", err)
 	}
 }
 
 func TestGetUnknownPartition(t *testing.T) {
 	n := newTestNode(t, Config{})
-	if _, err := n.Get(pid("nobody", 0), []byte("k")); !errors.Is(err, ErrNoPartition) {
+	if _, err := n.Get(bg, pid("nobody", 0), []byte("k")); !errors.Is(err, ErrNoPartition) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -77,9 +77,9 @@ func TestCacheHitOnSecondRead(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)
 	p := pid("t1", 0)
-	n.Put(p, []byte("k"), []byte("v"), 0)
+	n.Put(bg, p, []byte("k"), []byte("v"), 0)
 	// Write-through: first read already hits.
-	r1, _ := n.Get(p, []byte("k"))
+	r1, _ := n.Get(bg, p, []byte("k"))
 	if !r1.CacheHit {
 		t.Fatal("write-through cache missed")
 	}
@@ -99,11 +99,11 @@ func TestCacheMissChargesRU(t *testing.T) {
 	p := pid("t1", 0)
 	// Write values large enough that the tiny cache can't hold them all.
 	for i := 0; i < 50; i++ {
-		n.Put(p, []byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte("x"), 200), 0)
+		n.Put(bg, p, []byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte("x"), 200), 0)
 	}
 	var missRU float64
 	for i := 0; i < 50; i++ {
-		res, err := n.Get(p, []byte(fmt.Sprintf("k%02d", i)))
+		res, err := n.Get(bg, p, []byte(fmt.Sprintf("k%02d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func TestPartitionQuotaThrottles(t *testing.T) {
 	p := pid("t1", 0)
 	throttled := 0
 	for i := 0; i < 200; i++ {
-		_, err := n.Put(p, []byte("k"), bytes.Repeat([]byte("v"), 2048), 0)
+		_, err := n.Put(bg, p, []byte("k"), bytes.Repeat([]byte("v"), 2048), 0)
 		if errors.Is(err, ErrThrottled) {
 			throttled++
 		}
@@ -140,7 +140,7 @@ func TestQuotaDisabledNeverThrottles(t *testing.T) {
 	n.AddReplica(rid("t1", 0, 0), 1, true)
 	p := pid("t1", 0)
 	for i := 0; i < 100; i++ {
-		if _, err := n.Put(p, []byte("k"), []byte("v"), 0); err != nil {
+		if _, err := n.Put(bg, p, []byte("k"), []byte("v"), 0); err != nil {
 			t.Fatalf("unexpected error: %v", err)
 		}
 	}
@@ -149,7 +149,7 @@ func TestQuotaDisabledNeverThrottles(t *testing.T) {
 func TestWriteRUReplicaMultiplier(t *testing.T) {
 	n := newTestNode(t, Config{Replicas: 3})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)
-	res, err := n.Put(pid("t1", 0), []byte("k"), bytes.Repeat([]byte("v"), 2048), 0)
+	res, err := n.Put(bg, pid("t1", 0), []byte("k"), bytes.Repeat([]byte("v"), 2048), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +171,9 @@ func TestReplicationFabric(t *testing.T) {
 			follower.ApplyReplicated(r.Partition, key, value, ttl, del)
 		}()
 	}))
-	primary.Put(pid("t1", 0), []byte("k"), []byte("v"), 0)
+	primary.Put(bg, pid("t1", 0), []byte("k"), []byte("v"), 0)
 	wg.Wait()
-	res, err := follower.Get(pid("t1", 0), []byte("k"))
+	res, err := follower.Get(bg, pid("t1", 0), []byte("k"))
 	if err != nil || string(res.Value) != "v" {
 		t.Fatalf("follower read = %q, %v", res.Value, err)
 	}
@@ -195,10 +195,10 @@ func TestTTLWrites(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)
 	p := pid("t1", 0)
-	if _, err := n.Put(p, []byte("k"), []byte("v"), time.Hour); err != nil {
+	if _, err := n.Put(bg, p, []byte("k"), []byte("v"), time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(p, []byte("k")); err != nil {
+	if _, err := n.Get(bg, p, []byte("k")); err != nil {
 		t.Fatalf("fresh TTL key: %v", err)
 	}
 }
@@ -209,37 +209,37 @@ func TestHashOps(t *testing.T) {
 	p := pid("t1", 0)
 	k := []byte("h")
 
-	if added, err := n.HSet(p, k, "f1", []byte("v1")); err != nil || added != 1 {
+	if added, err := n.HSet(bg, p, k, "f1", []byte("v1")); err != nil || added != 1 {
 		t.Fatalf("HSet new = %d, %v", added, err)
 	}
-	if added, _ := n.HSet(p, k, "f1", []byte("v1b")); added != 0 {
+	if added, _ := n.HSet(bg, p, k, "f1", []byte("v1b")); added != 0 {
 		t.Fatalf("HSet overwrite = %d", added)
 	}
-	n.HSet(p, k, "f2", []byte("v2"))
+	n.HSet(bg, p, k, "f2", []byte("v2"))
 
-	v, err := n.HGet(p, k, "f1")
+	v, err := n.HGet(bg, p, k, "f1")
 	if err != nil || string(v) != "v1b" {
 		t.Fatalf("HGet = %q, %v", v, err)
 	}
-	if _, err := n.HGet(p, k, "absent"); !errors.Is(err, ErrNotFound) {
+	if _, err := n.HGet(bg, p, k, "absent"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("HGet absent: %v", err)
 	}
-	if l, _ := n.HLen(p, k); l != 2 {
+	if l, _ := n.HLen(bg, p, k); l != 2 {
 		t.Fatalf("HLen = %d", l)
 	}
-	all, _ := n.HGetAll(p, k)
+	all, _ := n.HGetAll(bg, p, k)
 	if len(all) != 2 || string(all["f2"]) != "v2" {
 		t.Fatalf("HGetAll = %v", all)
 	}
-	if removed, _ := n.HDel(p, k, "f1", "absent"); removed != 1 {
+	if removed, _ := n.HDel(bg, p, k, "f1", "absent"); removed != 1 {
 		t.Fatalf("HDel = %d", removed)
 	}
-	if l, _ := n.HLen(p, k); l != 1 {
+	if l, _ := n.HLen(bg, p, k); l != 1 {
 		t.Fatalf("HLen after HDel = %d", l)
 	}
 	// Deleting the last field removes the key.
-	n.HDel(p, k, "f2")
-	if l, _ := n.HLen(p, k); l != 0 {
+	n.HDel(bg, p, k, "f2")
+	if l, _ := n.HLen(bg, p, k); l != 0 {
 		t.Fatalf("HLen after emptying = %d", l)
 	}
 }
@@ -248,13 +248,13 @@ func TestHashOnMissingKey(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)
 	p := pid("t1", 0)
-	if l, err := n.HLen(p, []byte("nope")); err != nil || l != 0 {
+	if l, err := n.HLen(bg, p, []byte("nope")); err != nil || l != 0 {
 		t.Fatalf("HLen = %d, %v", l, err)
 	}
-	if all, err := n.HGetAll(p, []byte("nope")); err != nil || len(all) != 0 {
+	if all, err := n.HGetAll(bg, p, []byte("nope")); err != nil || len(all) != 0 {
 		t.Fatalf("HGetAll = %v, %v", all, err)
 	}
-	if removed, err := n.HDel(p, []byte("nope"), "f"); err != nil || removed != 0 {
+	if removed, err := n.HDel(bg, p, []byte("nope"), "f"); err != nil || removed != 0 {
 		t.Fatalf("HDel = %d, %v", removed, err)
 	}
 }
@@ -263,8 +263,8 @@ func TestTenantStatsAndReset(t *testing.T) {
 	n := newTestNode(t, Config{})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)
 	p := pid("t1", 0)
-	n.Put(p, []byte("k"), []byte("v"), 0)
-	n.Get(p, []byte("k"))
+	n.Put(bg, p, []byte("k"), []byte("v"), 0)
+	n.Get(bg, p, []byte("k"))
 	st := n.TenantStats("t1")
 	if st.Success != 2 {
 		t.Fatalf("Success = %d", st.Success)
@@ -288,7 +288,7 @@ func TestTenantStatsAndReset(t *testing.T) {
 func TestNodeSnapshot(t *testing.T) {
 	n := newTestNode(t, Config{ID: "snap"})
 	n.AddReplica(rid("t1", 0, 0), 1000, true)
-	n.Put(pid("t1", 0), []byte("k"), bytes.Repeat([]byte("v"), 1000), 0)
+	n.Put(bg, pid("t1", 0), []byte("k"), bytes.Repeat([]byte("v"), 1000), 0)
 	s := n.Snapshot()
 	if s.ID != "snap" || s.Replicas != 1 {
 		t.Fatalf("snapshot = %+v", s)
@@ -304,7 +304,7 @@ func TestMigrateTo(t *testing.T) {
 	src.AddReplica(rid("t1", 0, 0), 1000, true)
 	p := pid("t1", 0)
 	for i := 0; i < 100; i++ {
-		src.Put(p, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)), 0)
+		src.Put(bg, p, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)), 0)
 	}
 	if err := dst.AddReplica(rid("t1", 0, 0), 1000, true); err != nil {
 		t.Fatal(err)
@@ -316,7 +316,7 @@ func TestMigrateTo(t *testing.T) {
 		t.Fatal("source still hosts replica")
 	}
 	for i := 0; i < 100; i++ {
-		res, err := dst.Get(p, []byte(fmt.Sprintf("k%03d", i)))
+		res, err := dst.Get(bg, p, []byte(fmt.Sprintf("k%03d", i)))
 		if err != nil || string(res.Value) != fmt.Sprintf("v%03d", i) {
 			t.Fatalf("dst key %d = %q, %v", i, res.Value, err)
 		}
@@ -331,7 +331,7 @@ func TestSetPartitionQuota(t *testing.T) {
 	}
 	// Generous quota: no throttling now.
 	for i := 0; i < 100; i++ {
-		if _, err := n.Put(pid("t1", 0), []byte("k"), []byte("v"), 0); err != nil {
+		if _, err := n.Put(bg, pid("t1", 0), []byte("k"), []byte("v"), 0); err != nil {
 			t.Fatalf("throttled after quota raise: %v", err)
 		}
 	}
@@ -371,9 +371,9 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				k := []byte(fmt.Sprintf("k%d", i%20))
 				if i%3 == 0 {
-					n.Put(p, k, []byte("v"), 0)
+					n.Put(bg, p, k, []byte("v"), 0)
 				} else {
-					n.Get(p, k)
+					n.Get(bg, p, k)
 				}
 			}
 		}(g)
@@ -390,10 +390,10 @@ func BenchmarkNodeGetCacheHit(b *testing.B) {
 	defer n.Close()
 	n.AddReplica(rid("t1", 0, 0), 1e9, true)
 	p := pid("t1", 0)
-	n.Put(p, []byte("k"), bytes.Repeat([]byte("v"), 100), 0)
+	n.Put(bg, p, []byte("k"), bytes.Repeat([]byte("v"), 100), 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.Get(p, []byte("k"))
+		n.Get(bg, p, []byte("k"))
 	}
 }
 
@@ -405,7 +405,7 @@ func BenchmarkNodePut(b *testing.B) {
 	val := bytes.Repeat([]byte("v"), 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.Put(p, []byte(fmt.Sprintf("k%09d", i)), val, 0)
+		n.Put(bg, p, []byte(fmt.Sprintf("k%09d", i)), val, 0)
 	}
 }
 
@@ -418,15 +418,15 @@ func TestHotKeysAndPartitionHeat(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := pid("t1", 0)
-	if _, err := n.Put(p, []byte("hot"), []byte("v"), 0); err != nil {
+	if _, err := n.Put(bg, p, []byte("hot"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 300; i++ {
-		if _, err := n.Get(p, []byte("hot")); err != nil {
+		if _, err := n.Get(bg, p, []byte("hot")); err != nil {
 			t.Fatal(err)
 		}
 		if i%30 == 0 {
-			n.Get(p, []byte(fmt.Sprintf("cold-%d", i))) // misses still count as offered load
+			n.Get(bg, p, []byte(fmt.Sprintf("cold-%d", i))) // misses still count as offered load
 		}
 	}
 	top, err := n.HotKeys(p, 3)
@@ -472,12 +472,12 @@ func TestBatchPathsFeedHeat(t *testing.T) {
 	keys := make([][]byte, 8)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("bk-%d", i))
-		if _, err := n.Put(p, keys[i], []byte("v"), 0); err != nil {
+		if _, err := n.Put(bg, p, keys[i], []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 40; i++ {
-		for _, res := range n.MultiGet([]GetBatch{{PID: p, Keys: keys}}) {
+		for _, res := range n.MultiGet(bg, []GetBatch{{PID: p, Keys: keys}}) {
 			if res.Err != nil {
 				t.Fatal(res.Err)
 			}
@@ -510,7 +510,7 @@ func TestHSetMultiSemantics(t *testing.T) {
 	}
 	p := pid("t1", 0)
 	key := []byte("h")
-	added, err := n.HSetMulti(p, key, []FieldValue{
+	added, err := n.HSetMulti(bg, p, key, []FieldValue{
 		{Field: "f1", Value: []byte("a")},
 		{Field: "f1", Value: []byte("b")}, // duplicate: last wins, counted once
 		{Field: "f2", Value: []byte("c")},
@@ -518,21 +518,21 @@ func TestHSetMultiSemantics(t *testing.T) {
 	if err != nil || added != 2 {
 		t.Fatalf("HSetMulti = %d, %v; want 2 new fields", added, err)
 	}
-	if v, err := n.HGet(p, key, "f1"); err != nil || string(v) != "b" {
+	if v, err := n.HGet(bg, p, key, "f1"); err != nil || string(v) != "b" {
 		t.Fatalf("f1 = %q, %v; want last-wins b", v, err)
 	}
 	// Overwriting existing fields adds nothing; a fresh one counts.
-	added, err = n.HSetMulti(p, key, []FieldValue{
+	added, err = n.HSetMulti(bg, p, key, []FieldValue{
 		{Field: "f2", Value: []byte("c2")},
 		{Field: "f3", Value: []byte("d")},
 	})
 	if err != nil || added != 1 {
 		t.Fatalf("second HSetMulti = %d, %v; want 1", added, err)
 	}
-	if added, err := n.HSetMulti(p, key, nil); err != nil || added != 0 {
+	if added, err := n.HSetMulti(bg, p, key, nil); err != nil || added != 0 {
 		t.Fatalf("empty HSetMulti = %d, %v", added, err)
 	}
-	if cnt, err := n.HLen(p, key); err != nil || cnt != 3 {
+	if cnt, err := n.HLen(bg, p, key); err != nil || cnt != 3 {
 		t.Fatalf("HLen = %d, %v", cnt, err)
 	}
 }

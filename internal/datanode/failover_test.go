@@ -24,27 +24,27 @@ func TestNodeDownFailsFast(t *testing.T) {
 	if err := n.AddReplica(partition.ReplicaID{Partition: pid}, 1e9, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Put(pid, []byte("k"), []byte("v"), 0); err != nil {
+	if _, err := n.Put(bg, pid, []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	n.SetDown(true)
 	if n.Alive() {
 		t.Fatal("Alive() after SetDown(true)")
 	}
-	if _, err := n.Get(pid, []byte("k")); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Get(bg, pid, []byte("k")); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Get on down node: %v", err)
 	}
-	if _, err := n.Put(pid, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Put(bg, pid, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Put on down node: %v", err)
 	}
 	if err := n.ApplyReplicated(pid, []byte("k"), []byte("v"), 0, false); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("ApplyReplicated on down node: %v", err)
 	}
-	if res := n.MultiGet([]GetBatch{{PID: pid, Keys: [][]byte{[]byte("k")}}}); !errors.Is(res[0].Err, ErrNodeDown) {
+	if res := n.MultiGet(bg, []GetBatch{{PID: pid, Keys: [][]byte{[]byte("k")}}}); !errors.Is(res[0].Err, ErrNodeDown) {
 		t.Fatalf("MultiGet on down node: %v", res[0].Err)
 	}
 	n.SetDown(false)
-	if _, err := n.Get(pid, []byte("k")); err != nil {
+	if _, err := n.Get(bg, pid, []byte("k")); err != nil {
 		t.Fatalf("Get after revival: %v", err)
 	}
 }
@@ -56,7 +56,7 @@ func TestWriteFencing(t *testing.T) {
 	if err := n.AddReplica(partition.ReplicaID{Partition: pid}, 1e9, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Put(pid, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrNotPrimary) {
+	if _, err := n.Put(bg, pid, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrNotPrimary) {
 		t.Fatalf("write at follower: %v", err)
 	}
 	// Replication applies bypass the fence (they ARE the follower path).
@@ -68,13 +68,13 @@ func TestWriteFencing(t *testing.T) {
 	if err := n.SetReplicaRole(pid, true, 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.PutAt(pid, 5, []byte("k"), []byte("v"), 0); err != nil {
+	if _, err := n.PutAt(bg, pid, 5, []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatalf("matching-epoch write: %v", err)
 	}
-	if _, err := n.PutAt(pid, 4, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrStaleEpoch) {
+	if _, err := n.PutAt(bg, pid, 4, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("stale-epoch write: %v", err)
 	}
-	if _, err := n.PutAt(pid, 6, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrStaleEpoch) {
+	if _, err := n.PutAt(bg, pid, 6, []byte("k"), []byte("v"), 0); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("future-epoch write: %v", err)
 	}
 	// Role changes never move the epoch backwards.
@@ -82,7 +82,7 @@ func TestWriteFencing(t *testing.T) {
 		t.Fatalf("backwards role change: %v", err)
 	}
 	// Batch writes share the fence.
-	res := n.MultiWrite([]PutBatch{{PID: pid, Ops: []WriteOp{{Key: []byte("k"), Value: []byte("v")}}, Epoch: 3}})
+	res := n.MultiWrite(bg, []PutBatch{{PID: pid, Ops: []WriteOp{{Key: []byte("k"), Value: []byte("v")}}, Epoch: 3}})
 	if !errors.Is(res[0].Err, ErrStaleEpoch) {
 		t.Fatalf("stale-epoch batch write: %v", res[0].Err)
 	}
@@ -97,7 +97,7 @@ func TestReplicationPositionTracksApplies(t *testing.T) {
 	if got := n.ReplicationPosition(pid); got != 0 {
 		t.Fatalf("initial position = %d", got)
 	}
-	n.Put(pid, []byte("a"), []byte("1"), 0)
+	n.Put(bg, pid, []byte("a"), []byte("1"), 0)
 	n.ApplyReplicated(pid, []byte("b"), []byte("2"), 0, false)
 	n.ApplyReplicatedBatch(pid, []WriteOp{{Key: []byte("c"), Value: []byte("3")}, {Key: []byte("d"), Delete: true}})
 	if got := n.ReplicationPosition(pid); got != 4 {

@@ -1,6 +1,7 @@
 package datanode
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -25,17 +26,28 @@ type OpResult struct {
 }
 
 // Get reads key from the hosted replica of pid, flowing through the
-// full isolation pipeline.
-func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
+// full isolation pipeline. ctx bounds the request end to end: a
+// context that is already done (or whose deadline cannot be met by the
+// estimated queue wait) fails fast before any admission, and a cancel
+// while the request waits in the admission queue or a WFQ aborts it
+// at the next dequeue point without executing.
+func (n *Node) Get(ctx context.Context, pid partition.ID, key []byte) (OpResult, error) {
 	rep, err := n.getReplica(pid)
 	if err != nil {
 		return OpResult{}, err
 	}
-	// Heat is recorded at arrival (before admission) so the control
-	// plane sees offered load: a partition throttling its burst away is
-	// exactly the one that needs a split.
-	rep.recordAccess(key)
 	ts, est := n.tenantState(pid.Tenant)
+	if err := ctx.Err(); err != nil {
+		return OpResult{}, err // the caller is gone: not offered load
+	}
+	// Heat is recorded at arrival (before admission — including the
+	// deadline shed below) so the control plane sees offered load: a
+	// partition shedding or throttling its burst away is exactly the
+	// one that needs a split.
+	rep.recordAccess(key)
+	if err := n.admitCtx(ctx, ts); err != nil {
+		return OpResult{}, err
+	}
 	estimate := est.EstimateReadRU()
 
 	start := n.cfg.Clock.Now()
@@ -59,7 +71,9 @@ func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
 		RUCost:     estimate,
 		IOPSCost:   1,
 		QuotaShare: n.quotaShare(rep),
+		Ctx:        ctx,
 	}
+	task.Abort = func(err error) { finish(outcome{err: err}) }
 	var res outcome
 	task.CPUStage = func() bool {
 		burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
@@ -98,6 +112,12 @@ func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
 	// Request-queue stage: quota filtering happens here, so a flood of
 	// over-quota traffic occupies the queue workers (Figure 6).
 	queued := n.admit.submit(func() {
+		// A request canceled while queued aborts before the worker
+		// spends admit cost or quota on it.
+		if err := ctx.Err(); err != nil {
+			finish(outcome{err: err})
+			return
+		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
 		if n.quotaOn.Load() && !rep.limiter.Allow(estimate) {
 			burn(n.cfg.Clock, n.cfg.RejectCost)
@@ -116,9 +136,14 @@ func (n *Node) Get(pid partition.ID, key []byte) (OpResult, error) {
 	<-done
 
 	lat := n.cfg.Clock.Since(start)
+	n.observeServiceTime(lat)
 	if out.err != nil {
 		if errors.Is(out.err, ErrThrottled) {
 			return OpResult{Latency: lat}, out.err // counted as throttled already
+		}
+		if isCtxErr(out.err) {
+			// The caller left; the service didn't fail.
+			return OpResult{Latency: lat}, out.err
 		}
 		if errors.Is(out.err, ErrNotFound) {
 			// Absent key still cost a lookup; observe size 0, miss.
@@ -147,32 +172,39 @@ func boolTo01(hit bool) float64 {
 	return 0
 }
 
+// isCtxErr reports whether err is a context sentinel (including the
+// shed error, which wraps context.DeadlineExceeded): the caller's
+// budget ran out, as opposed to the node failing.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Put writes key=value with an optional TTL on the primary replica and
 // replicates asynchronously. The zero epoch skips the stale-route
 // check (trusted internal callers); proxies use PutAt with the epoch
 // from their route cache.
-func (n *Node) Put(pid partition.ID, key, value []byte, ttl time.Duration) (OpResult, error) {
-	return n.write(pid, 0, key, value, ttl, false)
+func (n *Node) Put(ctx context.Context, pid partition.ID, key, value []byte, ttl time.Duration) (OpResult, error) {
+	return n.write(ctx, pid, 0, key, value, ttl, false)
 }
 
 // PutAt is Put with the caller's route epoch: the write is fenced with
 // ErrStaleEpoch when the epoch does not match the replica's, and with
 // ErrNotPrimary when this replica no longer serves writes.
-func (n *Node) PutAt(pid partition.ID, epoch uint64, key, value []byte, ttl time.Duration) (OpResult, error) {
-	return n.write(pid, epoch, key, value, ttl, false)
+func (n *Node) PutAt(ctx context.Context, pid partition.ID, epoch uint64, key, value []byte, ttl time.Duration) (OpResult, error) {
+	return n.write(ctx, pid, epoch, key, value, ttl, false)
 }
 
 // Delete removes key.
-func (n *Node) Delete(pid partition.ID, key []byte) (OpResult, error) {
-	return n.write(pid, 0, key, nil, 0, true)
+func (n *Node) Delete(ctx context.Context, pid partition.ID, key []byte) (OpResult, error) {
+	return n.write(ctx, pid, 0, key, nil, 0, true)
 }
 
 // DeleteAt is Delete with the caller's route epoch (see PutAt).
-func (n *Node) DeleteAt(pid partition.ID, epoch uint64, key []byte) (OpResult, error) {
-	return n.write(pid, epoch, key, nil, 0, true)
+func (n *Node) DeleteAt(ctx context.Context, pid partition.ID, epoch uint64, key []byte) (OpResult, error) {
+	return n.write(ctx, pid, epoch, key, nil, 0, true)
 }
 
-func (n *Node) write(pid partition.ID, epoch uint64, key, value []byte, ttl time.Duration, del bool) (OpResult, error) {
+func (n *Node) write(ctx context.Context, pid partition.ID, epoch uint64, key, value []byte, ttl time.Duration, del bool) (OpResult, error) {
 	rep, err := n.getReplica(pid)
 	if err != nil {
 		return OpResult{}, err
@@ -182,8 +214,14 @@ func (n *Node) write(pid partition.ID, epoch uint64, key, value []byte, ttl time
 	if err := rep.checkWrite(epoch); err != nil {
 		return OpResult{}, err
 	}
-	rep.recordAccess(key)
 	ts, _ := n.tenantState(pid.Tenant)
+	if err := ctx.Err(); err != nil {
+		return OpResult{}, err
+	}
+	rep.recordAccess(key) // offered load heats the partition even if shed
+	if err := n.admitCtx(ctx, ts); err != nil {
+		return OpResult{}, err
+	}
 	cost := ru.WriteRU(len(value), n.cfg.Replicas)
 
 	start := n.cfg.Clock.Now()
@@ -202,6 +240,8 @@ func (n *Node) write(pid partition.ID, epoch uint64, key, value []byte, ttl time
 		RUCost:     cost,
 		IOPSCost:   1,
 		QuotaShare: n.quotaShare(rep),
+		Ctx:        ctx,
+		Abort:      finish,
 		CPUStage: func() bool {
 			burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
 			return true // writes always reach the I/O layer (WAL)
@@ -236,6 +276,10 @@ func (n *Node) write(pid partition.ID, epoch uint64, key, value []byte, ttl time
 	task.Done = func() { finish(ioErr) }
 
 	queued := n.admit.submit(func() {
+		if err := ctx.Err(); err != nil {
+			finish(err)
+			return
+		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
 		if n.quotaOn.Load() && !rep.limiter.Allow(cost) {
 			burn(n.cfg.Clock, n.cfg.RejectCost)
@@ -254,8 +298,9 @@ func (n *Node) write(pid partition.ID, epoch uint64, key, value []byte, ttl time
 	<-done
 
 	lat := n.cfg.Clock.Since(start)
+	n.observeServiceTime(lat)
 	if opErr != nil {
-		if errors.Is(opErr, ErrThrottled) {
+		if errors.Is(opErr, ErrThrottled) || isCtxErr(opErr) {
 			return OpResult{Latency: lat}, opErr
 		}
 		ts.errors.Inc()
@@ -267,6 +312,186 @@ func (n *Node) write(pid partition.ID, epoch uint64, key, value []byte, ttl time
 	ts.ruUsed.Add(cost)
 	ts.latency.Observe(lat)
 	return OpResult{RU: cost, Latency: lat}, nil
+}
+
+// PutCond selects a conditional-write predicate (Redis SET NX/XX).
+type PutCond int
+
+// Conditional-write predicates.
+const (
+	// CondNone writes unconditionally.
+	CondNone PutCond = iota
+	// CondNX writes only when the key does not already exist.
+	CondNX
+	// CondXX writes only when the key already exists.
+	CondXX
+)
+
+// PutOptions carries the typed per-op options of a conditional write.
+type PutOptions struct {
+	// TTL sets the new record's expiry (0 = none unless KeepTTL).
+	TTL time.Duration
+	// KeepTTL preserves the existing record's remaining TTL instead of
+	// clearing it (Redis SET KEEPTTL). Ignored when TTL is set.
+	KeepTTL bool
+	// Cond gates the write on the key's current existence.
+	Cond PutCond
+	// ReturnOld fetches the key's previous value (Redis SET ... GET).
+	ReturnOld bool
+}
+
+// PutResult reports one conditional write.
+type PutResult struct {
+	OpResult
+	// Written reports whether the write was applied; false means the
+	// NX/XX condition was not met (not an error).
+	Written bool
+	// Old is the key's previous value (populated only under ReturnOld).
+	Old []byte
+	// OldExists reports whether the key existed before the write.
+	OldExists bool
+	// Expiring reports whether the record now carries a TTL — caching
+	// layers above must not hold expiring values.
+	Expiring bool
+}
+
+// PutWith is the conditional form of PutAt: one read-modify-write
+// through the primary's write pipeline — a single admission, one WFQ
+// write task whose I/O stage probes the existing record, evaluates the
+// NX/XX predicate, resolves KEEPTTL, and applies the write — then
+// replicated like any other write. The probe and the write happen
+// inside one I/O stage, so no other client write can interleave
+// between them on this replica.
+func (n *Node) PutWith(ctx context.Context, pid partition.ID, epoch uint64, key, value []byte, opts PutOptions) (PutResult, error) {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return PutResult{}, err
+	}
+	if err := rep.checkWrite(epoch); err != nil {
+		return PutResult{}, err
+	}
+	ts, est := n.tenantState(pid.Tenant)
+	if err := ctx.Err(); err != nil {
+		return PutResult{}, err
+	}
+	rep.recordAccess(key) // offered load heats the partition even if shed
+	if err := n.admitCtx(ctx, ts); err != nil {
+		return PutResult{}, err
+	}
+	// Read-modify-write: the admission charge covers the probe read
+	// plus the replicated write.
+	cost := est.EstimateReadRU() + ru.WriteRU(len(value), n.cfg.Replicas)
+
+	start := n.cfg.Clock.Now()
+	ck := cacheKey(pid, key)
+	var res PutResult
+	var ioErr error
+	var effTTL time.Duration
+	probeLen := 0
+	done := make(chan struct{})
+	finish := func(err error) {
+		ioErr = err
+		close(done)
+	}
+	var stageErr error
+	task := &wfq.Task{
+		Tenant:     pid.Tenant,
+		Partition:  pid.String(),
+		Class:      wfq.ClassFor(true, len(value)),
+		RUCost:     cost,
+		IOPSCost:   2, // probe read + write
+		QuotaShare: n.quotaShare(rep),
+		Ctx:        ctx,
+		Abort:      finish,
+		CPUStage: func() bool {
+			burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
+			return true
+		},
+		IOStage: func() {
+			// The probe is a real record read; charge its I/O time.
+			burn(n.cfg.Clock, n.cfg.Cost.IOReadTime)
+			got, gerr := rep.db.Get(key)
+			exists := gerr == nil
+			if gerr != nil && !errors.Is(gerr, lavastore.ErrNotFound) {
+				stageErr = gerr
+				return
+			}
+			res.OldExists = exists
+			probeLen = len(got.Value)
+			if opts.ReturnOld && exists {
+				res.Old = got.Value
+			}
+			if (opts.Cond == CondNX && exists) || (opts.Cond == CondXX && !exists) {
+				return // condition not met: probe only, no write
+			}
+			ttl := opts.TTL
+			if ttl == 0 && opts.KeepTTL && exists && got.ExpireAt != 0 {
+				if remaining := time.Unix(got.ExpireAt, 0).Sub(n.cfg.Clock.Now()); remaining > 0 {
+					ttl = remaining
+				}
+			}
+			burn(n.cfg.Clock, n.cfg.Cost.IOWriteTime)
+			if stageErr = rep.db.Put(key, value, ttl); stageErr != nil {
+				return
+			}
+			res.Written = true
+			res.Expiring = ttl > 0
+			effTTL = ttl
+			// Write-through for TTL-free values, invalidate otherwise
+			// (the SA-LRU cannot expire entries; see Get).
+			if ttl > 0 {
+				n.cache.Delete(ck)
+			} else {
+				n.cache.Put(ck, value)
+			}
+		},
+	}
+	task.Done = func() { finish(stageErr) }
+
+	queued := n.admit.submit(func() {
+		if err := ctx.Err(); err != nil {
+			finish(err)
+			return
+		}
+		burn(n.cfg.Clock, n.cfg.AdmitCost)
+		if n.quotaOn.Load() && !rep.limiter.Allow(cost) {
+			burn(n.cfg.Clock, n.cfg.RejectCost)
+			ts.throttled.Inc()
+			finish(ErrThrottled)
+			return
+		}
+		if !n.sched.Submit(task) {
+			finish(errors.New("datanode: write rejected (ceiling or closed)"))
+		}
+	})
+	if !queued {
+		ts.errors.Inc()
+		return PutResult{}, ErrOverloaded
+	}
+	<-done
+
+	lat := n.cfg.Clock.Since(start)
+	n.observeServiceTime(lat)
+	res.Latency = lat
+	if ioErr != nil {
+		if errors.Is(ioErr, ErrThrottled) || isCtxErr(ioErr) {
+			return PutResult{OpResult: OpResult{Latency: lat}}, ioErr
+		}
+		ts.errors.Inc()
+		return PutResult{OpResult: OpResult{Latency: lat}}, ioErr
+	}
+	est.ObserveRead(probeLen, false)
+	charged := ru.ReadRU(probeLen, 0)
+	if res.Written {
+		charged += ru.WriteRU(len(value), n.cfg.Replicas)
+		pos := rep.replPos.Add(1)
+		n.replicator.Replicate(rep.id, key, value, effTTL, false, pos)
+	}
+	res.RU = charged
+	ts.success.Inc()
+	ts.ruUsed.Add(charged)
+	ts.latency.Observe(lat)
+	return res, nil
 }
 
 // ApplyReplicated applies a replicated write on a follower replica,
@@ -417,8 +642,8 @@ type FieldValue struct {
 
 // HSet sets field=value in the hash at key, returning 1 if the field is
 // new and 0 if it overwrote.
-func (n *Node) HSet(pid partition.ID, key []byte, field string, value []byte) (int, error) {
-	return n.HSetMulti(pid, key, []FieldValue{{Field: field, Value: value}})
+func (n *Node) HSet(ctx context.Context, pid partition.ID, key []byte, field string, value []byte) (int, error) {
+	return n.HSetMulti(ctx, pid, key, []FieldValue{{Field: field, Value: value}})
 }
 
 // HSetMulti sets every field/value pair in the hash at key as ONE
@@ -426,11 +651,11 @@ func (n *Node) HSet(pid partition.ID, key []byte, field string, value []byte) (i
 // fields the command carries — returning how many fields were new.
 // Duplicate fields apply left to right (the last value wins, counted
 // once if the field was new).
-func (n *Node) HSetMulti(pid partition.ID, key []byte, fvs []FieldValue) (int, error) {
+func (n *Node) HSetMulti(ctx context.Context, pid partition.ID, key []byte, fvs []FieldValue) (int, error) {
 	if len(fvs) == 0 {
 		return 0, nil
 	}
-	res, err := n.Get(pid, key)
+	res, err := n.Get(ctx, pid, key)
 	m := map[string][]byte{}
 	switch {
 	case err == nil:
@@ -448,15 +673,15 @@ func (n *Node) HSetMulti(pid partition.ID, key []byte, fvs []FieldValue) (int, e
 		}
 		m[fv.Field] = fv.Value
 	}
-	if _, err := n.Put(pid, key, encodeHash(m), 0); err != nil {
+	if _, err := n.Put(ctx, pid, key, encodeHash(m), 0); err != nil {
 		return 0, err
 	}
 	return added, nil
 }
 
 // HGet returns the value of field in the hash at key.
-func (n *Node) HGet(pid partition.ID, key []byte, field string) ([]byte, error) {
-	res, err := n.Get(pid, key)
+func (n *Node) HGet(ctx context.Context, pid partition.ID, key []byte, field string) ([]byte, error) {
+	res, err := n.Get(ctx, pid, key)
 	if err != nil {
 		return nil, err
 	}
@@ -473,8 +698,8 @@ func (n *Node) HGet(pid partition.ID, key []byte, field string) ([]byte, error) 
 
 // HLen returns the number of fields in the hash at key. The observed
 // length feeds the complex-operation RU estimator.
-func (n *Node) HLen(pid partition.ID, key []byte) (int, error) {
-	res, err := n.Get(pid, key)
+func (n *Node) HLen(ctx context.Context, pid partition.ID, key []byte) (int, error) {
+	res, err := n.Get(ctx, pid, key)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
 			return 0, nil
@@ -491,8 +716,8 @@ func (n *Node) HLen(pid partition.ID, key []byte) (int, error) {
 }
 
 // HGetAll returns all fields and values of the hash at key.
-func (n *Node) HGetAll(pid partition.ID, key []byte) (map[string][]byte, error) {
-	res, err := n.Get(pid, key)
+func (n *Node) HGetAll(ctx context.Context, pid partition.ID, key []byte) (map[string][]byte, error) {
+	res, err := n.Get(ctx, pid, key)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
 			return map[string][]byte{}, nil
@@ -509,8 +734,8 @@ func (n *Node) HGetAll(pid partition.ID, key []byte) (map[string][]byte, error) 
 }
 
 // HDel removes fields from the hash at key, returning how many existed.
-func (n *Node) HDel(pid partition.ID, key []byte, fields ...string) (int, error) {
-	res, err := n.Get(pid, key)
+func (n *Node) HDel(ctx context.Context, pid partition.ID, key []byte, fields ...string) (int, error) {
+	res, err := n.Get(ctx, pid, key)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
 			return 0, nil
@@ -530,9 +755,9 @@ func (n *Node) HDel(pid partition.ID, key []byte, fields ...string) (int, error)
 	}
 	if removed > 0 {
 		if len(m) == 0 {
-			_, err = n.Delete(pid, key)
+			_, err = n.Delete(ctx, pid, key)
 		} else {
-			_, err = n.Put(pid, key, encodeHash(m), 0)
+			_, err = n.Put(ctx, pid, key, encodeHash(m), 0)
 		}
 		if err != nil {
 			return 0, err
@@ -543,9 +768,12 @@ func (n *Node) HDel(pid partition.ID, key []byte, fields ...string) (int, error)
 
 // TTL returns the remaining time-to-live of key (lavastore.ErrNoTTL
 // mapped to ttl=0, found=true for keys without expiry).
-func (n *Node) TTL(pid partition.ID, key []byte) (time.Duration, bool, error) {
+func (n *Node) TTL(ctx context.Context, pid partition.ID, key []byte) (time.Duration, bool, error) {
 	rep, err := n.getReplica(pid)
 	if err != nil {
+		return 0, false, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, false, err
 	}
 	ttl, err := rep.db.TTL(key)
@@ -563,12 +791,12 @@ func (n *Node) TTL(pid partition.ID, key []byte) (time.Duration, bool, error) {
 
 // Expire sets key's TTL, going through the full write pipeline so it
 // is charged and replicated like any write.
-func (n *Node) Expire(pid partition.ID, key []byte, ttl time.Duration) error {
-	res, err := n.Get(pid, key)
+func (n *Node) Expire(ctx context.Context, pid partition.ID, key []byte, ttl time.Duration) error {
+	res, err := n.Get(ctx, pid, key)
 	if err != nil {
 		return err
 	}
-	_, err = n.Put(pid, key, res.Value, ttl)
+	_, err = n.Put(ctx, pid, key, res.Value, ttl)
 	return err
 }
 
@@ -578,15 +806,15 @@ func (n *Node) Expire(pid partition.ID, key []byte, ttl time.Duration) error {
 // HSet this is a read-modify-write of two node ops, so a racing write
 // between them can be overwritten; Get's ExpireAt supplies the expiry
 // check without a separate TTL read.
-func (n *Node) Persist(pid partition.ID, key []byte) (bool, error) {
-	res, err := n.Get(pid, key)
+func (n *Node) Persist(ctx context.Context, pid partition.ID, key []byte) (bool, error) {
+	res, err := n.Get(ctx, pid, key)
 	if err != nil {
 		return false, err
 	}
 	if res.ExpireAt == 0 {
 		return false, nil // exists but already persistent
 	}
-	if _, err := n.Put(pid, key, res.Value, 0); err != nil {
+	if _, err := n.Put(ctx, pid, key, res.Value, 0); err != nil {
 		return false, err
 	}
 	return true, nil

@@ -1,6 +1,7 @@
 package datanode
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -46,7 +47,7 @@ type ScanResult struct {
 // I/O stage burns time proportional to the records examined. Scans
 // bypass the SA-LRU (a range traversal would only churn it), so the
 // CPU stage always proceeds to the I/O layer.
-func (n *Node) RangeScan(pid partition.ID, opts ScanOptions) (ScanResult, error) {
+func (n *Node) RangeScan(ctx context.Context, pid partition.ID, opts ScanOptions) (ScanResult, error) {
 	rep, err := n.getReplica(pid)
 	if err != nil {
 		return ScanResult{}, err
@@ -54,11 +55,18 @@ func (n *Node) RangeScan(pid partition.ID, opts ScanOptions) (ScanResult, error)
 	if opts.Limit <= 0 {
 		opts.Limit = lavastore.DefaultScanLimit
 	}
-	// Scans heat the partition (IO-equivalent units per page) but mark
-	// no individual key hot: a range traversal says nothing about
-	// per-key popularity.
-	rep.heat.Add(1 + float64(opts.Limit)/scanEntriesPerIO)
 	ts, est := n.tenantState(pid.Tenant)
+	if err := ctx.Err(); err != nil {
+		return ScanResult{}, err
+	}
+	// Scans heat the partition (IO-equivalent units per page, counted
+	// before admission — including the deadline shed — so the control
+	// plane sees offered load) but mark no individual key hot: a range
+	// traversal says nothing about per-key popularity.
+	rep.heat.Add(1 + float64(opts.Limit)/scanEntriesPerIO)
+	if err := n.admitCtx(ctx, ts); err != nil {
+		return ScanResult{}, err
+	}
 	estimate := est.EstimateScanRU(opts.Limit)
 
 	start := n.cfg.Clock.Now()
@@ -80,7 +88,9 @@ func (n *Node) RangeScan(pid partition.ID, opts ScanOptions) (ScanResult, error)
 		RUCost:     estimate,
 		IOPSCost:   1 + float64(opts.Limit)/scanEntriesPerIO,
 		QuotaShare: n.quotaShare(rep),
+		Ctx:        ctx,
 	}
+	task.Abort = func(err error) { finish(outcome{err: err}) }
 	task.CPUStage = func() bool {
 		burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
 		return true // scans never resolve from the node cache
@@ -106,6 +116,10 @@ func (n *Node) RangeScan(pid partition.ID, opts ScanOptions) (ScanResult, error)
 	task.Done = func() { finish(res) }
 
 	queued := n.admit.submit(func() {
+		if err := ctx.Err(); err != nil {
+			finish(outcome{err: err})
+			return
+		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
 		if n.quotaOn.Load() && !rep.limiter.Allow(estimate) {
 			burn(n.cfg.Clock, n.cfg.RejectCost)
@@ -124,8 +138,9 @@ func (n *Node) RangeScan(pid partition.ID, opts ScanOptions) (ScanResult, error)
 	<-done
 
 	lat := n.cfg.Clock.Since(start)
+	n.observeServiceTime(lat)
 	if out.err != nil {
-		if errors.Is(out.err, ErrThrottled) {
+		if errors.Is(out.err, ErrThrottled) || isCtxErr(out.err) {
 			return ScanResult{Latency: lat}, out.err // counted as throttled already
 		}
 		ts.errors.Inc()

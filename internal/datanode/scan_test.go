@@ -17,7 +17,7 @@ func TestRangeScanPaginates(t *testing.T) {
 	}
 	const keys = 25
 	for i := 0; i < keys; i++ {
-		if _, err := n.Put(p, []byte(fmt.Sprintf("k%02d", i)), []byte("v"), 0); err != nil {
+		if _, err := n.Put(bg, p, []byte(fmt.Sprintf("k%02d", i)), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -26,7 +26,7 @@ func TestRangeScanPaginates(t *testing.T) {
 	pages := 0
 	var totalRU float64
 	for {
-		res, err := n.RangeScan(p, ScanOptions{Start: start, Limit: 10})
+		res, err := n.RangeScan(bg, p, ScanOptions{Start: start, Limit: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,10 +64,10 @@ func TestRangeScanKeysOnly(t *testing.T) {
 	if err := n.AddReplica(rid("t1", 0, 0), 100000, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Put(p, []byte("k"), []byte("value"), 0); err != nil {
+	if _, err := n.Put(bg, p, []byte("k"), []byte("value"), 0); err != nil {
 		t.Fatal(err)
 	}
-	res, err := n.RangeScan(p, ScanOptions{KeysOnly: true})
+	res, err := n.RangeScan(bg, p, ScanOptions{KeysOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestRangeScanThrottledByPartitionQuota(t *testing.T) {
 	if err := n.AddReplica(rid("t1", 0, 0), 1, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.RangeScan(p, ScanOptions{}); !errors.Is(err, ErrThrottled) {
+	if _, err := n.RangeScan(bg, p, ScanOptions{}); !errors.Is(err, ErrThrottled) {
 		t.Fatalf("err = %v, want ErrThrottled", err)
 	}
 	if st := n.TenantStats("t1"); st.Throttled != 1 {
@@ -94,7 +94,7 @@ func TestRangeScanThrottledByPartitionQuota(t *testing.T) {
 
 func TestRangeScanUnknownPartition(t *testing.T) {
 	n := newTestNode(t, Config{})
-	if _, err := n.RangeScan(pid("t1", 0), ScanOptions{}); !errors.Is(err, ErrNoPartition) {
+	if _, err := n.RangeScan(bg, pid("t1", 0), ScanOptions{}); !errors.Is(err, ErrNoPartition) {
 		t.Fatalf("err = %v, want ErrNoPartition", err)
 	}
 }
@@ -111,30 +111,30 @@ func TestExpiredKeyConsistentAcrossGetScanAndCount(t *testing.T) {
 	if err := n.AddReplica(rid("t1", 0, 0), 100000, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Put(p, []byte("ttl"), []byte("v"), time.Minute); err != nil {
+	if _, err := n.Put(bg, p, []byte("ttl"), []byte("v"), time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Put(p, []byte("live"), []byte("v"), 0); err != nil {
+	if _, err := n.Put(bg, p, []byte("live"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	// Read both keys so any cacheable value is cached.
-	if _, err := n.Get(p, []byte("ttl")); err != nil {
+	if _, err := n.Get(bg, p, []byte("ttl")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Get(p, []byte("live")); err != nil {
+	if _, err := n.Get(bg, p, []byte("live")); err != nil {
 		t.Fatal(err)
 	}
 	// And through the batched read path, which caches too.
-	if res := n.MultiGet([]GetBatch{{PID: p, Keys: [][]byte{[]byte("ttl")}}}); res[0].Err != nil {
+	if res := n.MultiGet(bg, []GetBatch{{PID: p, Keys: [][]byte{[]byte("ttl")}}}); res[0].Err != nil {
 		t.Fatal(res[0].Err)
 	}
 
 	sim.Advance(time.Hour)
 
-	if _, err := n.Get(p, []byte("ttl")); !errors.Is(err, ErrNotFound) {
+	if _, err := n.Get(bg, p, []byte("ttl")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get(ttl) after expiry = %v, want ErrNotFound", err)
 	}
-	res, err := n.RangeScan(p, ScanOptions{})
+	res, err := n.RangeScan(bg, p, ScanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,9 +12,12 @@ import (
 // TenantSnapshot is a point-in-time view of one tenant's service on
 // this node.
 type TenantSnapshot struct {
-	Tenant     string
-	Success    int64
-	Throttled  int64
+	Tenant    string
+	Success   int64
+	Throttled int64
+	// Shed counts requests refused by deadline-aware admission: their
+	// remaining deadline budget was below the node's estimated wait.
+	Shed       int64
 	Errors     int64
 	CacheHits  int64
 	CacheMiss  int64
@@ -44,6 +47,7 @@ func (n *Node) TenantStats(tenant string) TenantSnapshot {
 		Tenant:     tenant,
 		Success:    ts.success.Value(),
 		Throttled:  ts.throttled.Value(),
+		Shed:       ts.shed.Value(),
 		Errors:     ts.errors.Value(),
 		CacheHits:  ts.cacheHits.Value(),
 		CacheMiss:  ts.cacheMiss.Value(),
@@ -63,6 +67,7 @@ func (n *Node) ResetTenantStats(tenant string) {
 	}
 	ts.success.Reset()
 	ts.throttled.Reset()
+	ts.shed.Reset()
 	ts.errors.Reset()
 	ts.cacheHits.Reset()
 	ts.cacheMiss.Reset()
@@ -127,6 +132,9 @@ type NodeSnapshot struct {
 	RUCapacity   float64
 	CacheUsed    int64
 	CacheHit     float64
+	// Shed counts requests refused node-wide by deadline-aware
+	// admission since the node started.
+	Shed int64
 }
 
 // Snapshot returns node-level load and capacity.
@@ -146,6 +154,7 @@ func (n *Node) Snapshot() NodeSnapshot {
 		RUCapacity:   n.cfg.RUCapacity,
 		CacheUsed:    n.cache.Used(),
 		CacheHit:     n.cache.HitRatio(),
+		Shed:         n.shedTotal.Value(),
 	}
 }
 

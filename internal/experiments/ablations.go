@@ -111,7 +111,7 @@ func AblationFanout(ops int) Table {
 		}
 		gen := workload.NewZipfKeys(keys, 1.3, 5)
 		for op := 0; op < ops; op++ {
-			fleet.Get(gen.Next())
+			fleet.Get(bg, gen.Next())
 		}
 		// Hot-key pressure: route the single hottest key many times and
 		// count the busiest proxy's share.

@@ -93,7 +93,7 @@ func BatchComparison(opts BatchOpts) ([]BatchPoint, Table) {
 		keys[i] = []byte(fmt.Sprintf("key-%05d", i))
 		kvs[i] = proxy.KV{Key: keys[i], Value: value}
 	}
-	fleet.BatchPut(kvs) // pre-populate
+	fleet.BatchPut(bg, kvs) // pre-populate
 
 	var points []BatchPoint
 	tbl := Table{
@@ -107,9 +107,9 @@ func BatchComparison(opts BatchOpts) ([]BatchPoint, Table) {
 	// Warm both paths (scheduler workers, caches, estimators) before
 	// timing anything.
 	for _, k := range keys {
-		fleet.Get(k)
+		fleet.Get(bg, k)
 	}
-	fleet.BatchGet(keys)
+	fleet.BatchGet(bg, keys)
 
 	const passes = 4
 	for _, size := range opts.Sizes {
@@ -118,7 +118,7 @@ func BatchComparison(opts BatchOpts) ([]BatchPoint, Table) {
 		for p := 0; p < passes; p++ {
 			for r := 0; r < rounds; r++ {
 				for _, k := range keys[r*size : (r+1)*size] {
-					fleet.Get(k)
+					fleet.Get(bg, k)
 				}
 			}
 		}
@@ -127,7 +127,7 @@ func BatchComparison(opts BatchOpts) ([]BatchPoint, Table) {
 		start = time.Now()
 		for p := 0; p < passes; p++ {
 			for r := 0; r < rounds; r++ {
-				fleet.BatchGet(keys[r*size : (r+1)*size])
+				fleet.BatchGet(bg, keys[r*size:(r+1)*size])
 			}
 		}
 		batched := float64(passes*rounds*size) / time.Since(start).Seconds()

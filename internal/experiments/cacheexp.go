@@ -148,7 +148,7 @@ func Table2(opts Table2Opts) ([]Table2Row, Table) {
 			gen := workload.NewZipfKeys(keys, sp.skew, int64(i)+7)
 			for op := 0; op < opts.Ops; op++ {
 				k := gen.Next()
-				if _, err := fleet.Get(k); err != nil && !errors.Is(err, proxy.ErrNotFound) {
+				if _, err := fleet.Get(bg, k); err != nil && !errors.Is(err, proxy.ErrNotFound) {
 					panic(err)
 				}
 			}
@@ -261,7 +261,7 @@ func Figure5(opts Figure5Opts) ([]Fig5Scenario, Table) {
 				ops := int(float64(opts.OpsPerWindow) * phase.QPSFactor)
 				start := time.Now()
 				for op := 0; op < ops; op++ {
-					node.Get(pid, phase.Keys.Next())
+					node.Get(bg, pid, phase.Keys.Next())
 				}
 				elapsed := time.Since(start).Seconds()
 				st := node.TenantStats("d11")

@@ -78,10 +78,10 @@ func Table1(opts Table1Opts) ([]Table1Row, Table) {
 			k := gen.Next()
 			if mix.NextIsRead() {
 				reads++
-				node.Get(pid, k)
+				node.Get(bg, pid, k)
 			} else {
 				writes++
-				node.Put(pid, k, val, p.TTL)
+				node.Put(bg, pid, k, val, p.TTL)
 			}
 			kvBytes += int64(size)
 		}
@@ -208,9 +208,9 @@ func Figure34(opts Figure34Opts) (Fig34Result, Table) {
 		for op := 0; op < opts.OpsPerTenant; op++ {
 			k := gen.Next()
 			if mix.NextIsRead() {
-				node.Get(pid, k)
+				node.Get(bg, pid, k)
 			} else {
-				node.Put(pid, k, val, 0)
+				node.Put(bg, pid, k, val, 0)
 			}
 		}
 		p99 := node.TenantStats(ts.Name).LatencyP99

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -73,3 +74,9 @@ func f(v float64) string {
 
 // pct formats a ratio as a percentage.
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// bg is the background context experiment workloads run under: the
+// harness drives load to completion, so nothing bounds it — except in
+// scenarios (DeadlineShedding) that construct per-request deadlines
+// themselves.
+var bg = context.Background()

@@ -366,3 +366,29 @@ func TestExperimentsFailoverAvailability(t *testing.T) {
 		t.Fatalf("table rows = %d", len(tbl.Rows))
 	}
 }
+
+// TestExperimentsDeadlineShedding is the CI smoke for the
+// deadline-shedding harness (`go test -run TestExperiments`): with
+// shedding on, the node refuses doomed tight-deadline requests up
+// front, and goodput for requests that can still make their deadlines
+// improves versus shedding off.
+func TestExperimentsDeadlineShedding(t *testing.T) {
+	res, _ := DeadlineShedding(SheddingOpts{})
+	if res.On.Shed == 0 {
+		t.Fatal("shedding enabled but nothing was shed under overload")
+	}
+	if res.Off.Shed != 0 {
+		t.Fatalf("shedding disabled yet %d requests shed", res.Off.Shed)
+	}
+	// The deterministic gap is ~2x (a doomed request holds its caller
+	// for a full service time instead of failing in microseconds); 1.2x
+	// leaves generous headroom for noisy CI hosts.
+	if res.On.Goodput < res.Off.Goodput*1.2 {
+		t.Fatalf("goodput with shedding %.0f/s, without %.0f/s: want >= 1.2x improvement",
+			res.On.Goodput, res.Off.Goodput)
+	}
+	if res.On.TightLatency >= res.Off.TightLatency {
+		t.Fatalf("tight-deadline latency on=%v off=%v: shedding should fail doomed requests faster",
+			res.On.TightLatency, res.Off.TightLatency)
+	}
+}

@@ -126,7 +126,7 @@ func FailoverAvailability(opts FailoverOpts) (FailoverResult, Table) {
 	model := make(map[string]string, opts.Keys)
 	for k := 0; k < opts.Keys; k++ {
 		key := fmt.Sprintf("key-%012d", k)
-		if err := fleet.Put([]byte(key), val, 0); err != nil {
+		if err := fleet.Put(bg, []byte(key), val, 0); err != nil {
 			panic(err)
 		}
 		model[key] = string(val)
@@ -176,7 +176,7 @@ func FailoverAvailability(opts FailoverOpts) (FailoverResult, Table) {
 		key := gen.Next()
 		value := []byte(fmt.Sprintf("val-%08d", i))
 		onAffected := affected[partition.PartitionOf(key, nparts)]
-		if err := fleet.Put(key, value, 0); err == nil {
+		if err := fleet.Put(bg, key, value, 0); err == nil {
 			acked++
 			model[string(key)] = string(value)
 			if killed && !recovered && onAffected {
@@ -189,7 +189,7 @@ func FailoverAvailability(opts FailoverOpts) (FailoverResult, Table) {
 		// While the outage is open, follower reads on an affected key
 		// must keep answering even though its primary is gone.
 		if killed && !recovered && probeKey != "" {
-			if _, err := fleet.GetPref([]byte(probeKey), proxy.ReadFollower); err == nil {
+			if _, err := fleet.GetPref(bg, []byte(probeKey), proxy.ReadFollower); err == nil {
 				res.FollowerReadsServed++
 			} else {
 				res.FollowerReadsFailed++
@@ -206,7 +206,7 @@ func FailoverAvailability(opts FailoverOpts) (FailoverResult, Table) {
 	m.FlushReplication()
 	m.MonitorNodeHealth()
 	for key, want := range model {
-		got, err := fleet.Get([]byte(key))
+		got, err := fleet.Get(bg, []byte(key))
 		if err != nil || string(got) != want {
 			res.LostAckedWrites++
 		}

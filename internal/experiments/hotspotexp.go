@@ -198,7 +198,7 @@ func HotspotMitigation(opts HotspotOpts) ([]HotspotRow, HotspotSplit, Table) {
 			gen := w.gen(int64(wi) + 11)
 			start := time.Now()
 			for op := 0; op < opts.Ops; op++ {
-				if _, err := fleet.Get(gen.Next()); err != nil && !errors.Is(err, proxy.ErrNotFound) {
+				if _, err := fleet.Get(bg, gen.Next()); err != nil && !errors.Is(err, proxy.ErrNotFound) {
 					panic(err)
 				}
 			}
@@ -279,11 +279,11 @@ func detectionRecall(gen workload.KeyGen, truthSize int, opts HotspotOpts) float
 		ops = 2000
 	}
 	for op := 0; op < ops; op++ {
-		if _, err := fleet.Get(gen.Next()); err != nil && !errors.Is(err, proxy.ErrNotFound) {
+		if _, err := fleet.Get(bg, gen.Next()); err != nil && !errors.Is(err, proxy.ErrNotFound) {
 			panic(err)
 		}
 	}
-	hot, err := fleet.HotKeys(10)
+	hot, err := fleet.HotKeys(bg, 10)
 	if err != nil || len(hot) == 0 {
 		return 0
 	}
@@ -342,7 +342,7 @@ func autoSplitScenario(opts HotspotOpts) HotspotSplit {
 	}
 	for cy := 1; cy <= opts.SplitCycles; cy++ {
 		for op := 0; op < perCycle; op++ {
-			if _, err := fleet.Get(gen.Next()); err != nil && !errors.Is(err, proxy.ErrNotFound) {
+			if _, err := fleet.Get(bg, gen.Next()); err != nil && !errors.Is(err, proxy.ErrNotFound) {
 				panic(err)
 			}
 		}

@@ -133,7 +133,7 @@ func (s *isoStack) drive(pid partition.ID, rate float64, dur time.Duration) wind
 			go func(k []byte) {
 				defer wg.Done()
 				start := time.Now()
-				_, err := s.node.Get(pid, k)
+				_, err := s.node.Get(bg, pid, k)
 				lat := time.Since(start)
 				switch {
 				case err == nil && (s.timeout == 0 || lat <= s.timeout):

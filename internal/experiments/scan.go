@@ -48,12 +48,12 @@ func ScanThroughput(opts ScanOpts) ([]ScanPoint, Table) {
 	for i := range kvs {
 		kvs[i] = proxy.KV{Key: []byte(fmt.Sprintf("key-%06d", i)), Value: value}
 	}
-	fleet.BatchPut(kvs)
+	fleet.BatchPut(bg, kvs)
 
 	traverse := func(pageSize int) (keys, pages int) {
 		cursor := ""
 		for {
-			page, err := fleet.Scan(cursor, proxy.ScanOptions{Count: pageSize})
+			page, err := fleet.Scan(bg, cursor, proxy.ScanOptions{Count: pageSize})
 			if err != nil {
 				panic(err)
 			}

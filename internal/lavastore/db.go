@@ -242,6 +242,19 @@ func (db *DB) Delete(key []byte) error {
 	return db.write(key, record{Kind: kindDelete}, 0)
 }
 
+// expireAt converts a TTL into the record's second-resolution deadline.
+// The deadline truncates to whole seconds (so a record never outlives
+// its requested TTL at this resolution) but is clamped to at least one
+// second past now: plain truncation would let a sub-second TTL written
+// late in a wall-clock second expire instantly — or even in the past.
+func expireAt(now time.Time, ttl time.Duration) int64 {
+	at := now.Add(ttl).Unix()
+	if min := now.Unix() + 1; at < min {
+		at = min
+	}
+	return at
+}
+
 func (db *DB) write(key []byte, r record, ttl time.Duration) error {
 	db.mu.Lock()
 	if db.closed {
@@ -251,7 +264,7 @@ func (db *DB) write(key []byte, r record, ttl time.Duration) error {
 	db.seq++
 	r.Seq = db.seq
 	if ttl > 0 {
-		r.ExpireAt = db.opt.Clock.Now().Add(ttl).Unix()
+		r.ExpireAt = expireAt(db.opt.Clock.Now(), ttl)
 	}
 	rec := encodeRecord(r)
 	if err := db.wal.Append(key, rec); err != nil {
@@ -312,7 +325,7 @@ func (db *DB) WriteBatch(ops []BatchOp) error {
 		if op.Delete {
 			r = record{Kind: kindDelete, Seq: db.seq}
 		} else if op.TTL > 0 {
-			r.ExpireAt = now.Add(op.TTL).Unix()
+			r.ExpireAt = expireAt(now, op.TTL)
 		}
 		start := len(arena)
 		arena = append(arena, op.Key...)

@@ -36,7 +36,7 @@ func TestFailoverPromotesFollower(t *testing.T) {
 	// Write through the primary so replication fans out to followers.
 	for i := 0; i < 10; i++ {
 		key := []byte{byte('a' + i)}
-		if _, err := oldPrimary.Put(pid, key, []byte("v"), 0); err != nil {
+		if _, err := oldPrimary.Put(bg, pid, key, []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,18 +68,18 @@ func TestFailoverPromotesFollower(t *testing.T) {
 	// The drained replication backlog means all acknowledged writes
 	// are readable at the new primary.
 	for i := 0; i < 10; i++ {
-		if _, err := newPrimary.Get(pid, []byte{byte('a' + i)}); err != nil {
+		if _, err := newPrimary.Get(bg, pid, []byte{byte('a' + i)}); err != nil {
 			t.Fatalf("acknowledged key %c lost after failover: %v", 'a'+i, err)
 		}
 	}
 	// Writes work at the new primary under the new epoch...
-	if _, err := newPrimary.PutAt(pid, newRoute.Epoch, []byte("post"), []byte("x"), 0); err != nil {
+	if _, err := newPrimary.PutAt(bg, pid, newRoute.Epoch, []byte("post"), []byte("x"), 0); err != nil {
 		t.Fatalf("write at new primary: %v", err)
 	}
 	// ...and the revived old primary is fenced.
 	oldPrimary.SetDown(false)
 	m.MonitorNodeHealth() // notices the revival and demotes stale roles
-	if _, err := oldPrimary.Put(pid, []byte("stale"), []byte("x"), 0); !errors.Is(err, datanode.ErrNotPrimary) {
+	if _, err := oldPrimary.Put(bg, pid, []byte("stale"), []byte("x"), 0); !errors.Is(err, datanode.ErrNotPrimary) {
 		t.Fatalf("revived old primary accepted a write: err=%v", err)
 	}
 }
@@ -100,7 +100,7 @@ func TestFailoverCatchUpGating(t *testing.T) {
 
 	// Both followers replicate normally for a while...
 	for i := 0; i < 5; i++ {
-		if _, err := primary.Put(pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
+		if _, err := primary.Put(bg, pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -108,7 +108,7 @@ func TestFailoverCatchUpGating(t *testing.T) {
 	// ...then the stale one goes dark and misses a batch of writes.
 	stale.SetDown(true)
 	for i := 5; i < 25; i++ {
-		if _, err := primary.Put(pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
+		if _, err := primary.Put(bg, pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -233,7 +233,7 @@ func TestRepairAfterFailoverRestoresReplication(t *testing.T) {
 	route := ten.Table.Partitions[0]
 	pid := route.Partition
 	old := nodeByID(t, m, route.Primary)
-	if _, err := old.Put(pid, []byte("k"), []byte("v"), 0); err != nil {
+	if _, err := old.Put(bg, pid, []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	old.SetDown(true)
@@ -254,10 +254,10 @@ func TestRepairAfterFailoverRestoresReplication(t *testing.T) {
 	if primary, epoch, _ := np.ReplicaRole(pid); !primary || epoch != r.Epoch {
 		t.Fatalf("post-repair role=(%v,%d), route epoch %d", primary, epoch, r.Epoch)
 	}
-	if _, err := np.PutAt(pid, r.Epoch, []byte("k2"), []byte("v2"), 0); err != nil {
+	if _, err := np.PutAt(bg, pid, r.Epoch, []byte("k2"), []byte("v2"), 0); err != nil {
 		t.Fatalf("write after repair: %v", err)
 	}
-	if _, err := np.Get(pid, []byte("k")); err != nil {
+	if _, err := np.Get(bg, pid, []byte("k")); err != nil {
 		t.Fatalf("pre-failure key lost through failover+repair: %v", err)
 	}
 }
@@ -280,7 +280,7 @@ func TestSplitReplicatesMovedKeysToFollowers(t *testing.T) {
 		keys = append(keys, k)
 		route := ten.Table.RouteFor(k)
 		n := nodeByID(t, m, route.Primary)
-		if _, err := n.Put(route.Partition, k, []byte("v"), 0); err != nil {
+		if _, err := n.Put(bg, route.Partition, k, []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -308,7 +308,7 @@ func TestSplitReplicatesMovedKeysToFollowers(t *testing.T) {
 		if !n.Alive() {
 			t.Fatalf("partition %d has no live promoted primary", idx)
 		}
-		if _, err := n.Get(route.Partition, k); err != nil {
+		if _, err := n.Get(bg, route.Partition, k); err != nil {
 			t.Fatalf("key %s unreadable at partition %d primary %s after split+failover: %v",
 				k, idx, route.Primary, err)
 		}
@@ -330,7 +330,7 @@ func TestSplitReplicatesMovedKeysToFollowers(t *testing.T) {
 				if partition.PartitionOf(k, 2) != idx {
 					continue // never lived here
 				}
-				if _, err := n.Get(route.Partition, k); err == nil {
+				if _, err := n.Get(bg, route.Partition, k); err == nil {
 					t.Fatalf("moved key %s still live on source replica %s", k, host)
 				}
 			}
@@ -356,14 +356,14 @@ func TestRepairedFollowerPositionComparable(t *testing.T) {
 	// The stale follower applies the first stretch of writes, then
 	// goes dark and misses the rest.
 	for i := 0; i < 30; i++ {
-		if _, err := primary.Put(pid, []byte(fmt.Sprintf("k%03d", i)), []byte("v"), 0); err != nil {
+		if _, err := primary.Put(bg, pid, []byte(fmt.Sprintf("k%03d", i)), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	m.FlushReplication()
 	stale.SetDown(true)
 	for i := 30; i < 50; i++ {
-		if _, err := primary.Put(pid, []byte(fmt.Sprintf("k%03d", i)), []byte("v"), 0); err != nil {
+		if _, err := primary.Put(bg, pid, []byte(fmt.Sprintf("k%03d", i)), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}

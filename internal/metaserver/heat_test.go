@@ -50,7 +50,7 @@ func hammer(t *testing.T, m *Meta, tenant string, key []byte, ops int) {
 		t.Fatal(err)
 	}
 	for i := 0; i < ops; i++ {
-		if _, err := n.Get(route.Partition, key); err != nil {
+		if _, err := n.Get(bg, route.Partition, key); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,7 +110,7 @@ func putThroughPrimary(m *Meta, tenant string, key []byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = n.Put(route.Partition, key, []byte("v"), 0)
+	_, err = n.Put(bg, route.Partition, key, []byte("v"), 0)
 	return err
 }
 
@@ -145,7 +145,7 @@ func TestMonitorPartitionHeatSplitsAfterSustainedHeat(t *testing.T) {
 	ten, _ := m.Tenant("ht")
 	route := ten.Table.RouteFor(key)
 	n, _ := m.Node(route.Primary)
-	if res, err := n.Get(route.Partition, key); err != nil || string(res.Value) != "v" {
+	if res, err := n.Get(bg, route.Partition, key); err != nil || string(res.Value) != "v" {
 		t.Fatalf("key unreadable after auto split: %v", err)
 	}
 	if split := m.MonitorPartitionHeat(); len(split) != 0 {

@@ -96,7 +96,7 @@ func TestWritesReplicateToFollowers(t *testing.T) {
 	route := ten.Table.Partitions[0]
 	primary, _ := m.Node(route.Primary)
 	pid := partition.ID{Tenant: "t1", Index: 0}
-	if _, err := primary.Put(pid, []byte("k"), []byte("v"), 0); err != nil {
+	if _, err := primary.Put(bg, pid, []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	// Replication is async: poll briefly.
@@ -104,7 +104,7 @@ func TestWritesReplicateToFollowers(t *testing.T) {
 		follower, _ := m.Node(fid)
 		deadline := time.Now().Add(2 * time.Second)
 		for {
-			res, err := follower.Get(pid, []byte("k"))
+			res, err := follower.Get(bg, pid, []byte("k"))
 			if err == nil && string(res.Value) == "v" {
 				break
 			}
@@ -153,7 +153,7 @@ func TestFailNodeRepairsReplicas(t *testing.T) {
 	route := ten.Table.Partitions[0]
 	primary, _ := m.Node(route.Primary)
 	for i := 0; i < 50; i++ {
-		primary.Put(pid, []byte(fmt.Sprintf("k%02d", i)), []byte("v"), 0)
+		primary.Put(bg, pid, []byte(fmt.Sprintf("k%02d", i)), []byte("v"), 0)
 	}
 	time.Sleep(50 * time.Millisecond) // let replication drain
 
@@ -184,7 +184,7 @@ func TestFailNodeRepairsReplicas(t *testing.T) {
 	}
 	// Data must survive on the new primary.
 	newPrimary, _ := m.Node(newRoute.Primary)
-	res, err := newPrimary.Get(pid, []byte("k00"))
+	res, err := newPrimary.Get(bg, pid, []byte("k00"))
 	if err != nil || string(res.Value) != "v" {
 		t.Fatalf("data lost after repair: %q, %v", res.Value, err)
 	}
@@ -205,7 +205,7 @@ func TestSplitTenantPartitionsRehashes(t *testing.T) {
 		key := []byte(fmt.Sprintf("key-%03d", i))
 		route := ten.Table.RouteFor(key)
 		n, _ := m.Node(route.Primary)
-		if _, err := n.Put(route.Partition, key, []byte("v"), 0); err != nil {
+		if _, err := n.Put(bg, route.Partition, key, []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -224,7 +224,7 @@ func TestSplitTenantPartitionsRehashes(t *testing.T) {
 		key := []byte(fmt.Sprintf("key-%03d", i))
 		route := ten2.Table.RouteFor(key)
 		n, _ := m.Node(route.Primary)
-		res, err := n.Get(route.Partition, key)
+		res, err := n.Get(bg, route.Partition, key)
 		if err != nil || string(res.Value) != "v" {
 			t.Fatalf("key %s unreadable after split (partition %v): %v", key, route.Partition, err)
 		}

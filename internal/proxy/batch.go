@@ -11,6 +11,7 @@ package proxy
 // batch.
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -170,10 +171,17 @@ func mapNodeErr(err error) error {
 // that key, or a transport error. AU-LRU hits are served first without
 // consuming quota; the remaining misses are admitted once at the
 // summed RU estimate and fanned out per node.
-func (p *Proxy) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
+func (p *Proxy) BatchGet(ctx context.Context, keys [][]byte) (values [][]byte, errs []error) {
 	start := p.cfg.Clock.Now()
 	values = make([][]byte, len(keys))
 	errs = make([]error, len(keys))
+	// A pre-canceled batch never consumes cache slots, quota, or RU.
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return values, errs
+	}
 	miss := make([]int, 0, len(keys))
 	ests := make([]float64, len(keys))
 	if p.cache != nil {
@@ -215,7 +223,7 @@ func (p *Proxy) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 		runBounded(len(batches), p.fanout(len(pending)), func(bi int) {
 			nb := batches[bi]
 			reported := false
-			results := nb.node.MultiGet(nb.gets)
+			results := nb.node.MultiGet(ctx, nb.gets)
 			for g, res := range results {
 				if res.Err != nil {
 					p.noteBatchNodeErr(nb, res.Err, &reported)
@@ -259,10 +267,16 @@ func (p *Proxy) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 // batchWrite is the shared body of BatchPut and BatchDelete: admit the
 // whole batch once at the summed write cost, then fan out one MultiWrite
 // per owning node.
-func (p *Proxy) batchWrite(keys [][]byte, op func(i int) datanode.WriteOp, cost float64, onOK func(i int)) []error {
+func (p *Proxy) batchWrite(ctx context.Context, keys [][]byte, op func(i int) datanode.WriteOp, cost float64, onOK func(i int)) []error {
 	start := p.cfg.Clock.Now()
 	errs := make([]error, len(keys))
 	if len(keys) == 0 {
+		return errs
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
 		return errs
 	}
 	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
@@ -294,7 +308,7 @@ func (p *Proxy) batchWrite(keys [][]byte, op func(i int) datanode.WriteOp, cost 
 				}
 				puts[g] = datanode.PutBatch{PID: nb.gets[g].PID, Ops: ops, Epoch: nb.epochs[g]}
 			}
-			results := nb.node.MultiWrite(puts)
+			results := nb.node.MultiWrite(ctx, puts)
 			for g, res := range results {
 				if res.Err != nil {
 					p.noteBatchNodeErr(nb, res.Err, &reported)
@@ -335,7 +349,7 @@ func (p *Proxy) batchWrite(keys [][]byte, op func(i int) datanode.WriteOp, cost 
 // BatchPut writes kvs through this proxy, admitting the whole batch
 // once at the summed write cost and fanning one round trip out per
 // owning node. errs is parallel to kvs.
-func (p *Proxy) BatchPut(kvs []KV) []error {
+func (p *Proxy) BatchPut(ctx context.Context, kvs []KV) []error {
 	keys := make([][]byte, len(kvs))
 	var cost float64
 	for i, kv := range kvs {
@@ -348,7 +362,7 @@ func (p *Proxy) BatchPut(kvs []KV) []error {
 			ests[i] = p.touchHot(kv.Key)
 		}
 	}
-	return p.batchWrite(keys,
+	return p.batchWrite(ctx, keys,
 		func(i int) datanode.WriteOp {
 			return datanode.WriteOp{Key: kvs[i].Key, Value: kvs[i].Value, TTL: kvs[i].TTL}
 		},
@@ -368,9 +382,9 @@ func (p *Proxy) BatchPut(kvs []KV) []error {
 
 // BatchDelete removes keys through this proxy with one admission and a
 // per-node fan-out. errs is parallel to keys.
-func (p *Proxy) BatchDelete(keys [][]byte) []error {
+func (p *Proxy) BatchDelete(ctx context.Context, keys [][]byte) []error {
 	cost := ru.WriteRU(0, 3) * float64(len(keys))
-	return p.batchWrite(keys,
+	return p.batchWrite(ctx, keys,
 		func(i int) datanode.WriteOp {
 			return datanode.WriteOp{Key: keys[i], Delete: true}
 		},
@@ -386,10 +400,16 @@ func (p *Proxy) BatchDelete(keys [][]byte) []error {
 // hits answer immediately, and the rest are resolved by the DataNodes'
 // value-free metadata check at a metadata-sized RU cost. exists and
 // errs are parallel to keys.
-func (p *Proxy) BatchExists(keys [][]byte) (exists []bool, errs []error) {
+func (p *Proxy) BatchExists(ctx context.Context, keys [][]byte) (exists []bool, errs []error) {
 	start := p.cfg.Clock.Now()
 	exists = make([]bool, len(keys))
 	errs = make([]error, len(keys))
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return exists, errs
+	}
 	miss := make([]int, 0, len(keys))
 	if p.cache != nil {
 		for i, k := range keys {
@@ -427,7 +447,7 @@ func (p *Proxy) BatchExists(keys [][]byte) (exists []bool, errs []error) {
 		runBounded(len(batches), p.fanout(len(pending)), func(bi int) {
 			nb := batches[bi]
 			reported := false
-			results := nb.node.MultiContains(nb.gets)
+			results := nb.node.MultiContains(ctx, nb.gets)
 			for g, res := range results {
 				if res.Err != nil {
 					p.noteBatchNodeErr(nb, res.Err, &reported)
@@ -505,7 +525,7 @@ func (f *Fleet) assign(keys [][]byte) []*fleetSub {
 // BatchGet reads keys across the fleet: keys group per proxy (one
 // routing decision per group), and each proxy executes its share as a
 // single admitted batch. The returned slices are parallel to keys.
-func (f *Fleet) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
+func (f *Fleet) BatchGet(ctx context.Context, keys [][]byte) (values [][]byte, errs []error) {
 	values = make([][]byte, len(keys))
 	errs = make([]error, len(keys))
 	subs := f.assign(keys)
@@ -515,7 +535,7 @@ func (f *Fleet) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 		for j, i := range sub.idxs {
 			sel[j] = keys[i]
 		}
-		vs, es := sub.proxy.BatchGet(sel)
+		vs, es := sub.proxy.BatchGet(ctx, sel)
 		for j, i := range sub.idxs {
 			values[i], errs[i] = vs[j], es[j]
 		}
@@ -524,7 +544,7 @@ func (f *Fleet) BatchGet(keys [][]byte) (values [][]byte, errs []error) {
 }
 
 // BatchPut writes kvs across the fleet; errs is parallel to kvs.
-func (f *Fleet) BatchPut(kvs []KV) []error {
+func (f *Fleet) BatchPut(ctx context.Context, kvs []KV) []error {
 	errs := make([]error, len(kvs))
 	keys := make([][]byte, len(kvs))
 	for i, kv := range kvs {
@@ -537,7 +557,7 @@ func (f *Fleet) BatchPut(kvs []KV) []error {
 		for j, i := range sub.idxs {
 			sel[j] = kvs[i]
 		}
-		es := sub.proxy.BatchPut(sel)
+		es := sub.proxy.BatchPut(ctx, sel)
 		for j, i := range sub.idxs {
 			errs[i] = es[j]
 		}
@@ -546,7 +566,7 @@ func (f *Fleet) BatchPut(kvs []KV) []error {
 }
 
 // BatchDelete removes keys across the fleet; errs is parallel to keys.
-func (f *Fleet) BatchDelete(keys [][]byte) []error {
+func (f *Fleet) BatchDelete(ctx context.Context, keys [][]byte) []error {
 	errs := make([]error, len(keys))
 	subs := f.assign(keys)
 	runBounded(len(subs), fleetFanout(len(keys), len(subs)), func(si int) {
@@ -555,7 +575,7 @@ func (f *Fleet) BatchDelete(keys [][]byte) []error {
 		for j, i := range sub.idxs {
 			sel[j] = keys[i]
 		}
-		es := sub.proxy.BatchDelete(sel)
+		es := sub.proxy.BatchDelete(ctx, sel)
 		for j, i := range sub.idxs {
 			errs[i] = es[j]
 		}
@@ -565,7 +585,7 @@ func (f *Fleet) BatchDelete(keys [][]byte) []error {
 
 // BatchExists reports key existence across the fleet without value
 // transfer; both slices are parallel to keys.
-func (f *Fleet) BatchExists(keys [][]byte) (exists []bool, errs []error) {
+func (f *Fleet) BatchExists(ctx context.Context, keys [][]byte) (exists []bool, errs []error) {
 	exists = make([]bool, len(keys))
 	errs = make([]error, len(keys))
 	subs := f.assign(keys)
@@ -575,7 +595,7 @@ func (f *Fleet) BatchExists(keys [][]byte) (exists []bool, errs []error) {
 		for j, i := range sub.idxs {
 			sel[j] = keys[i]
 		}
-		ex, es := sub.proxy.BatchExists(sel)
+		ex, es := sub.proxy.BatchExists(ctx, sel)
 		for j, i := range sub.idxs {
 			exists[i], errs[i] = ex[j], es[j]
 		}

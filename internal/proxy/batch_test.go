@@ -13,7 +13,7 @@ func TestProxyBatchPutGetOrder(t *testing.T) {
 	for i := range kvs {
 		kvs[i] = KV{Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte(fmt.Sprintf("v%d", i))}
 	}
-	for i, err := range p.BatchPut(kvs) {
+	for i, err := range p.BatchPut(bg, kvs) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
@@ -23,7 +23,7 @@ func TestProxyBatchPutGetOrder(t *testing.T) {
 		keys = append(keys, []byte(fmt.Sprintf("k%d", i)))
 	}
 	keys = append(keys, []byte("missing"))
-	values, errs := p.BatchGet(keys)
+	values, errs := p.BatchGet(bg, keys)
 	for i := 0; i < 20; i++ {
 		if errs[i] != nil || string(values[i]) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("slot %d = %q, %v", i, values[i], errs[i])
@@ -43,14 +43,14 @@ func TestProxyBatchGetSingleQuotaAdmission(t *testing.T) {
 		kvs[i] = KV{Key: keys[i], Value: []byte("v")}
 	}
 	before, _ := p.limiter.Stats()
-	if errs := p.BatchPut(kvs); errs[0] != nil {
+	if errs := p.BatchPut(bg, kvs); errs[0] != nil {
 		t.Fatal(errs[0])
 	}
 	mid, _ := p.limiter.Stats()
 	if mid-before != 1 {
 		t.Fatalf("16-key BatchPut took %d admissions, want 1", mid-before)
 	}
-	if _, errs := p.BatchGet(keys); errs[0] != nil {
+	if _, errs := p.BatchGet(bg, keys); errs[0] != nil {
 		t.Fatal(errs[0])
 	}
 	after, _ := p.limiter.Stats()
@@ -66,18 +66,18 @@ func TestProxyBatchGetCacheHitsSurviveThrottle(t *testing.T) {
 	// Two accesses cross the hotness-gated admission threshold, so the
 	// second write actually caches the value.
 	for i := 0; i < 2; i++ {
-		if err := p.Put([]byte("hot"), []byte("v"), 0); err != nil {
+		if err := p.Put(bg, []byte("hot"), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	big := bytes.Repeat([]byte("x"), 2048) // 3 RU per write at r=3
 	for i := 0; i < 20; i++ {
-		p.Put([]byte(fmt.Sprintf("w%d", i)), big, 0) // drain quota
+		p.Put(bg, []byte(fmt.Sprintf("w%d", i)), big, 0) // drain quota
 	}
 	// Deterministically empty the bucket below the 1-RU read estimate.
 	for p.limiter.Allow(0.9) {
 	}
-	values, errs := p.BatchGet([][]byte{[]byte("hot"), []byte("cold")})
+	values, errs := p.BatchGet(bg, [][]byte{[]byte("hot"), []byte("cold")})
 	if errs[0] != nil || string(values[0]) != "v" {
 		t.Fatalf("cached slot = %q, %v", values[0], errs[0])
 	}
@@ -88,11 +88,11 @@ func TestProxyBatchGetCacheHitsSurviveThrottle(t *testing.T) {
 
 func TestProxyBatchDeleteAndExists(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
-	p.BatchPut([]KV{
+	p.BatchPut(bg, []KV{
 		{Key: []byte("a"), Value: []byte("1")},
 		{Key: []byte("b"), Value: []byte("2")},
 	})
-	exists, errs := p.BatchExists([][]byte{[]byte("a"), []byte("ghost"), []byte("b")})
+	exists, errs := p.BatchExists(bg, [][]byte{[]byte("a"), []byte("ghost"), []byte("b")})
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("exists %d: %v", i, err)
@@ -101,12 +101,12 @@ func TestProxyBatchDeleteAndExists(t *testing.T) {
 	if !exists[0] || exists[1] || !exists[2] {
 		t.Fatalf("exists = %v", exists)
 	}
-	for i, err := range p.BatchDelete([][]byte{[]byte("a"), []byte("b")}) {
+	for i, err := range p.BatchDelete(bg, [][]byte{[]byte("a"), []byte("b")}) {
 		if err != nil {
 			t.Fatalf("delete %d: %v", i, err)
 		}
 	}
-	if _, err := p.Get([]byte("a")); !errors.Is(err, ErrNotFound) {
+	if _, err := p.Get(bg, []byte("a")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("a survived delete: %v", err)
 	}
 }
@@ -130,27 +130,27 @@ func TestFleetBatchOpsAcrossGroups(t *testing.T) {
 		keys[i] = []byte(fmt.Sprintf("fk%d", i))
 		kvs[i] = KV{Key: keys[i], Value: []byte(fmt.Sprintf("fv%d", i))}
 	}
-	for i, err := range fleet.BatchPut(kvs) {
+	for i, err := range fleet.BatchPut(bg, kvs) {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
-	values, errs := fleet.BatchGet(keys)
+	values, errs := fleet.BatchGet(bg, keys)
 	for i := range keys {
 		if errs[i] != nil || string(values[i]) != fmt.Sprintf("fv%d", i) {
 			t.Fatalf("slot %d = %q, %v", i, values[i], errs[i])
 		}
 	}
-	exists, _ := fleet.BatchExists(append(keys[:4:4], []byte("nope")))
+	exists, _ := fleet.BatchExists(bg, append(keys[:4:4], []byte("nope")))
 	if !exists[0] || !exists[3] || exists[4] {
 		t.Fatalf("exists = %v", exists)
 	}
-	for i, err := range fleet.BatchDelete(keys[:8]) {
+	for i, err := range fleet.BatchDelete(bg, keys[:8]) {
 		if err != nil {
 			t.Fatalf("delete %d: %v", i, err)
 		}
 	}
-	values, errs = fleet.BatchGet(keys[:9])
+	values, errs = fleet.BatchGet(bg, keys[:9])
 	for i := 0; i < 8; i++ {
 		if !errors.Is(errs[i], ErrNotFound) {
 			t.Fatalf("deleted slot %d = %q, %v", i, values[i], errs[i])

@@ -1,0 +1,7 @@
+package proxy
+
+import "context"
+
+// bg is the background context shared by tests that do not exercise
+// cancellation or deadlines.
+var bg = context.Background()

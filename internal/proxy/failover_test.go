@@ -63,7 +63,7 @@ func killPrimary(t *testing.T, m *metaserver.Meta, key []byte) *datanode.Node {
 func TestProxyRetriesAfterFailover(t *testing.T) {
 	m, p := newStack(t, 1e9, nil)
 	key := []byte("failover-key")
-	if err := p.Put(key, []byte("v1"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("v1"), 0); err != nil {
 		t.Fatal(err)
 	}
 	m.FlushReplication()
@@ -75,10 +75,10 @@ func TestProxyRetriesAfterFailover(t *testing.T) {
 	m.ReportNodeSuspect(route.Primary)
 
 	// One client call: internal retry must absorb the dead primary.
-	if err := p.Put(key, []byte("v2"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("v2"), 0); err != nil {
 		t.Fatalf("write after failover should succeed via retry, got %v", err)
 	}
-	got, err := p.Get(key)
+	got, err := p.Get(bg, key)
 	if err != nil || string(got) != "v2" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
@@ -95,7 +95,7 @@ func TestProxyBatchRetriesAfterFailover(t *testing.T) {
 		keys = append(keys, k)
 		kvs = append(kvs, KV{Key: k, Value: []byte("v")})
 	}
-	for _, err := range p.BatchPut(kvs) {
+	for _, err := range p.BatchPut(bg, kvs) {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func TestProxyBatchRetriesAfterFailover(t *testing.T) {
 	dead := killPrimary(t, m, keys[0])
 	m.ReportNodeSuspect(dead.ID()) // probe one; the batch's own report is probe two
 
-	values, errs := p.BatchGet(keys)
+	values, errs := p.BatchGet(bg, keys)
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("key %s failed after failover: %v", keys[i], err)
@@ -122,16 +122,16 @@ func TestProxyBatchRetriesAfterFailover(t *testing.T) {
 func TestFollowerReadsServeDuringOutage(t *testing.T) {
 	m, p := newStack(t, 1e9, func(c *Config) { c.EnableCache = false })
 	key := []byte("follower-key")
-	if err := p.Put(key, []byte("v"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	m.FlushReplication() // the value is on the followers
 	killPrimary(t, m, key)
 
-	if _, err := p.GetPref(key, ReadPrimary); !errors.Is(err, datanode.ErrNodeDown) {
+	if _, err := p.GetPref(bg, key, ReadPrimary); !errors.Is(err, datanode.ErrNodeDown) {
 		t.Fatalf("primary read during outage: err=%v, want ErrNodeDown", err)
 	}
-	got, err := p.GetPref(key, ReadFollower)
+	got, err := p.GetPref(bg, key, ReadFollower)
 	if err != nil || string(got) != "v" {
 		t.Fatalf("follower read during outage = %q, %v", got, err)
 	}
@@ -158,7 +158,7 @@ func TestFollowerReadStalenessBound(t *testing.T) {
 		followers = append(followers, n)
 	}
 	for i := 0; i < 20; i++ {
-		if err := p.Put(key, []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
+		if err := p.Put(bg, key, []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -168,7 +168,7 @@ func TestFollowerReadStalenessBound(t *testing.T) {
 	}
 	// Both followers lag by ~20 > 4: the read must come from the
 	// primary and see the newest value.
-	got, err := p.GetPref(key, ReadFollower)
+	got, err := p.GetPref(bg, key, ReadFollower)
 	if err != nil || string(got) != "v19" {
 		t.Fatalf("lag-bounded follower read = %q, %v (want v19 from primary)", got, err)
 	}
@@ -180,7 +180,7 @@ func TestFollowerReadStalenessBound(t *testing.T) {
 func TestStaleEpochWriteFenced(t *testing.T) {
 	m, p := newStack(t, 1e9, nil)
 	key := []byte("fence-key")
-	if err := p.Put(key, []byte("v"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	route, _ := m.RouteFor("t1", key)
@@ -190,7 +190,7 @@ func TestStaleEpochWriteFenced(t *testing.T) {
 	}
 	// The demoted (still-reachable) primary fences epoch-stamped and
 	// plain writes alike.
-	if _, err := old.PutAt(route.Partition, route.Epoch, key, []byte("stale"), 0); !errorsIsAny(err, datanode.ErrNotPrimary, datanode.ErrStaleEpoch) {
+	if _, err := old.PutAt(bg, route.Partition, route.Epoch, key, []byte("stale"), 0); !errorsIsAny(err, datanode.ErrNotPrimary, datanode.ErrStaleEpoch) {
 		t.Fatalf("stale-epoch write at demoted primary: err=%v", err)
 	}
 	if !retryableRouteErr(datanode.ErrNotPrimary) || !retryableRouteErr(datanode.ErrStaleEpoch) {
@@ -198,7 +198,7 @@ func TestStaleEpochWriteFenced(t *testing.T) {
 	}
 	// The proxy's own path still works (retry redirects to the new
 	// primary).
-	if err := p.Put(key, []byte("v2"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("v2"), 0); err != nil {
 		t.Fatalf("proxy write after demotion: %v", err)
 	}
 }
@@ -225,7 +225,7 @@ func TestRoutingRaceFailoverSplitScan(t *testing.T) {
 		keys = append(keys, k)
 		kvs = append(kvs, KV{Key: k, Value: []byte("v")})
 	}
-	for _, err := range p.BatchPut(kvs) {
+	for _, err := range p.BatchPut(bg, kvs) {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,7 +249,7 @@ func TestRoutingRaceFailoverSplitScan(t *testing.T) {
 				return
 			default:
 			}
-			values, errs := p.BatchGet(keys)
+			values, errs := p.BatchGet(bg, keys)
 			for i := range errs {
 				if errs[i] == nil && string(values[i]) != "v" {
 					t.Errorf("key %s corrupted: %q", keys[i], values[i])
@@ -272,7 +272,7 @@ func TestRoutingRaceFailoverSplitScan(t *testing.T) {
 			}
 			cursor := ""
 			for pages := 0; pages < 10_000; pages++ {
-				page, err := p.Scan(cursor, ScanOptions{Count: 64, KeysOnly: true})
+				page, err := p.Scan(bg, cursor, ScanOptions{Count: 64, KeysOnly: true})
 				if err != nil {
 					break // transient mid-failover error: restart traversal
 				}
@@ -306,7 +306,7 @@ func TestRoutingRaceFailoverSplitScan(t *testing.T) {
 
 	// After the dust settles: no lost keys (point reads)...
 	for _, k := range keys {
-		if v, err := p.Get(k); err != nil || string(v) != "v" {
+		if v, err := p.Get(bg, k); err != nil || string(v) != "v" {
 			t.Fatalf("key %s lost after chaos: %q, %v", k, v, err)
 		}
 	}
@@ -317,7 +317,7 @@ func TestRoutingRaceFailoverSplitScan(t *testing.T) {
 		if pages > 10_000 {
 			t.Fatal("cursor did not terminate")
 		}
-		page, err := p.Scan(cursor, ScanOptions{Count: 64, KeysOnly: true})
+		page, err := p.Scan(bg, cursor, ScanOptions{Count: 64, KeysOnly: true})
 		if err != nil {
 			t.Fatal(err)
 		}

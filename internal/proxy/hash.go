@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 
 	"abase/internal/datanode"
@@ -23,17 +24,20 @@ func (p *Proxy) allowComplex() bool {
 type FieldValue = datanode.FieldValue
 
 // HSet sets field=value in the hash at key.
-func (p *Proxy) HSet(key []byte, field string, value []byte) (int, error) {
-	return p.HSetMulti(key, []FieldValue{{Field: field, Value: value}})
+func (p *Proxy) HSet(ctx context.Context, key []byte, field string, value []byte) (int, error) {
+	return p.HSetMulti(ctx, key, []FieldValue{{Field: field, Value: value}})
 }
 
 // HSetMulti sets every field/value pair in one admission and ONE
 // DataNode round trip — the whole command is a single read-modify-write
 // on the node instead of one per pair. It returns how many fields were
 // new.
-func (p *Proxy) HSetMulti(key []byte, fvs []FieldValue) (int, error) {
+func (p *Proxy) HSetMulti(ctx context.Context, key []byte, fvs []FieldValue) (int, error) {
 	if len(fvs) == 0 {
 		return 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	// One read of the hash plus one write per command; charge the write
 	// at the summed payload size.
@@ -46,13 +50,13 @@ func (p *Proxy) HSetMulti(key []byte, fvs []FieldValue) (int, error) {
 		return 0, ErrThrottled
 	}
 	var added int
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		var err error
-		added, err = node.HSetMulti(route.Partition, key, fvs)
+		added, err = node.HSetMulti(ctx, route.Partition, key, fvs)
 		return err
 	})
 	if err != nil {
-		p.errors.Inc()
+		p.noteFailure(err)
 		return 0, err
 	}
 	if p.cache != nil {
@@ -63,15 +67,18 @@ func (p *Proxy) HSetMulti(key []byte, fvs []FieldValue) (int, error) {
 }
 
 // HGet returns the value of field in the hash at key.
-func (p *Proxy) HGet(key []byte, field string) ([]byte, error) {
+func (p *Proxy) HGet(ctx context.Context, key []byte, field string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.cfg.EnableQuota && !p.limiter.Allow(p.est.EstimateReadRU()) {
 		p.rejected.Inc()
 		return nil, ErrThrottled
 	}
 	var v []byte
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		var err error
-		v, err = node.HGet(route.Partition, key, field)
+		v, err = node.HGet(ctx, route.Partition, key, field)
 		return err
 	})
 	if err != nil {
@@ -79,7 +86,7 @@ func (p *Proxy) HGet(key []byte, field string) ([]byte, error) {
 			p.errors.Inc()
 			return nil, ErrNotFound
 		}
-		p.errors.Inc()
+		p.noteFailure(err)
 		return nil, err
 	}
 	p.success.Inc()
@@ -87,19 +94,22 @@ func (p *Proxy) HGet(key []byte, field string) ([]byte, error) {
 }
 
 // HLen returns the number of fields in the hash at key.
-func (p *Proxy) HLen(key []byte) (int, error) {
+func (p *Proxy) HLen(ctx context.Context, key []byte) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if !p.allowComplex() {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
 	var n int
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		var err error
-		n, err = node.HLen(route.Partition, key)
+		n, err = node.HLen(ctx, route.Partition, key)
 		return err
 	})
 	if err != nil {
-		p.errors.Inc()
+		p.noteFailure(err)
 		return 0, err
 	}
 	p.success.Inc()
@@ -107,19 +117,22 @@ func (p *Proxy) HLen(key []byte) (int, error) {
 }
 
 // HGetAll returns every field and value of the hash at key.
-func (p *Proxy) HGetAll(key []byte) (map[string][]byte, error) {
+func (p *Proxy) HGetAll(ctx context.Context, key []byte) (map[string][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !p.allowComplex() {
 		p.rejected.Inc()
 		return nil, ErrThrottled
 	}
 	var m map[string][]byte
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		var err error
-		m, err = node.HGetAll(route.Partition, key)
+		m, err = node.HGetAll(ctx, route.Partition, key)
 		return err
 	})
 	if err != nil {
-		p.errors.Inc()
+		p.noteFailure(err)
 		return nil, err
 	}
 	p.success.Inc()
@@ -127,19 +140,22 @@ func (p *Proxy) HGetAll(key []byte) (map[string][]byte, error) {
 }
 
 // HDel removes fields from the hash at key.
-func (p *Proxy) HDel(key []byte, fields ...string) (int, error) {
+func (p *Proxy) HDel(ctx context.Context, key []byte, fields ...string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if !p.allowComplex() {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
 	var n int
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		var err error
-		n, err = node.HDel(route.Partition, key, fields...)
+		n, err = node.HDel(ctx, route.Partition, key, fields...)
 		return err
 	})
 	if err != nil {
-		p.errors.Inc()
+		p.noteFailure(err)
 		return 0, err
 	}
 	if p.cache != nil {
@@ -152,29 +168,31 @@ func (p *Proxy) HDel(key []byte, fields ...string) (int, error) {
 // Fleet hash forwarding: route by key, then delegate.
 
 // HSet routes and sets a hash field.
-func (f *Fleet) HSet(key []byte, field string, value []byte) (int, error) {
-	return f.Route(key).HSet(key, field, value)
+func (f *Fleet) HSet(ctx context.Context, key []byte, field string, value []byte) (int, error) {
+	return f.Route(key).HSet(ctx, key, field, value)
 }
 
 // HSetMulti routes and sets several hash fields as one admission.
-func (f *Fleet) HSetMulti(key []byte, fvs []FieldValue) (int, error) {
-	return f.Route(key).HSetMulti(key, fvs)
+func (f *Fleet) HSetMulti(ctx context.Context, key []byte, fvs []FieldValue) (int, error) {
+	return f.Route(key).HSetMulti(ctx, key, fvs)
 }
 
 // HGet routes and reads a hash field.
-func (f *Fleet) HGet(key []byte, field string) ([]byte, error) {
-	return f.Route(key).HGet(key, field)
+func (f *Fleet) HGet(ctx context.Context, key []byte, field string) ([]byte, error) {
+	return f.Route(key).HGet(ctx, key, field)
 }
 
 // HLen routes and returns a hash's field count.
-func (f *Fleet) HLen(key []byte) (int, error) { return f.Route(key).HLen(key) }
+func (f *Fleet) HLen(ctx context.Context, key []byte) (int, error) {
+	return f.Route(key).HLen(ctx, key)
+}
 
 // HGetAll routes and returns a hash's full contents.
-func (f *Fleet) HGetAll(key []byte) (map[string][]byte, error) {
-	return f.Route(key).HGetAll(key)
+func (f *Fleet) HGetAll(ctx context.Context, key []byte) (map[string][]byte, error) {
+	return f.Route(key).HGetAll(ctx, key)
 }
 
 // HDel routes and deletes hash fields.
-func (f *Fleet) HDel(key []byte, fields ...string) (int, error) {
-	return f.Route(key).HDel(key, fields...)
+func (f *Fleet) HDel(ctx context.Context, key []byte, fields ...string) (int, error) {
+	return f.Route(key).HDel(ctx, key, fields...)
 }

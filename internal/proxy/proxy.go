@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -120,6 +121,7 @@ type Proxy struct {
 	windowRU metrics.Gauge
 	success  metrics.Counter
 	rejected metrics.Counter
+	shed     metrics.Counter
 	errors   metrics.Counter
 	hits     metrics.Counter
 	misses   metrics.Counter
@@ -256,7 +258,7 @@ func (p *Proxy) refreshFromOrigin(key string) ([]byte, bool) {
 	if err != nil {
 		return nil, false
 	}
-	res, err := node.Get(pid, []byte(key))
+	res, err := node.Get(context.Background(), pid, []byte(key))
 	if err != nil || res.ExpireAt != 0 {
 		return nil, false
 	}
@@ -288,7 +290,7 @@ func (p *Proxy) maxFollowerLag() uint64 {
 // should read the primary. When the primary is unreachable the
 // staleness bound is waived: during a failover window a bounded-stale
 // answer is exactly what follower reads are for.
-func (p *Proxy) followerRead(route partition.Route, key []byte) (res datanode.OpResult, err error, served bool) {
+func (p *Proxy) followerRead(ctx context.Context, route partition.Route, key []byte) (res datanode.OpResult, err error, served bool) {
 	var primaryPos uint64
 	primaryAlive := false
 	if pn, nerr := p.cfg.Meta.Node(route.Primary); nerr == nil && pn.Alive() {
@@ -306,7 +308,7 @@ func (p *Proxy) followerRead(route partition.Route, key []byte) (res datanode.Op
 				continue // too stale; next candidate
 			}
 		}
-		res, err = fn.Get(route.Partition, key)
+		res, err = fn.Get(ctx, route.Partition, key)
 		if retryableRouteErr(err) {
 			continue // raced a failure; next candidate
 		}
@@ -317,16 +319,38 @@ func (p *Proxy) followerRead(route partition.Route, key []byte) (res datanode.Op
 	return datanode.OpResult{}, nil, false
 }
 
+// noteFailure classifies a data-plane failure into the proxy's
+// counters: a deadline shed means the node refused doomed work (its
+// own counter), and a context abort means the caller withdrew — only
+// everything else is a service error.
+func (p *Proxy) noteFailure(err error) {
+	switch {
+	case errors.Is(err, datanode.ErrDeadlineShed):
+		p.shed.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The caller's budget ran out; nothing here failed.
+	default:
+		p.errors.Inc()
+	}
+}
+
 // Get reads key. Proxy cache hits return immediately without consuming
 // any quota (§4.2); misses are admitted by the proxy limiter and routed
 // to the primary DataNode.
-func (p *Proxy) Get(key []byte) ([]byte, error) { return p.GetPref(key, ReadPrimary) }
+func (p *Proxy) Get(ctx context.Context, key []byte) ([]byte, error) {
+	return p.GetPref(ctx, key, ReadPrimary)
+}
 
 // GetPref is Get with an explicit read preference: ReadFollower lets a
 // live, staleness-bounded follower serve the read (and keeps the key
 // readable while its primary is down), falling back to the primary
 // when no follower qualifies.
-func (p *Proxy) GetPref(key []byte, pref ReadPreference) ([]byte, error) {
+func (p *Proxy) GetPref(ctx context.Context, key []byte, pref ReadPreference) ([]byte, error) {
+	// A context that is already done never touches the cache, the
+	// quota, or the data plane: doomed requests are shed at the door.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := p.cfg.Clock.Now()
 	var est float64
 	if p.cache != nil {
@@ -345,15 +369,15 @@ func (p *Proxy) GetPref(key []byte, pref ReadPreference) ([]byte, error) {
 		return nil, ErrThrottled
 	}
 	var value []byte
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		fromFollower := false
 		var res datanode.OpResult
 		var err error
 		if pref == ReadFollower {
-			res, err, fromFollower = p.followerRead(route, key)
+			res, err, fromFollower = p.followerRead(ctx, route, key)
 		}
 		if !fromFollower {
-			res, err = node.Get(route.Partition, key)
+			res, err = node.Get(ctx, route.Partition, key)
 		}
 		if err != nil {
 			return err
@@ -378,7 +402,7 @@ func (p *Proxy) GetPref(key []byte, pref ReadPreference) ([]byte, error) {
 			p.errors.Inc()
 			return nil, ErrNotFound
 		}
-		p.errors.Inc()
+		p.noteFailure(err)
 		return nil, err
 	}
 	p.success.Inc()
@@ -387,7 +411,10 @@ func (p *Proxy) GetPref(key []byte, pref ReadPreference) ([]byte, error) {
 }
 
 // Put writes key=value with an optional TTL through the proxy quota.
-func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
+func (p *Proxy) Put(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	start := p.cfg.Clock.Now()
 	var est float64
 	if p.cache != nil {
@@ -398,8 +425,8 @@ func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 		p.rejected.Inc()
 		return ErrThrottled
 	}
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
-		res, err := node.PutAt(route.Partition, route.Epoch, key, value, ttl)
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
+		res, err := node.PutAt(ctx, route.Partition, route.Epoch, key, value, ttl)
 		if err != nil {
 			return err
 		}
@@ -407,7 +434,7 @@ func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 		return nil
 	})
 	if err != nil {
-		p.errors.Inc()
+		p.noteFailure(err)
 		return err
 	}
 	// Write-through for TTL-free values (hotness-gated for cold keys);
@@ -425,15 +452,97 @@ func (p *Proxy) Put(key, value []byte, ttl time.Duration) error {
 	return nil
 }
 
+// PutOptions are the typed per-op options of a conditional write
+// (re-exported from the data plane).
+type PutOptions = datanode.PutOptions
+
+// Conditional-write predicates (re-exported from the data plane).
+const (
+	// CondNone writes unconditionally.
+	CondNone = datanode.CondNone
+	// CondNX writes only when the key does not already exist.
+	CondNX = datanode.CondNX
+	// CondXX writes only when the key already exists.
+	CondXX = datanode.CondXX
+)
+
+// SetResult reports one conditional write through the proxy.
+type SetResult struct {
+	// Written reports whether the write was applied; false means the
+	// NX/XX condition was not met (not an error).
+	Written bool
+	// Old is the key's previous value (populated only when
+	// PutOptions.ReturnOld was set).
+	Old []byte
+	// OldExists reports whether the key existed before the write.
+	OldExists bool
+}
+
+// PutWith is the conditional form of Put (Redis SET NX/XX/KEEPTTL/GET):
+// one proxy admission charged as a read-modify-write, one DataNode
+// round trip that probes, evaluates, and writes atomically on the
+// primary, replicated like any write.
+func (p *Proxy) PutWith(ctx context.Context, key, value []byte, opts PutOptions) (SetResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SetResult{}, err
+	}
+	start := p.cfg.Clock.Now()
+	var est float64
+	if p.cache != nil {
+		est = p.touchHot(key) // writes count toward hotness too
+	}
+	cost := p.est.EstimateReadRU() + ru.WriteRU(len(value), 3)
+	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
+		p.rejected.Inc()
+		return SetResult{}, ErrThrottled
+	}
+	var res datanode.PutResult
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
+		var err error
+		res, err = node.PutWith(ctx, route.Partition, route.Epoch, key, value, opts)
+		if err != nil {
+			return err
+		}
+		p.windowRU.Add(res.RU)
+		return nil
+	})
+	if err != nil {
+		p.noteFailure(err)
+		return SetResult{}, err
+	}
+	if p.cache != nil {
+		switch {
+		case !res.Written:
+			// The stored value is unchanged; the cache stays as it is.
+		case res.Expiring:
+			// Expiring values never live in the AU-LRU (see Put).
+			p.cache.Delete(string(key))
+		default:
+			p.cacheWriteThrough(key, value, est)
+		}
+	}
+	p.success.Inc()
+	p.latency.Observe(p.cfg.Clock.Since(start))
+	return SetResult{Written: res.Written, Old: res.Old, OldExists: res.OldExists}, nil
+}
+
+// PutWith routes and conditionally writes key (Redis SET options).
+func (f *Fleet) PutWith(ctx context.Context, key, value []byte, opts PutOptions) (SetResult, error) {
+	return f.Route(key).PutWith(ctx, key, value, opts)
+}
+
 // Delete removes key, returning ErrNotFound for absent keys.
-func (p *Proxy) Delete(key []byte) error {
+func (p *Proxy) Delete(ctx context.Context, key []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	cost := ru.WriteRU(0, 3)
 	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
 		p.rejected.Inc()
 		return ErrThrottled
 	}
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
-		_, err := node.DeleteAt(route.Partition, route.Epoch, key)
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
+		_, err := node.DeleteAt(ctx, route.Partition, route.Epoch, key)
 		return err
 	})
 	if err != nil {
@@ -446,7 +555,7 @@ func (p *Proxy) Delete(key []byte) error {
 			}
 			return ErrNotFound
 		}
-		p.errors.Inc()
+		p.noteFailure(err)
 		return err
 	}
 	if p.cache != nil {
@@ -480,8 +589,11 @@ func (p *Proxy) WindowRU() float64 {
 
 // Stats is a snapshot of proxy counters.
 type Stats struct {
-	Success    int64
-	Rejected   int64
+	Success  int64
+	Rejected int64
+	// Shed counts requests the data plane refused via deadline-aware
+	// admission shedding (remaining budget below estimated queue wait).
+	Shed       int64
 	Errors     int64
 	CacheHits  int64
 	CacheMiss  int64
@@ -502,6 +614,7 @@ func (p *Proxy) Stats() Stats {
 	return Stats{
 		Success:    p.success.Value(),
 		Rejected:   p.rejected.Value(),
+		Shed:       p.shed.Value(),
 		Errors:     p.errors.Value(),
 		CacheHits:  p.hits.Value(),
 		CacheMiss:  p.misses.Value(),
@@ -513,6 +626,7 @@ func (p *Proxy) Stats() Stats {
 func (p *Proxy) ResetStats() {
 	p.success.Reset()
 	p.rejected.Reset()
+	p.shed.Reset()
 	p.errors.Reset()
 	p.hits.Reset()
 	p.misses.Reset()
@@ -578,21 +692,23 @@ func (f *Fleet) Route(key []byte) *Proxy {
 }
 
 // Get routes and reads key.
-func (f *Fleet) Get(key []byte) ([]byte, error) { return f.Route(key).Get(key) }
+func (f *Fleet) Get(ctx context.Context, key []byte) ([]byte, error) {
+	return f.Route(key).Get(ctx, key)
+}
 
 // GetPref routes and reads key with an explicit read preference
 // (ReadFollower enables staleness-bounded follower reads).
-func (f *Fleet) GetPref(key []byte, pref ReadPreference) ([]byte, error) {
-	return f.Route(key).GetPref(key, pref)
+func (f *Fleet) GetPref(ctx context.Context, key []byte, pref ReadPreference) ([]byte, error) {
+	return f.Route(key).GetPref(ctx, key, pref)
 }
 
 // Put routes and writes key.
-func (f *Fleet) Put(key, value []byte, ttl time.Duration) error {
-	return f.Route(key).Put(key, value, ttl)
+func (f *Fleet) Put(ctx context.Context, key, value []byte, ttl time.Duration) error {
+	return f.Route(key).Put(ctx, key, value, ttl)
 }
 
 // Delete routes and deletes key.
-func (f *Fleet) Delete(key []byte) error { return f.Route(key).Delete(key) }
+func (f *Fleet) Delete(ctx context.Context, key []byte) error { return f.Route(key).Delete(ctx, key) }
 
 // Proxies returns all proxies in the fleet.
 func (f *Fleet) Proxies() []*Proxy { return f.proxies }
@@ -607,6 +723,7 @@ func (f *Fleet) AggregateStats() Stats {
 		s := p.Stats()
 		out.Success += s.Success
 		out.Rejected += s.Rejected
+		out.Shed += s.Shed
 		out.Errors += s.Errors
 		out.CacheHits += s.CacheHits
 		out.CacheMiss += s.CacheMiss
@@ -626,18 +743,21 @@ func (f *Fleet) ResetStats() {
 
 // TTL returns key's remaining time-to-live; hasTTL is false for keys
 // stored without an expiry.
-func (p *Proxy) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
+func (p *Proxy) TTL(ctx context.Context, key []byte) (ttl time.Duration, hasTTL bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, false, err
+	}
 	var found bool
-	err = p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err = p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		var err error
-		ttl, found, err = node.TTL(route.Partition, key)
+		ttl, found, err = node.TTL(ctx, route.Partition, key)
 		return err
 	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			return 0, false, ErrNotFound
 		}
-		p.errors.Inc()
+		p.noteFailure(err)
 		return 0, false, err
 	}
 	p.success.Inc()
@@ -645,7 +765,10 @@ func (p *Proxy) TTL(key []byte) (ttl time.Duration, hasTTL bool, err error) {
 }
 
 // Expire sets key's TTL through the proxy quota.
-func (p *Proxy) Expire(key []byte, ttl time.Duration) error {
+func (p *Proxy) Expire(ctx context.Context, key []byte, ttl time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// The node rewrites the record to apply the TTL: charge a read
 	// plus a replicated write at the expected value size, like any
 	// other read-modify-write (see HSetMulti).
@@ -654,14 +777,14 @@ func (p *Proxy) Expire(key []byte, ttl time.Duration) error {
 		p.rejected.Inc()
 		return ErrThrottled
 	}
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
-		return node.Expire(route.Partition, key, ttl)
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
+		return node.Expire(ctx, route.Partition, key, ttl)
 	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			return ErrNotFound
 		}
-		p.errors.Inc()
+		p.noteFailure(err)
 		return err
 	}
 	if p.cache != nil {
@@ -673,7 +796,10 @@ func (p *Proxy) Expire(key []byte, ttl time.Duration) error {
 
 // Persist removes key's TTL through the proxy quota, reporting whether
 // an expiry was removed (false for keys stored without one).
-func (p *Proxy) Persist(key []byte) (bool, error) {
+func (p *Proxy) Persist(ctx context.Context, key []byte) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	// Removing a TTL rewrites and re-replicates the value: admission
 	// must charge the write, not just the read (see Expire).
 	cost := p.est.EstimateReadRU() + ru.WriteRU(int(p.est.ExpectedReadSize()), 3)
@@ -682,16 +808,16 @@ func (p *Proxy) Persist(key []byte) (bool, error) {
 		return false, ErrThrottled
 	}
 	var removed bool
-	err := p.withRoute(key, func(node *datanode.Node, route partition.Route) error {
+	err := p.withRoute(ctx, key, func(node *datanode.Node, route partition.Route) error {
 		var err error
-		removed, err = node.Persist(route.Partition, key)
+		removed, err = node.Persist(ctx, route.Partition, key)
 		return err
 	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			return false, ErrNotFound
 		}
-		p.errors.Inc()
+		p.noteFailure(err)
 		return false, err
 	}
 	p.success.Inc()
@@ -710,7 +836,7 @@ type HotKey struct {
 // and the merged list is returned hottest first, trimmed to k (k <= 0
 // uses 10). This is the admin/observability path behind the HOTKEYS
 // command; it bypasses quota like other control traffic.
-func (p *Proxy) HotKeys(k int) ([]HotKey, error) {
+func (p *Proxy) HotKeys(ctx context.Context, k int) ([]HotKey, error) {
 	if k <= 0 {
 		k = 10
 	}
@@ -720,6 +846,10 @@ func (p *Proxy) HotKeys(k int) ([]HotKey, error) {
 	}
 	var merged []hotspot.HotKey
 	for idx := 0; idx < parts; idx++ {
+		// The per-partition fan-out honors cancellation between stops.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		route, err := p.cfg.Meta.RouteForIndex(p.cfg.Tenant, idx)
 		if err != nil {
 			continue // racing split/repair; partial data is fine here
@@ -751,13 +881,19 @@ func (p *Proxy) HotKeys(k int) ([]HotKey, error) {
 }
 
 // TTL routes and queries a key's TTL.
-func (f *Fleet) TTL(key []byte) (time.Duration, bool, error) { return f.Route(key).TTL(key) }
+func (f *Fleet) TTL(ctx context.Context, key []byte) (time.Duration, bool, error) {
+	return f.Route(key).TTL(ctx, key)
+}
 
 // Expire routes and sets a key's TTL.
-func (f *Fleet) Expire(key []byte, ttl time.Duration) error { return f.Route(key).Expire(key, ttl) }
+func (f *Fleet) Expire(ctx context.Context, key []byte, ttl time.Duration) error {
+	return f.Route(key).Expire(ctx, key, ttl)
+}
 
 // Persist routes and removes a key's TTL.
-func (f *Fleet) Persist(key []byte) (bool, error) { return f.Route(key).Persist(key) }
+func (f *Fleet) Persist(ctx context.Context, key []byte) (bool, error) {
+	return f.Route(key).Persist(ctx, key)
+}
 
 // LocalHotKeys returns this proxy's own admission-sketch top-k. Unlike
 // the data-plane sketches it sees every access — including the cache
@@ -783,11 +919,11 @@ func (p *Proxy) LocalHotKeys(k int) []hotspot.HotKey {
 // estimate wins; both decay with the same default window, so the
 // counts compare on a common scale (deployments overriding HotWindow
 // asymmetrically skew the merge toward the longer window).
-func (f *Fleet) HotKeys(k int) ([]HotKey, error) {
+func (f *Fleet) HotKeys(ctx context.Context, k int) ([]HotKey, error) {
 	if k <= 0 {
 		k = 10
 	}
-	nodeTop, err := f.proxies[0].HotKeys(k)
+	nodeTop, err := f.proxies[0].HotKeys(ctx, k)
 	if err != nil {
 		return nil, err
 	}

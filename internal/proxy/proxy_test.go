@@ -51,10 +51,10 @@ func newStack(t *testing.T, quotaRU float64, cfgMut func(*Config)) (*metaserver.
 
 func TestProxyPutGet(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
-	if err := p.Put([]byte("k"), []byte("v"), 0); err != nil {
+	if err := p.Put(bg, []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := p.Get([]byte("k"))
+	v, err := p.Get(bg, []byte("k"))
 	if err != nil || string(v) != "v" {
 		t.Fatalf("Get = %q, %v", v, err)
 	}
@@ -62,18 +62,18 @@ func TestProxyPutGet(t *testing.T) {
 
 func TestProxyGetMissing(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
-	if _, err := p.Get([]byte("ghost")); !errors.Is(err, ErrNotFound) {
+	if _, err := p.Get(bg, []byte("ghost")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestProxyDelete(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
-	p.Put([]byte("k"), []byte("v"), 0)
-	if err := p.Delete([]byte("k")); err != nil {
+	p.Put(bg, []byte("k"), []byte("v"), 0)
+	if err := p.Delete(bg, []byte("k")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+	if _, err := p.Get(bg, []byte("k")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("after delete: %v", err)
 	}
 }
@@ -82,21 +82,21 @@ func TestProxyCacheHitsSkipQuota(t *testing.T) {
 	// Tiny quota: after it drains, cached reads must still succeed
 	// because proxy cache hits bypass the limiter (§4.2).
 	_, p := newStack(t, 5, nil)
-	if err := p.Put([]byte("hot"), []byte("v"), 0); err != nil {
+	if err := p.Put(bg, []byte("hot"), []byte("v"), 0); err != nil {
 		t.Fatal(err) // first write fits in the initial burst
 	}
 	// Warm the proxy cache: the Put was the key's first access and the
 	// hotness gate admits on the second, so this Get fetches from the
 	// node and caches the value.
-	if _, err := p.Get([]byte("hot")); err != nil {
+	if _, err := p.Get(bg, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
 	// Drain the quota with writes until throttled.
 	for i := 0; i < 100; i++ {
-		p.Put([]byte(fmt.Sprintf("w%d", i)), []byte("v"), 0)
+		p.Put(bg, []byte(fmt.Sprintf("w%d", i)), []byte("v"), 0)
 	}
 	for i := 0; i < 50; i++ {
-		if _, err := p.Get([]byte("hot")); err != nil {
+		if _, err := p.Get(bg, []byte("hot")); err != nil {
 			t.Fatalf("cached read throttled: %v", err)
 		}
 	}
@@ -109,7 +109,7 @@ func TestProxyThrottlesBeyondQuota(t *testing.T) {
 	_, p := newStack(t, 10, func(c *Config) { c.EnableCache = false })
 	throttled := 0
 	for i := 0; i < 200; i++ {
-		err := p.Put([]byte("k"), make([]byte, 2048), 0)
+		err := p.Put(bg, []byte("k"), make([]byte, 2048), 0)
 		if errors.Is(err, ErrThrottled) {
 			throttled++
 		}
@@ -125,7 +125,7 @@ func TestProxyThrottlesBeyondQuota(t *testing.T) {
 func TestProxyQuotaDisabled(t *testing.T) {
 	_, p := newStack(t, 1, func(c *Config) { c.EnableQuota = false; c.EnableCache = false })
 	for i := 0; i < 50; i++ {
-		if err := p.Put([]byte("k"), []byte("v"), 0); err != nil {
+		if err := p.Put(bg, []byte("k"), []byte("v"), 0); err != nil {
 			t.Fatalf("unexpected throttle: %v", err)
 		}
 	}
@@ -148,7 +148,7 @@ func TestProxyRestrictRelaxFromMeta(t *testing.T) {
 
 func TestWindowRUResets(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
-	p.Put([]byte("k"), make([]byte, 2048), 0)
+	p.Put(bg, []byte("k"), make([]byte, 2048), 0)
 	first := p.WindowRU()
 	if first <= 0 {
 		t.Fatalf("WindowRU = %v", first)
@@ -160,8 +160,8 @@ func TestWindowRUResets(t *testing.T) {
 
 func TestProxyStatsReset(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
-	p.Put([]byte("k"), []byte("v"), 0)
-	p.Get([]byte("k"))
+	p.Put(bg, []byte("k"), []byte("v"), 0)
+	p.Get(bg, []byte("k"))
 	if p.Stats().Success == 0 {
 		t.Fatal("no successes")
 	}
@@ -202,10 +202,10 @@ func TestFleetRoutesConsistently(t *testing.T) {
 	}
 
 	// End-to-end through the fleet.
-	if err := f.Put([]byte("k"), []byte("v"), 0); err != nil {
+	if err := f.Put(bg, []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
-	v, err := f.Get([]byte("k"))
+	v, err := f.Get(bg, []byte("k"))
 	if err != nil || string(v) != "v" {
 		t.Fatalf("fleet Get = %q, %v", v, err)
 	}
@@ -249,13 +249,13 @@ func TestNewProxyRequiresMeta(t *testing.T) {
 func TestHotGateAdmitsOnSecondAccess(t *testing.T) {
 	_, p := newStack(t, 1e9, nil)
 	key := []byte("maybe-hot")
-	if err := p.Put(key, []byte("v1"), 0); err != nil { // first access
+	if err := p.Put(bg, key, []byte("v1"), 0); err != nil { // first access
 		t.Fatal(err)
 	}
 	if _, ok := p.cache.Get(string(key)); ok {
 		t.Fatal("cold key cached on first access")
 	}
-	if _, err := p.Get(key); err != nil { // second access crosses the gate
+	if _, err := p.Get(bg, key); err != nil { // second access crosses the gate
 		t.Fatal(err)
 	}
 	if v, ok := p.cache.Get(string(key)); !ok || string(v) != "v1" {
@@ -268,7 +268,7 @@ func TestHotGateAdmitsOnSecondAccess(t *testing.T) {
 func TestHotGateDisabledCachesEverything(t *testing.T) {
 	_, p := newStack(t, 1e9, func(c *Config) { c.HotAdmitThreshold = -1 })
 	key := []byte("one-shot")
-	if err := p.Put(key, []byte("v"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := p.cache.Get(string(key)); !ok {
@@ -283,10 +283,10 @@ func TestHotGateDisabledCachesEverything(t *testing.T) {
 func TestHotAdmissionRacingInvalidation(t *testing.T) {
 	_, p := newStack(t, 1e9, nil)
 	key := []byte("contested")
-	if err := p.Put(key, []byte("v0"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("v0"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Get(key); err != nil { // cross the gate: now cached
+	if _, err := p.Get(bg, key); err != nil { // cross the gate: now cached
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -297,11 +297,11 @@ func TestHotAdmissionRacingInvalidation(t *testing.T) {
 			for i := 0; i < 100; i++ {
 				switch (w + i) % 3 {
 				case 0:
-					p.Put(key, []byte(fmt.Sprintf("v-%d-%d", w, i)), 0)
+					p.Put(bg, key, []byte(fmt.Sprintf("v-%d-%d", w, i)), 0)
 				case 1:
-					p.Get(key)
+					p.Get(bg, key)
 				case 2:
-					p.Delete(key)
+					p.Delete(bg, key)
 				}
 			}
 		}(w)
@@ -309,10 +309,10 @@ func TestHotAdmissionRacingInvalidation(t *testing.T) {
 	wg.Wait()
 	// Sequential convergence: the last write must be what both the
 	// store and any surviving cache entry serve.
-	if err := p.Put(key, []byte("final"), 0); err != nil {
+	if err := p.Put(bg, key, []byte("final"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if v, err := p.Get(key); err != nil || string(v) != "final" {
+	if v, err := p.Get(bg, key); err != nil || string(v) != "final" {
 		t.Fatalf("Get after race = %q, %v", v, err)
 	}
 	if v, ok := p.cache.Get(string(key)); ok && string(v) != "final" {
@@ -326,20 +326,20 @@ func TestHotAdmissionRacingInvalidation(t *testing.T) {
 func TestProxyHotKeysAggregation(t *testing.T) {
 	_, p := newStack(t, 1e9, func(c *Config) { c.EnableCache = false })
 	hot := []byte("hot-key")
-	if err := p.Put(hot, []byte("v"), 0); err != nil {
+	if err := p.Put(bg, hot, []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 600; i++ {
-		if _, err := p.Get(hot); err != nil {
+		if _, err := p.Get(bg, hot); err != nil {
 			t.Fatal(err)
 		}
 		if i%20 == 0 { // sprinkle colder traffic across the keyspace
 			for j := 0; j < 10; j++ {
-				p.Get([]byte(fmt.Sprintf("cold-%d", j))) // ErrNotFound still counts as an access
+				p.Get(bg, []byte(fmt.Sprintf("cold-%d", j))) // ErrNotFound still counts as an access
 			}
 		}
 	}
-	top, err := p.HotKeys(5)
+	top, err := p.HotKeys(bg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func TestHSetMultiOneRoundTrip(t *testing.T) {
 	key := []byte("h")
 	// Seed the hash so the measured HSetMulti's internal read is a
 	// counted success rather than a first-write not-found.
-	if _, err := p.HSet(key, "seed", []byte("s")); err != nil {
+	if _, err := p.HSet(bg, key, "seed", []byte("s")); err != nil {
 		t.Fatal(err)
 	}
 	opsBefore := int64(0)
@@ -371,7 +371,7 @@ func TestHSetMultiOneRoundTrip(t *testing.T) {
 	for i := range fvs {
 		fvs[i] = FieldValue{Field: fmt.Sprintf("f%d", i), Value: []byte("v")}
 	}
-	added, err := p.HSetMulti(key, fvs)
+	added, err := p.HSetMulti(bg, key, fvs)
 	if err != nil || added != 6 {
 		t.Fatalf("HSetMulti = %d, %v", added, err)
 	}
@@ -383,7 +383,7 @@ func TestHSetMultiOneRoundTrip(t *testing.T) {
 	if got := opsAfter - opsBefore; got != 2 {
 		t.Fatalf("node ops for 6-field HSET = %d, want 2 (one Get + one Put)", got)
 	}
-	all, err := p.HGetAll(key)
+	all, err := p.HGetAll(bg, key)
 	if err != nil || len(all) != 7 { // 6 + seed
 		t.Fatalf("HGetAll = %d fields, %v", len(all), err)
 	}

@@ -12,6 +12,7 @@ package proxy
 // immediately instead of waiting for the next monitoring cycle.
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -114,9 +115,14 @@ func (p *Proxy) noteRouteFailure(nodeID string, err error) {
 // routing-shaped failure refresh the cache and retry exactly once.
 // Anything else — including a second routing failure, which means the
 // control plane has not finished failing over yet — surfaces to the
-// caller unchanged.
-func (p *Proxy) withRoute(key []byte, fn func(node *datanode.Node, route partition.Route) error) error {
+// caller unchanged. The retry honors ctx: a deadline that expires
+// between the first attempt and the retry surfaces the context
+// sentinel instead of dispatching doomed work.
+func (p *Proxy) withRoute(ctx context.Context, key []byte, fn func(node *datanode.Node, route partition.Route) error) error {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		route, err := p.routeForKey(key)
 		if err != nil {
 			return err

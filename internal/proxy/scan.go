@@ -12,6 +12,7 @@ package proxy
 // current one restarts from its resume key.
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -62,6 +63,11 @@ type ScanPage struct {
 	Values [][]byte
 	// Cursor resumes the traversal; "" means the scan is complete.
 	Cursor string
+	// Throttled reports that the page ended early because a sub-scan
+	// was throttled: the cursor resumes at the unfinished spot, and a
+	// polite caller backs off before fetching the next page instead of
+	// hammering the quota (Client.Keys/DBSize do).
+	Throttled bool
 }
 
 // scanCursor is the decoded resume position.
@@ -114,7 +120,10 @@ func decodeCursor(s string) (scanCursor, error) {
 // may not appear, and a key can appear more than once if a partition
 // split rehashes it forward — Redis SCAN's guarantee, for the same
 // reasons.
-func (p *Proxy) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
+func (p *Proxy) Scan(ctx context.Context, cursor string, opts ScanOptions) (ScanPage, error) {
+	if err := ctx.Err(); err != nil {
+		return ScanPage{Cursor: cursor}, err
+	}
 	start := p.cfg.Clock.Now()
 	cur, err := decodeCursor(cursor)
 	if err != nil {
@@ -149,6 +158,13 @@ func (p *Proxy) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
 	// error (dead primary, moved partition).
 	retried := false
 	for fetched < count && examined < count*scanExamineFactor {
+		// A deadline that expires mid-page stops the partition walk:
+		// the gathered entries return with a resumable cursor AND the
+		// context sentinel, so the caller both keeps the paid-for work
+		// and learns its budget ran out.
+		if err := ctx.Err(); err != nil {
+			return p.finishScan(page, cur, fetched, err, start)
+		}
 		// Re-read the cached table every iteration: a split mid-scan
 		// appends partitions (and invalidates the cache), which this
 		// walk then covers.
@@ -172,7 +188,7 @@ func (p *Proxy) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
 			}
 			return p.finishScan(page, cur, fetched, err, start)
 		}
-		res, err := node.RangeScan(route.Partition, datanode.ScanOptions{
+		res, err := node.RangeScan(ctx, route.Partition, datanode.ScanOptions{
 			Start:    cur.resume,
 			Limit:    count - fetched,
 			KeysOnly: opts.KeysOnly,
@@ -222,8 +238,17 @@ func (p *Proxy) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
 // propagates the error with the cursor unchanged.
 func (p *Proxy) finishScan(page ScanPage, cur scanCursor, fetched int, err error, start time.Time) (ScanPage, error) {
 	p.latency.Observe(p.cfg.Clock.Since(start))
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The caller's budget ran out mid-page: hand back whatever was
+		// gathered plus a cursor at the unfinished spot, and surface
+		// the sentinel so the caller knows why the page is short.
+		page.Cursor = encodeCursor(cur)
+		p.noteFailure(err)
+		return page, err
+	}
 	if fetched > 0 {
 		page.Cursor = encodeCursor(cur)
+		page.Throttled = errors.Is(err, ErrThrottled)
 		p.success.Inc()
 		return page, nil
 	}
@@ -238,9 +263,9 @@ func (p *Proxy) finishScan(page ScanPage, cur scanCursor, fetched int, err error
 // Scan routes one cursor page to a random proxy: scans carry no key
 // affinity, so hot-key group routing does not apply and any member can
 // serve the page.
-func (f *Fleet) Scan(cursor string, opts ScanOptions) (ScanPage, error) {
+func (f *Fleet) Scan(ctx context.Context, cursor string, opts ScanOptions) (ScanPage, error) {
 	f.mu.Lock()
 	p := f.proxies[f.rng.Intn(len(f.proxies))]
 	f.mu.Unlock()
-	return p.Scan(cursor, opts)
+	return p.Scan(ctx, cursor, opts)
 }

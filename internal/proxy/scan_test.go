@@ -55,7 +55,7 @@ func scanAll(t *testing.T, p *Proxy, opts ScanOptions) ([]string, int) {
 	cursor := ""
 	pages := 0
 	for {
-		page, err := p.Scan(cursor, opts)
+		page, err := p.Scan(bg, cursor, opts)
 		if err != nil {
 			t.Fatalf("Scan(%q): %v", cursor, err)
 		}
@@ -76,7 +76,7 @@ func TestProxyScanFullTraversal(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < n; i++ {
 		k := fmt.Sprintf("key-%03d", i)
-		if err := p.Put([]byte(k), []byte("v"), 0); err != nil {
+		if err := p.Put(bg, []byte(k), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 		want[k] = true
@@ -105,8 +105,8 @@ func TestProxyScanFullTraversal(t *testing.T) {
 func TestProxyScanMatchFilters(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
 	for i := 0; i < 10; i++ {
-		p.Put([]byte(fmt.Sprintf("user:%d", i)), []byte("v"), 0)
-		p.Put([]byte(fmt.Sprintf("sess:%d", i)), []byte("v"), 0)
+		p.Put(bg, []byte(fmt.Sprintf("user:%d", i)), []byte("v"), 0)
+		p.Put(bg, []byte(fmt.Sprintf("sess:%d", i)), []byte("v"), 0)
 	}
 	keys, _ := scanAll(t, p, ScanOptions{Count: 3, Match: "user:*"})
 	if len(keys) != 10 {
@@ -122,7 +122,7 @@ func TestProxyScanMatchFilters(t *testing.T) {
 func TestProxyScanBadCursor(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
 	for _, cur := range []string{"bogus", "p-1:", "pX:00", "p0:zz"} {
-		if _, err := p.Scan(cur, ScanOptions{}); !errors.Is(err, ErrBadCursor) {
+		if _, err := p.Scan(bg, cur, ScanOptions{}); !errors.Is(err, ErrBadCursor) {
 			t.Fatalf("Scan(%q) err = %v, want ErrBadCursor", cur, err)
 		}
 	}
@@ -139,7 +139,7 @@ func TestProxyScanThrottledPartialPage(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < n; i++ {
 		k := fmt.Sprintf("key-%03d", i)
-		if err := p.Put([]byte(k), []byte("v"), 0); err != nil {
+		if err := p.Put(bg, []byte(k), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 		want[k] = true
@@ -158,7 +158,7 @@ func TestProxyScanThrottledPartialPage(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	page, err := p.Scan("", ScanOptions{Count: 2 * n})
+	page, err := p.Scan(bg, "", ScanOptions{Count: 2 * n})
 	if err != nil {
 		t.Fatalf("Scan: %v (want partial page, not error)", err)
 	}
@@ -183,7 +183,7 @@ func TestProxyScanThrottledPartialPage(t *testing.T) {
 	}
 	cursor := page.Cursor
 	for cursor != "" {
-		next, err := p.Scan(cursor, ScanOptions{Count: 2 * n})
+		next, err := p.Scan(bg, cursor, ScanOptions{Count: 2 * n})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +203,7 @@ func TestProxyScanThrottledPartialPage(t *testing.T) {
 // surfaces as ErrThrottled so callers do not spin.
 func TestProxyScanThrottledEmptyPageErrors(t *testing.T) {
 	m, p := newQuotaStack(t, 1e9)
-	if err := p.Put([]byte("k"), []byte("v"), 0); err != nil {
+	if err := p.Put(bg, []byte("k"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	for idx := 0; idx < 2; idx++ {
@@ -219,7 +219,7 @@ func TestProxyScanThrottledEmptyPageErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := p.Scan("", ScanOptions{Count: 64}); !errors.Is(err, ErrThrottled) {
+	if _, err := p.Scan(bg, "", ScanOptions{Count: 64}); !errors.Is(err, ErrThrottled) {
 		t.Fatalf("err = %v, want ErrThrottled", err)
 	}
 }
@@ -233,17 +233,17 @@ func TestProxyScanTombstoneDesertBoundedPage(t *testing.T) {
 	const dead = 200
 	for i := 0; i < dead; i++ {
 		k := []byte(fmt.Sprintf("key-%04d", i))
-		if err := p.Put(k, []byte("v"), 0); err != nil {
+		if err := p.Put(bg, k, []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := p.Delete(k); err != nil {
+		if err := p.Delete(bg, k); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := p.Put([]byte("zz-live"), []byte("v"), 0); err != nil {
+	if err := p.Put(bg, []byte("zz-live"), []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
-	page, err := p.Scan("", ScanOptions{Count: 1})
+	page, err := p.Scan(bg, "", ScanOptions{Count: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,11 +271,11 @@ func TestProxyScanInterleavedWritesAndDeletes(t *testing.T) {
 	_, p := newStack(t, 100000, nil)
 	const n = 40
 	for i := 0; i < n; i++ {
-		if err := p.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte("v"), 0); err != nil {
+		if err := p.Put(bg, []byte(fmt.Sprintf("key-%03d", i)), []byte("v"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	page, err := p.Scan("", ScanOptions{Count: 10})
+	page, err := p.Scan(bg, "", ScanOptions{Count: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,13 +298,13 @@ func TestProxyScanInterleavedWritesAndDeletes(t *testing.T) {
 	if deletedSeen == "" || deletedUnseen == "" {
 		t.Skip("first page saw none or all keys; cannot exercise both cases")
 	}
-	p.Delete([]byte(deletedSeen))
-	p.Delete([]byte(deletedUnseen))
-	p.Put([]byte("zzz-new"), []byte("v"), 0)
+	p.Delete(bg, []byte(deletedSeen))
+	p.Delete(bg, []byte(deletedUnseen))
+	p.Put(bg, []byte("zzz-new"), []byte("v"), 0)
 
 	cursor := page.Cursor
 	for cursor != "" {
-		next, err := p.Scan(cursor, ScanOptions{Count: 10})
+		next, err := p.Scan(bg, cursor, ScanOptions{Count: 10})
 		if err != nil {
 			t.Fatal(err)
 		}

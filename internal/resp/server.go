@@ -9,7 +9,10 @@ import (
 )
 
 // Handler processes one parsed command and returns the reply value.
-// Implementations must be safe for concurrent use.
+// Implementations must be safe for concurrent use. A Handler that also
+// implements io.Closer is closed when its connection ends — session
+// handlers use this to cancel their per-connection base context, which
+// aborts any of the connection's requests still queued in the cluster.
 type Handler interface {
 	Handle(cmd Command) Value
 }
@@ -103,6 +106,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := NewReader(conn)
 	w := NewWriter(conn)
 	handler := s.factory()
+	if c, ok := handler.(io.Closer); ok {
+		defer c.Close()
+	}
 	for {
 		cmd, err := r.ReadCommand()
 		if err != nil {

@@ -163,6 +163,12 @@ func (d *DualLayer) cpuWorker() {
 		if t == nil {
 			continue
 		}
+		// A task whose context expired while it waited sheds here,
+		// before its CPU stage burns any service time.
+		if t.aborted() {
+			d.completed.Add(1)
+			continue
+		}
 
 		d.inflightMu.Lock()
 		d.cpuInflight[t.Tenant]++
@@ -255,6 +261,12 @@ func (d *DualLayer) ioWorker(extra bool, avoid string) {
 			t = d.ioQ.pop("")
 		}
 		if t == nil {
+			continue
+		}
+		// Same shed point for the I/O layer: a cache-missing request
+		// canceled between the CPU and I/O stages skips the disk work.
+		if t.aborted() {
+			d.completed.Add(1)
 			continue
 		}
 

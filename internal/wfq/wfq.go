@@ -2,6 +2,7 @@ package wfq
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 )
 
@@ -72,9 +73,34 @@ type Task struct {
 	IOStage func()
 	// Done is invoked exactly once when the task fully completes.
 	Done func()
+	// Ctx, when non-nil, bounds the task's time in the queues: a worker
+	// that dequeues a task whose context is already done skips its
+	// remaining stages and invokes Abort (or Done when Abort is nil)
+	// instead — a canceled or deadline-expired request sheds its queued
+	// work rather than being served to a caller that is gone.
+	Ctx context.Context
+	// Abort is invoked exactly once, instead of Done, with Ctx.Err()
+	// when the task is dropped at a dequeue point because Ctx was done.
+	Abort func(err error)
 
 	vft float64
 	idx int
+}
+
+// aborted checks Ctx at a dequeue point. When the context is done it
+// resolves the task through Abort (falling back to Done) and reports
+// true; the worker must then skip the task's stages.
+func (t *Task) aborted() bool {
+	if t.Ctx == nil || t.Ctx.Err() == nil {
+		return false
+	}
+	switch {
+	case t.Abort != nil:
+		t.Abort(t.Ctx.Err())
+	case t.Done != nil:
+		t.Done()
+	}
+	return true
 }
 
 // queue is a min-heap of tasks ordered by VFT with per-tenant

@@ -1,6 +1,8 @@
 package wfq
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -349,4 +351,79 @@ func BenchmarkSubmitComplete(b *testing.B) {
 		})
 	}
 	wg.Wait()
+}
+
+// TestCanceledTaskSkipsStages proves that a task whose context is
+// already done when a worker dequeues it never runs its CPU or I/O
+// stage: the worker resolves it through Abort instead.
+func TestCanceledTaskSkipsStages(t *testing.T) {
+	d := NewDualLayer(Config{CPUWorkers: 1})
+	defer d.Close()
+
+	// Occupy the single CPU worker so the canceled task is guaranteed
+	// to wait in the queue until after its context is canceled.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	blockDone := make(chan struct{})
+	d.Submit(&Task{
+		Tenant:     "a",
+		QuotaShare: 1,
+		CPUStage: func() bool {
+			close(started)
+			<-block
+			return false
+		},
+		Done: func() { close(blockDone) },
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ranStage atomic.Bool
+	aborted := make(chan error, 1)
+	d.Submit(&Task{
+		Tenant:     "a",
+		QuotaShare: 1,
+		Ctx:        ctx,
+		CPUStage:   func() bool { ranStage.Store(true); return false },
+		Done:       func() { t.Error("Done called for aborted task") },
+		Abort:      func(err error) { aborted <- err },
+	})
+	cancel()
+	close(block)
+	<-blockDone
+
+	select {
+	case err := <-aborted:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abort err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborted task never resolved")
+	}
+	if ranStage.Load() {
+		t.Fatal("canceled task ran its CPU stage")
+	}
+}
+
+// TestCanceledTaskFallsBackToDone covers the Abort-less form: a
+// canceled task without an Abort callback still resolves through Done
+// exactly once.
+func TestCanceledTaskFallsBackToDone(t *testing.T) {
+	d := NewDualLayer(Config{CPUWorkers: 1})
+	defer d.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	d.Submit(&Task{
+		Tenant:     "a",
+		QuotaShare: 1,
+		Ctx:        ctx,
+		CPUStage:   func() bool { t.Error("stage ran"); return false },
+		Done:       func() { close(done) },
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled task never resolved")
+	}
 }

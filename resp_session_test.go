@@ -70,7 +70,11 @@ func TestServeSetOptionErrors(t *testing.T) {
 		{"SET", "k", "v", "EX", "0"},                // non-positive
 		{"SET", "k", "v", "EX", "-3"},               // negative
 		{"SET", "k", "v", "PX", "abc"},              // non-numeric
-		{"SET", "k", "v", "KEEPTTL"},                // unsupported option
+		{"SET", "k", "v", "NX", "XX"},               // conflicting conditions
+		{"SET", "k", "v", "XX", "NX"},               // conflicting, reversed
+		{"SET", "k", "v", "EX", "10", "KEEPTTL"},    // expiry conflicts with KEEPTTL
+		{"SET", "k", "v", "KEEPTTL", "EX", "10"},    // same, reversed
+		{"SET", "k", "v", "BOGUS"},                  // unknown option
 	}
 	for _, args := range bad {
 		if v, _ := cl.DoStrings(args[0], args[1:]...); !v.IsError() {
@@ -325,5 +329,87 @@ func TestServeHotkeysCommand(t *testing.T) {
 	}
 	if e, _ := cl.DoStrings("HOTKEYS", "1", "2"); !e.IsError() {
 		t.Fatalf("HOTKEYS arity = %+v", e)
+	}
+}
+
+// TestServeSetConditional covers the SET NX/XX/GET/KEEPTTL matrix over
+// the wire, including the Redis reply conventions: nil for an unmet
+// condition, the old value (or nil) under GET regardless of outcome.
+func TestServeSetConditional(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "cond", QuotaRU: 100000, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "cond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	// NX: first write OK, second nil, value untouched.
+	if v, _ := cl.DoStrings("SET", "k", "v1", "NX"); v.Text() != "OK" {
+		t.Fatalf("SET NX fresh = %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "k", "v2", "NX"); !v.Null {
+		t.Fatalf("SET NX existing = %+v, want nil", v)
+	}
+	if v, _ := cl.DoStrings("GET", "k"); v.Text() != "v1" {
+		t.Fatalf("NX overwrote: %+v", v)
+	}
+
+	// XX: nil on absent (and no write), OK on existing.
+	if v, _ := cl.DoStrings("SET", "ghost", "v", "XX"); !v.Null {
+		t.Fatalf("SET XX absent = %+v, want nil", v)
+	}
+	if v, _ := cl.DoStrings("GET", "ghost"); !v.Null {
+		t.Fatalf("SET XX absent wrote: %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "k", "v3", "XX"); v.Text() != "OK" {
+		t.Fatalf("SET XX existing = %+v", v)
+	}
+
+	// GET: returns the previous value; on a fresh key (NX miss → the
+	// write happens) the reply is nil.
+	if v, _ := cl.DoStrings("SET", "fresh", "a", "NX", "GET"); !v.Null {
+		t.Fatalf("SET NX GET fresh = %+v, want nil", v)
+	}
+	if v, _ := cl.DoStrings("GET", "fresh"); v.Text() != "a" {
+		t.Fatalf("SET NX GET fresh did not write: %+v", v)
+	}
+	// NX+GET on an existing key: no write, old value returned.
+	if v, _ := cl.DoStrings("SET", "fresh", "b", "NX", "GET"); v.Text() != "a" {
+		t.Fatalf("SET NX GET existing = %+v, want old value", v)
+	}
+	if v, _ := cl.DoStrings("GET", "fresh"); v.Text() != "a" {
+		t.Fatalf("SET NX GET existing overwrote: %+v", v)
+	}
+	// Plain GET option returns the old value while overwriting.
+	if v, _ := cl.DoStrings("SET", "fresh", "c", "GET"); v.Text() != "a" {
+		t.Fatalf("SET GET = %+v, want old value", v)
+	}
+	if v, _ := cl.DoStrings("GET", "fresh"); v.Text() != "c" {
+		t.Fatalf("SET GET did not write: %+v", v)
+	}
+
+	// KEEPTTL: the expiry survives an overwrite; a plain SET clears it.
+	if v, _ := cl.DoStrings("SET", "exp", "v", "EX", "100"); v.Text() != "OK" {
+		t.Fatalf("SET EX = %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "exp", "v2", "KEEPTTL"); v.Text() != "OK" {
+		t.Fatalf("SET KEEPTTL = %+v", v)
+	}
+	if v, _ := cl.DoStrings("TTL", "exp"); v.Int <= 0 || v.Int > 100 {
+		t.Fatalf("TTL after KEEPTTL = %+v, want (0,100]", v)
+	}
+	if v, _ := cl.DoStrings("SET", "exp", "v3"); v.Text() != "OK" {
+		t.Fatalf("plain SET = %+v", v)
+	}
+	if v, _ := cl.DoStrings("TTL", "exp"); v.Int != -1 {
+		t.Fatalf("TTL after plain SET = %+v, want -1", v)
+	}
+
+	// XX+GET on absent: nil reply, still no write.
+	if v, _ := cl.DoStrings("SET", "ghost", "v", "XX", "GET"); !v.Null {
+		t.Fatalf("SET XX GET absent = %+v, want nil", v)
 	}
 }

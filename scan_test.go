@@ -25,12 +25,12 @@ func TestClientScanKeysDBSize(t *testing.T) {
 		TenantSpec{Name: "app", QuotaRU: 1e8, Partitions: 4, Proxies: 2})
 	const users, sessions = 30, 20
 	for i := 0; i < users; i++ {
-		if err := cl.Set([]byte(fmt.Sprintf("user:%03d", i)), []byte("v"), 0); err != nil {
+		if err := cl.Set(bg, []byte(fmt.Sprintf("user:%03d", i)), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < sessions; i++ {
-		if err := cl.Set([]byte(fmt.Sprintf("sess:%03d", i)), []byte("v"), 0); err != nil {
+		if err := cl.Set(bg, []byte(fmt.Sprintf("sess:%03d", i)), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -39,7 +39,7 @@ func TestClientScanKeysDBSize(t *testing.T) {
 	seen := map[string]int{}
 	cursor := ""
 	for {
-		keys, next, err := cl.Scan(cursor, "", 16)
+		keys, next, err := cl.Scan(bg, cursor, "", 16)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,14 +60,14 @@ func TestClientScanKeysDBSize(t *testing.T) {
 		}
 	}
 
-	keys, err := cl.Keys("user:*")
+	keys, err := cl.Keys(bg, "user:*")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(keys) != users {
 		t.Fatalf("Keys(user:*) = %d, want %d", len(keys), users)
 	}
-	n, err := cl.DBSize()
+	n, err := cl.DBSize(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestClientScanSurvivesPartitionSplit(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < n; i++ {
 		k := fmt.Sprintf("key-%04d", i)
-		if err := cl.Set([]byte(k), []byte("v"), 0); err != nil {
+		if err := cl.Set(bg, []byte(k), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 		want[k] = true
@@ -100,7 +100,7 @@ func TestClientScanSurvivesPartitionSplit(t *testing.T) {
 	pages := 0
 	split := false
 	for {
-		keys, next, err := cl.Scan(cursor, "", 10)
+		keys, next, err := cl.Scan(bg, cursor, "", 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func TestClientScanSurvivesPartitionSplit(t *testing.T) {
 		}
 	}
 	// And the keyspace is still fully consistent afterwards.
-	size, err := cl.DBSize()
+	size, err := cl.DBSize(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,32 +151,32 @@ func TestClientScanAgreesWithGetOnTTL(t *testing.T) {
 	// from the AU-LRU, so expiry is observable through the full stack.
 	_, cl := scanTenant(t, ClusterConfig{Nodes: 3, Clock: sim, AdmitCost: time.Nanosecond},
 		TenantSpec{Name: "app", QuotaRU: 1e8, Partitions: 2, Proxies: 1})
-	if err := cl.Set([]byte("ttl"), []byte("v"), time.Minute); err != nil {
+	if err := cl.Set(bg, []byte("ttl"), []byte("v"), WithTTL(time.Minute)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Set([]byte("live"), []byte("v"), 0); err != nil {
+	if err := cl.Set(bg, []byte("live"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	// Read through every path that might cache the value.
-	if _, err := cl.Get([]byte("ttl")); err != nil {
+	if _, err := cl.Get(bg, []byte("ttl")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.MGet([]byte("ttl"), []byte("live")); err != nil {
+	if _, err := cl.MGet(bg, []byte("ttl"), []byte("live")); err != nil {
 		t.Fatal(err)
 	}
 	sim.Advance(time.Hour)
 
-	if _, err := cl.Get([]byte("ttl")); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.Get(bg, []byte("ttl")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get(ttl) after expiry = %v, want ErrNotFound", err)
 	}
-	size, err := cl.DBSize()
+	size, err := cl.DBSize(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if size != 1 {
 		t.Fatalf("DBSize = %d, want 1 (expired key must not count)", size)
 	}
-	keys, err := cl.Keys("*")
+	keys, err := cl.Keys(bg, "*")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,10 +194,10 @@ func TestSplitPreservesTTL(t *testing.T) {
 		TenantSpec{Name: "app", QuotaRU: 1e8, Partitions: 2, Proxies: 1})
 	const n = 20
 	for i := 0; i < n; i++ {
-		if err := cl.Set([]byte(fmt.Sprintf("ttl:%03d", i)), []byte("v"), time.Hour); err != nil {
+		if err := cl.Set(bg, []byte(fmt.Sprintf("ttl:%03d", i)), []byte("v"), WithTTL(time.Hour)); err != nil {
 			t.Fatal(err)
 		}
-		if err := cl.Set([]byte(fmt.Sprintf("perm:%03d", i)), []byte("v"), 0); err != nil {
+		if err := cl.Set(bg, []byte(fmt.Sprintf("perm:%03d", i)), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -207,20 +207,20 @@ func TestSplitPreservesTTL(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("ttl:%03d", i))
-		ttl, hasTTL, err := cl.TTL(k)
+		ttl, hasTTL, err := cl.TTL(bg, k)
 		if err != nil || !hasTTL || ttl <= 0 {
 			t.Fatalf("TTL(%s) after split = %v, %v, %v; want a live expiry", k, ttl, hasTTL, err)
 		}
 	}
 	sim.Advance(2 * time.Hour)
-	size, err := cl.DBSize()
+	size, err := cl.DBSize(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if size != n {
 		t.Fatalf("DBSize after expiry = %d, want %d (ttl: keys must lapse, perm: keys must stay)", size, n)
 	}
-	if _, err := cl.Get([]byte("ttl:000")); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.Get(bg, []byte("ttl:000")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get(ttl:000) after expiry = %v, want ErrNotFound", err)
 	}
 }

@@ -1,6 +1,7 @@
 package abase
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"strconv"
@@ -44,13 +45,47 @@ func cursorFromWire(wire string) (string, bool) {
 	return string(data[1:]), true
 }
 
+// ServeOption configures the RESP server.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	cmdTimeout time.Duration
+}
+
+// WithCommandTimeout bounds each command's execution: every command
+// runs under a context deriving from the connection's base context
+// with this deadline, so a slow or overloaded data plane cannot pin a
+// connection forever — the command fails with a TIMEOUT error and the
+// queued work is aborted. Zero (the default) applies no per-command
+// deadline.
+func WithCommandTimeout(d time.Duration) ServeOption {
+	return func(c *serveConfig) { c.cmdTimeout = d }
+}
+
 // Serve exposes the cluster over the Redis protocol (RESP2) on addr
 // (":0" picks a free port). Connections select their tenant with
 // AUTH <tenant>; defaultTenant (when non-empty) is used before AUTH.
 // It returns the bound address and the server for shutdown.
-func (c *Cluster) Serve(addr, defaultTenant string) (string, *resp.Server, error) {
+//
+// Each connection owns a base context that is canceled when the
+// connection closes, and each command runs under that context (plus
+// the optional WithCommandTimeout deadline), so a client that hangs up
+// mid-command sheds its queued work instead of being served into the
+// void.
+func (c *Cluster) Serve(addr, defaultTenant string, opts ...ServeOption) (string, *resp.Server, error) {
+	var sc serveConfig
+	for _, opt := range opts {
+		opt(&sc)
+	}
 	srv := resp.NewSessionServer(func() resp.Handler {
-		return &session{cluster: c, tenant: defaultTenant}
+		base, cancel := context.WithCancel(context.Background())
+		return &session{
+			cluster:    c,
+			tenant:     defaultTenant,
+			base:       base,
+			cancel:     cancel,
+			cmdTimeout: sc.cmdTimeout,
+		}
 	})
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -64,6 +99,32 @@ type session struct {
 	cluster  *Cluster
 	tenant   string
 	readPref ReadPreference
+	// base is the connection's context; canceled on disconnect so the
+	// connection's in-flight and queued requests abort.
+	base       context.Context
+	cancel     context.CancelFunc
+	cmdTimeout time.Duration
+}
+
+// Close implements io.Closer for the RESP server: the connection ended,
+// so any of its requests still queued in the cluster are canceled.
+func (s *session) Close() error {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	return nil
+}
+
+// cmdCtx derives one command's context from the connection base.
+func (s *session) cmdCtx() (context.Context, context.CancelFunc) {
+	base := s.base
+	if base == nil {
+		base = context.Background()
+	}
+	if s.cmdTimeout > 0 {
+		return context.WithTimeout(base, s.cmdTimeout)
+	}
+	return base, func() {}
 }
 
 func (s *session) client() (*Client, resp.Value) {
@@ -89,6 +150,12 @@ func opErr(err error) resp.Value {
 		return resp.Null()
 	case errors.Is(err, ErrThrottled):
 		return resp.Err("THROTTLED request rate exceeds tenant quota")
+	case errors.Is(err, ErrShed):
+		return resp.Err("TIMEOUT deadline tighter than estimated queue wait; request shed")
+	case errors.Is(err, ErrDeadlineExceeded):
+		return resp.Err("TIMEOUT command deadline exceeded")
+	case errors.Is(err, ErrCanceled):
+		return resp.Err("ERR request canceled")
 	case errors.Is(err, ErrUnavailable):
 		return resp.Err("UNAVAILABLE primary down, failover in progress; retry")
 	default:
@@ -112,6 +179,8 @@ func firstKeyErr(err error) error {
 
 // Handle implements resp.Handler.
 func (s *session) Handle(cmd resp.Command) resp.Value {
+	ctx, cancel := s.cmdCtx()
+	defer cancel()
 	switch cmd.Name {
 	case "PING":
 		return resp.Pong()
@@ -135,7 +204,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		v, err := c.Get(cmd.Args[0])
+		v, err := c.Get(ctx, cmd.Args[0])
 		if err != nil {
 			return opErr(err)
 		}
@@ -149,41 +218,78 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		var ttl time.Duration
-		ttlSet := false
+		var opts []SetOption
+		var nx, xx, get, keepTTL, ttlSet bool
 		for i := 2; i < len(cmd.Args); i++ {
-			switch string(cmd.Args[i]) {
-			case "EX", "ex":
-				// Redis rejects duplicate or conflicting EX/PX options.
-				if ttlSet || i+1 >= len(cmd.Args) {
+			switch strings.ToUpper(string(cmd.Args[i])) {
+			case "EX", "PX":
+				// Redis rejects duplicate or conflicting EX/PX options,
+				// and KEEPTTL combined with an explicit expiry.
+				if ttlSet || keepTTL || i+1 >= len(cmd.Args) {
 					return resp.Err("ERR syntax error")
 				}
-				sec, err := strconv.Atoi(string(cmd.Args[i+1]))
-				if err != nil || sec <= 0 {
+				n, err := strconv.Atoi(string(cmd.Args[i+1]))
+				if err != nil || n <= 0 {
 					return resp.Err("ERR invalid expire time")
 				}
-				ttl = time.Duration(sec) * time.Second
+				unit := time.Second
+				if strings.EqualFold(string(cmd.Args[i]), "PX") {
+					unit = time.Millisecond
+				}
+				opts = append(opts, WithTTL(time.Duration(n)*unit))
 				ttlSet = true
 				i++
-			case "PX", "px":
-				if ttlSet || i+1 >= len(cmd.Args) {
+			case "NX":
+				if xx {
 					return resp.Err("ERR syntax error")
 				}
-				ms, err := strconv.Atoi(string(cmd.Args[i+1]))
-				if err != nil || ms <= 0 {
-					return resp.Err("ERR invalid expire time")
+				nx = true
+				opts = append(opts, IfNotExists())
+			case "XX":
+				if nx {
+					return resp.Err("ERR syntax error")
 				}
-				ttl = time.Duration(ms) * time.Millisecond
-				ttlSet = true
-				i++
+				xx = true
+				opts = append(opts, IfExists())
+			case "GET":
+				get = true
+				opts = append(opts, ReturnOld())
+			case "KEEPTTL":
+				if ttlSet {
+					return resp.Err("ERR syntax error")
+				}
+				keepTTL = true
+				opts = append(opts, KeepTTL())
 			default:
 				return resp.Err("ERR syntax error")
 			}
 		}
-		if err := c.Set(cmd.Args[0], cmd.Args[1], ttl); err != nil {
+		if !nx && !xx && !get && !keepTTL {
+			// Plain SET (optionally with a TTL): the unconditional write
+			// path, with no read-modify-write probe to pay for.
+			if err := c.Set(ctx, cmd.Args[0], cmd.Args[1], opts...); err != nil {
+				return opErr(err)
+			}
+			return resp.OK()
+		}
+		res, err := c.SetWith(ctx, cmd.Args[0], cmd.Args[1], opts...)
+		if err != nil {
 			return opErr(err)
 		}
-		return resp.OK()
+		switch {
+		case get:
+			// With GET the reply is always the old value: nil when the
+			// key was absent (including an NX miss that did write).
+			if !res.OldExists {
+				return resp.Null()
+			}
+			return resp.Bulk(res.Old)
+		case !res.Written:
+			// NX/XX condition not met: Redis replies nil, not an error.
+			return resp.Null()
+		default:
+			return resp.OK()
+		}
 
 	case "DEL":
 		if len(cmd.Args) < 1 {
@@ -193,7 +299,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		deleted, err := c.MDelete(cmd.Args...)
+		deleted, err := c.MDelete(ctx, cmd.Args...)
 		if err != nil {
 			return opErr(firstKeyErr(err))
 		}
@@ -207,7 +313,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		exists, err := c.MExists(cmd.Args...)
+		exists, err := c.MExists(ctx, cmd.Args...)
 		if err != nil {
 			return opErr(firstKeyErr(err))
 		}
@@ -227,7 +333,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		vs, err := c.MGet(cmd.Args...)
+		vs, err := c.MGet(ctx, cmd.Args...)
 		var be *BatchError
 		if err != nil && !errors.As(err, &be) {
 			return opErr(err)
@@ -260,7 +366,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		for i := 0; i < len(cmd.Args); i += 2 {
 			kvs = append(kvs, KV{Key: cmd.Args[i], Value: cmd.Args[i+1]})
 		}
-		if err := c.MSetPairs(kvs); err != nil {
+		if err := c.MSetPairs(ctx, kvs); err != nil {
 			return opErr(firstKeyErr(err))
 		}
 		return resp.OK()
@@ -279,7 +385,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		for i := 1; i < len(cmd.Args); i += 2 {
 			fvs = append(fvs, FieldValue{Field: string(cmd.Args[i]), Value: cmd.Args[i+1]})
 		}
-		added, err := c.HSetFields(cmd.Args[0], fvs)
+		added, err := c.HSetFields(ctx, cmd.Args[0], fvs)
 		if err != nil {
 			return opErr(err)
 		}
@@ -293,7 +399,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		v, err := c.HGet(cmd.Args[0], string(cmd.Args[1]))
+		v, err := c.HGet(ctx, cmd.Args[0], string(cmd.Args[1]))
 		if err != nil {
 			return opErr(err)
 		}
@@ -307,7 +413,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		n, err := c.HLen(cmd.Args[0])
+		n, err := c.HLen(ctx, cmd.Args[0])
 		if err != nil {
 			return opErr(err)
 		}
@@ -321,7 +427,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		m, err := c.HGetAll(cmd.Args[0])
+		m, err := c.HGetAll(ctx, cmd.Args[0])
 		if err != nil {
 			return opErr(err)
 		}
@@ -343,7 +449,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		for i, f := range cmd.Args[1:] {
 			fields[i] = string(f)
 		}
-		n, err := c.HDel(cmd.Args[0], fields...)
+		n, err := c.HDel(ctx, cmd.Args[0], fields...)
 		if err != nil {
 			return opErr(err)
 		}
@@ -357,7 +463,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		ttl, hasTTL, err := c.TTL(cmd.Args[0])
+		ttl, hasTTL, err := c.TTL(ctx, cmd.Args[0])
 		switch {
 		case errors.Is(err, ErrNotFound):
 			return resp.Int64(-2) // Redis: key does not exist
@@ -385,7 +491,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if sec <= 0 {
 			// Redis semantics: a zero or negative expiry deletes the key
 			// immediately and replies 1 (0 when it did not exist).
-			switch err := c.Delete(cmd.Args[0]); {
+			switch err := c.Delete(ctx, cmd.Args[0]); {
 			case errors.Is(err, ErrNotFound):
 				return resp.Int64(0)
 			case err != nil:
@@ -394,7 +500,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 				return resp.Int64(1)
 			}
 		}
-		switch err := c.Expire(cmd.Args[0], time.Duration(sec)*time.Second); {
+		switch err := c.Expire(ctx, cmd.Args[0], time.Duration(sec)*time.Second); {
 		case errors.Is(err, ErrNotFound):
 			return resp.Int64(0)
 		case err != nil:
@@ -411,7 +517,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		removed, err := c.Persist(cmd.Args[0])
+		removed, err := c.Persist(ctx, cmd.Args[0])
 		switch {
 		case errors.Is(err, ErrNotFound):
 			return resp.Int64(0)
@@ -431,7 +537,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		ttl, hasTTL, err := c.TTL(cmd.Args[0])
+		ttl, hasTTL, err := c.TTL(ctx, cmd.Args[0])
 		switch {
 		case errors.Is(err, ErrNotFound):
 			return resp.Int64(-2) // Redis: key does not exist
@@ -479,7 +585,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 				return resp.Err("ERR syntax error")
 			}
 		}
-		keys, next, err := c.Scan(cursor, match, count)
+		keys, next, err := c.Scan(ctx, cursor, match, count)
 		if err != nil {
 			if errors.Is(err, ErrBadCursor) {
 				return resp.Err("ERR invalid cursor")
@@ -500,7 +606,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		keys, err := c.Keys(string(cmd.Args[0]))
+		keys, err := c.Keys(ctx, string(cmd.Args[0]))
 		if err != nil {
 			return opErr(err)
 		}
@@ -518,7 +624,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		n, err := c.DBSize()
+		n, err := c.DBSize(ctx)
 		if err != nil {
 			return opErr(err)
 		}
@@ -544,7 +650,7 @@ func (s *session) Handle(cmd resp.Command) resp.Value {
 		if c == nil {
 			return errV
 		}
-		hot, err := c.HotKeys(count)
+		hot, err := c.HotKeys(ctx, count)
 		if err != nil {
 			return opErr(err)
 		}
