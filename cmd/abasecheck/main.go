@@ -1,0 +1,156 @@
+// Command abasecheck runs the repository's invariant-enforcement
+// suite (internal/analysis): ctxfirst, clockdiscipline, sentinelis,
+// lockdiscipline, and rucharge.
+//
+// Standalone, over go list patterns (exit status 1 on findings):
+//
+//	go run ./cmd/abasecheck ./...
+//
+// As a vet tool, using the go command's package loader and cache:
+//
+//	go build -o abasecheck ./cmd/abasecheck
+//	go vet -vettool=./abasecheck ./...
+//
+// Individual analyzers can be disabled with -<name>=false, e.g.
+// -lockdiscipline=false.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"abase/internal/analysis"
+	"abase/internal/analysis/load"
+	"abase/internal/analysis/suite"
+)
+
+func main() {
+	all := suite.Analyzers()
+	enabled := map[string]*bool{}
+	for _, a := range all {
+		summary := strings.SplitN(a.Doc, "\n", 2)[0]
+		enabled[a.Name] = flag.Bool(a.Name, true, summary)
+	}
+	versionFlag := flag.String("V", "", "print version and exit (go vet tool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON and exit (go vet tool protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: abasecheck [flags] <go list patterns>   (standalone)\n"+
+				"       go vet -vettool=<abasecheck binary> <patterns>\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// The go command invokes vet tools with -V=full and uses the
+		// output as a cache key; it must be "name version ...".
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		// go vet probes the tool with -flags to learn which vet flags it
+		// accepts; the reply is a JSON array of flag descriptions.
+		printFlags()
+		return
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// go vet invokes the tool with a single *.cfg argument.
+		os.Exit(runVetUnit(args[0], active))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, active))
+}
+
+// runStandalone loads packages with the export-data loader and runs
+// every active analyzer, printing file:line:col findings.
+func runStandalone(patterns []string, active []*analysis.Analyzer) int {
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abasecheck:", err)
+		return 2
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		if pkg.IllTyped {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(os.Stderr, "abasecheck: %s: %v\n", pkg.PkgPath, e)
+			}
+			bad = true
+			continue
+		}
+		if len(runAnalyzers(pkg, active, os.Stderr)) > 0 {
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// runAnalyzers executes the active analyzers over one loaded package,
+// writing position-sorted diagnostics to w, and returns them.
+func runAnalyzers(pkg *load.Package, active []*analysis.Analyzer, w io.Writer) []string {
+	type finding struct {
+		file      string
+		line, col int
+		text      string
+	}
+	var findings []finding
+	for _, a := range active {
+		name := a.Name
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    nil,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				file: pos.Filename, line: pos.Line, col: pos.Column,
+				text: fmt.Sprintf("%s: %s: %s", pos, name, d.Message),
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(w, "abasecheck: %s: %s: %v\n", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.text
+		fmt.Fprintln(w, f.text)
+	}
+	return out
+}

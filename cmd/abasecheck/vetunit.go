@@ -1,0 +1,179 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"abase/internal/analysis"
+	"abase/internal/analysis/load"
+)
+
+// vetConfig is the JSON payload `go vet` hands to a -vettool (one
+// compilation unit per invocation), mirroring the fields the x/tools
+// unitchecker documents. Export data for every dependency comes from
+// the go command's build cache via PackageFile.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+}
+
+// runVetUnit analyzes one vet compilation unit described by cfgFile.
+// Exit status: 0 clean, 2 findings (go vet treats any nonzero exit as
+// a vet failure and surfaces the tool's stderr).
+func runVetUnit(cfgFile string, active []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abasecheck:", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "abasecheck: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// Facts protocol: abasecheck analyzers are fact-free, but the go
+	// command caches the declared output file, so it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "abasecheck:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	pkg := &load.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset}
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abasecheck:", err)
+			return 1
+		}
+		pkg.GoFiles = append(pkg.GoFiles, name)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: &vetImporter{imp: imp, importMap: cfg.ImportMap},
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, pkg.Syntax, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abasecheck: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	if len(runAnalyzers(pkg, active, os.Stderr)) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetImporter resolves source import paths through the vet config's
+// ImportMap before reading export data.
+type vetImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+// Import implements types.Importer.
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := v.importMap[path]; ok {
+		path = mapped
+	}
+	return v.imp.Import(path)
+}
+
+// printVersion answers the go command's -V=full handshake: the output
+// ("name version ...") keys vet's result cache, so it embeds a hash of
+// the executable — rebuilding abasecheck invalidates cached results.
+func printVersion() {
+	exe, err := os.Executable()
+	name := "abasecheck"
+	if err == nil {
+		name = filepath.Base(exe)
+	}
+	h := sha256.New()
+	if err == nil {
+		if f, ferr := os.Open(exe); ferr == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", strings.TrimSuffix(name, ".exe"), h.Sum(nil))
+}
+
+// printFlags answers the go command's -flags probe: a JSON array
+// describing every flag the tool accepts, so `go vet -<analyzer>=false`
+// is validated and forwarded (the unitchecker wire format).
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "flags" {
+			return
+		}
+		type boolFlag interface{ IsBoolFlag() bool }
+		b, ok := f.Value.(boolFlag)
+		out = append(out, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abasecheck:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -61,7 +62,7 @@ func main() {
 			if _, err := c.Get(ctx, k); err == nil {
 				reused++
 				continue
-			} else if err != abase.ErrNotFound {
+			} else if !errors.Is(err, abase.ErrNotFound) {
 				log.Fatal(err)
 			}
 			if err := c.Set(ctx, k, block, abase.WithTTL(ttl)); err != nil {

@@ -4,6 +4,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 
 	// Delete.
 	c.Delete(ctx, []byte("greeting"))
-	if _, err := c.Get(ctx, []byte("greeting")); err == abase.ErrNotFound {
+	if _, err := c.Get(ctx, []byte("greeting")); errors.Is(err, abase.ErrNotFound) {
 		fmt.Println("greeting deleted")
 	}
 }

@@ -1,0 +1,128 @@
+// Package analysistest runs one analyzer over golden source files and
+// checks its diagnostics against expectations written in the files
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	time.Sleep(d) // want "direct time.Sleep"
+//
+// Each `want "regexp"` comment demands one diagnostic on its line whose
+// message matches the regexp. The test fails on any unmatched want and
+// on any diagnostic no want expected — golden files therefore pin both
+// that an analyzer fires and that it stays silent.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"abase/internal/analysis"
+	"abase/internal/analysis/load"
+)
+
+// wantRe extracts `want "pattern"` expectations; the pattern may embed
+// escaped quotes (\").
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads files as one synthetic package named pkgPath, runs analyzer
+// a over it, and reports mismatches between the diagnostics produced
+// and the files' want comments. File paths are relative to the test's
+// working directory (the package directory under `go test`), so
+// golden files live in testdata/ by convention. pkgPath is meaningful:
+// path-gated analyzers (clockdiscipline) see it as the package's import
+// path, so tests choose it to land inside or outside the gated tree.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string, files ...string) {
+	t.Helper()
+	abs := make([]string, len(files))
+	for i, f := range files {
+		p, err := filepath.Abs(f)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		abs[i] = p
+	}
+	pkg, err := load.Files(pkgPath, abs)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", pkgPath, err)
+	}
+	if pkg.IllTyped {
+		t.Fatalf("analysistest: golden files do not type-check: %v", pkg.Errors)
+	}
+
+	wants := collectWants(t, pkg)
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q",
+				filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses the want comments out of the loaded syntax.
+func collectWants(t *testing.T, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat := strings.ReplaceAll(m[1], `\"`, `"`)
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s:%d: bad want pattern %q: %v",
+							filepath.Base(pos.Filename), pos.Line, pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  pat,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}

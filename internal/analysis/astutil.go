@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CalleeOf resolves the function or method a call expression invokes,
+// or nil for indirect calls (function values, conversions, builtins).
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ExprKey renders an identifier or selector chain ("s.mu", "n.admit.q")
+// as a stable string key, or "" when the expression is not a pure
+// ident/selector chain (indexing, calls, literals).
+func ExprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	default:
+		return ""
+	}
+}
+
+// Terminates reports whether a statement unconditionally leaves the
+// enclosing flow: return, panic, goto-free terminators only. Branch
+// merges use it to exclude dead-ended paths.
+func Terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		// break/continue leave the construct being merged.
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			// os.Exit, log.Fatal*, runtime.Goexit, t.Fatal*.
+			name := fun.Sel.Name
+			return name == "Exit" || name == "Goexit" || strings.HasPrefix(name, "Fatal")
+		}
+		return false
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && Terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return Terminates(s.Body) && Terminates(s.Else)
+	}
+	return false
+}
+
+// FileOf returns the *ast.File containing pos, or nil.
+func FileOf(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

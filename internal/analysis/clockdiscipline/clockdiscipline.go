@@ -1,0 +1,86 @@
+// Package clockdiscipline enforces the simulation-determinism clock
+// rule: internal packages must not read or wait on the system clock
+// directly. PR 4's fault-injection layer and internal/sim replay
+// scenarios on a virtual clock (internal/clock.Sim); one raw time.Now
+// or time.Sleep in a participating package makes those runs
+// nondeterministic again. All timing goes through an injected
+// internal/clock.Clock.
+package clockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"abase/internal/analysis"
+)
+
+// banned lists the time package functions that read or schedule on the
+// system clock. time.Duration arithmetic, time.Time values, and
+// constructors like time.Date are pure and stay allowed.
+var banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// exempt lists import-path fragments whose packages may touch the real
+// clock: internal/clock is the single sanctioned wrapper (its Real
+// implementation is the one place raw calls belong), and the analysis
+// tree itself never runs under the simulated clock.
+var exempt = []string{"internal/clock", "internal/analysis"}
+
+// Analyzer is the clockdiscipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockdiscipline",
+	Doc: "internal packages must use internal/clock, not time.Now/Sleep/After/...\n\n" +
+		"Packages under internal/ participate in deterministic simulation\n" +
+		"(internal/sim, internal/faultinject): timing must flow through an\n" +
+		"injected clock.Clock so a Sim clock controls it. Direct calls to the\n" +
+		"system clock leak wall time into replayable runs.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/") {
+		return nil, nil
+	}
+	for _, frag := range exempt {
+		if strings.Contains(path, frag) {
+			return nil, nil
+		}
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			// Methods such as (time.Time).After or (time.Time).Sub are
+			// pure value arithmetic; only package-level functions touch
+			// the system clock.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"direct time.%s in internal package %s breaks simulation determinism; inject a clock.Clock (internal/clock) instead",
+				fn.Name(), path)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,23 @@
+package clockdiscipline_test
+
+import (
+	"testing"
+
+	"abase/internal/analysis/analysistest"
+	"abase/internal/analysis/clockdiscipline"
+)
+
+func TestFiresInInternalPackages(t *testing.T) {
+	analysistest.Run(t, clockdiscipline.Analyzer,
+		"abasecheck.test/internal/sim", "testdata/sim.go")
+}
+
+func TestSilentInClockPackage(t *testing.T) {
+	analysistest.Run(t, clockdiscipline.Analyzer,
+		"abasecheck.test/internal/clock/impl", "testdata/exempt.go")
+}
+
+func TestSilentOutsideInternal(t *testing.T) {
+	analysistest.Run(t, clockdiscipline.Analyzer,
+		"abasecheck.test/cmd/tool", "testdata/exempt.go")
+}

@@ -1,0 +1,11 @@
+// Golden file for clockdiscipline's scope gates: the same raw clock
+// reads that fire in sim.go are loaded under exempt import paths (the
+// sanctioned internal/clock wrapper, and a non-internal command) and
+// must produce no diagnostics.
+package clockimpl
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func wait(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,21 @@
+// Golden file for clockdiscipline: loaded under a synthetic import
+// path containing "internal/", where raw system-clock reads are banned.
+package sim
+
+import "time"
+
+func drive() time.Duration {
+	start := time.Now()            // want "direct time.Now in internal package"
+	time.Sleep(time.Millisecond)   // want "direct time.Sleep in internal package"
+	<-time.After(time.Millisecond) // want "direct time.After in internal package"
+	return time.Since(start)       // want "direct time.Since in internal package"
+}
+
+func pure() bool {
+	// Methods on time.Time are value arithmetic, not clock reads:
+	// (time.Time).After/Sub/Before stay allowed.
+	a := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b := a.Add(time.Hour)
+	_ = b.Sub(a)
+	return b.After(a)
+}

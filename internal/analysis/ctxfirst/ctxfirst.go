@@ -1,0 +1,155 @@
+// Package ctxfirst enforces the context-first API contract PR 5
+// established: context.Context parameters come first, and a received
+// context is threaded to callees rather than replaced with
+// context.Background(). The protocol types (Client, Fleet, Proxy,
+// Node) additionally may not hide context-accepting work behind
+// exported methods that take none — that is how deadlines and
+// cancellation silently stop propagating.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"abase/internal/analysis"
+)
+
+// protocolTypes are the request-plane types whose exported methods
+// form the public operation surface. The contract: an exported method
+// on one of these that reaches context-accepting callees must itself
+// accept (and thread) a context.
+var protocolTypes = map[string]bool{
+	"Client": true,
+	"Fleet":  true,
+	"Proxy":  true,
+	"Node":   true,
+}
+
+// Analyzer is the ctxfirst checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context parameters come first and received contexts are threaded\n\n" +
+		"Three rules: (1) any function taking a context.Context takes it as its\n" +
+		"first parameter; (2) code with a context in scope must not synthesize\n" +
+		"context.Background()/TODO() for a callee — that silently drops the\n" +
+		"caller's deadline and cancellation; (3) an exported method on a\n" +
+		"protocol type (Client/Fleet/Proxy/Node) that passes a fresh\n" +
+		"Background/TODO context downstream must accept a context instead.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignature(pass, fd.Type)
+			if fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd, file)
+		}
+	}
+	return nil, nil
+}
+
+// checkSignature reports a context parameter that is not first.
+func checkSignature(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if analysis.IsContextType(t) && idx > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter (found at position %d)", idx+1)
+		}
+		idx += n
+	}
+}
+
+// checkBody flags context.Background()/TODO() calls made while a
+// context is available — in the function's own parameters or any
+// lexically enclosing function literal's.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, file *ast.File) {
+	// ctxAvail tracks, per enclosing function nesting level, whether a
+	// context parameter is in scope.
+	avail := hasCtxParam(pass, fd.Type)
+	exportedProtocol := isExportedProtocolMethod(pass, fd)
+	var walk func(n ast.Node, avail bool)
+	walk = func(n ast.Node, avail bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walk(n.Body, avail || hasCtxParam(pass, n.Type))
+				return false
+			case *ast.CallExpr:
+				fn := analysis.CalleeOf(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() != "Background" && fn.Name() != "TODO" {
+					return true
+				}
+				switch {
+				case avail:
+					pass.Reportf(n.Pos(),
+						"context.%s() discards the context already in scope; thread the caller's context instead",
+						fn.Name())
+				case exportedProtocol:
+					pass.Reportf(n.Pos(),
+						"exported method %s.%s synthesizes context.%s(); it must accept a context.Context (first parameter) and thread it",
+						recvTypeName(pass, fd), fd.Name.Name, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, avail)
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if analysis.IsContextType(pass.TypesInfo.Types[field.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isExportedProtocolMethod reports whether fd is an exported method on
+// one of the protocol types.
+func isExportedProtocolMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	return fd.Name.IsExported() && protocolTypes[recvTypeName(pass, fd)]
+}
+
+// recvTypeName returns the name of fd's receiver type, or "".
+func recvTypeName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

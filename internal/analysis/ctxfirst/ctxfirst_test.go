@@ -1,0 +1,13 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"abase/internal/analysis/analysistest"
+	"abase/internal/analysis/ctxfirst"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, ctxfirst.Analyzer,
+		"abasecheck.test/ctxtest", "testdata/ctx.go")
+}

@@ -1,0 +1,48 @@
+// Golden file for ctxfirst: context-first signatures, no synthesized
+// Background/TODO while a context is in scope, and protocol types
+// (Client, ...) may not hide context work behind context-free exported
+// methods.
+package ctxtest
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) do(ctx context.Context) error { return ctx.Err() }
+
+// Rule 1: context.Context must come first.
+func query(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = name
+	return ctx.Err()
+}
+
+// Rule 2: a context in scope must be threaded, not replaced.
+func lookup(ctx context.Context, c *Client) error {
+	return c.do(context.Background()) // want "discards the context already in scope"
+}
+
+// Rule 2 reaches into function literals that inherit the context.
+func spawn(ctx context.Context, c *Client) {
+	go func() {
+		_ = c.do(context.TODO()) // want "discards the context already in scope"
+	}()
+}
+
+// Rule 3: an exported protocol-type method may not synthesize a fresh
+// context for downstream work.
+func (c *Client) Ping() error {
+	return c.do(context.Background()) // want "exported method Client.Ping synthesizes"
+}
+
+// Negative: threading the received context is the sanctioned shape.
+func relay(ctx context.Context, c *Client) error {
+	return c.do(ctx)
+}
+
+// Negative: an unexported helper on a non-protocol path may seed a
+// fresh context (e.g. a background janitor's root).
+type janitor struct{}
+
+func (j *janitor) run(c *Client) error {
+	return c.do(context.Background())
+}

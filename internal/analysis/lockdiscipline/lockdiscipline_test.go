@@ -1,0 +1,13 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"abase/internal/analysis/analysistest"
+	"abase/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer,
+		"abasecheck.test/locktest", "testdata/lock.go")
+}

@@ -1,0 +1,425 @@
+// Package rucharge enforces balanced RU accounting on request paths.
+// Admission charges consume token-bucket RU up front
+// (quota.ProxyLimiter.Allow / quota.PartitionLimiter.Allow); when the
+// operation then fails before the work is performed, the tokens are
+// gone and the tenant is billed for service it never received. The
+// rule: after a successful Allow, every return path that yields a
+// non-nil error must either refund (a call whose name contains
+// "refund", directly or deferred) or carry an explicit
+//
+//	// ru:final
+//
+// annotation stating the charge intentionally stands (e.g. the
+// downstream work was actually performed, or the charge IS the
+// throttling signal).
+package rucharge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"abase/internal/analysis"
+)
+
+// Analyzer is the rucharge checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "rucharge",
+	Doc: "RU charged by limiter.Allow must be refunded or marked // ru:final on error returns\n\n" +
+		"A successful Allow(cost) consumes tenant RU. An error return after it\n" +
+		"without a refund call (name containing 'refund') silently bills the\n" +
+		"tenant for work that never happened. Returns where the charge is\n" +
+		"deliberate carry '// ru:final' on the return or its enclosing block.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	finals := finalLines(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, finals: finals}
+			w.checkFunc(fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					w := &walker{pass: pass, finals: finals}
+					w.checkFunc(fl.Type, fl.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// finalLines collects the file lines carrying a "ru:final" comment.
+func finalLines(pass *analysis.Pass) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "ru:final") {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				m, ok := out[pos.Filename]
+				if !ok {
+					m = map[int]bool{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// chargeState is one path's accounting state.
+type chargeState struct {
+	// charge is the position of the live Allow charge (NoPos = none).
+	charge token.Pos
+	// deferredRefund reports a deferred refund covering all returns.
+	deferredRefund bool
+	// fuzzy abandons judgement (conditional charge shapes we don't model).
+	fuzzy bool
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	finals  map[string]map[int]bool
+	results *ast.FieldList
+}
+
+// checkFunc walks one function body.
+func (w *walker) checkFunc(ft *ast.FuncType, body *ast.BlockStmt) {
+	if !returnsError(w.pass, ft) {
+		// No error results: nothing to pair charges against. (Charges
+		// that finish through callbacks are covered at the call sites
+		// that return errors.)
+		return
+	}
+	w.results = ft.Results
+	st := &chargeState{}
+	w.walkStmts(body.List, st)
+}
+
+// returnsError reports whether the function's last result is an error.
+func returnsError(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	t := pass.TypesInfo.Types[last.Type].Type
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// walkStmts walks a list, returning true when flow terminates.
+func (w *walker) walkStmts(list []ast.Stmt, st *chargeState) bool {
+	for _, stmt := range list {
+		if w.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) walkStmt(stmt ast.Stmt, st *chargeState) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		w.checkReturn(s, st)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, st)
+		return false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.scanExpr(rhs, st)
+		}
+		return false
+	case *ast.DeferStmt:
+		if callMatches(s.Call, "refund") || deferredClosureRefunds(s.Call) {
+			st.deferredRefund = true
+		}
+		return false
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		return w.walkIf(s, st)
+	case *ast.ForStmt:
+		body := *st
+		w.walkStmts(s.Body.List, &body)
+		return false
+	case *ast.RangeStmt:
+		body := *st
+		w.walkStmts(s.Body.List, &body)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(stmt, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+// walkIf handles the two charge idioms and general branching:
+//
+//	if cond && !limiter.Allow(cost) { return ErrThrottled }   // charge on fallthrough
+//	if limiter.Allow(cost) { ...charged work... }             // charge in then-branch
+func (w *walker) walkIf(s *ast.IfStmt, st *chargeState) bool {
+	if s.Init != nil {
+		w.walkStmt(s.Init, st)
+	}
+	negated, allowPos := allowInCond(w.pass, s.Cond, true)
+	direct, allowPosDirect := allowInCond(w.pass, s.Cond, false)
+
+	thenSt := *st
+	if direct && !negated {
+		thenSt.charge = allowPosDirect
+	}
+	thenExit := w.walkStmts(s.Body.List, &thenSt)
+
+	elseSt := *st
+	if negated {
+		// The then-branch is the rejected path; the charge lands on the
+		// fallthrough/else path.
+		elseSt.charge = allowPos
+	}
+	elseExit := false
+	if s.Else != nil {
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseExit = w.walkStmts(e.List, &elseSt)
+		case *ast.IfStmt:
+			elseExit = w.walkStmt(e, &elseSt)
+		}
+	}
+	switch {
+	case thenExit && elseExit:
+		return true
+	case thenExit:
+		*st = elseSt
+	case elseExit:
+		*st = thenSt
+	default:
+		merged := thenSt
+		if thenSt != elseSt {
+			// Keep a charge only when both paths carry it (definitely
+			// charged); disagreement on anything else goes fuzzy.
+			if thenSt.charge == token.NoPos || elseSt.charge == token.NoPos {
+				merged.charge = token.NoPos
+			}
+			merged.deferredRefund = thenSt.deferredRefund && elseSt.deferredRefund
+			merged.fuzzy = thenSt.fuzzy || elseSt.fuzzy
+		}
+		*st = merged
+	}
+	return false
+}
+
+func (w *walker) walkBranches(stmt ast.Stmt, st *chargeState) bool {
+	var clauses []ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	allExit := len(clauses) > 0
+	for _, clause := range clauses {
+		var body []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+		case *ast.CommClause:
+			body = c.Body
+		}
+		cs := *st
+		if !w.walkStmts(body, &cs) {
+			allExit = false
+		}
+	}
+	return allExit && isExhaustive(stmt)
+}
+
+// isExhaustive reports whether the branch statement has a default (or
+// is a select without one, which blocks).
+func isExhaustive(stmt ast.Stmt) bool {
+	var clauses []ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		return true
+	}
+	for _, clause := range clauses {
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanExpr records charges and refunds appearing in expression
+// position (outside the if-condition idioms).
+func (w *walker) scanExpr(e ast.Expr, st *chargeState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isAllowCall(w.pass, call) {
+			// An Allow outside the two if idioms (result stored, etc.):
+			// we cannot track which branch is charged.
+			st.fuzzy = true
+		}
+		if callMatches(call, "refund") {
+			st.charge = token.NoPos
+		}
+		return true
+	})
+}
+
+// checkReturn reports an error return that loses a live charge.
+func (w *walker) checkReturn(s *ast.ReturnStmt, st *chargeState) {
+	for _, r := range s.Results {
+		w.scanExpr(r, st)
+	}
+	if st.charge == token.NoPos || st.fuzzy || st.deferredRefund {
+		return
+	}
+	if len(s.Results) == 0 {
+		return // bare return with named results: treated as success path
+	}
+	last := s.Results[len(s.Results)-1]
+	if isNil(w.pass, last) {
+		return
+	}
+	pos := w.pass.Fset.Position(s.Pos())
+	if m, ok := w.finals[pos.Filename]; ok && (m[pos.Line] || m[pos.Line-1]) {
+		return
+	}
+	chargeLine := w.pass.Fset.Position(st.charge).Line
+	w.pass.Reportf(s.Pos(),
+		"error return loses the RU charged by Allow at line %d: refund the charge or mark this return // ru:final",
+		chargeLine)
+}
+
+// isNil reports whether e is the nil literal.
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return id.Name == "nil" && (isNilObj || pass.TypesInfo.Uses[id] == nil)
+}
+
+// allowInCond scans a condition for a limiter Allow call, either
+// negated (!x.Allow(c), possibly inside &&/|| chains) or direct.
+func allowInCond(pass *analysis.Pass, cond ast.Expr, wantNegated bool) (bool, token.Pos) {
+	found := false
+	var pos token.Pos
+	var scan func(e ast.Expr, negated bool)
+	scan = func(e ast.Expr, negated bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				scan(e.X, !negated)
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.LAND || e.Op == token.LOR {
+				scan(e.X, negated)
+				scan(e.Y, negated)
+			}
+		case *ast.CallExpr:
+			if isAllowCall(pass, e) && negated == wantNegated {
+				found = true
+				pos = e.Pos()
+			}
+		}
+	}
+	scan(cond, false)
+	return found, pos
+}
+
+// isAllowCall reports whether call is a method call named Allow on a
+// limiter-shaped receiver (type named Bucket or *Limiter).
+func isAllowCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Allow" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Bucket" || strings.HasSuffix(name, "Limiter")
+}
+
+// callMatches reports whether the call's function name contains the
+// fragment (case-insensitive): Refund, refundOnFailure, … all match.
+func callMatches(call *ast.CallExpr, fragment string) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), fragment)
+}
+
+// deferredClosureRefunds reports whether a deferred closure contains a
+// refund call.
+func deferredClosureRefunds(call *ast.CallExpr) bool {
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && callMatches(c, "refund") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package rucharge_test
+
+import (
+	"testing"
+
+	"abase/internal/analysis/analysistest"
+	"abase/internal/analysis/rucharge"
+)
+
+func TestRUCharge(t *testing.T) {
+	analysistest.Run(t, rucharge.Analyzer,
+		"abasecheck.test/rutest", "testdata/ru.go")
+}

@@ -1,0 +1,101 @@
+// Package sentinelis enforces sentinel-error matching through
+// errors.Is. The protocol sentinels (datanode.ErrNotPrimary,
+// ErrStaleEpoch, ErrDeadlineShed, proxy.ErrThrottled, the re-exported
+// client sentinels, …) are routinely wrapped with fmt.Errorf("%w")
+// as they cross plane boundaries, so an == comparison that happens to
+// work today silently stops matching the moment a layer adds context
+// to the error. errors.Is is the only future-proof match.
+package sentinelis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"abase/internal/analysis"
+)
+
+// Analyzer is the sentinelis checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelis",
+	Doc: "sentinel errors must be matched with errors.Is, not == or switch\n\n" +
+		"Package-level error variables named Err* are wrapped as they cross\n" +
+		"plane boundaries (fmt.Errorf %w), so identity comparison breaks as\n" +
+		"soon as any layer adds context. Compare with errors.Is(err, ErrX).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, operand := range []ast.Expr{n.X, n.Y} {
+					if s := sentinel(pass.TypesInfo, operand); s != nil {
+						pass.Reportf(n.Pos(),
+							"comparing error with %s %s misses wrapped errors; use errors.Is(err, %s)",
+							n.Op, s.Name(), s.Name())
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(pass.TypesInfo.Types[n.Tag].Type) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinel(pass.TypesInfo, e); s != nil {
+							pass.Reportf(e.Pos(),
+								"switch on error compares %s by identity and misses wrapped errors; use switch { case errors.Is(err, %s): ... }",
+								s.Name(), s.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sentinel resolves e to a package-level error variable named Err*, or
+// nil. The Err prefix is the repository convention for wrappable
+// sentinels; stdlib identities like io.EOF (which decoders return
+// unwrapped by contract) stay out of scope.
+func sentinel(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if len(v.Name()) < 4 || v.Name()[:3] != "Err" {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,13 @@
+package sentinelis_test
+
+import (
+	"testing"
+
+	"abase/internal/analysis/analysistest"
+	"abase/internal/analysis/sentinelis"
+)
+
+func TestSentinelIs(t *testing.T) {
+	analysistest.Run(t, sentinelis.Analyzer,
+		"abasecheck.test/senttest", "testdata/sent.go")
+}

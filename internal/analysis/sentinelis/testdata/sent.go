@@ -1,0 +1,35 @@
+// Golden file for sentinelis: package-level Err* sentinels must be
+// matched with errors.Is, never identity comparison.
+package senttest
+
+import "errors"
+
+var ErrMissing = errors.New("senttest: missing")
+
+// errLocal is not exported-sentinel-shaped (no Err prefix as declared
+// name pattern requires at least "Err" + one rune, lowercase here), so
+// identity comparison is out of scope.
+var errLocal = errors.New("senttest: local")
+
+func classify(err error) int {
+	if err == ErrMissing { // want "comparing error with == ErrMissing misses wrapped errors"
+		return 1
+	}
+	if err != ErrMissing { // want "comparing error with != ErrMissing misses wrapped errors"
+		return 2
+	}
+	switch err {
+	case ErrMissing: // want "switch on error compares ErrMissing by identity"
+		return 3
+	}
+	return 0
+}
+
+func sanctioned(err error) bool {
+	// errors.Is survives fmt.Errorf("%w") wrapping at plane boundaries.
+	if errors.Is(err, ErrMissing) {
+		return true
+	}
+	// Identity against a non-sentinel stays silent.
+	return err == errLocal
+}

@@ -19,6 +19,14 @@ type Clock interface {
 	Since(t time.Time) time.Duration
 }
 
+// Until returns the wall-clock duration until t. It exists for the one
+// sanctioned exception to clock injection: context.Context deadlines
+// are wall-clock instants even when the component runs under a Sim
+// clock, so converting a ctx deadline into a budget must consult the
+// real clock. Routing those reads through this helper keeps them
+// auditable; everything else uses an injected Clock.
+func Until(t time.Time) time.Duration { return time.Until(t) }
+
 // Real is a Clock backed by the system wall clock.
 type Real struct{}
 

@@ -68,6 +68,11 @@ type groupRun struct {
 	est  *ru.Estimator
 	cost float64 // RU admission cost for the whole sub-batch
 	task *wfq.Task
+	// charged flips once the partition limiter admits the sub-batch; a
+	// task dropped after that point (queue abort, closed scheduler)
+	// never executes, so the RU goes back. Written before sched.Submit
+	// and read only by the scheduler afterwards, so it is ordered.
+	charged bool
 }
 
 // runMulti is the shared node-batch engine: it enters the request
@@ -90,14 +95,20 @@ func (n *Node) runMulti(ctx context.Context, runs []*groupRun, out []BatchResult
 		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
 		for _, r := range runs {
-			if n.quotaOn.Load() && !r.rep.limiter.Allow(r.cost) {
-				burn(n.cfg.Clock, n.cfg.RejectCost)
-				r.ts.throttled.Inc()
-				out[r.idx].Err = ErrThrottled
-				wg.Done()
-				continue
+			if n.quotaOn.Load() {
+				if !r.rep.limiter.Allow(r.cost) {
+					burn(n.cfg.Clock, n.cfg.RejectCost)
+					r.ts.throttled.Inc()
+					out[r.idx].Err = ErrThrottled
+					wg.Done()
+					continue
+				}
+				r.charged = true
 			}
 			if !n.sched.Submit(r.task) {
+				if r.charged {
+					r.rep.limiter.Refund(r.cost)
+				}
 				out[r.idx].Err = errors.New("datanode: scheduler closed")
 				wg.Done()
 			}
@@ -195,6 +206,9 @@ func (n *Node) MultiGet(ctx context.Context, groups []GetBatch) []BatchResult {
 			}
 		}
 		task.Abort = func(err error) {
+			if r.charged {
+				r.rep.limiter.Refund(r.cost)
+			}
 			out[r.idx].Err = err
 			wg.Done()
 		}
@@ -364,6 +378,9 @@ func (n *Node) MultiWrite(ctx context.Context, groups []PutBatch) []BatchResult 
 			},
 		}
 		task.Abort = func(err error) {
+			if r.charged {
+				r.rep.limiter.Refund(r.cost)
+			}
 			out[r.idx].Err = err
 			wg.Done()
 		}
@@ -483,6 +500,9 @@ func (n *Node) MultiContains(ctx context.Context, groups []GetBatch) []BatchResu
 			}
 		}
 		task.Abort = func(err error) {
+			if r.charged {
+				r.rep.limiter.Refund(r.cost)
+			}
 			out[r.idx].Err = err
 			wg.Done()
 		}

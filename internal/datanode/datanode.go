@@ -350,7 +350,7 @@ func (n *Node) admitCtx(ctx context.Context, ts *tenantStats) error {
 		return nil
 	}
 	floor := time.Duration(n.admit.depth()+1) * n.cfg.AdmitCost
-	if time.Until(dl) < n.EstimatedWait() {
+	if clock.Until(dl) < n.EstimatedWait() {
 		ts.shed.Inc()
 		n.shedTotal.Inc()
 		// Sheds must also feed the estimator, folding in the current

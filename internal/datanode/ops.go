@@ -73,7 +73,17 @@ func (n *Node) Get(ctx context.Context, pid partition.ID, key []byte) (OpResult,
 		QuotaShare: n.quotaShare(rep),
 		Ctx:        ctx,
 	}
-	task.Abort = func(err error) { finish(outcome{err: err}) }
+	// quotaCharged flips once the partition limiter admits the request; a
+	// task dropped after that point (queue abort, closed scheduler)
+	// never executes, so the RU goes back. Written before sched.Submit
+	// and read only by the scheduler afterwards, so it is ordered.
+	var quotaCharged bool
+	task.Abort = func(err error) {
+		if quotaCharged {
+			rep.limiter.Refund(estimate)
+		}
+		finish(outcome{err: err})
+	}
 	var res outcome
 	task.CPUStage = func() bool {
 		burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
@@ -119,13 +129,19 @@ func (n *Node) Get(ctx context.Context, pid partition.ID, key []byte) (OpResult,
 			return
 		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
-		if n.quotaOn.Load() && !rep.limiter.Allow(estimate) {
-			burn(n.cfg.Clock, n.cfg.RejectCost)
-			ts.throttled.Inc()
-			finish(outcome{err: ErrThrottled})
-			return
+		if n.quotaOn.Load() {
+			if !rep.limiter.Allow(estimate) {
+				burn(n.cfg.Clock, n.cfg.RejectCost)
+				ts.throttled.Inc()
+				finish(outcome{err: ErrThrottled})
+				return
+			}
+			quotaCharged = true
 		}
 		if !n.sched.Submit(task) {
+			if quotaCharged {
+				rep.limiter.Refund(estimate)
+			}
 			finish(outcome{err: errors.New("datanode: scheduler closed")})
 		}
 	})
@@ -233,6 +249,8 @@ func (n *Node) write(ctx context.Context, pid partition.ID, epoch uint64, key, v
 		close(done)
 	}
 	var ioErr error
+	// See Get: a charge whose task never executes is returned.
+	var quotaCharged bool
 	task := &wfq.Task{
 		Tenant:     pid.Tenant,
 		Partition:  pid.String(),
@@ -241,7 +259,12 @@ func (n *Node) write(ctx context.Context, pid partition.ID, epoch uint64, key, v
 		IOPSCost:   1,
 		QuotaShare: n.quotaShare(rep),
 		Ctx:        ctx,
-		Abort:      finish,
+		Abort: func(err error) {
+			if quotaCharged {
+				rep.limiter.Refund(cost)
+			}
+			finish(err)
+		},
 		CPUStage: func() bool {
 			burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
 			return true // writes always reach the I/O layer (WAL)
@@ -281,13 +304,19 @@ func (n *Node) write(ctx context.Context, pid partition.ID, epoch uint64, key, v
 			return
 		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
-		if n.quotaOn.Load() && !rep.limiter.Allow(cost) {
-			burn(n.cfg.Clock, n.cfg.RejectCost)
-			ts.throttled.Inc()
-			finish(ErrThrottled)
-			return
+		if n.quotaOn.Load() {
+			if !rep.limiter.Allow(cost) {
+				burn(n.cfg.Clock, n.cfg.RejectCost)
+				ts.throttled.Inc()
+				finish(ErrThrottled)
+				return
+			}
+			quotaCharged = true
 		}
 		if !n.sched.Submit(task) {
+			if quotaCharged {
+				rep.limiter.Refund(cost)
+			}
 			finish(errors.New("datanode: write rejected (ceiling or closed)"))
 		}
 	})
@@ -394,6 +423,8 @@ func (n *Node) PutWith(ctx context.Context, pid partition.ID, epoch uint64, key,
 		close(done)
 	}
 	var stageErr error
+	// See Get: a charge whose task never executes is returned.
+	var quotaCharged bool
 	task := &wfq.Task{
 		Tenant:     pid.Tenant,
 		Partition:  pid.String(),
@@ -402,7 +433,12 @@ func (n *Node) PutWith(ctx context.Context, pid partition.ID, epoch uint64, key,
 		IOPSCost:   2, // probe read + write
 		QuotaShare: n.quotaShare(rep),
 		Ctx:        ctx,
-		Abort:      finish,
+		Abort: func(err error) {
+			if quotaCharged {
+				rep.limiter.Refund(cost)
+			}
+			finish(err)
+		},
 		CPUStage: func() bool {
 			burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
 			return true
@@ -454,13 +490,19 @@ func (n *Node) PutWith(ctx context.Context, pid partition.ID, epoch uint64, key,
 			return
 		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
-		if n.quotaOn.Load() && !rep.limiter.Allow(cost) {
-			burn(n.cfg.Clock, n.cfg.RejectCost)
-			ts.throttled.Inc()
-			finish(ErrThrottled)
-			return
+		if n.quotaOn.Load() {
+			if !rep.limiter.Allow(cost) {
+				burn(n.cfg.Clock, n.cfg.RejectCost)
+				ts.throttled.Inc()
+				finish(ErrThrottled)
+				return
+			}
+			quotaCharged = true
 		}
 		if !n.sched.Submit(task) {
+			if quotaCharged {
+				rep.limiter.Refund(cost)
+			}
 			finish(errors.New("datanode: write rejected (ceiling or closed)"))
 		}
 	})
@@ -549,7 +591,7 @@ func (n *Node) ApplyReplicatedBatchAt(pid partition.ID, pos uint64, ops []WriteO
 	if err != nil {
 		return err
 	}
-	if err := n.applyBatchLocked(rep, pid, ops); err != nil {
+	if err := n.applyBatch(rep, pid, ops); err != nil {
 		return err
 	}
 	rep.advancePos(pos)
@@ -563,17 +605,17 @@ func (n *Node) ApplyReplicatedBatch(pid partition.ID, ops []WriteOp) error {
 	if err != nil {
 		return err
 	}
-	if err := n.applyBatchLocked(rep, pid, ops); err != nil {
+	if err := n.applyBatch(rep, pid, ops); err != nil {
 		return err
 	}
 	rep.replPos.Add(uint64(len(ops)))
 	return nil
 }
 
-// applyBatchLocked group-commits a replicated sub-batch to rep's store
+// applyBatch group-commits a replicated sub-batch to rep's store
 // and invalidates the touched cache entries (invalidate rather than
 // populate: see ApplyReplicated).
-func (n *Node) applyBatchLocked(rep *replica, pid partition.ID, ops []WriteOp) error {
+func (n *Node) applyBatch(rep *replica, pid partition.ID, ops []WriteOp) error {
 	batch := make([]lavastore.BatchOp, len(ops))
 	for i, op := range ops {
 		batch[i] = lavastore.BatchOp{Key: op.Key, Value: op.Value, TTL: op.TTL, Delete: op.Delete}

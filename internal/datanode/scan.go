@@ -90,7 +90,14 @@ func (n *Node) RangeScan(ctx context.Context, pid partition.ID, opts ScanOptions
 		QuotaShare: n.quotaShare(rep),
 		Ctx:        ctx,
 	}
-	task.Abort = func(err error) { finish(outcome{err: err}) }
+	// See Get (ops.go): a charge whose task never executes is returned.
+	var quotaCharged bool
+	task.Abort = func(err error) {
+		if quotaCharged {
+			rep.limiter.Refund(estimate)
+		}
+		finish(outcome{err: err})
+	}
 	task.CPUStage = func() bool {
 		burn(n.cfg.Clock, n.cfg.Cost.CPUTime)
 		return true // scans never resolve from the node cache
@@ -121,13 +128,19 @@ func (n *Node) RangeScan(ctx context.Context, pid partition.ID, opts ScanOptions
 			return
 		}
 		burn(n.cfg.Clock, n.cfg.AdmitCost)
-		if n.quotaOn.Load() && !rep.limiter.Allow(estimate) {
-			burn(n.cfg.Clock, n.cfg.RejectCost)
-			ts.throttled.Inc()
-			finish(outcome{err: ErrThrottled})
-			return
+		if n.quotaOn.Load() {
+			if !rep.limiter.Allow(estimate) {
+				burn(n.cfg.Clock, n.cfg.RejectCost)
+				ts.throttled.Inc()
+				finish(outcome{err: ErrThrottled})
+				return
+			}
+			quotaCharged = true
 		}
 		if !n.sched.Submit(task) {
+			if quotaCharged {
+				rep.limiter.Refund(estimate)
+			}
 			finish(outcome{err: errors.New("datanode: scheduler closed")})
 		}
 	})

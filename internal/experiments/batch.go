@@ -114,7 +114,7 @@ func BatchComparison(opts BatchOpts) ([]BatchPoint, Table) {
 	const passes = 4
 	for _, size := range opts.Sizes {
 		rounds := opts.Keys / size
-		start := time.Now()
+		start := clk.Now()
 		for p := 0; p < passes; p++ {
 			for r := 0; r < rounds; r++ {
 				for _, k := range keys[r*size : (r+1)*size] {
@@ -122,15 +122,15 @@ func BatchComparison(opts BatchOpts) ([]BatchPoint, Table) {
 				}
 			}
 		}
-		looped := float64(passes*rounds*size) / time.Since(start).Seconds()
+		looped := float64(passes*rounds*size) / clk.Since(start).Seconds()
 
-		start = time.Now()
+		start = clk.Now()
 		for p := 0; p < passes; p++ {
 			for r := 0; r < rounds; r++ {
 				fleet.BatchGet(bg, keys[r*size:(r+1)*size])
 			}
 		}
-		batched := float64(passes*rounds*size) / time.Since(start).Seconds()
+		batched := float64(passes*rounds*size) / clk.Since(start).Seconds()
 
 		pt := BatchPoint{BatchSize: size, LoopedOps: looped, BatchedOps: batched, Speedup: batched / looped}
 		points = append(points, pt)

@@ -259,11 +259,11 @@ func Figure5(opts Figure5Opts) ([]Fig5Scenario, Table) {
 			phaseWindows := opts.WindowsPerPhase
 			for w := 0; w < phaseWindows; w++ {
 				ops := int(float64(opts.OpsPerWindow) * phase.QPSFactor)
-				start := time.Now()
+				start := clk.Now()
 				for op := 0; op < ops; op++ {
 					node.Get(bg, pid, phase.Keys.Next())
 				}
-				elapsed := time.Since(start).Seconds()
+				elapsed := clk.Since(start).Seconds()
 				st := node.TenantStats("d11")
 				dh := st.CacheHits - prevHits
 				dm := st.CacheMiss - prevMiss

@@ -5,7 +5,16 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"abase/internal/clock"
 )
+
+// clk is the timing source for experiment drivers. The harnesses pace
+// open-loop load and measure latency against real components, so the
+// default is the wall clock, but routing every read through an
+// injectable Clock keeps the package inside the clockdiscipline
+// invariant and lets a test substitute clock.Sim.
+var clk clock.Clock = clock.Real{}
 
 // Table is a printable experiment result.
 type Table struct {

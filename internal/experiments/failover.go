@@ -171,7 +171,7 @@ func FailoverAvailability(opts FailoverOpts) (FailoverResult, Table) {
 	for i := 0; i < opts.Ops; i++ {
 		if i == opts.KillAfter {
 			inj.Kill(victim)
-			killed, killTime = true, time.Now()
+			killed, killTime = true, clk.Now()
 		}
 		key := gen.Next()
 		value := []byte(fmt.Sprintf("val-%08d", i))
@@ -181,7 +181,7 @@ func FailoverAvailability(opts FailoverOpts) (FailoverResult, Table) {
 			model[string(key)] = string(value)
 			if killed && !recovered && onAffected {
 				recovered = true
-				res.UnavailableWindow = time.Since(killTime)
+				res.UnavailableWindow = clk.Since(killTime)
 			}
 		} else {
 			res.UnavailableWrites++

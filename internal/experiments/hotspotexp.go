@@ -196,13 +196,13 @@ func HotspotMitigation(opts HotspotOpts) ([]HotspotRow, HotspotSplit, Table) {
 			}
 			preload(m, tenant, opts.Keys, opts.ValueBytes)
 			gen := w.gen(int64(wi) + 11)
-			start := time.Now()
+			start := clk.Now()
 			for op := 0; op < opts.Ops; op++ {
 				if _, err := fleet.Get(bg, gen.Next()); err != nil && !errors.Is(err, proxy.ErrNotFound) {
 					panic(err)
 				}
 			}
-			elapsed := time.Since(start).Seconds()
+			elapsed := clk.Since(start).Seconds()
 			st := fleet.AggregateStats()
 			var ru float64
 			for _, nid := range m.Nodes() {

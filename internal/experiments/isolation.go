@@ -110,12 +110,12 @@ func (s *isoStack) drive(pid partition.ID, rate float64, dur time.Duration) wind
 	var success, errs atomic.Int64
 	hist := metrics.NewHistogram()
 	var wg sync.WaitGroup
-	deadline := time.Now().Add(dur)
+	deadline := clk.Now().Add(dur)
 	carry := 0.0
 	seq := 0
-	last := time.Now()
-	for time.Now().Before(deadline) {
-		now := time.Now()
+	last := clk.Now()
+	for clk.Now().Before(deadline) {
+		now := clk.Now()
 		carry += rate * now.Sub(last).Seconds()
 		last = now
 		n := int(carry)
@@ -132,9 +132,9 @@ func (s *isoStack) drive(pid partition.ID, rate float64, dur time.Duration) wind
 			wg.Add(1)
 			go func(k []byte) {
 				defer wg.Done()
-				start := time.Now()
+				start := clk.Now()
 				_, err := s.node.Get(bg, pid, k)
-				lat := time.Since(start)
+				lat := clk.Since(start)
 				switch {
 				case err == nil && (s.timeout == 0 || lat <= s.timeout):
 					success.Add(1)
@@ -149,7 +149,7 @@ func (s *isoStack) drive(pid partition.ID, rate float64, dur time.Duration) wind
 				}
 			}(k)
 		}
-		time.Sleep(tick)
+		clk.Sleep(tick)
 	}
 	wg.Wait()
 	secs := dur.Seconds()

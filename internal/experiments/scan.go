@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"abase/internal/proxy"
 )
@@ -79,13 +78,13 @@ func ScanThroughput(opts ScanOpts) ([]ScanPoint, Table) {
 	const passes = 3
 	for _, size := range opts.PageSizes {
 		var keys, pages int
-		start := time.Now()
+		start := clk.Now()
 		for p := 0; p < passes; p++ {
 			k, pg := traverse(size)
 			keys += k
 			pages += pg
 		}
-		elapsed := time.Since(start).Seconds()
+		elapsed := clk.Since(start).Seconds()
 		pt := ScanPoint{
 			PageSize:   size,
 			Pages:      pages / passes,

@@ -155,9 +155,9 @@ func runShedding(fleet *proxy.Fleet, opts SheddingOpts, value []byte, seq *atomi
 				}
 				key := []byte(fmt.Sprintf("k%08d", seq.Add(1)))
 				ctx, cancel := context.WithTimeout(context.Background(), deadline)
-				start := time.Now()
+				start := clk.Now()
 				err := fleet.Put(ctx, key, value, 0)
-				lat := time.Since(start)
+				lat := clk.Since(start)
 				cancel()
 				offered.Add(1)
 				if tight {
@@ -178,7 +178,7 @@ func runShedding(fleet *proxy.Fleet, opts SheddingOpts, value []byte, seq *atomi
 			}
 		}()
 	}
-	time.Sleep(opts.Duration)
+	clk.Sleep(opts.Duration)
 	close(stop)
 	wg.Wait()
 	st.Offered = offered.Load()

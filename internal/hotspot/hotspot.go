@@ -313,6 +313,7 @@ func (d *Detector) Reset() {
 // maybeDecayLocked halves every count once per elapsed window. Decay is
 // lazy — applied on the next touch or query — so idle detectors cost
 // nothing.
+// +locked:d.mu
 func (d *Detector) maybeDecayLocked() {
 	now := d.clk.Now()
 	elapsed := now.Sub(d.lastDecay)
@@ -370,6 +371,8 @@ func NewMeter(tau time.Duration, clk clock.Clock) *Meter {
 	return &Meter{tau: tau.Seconds(), clk: clk, last: clk.Now()}
 }
 
+// decayLocked applies exponential decay to the meter's rate estimate.
+// +locked:m.mu
 func (m *Meter) decayLocked(now time.Time) {
 	dt := now.Sub(m.last).Seconds()
 	if dt <= 0 {

@@ -361,6 +361,7 @@ func (db *DB) WriteBatch(ops []BatchOp) error {
 // overwrite-heavy workloads — rewriting the same keys keeps the
 // memtable small while the log (and with it crash-recovery replay
 // time) grows without limit.
+// +locked:db.mu
 func (db *DB) needFlushLocked() bool {
 	return db.mem.Bytes() >= db.opt.MemtableBytes ||
 		db.walBytes >= 4*db.opt.MemtableBytes
@@ -435,7 +436,7 @@ func (db *DB) finishGet(rec []byte, ioReads int, now int64) (GetResult, error) {
 
 // Flush freezes the current memtable and writes it out as an SSTable.
 func (db *DB) Flush() error {
-	tooMany, err := db.flushLocked()
+	tooMany, err := db.doFlush()
 	if err != nil {
 		return err
 	}
@@ -447,9 +448,9 @@ func (db *DB) Flush() error {
 	return nil
 }
 
-// flushLocked is Flush's body under flushMu; it reports whether the
-// table count crossed the compaction threshold.
-func (db *DB) flushLocked() (tooMany bool, err error) {
+// doFlush is Flush's body; it acquires flushMu itself and reports
+// whether the table count crossed the compaction threshold.
+func (db *DB) doFlush() (tooMany bool, err error) {
 	db.flushMu.Lock()
 	defer db.flushMu.Unlock()
 	db.mu.Lock()

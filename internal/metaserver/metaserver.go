@@ -360,6 +360,7 @@ func (m *Meta) CreateTenant(spec TenantSpec) (*Tenant, error) {
 // health tracker currently considers down — placing a fresh replica
 // (or a split's new primary) on a dead node would black it out on
 // arrival.
+// +locked:m.mu
 func (m *Meta) pickHostsLocked(k int, exclude map[string]bool) []string {
 	type cand struct {
 		id   string

@@ -13,11 +13,15 @@ import (
 // Complex-operation RU estimation happens on the node (§4.1); the
 // proxy charges its quota with the pre-execution estimate.
 
-func (p *Proxy) allowComplex() bool {
+// allowComplex admits a complex (whole-hash) operation, returning the
+// RU charged so the caller can refund it if the operation never
+// reaches a node.
+func (p *Proxy) allowComplex() (float64, bool) {
+	cost := p.est.EstimateHGetAllRU()
 	if !p.cfg.EnableQuota {
-		return true
+		return cost, true
 	}
-	return p.limiter.Allow(p.est.EstimateHGetAllRU())
+	return cost, p.limiter.Allow(cost)
 }
 
 // FieldValue is one field/value pair of a multi-field hash write.
@@ -45,7 +49,8 @@ func (p *Proxy) HSetMulti(ctx context.Context, key []byte, fvs []FieldValue) (in
 	for _, fv := range fvs {
 		payload += len(fv.Field) + len(fv.Value)
 	}
-	if p.cfg.EnableQuota && !p.limiter.Allow(p.est.EstimateReadRU()+ru.WriteRU(payload, 3)) {
+	cost := p.est.EstimateReadRU() + ru.WriteRU(payload, 3)
+	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
@@ -56,7 +61,7 @@ func (p *Proxy) HSetMulti(ctx context.Context, key []byte, fvs []FieldValue) (in
 		return err
 	})
 	if err != nil {
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return 0, err
 	}
 	if p.cache != nil {
@@ -71,7 +76,8 @@ func (p *Proxy) HGet(ctx context.Context, key []byte, field string) ([]byte, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if p.cfg.EnableQuota && !p.limiter.Allow(p.est.EstimateReadRU()) {
+	cost := p.est.EstimateReadRU()
+	if p.cfg.EnableQuota && !p.limiter.Allow(cost) {
 		p.rejected.Inc()
 		return nil, ErrThrottled
 	}
@@ -84,9 +90,10 @@ func (p *Proxy) HGet(ctx context.Context, key []byte, field string) ([]byte, err
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
 			p.errors.Inc()
-			return nil, ErrNotFound
+			// The node performed the read; a miss still costs RU.
+			return nil, ErrNotFound // ru:final
 		}
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return nil, err
 	}
 	p.success.Inc()
@@ -98,7 +105,8 @@ func (p *Proxy) HLen(ctx context.Context, key []byte) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	if !p.allowComplex() {
+	cost, ok := p.allowComplex()
+	if !ok {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
@@ -109,7 +117,7 @@ func (p *Proxy) HLen(ctx context.Context, key []byte) (int, error) {
 		return err
 	})
 	if err != nil {
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return 0, err
 	}
 	p.success.Inc()
@@ -121,7 +129,8 @@ func (p *Proxy) HGetAll(ctx context.Context, key []byte) (map[string][]byte, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if !p.allowComplex() {
+	cost, ok := p.allowComplex()
+	if !ok {
 		p.rejected.Inc()
 		return nil, ErrThrottled
 	}
@@ -132,7 +141,7 @@ func (p *Proxy) HGetAll(ctx context.Context, key []byte) (map[string][]byte, err
 		return err
 	})
 	if err != nil {
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return nil, err
 	}
 	p.success.Inc()
@@ -144,7 +153,8 @@ func (p *Proxy) HDel(ctx context.Context, key []byte, fields ...string) (int, er
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	if !p.allowComplex() {
+	cost, ok := p.allowComplex()
+	if !ok {
 		p.rejected.Inc()
 		return 0, ErrThrottled
 	}
@@ -155,7 +165,7 @@ func (p *Proxy) HDel(ctx context.Context, key []byte, fields ...string) (int, er
 		return err
 	})
 	if err != nil {
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return 0, err
 	}
 	if p.cache != nil {

@@ -334,6 +334,32 @@ func (p *Proxy) noteFailure(err error) {
 	}
 }
 
+// noWorkErr reports whether err proves the charged request never
+// executed on a DataNode: routing-shaped failures (dead node, stale
+// epoch, wrong primary, unknown partition), deadline sheds (the node
+// refused before the request consumed a queue slot), and context
+// aborts. Engine errors, node-side throttles, and not-found reads all
+// represent work performed, so their charge stands.
+func noWorkErr(err error) bool {
+	return retryableRouteErr(err) ||
+		errors.Is(err, metaserver.ErrUnknownPartition) ||
+		errors.Is(err, datanode.ErrDeadlineShed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// refundFailure settles a failed operation's RU charge and counters in
+// one step: a failure that proves no downstream work happened returns
+// cost to the tenant's bucket — the tenant must not pay for requests
+// the system never executed — while every other failure keeps the
+// charge. The error is then classified into the proxy counters.
+func (p *Proxy) refundFailure(cost float64, err error) {
+	if p.cfg.EnableQuota && noWorkErr(err) {
+		p.limiter.Refund(cost)
+	}
+	p.noteFailure(err)
+}
+
 // Get reads key. Proxy cache hits return immediately without consuming
 // any quota (§4.2); misses are admitted by the proxy limiter and routed
 // to the primary DataNode.
@@ -400,9 +426,10 @@ func (p *Proxy) GetPref(ctx context.Context, key []byte, pref ReadPreference) ([
 		if errors.Is(err, datanode.ErrNotFound) {
 			p.est.ObserveRead(0, false)
 			p.errors.Inc()
-			return nil, ErrNotFound
+			// The node performed the read; a miss still costs RU.
+			return nil, ErrNotFound // ru:final
 		}
-		p.noteFailure(err)
+		p.refundFailure(estimate, err)
 		return nil, err
 	}
 	p.success.Inc()
@@ -434,7 +461,7 @@ func (p *Proxy) Put(ctx context.Context, key, value []byte, ttl time.Duration) e
 		return nil
 	})
 	if err != nil {
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return err
 	}
 	// Write-through for TTL-free values (hotness-gated for cold keys);
@@ -507,7 +534,7 @@ func (p *Proxy) PutWith(ctx context.Context, key, value []byte, opts PutOptions)
 		return nil
 	})
 	if err != nil {
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return SetResult{}, err
 	}
 	if p.cache != nil {
@@ -553,9 +580,10 @@ func (p *Proxy) Delete(ctx context.Context, key []byte) error {
 			if p.cache != nil {
 				p.cache.Delete(string(key))
 			}
-			return ErrNotFound
+			// The node probed the key; the delete attempt is billed.
+			return ErrNotFound // ru:final
 		}
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return err
 	}
 	if p.cache != nil {
@@ -782,9 +810,10 @@ func (p *Proxy) Expire(ctx context.Context, key []byte, ttl time.Duration) error
 	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
-			return ErrNotFound
+			// The node probed the key; the attempt is billed.
+			return ErrNotFound // ru:final
 		}
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return err
 	}
 	if p.cache != nil {
@@ -815,9 +844,10 @@ func (p *Proxy) Persist(ctx context.Context, key []byte) (bool, error) {
 	})
 	if err != nil {
 		if errors.Is(err, datanode.ErrNotFound) {
-			return false, ErrNotFound
+			// The node probed the key; the attempt is billed.
+			return false, ErrNotFound // ru:final
 		}
-		p.noteFailure(err)
+		p.refundFailure(cost, err)
 		return false, err
 	}
 	p.success.Inc()

@@ -163,14 +163,14 @@ func (p *Proxy) Scan(ctx context.Context, cursor string, opts ScanOptions) (Scan
 		// context sentinel, so the caller both keeps the paid-for work
 		// and learns its budget ran out.
 		if err := ctx.Err(); err != nil {
-			return p.finishScan(page, cur, fetched, err, start)
+			return p.refundFinishScan(page, cur, fetched, estimate, err, start)
 		}
 		// Re-read the cached table every iteration: a split mid-scan
 		// appends partitions (and invalidates the cache), which this
 		// walk then covers.
 		view, err := p.routingView()
 		if err != nil {
-			return p.finishScan(page, cur, fetched, err, start)
+			return p.refundFinishScan(page, cur, fetched, estimate, err, start)
 		}
 		if cur.part >= len(view.Partitions) {
 			// Traversal complete.
@@ -186,7 +186,7 @@ func (p *Proxy) Scan(ctx context.Context, cursor string, opts ScanOptions) (Scan
 				p.InvalidateRoutes()
 				continue
 			}
-			return p.finishScan(page, cur, fetched, err, start)
+			return p.refundFinishScan(page, cur, fetched, estimate, err, start)
 		}
 		res, err := node.RangeScan(ctx, route.Partition, datanode.ScanOptions{
 			Start:    cur.resume,
@@ -199,7 +199,7 @@ func (p *Proxy) Scan(ctx context.Context, cursor string, opts ScanOptions) (Scan
 				p.noteRouteFailure(route.Primary, err)
 				continue
 			}
-			return p.finishScan(page, cur, fetched, mapNodeErr(err), start)
+			return p.refundFinishScan(page, cur, fetched, estimate, mapNodeErr(err), start)
 		}
 		p.windowRU.Add(res.RU)
 		// Even an empty sub-scan (exhausted or vacant partition) costs a
@@ -232,17 +232,24 @@ func (p *Proxy) Scan(ctx context.Context, cursor string, opts ScanOptions) (Scan
 	return page, nil
 }
 
-// finishScan resolves a mid-page failure: partial progress returns the
-// page with a resumable cursor (the error is swallowed — the work is
-// already paid for and the caller continues later); an empty page
-// propagates the error with the cursor unchanged.
-func (p *Proxy) finishScan(page ScanPage, cur scanCursor, fetched int, err error, start time.Time) (ScanPage, error) {
+// refundFinishScan resolves a mid-page failure and settles its RU
+// charge: partial progress returns the page with a resumable cursor
+// (the error is swallowed — the work is already paid for and the
+// caller continues later); an empty page propagates the error with the
+// cursor unchanged and, when the failure proves no sub-scan ever
+// executed, refunds the page admission so the tenant does not pay for
+// a page the system never served.
+func (p *Proxy) refundFinishScan(page ScanPage, cur scanCursor, fetched int, estimate float64, err error, start time.Time) (ScanPage, error) {
 	p.latency.Observe(p.cfg.Clock.Since(start))
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		// The caller's budget ran out mid-page: hand back whatever was
 		// gathered plus a cursor at the unfinished spot, and surface
-		// the sentinel so the caller knows why the page is short.
+		// the sentinel so the caller knows why the page is short. With
+		// nothing gathered, no work was dispatched: refund the page.
 		page.Cursor = encodeCursor(cur)
+		if fetched == 0 && p.cfg.EnableQuota {
+			p.limiter.Refund(estimate)
+		}
 		p.noteFailure(err)
 		return page, err
 	}
@@ -254,9 +261,12 @@ func (p *Proxy) finishScan(page ScanPage, cur scanCursor, fetched int, err error
 	}
 	if errors.Is(err, ErrThrottled) {
 		p.rejected.Inc()
-	} else {
-		p.errors.Inc()
+		return ScanPage{}, err
 	}
+	if p.cfg.EnableQuota && noWorkErr(err) {
+		p.limiter.Refund(estimate)
+	}
+	p.errors.Inc()
 	return ScanPage{}, err
 }
 

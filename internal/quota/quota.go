@@ -33,6 +33,9 @@ func NewBucket(rate, burst float64, clk clock.Clock) *Bucket {
 	return &Bucket{rate: rate, burst: burst, tokens: burst, last: clk.Now(), clk: clk}
 }
 
+// refillLocked credits tokens accrued since the last refill, capped at
+// burst.
+// +locked:b.mu
 func (b *Bucket) refillLocked(now time.Time) {
 	elapsed := now.Sub(b.last).Seconds()
 	if elapsed <= 0 {
@@ -61,6 +64,24 @@ func (b *Bucket) Allow(cost float64) bool {
 	}
 	b.rejected++
 	return false
+}
+
+// Refund returns cost tokens to the bucket, capped at burst. It undoes
+// an Allow whose request did no work downstream (node down, stale
+// route, deadline shed before admission): the tenant should not pay RU
+// for work the system never performed. Refunds never rewrite the
+// allowed/rejected counters — the admission decision did happen.
+func (b *Bucket) Refund(cost float64) {
+	if cost <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clk.Now())
+	b.tokens += cost
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
 }
 
 // SetRate updates the refill rate and burst, preserving accrued tokens
@@ -205,6 +226,10 @@ func NewProxyLimiter(proxyQuota float64, clk clock.Clock) *ProxyLimiter {
 // Allow admits a request of the given RU cost.
 func (p *ProxyLimiter) Allow(cost float64) bool { return p.bucket.Allow(cost) }
 
+// Refund returns cost RU charged by Allow for a request that did no
+// downstream work.
+func (p *ProxyLimiter) Refund(cost float64) { p.bucket.Refund(cost) }
+
 // Restrict reverts the proxy to its standard quota (MetaServer
 // direction after tenant-wide overage).
 func (p *ProxyLimiter) Restrict() {
@@ -269,6 +294,10 @@ func NewPartitionLimiter(partitionQuota float64, clk clock.Clock) *PartitionLimi
 
 // Allow admits a request of the given RU cost.
 func (p *PartitionLimiter) Allow(cost float64) bool { return p.bucket.Allow(cost) }
+
+// Refund returns cost RU charged by Allow for a request that did no
+// downstream work.
+func (p *PartitionLimiter) Refund(cost float64) { p.bucket.Refund(cost) }
 
 // SetQuota updates the partition quota (after scaling or splits).
 func (p *PartitionLimiter) SetQuota(partitionQuota float64) {
