@@ -188,13 +188,14 @@ type ClusterConfig struct {
 
 // Cluster is an embedded ABase deployment.
 type Cluster struct {
-	cfg   ClusterConfig
-	Meta  *metaserver.Meta
-	nodes []*datanode.Node
+	cfg  ClusterConfig
+	Meta *metaserver.Meta
 
-	mu      sync.Mutex
-	tenants map[string]*Tenant
-	closed  bool
+	mu       sync.Mutex
+	nodes    []*datanode.Node
+	nextNode int // monotone id counter: decommissions never recycle ids
+	tenants  map[string]*Tenant
+	closed   bool
 }
 
 // NewCluster starts a cluster with cfg.Nodes DataNodes.
@@ -223,29 +224,96 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}),
 		tenants: make(map[string]*Tenant),
 	}
+	c.mu.Lock()
 	for i := 0; i < cfg.Nodes; i++ {
-		n := datanode.New(datanode.Config{
-			ID:                   fmt.Sprintf("dn-%03d", i),
-			Clock:                cfg.Clock,
-			FS:                   cfg.FS,
-			CacheBytes:           cfg.NodeCacheBytes,
-			WFQ:                  cfg.WFQ,
-			Cost:                 cfg.Cost,
-			Replicas:             cfg.Replicas,
-			EnablePartitionQuota: !cfg.DisablePartitionQuota,
-			RUCapacity:           cfg.NodeRUCapacity,
-			AdmitCost:            cfg.AdmitCost,
-			HotSampleRate:        cfg.HotSampleRate,
-			DisableDeadlineShed:  cfg.DisableDeadlineShed,
-		})
-		c.Meta.RegisterNode(n)
-		c.nodes = append(c.nodes, n)
+		c.addNodeLocked()
 	}
+	c.mu.Unlock()
 	return c, nil
+}
+
+// addNodeLocked builds, registers, and tracks one DataNode.
+//
+// +locked:c.mu
+func (c *Cluster) addNodeLocked() *datanode.Node {
+	cfg := c.cfg
+	n := datanode.New(datanode.Config{
+		ID:                   fmt.Sprintf("dn-%03d", c.nextNode),
+		Clock:                cfg.Clock,
+		FS:                   cfg.FS,
+		CacheBytes:           cfg.NodeCacheBytes,
+		WFQ:                  cfg.WFQ,
+		Cost:                 cfg.Cost,
+		Replicas:             cfg.Replicas,
+		EnablePartitionQuota: !cfg.DisablePartitionQuota,
+		RUCapacity:           cfg.NodeRUCapacity,
+		AdmitCost:            cfg.AdmitCost,
+		HotSampleRate:        cfg.HotSampleRate,
+		DisableDeadlineShed:  cfg.DisableDeadlineShed,
+	})
+	c.nextNode++
+	c.Meta.RegisterNode(n)
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// AddNode grows the pool by one DataNode (autoscaler scale-up). The
+// new node starts empty and attracts replicas through partition
+// splits, failure repairs, and rescheduler migrations; existing
+// routes are untouched.
+func (c *Cluster) AddNode() (*datanode.Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("abase: cluster closed")
+	}
+	return c.addNodeLocked(), nil
+}
+
+// RemoveNode gracefully decommissions a DataNode (autoscaler
+// scale-down): replication is drained so every follower is caught up,
+// the node's replicas are rebuilt across the surviving pool from
+// surviving copies (primaries hand off with an epoch bump, exactly as
+// in failure repair), and only then is the node shut down — no
+// acknowledged write is lost. The pool cannot shrink below the
+// replication factor.
+func (c *Cluster) RemoveNode(id string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("abase: cluster closed")
+	}
+	idx := -1
+	for i, n := range c.nodes {
+		if n.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		c.mu.Unlock()
+		return fmt.Errorf("abase: unknown node %q", id)
+	}
+	if len(c.nodes)-1 < c.cfg.Replicas {
+		c.mu.Unlock()
+		return fmt.Errorf("abase: removing %s would leave %d nodes, below the replication factor %d",
+			id, len(c.nodes)-1, c.cfg.Replicas)
+	}
+	n := c.nodes[idx]
+	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
+	c.mu.Unlock()
+
+	c.Meta.FlushReplication()
+	if err := c.Meta.FailNode(id); err != nil {
+		return err
+	}
+	return n.Close()
 }
 
 // Nodes returns the cluster's DataNodes (observability and tests).
 func (c *Cluster) Nodes() []*datanode.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]*datanode.Node(nil), c.nodes...)
 }
 
@@ -375,10 +443,11 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
+	nodes := append([]*datanode.Node(nil), c.nodes...)
 	c.mu.Unlock()
 	c.Meta.Close()
 	var first error
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		if err := n.Close(); err != nil && first == nil {
 			first = err
 		}

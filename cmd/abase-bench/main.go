@@ -1,125 +1,249 @@
-// Command abase-bench regenerates the paper's tables and figures.
+// Command abase-bench regenerates the paper's tables and figures and,
+// with -json-out, emits one machine-readable BENCH_<experiment>.json
+// trajectory point per measuring experiment for cmd/benchdiff to gate.
 //
 // Usage:
 //
 //	abase-bench -run all
 //	abase-bench -run table1,fig6,fig9
+//	abase-bench -run all -json-out .
 //
-// Experiments: table1, fig3 (alias fig4), fig4, fig5, fig6, fig7,
-// fig8a, fig8b, fig9, fig10, table2, util, batch, scan, hotspot, failover,
-// shedding, ablations.
+// Experiments: table1, fig3 (alias fig4), fig5, fig6, fig7, fig8a,
+// fig8b, fig9, fig10, table2, util, batch, scan, point, hotspot,
+// failover, shedding, soak, ablations. Unknown ids are rejected up
+// front (exit 2) so a typo cannot silently skip a measurement.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
+	"abase/internal/benchjson"
 	"abase/internal/experiments"
 	"abase/internal/sim"
+	"abase/internal/soak"
 )
 
-func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (or 'all')")
-	nodes := flag.Int("fig9-nodes", 1000, "pool size for fig9")
-	flag.Parse()
+// options carries the flag values into experiment runners.
+type options struct {
+	fig9Nodes int
+}
 
-	want := map[string]bool{}
-	for _, id := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(strings.ToLower(id))] = true
+// experiment is one registry entry: a primary id, optional aliases,
+// and a runner that prints its tables and returns any trajectory
+// points to be written as BENCH_<experiment>.json files.
+type experiment struct {
+	id      string
+	aliases []string
+	run     func(o options, out io.Writer) ([]benchjson.Result, error)
+}
+
+// tables wraps a runner that only prints paper tables and emits no
+// trajectory point.
+func tables(fn func(o options, out io.Writer)) func(options, io.Writer) ([]benchjson.Result, error) {
+	return func(o options, out io.Writer) ([]benchjson.Result, error) {
+		fn(o, out)
+		return nil, nil
 	}
-	all := want["all"]
-	ran := 0
-	runExp := func(ids []string, fn func()) {
-		hit := all
-		for _, id := range ids {
-			if want[id] {
-				hit = true
+}
+
+// registry lists every experiment in presentation order. The measuring
+// experiments (batch, scan, point, hotspot, failover, shedding, soak)
+// return trajectory points; the paper figures print tables only.
+func registry() []experiment {
+	return []experiment{
+		{id: "table1", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Table1(experiments.Table1Opts{})
+			t.Fprint(out)
+		})},
+		{id: "fig3", aliases: []string{"fig4"}, run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Figure34(experiments.Figure34Opts{})
+			t.Fprint(out)
+		})},
+		{id: "fig5", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Figure5(experiments.Figure5Opts{})
+			t.Fprint(out)
+		})},
+		{id: "fig6", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Figure6(experiments.Figure6Opts{})
+			t.Fprint(out)
+		})},
+		{id: "fig7", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Figure7(experiments.Figure7Opts{})
+			t.Fprint(out)
+		})},
+		{id: "fig8a", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Figure8a()
+			t.Fprint(out)
+		})},
+		{id: "fig8b", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Figure8b(sim.OncallConfig{})
+			t.Fprint(out)
+		})},
+		{id: "fig9", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Figure9(experiments.Figure9Opts{Nodes: o.fig9Nodes})
+			t.Fprint(out)
+		})},
+		{id: "fig10", run: tables(func(o options, out io.Writer) {
+			_, _, t := experiments.Figure10(experiments.Figure10Opts{})
+			t.Fprint(out)
+		})},
+		{id: "table2", run: tables(func(o options, out io.Writer) {
+			_, t := experiments.Table2(experiments.Table2Opts{})
+			t.Fprint(out)
+		})},
+		{id: "util", run: tables(func(o options, out io.Writer) {
+			_, _, t := experiments.UtilizationComparison(0, 0)
+			t.Fprint(out)
+		})},
+		{id: "batch", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			points, t := experiments.BatchComparison(experiments.BatchOpts{})
+			t.Fprint(out)
+			return []benchjson.Result{experiments.BatchBench(points)}, nil
+		}},
+		{id: "scan", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			points, t := experiments.ScanThroughput(experiments.ScanOpts{})
+			t.Fprint(out)
+			return []benchjson.Result{experiments.ScanBench(points)}, nil
+		}},
+		{id: "point", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			stats, t := experiments.PointLatency(experiments.PointOpts{})
+			t.Fprint(out)
+			return []benchjson.Result{experiments.PointBench(stats)}, nil
+		}},
+		{id: "hotspot", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			rows, split, t := experiments.HotspotMitigation(experiments.HotspotOpts{})
+			t.Fprint(out)
+			return []benchjson.Result{experiments.HotspotBench(rows, split)}, nil
+		}},
+		{id: "failover", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			res, t := experiments.FailoverAvailability(experiments.FailoverOpts{})
+			t.Fprint(out)
+			return []benchjson.Result{experiments.FailoverBench(res)}, nil
+		}},
+		{id: "shedding", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			res, t := experiments.DeadlineShedding(experiments.SheddingOpts{})
+			t.Fprint(out)
+			return []benchjson.Result{experiments.SheddingBench(res)}, nil
+		}},
+		{id: "soak", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			report, err := soak.Run(context.Background(), soak.DefaultConfig())
+			if err != nil {
+				return nil, err
 			}
-		}
-		if hit {
-			fn()
-			ran++
+			printSoak(out, report)
+			return []benchjson.Result{report.ToResult()}, nil
+		}},
+		{id: "ablations", run: tables(func(o options, out io.Writer) {
+			experiments.AblationSALRU(0).Fprint(out)
+			experiments.AblationActiveUpdate().Fprint(out)
+			experiments.AblationFanout(0).Fprint(out)
+			experiments.AblationVFT().Fprint(out)
+			experiments.AblationForecast().Fprint(out)
+		})},
+	}
+}
+
+// printSoak renders the soak report as a table matching the other
+// experiments' presentation.
+func printSoak(out io.Writer, r soak.Report) {
+	fmt.Fprintf(out, "\n== Diurnal soak (%s simulated, seed %d) ==\n", r.SimulatedSpan, r.Seed)
+	fmt.Fprintf(out, "ops issued        %d\n", r.OpsIssued)
+	fmt.Fprintf(out, "acked writes      %d (lost: %d)\n", r.Acked, r.LostAcked)
+	fmt.Fprintf(out, "availability      %.4f\n", r.Availability)
+	fmt.Fprintf(out, "pool resizes      %d (peak %d nodes)\n", r.Resizes, r.PeakNodes)
+	fmt.Fprintf(out, "failovers         %d\n", r.Failovers)
+	fmt.Fprintf(out, "migrations        %d\n", r.Migrations)
+	fmt.Fprintf(out, "RU billed         %.0f (net charged %.0f)\n", r.BilledRU, r.ChargedRU-r.RefundedRU)
+	for _, ev := range r.ResizeEvents {
+		fmt.Fprintf(out, "  resize @h%-3d %d -> %d nodes\n", ev.Hour, ev.From, ev.To)
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abase-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runIDs := fs.String("run", "all", "comma-separated experiment ids (or 'all')")
+	jsonOut := fs.String("json-out", "", "directory to write BENCH_<experiment>.json trajectory files into")
+	nodes := fs.Int("fig9-nodes", 1000, "pool size for fig9")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	o := options{fig9Nodes: *nodes}
+
+	exps := registry()
+	known := map[string]*experiment{}
+	var ids []string
+	for i := range exps {
+		known[exps[i].id] = &exps[i]
+		ids = append(ids, exps[i].id)
+		for _, a := range exps[i].aliases {
+			known[a] = &exps[i]
+			ids = append(ids, a)
 		}
 	}
+	sort.Strings(ids)
 
-	out := os.Stdout
-	runExp([]string{"table1"}, func() {
-		_, t := experiments.Table1(experiments.Table1Opts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"fig3", "fig4"}, func() {
-		_, t := experiments.Figure34(experiments.Figure34Opts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"fig5"}, func() {
-		_, t := experiments.Figure5(experiments.Figure5Opts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"fig6"}, func() {
-		_, t := experiments.Figure6(experiments.Figure6Opts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"fig7"}, func() {
-		_, t := experiments.Figure7(experiments.Figure7Opts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"fig8a"}, func() {
-		_, t := experiments.Figure8a()
-		t.Fprint(out)
-	})
-	runExp([]string{"fig8b"}, func() {
-		_, t := experiments.Figure8b(sim.OncallConfig{})
-		t.Fprint(out)
-	})
-	runExp([]string{"fig9"}, func() {
-		_, t := experiments.Figure9(experiments.Figure9Opts{Nodes: *nodes})
-		t.Fprint(out)
-	})
-	runExp([]string{"fig10"}, func() {
-		_, _, t := experiments.Figure10(experiments.Figure10Opts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"table2"}, func() {
-		_, t := experiments.Table2(experiments.Table2Opts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"util"}, func() {
-		_, _, t := experiments.UtilizationComparison(0, 0)
-		t.Fprint(out)
-	})
-	runExp([]string{"batch"}, func() {
-		_, t := experiments.BatchComparison(experiments.BatchOpts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"scan"}, func() {
-		_, t := experiments.ScanThroughput(experiments.ScanOpts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"hotspot"}, func() {
-		_, _, t := experiments.HotspotMitigation(experiments.HotspotOpts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"failover"}, func() {
-		_, t := experiments.FailoverAvailability(experiments.FailoverOpts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"shedding"}, func() {
-		_, t := experiments.DeadlineShedding(experiments.SheddingOpts{})
-		t.Fprint(out)
-	})
-	runExp([]string{"ablations"}, func() {
-		experiments.AblationSALRU(0).Fprint(out)
-		experiments.AblationActiveUpdate().Fprint(out)
-		experiments.AblationFanout(0).Fprint(out)
-		experiments.AblationVFT().Fprint(out)
-		experiments.AblationForecast().Fprint(out)
-	})
-
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *run)
-		fmt.Fprintln(os.Stderr, "ids: table1 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 table2 util batch scan hotspot failover shedding ablations all")
-		os.Exit(2)
+	// Validate every requested id before running anything: a typo next
+	// to valid ids must fail loudly, not silently skip a measurement.
+	want := map[string]bool{}
+	all := false
+	var unknown []string
+	for _, raw := range strings.Split(*runIDs, ",") {
+		id := strings.TrimSpace(strings.ToLower(raw))
+		if id == "" {
+			continue
+		}
+		if id == "all" {
+			all = true
+			continue
+		}
+		if _, ok := known[id]; !ok {
+			unknown = append(unknown, id)
+			continue
+		}
+		want[known[id].id] = true
 	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(stderr, "unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
+		fmt.Fprintf(stderr, "known ids: %s all\n", strings.Join(ids, " "))
+		return 2
+	}
+	if !all && len(want) == 0 {
+		fmt.Fprintf(stderr, "no experiment ids given\n")
+		fmt.Fprintf(stderr, "known ids: %s all\n", strings.Join(ids, " "))
+		return 2
+	}
+
+	for _, e := range exps {
+		if !all && !want[e.id] {
+			continue
+		}
+		results, err := e.run(o, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "abase-bench: %s: %v\n", e.id, err)
+			return 1
+		}
+		if *jsonOut == "" {
+			continue
+		}
+		for _, r := range results {
+			path, err := benchjson.WriteFile(*jsonOut, r)
+			if err != nil {
+				fmt.Fprintf(stderr, "abase-bench: %s: %v\n", e.id, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+		}
+	}
+	return 0
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abase/internal/benchjson"
+)
+
+// TestUnknownExperimentID pins the validation contract: an unknown id
+// — even next to valid ones — runs nothing, prints the known-id list
+// to stderr, and exits 2.
+func TestUnknownExperimentID(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "point,figg9"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "figg9") {
+		t.Fatalf("stderr does not name the bad id: %q", stderr.String())
+	}
+	for _, id := range []string{"table1", "fig9", "batch", "scan", "point", "hotspot", "failover", "shedding", "soak", "ablations", "all"} {
+		if !strings.Contains(stderr.String(), id) {
+			t.Errorf("known-id list missing %q: %q", id, stderr.String())
+		}
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("experiments ran despite the unknown id: %q", stdout.String())
+	}
+}
+
+// TestEmptyRunList rejects an empty -run value the same way.
+func TestEmptyRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", " , "}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "known ids:") {
+		t.Fatalf("stderr missing known-id list: %q", stderr.String())
+	}
+}
+
+// TestRunPointWritesTrajectory runs the cheapest measuring experiment
+// end to end with -json-out and checks a schema-valid BENCH_point.json
+// lands in the directory.
+func TestRunPointWritesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "point", "-json-out", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	path := filepath.Join(dir, benchjson.FileName("point"))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trajectory file not written: %v", err)
+	}
+	res, err := benchjson.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "point" {
+		t.Fatalf("experiment = %q", res.Experiment)
+	}
+	for _, name := range []string{"get_ops_per_sec", "set_ops_per_sec", "get_p99_us", "set_p99_us"} {
+		if _, ok := res.Metrics[name]; !ok {
+			t.Errorf("metric %q missing from %v", name, res.Metrics)
+		}
+	}
+	if !strings.Contains(stdout.String(), "wrote ") {
+		t.Errorf("stdout does not report the written file: %q", stdout.String())
+	}
+}

@@ -1,0 +1,74 @@
+// Command benchdiff compares two perf-trajectory sets (directories of
+// BENCH_*.json files written by abase-bench -json-out) with
+// direction-aware per-metric noise bands: throughput falling or
+// latency rising beyond the band is a regression.
+//
+// Usage:
+//
+//	benchdiff [-band 0.10] [-strict] BASELINE_DIR CURRENT_DIR
+//
+// The report always prints. In the default report mode the exit code
+// is 0 even when regressions are found — CI runs this on every push
+// as a soft gate. With -strict any regression exits 1, which is the
+// hard-gate mode for release branches. Usage or I/O errors exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"abase/internal/benchjson"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	band := fs.Float64("band", benchjson.DefaultBand, "fractional noise band (0.10 = ±10%)")
+	strict := fs.Bool("strict", false, "exit non-zero when any metric regresses beyond the band")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [-band 0.10] [-strict] BASELINE_DIR CURRENT_DIR")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	baseDir, curDir := fs.Arg(0), fs.Arg(1)
+
+	baseline, err := benchjson.ReadDir(baseDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	current, err := benchjson.ReadDir(curDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: current: %v\n", err)
+		return 2
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(stderr, "benchdiff: no BENCH_*.json files in baseline %s\n", baseDir)
+		return 2
+	}
+	if len(current) == 0 {
+		fmt.Fprintf(stderr, "benchdiff: no BENCH_*.json files in current %s\n", curDir)
+		return 2
+	}
+
+	rep := benchjson.Compare(baseline, current, benchjson.DiffOptions{Band: *band})
+	rep.Format(stdout)
+	if *strict && len(rep.Regressions()) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s) beyond the ±%.0f%% band (strict mode)\n",
+			len(rep.Regressions()), rep.Band*100)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"abase/internal/benchjson"
+)
+
+func writeTrajectory(t *testing.T, dir string, opsPerSec, p99 float64) {
+	t.Helper()
+	_, err := benchjson.WriteFile(dir, benchjson.Result{
+		Experiment: "point",
+		SimClock:   benchjson.SimClock{Mode: "real"},
+		Metrics: map[string]benchjson.Metric{
+			"ops_per_sec": benchjson.M(opsPerSec, "ops/s", benchjson.HigherIsBetter),
+			"p99":         benchjson.M(p99, "ms", benchjson.LowerIsBetter),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance scenario: a synthetic 20% throughput drop must be
+// reported in both modes and must fail the build only under -strict.
+func TestDetectsSyntheticThroughputRegression(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeTrajectory(t, baseDir, 1000, 5)
+	writeTrajectory(t, curDir, 800, 5) // -20% throughput
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{baseDir, curDir}, &out, &errOut); code != 0 {
+		t.Fatalf("report mode must stay exit 0, got %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "regression") || !strings.Contains(out.String(), "point/ops_per_sec") {
+		t.Fatalf("report mode must still print the regression:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-strict", baseDir, curDir}, &out, &errOut); code != 1 {
+		t.Fatalf("-strict must exit 1 on a 20%% throughput drop, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "regression") {
+		t.Fatalf("strict failure should explain itself on stderr: %s", errOut.String())
+	}
+}
+
+func TestStrictPassesWithinBand(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeTrajectory(t, baseDir, 1000, 5)
+	writeTrajectory(t, curDir, 950, 5.2) // -5% / +4%: noise
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-strict", baseDir, curDir}, &out, &errOut); code != 0 {
+		t.Fatalf("within-band drift must pass strict mode, got %d\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestWiderBandSilencesRegression(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeTrajectory(t, baseDir, 1000, 5)
+	writeTrajectory(t, curDir, 800, 5)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-strict", "-band", "0.25", baseDir, curDir}, &out, &errOut); code != 0 {
+		t.Fatalf("-band 0.25 should absorb a 20%% drop, got exit %d", code)
+	}
+}
+
+func TestUsageAndIOErrorsExit2(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: want exit 2, got %d", code)
+	}
+	if code := run([]string{"one-dir-only"}, &out, &errOut); code != 2 {
+		t.Errorf("one arg: want exit 2, got %d", code)
+	}
+	empty1, empty2 := t.TempDir(), t.TempDir()
+	if code := run([]string{empty1, empty2}, &out, &errOut); code != 2 {
+		t.Errorf("empty baseline dir: want exit 2, got %d", code)
+	}
+	withFiles := t.TempDir()
+	writeTrajectory(t, withFiles, 100, 1)
+	if code := run([]string{withFiles, empty2}, &out, &errOut); code != 2 {
+		t.Errorf("empty current dir: want exit 2, got %d", code)
+	}
+}

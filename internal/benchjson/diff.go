@@ -1,0 +1,209 @@
+package benchjson
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChangeKind classifies one metric's movement between two trajectory
+// points.
+type ChangeKind string
+
+const (
+	// Regression: the metric moved in its bad direction by strictly
+	// more than the noise band.
+	Regression ChangeKind = "regression"
+	// Improvement: the metric moved in its good direction by
+	// strictly more than the noise band.
+	Improvement ChangeKind = "improvement"
+	// Within: inside the noise band (a move of exactly the band
+	// width is still noise), or an ungated info metric.
+	Within ChangeKind = "within"
+	// MissingBaseline: the metric (or whole experiment) exists only
+	// in the current set — a new measurement, not a regression.
+	MissingBaseline ChangeKind = "missing_baseline"
+	// MissingCurrent: the metric (or whole experiment) exists only
+	// in the baseline — coverage was lost; reported, never fatal.
+	MissingCurrent ChangeKind = "missing_current"
+	// Incomparable: the baseline value is zero so no ratio exists;
+	// flagged for a human rather than gated.
+	Incomparable ChangeKind = "incomparable"
+)
+
+// Change is one metric's comparison outcome.
+type Change struct {
+	Experiment string
+	Metric     string
+	Unit       string
+	Baseline   float64
+	Current    float64
+	// Delta is the fractional change (current-baseline)/baseline;
+	// it is only meaningful for Regression/Improvement/Within.
+	Delta float64
+	Kind  ChangeKind
+}
+
+// DiffOptions configures the comparison.
+type DiffOptions struct {
+	// Band is the fractional noise band (0.10 = ±10%). Zero means
+	// DefaultBand; a negative band is treated as zero (everything
+	// beyond equality is signal).
+	Band float64
+}
+
+// DefaultBand is the noise band used when DiffOptions.Band is zero.
+const DefaultBand = 0.10
+
+// Report is the full comparison of two trajectory sets.
+type Report struct {
+	Band    float64
+	Changes []Change
+}
+
+// Regressions returns only the gating changes.
+func (r Report) Regressions() []Change {
+	var out []Change
+	for _, c := range r.Changes {
+		if c.Kind == Regression {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Compare diffs a baseline trajectory set against a current one.
+// Matching is by experiment id then metric name; direction comes from
+// the current side (the side whose code is under test) falling back
+// to the baseline's annotation.
+func Compare(baseline, current []Result, opts DiffOptions) Report {
+	band := opts.Band
+	if band == 0 {
+		band = DefaultBand
+	}
+	if band < 0 {
+		band = 0
+	}
+
+	base := map[string]Result{}
+	for _, r := range baseline {
+		base[r.Experiment] = r
+	}
+	cur := map[string]Result{}
+	for _, r := range current {
+		cur[r.Experiment] = r
+	}
+
+	var exps []string
+	for id := range base {
+		exps = append(exps, id)
+	}
+	for id := range cur {
+		if _, ok := base[id]; !ok {
+			exps = append(exps, id)
+		}
+	}
+	sort.Strings(exps)
+
+	rep := Report{Band: band}
+	for _, id := range exps {
+		b, haveB := base[id]
+		c, haveC := cur[id]
+		for _, name := range sortedMetricNames(b.Metrics, c.Metrics) {
+			bm, okB := b.Metrics[name]
+			cm, okC := c.Metrics[name]
+			ch := Change{Experiment: id, Metric: name}
+			switch {
+			case !haveB || !okB:
+				ch.Kind = MissingBaseline
+				ch.Current = cm.Value
+				ch.Unit = cm.Unit
+			case !haveC || !okC:
+				ch.Kind = MissingCurrent
+				ch.Baseline = bm.Value
+				ch.Unit = bm.Unit
+			default:
+				ch.Baseline = bm.Value
+				ch.Current = cm.Value
+				ch.Unit = cm.Unit
+				if ch.Unit == "" {
+					ch.Unit = bm.Unit
+				}
+				dir := cm.Direction
+				if dir == "" {
+					dir = bm.Direction
+				}
+				ch.Kind, ch.Delta = classify(bm.Value, cm.Value, dir, band)
+			}
+			rep.Changes = append(rep.Changes, ch)
+		}
+	}
+	return rep
+}
+
+func classify(baseline, current float64, dir Direction, band float64) (ChangeKind, float64) {
+	if baseline == 0 {
+		if current == 0 {
+			return Within, 0
+		}
+		// No ratio exists against a zero baseline; surface it for
+		// a human instead of inventing an infinite delta.
+		return Incomparable, 0
+	}
+	delta := (current - baseline) / baseline
+	if dir == Info || dir == "" {
+		return Within, delta
+	}
+	// A move of exactly the band width is still noise: the gate
+	// fires only strictly beyond it.
+	bad, good := delta < -band, delta > band
+	if dir == LowerIsBetter {
+		bad, good = delta > band, delta < -band
+	}
+	switch {
+	case bad:
+		return Regression, delta
+	case good:
+		return Improvement, delta
+	default:
+		return Within, delta
+	}
+}
+
+// Format writes a human-readable report. Within-band changes are
+// summarised by count; everything noteworthy gets its own line.
+func (r Report) Format(w io.Writer) {
+	within := 0
+	for _, c := range r.Changes {
+		switch c.Kind {
+		case Within:
+			within++
+		case Regression, Improvement:
+			fmt.Fprintf(w, "%-12s %s/%s: %s → %s %s (%+.1f%%, band ±%.0f%%)\n",
+				string(c.Kind), c.Experiment, c.Metric,
+				fnum(c.Baseline), fnum(c.Current), c.Unit, c.Delta*100, r.Band*100)
+		case MissingBaseline:
+			fmt.Fprintf(w, "%-12s %s/%s: %s %s (no baseline)\n",
+				string(c.Kind), c.Experiment, c.Metric, fnum(c.Current), c.Unit)
+		case MissingCurrent:
+			fmt.Fprintf(w, "%-12s %s/%s: baseline %s %s has no current measurement\n",
+				string(c.Kind), c.Experiment, c.Metric, fnum(c.Baseline), c.Unit)
+		case Incomparable:
+			fmt.Fprintf(w, "%-12s %s/%s: baseline 0 → %s %s (no ratio)\n",
+				string(c.Kind), c.Experiment, c.Metric, fnum(c.Current), c.Unit)
+		}
+	}
+	fmt.Fprintf(w, "%d metric(s) compared, %d within the ±%.0f%% noise band, %d regression(s)\n",
+		len(r.Changes), within, r.Band*100, len(r.Regressions()))
+}
+
+func fnum(v float64) string {
+	switch {
+	case v != 0 && (v < 0.01 && v > -0.01):
+		return fmt.Sprintf("%.2e", v)
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,197 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func trajectory(exp string, metrics map[string]Metric) []Result {
+	return []Result{{
+		Schema:     SchemaVersion,
+		Experiment: exp,
+		SimClock:   SimClock{Mode: "real"},
+		Metrics:    metrics,
+	}}
+}
+
+func kinds(rep Report) map[string]ChangeKind {
+	out := map[string]ChangeKind{}
+	for _, c := range rep.Changes {
+		out[c.Experiment+"/"+c.Metric] = c.Kind
+	}
+	return out
+}
+
+func TestCompareDirectionAware(t *testing.T) {
+	base := trajectory("point", map[string]Metric{
+		"ops_per_sec": M(1000, "ops/s", HigherIsBetter),
+		"p99":         M(10, "ms", LowerIsBetter),
+		"config_ops":  M(50000, "count", Info),
+	})
+	// Throughput down 20%, latency up 50%, info metric halved: the
+	// first two gate, the info metric never does.
+	cur := trajectory("point", map[string]Metric{
+		"ops_per_sec": M(800, "ops/s", HigherIsBetter),
+		"p99":         M(15, "ms", LowerIsBetter),
+		"config_ops":  M(25000, "count", Info),
+	})
+	rep := Compare(base, cur, DiffOptions{Band: 0.10})
+	k := kinds(rep)
+	if k["point/ops_per_sec"] != Regression {
+		t.Errorf("throughput down 20%% should be a regression, got %v", k["point/ops_per_sec"])
+	}
+	if k["point/p99"] != Regression {
+		t.Errorf("latency up 50%% should be a regression, got %v", k["point/p99"])
+	}
+	if k["point/config_ops"] != Within {
+		t.Errorf("info metric must never gate, got %v", k["point/config_ops"])
+	}
+	if n := len(rep.Regressions()); n != 2 {
+		t.Errorf("want 2 regressions, got %d", n)
+	}
+}
+
+func TestCompareImprovements(t *testing.T) {
+	base := trajectory("scan", map[string]Metric{
+		"keys_per_sec": M(1000, "keys/s", HigherIsBetter),
+		"p50":          M(8, "ms", LowerIsBetter),
+	})
+	cur := trajectory("scan", map[string]Metric{
+		"keys_per_sec": M(1500, "keys/s", HigherIsBetter),
+		"p50":          M(4, "ms", LowerIsBetter),
+	})
+	rep := Compare(base, cur, DiffOptions{Band: 0.10})
+	for key, kind := range kinds(rep) {
+		if kind != Improvement {
+			t.Errorf("%s: want improvement, got %v", key, kind)
+		}
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Error("improvements must not gate")
+	}
+}
+
+func TestCompareExactlyAtBandIsNoise(t *testing.T) {
+	// A drop of exactly the band width is still noise: the gate
+	// fires strictly beyond the band only.
+	base := trajectory("batch", map[string]Metric{
+		"tput": M(100, "ops/s", HigherIsBetter),
+		"lat":  M(100, "ms", LowerIsBetter),
+	})
+	cur := trajectory("batch", map[string]Metric{
+		"tput": M(90, "ops/s", HigherIsBetter), // -10% exactly
+		"lat":  M(110, "ms", LowerIsBetter),    // +10% exactly
+	})
+	rep := Compare(base, cur, DiffOptions{Band: 0.10})
+	for key, kind := range kinds(rep) {
+		if kind != Within {
+			t.Errorf("%s: exactly-at-band must be Within, got %v", key, kind)
+		}
+	}
+	// One epsilon beyond the band fires.
+	cur[0].Metrics["tput"] = M(89.999, "ops/s", HigherIsBetter)
+	rep = Compare(base, cur, DiffOptions{Band: 0.10})
+	if kinds(rep)["batch/tput"] != Regression {
+		t.Error("strictly beyond the band must be a regression")
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := trajectory("soak", map[string]Metric{
+		"lost_writes": M(0, "count", LowerIsBetter),
+		"both_zero":   M(0, "count", LowerIsBetter),
+	})
+	cur := trajectory("soak", map[string]Metric{
+		"lost_writes": M(3, "count", LowerIsBetter),
+		"both_zero":   M(0, "count", LowerIsBetter),
+	})
+	rep := Compare(base, cur, DiffOptions{})
+	k := kinds(rep)
+	if k["soak/lost_writes"] != Incomparable {
+		t.Errorf("zero baseline with nonzero current must be Incomparable, got %v", k["soak/lost_writes"])
+	}
+	if k["soak/both_zero"] != Within {
+		t.Errorf("zero to zero is Within, got %v", k["soak/both_zero"])
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Error("incomparable must not gate")
+	}
+}
+
+func TestCompareMissingMetricEitherSide(t *testing.T) {
+	base := trajectory("hotspot", map[string]Metric{
+		"hit_ratio":    M(0.8, "ratio", HigherIsBetter),
+		"retired_only": M(7, "count", Info),
+	})
+	cur := trajectory("hotspot", map[string]Metric{
+		"hit_ratio": M(0.82, "ratio", HigherIsBetter),
+		"brand_new": M(42, "count", Info),
+	})
+	rep := Compare(base, cur, DiffOptions{})
+	k := kinds(rep)
+	if k["hotspot/retired_only"] != MissingCurrent {
+		t.Errorf("metric only in baseline: got %v", k["hotspot/retired_only"])
+	}
+	if k["hotspot/brand_new"] != MissingBaseline {
+		t.Errorf("metric only in current: got %v", k["hotspot/brand_new"])
+	}
+	if len(rep.Regressions()) != 0 {
+		t.Error("missing metrics must not gate")
+	}
+}
+
+func TestCompareMissingExperimentEitherSide(t *testing.T) {
+	base := append(trajectory("batch", map[string]Metric{"m": M(1, "x", Info)}),
+		trajectory("gone", map[string]Metric{"m": M(1, "x", Info)})...)
+	cur := append(trajectory("batch", map[string]Metric{"m": M(1, "x", Info)}),
+		trajectory("fresh", map[string]Metric{"m": M(1, "x", Info)})...)
+	k := kinds(Compare(base, cur, DiffOptions{}))
+	if k["gone/m"] != MissingCurrent {
+		t.Errorf("experiment only in baseline: got %v", k["gone/m"])
+	}
+	if k["fresh/m"] != MissingBaseline {
+		t.Errorf("experiment only in current: got %v", k["fresh/m"])
+	}
+}
+
+func TestCompareDefaultAndNegativeBand(t *testing.T) {
+	base := trajectory("b", map[string]Metric{"m": M(100, "x", HigherIsBetter)})
+	cur := trajectory("b", map[string]Metric{"m": M(95, "x", HigherIsBetter)})
+	// Default band 10%: -5% is noise.
+	if k := kinds(Compare(base, cur, DiffOptions{}))["b/m"]; k != Within {
+		t.Errorf("default band: got %v", k)
+	}
+	// Negative band clamps to zero: any drop is signal.
+	if k := kinds(Compare(base, cur, DiffOptions{Band: -1}))["b/m"]; k != Regression {
+		t.Errorf("negative band: got %v", k)
+	}
+}
+
+func TestCompareDirectionFallsBackToBaseline(t *testing.T) {
+	base := trajectory("b", map[string]Metric{"m": M(100, "x", HigherIsBetter)})
+	cur := trajectory("b", map[string]Metric{"m": {Value: 50, Unit: "x"}})
+	if k := kinds(Compare(base, cur, DiffOptions{}))["b/m"]; k != Regression {
+		t.Errorf("direction should fall back to baseline annotation, got %v", k)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	base := trajectory("batch", map[string]Metric{
+		"tput":   M(100, "ops/s", HigherIsBetter),
+		"steady": M(5, "x", Info),
+	})
+	cur := trajectory("batch", map[string]Metric{
+		"tput":   M(70, "ops/s", HigherIsBetter),
+		"steady": M(5, "x", Info),
+	})
+	var buf bytes.Buffer
+	Compare(base, cur, DiffOptions{}).Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "regression") || !strings.Contains(out, "batch/tput") {
+		t.Errorf("report missing regression line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s)") {
+		t.Errorf("report missing summary:\n%s", out)
+	}
+}

@@ -191,6 +191,13 @@ func (NopReplicator) Replicate(partition.ReplicaID, []byte, []byte, time.Duratio
 func (NopReplicator) ReplicateBatch(partition.ReplicaID, []WriteOp, uint64) {}
 
 // replica is one hosted partition replica.
+// ruLedger is the cumulative quota charge/refund total retained for a
+// tenant after its replicas leave this node.
+type ruLedger struct {
+	charged  float64
+	refunded float64
+}
+
 type replica struct {
 	id      partition.ReplicaID
 	db      *lavastore.DB
@@ -264,6 +271,10 @@ type Node struct {
 	replicas map[partition.ID]*replica
 	tenants  map[string]*tenantStats
 	est      map[string]*ru.Estimator
+	// retired accumulates the quota charge/refund ledger of removed
+	// replicas so a tenant's cumulative RU accounting stays monotone
+	// across migrations and decommissions.
+	retired map[string]ruLedger
 
 	replicator Replicator
 	closed     bool
@@ -291,6 +302,7 @@ func New(cfg Config) *Node {
 		replicas:   make(map[partition.ID]*replica),
 		tenants:    make(map[string]*tenantStats),
 		est:        make(map[string]*ru.Estimator),
+		retired:    make(map[string]ruLedger),
 		replicator: NopReplicator{},
 	}
 	n.quotaOn.Store(c.EnablePartitionQuota)
@@ -496,6 +508,11 @@ func (n *Node) RemoveReplica(pid partition.ID) error {
 	rep, ok := n.replicas[pid]
 	if ok {
 		delete(n.replicas, pid)
+		charged, refunded := rep.limiter.RUTotals()
+		l := n.retired[pid.Tenant]
+		l.charged += charged
+		l.refunded += refunded
+		n.retired[pid.Tenant] = l
 	}
 	n.mu.Unlock()
 	if !ok {

@@ -298,6 +298,40 @@ func TestNodeSnapshot(t *testing.T) {
 	}
 }
 
+// TestCopyReplicaToDownTargetFails pins the repair/backfill data
+// path's failure contract: a copy whose applies fail (here: the target
+// is down) must surface the error, and the target must NOT adopt the
+// source's replication position — a zero-record copy that reports
+// itself fully caught up would later win a catch-up-gated promotion
+// and silently lose every acknowledged write.
+func TestCopyReplicaToDownTargetFails(t *testing.T) {
+	src := newTestNode(t, Config{ID: "src"})
+	dst := newTestNode(t, Config{ID: "dst"})
+	p := pid("t1", 0)
+	src.AddReplica(rid("t1", 0, 0), 1000, true)
+	for i := 0; i < 50; i++ {
+		src.Put(bg, p, []byte(fmt.Sprintf("k%03d", i)), []byte("v"), 0)
+	}
+	if err := dst.AddReplica(rid("t1", 0, 1), 1000, false); err != nil {
+		t.Fatal(err)
+	}
+	dst.SetDown(true)
+	if err := src.CopyReplicaTo(p, dst); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("copy to down target: err = %v, want ErrNodeDown", err)
+	}
+	dst.SetDown(false)
+	if pos := dst.ReplicationPosition(p); pos != 0 {
+		t.Fatalf("failed copy adopted replication position %d", pos)
+	}
+	// A retry once the target is back succeeds and catches up fully.
+	if err := src.CopyReplicaTo(p, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dst.ReplicationPosition(p), src.ReplicationPosition(p); got != want {
+		t.Fatalf("retried copy position = %d, want %d", got, want)
+	}
+}
+
 func TestMigrateTo(t *testing.T) {
 	src := newTestNode(t, Config{ID: "src"})
 	dst := newTestNode(t, Config{ID: "dst"})

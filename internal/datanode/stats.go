@@ -57,6 +57,27 @@ func (n *Node) TenantStats(tenant string) TenantSnapshot {
 	}
 }
 
+// TenantRULedger sums the cumulative partition-limiter charge/refund
+// ledger across every replica of tenant this node hosts or has ever
+// hosted (removed replicas fold into a retired ledger, so migrations
+// never lose accounting). The net charged − refunded is what tenant
+// admission actually billed on this node.
+func (n *Node) TenantRULedger(tenant string) (charged, refunded float64) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l := n.retired[tenant]
+	charged, refunded = l.charged, l.refunded
+	for pid, rep := range n.replicas {
+		if pid.Tenant != tenant {
+			continue
+		}
+		c, r := rep.limiter.RUTotals()
+		charged += c
+		refunded += r
+	}
+	return charged, refunded
+}
+
 // ResetTenantStats zeroes one tenant's counters (experiment windows).
 func (n *Node) ResetTenantStats(tenant string) {
 	n.mu.RLock()
@@ -219,6 +240,7 @@ func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
 	if !ok {
 		return ErrNoPartition
 	}
+	var applyErr error
 	err := rep.db.ScanWithExpiry(func(key, value []byte, expireAt int64) bool {
 		ttl, alive := n.RemainingTTL(expireAt)
 		if !alive {
@@ -226,8 +248,22 @@ func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
 		}
 		k := append([]byte(nil), key...)
 		v := append([]byte(nil), value...)
-		return dst.ApplyReplicated(pid, k, v, ttl, false) == nil
+		// Apply at position 0 (a no-op for the monotone counter): the
+		// copy must not advance the destination's position per record,
+		// or a re-synced replica that already held data would end up
+		// AHEAD of its source — claiming writes it never saw. The
+		// position is adopted wholesale from the source below.
+		applyErr = dst.ApplyReplicatedAt(pid, 0, k, v, ttl, false)
+		return applyErr == nil
 	})
+	if err == nil {
+		// A callback-stopped scan returns nil from the store; the apply
+		// failure must still surface, and the destination must NOT adopt
+		// the source's replication position — a partial copy that looks
+		// fully caught up is exactly the stale-promotion hazard the
+		// position exists to prevent.
+		err = applyErr
+	}
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"abase/internal/benchjson"
 	"abase/internal/sim"
 )
 
@@ -390,5 +391,120 @@ func TestExperimentsDeadlineShedding(t *testing.T) {
 	if res.On.TightLatency >= res.Off.TightLatency {
 		t.Fatalf("tight-deadline latency on=%v off=%v: shedding should fail doomed requests faster",
 			res.On.TightLatency, res.Off.TightLatency)
+	}
+}
+
+// TestExperimentsBatch is the CI smoke for the batched-vs-looped
+// harness (`go test -run TestExperiments`), asserting on the returned
+// structured points rather than the printed table: batching must be a
+// material amortization win — at the largest batch size, at least 2x
+// over the looped path — and every point must be internally coherent.
+func TestExperimentsBatch(t *testing.T) {
+	sizes := []int{16, 64, 128}
+	points, tbl := BatchComparison(BatchOpts{Keys: 1024, Sizes: sizes})
+	if len(points) != len(sizes) {
+		t.Fatalf("points = %d, want %d", len(points), len(sizes))
+	}
+	for i, p := range points {
+		if p.BatchSize != sizes[i] {
+			t.Errorf("point %d batch size = %d, want %d", i, p.BatchSize, sizes[i])
+		}
+		if p.LoopedOps <= 0 || p.BatchedOps <= 0 {
+			t.Errorf("size %d: non-positive throughput (looped %.0f, batched %.0f)", p.BatchSize, p.LoopedOps, p.BatchedOps)
+		}
+		if want := p.BatchedOps / p.LoopedOps; p.Speedup != want {
+			t.Errorf("size %d: speedup %.3f inconsistent with ops ratio %.3f", p.BatchSize, p.Speedup, want)
+		}
+	}
+	if last := points[len(points)-1]; last.Speedup < 2 {
+		t.Errorf("batch size %d speedup = %.2fx, want >= 2x", last.BatchSize, last.Speedup)
+	}
+	if len(tbl.Rows) != len(sizes) {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+
+	// The trajectory adapter must produce a schema-valid result with
+	// one gated metric triple per batch size.
+	res := BatchBench(points)
+	res.Schema = benchjson.SchemaVersion
+	if err := benchjson.Validate(res); err != nil {
+		t.Fatalf("BatchBench result invalid: %v", err)
+	}
+	if res.Experiment != "batch" || len(res.Metrics) != 3*len(sizes) {
+		t.Fatalf("adapter emitted %d metrics for %q, want %d", len(res.Metrics), res.Experiment, 3*len(sizes))
+	}
+}
+
+// TestExperimentsPoint is the CI smoke for the single-key baseline:
+// both paths measure, latencies order sanely, and the adapter emits a
+// schema-valid trajectory point.
+func TestExperimentsPoint(t *testing.T) {
+	stats, tbl := PointLatency(PointOpts{Ops: 1024})
+	if len(stats) != 2 || stats[0].Path != "get" || stats[1].Path != "set" {
+		t.Fatalf("stats = %+v, want [get set]", stats)
+	}
+	for _, s := range stats {
+		if s.OpsPerSec <= 0 {
+			t.Errorf("%s: ops/sec = %.0f", s.Path, s.OpsPerSec)
+		}
+		if s.P99 < s.P50 {
+			t.Errorf("%s: p99 %v < p50 %v", s.Path, s.P99, s.P50)
+		}
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+	res := PointBench(stats)
+	res.Schema = benchjson.SchemaVersion
+	if err := benchjson.Validate(res); err != nil {
+		t.Fatalf("PointBench result invalid: %v", err)
+	}
+}
+
+// TestBenchAdaptersSchemaValid feeds each remaining trajectory adapter
+// a representative structured result and requires a schema-valid
+// envelope with stable, filename-safe experiment ids — the contract
+// BENCH_*.json baselines and benchdiff depend on.
+func TestBenchAdaptersSchemaValid(t *testing.T) {
+	cases := []struct {
+		id  string
+		res benchjson.Result
+	}{
+		{"scan", ScanBench([]ScanPoint{{PageSize: 16, Pages: 128, KeysPerSec: 50000}})},
+		{"hotspot", HotspotBench([]HotspotRow{
+			{Workload: "zipf s=1.2", Policy: "cache-everything", Gated: false, HitRatio: 0.4, OpsPerSec: 1000, NodeRU: 900, Recall10: 0.8},
+			{Workload: "zipf s=1.2", Policy: "hotness-gated", Gated: true, HitRatio: 0.6, OpsPerSec: 1200, NodeRU: 600, Recall10: 0.8},
+		}, HotspotSplit{PartitionsBefore: 2, PartitionsAfter: 4, Cycles: 3})},
+		{"failover", FailoverBench(FailoverResult{
+			Victim: "node-1", AffectedPartitions: 2, PromotedPartitions: 2,
+			UnavailableWindow: 40 * time.Millisecond, AckedWrites: 4000, FollowerReadsServed: 12,
+		})},
+		{"shedding", SheddingBench(SheddingResult{
+			On:  SheddingStats{Offered: 1000, InDeadline: 700, Shed: 250, Goodput: 900, TightLatency: time.Millisecond},
+			Off: SheddingStats{Offered: 1000, InDeadline: 400, Late: 300, Goodput: 500, TightLatency: 3 * time.Millisecond},
+		})},
+	}
+	for _, tc := range cases {
+		tc.res.Schema = benchjson.SchemaVersion
+		if err := benchjson.Validate(tc.res); err != nil {
+			t.Errorf("%s adapter invalid: %v", tc.id, err)
+		}
+		if tc.res.Experiment != tc.id {
+			t.Errorf("adapter experiment id = %q, want %q", tc.res.Experiment, tc.id)
+		}
+		if tc.res.SimClock.Mode != "real" {
+			t.Errorf("%s: sim-clock mode = %q, want real", tc.id, tc.res.SimClock.Mode)
+		}
+	}
+	// The hotspot metric names must be slugged (no spaces/parens from
+	// the human-facing workload labels).
+	hot := cases[1].res
+	for name := range hot.Metrics {
+		if strings.ContainsAny(name, " ()=%,") {
+			t.Errorf("hotspot metric name %q not slugged", name)
+		}
+	}
+	if _, ok := hot.Metrics["zipf_s_1_2_gated_hit_ratio"]; !ok {
+		t.Errorf("expected slugged metric missing from %v", hot.Metrics)
 	}
 }

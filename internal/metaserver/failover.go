@@ -233,11 +233,16 @@ func (m *Meta) MarkNodeDown(id string) error {
 	return nil
 }
 
-// reviveNode clears a node's down state and fences any replica it
-// still believes it leads but whose route has moved on: the replica is
-// demoted to follower under the current route epoch. Revival does not
-// change routing — a repair/rebalance pass decides whether the node
-// earns primaries back.
+// reviveNode clears a node's down state, fences any replica it still
+// believes it leads but whose route has moved on (demoted to follower
+// under the current route epoch), and re-syncs every follower replica
+// the node hosts from its current primary. The re-sync is load-bearing
+// for durability: replication applies the node missed while down are
+// holes in its history, yet a later apply advances its replication
+// position past them — so without a rebuild, a future catch-up-gated
+// promotion could crown a replica that silently lost acknowledged
+// writes. Revival does not change routing — a repair/rebalance pass
+// decides whether the node earns primaries back.
 func (m *Meta) reviveNode(id string) {
 	m.mu.Lock()
 	n, ok := m.nodes[id]
@@ -249,21 +254,36 @@ func (m *Meta) reviveNode(id string) {
 		h.down = false
 		h.failedProbes = 0
 	}
-	type demotion struct {
-		pid   partition.ID
-		epoch uint64
+	type resync struct {
+		pid     partition.ID
+		epoch   uint64
+		primary *datanode.Node
 	}
-	var demote []demotion
+	var stale []resync
 	for _, t := range m.tenants {
 		for _, route := range t.Table.Partitions {
 			if route.Primary != id && n.HostsReplica(route.Partition) {
-				demote = append(demote, demotion{route.Partition, route.Epoch})
+				stale = append(stale, resync{route.Partition, route.Epoch, m.nodes[route.Primary]})
 			}
 		}
 	}
 	m.mu.Unlock()
-	for _, d := range demote {
-		_ = n.SetReplicaRole(d.pid, false, d.epoch)
+	for _, s := range stale {
+		_ = n.SetReplicaRole(s.pid, false, s.epoch)
+	}
+	if len(stale) == 0 {
+		return
+	}
+	// Drain the replication queue before copying so the backfill cannot
+	// be interleaved with (and overwrite) applies already in flight;
+	// the copy then holds everything the primary has acknowledged and
+	// adopts its replication position.
+	m.FlushReplication()
+	for _, s := range stale {
+		if s.primary == nil || !s.primary.Alive() {
+			continue
+		}
+		_ = s.primary.CopyReplicaTo(s.pid, n)
 	}
 }
 
@@ -315,9 +335,9 @@ func (m *Meta) failoverNode(nodeID string) {
 				continue // blacked out; repair must rebuild replicas
 			}
 			// The old primary stays listed as a follower: if it
-			// revives it resumes receiving deltas (its staleness is
-			// visible through its replication-position lag), and the
-			// repair path decides whether to rebuild it properly.
+			// revives, the revival path re-syncs it from the new
+			// primary (a down window leaves holes in its history that
+			// later applies would otherwise paper over).
 			newFollowers := []string{nodeID}
 			for _, f := range route.Followers {
 				if f != best {

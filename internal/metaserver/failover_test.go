@@ -127,6 +127,78 @@ func TestFailoverCatchUpGating(t *testing.T) {
 	}
 }
 
+// TestReviveResyncMissedWrites pins the revival durability contract: a
+// follower that was down misses replication applies, and those applies
+// are holes in its history — yet later applies advance its replication
+// position past them. Revival must rebuild the replica from its current
+// primary, so that a subsequent catch-up-gated promotion of the revived
+// node loses nothing.
+func TestReviveResyncMissedWrites(t *testing.T) {
+	m, _ := newCluster(t, 3)
+	ten, err := m.CreateTenant(TenantSpec{Name: "t1", QuotaRU: 1e9, Partitions: 1, Proxies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := ten.Table.Partitions[0]
+	pid := route.Partition
+	primary := nodeByID(t, m, route.Primary)
+	revived := nodeByID(t, m, route.Followers[0])
+	other := nodeByID(t, m, route.Followers[1])
+
+	for i := 0; i < 5; i++ {
+		if _, err := primary.Put(bg, pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushReplication()
+
+	// The follower goes dark and misses a batch of acknowledged writes.
+	revived.SetDown(true)
+	m.MonitorNodeHealth()
+	m.MonitorNodeHealth() // crosses DownAfterProbes; marks it down
+	if !m.NodeDown(revived.ID()) {
+		t.Fatal("setup: follower not marked down")
+	}
+	for i := 5; i < 25; i++ {
+		if _, err := primary.Put(bg, pid, []byte{byte('a' + i)}, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FlushReplication()
+
+	// Revival re-syncs the replica from the current primary.
+	revived.SetDown(false)
+	m.MonitorNodeHealth()
+	if got, want := revived.ReplicationPosition(pid), other.ReplicationPosition(pid); got != want {
+		t.Fatalf("revived follower position = %d, want %d (resync did not run)", got, want)
+	}
+
+	// Force promotion of the revived node: the other follower and the
+	// primary die, so it is the only live candidate.
+	other.SetDown(true)
+	if err := m.MarkNodeDown(other.ID()); err != nil {
+		t.Fatal(err)
+	}
+	primary.SetDown(true)
+	if err := m.MarkNodeDown(primary.ID()); err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.RoutingView("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := view.Partitions[0].Primary; got != revived.ID() {
+		t.Fatalf("promoted %s, want the revived follower %s", got, revived.ID())
+	}
+	// Every acknowledged write — including the ones missed while down —
+	// must be readable at the new primary.
+	for i := 0; i < 25; i++ {
+		if _, err := revived.Get(bg, pid, []byte{byte('a' + i)}); err != nil {
+			t.Fatalf("acknowledged key %c lost across down window + promotion: %v", 'a'+i, err)
+		}
+	}
+}
+
 // TestFailoverSuspectReportAcceleratesDetection checks the proxy hint
 // path: suspect reports alone (no monitor cycle) cross the probe
 // threshold and fail the node over.

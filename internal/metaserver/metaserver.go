@@ -3,6 +3,7 @@ package metaserver
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -70,8 +71,14 @@ type Meta struct {
 		maxPartitions int
 	}
 
-	replWG   sync.WaitGroup
-	replJobs chan replJob
+	replWG sync.WaitGroup
+	// replJobs is one FIFO lane per replication worker. Jobs shard by
+	// (partition, target node), so applies to one follower replica are
+	// processed in enqueue order — a single shared queue with several
+	// workers would let two writes to the same key land on a follower
+	// in reversed order, leaving the follower with the older value and
+	// a replication position that claims otherwise.
+	replJobs []chan replJob
 	closed   bool
 
 	// pendEnq/pendDone count replication jobs enqueued and applied;
@@ -154,22 +161,32 @@ func New(cfg Config) *Meta {
 		heatStreak:      make(map[string]int),
 		health:          make(map[string]*nodeHealth),
 		downAfterProbes: cfg.DownAfterProbes,
-		replJobs:        make(chan replJob, 1024),
+		replJobs:        make([]chan replJob, cfg.ReplWorkers),
 	}
 	m.pendCond = sync.NewCond(&m.pendMu)
 	m.heatCfg.threshold = cfg.HeatSplitThreshold
 	m.heatCfg.windows = cfg.HeatSplitWindows
 	m.heatCfg.maxPartitions = cfg.HeatSplitMaxPartitions
 	for i := 0; i < cfg.ReplWorkers; i++ {
+		m.replJobs[i] = make(chan replJob, 1024)
 		m.replWG.Add(1)
-		go m.replWorker()
+		go m.replWorker(m.replJobs[i])
 	}
 	return m
 }
 
-func (m *Meta) replWorker() {
+// replLane picks the worker lane for one (partition, follower) pair.
+func (m *Meta) replLane(pid partition.ID, nodeID string) chan replJob {
+	h := fnv.New32a()
+	h.Write([]byte(pid.Tenant))
+	fmt.Fprintf(h, "/%d/", pid.Index)
+	h.Write([]byte(nodeID))
+	return m.replJobs[h.Sum32()%uint32(len(m.replJobs))]
+}
+
+func (m *Meta) replWorker(jobs <-chan replJob) {
 	defer m.replWG.Done()
-	for job := range m.replJobs {
+	for job := range jobs {
 		// Best effort: eventual consistency tolerates transient errors
 		// (a down follower drops its deltas; repair rebuilds it).
 		if job.ops != nil {
@@ -190,7 +207,9 @@ func (m *Meta) Close() {
 	}
 	m.closed = true
 	m.mu.Unlock()
-	close(m.replJobs)
+	for _, lane := range m.replJobs {
+		close(lane)
+	}
 	m.replWG.Wait()
 }
 
@@ -264,7 +283,7 @@ func (r *metaReplicator) Replicate(rid partition.ReplicaID, key, value []byte, t
 	v := append([]byte(nil), value...)
 	r.meta.addPending(len(targets))
 	for _, n := range targets {
-		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, key: k, val: v, ttl: ttl, del: del, pos: pos}
+		r.meta.replLane(rid.Partition, n.ID()) <- replJob{node: n, pid: rid.Partition, key: k, val: v, ttl: ttl, del: del, pos: pos}
 	}
 }
 
@@ -287,7 +306,7 @@ func (r *metaReplicator) ReplicateBatch(rid partition.ReplicaID, ops []datanode.
 	}
 	r.meta.addPending(len(targets))
 	for _, n := range targets {
-		r.meta.replJobs <- replJob{node: n, pid: rid.Partition, ops: copied, pos: pos}
+		r.meta.replLane(rid.Partition, n.ID()) <- replJob{node: n, pid: rid.Partition, ops: copied, pos: pos}
 	}
 }
 

@@ -71,13 +71,26 @@ func (m *Meta) repairPartition(t *Tenant, idx int, failedID string) error {
 	route := t.Table.Partitions[idx]
 	pid := route.Partition
 
-	// Identify a surviving source replica host.
+	// Identify a surviving source replica host. The source feeds the
+	// rebuild copy, so it must be registered and answering probes — a
+	// down source cannot stream anything.
+	usable := func(id string) bool {
+		if id == failedID {
+			return false
+		}
+		n, ok := m.nodes[id]
+		if !ok || !n.Alive() {
+			return false
+		}
+		h := m.health[id]
+		return h == nil || !h.down
+	}
 	var sourceID string
-	if route.Primary != failedID {
+	if usable(route.Primary) {
 		sourceID = route.Primary
 	} else {
 		for _, f := range route.Followers {
-			if f != failedID {
+			if usable(f) {
 				sourceID = f
 				break
 			}
@@ -89,12 +102,20 @@ func (m *Meta) repairPartition(t *Tenant, idx int, failedID string) error {
 	}
 	source := m.nodes[sourceID]
 
-	// Pick a new host not already holding this partition.
+	// Pick a new host not already holding this partition. Besides the
+	// routed hosts, exclude any node that physically hosts the replica
+	// without being routed for it (a half-rolled-back move can leave
+	// one): AddReplica on such a node would fail the whole repair.
 	exclude := map[string]bool{}
 	for _, f := range route.Followers {
 		exclude[f] = true
 	}
 	exclude[route.Primary] = true
+	for id, n := range m.nodes {
+		if !exclude[id] && n.HostsReplica(pid) {
+			exclude[id] = true
+		}
+	}
 	hosts := m.pickHostsLocked(1, exclude)
 	if len(hosts) == 0 {
 		m.mu.Unlock()

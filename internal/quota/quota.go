@@ -19,6 +19,12 @@ type Bucket struct {
 
 	allowed  int64
 	rejected int64
+
+	// Cumulative RU ledger for the soak harness's balance invariant:
+	// every admitted charge and every refund is totalled so that
+	// charged − refunded can be reconciled against billed work.
+	chargedRU  float64
+	refundedRU float64
 }
 
 // NewBucket returns a bucket refilling at rate RU/s with capacity
@@ -60,6 +66,7 @@ func (b *Bucket) Allow(cost float64) bool {
 	if b.tokens >= cost {
 		b.tokens -= cost
 		b.allowed++
+		b.chargedRU += cost
 		return true
 	}
 	b.rejected++
@@ -82,6 +89,7 @@ func (b *Bucket) Refund(cost float64) {
 	if b.tokens > b.burst {
 		b.tokens = b.burst
 	}
+	b.refundedRU += cost
 }
 
 // SetRate updates the refill rate and burst, preserving accrued tokens
@@ -111,6 +119,16 @@ func (b *Bucket) Stats() (allowed, rejected int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.allowed, b.rejected
+}
+
+// RUTotals returns the cumulative RU charged by admissions and
+// returned by refunds. The net (charged − refunded) is the RU this
+// bucket actually billed for admitted work; the soak harness checks
+// it against the work the data plane reports having done.
+func (b *Bucket) RUTotals() (charged, refunded float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.chargedRU, b.refundedRU
 }
 
 // TenantQuota describes a tenant's purchased capacity and its division
@@ -276,6 +294,9 @@ func (p *ProxyLimiter) SetQuota(proxyQuota float64) {
 // Stats exposes the underlying bucket's counters.
 func (p *ProxyLimiter) Stats() (allowed, rejected int64) { return p.bucket.Stats() }
 
+// RUTotals exposes the bucket's cumulative charge/refund ledger.
+func (p *ProxyLimiter) RUTotals() (charged, refunded float64) { return p.bucket.RUTotals() }
+
 // PartitionLimiter enforces the 3× partition_quota ceiling at the
 // DataNode request-queue entry point.
 type PartitionLimiter struct {
@@ -317,3 +338,6 @@ func (p *PartitionLimiter) Quota() float64 {
 
 // Stats exposes the underlying bucket's counters.
 func (p *PartitionLimiter) Stats() (allowed, rejected int64) { return p.bucket.Stats() }
+
+// RUTotals exposes the bucket's cumulative charge/refund ledger.
+func (p *PartitionLimiter) RUTotals() (charged, refunded float64) { return p.bucket.RUTotals() }

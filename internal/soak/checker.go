@@ -1,0 +1,177 @@
+// Package soak is the diurnal soak harness: a deterministic,
+// sim-clock-scheduled long run that replays day/night load curves
+// through millions of simulated user operations against a real
+// embedded cluster, and asserts the paper's §5 serverless loop as
+// live invariants instead of one-off experiment plots:
+//
+//   - the forecaster-driven autoscaler actually resizes the node pool
+//     as the diurnal curve rises and falls,
+//   - the heat-aware rescheduler migrates replicas onto fresh
+//     capacity,
+//   - injected primary kills fail over without losing a single
+//     acknowledged write, and
+//   - RU accounting stays balanced: what admission net-charged tracks
+//     what execution billed.
+//
+// The harness is split in two. Run drives the cluster and produces a
+// stream of cumulative Snapshots plus a final Report; Checker consumes
+// snapshots and decides pass/fail. The split keeps the invariant logic
+// a pure function over observable state, so the checker is unit-tested
+// against scripted fake clusters (a cluster that loses writes, leaks
+// RU, or never scales) without running a soak.
+package soak
+
+import "fmt"
+
+// Snapshot is one cumulative observation of the soak's externally
+// visible state, taken at a simulated-hour boundary. All counters are
+// monotone totals since the start of the run, never per-interval
+// deltas: the checker derives deltas itself, which lets it also verify
+// that the harness's own bookkeeping never runs backwards.
+type Snapshot struct {
+	// Interval is the simulated hour this snapshot closes (0-based).
+	Interval int
+	// OpsIssued counts every client operation attempted.
+	OpsIssued int64
+	// Acked counts writes that returned success to the client.
+	Acked int64
+	// LostAcked counts acknowledged writes that a later audit could
+	// not read back (wrong value or error). Any value above zero is an
+	// immediate violation — durability has no noise band.
+	LostAcked int64
+	// Nodes is the current DataNode pool size.
+	Nodes int
+	// ChargedRU and RefundedRU are the cumulative partition-admission
+	// ledger totals; BilledRU is what execution actually billed.
+	ChargedRU  float64
+	RefundedRU float64
+	BilledRU   float64
+	// Migrations counts applied rescheduler migrations.
+	Migrations int
+	// Failovers counts injected primary kills that were failed over.
+	Failovers int
+}
+
+// Expectations is what a healthy soak must have exhibited by the end
+// of the run. Zero values disable the corresponding floor, so a
+// scripted unit test can assert one invariant in isolation.
+type Expectations struct {
+	// MinResizes is the minimum number of pool-size changes (the
+	// autoscaler must actually act, in both directions of the curve).
+	MinResizes int
+	// MinFailovers is the minimum number of completed primary
+	// failovers.
+	MinFailovers int
+	// MinMigrations is the minimum number of applied rescheduler
+	// migrations.
+	MinMigrations int
+	// RUBalanceLow and RUBalanceHigh bound (charged − refunded) /
+	// billed at the end of the run. Admission charges size estimates
+	// and execution bills actuals, so the ratio is statistical, not
+	// exact — but a harness that loses ledgers on migration or
+	// double-charges drifts far outside a generous band.
+	RUBalanceLow  float64
+	RUBalanceHigh float64
+}
+
+// DefaultExpectations is the acceptance bar used by the soak test and
+// the full bench run.
+func DefaultExpectations() Expectations {
+	return Expectations{
+		MinResizes:    2,
+		MinFailovers:  1,
+		MinMigrations: 1,
+		RUBalanceLow:  0.5,
+		RUBalanceHigh: 2.0,
+	}
+}
+
+// Checker folds a snapshot stream into a violation list. Observe
+// flags immediate violations (lost writes, ledger imbalance, counters
+// running backwards) as they appear; Finish adds the end-of-run floor
+// checks and returns everything found.
+type Checker struct {
+	exp        Expectations
+	hasPrev    bool
+	prev       Snapshot
+	resizes    int
+	violations []string
+}
+
+// NewChecker returns a checker enforcing exp.
+func NewChecker(exp Expectations) *Checker {
+	return &Checker{exp: exp}
+}
+
+// Observe folds one snapshot into the checker.
+func (c *Checker) Observe(s Snapshot) {
+	if s.LostAcked > 0 && (!c.hasPrev || s.LostAcked > c.prev.LostAcked) {
+		c.addf("interval %d: %d acknowledged write(s) lost", s.Interval, s.LostAcked)
+	}
+	if s.RefundedRU > s.ChargedRU {
+		c.addf("interval %d: refunded RU %.3f exceeds charged RU %.3f", s.Interval, s.RefundedRU, s.ChargedRU)
+	}
+	if c.hasPrev {
+		p := c.prev
+		if s.Interval <= p.Interval {
+			c.addf("interval %d: snapshot out of order (previous %d)", s.Interval, p.Interval)
+		}
+		if s.OpsIssued < p.OpsIssued {
+			c.addf("interval %d: ops issued ran backwards (%d < %d)", s.Interval, s.OpsIssued, p.OpsIssued)
+		}
+		if s.Acked < p.Acked {
+			c.addf("interval %d: acked writes ran backwards (%d < %d)", s.Interval, s.Acked, p.Acked)
+		}
+		if s.ChargedRU < p.ChargedRU || s.RefundedRU < p.RefundedRU || s.BilledRU < p.BilledRU {
+			c.addf("interval %d: RU totals ran backwards", s.Interval)
+		}
+		if s.Migrations < p.Migrations || s.Failovers < p.Failovers {
+			c.addf("interval %d: event counters ran backwards", s.Interval)
+		}
+		if s.Nodes != p.Nodes {
+			c.resizes++
+		}
+	}
+	c.prev = s
+	c.hasPrev = true
+}
+
+// Resizes reports how many pool-size changes the snapshot stream
+// showed so far.
+func (c *Checker) Resizes() int { return c.resizes }
+
+// Finish runs the end-of-run checks and returns every violation found
+// across the whole run, in observation order. An empty slice means the
+// soak held all its invariants.
+func (c *Checker) Finish() []string {
+	if !c.hasPrev {
+		c.addf("no snapshots observed")
+		return c.violations
+	}
+	last := c.prev
+	if c.exp.MinResizes > 0 && c.resizes < c.exp.MinResizes {
+		c.addf("pool resized %d time(s), want at least %d — the autoscaler never acted", c.resizes, c.exp.MinResizes)
+	}
+	if c.exp.MinFailovers > 0 && last.Failovers < c.exp.MinFailovers {
+		c.addf("%d failover(s) completed, want at least %d", last.Failovers, c.exp.MinFailovers)
+	}
+	if c.exp.MinMigrations > 0 && last.Migrations < c.exp.MinMigrations {
+		c.addf("%d migration(s) applied, want at least %d — the rescheduler never acted", last.Migrations, c.exp.MinMigrations)
+	}
+	if c.exp.RUBalanceLow > 0 || c.exp.RUBalanceHigh > 0 {
+		if last.BilledRU <= 0 {
+			c.addf("no RU billed over the whole run")
+		} else {
+			ratio := (last.ChargedRU - last.RefundedRU) / last.BilledRU
+			if ratio < c.exp.RUBalanceLow || ratio > c.exp.RUBalanceHigh {
+				c.addf("RU ledger unbalanced: net charged %.3f vs billed %.3f (ratio %.3f outside [%.2f, %.2f])",
+					last.ChargedRU-last.RefundedRU, last.BilledRU, ratio, c.exp.RUBalanceLow, c.exp.RUBalanceHigh)
+			}
+		}
+	}
+	return c.violations
+}
+
+func (c *Checker) addf(format string, args ...any) {
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}

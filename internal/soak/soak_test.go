@@ -1,0 +1,206 @@
+package soak
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"abase/internal/benchjson"
+)
+
+var bg = context.Background()
+
+// healthySnapshots scripts the snapshot stream of a well-behaved
+// cluster: growing traffic, two resizes, one failover, one migration,
+// and books that balance.
+func healthySnapshots() []Snapshot {
+	return []Snapshot{
+		{Interval: 0, OpsIssued: 100, Acked: 30, Nodes: 4, ChargedRU: 10, RefundedRU: 1, BilledRU: 9},
+		{Interval: 1, OpsIssued: 300, Acked: 90, Nodes: 5, ChargedRU: 32, RefundedRU: 2, BilledRU: 29, Migrations: 1},
+		{Interval: 2, OpsIssued: 600, Acked: 180, Nodes: 5, ChargedRU: 61, RefundedRU: 3, BilledRU: 57, Migrations: 2, Failovers: 1},
+		{Interval: 3, OpsIssued: 700, Acked: 210, Nodes: 4, ChargedRU: 70, RefundedRU: 3, BilledRU: 66, Migrations: 2, Failovers: 1},
+	}
+}
+
+func runChecker(exp Expectations, snaps []Snapshot) []string {
+	c := NewChecker(exp)
+	for _, s := range snaps {
+		c.Observe(s)
+	}
+	return c.Finish()
+}
+
+func TestCheckerPassesHealthyRun(t *testing.T) {
+	if v := runChecker(DefaultExpectations(), healthySnapshots()); len(v) != 0 {
+		t.Fatalf("healthy run reported violations: %v", v)
+	}
+}
+
+func TestCheckerFailsOnLostAckedWrite(t *testing.T) {
+	snaps := healthySnapshots()
+	snaps[2].LostAcked = 1
+	snaps[3].LostAcked = 1
+	v := runChecker(DefaultExpectations(), snaps)
+	if len(v) == 0 {
+		t.Fatal("lost acked write not flagged")
+	}
+	if !strings.Contains(strings.Join(v, "; "), "lost") {
+		t.Fatalf("violations do not mention the lost write: %v", v)
+	}
+	// The same cumulative count must not be double-reported.
+	if len(v) != 1 {
+		t.Fatalf("one lost write reported %d times: %v", len(v), v)
+	}
+}
+
+func TestCheckerFailsOnRUImbalance(t *testing.T) {
+	// Refunds exceeding charges are flagged immediately.
+	snaps := healthySnapshots()
+	snaps[1].RefundedRU = snaps[1].ChargedRU + 5
+	if v := runChecker(DefaultExpectations(), snaps); len(v) == 0 {
+		t.Fatal("refunded > charged not flagged")
+	}
+
+	// A final net-charged/billed ratio outside the band is flagged at
+	// Finish — e.g. a harness that loses its billing on migration.
+	snaps = healthySnapshots()
+	for i := range snaps {
+		snaps[i].BilledRU /= 10
+	}
+	v := runChecker(DefaultExpectations(), snaps)
+	if len(v) == 0 {
+		t.Fatal("unbalanced RU ledger not flagged")
+	}
+	if !strings.Contains(strings.Join(v, "; "), "unbalanced") {
+		t.Fatalf("violations do not mention the imbalance: %v", v)
+	}
+}
+
+func TestCheckerFailsOnNeverResizingAutoscaler(t *testing.T) {
+	snaps := healthySnapshots()
+	for i := range snaps {
+		snaps[i].Nodes = 4 // the pool never moves
+	}
+	v := runChecker(DefaultExpectations(), snaps)
+	if len(v) == 0 {
+		t.Fatal("never-resizing autoscaler not flagged")
+	}
+	if !strings.Contains(strings.Join(v, "; "), "autoscaler never acted") {
+		t.Fatalf("violations do not mention the autoscaler: %v", v)
+	}
+}
+
+func TestCheckerFailsOnMissingFailoverOrMigration(t *testing.T) {
+	snaps := healthySnapshots()
+	for i := range snaps {
+		snaps[i].Failovers = 0
+		snaps[i].Migrations = 0
+	}
+	v := strings.Join(runChecker(DefaultExpectations(), snaps), "; ")
+	if !strings.Contains(v, "failover") || !strings.Contains(v, "rescheduler never acted") {
+		t.Fatalf("missing failover/migration not flagged: %v", v)
+	}
+}
+
+func TestCheckerFlagsBackwardsCounters(t *testing.T) {
+	snaps := healthySnapshots()
+	snaps[3].Acked = 10 // acked total shrank
+	if v := runChecker(DefaultExpectations(), snaps); len(v) == 0 {
+		t.Fatal("backwards acked counter not flagged")
+	}
+}
+
+func TestCheckerNoSnapshots(t *testing.T) {
+	if v := NewChecker(DefaultExpectations()).Finish(); len(v) == 0 {
+		t.Fatal("empty run not flagged")
+	}
+}
+
+func TestCheckerZeroExpectationsDisableFloors(t *testing.T) {
+	snaps := healthySnapshots()
+	for i := range snaps {
+		snaps[i].Failovers = 0
+		snaps[i].Migrations = 0
+		snaps[i].Nodes = 4
+	}
+	if v := runChecker(Expectations{}, snaps); len(v) != 0 {
+		t.Fatalf("zero expectations still enforced floors: %v", v)
+	}
+}
+
+// soakTestConfig is the acceptance-size run: small enough for CI (and
+// -race), still required to resize at least twice, fail over, migrate,
+// keep every acknowledged write, and balance the RU books.
+func soakTestConfig() Config {
+	cfg := ShortConfig()
+	if !testing.Short() {
+		cfg.Days = 2
+		cfg.OpsPerInterval = 200
+		cfg.ScalerNodeRU = 55
+		cfg.FailoverAtHours = []int{9, 33}
+	}
+	return cfg
+}
+
+// TestSoakAcceptance is the §5-loop acceptance run: a simulated day
+// (two without -short) of diurnal load against a real embedded
+// cluster.
+func TestSoakAcceptance(t *testing.T) {
+	cfg := soakTestConfig()
+	ctx, cancel := context.WithTimeout(bg, 5*time.Minute)
+	defer cancel()
+	report, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatalf("soak failed: %v", err)
+	}
+	if len(report.Violations) != 0 {
+		t.Fatalf("violations: %v", report.Violations)
+	}
+	if report.Resizes < 2 {
+		t.Errorf("pool resized %d time(s), want >= 2 (events: %v)", report.Resizes, report.ResizeEvents)
+	}
+	if report.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1", report.Failovers)
+	}
+	if report.LostAcked != 0 {
+		t.Errorf("lost %d acknowledged writes", report.LostAcked)
+	}
+	if report.Migrations < 1 {
+		t.Errorf("migrations = %d, want >= 1", report.Migrations)
+	}
+	if report.Acked == 0 || report.OpsIssued == 0 {
+		t.Errorf("no traffic ran: issued=%d acked=%d", report.OpsIssued, report.Acked)
+	}
+	if report.Availability < 0.99 {
+		t.Errorf("availability %.4f, want >= 0.99", report.Availability)
+	}
+
+	// The trajectory emission must be schema-valid.
+	res := report.ToResult()
+	res.Schema = benchjson.SchemaVersion
+	if err := benchjson.Validate(res); err != nil {
+		t.Errorf("ToResult is not schema-valid: %v", err)
+	}
+}
+
+// TestSoakDeterministic replays the smoke-size run twice under one
+// seed and requires identical deterministic fingerprints (ops, acks,
+// audits, billed RU, and the resize schedule; the rescheduler's exact
+// migration plan is real-clock-sensitive and excluded by design).
+func TestSoakDeterministic(t *testing.T) {
+	cfg := ShortConfig()
+	ctx, cancel := context.WithTimeout(bg, 5*time.Minute)
+	defer cancel()
+	first, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if first.Fingerprint() != second.Fingerprint() {
+		t.Fatalf("same seed diverged:\n  first:  %s\n  second: %s", first.Fingerprint(), second.Fingerprint())
+	}
+}
