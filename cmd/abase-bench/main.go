@@ -10,8 +10,8 @@
 //
 // Experiments: table1, fig3 (alias fig4), fig5, fig6, fig7, fig8a,
 // fig8b, fig9, fig10, table2, util, batch, scan, point, hotspot,
-// failover, shedding, soak, ablations. Unknown ids are rejected up
-// front (exit 2) so a typo cannot silently skip a measurement.
+// failover, shedding, cdc, soak, ablations. Unknown ids are rejected
+// up front (exit 2) so a typo cannot silently skip a measurement.
 package main
 
 import (
@@ -53,8 +53,8 @@ func tables(fn func(o options, out io.Writer)) func(options, io.Writer) ([]bench
 }
 
 // registry lists every experiment in presentation order. The measuring
-// experiments (batch, scan, point, hotspot, failover, shedding, soak)
-// return trajectory points; the paper figures print tables only.
+// experiments (batch, scan, point, hotspot, failover, shedding, cdc,
+// soak) return trajectory points; the paper figures print tables only.
 func registry() []experiment {
 	return []experiment{
 		{id: "table1", run: tables(func(o options, out io.Writer) {
@@ -130,6 +130,11 @@ func registry() []experiment {
 			res, t := experiments.DeadlineShedding(experiments.SheddingOpts{})
 			t.Fprint(out)
 			return []benchjson.Result{experiments.SheddingBench(res)}, nil
+		}},
+		{id: "cdc", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
+			res, t := experiments.ChangeStreamFanout(experiments.ChangeStreamOpts{})
+			t.Fprint(out)
+			return []benchjson.Result{experiments.ChangeStreamBench(res)}, nil
 		}},
 		{id: "soak", run: func(o options, out io.Writer) ([]benchjson.Result, error) {
 			report, err := soak.Run(context.Background(), soak.DefaultConfig())

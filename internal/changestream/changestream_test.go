@@ -1,0 +1,83 @@
+package changestream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	cases := []Token{
+		{Tenant: "acme", Positions: []uint64{0, 0, 0, 0}},
+		{Tenant: "acme", Positions: []uint64{1, 99, 0, 1 << 60}},
+		{Tenant: "", Positions: nil},
+		{Tenant: "t", Positions: []uint64{42}},
+	}
+	for _, tok := range cases {
+		enc := tok.Encode()
+		if !strings.HasPrefix(enc, "cs1.") {
+			t.Fatalf("encoded token %q missing version prefix", enc)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if got.Tenant != tok.Tenant || len(got.Positions) != len(tok.Positions) {
+			t.Fatalf("round trip %+v -> %+v", tok, got)
+		}
+		for i := range tok.Positions {
+			if got.Positions[i] != tok.Positions[i] {
+				t.Fatalf("round trip %+v -> %+v", tok, got)
+			}
+		}
+	}
+}
+
+func TestTokenDecodeRejectsMalformed(t *testing.T) {
+	good := Token{Tenant: "acme", Positions: []uint64{7, 8}}.Encode()
+	bad := []string{
+		"",
+		"cs1",
+		"cs2." + good[4:],                  // wrong version
+		"p0:deadbeef",                      // a SCAN cursor, not a token
+		"cs1.!!!not-base64!!!",             // bad alphabet
+		"cs1.",                             // empty payload
+		"cs1.AAAA",                         // too short for a checksum
+		good[:len(good)-2],                 // truncated
+		good + "AB",                        // trailing garbage
+		"cs1." + strings.Repeat("A", 2000), // big zero payload: checksum fails
+	}
+	for _, s := range bad {
+		if _, err := Decode(s); !errors.Is(err, ErrBadToken) {
+			t.Fatalf("Decode(%q) = %v, want ErrBadToken", s, err)
+		}
+	}
+	// Corrupt one payload byte: the checksum must catch it rather than
+	// let the token resume at a wrong offset.
+	raw := []byte(good)
+	raw[len(raw)-6] ^= 0x41
+	if _, err := Decode(string(raw)); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("corrupted token decoded: %v", err)
+	}
+}
+
+func TestTokenExtend(t *testing.T) {
+	tok := Token{Tenant: "a", Positions: []uint64{5, 6}}
+	ext := tok.Extend(4)
+	if len(ext.Positions) != 4 || ext.Positions[0] != 5 || ext.Positions[1] != 6 || ext.Positions[2] != 0 || ext.Positions[3] != 0 {
+		t.Fatalf("Extend = %+v", ext)
+	}
+	// Extending to fewer partitions never shrinks.
+	same := tok.Extend(1)
+	if len(same.Positions) != 2 {
+		t.Fatalf("Extend shrank the vector: %+v", same)
+	}
+}
+
+func TestErrHistoryTruncatedIsEngineSentinel(t *testing.T) {
+	// The re-export must match the engine's sentinel through errors.Is
+	// so any layer can check either name.
+	if !errors.Is(ErrHistoryTruncated, ErrHistoryTruncated) {
+		t.Fatal("self identity failed")
+	}
+}

@@ -73,6 +73,10 @@ type groupRun struct {
 	// never executes, so the RU goes back. Written before sched.Submit
 	// and read only by the scheduler afterwards, so it is ordered.
 	charged bool
+	// lastSeq is the engine sequence the sub-batch's final record
+	// committed at — the whole group's replication position. Written in
+	// the IOStage, read after wg.Wait, so it is ordered.
+	lastSeq uint64
 }
 
 // runMulti is the shared node-batch engine: it enters the request
@@ -357,12 +361,14 @@ func (n *Node) MultiWrite(ctx context.Context, groups []PutBatch) []BatchResult 
 					batch = append(batch, lavastore.BatchOp{Key: op.Key, Value: op.Value, TTL: op.TTL, Delete: op.Delete})
 					applied = append(applied, k)
 				}
-				if err := rep.db.WriteBatch(batch); err != nil {
+				last, err := rep.db.WriteBatchSeq(batch)
+				if err != nil {
 					for _, k := range applied {
 						vals[k].Err = err
 					}
 					return
 				}
+				r.lastSeq = last
 				// Write-through keeps the node cache coherent — except
 				// for TTL-bearing values, which the SA-LRU cannot expire
 				// and so must not hold (see Node.Get).
@@ -416,8 +422,11 @@ func (n *Node) MultiWrite(ctx context.Context, groups []PutBatch) []BatchResult 
 			r.ts.success.Inc()
 		}
 		if len(ok) > 0 {
-			pos := r.rep.replPos.Add(uint64(len(ok)))
-			n.replicator.ReplicateBatch(r.rep.id, ok, pos)
+			// ok is exactly the set (and order) the engine committed, so
+			// the batch's records occupy the contiguous sequence range
+			// ending at lastSeq on every replica (see ops.go write).
+			r.rep.advancePos(r.lastSeq)
+			n.replicator.ReplicateBatch(r.rep.id, ok, r.lastSeq)
 		}
 		r.ts.ruUsed.Add(o.RU)
 		r.ts.latency.Observe(lat)

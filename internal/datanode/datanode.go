@@ -218,6 +218,15 @@ type replica struct {
 	// exact decayed access rate that drives splits and rescheduling.
 	hot  *hotspot.Detector
 	heat *hotspot.Meter
+	// Change-stream state (see changes.go). watchMu guards the commit
+	// watchers and is taken from the engine's commit hook (under the
+	// engine lock), so code holding it must NEVER call into the engine;
+	// holdMu guards the retention holds and may nest engine calls.
+	watchMu  sync.Mutex
+	watchers map[int]chan struct{}
+	watchN   int
+	holdMu   sync.Mutex
+	holds    map[string]changeHold
 }
 
 // isPrimary reports whether this replica currently serves writes.
@@ -432,6 +441,9 @@ func (n *Node) AddReplica(rid partition.ReplicaID, quotaRU float64, primary bool
 	}
 	rep.primaryF.Store(primary)
 	rep.epoch.Store(1)
+	// Commit hook: wake change-stream pollers. Runs under the engine
+	// lock, so it only flips per-watcher ready bits (see signalCommit).
+	db.SetCommitNotify(func(uint64) { rep.signalCommit() })
 	n.replicas[rid.Partition] = rep
 	return nil
 }
@@ -498,6 +510,10 @@ func (n *Node) ReplicationPosition(pid partition.ID) uint64 {
 func (n *Node) AdoptReplicationPosition(pid partition.ID, pos uint64) {
 	if rep, err := n.getReplica(pid); err == nil {
 		rep.advancePos(pos)
+		// A copied replica holds the source's state, not its per-write
+		// history: align the engine's sequence with the adopted position
+		// and refuse Replay below it (see lavastore.AlignSeq).
+		rep.db.AlignSeq(pos)
 	}
 }
 

@@ -249,6 +249,7 @@ func (n *Node) write(ctx context.Context, pid partition.ID, epoch uint64, key, v
 		close(done)
 	}
 	var ioErr error
+	var ioSeq uint64 // engine-assigned sequence = the write's replication position
 	// See Get: a charge whose task never executes is returned.
 	var quotaCharged bool
 	task := &wfq.Task{
@@ -280,11 +281,11 @@ func (n *Node) write(ctx context.Context, pid partition.ID, epoch uint64, key, v
 				if _, err := rep.db.TTL(key); errors.Is(err, lavastore.ErrNotFound) {
 					ioErr = ErrNotFound
 				} else {
-					ioErr = rep.db.Delete(key)
+					ioSeq, ioErr = rep.db.DeleteSeq(key)
 				}
 				n.cache.Delete(ck)
 			} else {
-				ioErr = rep.db.Put(key, value, ttl)
+				ioSeq, ioErr = rep.db.PutSeq(key, value, ttl)
 				// Write-through keeps the node cache coherent — except
 				// for TTL-bearing values, which the SA-LRU cannot expire
 				// and so must not hold (see Get).
@@ -335,8 +336,13 @@ func (n *Node) write(ctx context.Context, pid partition.ID, epoch uint64, key, v
 		ts.errors.Inc()
 		return OpResult{Latency: lat}, opErr
 	}
-	pos := rep.replPos.Add(1)
-	n.replicator.Replicate(rep.id, key, value, ttl, del, pos)
+	// The engine sequence assigned under the commit lock IS the write's
+	// replication position: followers apply at the same sequence, so
+	// change-log offsets stay comparable across replicas and a resume
+	// token survives promotion. (A position counter bumped out here
+	// could order two concurrent commits differently from the engine.)
+	rep.advancePos(ioSeq)
+	n.replicator.Replicate(rep.id, key, value, ttl, del, ioSeq)
 	ts.success.Inc()
 	ts.ruUsed.Add(cost)
 	ts.latency.Observe(lat)
@@ -416,6 +422,7 @@ func (n *Node) PutWith(ctx context.Context, pid partition.ID, epoch uint64, key,
 	var res PutResult
 	var ioErr error
 	var effTTL time.Duration
+	var wroteSeq uint64
 	probeLen := 0
 	done := make(chan struct{})
 	finish := func(err error) {
@@ -467,7 +474,7 @@ func (n *Node) PutWith(ctx context.Context, pid partition.ID, epoch uint64, key,
 				}
 			}
 			burn(n.cfg.Clock, n.cfg.Cost.IOWriteTime)
-			if stageErr = rep.db.Put(key, value, ttl); stageErr != nil {
+			if wroteSeq, stageErr = rep.db.PutSeq(key, value, ttl); stageErr != nil {
 				return
 			}
 			res.Written = true
@@ -526,8 +533,9 @@ func (n *Node) PutWith(ctx context.Context, pid partition.ID, epoch uint64, key,
 	charged := ru.ReadRU(probeLen, 0)
 	if res.Written {
 		charged += ru.WriteRU(len(value), n.cfg.Replicas)
-		pos := rep.replPos.Add(1)
-		n.replicator.Replicate(rep.id, key, value, effTTL, false, pos)
+		// Engine sequence as position: see write.
+		rep.advancePos(wroteSeq)
+		n.replicator.Replicate(rep.id, key, value, effTTL, false, wroteSeq)
 	}
 	res.RU = charged
 	ts.success.Inc()
@@ -550,50 +558,102 @@ func (n *Node) ApplyReplicated(pid partition.ID, key, value []byte, ttl time.Dur
 	// primary traffic, so write-through would fill the cache with
 	// values that are seldom read while still risking staleness.
 	n.cache.Delete(cacheKey(pid, key))
+	var seq uint64
 	var werr error
 	if del {
-		werr = rep.db.Delete(key)
+		seq, werr = rep.db.DeleteSeq(key)
 	} else {
-		werr = rep.db.Put(key, value, ttl)
+		seq, werr = rep.db.PutSeq(key, value, ttl)
 	}
 	if werr == nil {
-		rep.replPos.Add(1)
+		rep.advancePos(seq)
 	}
 	return werr
 }
 
+// ApplyCopied applies one record of a replica-repair bulk copy at its
+// SOURCE sequence number, leaving the replication position alone (the
+// copy adopts the source's position wholesale once it completes — see
+// CopyReplicaTo). Keeping source sequences keeps the destination's
+// engine sequence at or below the primary's, so post-repair replicated
+// applies are never mistaken for stale ones.
+func (n *Node) ApplyCopied(pid partition.ID, seq uint64, key, value []byte, ttl time.Duration) error {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return err
+	}
+	n.cache.Delete(cacheKey(pid, key))
+	return rep.db.ApplyAt(key, value, ttl, false, seq)
+}
+
+// WriteThrough applies a system write on a partition primary and hands
+// it to the replication fabric, bypassing quota and WFQ. The split
+// rehash uses it: migrated records and their source tombstones commit
+// on the primary (taking an engine sequence) and reach followers
+// through the same FIFO lanes as client writes — applying directly on
+// followers would interleave differently per replica and misalign the
+// change logs that resume tokens index into.
+func (n *Node) WriteThrough(pid partition.ID, key, value []byte, ttl time.Duration, del bool) error {
+	rep, err := n.getReplica(pid)
+	if err != nil {
+		return err
+	}
+	n.cache.Delete(cacheKey(pid, key))
+	var seq uint64
+	var werr error
+	if del {
+		seq, werr = rep.db.DeleteSeq(key)
+	} else {
+		seq, werr = rep.db.PutSeq(key, value, ttl)
+	}
+	if werr != nil {
+		return werr
+	}
+	rep.advancePos(seq)
+	n.replicator.Replicate(rep.id, key, value, ttl, del, seq)
+	return nil
+}
+
 // ApplyReplicatedAt is ApplyReplicated for the replication fabric: pos
-// is the primary's position after this write, which the follower
-// adopts monotonically (positions stay comparable across replicas).
+// is the sequence number the PRIMARY's engine committed this write at.
+// The follower applies the record at that same sequence, so every
+// replica's change log is offset-aligned and a subscriber's resume
+// token stays valid across a promotion. pos 0 is the snapshot-copy
+// escape hatch (CopyReplicaTo): the record takes a local sequence and
+// the position counter is left for AdoptReplicationPosition — a bulk
+// copy is state transfer, not history.
 func (n *Node) ApplyReplicatedAt(pid partition.ID, pos uint64, key, value []byte, ttl time.Duration, del bool) error {
 	rep, err := n.getReplica(pid)
 	if err != nil {
 		return err
 	}
 	n.cache.Delete(cacheKey(pid, key))
-	var werr error
-	if del {
-		werr = rep.db.Delete(key)
-	} else {
-		werr = rep.db.Put(key, value, ttl)
+	if pos == 0 {
+		if del {
+			return rep.db.Delete(key)
+		}
+		return rep.db.Put(key, value, ttl)
 	}
-	if werr == nil {
-		rep.advancePos(pos)
+	if err := rep.db.ApplyAt(key, value, ttl, del, pos); err != nil {
+		return err
 	}
-	return werr
+	rep.advancePos(pos)
+	return nil
 }
 
 // ApplyReplicatedBatchAt is ApplyReplicatedBatch for the replication
-// fabric (see ApplyReplicatedAt); pos is the primary's position after
-// the batch's last op.
+// fabric (see ApplyReplicatedAt); pos is the primary's sequence after
+// the batch's last op, and the batch occupies the contiguous range
+// ending there on every replica.
 func (n *Node) ApplyReplicatedBatchAt(pid partition.ID, pos uint64, ops []WriteOp) error {
 	rep, err := n.getReplica(pid)
 	if err != nil {
 		return err
 	}
-	if err := n.applyBatch(rep, pid, ops); err != nil {
+	if err := rep.db.ApplyBatchAt(toBatchOps(ops), pos); err != nil {
 		return err
 	}
+	n.invalidateBatch(pid, ops)
 	rep.advancePos(pos)
 	return nil
 }
@@ -605,29 +665,30 @@ func (n *Node) ApplyReplicatedBatch(pid partition.ID, ops []WriteOp) error {
 	if err != nil {
 		return err
 	}
-	if err := n.applyBatch(rep, pid, ops); err != nil {
+	last, err := rep.db.WriteBatchSeq(toBatchOps(ops))
+	if err != nil {
 		return err
 	}
-	rep.replPos.Add(uint64(len(ops)))
+	n.invalidateBatch(pid, ops)
+	rep.advancePos(last)
 	return nil
 }
 
-// applyBatch group-commits a replicated sub-batch to rep's store
-// and invalidates the touched cache entries (invalidate rather than
-// populate: see ApplyReplicated).
-func (n *Node) applyBatch(rep *replica, pid partition.ID, ops []WriteOp) error {
+func toBatchOps(ops []WriteOp) []lavastore.BatchOp {
 	batch := make([]lavastore.BatchOp, len(ops))
 	for i, op := range ops {
 		batch[i] = lavastore.BatchOp{Key: op.Key, Value: op.Value, TTL: op.TTL, Delete: op.Delete}
 	}
-	if err := rep.db.WriteBatch(batch); err != nil {
-		return err
-	}
+	return batch
+}
+
+// invalidateBatch drops the touched cache entries (invalidate rather
+// than populate: see ApplyReplicated).
+func (n *Node) invalidateBatch(pid partition.ID, ops []WriteOp) {
 	prefix := cacheKeyPrefix(pid)
 	for _, op := range ops {
 		n.cache.Delete(prefix + string(op.Key))
 	}
-	return nil
 }
 
 // --- Hash (Redis hash) operations ---

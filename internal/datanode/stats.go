@@ -241,19 +241,22 @@ func (n *Node) CopyReplicaTo(pid partition.ID, dst *Node) error {
 		return ErrNoPartition
 	}
 	var applyErr error
-	err := rep.db.ScanWithExpiry(func(key, value []byte, expireAt int64) bool {
+	err := rep.db.ScanWithSeq(func(key, value []byte, expireAt int64, seq uint64) bool {
 		ttl, alive := n.RemainingTTL(expireAt)
 		if !alive {
 			return true
 		}
 		k := append([]byte(nil), key...)
 		v := append([]byte(nil), value...)
-		// Apply at position 0 (a no-op for the monotone counter): the
-		// copy must not advance the destination's position per record,
-		// or a re-synced replica that already held data would end up
-		// AHEAD of its source — claiming writes it never saw. The
-		// position is adopted wholesale from the source below.
-		applyErr = dst.ApplyReplicatedAt(pid, 0, k, v, ttl, false)
+		// Each record keeps its SOURCE sequence on the destination.
+		// Fresh local sequences would run the destination's engine ahead
+		// of the primary's, making every later replicated apply look
+		// older than the copy and be skipped — silently losing
+		// acknowledged writes on the rebuilt follower. The replication
+		// position is still adopted wholesale from the source below,
+		// never advanced per record: a partial copy must not look
+		// caught up.
+		applyErr = dst.ApplyCopied(pid, seq, k, v, ttl)
 		return applyErr == nil
 	})
 	if err == nil {

@@ -121,3 +121,18 @@ func PointBench(stats []PointStats) benchjson.Result {
 	}
 	return benchjson.Result{Experiment: "point", SimClock: realClock, Metrics: m}
 }
+
+// ChangeStreamBench folds the change-stream fan-out outcome into a
+// trajectory point: fan-out throughput and replay bandwidth gate
+// upward, commit-to-delivery latency gates downward, and the scale
+// numbers ride along as context.
+func ChangeStreamBench(r ChangeStreamResult) benchjson.Result {
+	return benchjson.Result{Experiment: "cdc", SimClock: realClock, Metrics: map[string]benchjson.Metric{
+		"fanout_events_per_sec": benchjson.M(r.EventsPerSec, "events/s", benchjson.HigherIsBetter),
+		"notify_p50_us":         benchjson.M(float64(r.NotifyP50.Microseconds()), "us", benchjson.LowerIsBetter),
+		"notify_p99_us":         benchjson.M(float64(r.NotifyP99.Microseconds()), "us", benchjson.LowerIsBetter),
+		"replay_mb_per_sec":     benchjson.M(r.ReplayMBPerSec, "MB/s", benchjson.HigherIsBetter),
+		"delivered_events":      benchjson.M(float64(r.Delivered), "events", benchjson.Info),
+		"subscribers":           benchjson.M(float64(r.Subscribers), "subscribers", benchjson.Info),
+	}}
+}

@@ -508,3 +508,38 @@ func TestBenchAdaptersSchemaValid(t *testing.T) {
 		t.Errorf("expected slugged metric missing from %v", hot.Metrics)
 	}
 }
+
+// TestExperimentsChangeStream is the CI smoke for the change-stream
+// fan-out harness (`go test -run TestExperiments`): every subscriber
+// drains every committed write, latency percentiles order sanely,
+// replay covers the whole history, and the adapter emits a
+// schema-valid trajectory point.
+func TestExperimentsChangeStream(t *testing.T) {
+	res, tbl := ChangeStreamFanout(ChangeStreamOpts{Subscribers: 4, Events: 400, Partitions: 2})
+	if want := res.Subscribers * res.Events; res.Delivered != want {
+		t.Fatalf("delivered %d events, want %d", res.Delivered, want)
+	}
+	if res.EventsPerSec <= 0 {
+		t.Fatalf("fan-out throughput = %.0f events/s", res.EventsPerSec)
+	}
+	if res.NotifyP50 <= 0 || res.NotifyP99 < res.NotifyP50 {
+		t.Fatalf("notify p50=%v p99=%v", res.NotifyP50, res.NotifyP99)
+	}
+	if res.ReplayEvents != res.Events {
+		t.Fatalf("replay saw %d events, want %d", res.ReplayEvents, res.Events)
+	}
+	if res.ReplayMBPerSec <= 0 {
+		t.Fatalf("replay throughput = %.1f MB/s", res.ReplayMBPerSec)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+	out := ChangeStreamBench(res)
+	out.Schema = benchjson.SchemaVersion
+	if err := benchjson.Validate(out); err != nil {
+		t.Fatalf("ChangeStreamBench result invalid: %v", err)
+	}
+	if out.Experiment != "cdc" {
+		t.Fatalf("adapter experiment id = %q, want cdc", out.Experiment)
+	}
+}

@@ -83,8 +83,13 @@ type DB struct {
 	seq       uint64
 	nextFile  int
 	closed    bool
-	flushMu   sync.Mutex // serializes flushes so table order matches freeze order
-	compactMu sync.Mutex // serializes compactions
+	segs      []walSeg         // sealed WAL segments kept for Replay, oldest first
+	liveLo    uint64           // lowest sequence the live WAL may hold
+	histLo    uint64           // history floor: Replay below this is truncated
+	retain    uint64           // retention floor; noRetention = delete flushed segments
+	notify    func(seq uint64) // commit hook, see SetCommitNotify
+	flushMu   sync.Mutex       // serializes flushes so table order matches freeze order
+	compactMu sync.Mutex       // serializes compactions
 
 	flushes        int64
 	compactions    int64
@@ -101,7 +106,7 @@ var ErrNotFound = errors.New("lavastore: not found")
 // Open creates or recovers a DB in opt.Dir.
 func Open(opt Options) (*DB, error) {
 	o := opt.withDefaults()
-	db := &DB{opt: o, mem: skiplist.New(1)}
+	db := &DB{opt: o, mem: skiplist.New(1), retain: noRetention}
 	oldWALs, err := db.recover()
 	if err != nil {
 		return nil, err
@@ -125,6 +130,10 @@ func Open(opt Options) (*DB, error) {
 	for _, n := range oldWALs {
 		db.opt.FS.Remove(db.filePath(n))
 	}
+	// Recovery collapsed the replayed logs into surviving newest records,
+	// so per-write history before this point is gone: the history floor
+	// starts at the next sequence the engine will assign.
+	db.histLo = db.seq + 1
 	return db, nil
 }
 
@@ -183,11 +192,22 @@ func (db *DB) recover() ([]string, error) {
 			return nil, err
 		}
 		err = replayWAL(f, func(key, rec []byte) error {
-			db.mem.Put(append([]byte(nil), key...), append([]byte(nil), rec...))
 			r, derr := decodeRecord(rec)
-			if derr == nil && r.Seq >= db.seq {
-				db.seq = r.Seq
+			if derr == nil {
+				// Forced-sequence applies (replication) can leave a log
+				// whose append order disagrees with sequence order for the
+				// same key; keep the highest-sequence record, not the last
+				// appended one.
+				if cur, ok := db.mem.Get(key); ok {
+					if cr, cerr := decodeRecord(cur); cerr == nil && cr.Seq > r.Seq {
+						return nil
+					}
+				}
+				if r.Seq >= db.seq {
+					db.seq = r.Seq
+				}
 			}
+			db.mem.Put(append([]byte(nil), key...), append([]byte(nil), rec...))
 			return nil
 		})
 		f.Close()
@@ -211,10 +231,11 @@ func tableFileNum(name string) int {
 }
 
 // rotateWAL switches appends to a fresh log file and returns the name
-// of the previous one ("" on the first rotation). The caller decides
-// when the old log dies: Flush removes it only after the frozen
-// memtable's SSTable is durable — removing it earlier would open a
-// crash window in which acknowledged writes exist nowhere on disk.
+// of the previous one ("" on the first rotation). The old log is
+// sealed into the change log's segment list stamped with the sequence
+// range it covers; it dies only when BOTH conditions hold — its frozen
+// memtable's SSTable is durable (crash safety) and the retention floor
+// has moved past it (no subscriber still needs it for Replay).
 func (db *DB) rotateWAL() (old string, err error) {
 	name := fmt.Sprintf("%06d.wal", db.nextFile)
 	db.nextFile++
@@ -226,7 +247,9 @@ func (db *DB) rotateWAL() (old string, err error) {
 	if db.wal != nil {
 		db.wal.Close()
 		old = db.walName
+		db.segs = append(db.segs, walSeg{name: db.walName, lo: db.liveLo, hi: db.seq})
 	}
+	db.liveLo = db.seq + 1
 	db.wal = newWALWriter(f)
 	db.walName = name
 	return old, nil
@@ -234,11 +257,27 @@ func (db *DB) rotateWAL() (old string, err error) {
 
 // Put stores value under key with an optional TTL (0 = no expiry).
 func (db *DB) Put(key, value []byte, ttl time.Duration) error {
+	_, err := db.write(key, record{Kind: kindSet, Value: value}, ttl)
+	return err
+}
+
+// PutSeq is Put returning the record's assigned sequence number — the
+// offset the write commits at in the change log. The DataNode uses it
+// as the write's replication position, keeping sequence numbers
+// identical across replicas.
+func (db *DB) PutSeq(key, value []byte, ttl time.Duration) (uint64, error) {
 	return db.write(key, record{Kind: kindSet, Value: value}, ttl)
 }
 
 // Delete removes key by writing a tombstone.
 func (db *DB) Delete(key []byte) error {
+	_, err := db.write(key, record{Kind: kindDelete}, 0)
+	return err
+}
+
+// DeleteSeq is Delete returning the tombstone's assigned sequence
+// number (see PutSeq).
+func (db *DB) DeleteSeq(key []byte) (uint64, error) {
 	return db.write(key, record{Kind: kindDelete}, 0)
 }
 
@@ -255,11 +294,11 @@ func expireAt(now time.Time, ttl time.Duration) int64 {
 	return at
 }
 
-func (db *DB) write(key []byte, r record, ttl time.Duration) error {
+func (db *DB) write(key []byte, r record, ttl time.Duration) (uint64, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	db.seq++
 	r.Seq = db.seq
@@ -269,22 +308,26 @@ func (db *DB) write(key []byte, r record, ttl time.Duration) error {
 	rec := encodeRecord(r)
 	if err := db.wal.Append(key, rec); err != nil {
 		db.mu.Unlock()
-		return err
+		return 0, err
 	}
 	if db.opt.SyncWrites {
 		if err := db.wal.Sync(); err != nil {
 			db.mu.Unlock()
-			return err
+			return 0, err
 		}
 	}
 	db.walBytes += int64(len(key) + len(rec) + 16)
 	db.mem.Put(append([]byte(nil), key...), rec)
+	seq := r.Seq
+	if fn := db.notify; fn != nil {
+		fn(db.seq)
+	}
 	needFlush := db.needFlushLocked()
 	db.mu.Unlock()
 	if needFlush {
-		return db.Flush()
+		return seq, db.Flush()
 	}
-	return nil
+	return seq, nil
 }
 
 // BatchOp is one write in a group-committed WriteBatch: a put, or a
@@ -301,13 +344,26 @@ type BatchOp struct {
 // Records keep their individual framing and sequence numbers, so WAL
 // replay and compaction are oblivious to batching.
 func (db *DB) WriteBatch(ops []BatchOp) error {
+	_, err := db.writeBatch(ops)
+	return err
+}
+
+// WriteBatchSeq is WriteBatch returning the LAST sequence number the
+// batch committed at; the ops hold the contiguous range ending there,
+// in order. The DataNode uses it to position the whole batch in the
+// replication stream atomically with the engine commit.
+func (db *DB) WriteBatchSeq(ops []BatchOp) (uint64, error) {
+	return db.writeBatch(ops)
+}
+
+func (db *DB) writeBatch(ops []BatchOp) (uint64, error) {
 	if len(ops) == 0 {
-		return nil
+		return 0, nil
 	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	now := db.opt.Clock.Now()
 	keys := make([][]byte, len(ops))
@@ -336,24 +392,28 @@ func (db *DB) WriteBatch(ops []BatchOp) error {
 	}
 	if err := db.wal.AppendMany(keys, recs); err != nil {
 		db.mu.Unlock()
-		return err
+		return 0, err
 	}
 	if db.opt.SyncWrites {
 		if err := db.wal.Sync(); err != nil {
 			db.mu.Unlock()
-			return err
+			return 0, err
 		}
 	}
 	for i := range ops {
 		db.walBytes += int64(len(keys[i]) + len(recs[i]) + 16)
 		db.mem.Put(keys[i], recs[i])
 	}
+	last := db.seq
+	if fn := db.notify; fn != nil {
+		fn(db.seq)
+	}
 	needFlush := db.needFlushLocked()
 	db.mu.Unlock()
 	if needFlush {
-		return db.Flush()
+		return last, db.Flush()
 	}
-	return nil
+	return last, nil
 }
 
 // needFlushLocked reports whether the memtable should be flushed: it is
@@ -515,12 +575,17 @@ func (db *DB) doFlush() (tooMany bool, err error) {
 	db.tables = append([]*Table{t}, db.tables...)
 	db.flushes++
 	tooMany = len(db.tables) > db.opt.MaxTables && !db.opt.DisableAutoCompact
+	// frozen's records are durable in the installed table; its sealed
+	// WAL segment is now deletable — unless the change-log retention
+	// floor still references it for Replay.
+	var removeWALs []string
+	if oldWAL != "" {
+		removeWALs = db.sealFlushedLocked(oldWAL)
+	}
 	db.mu.Unlock()
 
-	// frozen's records are durable in the installed table; its WAL can
-	// finally go.
-	if oldWAL != "" {
-		db.opt.FS.Remove(db.filePath(oldWAL))
+	for _, n := range removeWALs {
+		db.opt.FS.Remove(db.filePath(n))
 	}
 	return tooMany, nil
 }

@@ -47,6 +47,35 @@ func (db *DB) ScanWithExpiry(fn func(key, value []byte, expireAt int64) bool) er
 	}
 }
 
+// ScanWithSeq is ScanWithExpiry with each record's commit sequence
+// number passed alongside — the form replica repair uses so copied
+// records keep their change-log offsets on the destination instead of
+// taking fresh local ones (which would run the destination's sequence
+// ahead of its source and make later forced-sequence applies look
+// stale).
+func (db *DB) ScanWithSeq(fn func(key, value []byte, expireAt int64, seq uint64) bool) error {
+	ms, err := db.newMergedScanner(nil)
+	if err != nil {
+		return err
+	}
+	now := db.opt.Clock.Now().Unix()
+	for {
+		k, rec, ok := ms.next()
+		if !ok {
+			return ms.checkErr()
+		}
+		r, err := decodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		if r.Kind == kindSet && !r.expired(now) {
+			if !fn(k, r.Value, r.ExpireAt, r.Seq) {
+				return nil
+			}
+		}
+	}
+}
+
 // Keys returns the number of live keys (full scan; intended for tests
 // and migration verification, not hot paths).
 func (db *DB) Keys() (int, error) {

@@ -77,27 +77,24 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 	// before their next page/batch so the rehashed keys stay reachable.
 	m.notifyRouteChange(tenant)
 
-	// applyAll writes (or tombstones) a rehashed record on EVERY
-	// replica of a partition, not just its primary: followers must
-	// hold the moved keys too, or the first failover after a split
-	// would promote a follower missing them — and source followers
-	// must drop their copies, or that same failover would resurrect
-	// keys the split migrated away. The primary's apply is
-	// authoritative (errors propagate); follower applies are
-	// best-effort like fabric replication (a down follower catches up
-	// via repair).
-	applyAll := func(route partition.Route, pid partition.ID, k, v []byte, ttl time.Duration, del bool) error {
-		if primary, ok := nodes[route.Primary]; ok {
-			if err := primary.ApplyReplicated(pid, k, v, ttl, del); err != nil {
-				return err
-			}
+	// writeThrough commits a rehashed record (or its source tombstone)
+	// on the partition PRIMARY and lets the replication fabric carry it
+	// to followers — followers must hold the moved keys too, or the
+	// first failover after a split would promote a follower missing
+	// them (and source followers must drop their copies, or that same
+	// failover would resurrect keys the split migrated away). Routing
+	// through the fabric rather than applying on each replica directly
+	// keeps every replica's change log identical: each migrated record
+	// takes one sequence on the primary and lands at that same sequence
+	// on followers, so change-stream resume tokens stay valid across
+	// the split. The FlushReplication barrier below restores the
+	// synchronous guarantee direct applies used to give.
+	writeThrough := func(route partition.Route, pid partition.ID, k, v []byte, ttl time.Duration, del bool) error {
+		primary, ok := nodes[route.Primary]
+		if !ok {
+			return nil
 		}
-		for _, f := range route.Followers {
-			if fn, ok := nodes[f]; ok {
-				_ = fn.ApplyReplicated(pid, k, v, ttl, del)
-			}
-		}
-		return nil
+		return primary.WriteThrough(pid, k, v, ttl, del)
 	}
 
 	// Rehash: keys whose new partition differs move to it. With the
@@ -140,14 +137,18 @@ func (m *Meta) SplitTenantPartitions(tenant string) error {
 			// the remaining TTL, and drop records that lapsed since the
 			// scan (deleting the source copy stays correct either way).
 			if ttl, alive := dst.RemainingTTL(e.expireAt); alive {
-				if err := applyAll(route, newPid, e.k, e.v, ttl, false); err != nil {
+				if err := writeThrough(route, newPid, e.k, e.v, ttl, false); err != nil {
 					return err
 				}
 			}
-			if err := applyAll(srcRoute, src.pid, e.k, nil, 0, true); err != nil {
+			if err := writeThrough(srcRoute, src.pid, e.k, nil, 0, true); err != nil {
 				return err
 			}
 		}
 	}
+	// Drain the fabric before returning: callers (and tests) rely on
+	// followers holding the moved keys once the split completes, which
+	// the direct-apply scheme guaranteed synchronously.
+	m.FlushReplication()
 	return nil
 }

@@ -741,6 +741,9 @@ func (f *Fleet) Delete(ctx context.Context, key []byte) error { return f.Route(k
 // Proxies returns all proxies in the fleet.
 func (f *Fleet) Proxies() []*Proxy { return f.proxies }
 
+// Tenant returns the owning tenant's name.
+func (f *Fleet) Tenant() string { return f.tenant }
+
 // NumGroups returns n.
 func (f *Fleet) NumGroups() int { return len(f.groups) }
 

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 )
 
 // Handler processes one parsed command and returns the reply value.
@@ -22,6 +23,50 @@ type HandlerFunc func(cmd Command) Value
 
 // Handle implements Handler.
 func (f HandlerFunc) Handle(cmd Command) Value { return f(cmd) }
+
+// Pusher lets a handler write server-initiated messages to its
+// connection outside the request/reply cycle — the pub/sub push
+// protocol. Push serializes with command replies (one writer mutex
+// guards the connection), so a push never tears a reply mid-frame.
+// Kick closes the connection; the server uses it to drop a consumer
+// that has stopped reading rather than buffer without bound.
+type Pusher interface {
+	Push(v Value) error
+	Kick()
+}
+
+// PushBinder is implemented by session handlers that push: the server
+// hands each connection's Pusher to its handler before the first
+// command is read.
+type PushBinder interface {
+	Bind(p Pusher)
+}
+
+// NoReply is returned by a Handler when the command's responses were
+// already written through the connection's Pusher (e.g. SUBSCRIBE
+// confirmations, one per channel): the server writes nothing.
+func NoReply() Value { return Value{} }
+
+// connPusher is the per-connection writer shared by command replies
+// and pushes.
+type connPusher struct {
+	mu   sync.Mutex
+	w    *Writer
+	conn net.Conn
+}
+
+// Push implements Pusher.
+func (p *connPusher) Push(v Value) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.w.Write(v); err != nil {
+		return err
+	}
+	return p.w.Flush()
+}
+
+// Kick implements Pusher.
+func (p *connPusher) Kick() { p.conn.Close() }
 
 // Server serves the RESP protocol over TCP.
 type Server struct {
@@ -104,27 +149,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	r := NewReader(conn)
-	w := NewWriter(conn)
+	push := &connPusher{w: NewWriter(conn), conn: conn}
 	handler := s.factory()
 	if c, ok := handler.(io.Closer); ok {
 		defer c.Close()
+	}
+	if b, ok := handler.(PushBinder); ok {
+		b.Bind(push)
 	}
 	for {
 		cmd, err := r.ReadCommand()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				if errors.Is(err, ErrProtocol) {
-					w.Write(Err("ERR protocol error"))
-					w.Flush()
+					push.Push(Err("ERR protocol error"))
 				}
 			}
 			return
 		}
 		reply := handler.Handle(cmd)
-		if err := w.Write(reply); err != nil {
-			return
+		if reply.Kind == 0 {
+			continue // NoReply: the handler pushed its own responses
 		}
-		if err := w.Flush(); err != nil {
+		if err := push.Push(reply); err != nil {
 			return
 		}
 	}
@@ -188,6 +235,19 @@ func (c *Client) DoStrings(name string, args ...string) (Value, error) {
 	}
 	return c.Do(name, bs...)
 }
+
+// Read returns the next server message without sending anything: the
+// receive half of the push protocol, used while the connection is in
+// subscribed mode. Do not call concurrently with Do — a push-mode
+// connection has one reader.
+func (c *Client) Read() (Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.r.Read()
+}
+
+// SetReadDeadline bounds the next Read (zero time clears it).
+func (c *Client) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,238 @@
+package abase
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"abase/internal/resp"
+)
+
+// readPush reads the next pushed value with a bounded wait.
+func readPush(t *testing.T, cl *resp.Client) resp.Value {
+	t.Helper()
+	cl.SetReadDeadline(time.Now().Add(5 * time.Second))
+	v, err := cl.Read()
+	if err != nil {
+		t.Fatalf("read push: %v", err)
+	}
+	cl.SetReadDeadline(time.Time{})
+	return v
+}
+
+// wantMessage asserts a ["message", channel, payload] push.
+func wantMessage(t *testing.T, v resp.Value, channel, payload string) {
+	t.Helper()
+	if v.Kind != resp.Array || len(v.Array) != 3 ||
+		string(v.Array[0].Str) != "message" ||
+		string(v.Array[1].Str) != channel ||
+		string(v.Array[2].Str) != payload {
+		t.Fatalf("push = %+v, want message %s %s", v, channel, payload)
+	}
+}
+
+func TestServePubSubKeyspaceNotifications(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	// One partition: a single commit order makes push order exact.
+	c.CreateTenant(TenantSpec{Name: "ps", QuotaRU: 1e9, Partitions: 1, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "ps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sub, _ := resp.Dial(addr)
+	defer sub.Close()
+	pub, _ := resp.Dial(addr)
+	defer pub.Close()
+
+	// SUBSCRIBE confirms with a per-channel array and running count.
+	v, err := sub.DoStrings("SUBSCRIBE", "__keyspace@0__:k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Array) != 3 || string(v.Array[0].Str) != "subscribe" || v.Array[2].Int != 1 {
+		t.Fatalf("subscribe confirm = %+v", v)
+	}
+	// PSUBSCRIBE gives key-prefix filtering over the keyspace channels.
+	v, err = sub.DoStrings("PSUBSCRIBE", "__keyspace@0__:user:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Array) != 3 || string(v.Array[0].Str) != "psubscribe" || v.Array[2].Int != 2 {
+		t.Fatalf("psubscribe confirm = %+v", v)
+	}
+
+	if v, _ := pub.DoStrings("SET", "k1", "v1"); v.Text() != "OK" {
+		t.Fatalf("SET k1 = %+v", v)
+	}
+	if v, _ := pub.DoStrings("SET", "user:7", "u"); v.Text() != "OK" {
+		t.Fatalf("SET user:7 = %+v", v)
+	}
+	if v, _ := pub.DoStrings("SET", "unwatched", "x"); v.Text() != "OK" {
+		t.Fatalf("SET unwatched = %+v", v)
+	}
+	if v, _ := pub.DoStrings("DEL", "k1"); v.Int != 1 {
+		t.Fatalf("DEL k1 = %+v", v)
+	}
+
+	wantMessage(t, readPush(t, sub), "__keyspace@0__:k1", "set")
+	p := readPush(t, sub)
+	if len(p.Array) != 4 || string(p.Array[0].Str) != "pmessage" ||
+		string(p.Array[1].Str) != "__keyspace@0__:user:*" ||
+		string(p.Array[2].Str) != "__keyspace@0__:user:7" ||
+		string(p.Array[3].Str) != "set" {
+		t.Fatalf("pmessage = %+v", p)
+	}
+	// The unwatched key was skipped entirely: the next push is k1's
+	// delete, not a message for "unwatched".
+	wantMessage(t, readPush(t, sub), "__keyspace@0__:k1", "del")
+}
+
+func TestServeSubscribedStateMachine(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "sm", QuotaRU: 1e9, Partitions: 1})
+	addr, srv, err := c.Serve("127.0.0.1:0", "sm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("SUBSCRIBE", "__keyspace@0__:a"); len(v.Array) != 3 {
+		t.Fatalf("subscribe = %+v", v)
+	}
+	// Non-pub/sub commands are rejected while subscribed.
+	v, _ := cl.DoStrings("GET", "a")
+	if !v.IsError() || !strings.Contains(v.Text(), "only (P)SUBSCRIBE") {
+		t.Fatalf("GET while subscribed = %+v", v)
+	}
+	v, _ = cl.DoStrings("SET", "a", "b")
+	if !v.IsError() {
+		t.Fatalf("SET while subscribed = %+v", v)
+	}
+	// PING stays allowed (Redis keeps it for liveness).
+	if v, _ := cl.DoStrings("PING"); v.Text() != "PONG" {
+		t.Fatalf("PING while subscribed = %+v", v)
+	}
+	// UNSUBSCRIBE with no arguments drops everything and reopens the
+	// command set.
+	v, _ = cl.DoStrings("UNSUBSCRIBE")
+	if len(v.Array) != 3 || string(v.Array[0].Str) != "unsubscribe" || v.Array[2].Int != 0 {
+		t.Fatalf("unsubscribe = %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "a", "b"); v.Text() != "OK" {
+		t.Fatalf("SET after unsubscribe = %+v", v)
+	}
+	// Unsubscribing while subscribed to nothing still acknowledges
+	// (nil channel, count 0) so client accounting stays in step.
+	v, _ = cl.DoStrings("UNSUBSCRIBE")
+	if len(v.Array) != 3 || !v.Array[1].Null || v.Array[2].Int != 0 {
+		t.Fatalf("unsubscribe-from-nothing = %+v", v)
+	}
+}
+
+func TestServeResetExitsSubscribedMode(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "rs", QuotaRU: 1e9, Partitions: 1})
+	addr, srv, err := c.Serve("127.0.0.1:0", "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("PSUBSCRIBE", "__keyspace@0__:*"); len(v.Array) != 3 {
+		t.Fatalf("psubscribe = %+v", v)
+	}
+	if v, _ := cl.DoStrings("RESET"); v.Text() != "RESET" {
+		t.Fatalf("RESET = %+v", v)
+	}
+	if v, _ := cl.DoStrings("SET", "afterreset", "1"); v.Text() != "OK" {
+		t.Fatalf("SET after RESET = %+v", v)
+	}
+}
+
+func TestServeChangesCommand(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "ch", QuotaRU: 1e9, Partitions: 1, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "ch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+
+	if v, _ := cl.DoStrings("SET", "c1", "v1"); v.Text() != "OK" {
+		t.Fatalf("SET = %+v", v)
+	}
+	if v, _ := cl.DoStrings("DEL", "c1"); v.Int != 1 {
+		t.Fatalf("DEL = %+v", v)
+	}
+
+	// CHANGES 0: full retained history as [token, events].
+	v, err := cl.DoStrings("CHANGES", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != resp.Array || len(v.Array) != 2 {
+		t.Fatalf("CHANGES reply shape = %+v", v)
+	}
+	token := string(v.Array[0].Str)
+	events := v.Array[1].Array
+	if len(events) != 2 {
+		t.Fatalf("CHANGES returned %d events, want 2", len(events))
+	}
+	set, del := events[0], events[1]
+	if string(set.Array[2].Str) != "set" || string(set.Array[3].Str) != "c1" || string(set.Array[4].Str) != "v1" {
+		t.Fatalf("set event = %+v", set)
+	}
+	if string(del.Array[2].Str) != "del" || !del.Array[4].Null {
+		t.Fatalf("del event = %+v", del)
+	}
+
+	// Caught up: polling with the returned token yields nothing new.
+	v, _ = cl.DoStrings("CHANGES", token)
+	if len(v.Array[1].Array) != 0 {
+		t.Fatalf("caught-up CHANGES = %+v", v)
+	}
+	// $ mints a tail token without reading history.
+	v, _ = cl.DoStrings("CHANGES", "$")
+	if len(v.Array) != 2 || len(v.Array[0].Str) == 0 || len(v.Array[1].Array) != 0 {
+		t.Fatalf("CHANGES $ = %+v", v)
+	}
+	// Malformed tokens get their own error class.
+	v, _ = cl.DoStrings("CHANGES", "not-a-token")
+	if !v.IsError() || !strings.HasPrefix(v.Text(), "BADTOKEN") {
+		t.Fatalf("CHANGES bad token = %+v", v)
+	}
+}
+
+// TestServeSubscriberDisconnectCleanup: an abruptly closed subscriber
+// connection tears its change subscription down server-side; the
+// server keeps serving and writes keep flowing.
+func TestServeSubscriberDisconnectCleanup(t *testing.T) {
+	c := newCluster(t, ClusterConfig{Nodes: 3})
+	c.CreateTenant(TenantSpec{Name: "dc", QuotaRU: 1e9, Partitions: 1, DisableProxyCache: true})
+	addr, srv, err := c.Serve("127.0.0.1:0", "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sub, _ := resp.Dial(addr)
+	if v, _ := sub.DoStrings("SUBSCRIBE", "__keyspace@0__:x"); len(v.Array) != 3 {
+		t.Fatalf("subscribe = %+v", v)
+	}
+	sub.Close() // hang up without unsubscribing
+
+	cl, _ := resp.Dial(addr)
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		if v, _ := cl.DoStrings("SET", "x", "y"); v.Text() != "OK" {
+			t.Fatalf("SET after subscriber disconnect = %+v", v)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"abase/internal/resp"
@@ -85,6 +86,8 @@ func (c *Cluster) Serve(addr, defaultTenant string, opts ...ServeOption) (string
 			base:       base,
 			cancel:     cancel,
 			cmdTimeout: sc.cmdTimeout,
+			channels:   make(map[string]struct{}),
+			patterns:   make(map[string]struct{}),
 		}
 	})
 	bound, err := srv.Listen(addr)
@@ -104,6 +107,16 @@ type session struct {
 	base       context.Context
 	cancel     context.CancelFunc
 	cmdTimeout time.Duration
+
+	// push writes server-initiated messages (pub/sub) to the
+	// connection; nil when the handler runs without a server.
+	push resp.Pusher
+	// subMu guards the subscribed-mode state below (the notifier's
+	// fan-out goroutine reads it concurrently with commands).
+	subMu    sync.Mutex
+	channels map[string]struct{}
+	patterns map[string]struct{}
+	notif    *notifier
 }
 
 // Close implements io.Closer for the RESP server: the connection ended,
@@ -112,6 +125,7 @@ func (s *session) Close() error {
 	if s.cancel != nil {
 		s.cancel()
 	}
+	s.closeNotifier()
 	return nil
 }
 
@@ -179,11 +193,25 @@ func firstKeyErr(err error) error {
 
 // Handle implements resp.Handler.
 func (s *session) Handle(cmd resp.Command) resp.Value {
+	// Push-protocol commands first, then the subscribed-mode state
+	// machine: once a connection has subscriptions, only the pub/sub
+	// command family (plus PING/QUIT/RESET) is legal until it
+	// unsubscribes (Redis semantics).
+	if v, handled := s.handlePubSub(cmd); handled {
+		return v
+	}
+	if s.subscribed() && !pubsubAllowed(cmd.Name) {
+		return resp.Err("ERR Can't execute '%s': only (P)SUBSCRIBE / (P)UNSUBSCRIBE / PING / QUIT / RESET are allowed in this context",
+			strings.ToLower(cmd.Name))
+	}
 	ctx, cancel := s.cmdCtx()
 	defer cancel()
 	switch cmd.Name {
 	case "PING":
 		return resp.Pong()
+
+	case "CHANGES":
+		return s.handleChanges(cmd)
 
 	case "AUTH":
 		if len(cmd.Args) != 1 {
